@@ -1,0 +1,174 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  1. early certification on/off (aborted work vs. wasted certification),
+//  2. least-active routing vs. degenerate routing (1 replica handling all),
+//  3. table-set granularity sensitivity: how the fine-grained scheme's
+//     advantage shrinks as transactions touch more tables,
+//  4. certifier group commit: log force time sensitivity.
+
+#include "bench/bench_util.h"
+#include "workload/micro.h"
+#include "workload/tpcw.h"
+
+namespace screp::bench {
+namespace {
+
+ExperimentConfig BaseConfig(const BenchOptions& options,
+                            ConsistencyLevel level, int replicas,
+                            int clients) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.client_count = clients;
+  config.warmup = options.warmup;
+  config.duration = options.duration;
+  config.seed = options.seed;
+  return config;
+}
+
+void EarlyCertificationAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: early certification (micro, 50%% updates, "
+              "8 replicas) --\n");
+  std::printf("%-22s %8s %10s %12s %12s\n", "variant", "TPS", "resp(ms)",
+              "early-aborts", "cert-aborts");
+  for (bool early : {true, false}) {
+    MicroConfig micro;
+    micro.update_fraction = 0.5;
+    micro.rows_per_table = 500;  // small table => frequent conflicts
+    MicroWorkload workload(micro);
+    ExperimentConfig config =
+        BaseConfig(options, ConsistencyLevel::kLazyCoarse, 8, 16);
+    config.system.proxy.early_certification = early;
+    const ExperimentResult r = MustRun(workload, config);
+    std::printf("%-22s %8.1f %10.2f %12lld %12lld\n",
+                early ? "early-cert ON" : "early-cert OFF",
+                r.throughput_tps, r.mean_response_ms,
+                static_cast<long long>(r.early_aborts),
+                static_cast<long long>(r.cert_aborts));
+    std::fflush(stdout);
+  }
+}
+
+void TableSetGranularityAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: LFC advantage vs. table count (micro, 25%% "
+              "updates, 8 replicas) --\n");
+  std::printf("%-8s %14s %14s %16s\n", "tables", "LSC delay(ms)",
+              "LFC delay(ms)", "LFC/LSC delay");
+  for (int tables : {1, 2, 4, 8, 16}) {
+    double delays[2];
+    int i = 0;
+    for (ConsistencyLevel level :
+         {ConsistencyLevel::kLazyCoarse, ConsistencyLevel::kLazyFine}) {
+      MicroConfig micro;
+      micro.table_count = tables;
+      micro.update_fraction = 0.25;
+      MicroWorkload workload(micro);
+      ExperimentConfig config = BaseConfig(options, level, 8, 8);
+      const ExperimentResult r = MustRun(workload, config);
+      delays[i++] = r.sync_delay_ms;
+    }
+    std::printf("%-8d %14.2f %14.2f %15.2f%%\n", tables, delays[0],
+                delays[1],
+                delays[0] > 0 ? 100.0 * delays[1] / delays[0] : 0.0);
+    std::fflush(stdout);
+  }
+}
+
+void GroupCommitAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: certifier log-force time (micro, 100%% "
+              "updates, 4 replicas) --\n");
+  std::printf("%-18s %8s %12s\n", "force time (ms)", "TPS", "certify(ms)");
+  for (double force_ms : {0.2, 0.8, 2.0, 5.0}) {
+    MicroConfig micro;
+    micro.update_fraction = 1.0;
+    MicroWorkload workload(micro);
+    ExperimentConfig config =
+        BaseConfig(options, ConsistencyLevel::kLazyCoarse, 4, 8);
+    config.system.certifier.log_force_time = Millis(force_ms);
+    const ExperimentResult r = MustRun(workload, config);
+    std::printf("%-18.1f %8.1f %12.2f\n", force_ms, r.throughput_tps,
+                r.certify_ms);
+    std::fflush(stdout);
+  }
+}
+
+void RoutingPolicyAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: routing policy (tpcw shopping, 4 replicas, "
+              "32 clients) --\n");
+  std::printf("%-14s %8s %10s\n", "policy", "TPS", "resp(ms)");
+  for (RoutingPolicy routing :
+       {RoutingPolicy::kLeastActive, RoutingPolicy::kRoundRobin}) {
+    TpcwWorkload workload(TpcwScale{}, TpcwMix::kShopping);
+    ExperimentConfig config =
+        BaseConfig(options, ConsistencyLevel::kLazyCoarse, 4, 32);
+    config.system.proxy = TpcwProxyConfig();
+    config.system.routing = routing;
+    config.mean_think_time = Millis(200);
+    const ExperimentResult r = MustRun(workload, config);
+    std::printf("%-14s %8.1f %10.2f\n",
+                routing == RoutingPolicy::kLeastActive ? "least-active"
+                                                       : "round-robin",
+                r.throughput_tps, r.mean_response_ms);
+    std::fflush(stdout);
+  }
+}
+
+void SerializableModeAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: GSI vs serializable certification (tpcw "
+              "shopping, 4 replicas) --\n");
+  std::printf("%-14s %8s %12s %12s\n", "mode", "TPS", "total-aborts",
+              "rw-aborts");
+  for (CertificationMode mode :
+       {CertificationMode::kGsi, CertificationMode::kSerializable}) {
+    TpcwWorkload workload(TpcwScale{}, TpcwMix::kShopping);
+    ExperimentConfig config =
+        BaseConfig(options, ConsistencyLevel::kLazyCoarse, 4, 32);
+    config.system.proxy = TpcwProxyConfig();
+    config.system.certifier.mode = mode;
+    config.mean_think_time = Millis(200);
+    const ExperimentResult r = MustRun(workload, config);
+    std::printf("%-14s %8.1f %12lld %12lld\n",
+                mode == CertificationMode::kGsi ? "GSI" : "serializable",
+                r.throughput_tps,
+                static_cast<long long>(r.cert_aborts + r.early_aborts),
+                static_cast<long long>(r.cert_aborts));
+    std::fflush(stdout);
+  }
+}
+
+void RefreshCostAblation(const BenchOptions& options) {
+  std::printf("\n-- Ablation: refresh apply cost vs. ESC global delay "
+              "(micro, 50%% updates, 8 replicas) --\n");
+  std::printf("%-18s %10s %12s\n", "refresh base(ms)", "ESC TPS",
+              "global(ms)");
+  for (double base_ms : {0.5, 1.0, 2.2, 4.0}) {
+    MicroConfig micro;
+    micro.update_fraction = 0.5;
+    MicroWorkload workload(micro);
+    ExperimentConfig config =
+        BaseConfig(options, ConsistencyLevel::kEager, 8, 8);
+    config.system.proxy.refresh_base = Millis(base_ms);
+    const ExperimentResult r = MustRun(workload, config);
+    std::printf("%-18.1f %10.1f %12.2f\n", base_ms, r.throughput_tps,
+                r.global_ms);
+    std::fflush(stdout);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader("Ablations: early certification, table-set granularity, "
+              "group commit, refresh cost",
+              "design choices of §IV (not a paper figure)");
+  EarlyCertificationAblation(options);
+  TableSetGranularityAblation(options);
+  GroupCommitAblation(options);
+  RefreshCostAblation(options);
+  RoutingPolicyAblation(options);
+  SerializableModeAblation(options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

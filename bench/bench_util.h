@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction drivers.
+//
+// Every driver prints the rows/series of one table or figure from the
+// paper.  Simulated runs replace the paper's 10-minute measurement
+// intervals with (configurable) tens of simulated seconds; pass --quick
+// for an even shorter smoke run, --full for longer windows.
+
+#ifndef SCREP_BENCH_BENCH_UTIL_H_
+#define SCREP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace screp::bench {
+
+/// Run-length profile selected on the command line.
+struct BenchOptions {
+  SimTime warmup = Seconds(2);
+  SimTime duration = Seconds(20);
+  uint64_t seed = 42;
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.warmup = Seconds(0.5);
+      options.duration = Seconds(4);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      options.warmup = Seconds(5);
+      options.duration = Seconds(60);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  return options;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s; simulated cluster, shapes comparable, absolute\n",
+              paper_ref);
+  std::printf(" numbers depend on the simulated service-time model)\n");
+  std::printf("================================================================\n");
+}
+
+/// Runs one experiment, aborting the binary on setup failure.
+inline ExperimentResult MustRun(const Workload& workload,
+                                const ExperimentConfig& config) {
+  Result<ExperimentResult> result = RunExperiment(workload, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace screp::bench
+
+#endif  // SCREP_BENCH_BENCH_UTIL_H_

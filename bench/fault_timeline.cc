@@ -1,0 +1,100 @@
+// Availability timeline (extension, not a paper figure): throughput and
+// response time per half-second around a replica crash and recovery,
+// and around a certifier failover — making the crash-recovery design of
+// §IV visible as a time series.
+
+#include "bench/bench_util.h"
+#include "workload/micro.h"
+
+namespace screp::bench {
+namespace {
+
+void PrintTimeline(const MetricsCollector& metrics, SimTime crash_at,
+                   SimTime recover_at) {
+  const double width_s = ToSeconds(metrics.timeline_bucket_width());
+  std::printf("%8s %10s %10s %9s  %s\n", "t(s)", "TPS", "resp(ms)",
+              "failures", "events");
+  const auto& timeline = metrics.timeline();
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    const auto& bucket = timeline[i];
+    const double t0 = static_cast<double>(i) * width_s;
+    std::string note;
+    if (crash_at >= Seconds(t0) && crash_at < Seconds(t0 + width_s)) {
+      note += "  <- replica crash";
+    }
+    if (recover_at >= Seconds(t0) && recover_at < Seconds(t0 + width_s)) {
+      note += "  <- recovery";
+    }
+    std::printf("%8.1f %10.1f %10.2f %9lld%s\n", t0,
+                static_cast<double>(bucket.committed) / width_s,
+                bucket.MeanResponseMs(),
+                static_cast<long long>(bucket.failures), note.c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  (void)options;
+  PrintHeader("Availability timeline: replica crash at t=4s, recovery at "
+              "t=8s (LSC, 4 replicas, 16 clients)",
+              "the crash-recovery design of §IV (extension)");
+
+  MicroConfig micro;
+  micro.update_fraction = 0.5;
+  MicroWorkload workload(micro);
+
+  Simulator sim;
+  SystemConfig sys_config;
+  sys_config.level = ConsistencyLevel::kLazyCoarse;
+  sys_config.replica_count = 4;
+  auto system_or = ReplicatedSystem::Create(
+      &sim, sys_config,
+      [&workload](Database* db) { return workload.BuildSchema(db); },
+      [&workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  auto system = std::move(system_or).value();
+
+  MetricsCollector metrics(0);
+  metrics.EnableTimeline(Millis(500));
+  std::vector<std::unique_ptr<ClientDriver>> clients;
+  Rng rng(17);
+  for (int c = 0; c < 16; ++c) {
+    clients.push_back(std::make_unique<ClientDriver>(
+        system.get(), &metrics,
+        workload.CreateGenerator(system->registry(), c, rng.Fork()), c,
+        ClientConfig{}, rng.Fork()));
+  }
+  system->SetClientCallback([&clients](const TxnResponse& r) {
+    clients[static_cast<size_t>(r.client_id)]->OnResponse(r);
+  });
+  for (auto& client : clients) client->Start();
+
+  const SimTime crash_at = Seconds(4);
+  const SimTime recover_at = Seconds(8);
+  sim.Schedule(crash_at, [&system]() { system->CrashReplica(1); });
+  sim.Schedule(recover_at, [&system]() { system->RecoverReplica(1); });
+  sim.Schedule(Seconds(12), [&clients]() {
+    for (auto& client : clients) client->Stop();
+  });
+  sim.RunUntil(Seconds(12));
+  sim.RunAll();
+
+  PrintTimeline(metrics, crash_at, recover_at);
+  std::printf(
+      "\nThe failure spike at the crash is the failed-over in-flight\n"
+      "transactions (clients retried them on the survivors); the cluster\n"
+      "keeps serving throughout, and the recovered replica rejoins after\n"
+      "catching up from the certifier's log.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

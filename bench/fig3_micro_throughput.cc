@@ -1,0 +1,55 @@
+// Figure 3: micro-benchmark throughput vs. fraction of update
+// transactions, 8 replicas / 8 clients, one curve per consistency
+// configuration.
+//
+// Expected shape (paper §V-B): all configurations coincide at 0% updates;
+// as updates grow, ESC falls ~40% behind while LSC/LFC stay within a few
+// percent of SC (LFC matching SC).
+
+#include "bench/bench_util.h"
+#include "workload/micro.h"
+
+namespace screp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader("Figure 3: micro-benchmark throughput (TPS), 8 replicas",
+              "Fig. 3");
+
+  const double kMixes[] = {0.0, 0.10, 0.25, 0.50, 0.75, 1.00};
+  std::printf("%-10s", "update%");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    std::printf("%10s", ConsistencyLevelName(level));
+  }
+  std::printf("\n");
+
+  for (double mix : kMixes) {
+    std::printf("%-10.0f", mix * 100);
+    for (ConsistencyLevel level : kAllConsistencyLevels) {
+      MicroConfig micro;
+      micro.update_fraction = mix;
+      MicroWorkload workload(micro);
+
+      ExperimentConfig config;
+      config.system.level = level;
+      config.system.replica_count = 8;
+      config.client_count = 8;
+      config.mean_think_time = 0;  // back-to-back, closed loop
+      config.warmup = options.warmup;
+      config.duration = options.duration;
+      config.seed = options.seed;
+
+      const ExperimentResult result = MustRun(workload, config);
+      std::printf("%10.1f", result.throughput_tps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

@@ -1,0 +1,57 @@
+// Figure 4: micro-benchmark latency breakdown by transaction stage for the
+// 25% and 100% update mixes (8 replicas, 8 clients).
+//
+// Expected shape (paper §V-B): similar query execution everywhere; LSC
+// pays a start-up (version) delay larger than SC's, LFC's is smaller than
+// LSC's (zero for read-only tables); ESC has no version delay but a
+// global commit delay that dwarfs every other stage — 36% higher total at
+// the 25% mix, an order of magnitude at 100%.
+
+#include "bench/bench_util.h"
+#include "workload/micro.h"
+
+namespace screp::bench {
+namespace {
+
+void RunMix(const BenchOptions& options, double mix) {
+  std::printf("\n-- %.0f%% update mix --\n", mix * 100);
+  std::printf("%-7s %9s %9s %9s %9s %9s %9s | %9s\n", "config", "version",
+              "queries", "certify", "sync", "commit", "global", "total");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    MicroConfig micro;
+    micro.update_fraction = mix;
+    MicroWorkload workload(micro);
+
+    ExperimentConfig config;
+    config.system.level = level;
+    config.system.replica_count = 8;
+    config.client_count = 8;
+    config.warmup = options.warmup;
+    config.duration = options.duration;
+    config.seed = options.seed;
+
+    const ExperimentResult r = MustRun(workload, config);
+    const double total = r.version_ms + r.queries_ms + r.certify_ms +
+                         r.sync_ms + r.commit_ms + r.global_ms;
+    std::printf("%-7s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f | %9.2f\n",
+                ConsistencyLevelName(level), r.version_ms, r.queries_ms,
+                r.certify_ms, r.sync_ms, r.commit_ms, r.global_ms, total);
+    std::fflush(stdout);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader(
+      "Figure 4: latency breakdown per stage (ms), micro-benchmark, "
+      "8 replicas",
+      "Fig. 4(a) 25% updates and Fig. 4(b) 100% updates");
+  RunMix(options, 0.25);
+  RunMix(options, 1.00);
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

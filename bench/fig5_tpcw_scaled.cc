@@ -1,0 +1,66 @@
+// Figure 5: TPC-W throughput and response time under scaled load —
+// clients grow with the replica count (browsing 10/replica, shopping
+// 8/replica, ordering 5/replica); 1..8 replicas; all four configurations.
+//
+// Expected shape (paper §V-C.1): browsing (5% updates) scales ~7x for
+// every configuration; shopping (20%) scales ~5x for the lazy
+// configurations with ESC ~30% slower at 8 replicas; ordering (50%)
+// scales ~3x for the lazy configurations while ESC barely scales and its
+// response time grows with the replica count.
+
+#include "bench/bench_util.h"
+#include "workload/tpcw.h"
+
+namespace screp::bench {
+namespace {
+
+void RunMix(const BenchOptions& options, TpcwMix mix) {
+  std::printf("\n-- %s mix (%d%% updates, %d clients/replica) --\n",
+              TpcwMixName(mix),
+              static_cast<int>(TpcwUpdateFraction(mix) * 100),
+              TpcwClientsPerReplica(mix));
+  std::printf("%-9s", "replicas");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    std::printf("  %8s-TPS %8s-ms", ConsistencyLevelName(level),
+                ConsistencyLevelName(level));
+  }
+  std::printf("\n");
+
+  for (int replicas = 1; replicas <= 8; ++replicas) {
+    std::printf("%-9d", replicas);
+    for (ConsistencyLevel level : kAllConsistencyLevels) {
+      TpcwWorkload workload(TpcwScale{}, mix);
+      ExperimentConfig config;
+      config.system.proxy = TpcwProxyConfig();
+      config.system.level = level;
+      config.system.replica_count = replicas;
+      config.client_count = replicas * TpcwClientsPerReplica(mix);
+      config.mean_think_time = Millis(200);  // RTE think time
+      config.warmup = options.warmup;
+      config.duration = options.duration;
+      config.seed = options.seed;
+
+      const ExperimentResult r = MustRun(workload, config);
+      std::printf("  %12.1f %11.2f", r.throughput_tps, r.mean_response_ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader(
+      "Figure 5: TPC-W throughput (TPS) and response time (ms), scaled "
+      "load",
+      "Fig. 5(a)-(f)");
+  RunMix(options, TpcwMix::kBrowsing);
+  RunMix(options, TpcwMix::kShopping);
+  RunMix(options, TpcwMix::kOrdering);
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

@@ -1,0 +1,59 @@
+// Figure 6: TPC-W synchronization delay under scaled load — the
+// synchronization start delay for LSC/LFC/SC and the global commit delay
+// for ESC, shopping and ordering mixes, 1..8 replicas.
+//
+// Expected shape (paper §V-C.1): the lazy configurations' delays stay
+// small and flat-ish (tens of ms at most); ESC's delay grows with the
+// replica count (hundreds of ms on the ordering mix at 8 replicas), and
+// LFC's delay is below LSC's.
+
+#include "bench/bench_util.h"
+#include "workload/tpcw.h"
+
+namespace screp::bench {
+namespace {
+
+void RunMix(const BenchOptions& options, TpcwMix mix) {
+  std::printf("\n-- %s mix: mean synchronization delay (ms) --\n",
+              TpcwMixName(mix));
+  std::printf("%-9s", "replicas");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    std::printf("%10s", ConsistencyLevelName(level));
+  }
+  std::printf("\n");
+  for (int replicas = 1; replicas <= 8; ++replicas) {
+    std::printf("%-9d", replicas);
+    for (ConsistencyLevel level : kAllConsistencyLevels) {
+      TpcwWorkload workload(TpcwScale{}, mix);
+      ExperimentConfig config;
+      config.system.proxy = TpcwProxyConfig();
+      config.system.level = level;
+      config.system.replica_count = replicas;
+      config.client_count = replicas * TpcwClientsPerReplica(mix);
+      config.mean_think_time = Millis(200);
+      config.warmup = options.warmup;
+      config.duration = options.duration;
+      config.seed = options.seed;
+      const ExperimentResult r = MustRun(workload, config);
+      std::printf("%10.2f", r.sync_delay_ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader(
+      "Figure 6: TPC-W synchronization delay (start delay for lazy "
+      "configs,\nglobal commit delay for ESC), scaled load",
+      "Fig. 6(a) shopping and Fig. 6(b) ordering");
+  RunMix(options, TpcwMix::kShopping);
+  RunMix(options, TpcwMix::kOrdering);
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

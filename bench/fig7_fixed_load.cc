@@ -1,0 +1,59 @@
+// Figure 7: TPC-W response time under *fixed* load — the client count
+// stays constant (shopping 8, ordering 5) while replicas grow 1..8, i.e.
+// replication used to reduce response time rather than raise throughput.
+//
+// Expected shape (paper §V-C.2): for the lazy configurations response
+// time decreases with replicas and flattens around five replicas; for ESC
+// the shopping mix stays well above the others and on the ordering mix
+// adding replicas *increases* response time (more replicas => the slowest
+// of more replicas dictates every update's global commit).
+
+#include "bench/bench_util.h"
+#include "workload/tpcw.h"
+
+namespace screp::bench {
+namespace {
+
+void RunMix(const BenchOptions& options, TpcwMix mix) {
+  const int clients = TpcwClientsPerReplica(mix);
+  std::printf("\n-- %s mix: mean response time (ms), %d clients total --\n",
+              TpcwMixName(mix), clients);
+  std::printf("%-9s", "replicas");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    std::printf("%10s", ConsistencyLevelName(level));
+  }
+  std::printf("\n");
+  for (int replicas = 1; replicas <= 8; ++replicas) {
+    std::printf("%-9d", replicas);
+    for (ConsistencyLevel level : kAllConsistencyLevels) {
+      TpcwWorkload workload(TpcwScale{}, mix);
+      ExperimentConfig config;
+      config.system.proxy = TpcwProxyConfig();
+      config.system.level = level;
+      config.system.replica_count = replicas;
+      config.client_count = clients;  // fixed, independent of replicas
+      config.mean_think_time = Millis(200);
+      config.warmup = options.warmup;
+      config.duration = options.duration;
+      config.seed = options.seed;
+      const ExperimentResult r = MustRun(workload, config);
+      std::printf("%10.2f", r.mean_response_ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader("Figure 7: TPC-W response time under fixed load",
+              "Fig. 7(a) shopping and Fig. 7(b) ordering");
+  RunMix(options, TpcwMix::kShopping);
+  RunMix(options, TpcwMix::kOrdering);
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main(int argc, char** argv) { return screp::bench::Main(argc, argv); }

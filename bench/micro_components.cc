@@ -1,0 +1,204 @@
+// Component microbenchmarks (google-benchmark): storage engine point
+// operations, SQL parse/execute, writeset certification, version
+// trackers, and the discrete-event core. These are sanity/ablation
+// benches, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "core/table_version_tracker.h"
+#include "replication/certifier.h"
+#include "sim/simulator.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+
+namespace screp {
+namespace {
+
+std::unique_ptr<Database> MakeDb(int rows) {
+  auto db = std::make_unique<Database>();
+  auto id = db->CreateTable("item", Schema({{"i_id", ValueType::kInt64},
+                                            {"i_val", ValueType::kInt64},
+                                            {"i_pad", ValueType::kString}}));
+  SCREP_CHECK(id.ok());
+  const std::string pad(100, 'x');
+  for (int64_t k = 0; k < rows; ++k) {
+    SCREP_CHECK(db->BulkLoad(*id, {Value(k), Value(k), Value(pad)}).ok());
+  }
+  return db;
+}
+
+void BM_StorageGet(benchmark::State& state) {
+  auto db = MakeDb(10000);
+  const TableId t = *db->FindTable("item");
+  auto txn = db->Begin();
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto row = txn->Get(t, key);
+    benchmark::DoNotOptimize(row);
+    key = (key + 7919) % 10000;
+  }
+}
+BENCHMARK(BM_StorageGet);
+
+void BM_StorageInsertCommit(benchmark::State& state) {
+  auto db = MakeDb(0);
+  const TableId t = *db->FindTable("item");
+  int64_t key = 0;
+  const std::string pad(100, 'x');
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    SCREP_CHECK(txn->Insert(t, {Value(key), Value(key), Value(pad)}).ok());
+    WriteSet ws = txn->BuildWriteSet();
+    ws.commit_version = db->CommittedVersion() + 1;
+    SCREP_CHECK(db->ApplyWriteSet(ws).ok());
+    ++key;
+  }
+}
+BENCHMARK(BM_StorageInsertCommit);
+
+void BM_StorageScan1000(benchmark::State& state) {
+  auto db = MakeDb(1000);
+  const TableId t = *db->FindTable("item");
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    int64_t sum = 0;
+    txn->Scan(t, [&](int64_t key, const Row&) {
+      sum += key;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_StorageScan1000);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string text =
+      "SELECT i_id, i_val FROM item WHERE i_id BETWEEN ? AND ? ORDER BY "
+      "i_val DESC LIMIT 20";
+  for (auto _ : state) {
+    auto ast = sql::Parse(text);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_SqlPointSelect(benchmark::State& state) {
+  auto db = MakeDb(10000);
+  auto stmt = sql::PreparedStatement::Prepare(
+      *db, "SELECT i_val FROM item WHERE i_id = ?");
+  SCREP_CHECK(stmt.ok());
+  auto txn = db->Begin();
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto rs = sql::Execute(txn.get(), **stmt, {Value(key)});
+    benchmark::DoNotOptimize(rs);
+    key = (key + 7919) % 10000;
+  }
+}
+BENCHMARK(BM_SqlPointSelect);
+
+void BM_SqlUpdate(benchmark::State& state) {
+  auto db = MakeDb(10000);
+  auto stmt = sql::PreparedStatement::Prepare(
+      *db, "UPDATE item SET i_val = i_val + ? WHERE i_id = ?");
+  SCREP_CHECK(stmt.ok());
+  auto txn = db->Begin();
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto rs = sql::Execute(txn.get(), **stmt, {Value(1), Value(key)});
+    benchmark::DoNotOptimize(rs);
+    key = (key + 7919) % 10000;
+  }
+}
+BENCHMARK(BM_SqlUpdate);
+
+void BM_WriteSetConflictCheck(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<WriteSet> committed(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    committed[static_cast<size_t>(i)].Add(0, i, WriteType::kUpdate,
+                                          Row{Value(i)});
+  }
+  WriteSet probe;
+  probe.Add(0, -1, WriteType::kUpdate, Row{Value(-1)});
+  for (auto _ : state) {
+    bool conflict = false;
+    for (const WriteSet& ws : committed) {
+      conflict |= probe.ConflictsWith(ws);
+    }
+    benchmark::DoNotOptimize(conflict);
+  }
+}
+BENCHMARK(BM_WriteSetConflictCheck)->Arg(64)->Arg(1024);
+
+void BM_WriteSetEncodeDecode(benchmark::State& state) {
+  WriteSet ws;
+  for (int64_t i = 0; i < 8; ++i) {
+    ws.Add(0, i, WriteType::kUpdate,
+           Row{Value(i), Value(std::string(100, 'x'))});
+  }
+  for (auto _ : state) {
+    std::string buf;
+    ws.EncodeTo(&buf);
+    WriteSet decoded;
+    size_t offset = 0;
+    SCREP_CHECK(WriteSet::DecodeFrom(buf, &offset, &decoded));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WriteSetEncodeDecode);
+
+void BM_TableVersionTracker(benchmark::State& state) {
+  TableVersionTracker tracker(10);
+  std::vector<TableId> table_set = {2, 5, 7};
+  DbVersion v = 0;
+  for (auto _ : state) {
+    tracker.OnCommit(++v, {static_cast<TableId>(v % 10)});
+    benchmark::DoNotOptimize(tracker.RequiredVersion(table_set));
+  }
+}
+BENCHMARK(BM_TableVersionTracker);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&fired] { ++fired; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_CertifierThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Certifier certifier(&sim, CertifierConfig{}, 4, /*eager=*/false);
+    int decisions = 0;
+    certifier.SetDecisionCallback(
+        [&decisions](ReplicaId, const CertDecision&) { ++decisions; });
+    certifier.SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    for (TxnId t = 1; t <= 500; ++t) {
+      WriteSet ws;
+      ws.txn_id = t;
+      ws.origin = static_cast<ReplicaId>(t % 4);
+      ws.snapshot_version = static_cast<DbVersion>(t) - 1;
+      ws.Add(0, static_cast<int64_t>(t), WriteType::kUpdate,
+             Row{Value(static_cast<int64_t>(t))});
+      certifier.SubmitCertification(std::move(ws));
+    }
+    sim.RunAll();
+    SCREP_CHECK(decisions == 500);
+    benchmark::DoNotOptimize(decisions);
+  }
+}
+BENCHMARK(BM_CertifierThroughput);
+
+}  // namespace
+}  // namespace screp
+
+BENCHMARK_MAIN();

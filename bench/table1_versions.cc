@@ -1,0 +1,67 @@
+// Table I: database and table version bookkeeping under the fine-grained
+// scheme — the exact six-transaction example of paper §IV-B, executed
+// against the real TableVersionTracker, printed in the paper's layout.
+
+#include <cstdio>
+
+#include "core/table_version_tracker.h"
+#include "core/version_tracker.h"
+
+namespace screp::bench {
+namespace {
+
+int Main() {
+  std::printf(
+      "\n================================================================\n"
+      "Table I: database and table versions (paper §IV-B example)\n"
+      "================================================================\n");
+  const TableId A = 0, B = 1, C = 2;
+  TableVersionTracker tracker(3);
+  VersionTracker system_version;
+
+  struct Step {
+    const char* txn;
+    const char* updated;
+    std::vector<TableId> tables;
+  };
+  const Step steps[] = {
+      {"T1", "A", {A}},    {"T2", "B,C", {B, C}}, {"T3", "B", {B}},
+      {"T4", "C", {C}},    {"T5", "B,C", {B, C}},
+  };
+
+  std::printf("%-5s %-14s %-9s %-6s %-6s %-6s\n", "Txn", "Updated tables",
+              "V_system", "V_A", "V_B", "V_C");
+  std::printf("%-5s %-14s %9lld %6lld %6lld %6lld\n", "-", "-",
+              static_cast<long long>(system_version.SystemVersion()),
+              static_cast<long long>(tracker.TableVersion(A)),
+              static_cast<long long>(tracker.TableVersion(B)),
+              static_cast<long long>(tracker.TableVersion(C)));
+  DbVersion v = 0;
+  for (const Step& step : steps) {
+    ++v;
+    tracker.OnCommit(v, step.tables);
+    system_version.OnCommitAcknowledged(v);
+    std::printf("%-5s %-14s %9lld %6lld %6lld %6lld\n", step.txn,
+                step.updated,
+                static_cast<long long>(system_version.SystemVersion()),
+                static_cast<long long>(tracker.TableVersion(A)),
+                static_cast<long long>(tracker.TableVersion(B)),
+                static_cast<long long>(tracker.TableVersion(C)));
+  }
+
+  // T6 accesses table A only.
+  std::printf(
+      "\nT6 accesses table A only:\n"
+      "  coarse-grained start requirement (V_system) = %lld\n"
+      "  fine-grained start requirement (max V_t, t in {A}) = %lld\n"
+      "  => any replica at V_local >= %lld can start T6 immediately.\n",
+      static_cast<long long>(system_version.RequiredVersion()),
+      static_cast<long long>(tracker.RequiredVersion({A})),
+      static_cast<long long>(tracker.RequiredVersion({A})));
+  return 0;
+}
+
+}  // namespace
+}  // namespace screp::bench
+
+int main() { return screp::bench::Main(); }

@@ -1,0 +1,58 @@
+// Side-by-side comparison of the four consistency configurations on the
+// paper's micro-benchmark: throughput, response time, per-stage latency,
+// and a consistency audit of the recorded history.
+
+#include <cstdio>
+
+#include "consistency/checker.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+using namespace screp;  // NOLINT — example code
+
+int main() {
+  std::printf(
+      "Micro-benchmark (4 tables x 10,000 rows, 25%% updates), 8 replicas,\n"
+      "8 back-to-back clients, 10 simulated seconds per configuration.\n\n");
+
+  std::printf("%s\n", ExperimentResult::Header().c_str());
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    MicroConfig micro;
+    micro.update_fraction = 0.25;
+    MicroWorkload workload(micro);
+
+    History history;
+    ExperimentConfig config;
+    config.system.level = level;
+    config.system.replica_count = 8;
+    config.client_count = 8;
+    config.warmup = Seconds(1);
+    config.duration = Seconds(10);
+    config.history = &history;
+
+    auto result = RunExperiment(workload, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->ToLine().c_str());
+
+    // Audit the actual execution history against the guarantee the
+    // configuration promises.
+    const bool strong = ProvidesStrongConsistency(level);
+    const CheckResult audit = CheckAll(history, strong);
+    std::printf("   [%s audit: %s]\n", strong ? "strong" : "session",
+                audit.ok ? "PASS" : "FAIL");
+    if (!audit.ok) {
+      std::printf("%s\n", audit.ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "\nReading the table: ESC pays a large 'global' stage on every\n"
+      "update; LSC/LFC shift the wait to a small 'version' stage at\n"
+      "transaction start and match SC's throughput while guaranteeing\n"
+      "strong consistency.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: stand up a 3-replica strongly consistent database, define a
+// schema and prepared transactions, run a few transactions, and watch the
+// replicas converge.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "replication/system.h"
+
+using namespace screp;  // NOLINT — example code
+
+namespace {
+
+// Every replica is populated identically by this builder.
+Status BuildSchema(Database* db) {
+  SCREP_ASSIGN_OR_RETURN(
+      TableId accounts,
+      db->CreateTable("accounts", Schema({{"id", ValueType::kInt64},
+                                          {"owner", ValueType::kString},
+                                          {"balance", ValueType::kInt64}})));
+  SCREP_RETURN_NOT_OK(
+      db->BulkLoad(accounts, {Value(1), Value("alice"), Value(1000)}));
+  SCREP_RETURN_NOT_OK(
+      db->BulkLoad(accounts, {Value(2), Value("bob"), Value(500)}));
+  return Status::OK();
+}
+
+// Prepared transactions: the fine-grained consistency scheme reads their
+// statically extracted table-sets from the catalog.
+Status DefineTransactions(const Database& db,
+                          sql::TransactionRegistry* registry) {
+  {
+    sql::PreparedTransaction txn;
+    txn.name = "deposit";
+    SCREP_ASSIGN_OR_RETURN(
+        auto stmt, sql::PreparedStatement::Prepare(
+                       db,
+                       "UPDATE accounts SET balance = balance + ? WHERE "
+                       "id = ?"));
+    txn.statements.push_back(std::move(stmt));
+    registry->Register(std::move(txn));
+  }
+  {
+    sql::PreparedTransaction txn;
+    txn.name = "check_balance";
+    SCREP_ASSIGN_OR_RETURN(
+        auto stmt,
+        sql::PreparedStatement::Prepare(
+            db, "SELECT owner, balance FROM accounts WHERE id = ?"));
+    txn.statements.push_back(std::move(stmt));
+    registry->Register(std::move(txn));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+
+  SystemConfig config;
+  config.replica_count = 3;
+  // Lazy coarse-grained strong consistency: commits return as soon as the
+  // local replica commits, yet every new transaction sees all
+  // acknowledged updates.
+  config.level = ConsistencyLevel::kLazyCoarse;
+
+  auto system_or =
+      ReplicatedSystem::Create(&sim, config, BuildSchema, DefineTransactions);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ReplicatedSystem> system = std::move(system_or).value();
+
+  system->SetClientCallback([&](const TxnResponse& r) {
+    std::printf("  txn %llu -> %s (replica %d, commit version %lld, "
+                "%.2f ms: %s)\n",
+                static_cast<unsigned long long>(r.txn_id),
+                TxnOutcomeName(r.outcome), r.replica,
+                static_cast<long long>(r.commit_version),
+                ToMillis(sim.Now() - r.submit_time),
+                r.stages.ToString().c_str());
+  });
+
+  auto submit = [&](const char* type, SessionId session,
+                    std::vector<std::vector<Value>> params) {
+    TxnRequest req;
+    req.txn_id = system->NextTxnId();
+    req.type = *system->registry().Find(type);
+    req.session = session;
+    req.client_id = 0;
+    req.params = std::move(params);
+    system->Submit(std::move(req));
+    sim.RunAll();  // run the event loop to completion
+  };
+
+  std::printf("depositing 250 into account 1 (session 1):\n");
+  submit("deposit", 1, {{Value(250), Value(1)}});
+
+  std::printf("reading balance from session 2 (different client!):\n");
+  submit("check_balance", 2, {{Value(1)}});
+
+  std::printf("\nreplica states after the run:\n");
+  for (int r = 0; r < system->replica_count(); ++r) {
+    Database* db = system->replica(r)->db();
+    auto txn = db->Begin();
+    auto accounts = db->FindTable("accounts");
+    auto row = txn->Get(*accounts, 1);
+    std::printf("  replica %d @ version %lld: account 1 balance = %lld\n",
+                r, static_cast<long long>(db->CommittedVersion()),
+                row.ok() ? static_cast<long long>((*row)[2].AsInt()) : -1);
+  }
+  std::printf(
+      "\nStrong consistency: the session-2 read observed session-1's\n"
+      "acknowledged deposit even though it ran on a different replica.\n");
+  return 0;
+}

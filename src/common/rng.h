@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation and the distributions the
+// workloads need.
+//
+// We use our own xoshiro256** generator rather than std::mt19937 so that
+// streams are cheap to fork per-client and results are identical across
+// standard-library implementations, which keeps every experiment
+// reproducible from a single seed.
+
+#ifndef SCREP_COMMON_RNG_H_
+#define SCREP_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace screp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng with the same seed produce the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread an arbitrary 64-bit seed over the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Forks an independent stream (for per-client generators).
+  Rng Fork() { return Rng(Next() ^ 0xd2b74407b1ce6e93ULL); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Pre-condition: bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    SCREP_CHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Pre-condition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    SCREP_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Negative-exponential variate with the given mean (client think times,
+  /// TPC-W spec clause 5.3.1.1).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Zipf-like skewed pick in [0, n) with exponent `theta` in [0,1).
+  /// theta = 0 degenerates to uniform. Uses the quantile approximation
+  /// u^(1/(1-theta)) which is adequate for workload skew.
+  uint64_t NextZipf(uint64_t n, double theta) {
+    SCREP_CHECK(n > 0);
+    if (theta <= 0.0) return NextBounded(n);
+    double u = NextDouble();
+    double v = std::pow(u, 1.0 / (1.0 - theta));
+    uint64_t k = static_cast<uint64_t>(v * static_cast<double>(n));
+    return k >= n ? n - 1 : k;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace screp
+
+#endif  // SCREP_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+// Virtual time used throughout the simulator and middleware.
+//
+// Time is an integer count of microseconds so that event ordering is exact
+// and runs are bit-for-bit reproducible (no floating-point drift).
+
+#ifndef SCREP_COMMON_SIM_TIME_H_
+#define SCREP_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace screp {
+
+/// A point in (or duration of) virtual time, in microseconds.
+using SimTime = int64_t;
+
+/// Duration helpers.
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(double ms) {
+  return static_cast<SimTime>(ms * 1000.0);
+}
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+
+/// Conversions for reporting.
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace screp
+
+#endif  // SCREP_COMMON_SIM_TIME_H_

@@ -1,0 +1,87 @@
+// Statistics accumulators used by the experiment harness: running moments
+// and a log-bucketed latency histogram with percentile queries.
+
+#ifndef SCREP_COMMON_STATS_H_
+#define SCREP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace screp {
+
+/// Running count / mean / min / max / variance (Welford's algorithm).
+class StatAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const StatAccumulator& other);
+
+  /// Discards all observations.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Population variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Latency histogram with geometrically sized buckets covering
+/// [1us, ~100s]; supports approximate percentiles with bounded relative
+/// error (~2%), in the spirit of the HdrHistogram used by db_bench.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one value (any non-negative quantity; typically microseconds).
+  void Add(double value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Discards all recordings.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Value at quantile q in [0, 1] (e.g. 0.99); 0 when empty.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  /// One-line summary: count / mean / p50 / p95 / p99 / max.
+  std::string Summary() const;
+
+ private:
+  /// Index of the bucket containing `value`.
+  static size_t BucketFor(double value);
+  /// Representative (upper bound) value of a bucket.
+  static double BucketUpper(size_t index);
+
+  static constexpr size_t kNumBuckets = 512;
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_COMMON_STATS_H_

@@ -1,0 +1,39 @@
+// Identifier types shared across modules.
+
+#ifndef SCREP_COMMON_TYPES_H_
+#define SCREP_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace screp {
+
+/// Global database version, as maintained by the certifier.  The database
+/// starts at version 0 and the version is incremented each time an update
+/// transaction commits (paper §IV).
+using DbVersion = int64_t;
+
+/// Sentinel: "no version requirement".
+constexpr DbVersion kNoVersion = -1;
+
+/// Globally unique transaction identifier (assigned by the middleware).
+using TxnId = uint64_t;
+
+/// Dense table identifier within a Database.
+using TableId = int32_t;
+
+/// Replica identifier (index into the system's replica list).
+using ReplicaId = int32_t;
+constexpr ReplicaId kNoReplica = -1;
+
+/// Client session identifier (SID in the paper).
+using SessionId = uint64_t;
+
+/// Identifier of a registered transaction *type* (prepared transaction);
+/// clients tag requests with it so the load balancer can look up the
+/// statically extracted table-set (paper §IV-B).
+using TxnTypeId = int32_t;
+constexpr TxnTypeId kUnknownTxnType = -1;
+
+}  // namespace screp
+
+#endif  // SCREP_COMMON_TYPES_H_

@@ -1,0 +1,267 @@
+#include "consistency/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace screp {
+
+namespace {
+constexpr size_t kMaxReportedViolations = 20;
+
+bool IntersectsTables(const std::vector<TableId>& written,
+                      const std::vector<TableId>& accessed) {
+  for (TableId w : written) {
+    if (std::find(accessed.begin(), accessed.end(), w) != accessed.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+void CheckResult::AddViolation(std::string description) {
+  ok = false;
+  if (violations.size() < kMaxReportedViolations) {
+    violations.push_back(std::move(description));
+  }
+}
+
+std::string CheckResult::ToString() const {
+  std::string out = ok ? "OK" : "VIOLATIONS";
+  out += " (examined " + std::to_string(examined) + ")";
+  for (const std::string& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+CheckResult CheckStrongConsistency(const History& history) {
+  CheckResult result;
+  const auto updates = history.CommittedUpdates();
+  for (const TxnRecord& tj : history.records()) {
+    if (!tj.committed) continue;
+    for (const TxnRecord* ti : updates) {
+      if (ti->id == tj.id) continue;
+      // Real-time order: T_i acknowledged before T_j was submitted.
+      if (ti->ack_time > tj.submit_time) continue;
+      ++result.examined;
+      if (tj.snapshot >= ti->commit_version) continue;
+      // T_j read an older snapshot; that is only view-equivalent to a
+      // history with T_i first when T_j cannot observe T_i at all.
+      if (!IntersectsTables(ti->tables_written, tj.table_set)) continue;
+      result.AddViolation(
+          "txn " + std::to_string(tj.id) + " (snapshot " +
+          std::to_string(tj.snapshot) + ", submitted at " +
+          std::to_string(tj.submit_time) + ") misses txn " +
+          std::to_string(ti->id) + " committed @" +
+          std::to_string(ti->commit_version) + " acked at " +
+          std::to_string(ti->ack_time) + " writing an accessed table");
+    }
+  }
+  return result;
+}
+
+CheckResult CheckSessionConsistency(const History& history) {
+  CheckResult result;
+  // Definition 2 exactly: for a same-session pair where T_i was
+  // acknowledged before T_j was submitted and T_i committed an update,
+  // T_j must observe T_i on every table T_j accesses (the same
+  // view-equivalence slack as the strong checker: updates to tables T_j
+  // never touches are unobservable and impose no ordering).
+  std::map<SessionId, std::vector<const TxnRecord*>> by_session;
+  for (const TxnRecord& r : history.records()) {
+    if (r.committed) by_session[r.session].push_back(&r);
+  }
+  for (auto& [session, txns] : by_session) {
+    for (const TxnRecord* tj : txns) {
+      for (const TxnRecord* ti : txns) {
+        if (ti->id == tj->id || ti->read_only) continue;
+        if (ti->ack_time > tj->submit_time) continue;
+        ++result.examined;
+        if (tj->snapshot >= ti->commit_version) continue;
+        if (!IntersectsTables(ti->tables_written, tj->table_set)) continue;
+        result.AddViolation(
+            "session " + std::to_string(session) + " txn " +
+            std::to_string(tj->id) + " (snapshot " +
+            std::to_string(tj->snapshot) + ") misses own session's txn " +
+            std::to_string(ti->id) + " @" +
+            std::to_string(ti->commit_version) +
+            " writing an accessed table");
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult CheckMonotonicSessionSnapshots(const History& history) {
+  CheckResult result;
+  std::map<DbVersion, const TxnRecord*> by_version;
+  for (const TxnRecord* u : history.CommittedUpdates()) {
+    by_version[u->commit_version] = u;
+  }
+  // Does any committed update in (snapshot, horizon] write `table`?
+  auto observable_gap = [&](DbVersion snapshot, DbVersion horizon,
+                            TableId table) -> const TxnRecord* {
+    for (auto it = by_version.upper_bound(snapshot);
+         it != by_version.end() && it->first <= horizon; ++it) {
+      const auto& written = it->second->tables_written;
+      if (std::find(written.begin(), written.end(), table) !=
+          written.end()) {
+        return it->second;
+      }
+    }
+    return nullptr;
+  };
+
+  std::map<SessionId, std::vector<const TxnRecord*>> by_session;
+  for (const TxnRecord& r : history.records()) {
+    if (r.committed) by_session[r.session].push_back(&r);
+  }
+  for (auto& [session, txns] : by_session) {
+    std::sort(txns.begin(), txns.end(),
+              [](const TxnRecord* a, const TxnRecord* b) {
+                return a->submit_time < b->submit_time;
+              });
+    for (size_t j = 0; j < txns.size(); ++j) {
+      const TxnRecord* tj = txns[j];
+      ++result.examined;
+      // Per-table horizon from transactions whose results the client had
+      // seen before submitting t_j.
+      for (TableId table : tj->table_set) {
+        DbVersion horizon = 0;
+        for (size_t i = 0; i < txns.size(); ++i) {
+          const TxnRecord* ti = txns[i];
+          if (ti->id == tj->id || ti->ack_time > tj->submit_time) continue;
+          const auto& ts = ti->table_set;
+          if (std::find(ts.begin(), ts.end(), table) != ts.end()) {
+            horizon = std::max(horizon, ti->snapshot);
+          }
+          const auto& tw = ti->tables_written;
+          if (std::find(tw.begin(), tw.end(), table) != tw.end() &&
+              ti->commit_version != kNoVersion) {
+            horizon = std::max(horizon, ti->commit_version);
+          }
+        }
+        if (tj->snapshot >= horizon) continue;
+        if (const TxnRecord* missed =
+                observable_gap(tj->snapshot, horizon, table)) {
+          result.AddViolation(
+              "session " + std::to_string(session) + " txn " +
+              std::to_string(tj->id) + " snapshot " +
+              std::to_string(tj->snapshot) +
+              " observably regresses on table " + std::to_string(table) +
+              ": misses txn " + std::to_string(missed->id) + " @" +
+              std::to_string(missed->commit_version) + " (horizon " +
+              std::to_string(horizon) + ")");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult CheckFirstCommitterWins(const History& history) {
+  CheckResult result;
+  const auto updates = history.CommittedUpdates();
+  for (size_t i = 0; i < updates.size(); ++i) {
+    for (size_t j = i + 1; j < updates.size(); ++j) {
+      const TxnRecord* a = updates[i];
+      const TxnRecord* b = updates[j];  // commit(a) < commit(b)
+      // Concurrent iff b started before a committed: snapshot(b) < commit(a).
+      if (b->snapshot >= a->commit_version) continue;
+      ++result.examined;
+      // Overlapping writesets?
+      bool overlap = false;
+      for (const auto& ka : a->keys_written) {
+        for (const auto& kb : b->keys_written) {
+          if (ka == kb) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) break;
+      }
+      if (overlap) {
+        result.AddViolation(
+            "first-committer-wins violated: concurrent txns " +
+            std::to_string(a->id) + " @" +
+            std::to_string(a->commit_version) + " and " +
+            std::to_string(b->id) + " @" +
+            std::to_string(b->commit_version) + " overlap");
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult CheckCommitTotalOrder(const History& history) {
+  CheckResult result;
+  const auto updates = history.CommittedUpdates();
+  DbVersion max_version = 0;
+  std::unordered_set<DbVersion> seen;
+  for (const TxnRecord* t : updates) {
+    ++result.examined;
+    if (t->commit_version <= 0) {
+      result.AddViolation("txn " + std::to_string(t->id) +
+                          " committed with non-positive version");
+      continue;
+    }
+    if (!seen.insert(t->commit_version).second) {
+      result.AddViolation("duplicate commit version " +
+                          std::to_string(t->commit_version));
+    }
+    max_version = std::max(max_version, t->commit_version);
+    if (t->snapshot >= t->commit_version) {
+      result.AddViolation("txn " + std::to_string(t->id) + " snapshot " +
+                          std::to_string(t->snapshot) +
+                          " not before its commit version " +
+                          std::to_string(t->commit_version));
+    }
+  }
+  // Versions observed by this history's clients may not start at 1 if the
+  // system ran before recording started, so only density within the
+  // recorded window is required.
+  if (!updates.empty()) {
+    const DbVersion lo = updates.front()->commit_version;
+    if (static_cast<DbVersion>(seen.size()) != max_version - lo + 1) {
+      result.AddViolation("commit versions not dense: " +
+                          std::to_string(seen.size()) + " versions in [" +
+                          std::to_string(lo) + ", " +
+                          std::to_string(max_version) + "]");
+    }
+  }
+  // Every snapshot must correspond to a version that existed: snapshots
+  // are bounded by the largest commit version.
+  for (const TxnRecord& r : history.records()) {
+    if (r.snapshot > max_version && !(r.snapshot == 0 && max_version == 0)) {
+      result.AddViolation("txn " + std::to_string(r.id) +
+                          " read snapshot " + std::to_string(r.snapshot) +
+                          " beyond last commit " +
+                          std::to_string(max_version));
+    }
+  }
+  return result;
+}
+
+CheckResult CheckAll(const History& history, bool expect_strong) {
+  CheckResult merged;
+  auto absorb = [&merged](const CheckResult& r) {
+    merged.examined += r.examined;
+    if (!r.ok) {
+      merged.ok = false;
+      for (const std::string& v : r.violations) {
+        if (merged.violations.size() < kMaxReportedViolations) {
+          merged.violations.push_back(v);
+        }
+      }
+    }
+  };
+  if (expect_strong) absorb(CheckStrongConsistency(history));
+  absorb(CheckSessionConsistency(history));
+  absorb(CheckFirstCommitterWins(history));
+  absorb(CheckCommitTotalOrder(history));
+  return merged;
+}
+
+}  // namespace screp

@@ -1,0 +1,35 @@
+#include "consistency/history.h"
+
+#include <algorithm>
+
+namespace screp {
+
+std::string TxnRecord::ToString() const {
+  std::string out = "txn " + std::to_string(id) + " [session " +
+                    std::to_string(session) + ", replica " +
+                    std::to_string(replica) + "] snapshot=" +
+                    std::to_string(snapshot);
+  if (committed) {
+    out += read_only ? " committed (read-only)"
+                     : " committed @" + std::to_string(commit_version);
+  } else {
+    out += " aborted";
+  }
+  out += " submit=" + std::to_string(submit_time) +
+         " ack=" + std::to_string(ack_time);
+  return out;
+}
+
+std::vector<const TxnRecord*> History::CommittedUpdates() const {
+  std::vector<const TxnRecord*> out;
+  for (const TxnRecord& r : records_) {
+    if (r.committed && !r.read_only) out.push_back(&r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TxnRecord* a, const TxnRecord* b) {
+              return a->commit_version < b->commit_version;
+            });
+  return out;
+}
+
+}  // namespace screp

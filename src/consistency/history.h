@@ -1,0 +1,73 @@
+// Execution histories for consistency checking.
+//
+// The replicated system (when given a History sink) records one record per
+// client transaction: when it was submitted and acknowledged in real
+// (virtual) time, which snapshot it read, which version it committed at,
+// and what it declared/wrote.  The checkers in checker.h then verify the
+// paper's Definitions 1 and 2 plus snapshot-isolation invariants against
+// the recorded history.
+
+#ifndef SCREP_CONSISTENCY_HISTORY_H_
+#define SCREP_CONSISTENCY_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace screp {
+
+/// Everything the checkers need to know about one transaction.
+struct TxnRecord {
+  TxnId id = 0;
+  SessionId session = 0;
+  ReplicaId replica = kNoReplica;
+
+  /// Client sent the request (by this point the client may have observed
+  /// other transactions' acknowledgments, including via hidden channels).
+  SimTime submit_time = 0;
+  /// BEGIN executed at the replica — the snapshot was taken here.
+  SimTime start_time = 0;
+  /// Client received the commit (or abort) acknowledgment.
+  SimTime ack_time = 0;
+
+  /// Database version the transaction read at.
+  DbVersion snapshot = 0;
+  /// Version assigned by the certifier; kNoVersion for read-only or
+  /// aborted transactions.
+  DbVersion commit_version = kNoVersion;
+
+  bool committed = false;
+  bool read_only = true;
+
+  /// Tables the transaction's type statically declares it accesses.
+  std::vector<TableId> table_set;
+  /// Tables actually written (subset of table_set for committed updates).
+  std::vector<TableId> tables_written;
+  /// Record-level writes, for write-write conflict checking.
+  std::vector<std::pair<TableId, int64_t>> keys_written;
+
+  std::string ToString() const;
+};
+
+/// An append-only collection of transaction records.
+class History {
+ public:
+  void Add(TxnRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<TxnRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  /// Committed update transactions, sorted by commit version.
+  std::vector<const TxnRecord*> CommittedUpdates() const;
+
+ private:
+  std::vector<TxnRecord> records_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_CONSISTENCY_HISTORY_H_

@@ -1,0 +1,60 @@
+#include "core/consistency_level.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace screp {
+
+const char* ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kEager:
+      return "ESC";
+    case ConsistencyLevel::kLazyCoarse:
+      return "LSC";
+    case ConsistencyLevel::kLazyFine:
+      return "LFC";
+    case ConsistencyLevel::kSession:
+      return "SC";
+    case ConsistencyLevel::kBoundedStaleness:
+      return "BSC";
+  }
+  return "?";
+}
+
+const char* ConsistencyLevelDescription(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kEager:
+      return "eager strong consistency";
+    case ConsistencyLevel::kLazyCoarse:
+      return "lazy coarse-grained strong consistency";
+    case ConsistencyLevel::kLazyFine:
+      return "lazy fine-grained strong consistency";
+    case ConsistencyLevel::kSession:
+      return "session consistency";
+    case ConsistencyLevel::kBoundedStaleness:
+      return "bounded staleness (relaxed currency)";
+  }
+  return "?";
+}
+
+Result<ConsistencyLevel> ParseConsistencyLevel(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  if (upper == "ESC" || upper == "EAGER") return ConsistencyLevel::kEager;
+  if (upper == "LSC" || upper == "COARSE") return ConsistencyLevel::kLazyCoarse;
+  if (upper == "LFC" || upper == "FINE") return ConsistencyLevel::kLazyFine;
+  if (upper == "SC" || upper == "SESSION") return ConsistencyLevel::kSession;
+  if (upper == "BSC" || upper == "BOUNDED") {
+    return ConsistencyLevel::kBoundedStaleness;
+  }
+  return Status::InvalidArgument("unknown consistency level '" + name + "'");
+}
+
+bool ProvidesStrongConsistency(ConsistencyLevel level) {
+  return level != ConsistencyLevel::kSession &&
+         level != ConsistencyLevel::kBoundedStaleness;
+}
+
+}  // namespace screp

@@ -1,0 +1,47 @@
+// Session-version accounting for session consistency (paper §IV-C,
+// following Daudjee & Salem's lazy replication with ordering guarantees).
+//
+// The load balancer maps each session id to the V_local its last
+// transaction committed at; a new transaction from the same session is
+// tagged with that version so the client sees monotonically increasing
+// database snapshots and always observes its own updates.
+
+#ifndef SCREP_CORE_SESSION_TRACKER_H_
+#define SCREP_CORE_SESSION_TRACKER_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace screp {
+
+/// SID -> latest acknowledged version dictionary.
+class SessionTracker {
+ public:
+  /// Records that `session`'s transaction committed while the replica was
+  /// at `v_local`. Monotone per session.
+  void OnCommitAcknowledged(SessionId session, DbVersion v_local) {
+    DbVersion& v = sessions_[session];
+    if (v_local > v) v = v_local;
+  }
+
+  /// V_session a new transaction from `session` must wait for (0 for a
+  /// session with no history).
+  DbVersion RequiredVersion(SessionId session) const {
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? 0 : it->second;
+  }
+
+  /// Forgets a session (client disconnect).
+  void EndSession(SessionId session) { sessions_.erase(session); }
+
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
+  std::unordered_map<SessionId, DbVersion> sessions_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_CORE_SESSION_TRACKER_H_

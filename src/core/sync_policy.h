@@ -1,0 +1,111 @@
+// SyncPolicy — the load balancer's version-tagging brain.
+//
+// This class combines the trackers (V_system, per-table V_t, session map)
+// and answers the two questions the load balancer asks on every message:
+//
+//  * request path:  with what version requirement do I tag this new
+//    transaction? (paper §IV-A/B/C; eager tags nothing)
+//  * response path: which trackers advance when a commit acknowledgment
+//    (tagged with V_local and the written tables' new versions) flows back
+//    to the client?
+//
+// Keeping this logic in one policy object is what lets the same load
+// balancer run any of the four consistency configurations.
+
+#ifndef SCREP_CORE_SYNC_POLICY_H_
+#define SCREP_CORE_SYNC_POLICY_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/consistency_level.h"
+#include "core/session_tracker.h"
+#include "core/table_version_tracker.h"
+#include "core/version_tracker.h"
+
+namespace screp {
+
+/// Per-level synchronization policy for transaction starts.
+class SyncPolicy {
+ public:
+  SyncPolicy(ConsistencyLevel level, size_t table_count,
+             DbVersion staleness_bound = 0)
+      : level_(level),
+        staleness_bound_(staleness_bound),
+        table_versions_(table_count) {}
+
+  ConsistencyLevel level() const { return level_; }
+  DbVersion staleness_bound() const { return staleness_bound_; }
+
+  /// Fail-over recovery: a freshly promoted load balancer has lost the
+  /// soft tracker state, so it must not *under*-synchronize. Setting a
+  /// conservative floor (the certifier's current commit version) makes
+  /// every non-eager requirement at least `floor` — over-waiting is safe,
+  /// under-waiting would silently weaken the guarantee.
+  void SetConservativeFloor(DbVersion floor) {
+    conservative_floor_ = std::max(conservative_floor_, floor);
+    system_version_.OnCommitAcknowledged(floor);
+  }
+  DbVersion conservative_floor() const { return conservative_floor_; }
+
+  /// The version the destination replica must reach before starting a
+  /// transaction from `session` with the given table-set.
+  /// Returns 0 ("start immediately") under the eager scheme, where
+  /// synchronization happens at commit instead.
+  DbVersion RequiredStartVersion(SessionId session,
+                                 const std::vector<TableId>& table_set) const {
+    switch (level_) {
+      case ConsistencyLevel::kEager:
+        return 0;  // synchronization happens at commit instead
+      case ConsistencyLevel::kLazyCoarse:
+        return std::max(conservative_floor_,
+                        system_version_.RequiredVersion());
+      case ConsistencyLevel::kLazyFine:
+        return std::max(conservative_floor_,
+                        table_versions_.RequiredVersion(table_set));
+      case ConsistencyLevel::kSession:
+        return std::max(conservative_floor_,
+                        sessions_.RequiredVersion(session));
+      case ConsistencyLevel::kBoundedStaleness: {
+        const DbVersion v = std::max(conservative_floor_,
+                                     system_version_.RequiredVersion());
+        return v > staleness_bound_ ? v - staleness_bound_ : 0;
+      }
+    }
+    return 0;
+  }
+
+  /// Processes a commit acknowledgment flowing back through the load
+  /// balancer: `v_local` is the replica's database version when it
+  /// committed, `written_table_versions` the (table, new V_t) pairs for
+  /// tables the transaction wrote (empty for read-only transactions).
+  void OnCommitAcknowledged(
+      SessionId session, DbVersion v_local,
+      const std::vector<std::pair<TableId, DbVersion>>&
+          written_table_versions) {
+    // All trackers are maintained regardless of level: they are cheap,
+    // and experiments can then report e.g. "how stale would SC have been"
+    // under any configuration.
+    system_version_.OnCommitAcknowledged(v_local);
+    table_versions_.Merge(written_table_versions);
+    sessions_.OnCommitAcknowledged(session, v_local);
+  }
+
+  const VersionTracker& system_version() const { return system_version_; }
+  const TableVersionTracker& table_versions() const {
+    return table_versions_;
+  }
+  const SessionTracker& sessions() const { return sessions_; }
+
+ private:
+  ConsistencyLevel level_;
+  DbVersion staleness_bound_;
+  DbVersion conservative_floor_ = 0;
+  VersionTracker system_version_;
+  TableVersionTracker table_versions_;
+  SessionTracker sessions_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_CORE_SYNC_POLICY_H_

@@ -1,0 +1,5 @@
+#include "core/table_version_tracker.h"
+
+// Header-only; see version_tracker.cc for rationale.
+
+namespace screp {}  // namespace screp

@@ -1,0 +1,86 @@
+// Per-table version tracking for the lazy fine-grained scheme (paper
+// §IV-B, Table I).
+//
+// For each table t the tracker maintains V_t, the database version of the
+// latest committed transaction that *wrote* t.  A new transaction with
+// table-set TS only needs its replica to reach
+//     V_start = max { V_t : t in TS },
+// which can be far below V_system when the transaction touches cold or
+// read-mostly tables — this is exactly the flexibility that shrinks the
+// synchronization start delay.
+
+#ifndef SCREP_CORE_TABLE_VERSION_TRACKER_H_
+#define SCREP_CORE_TABLE_VERSION_TRACKER_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace screp {
+
+/// Tracks V_t for a dense set of table ids [0, table_count).
+class TableVersionTracker {
+ public:
+  TableVersionTracker() = default;
+
+  /// All V_t start at 0 (the paper's Table I convention).
+  explicit TableVersionTracker(size_t table_count)
+      : versions_(table_count, 0) {}
+
+  /// Grows to cover at least `table_count` tables.
+  void EnsureTables(size_t table_count) {
+    if (versions_.size() < table_count) versions_.resize(table_count, 0);
+  }
+
+  size_t table_count() const { return versions_.size(); }
+
+  /// Current V_t for one table.
+  DbVersion TableVersion(TableId table) const {
+    SCREP_CHECK(table >= 0 &&
+                static_cast<size_t>(table) < versions_.size());
+    return versions_[static_cast<size_t>(table)];
+  }
+
+  /// Records that a transaction committed at `commit_version` writing
+  /// `tables_written`: V_t <- commit_version for each written table.
+  /// Only *written* tables advance — a transaction's table-set may include
+  /// read-only accesses which leave V_t untouched (paper §IV-B).
+  void OnCommit(DbVersion commit_version,
+                const std::vector<TableId>& tables_written) {
+    for (TableId t : tables_written) {
+      SCREP_CHECK(t >= 0 && static_cast<size_t>(t) < versions_.size());
+      DbVersion& v = versions_[static_cast<size_t>(t)];
+      if (commit_version > v) v = commit_version;
+    }
+  }
+
+  /// Merges externally observed table versions (piggybacked on replica
+  /// responses), monotonically.
+  void Merge(const std::vector<std::pair<TableId, DbVersion>>& updates) {
+    for (const auto& [t, version] : updates) {
+      SCREP_CHECK(t >= 0);
+      EnsureTables(static_cast<size_t>(t) + 1);
+      DbVersion& v = versions_[static_cast<size_t>(t)];
+      if (version > v) v = version;
+    }
+  }
+
+  /// V_start for a transaction accessing `table_set`: the highest V_t
+  /// among them; 0 when the table-set is empty or all tables are cold.
+  DbVersion RequiredVersion(const std::vector<TableId>& table_set) const {
+    DbVersion required = 0;
+    for (TableId t : table_set) {
+      SCREP_CHECK(t >= 0 && static_cast<size_t>(t) < versions_.size());
+      required = std::max(required, versions_[static_cast<size_t>(t)]);
+    }
+    return required;
+  }
+
+ private:
+  std::vector<DbVersion> versions_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_CORE_TABLE_VERSION_TRACKER_H_

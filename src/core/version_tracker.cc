@@ -1,0 +1,6 @@
+#include "core/version_tracker.h"
+
+// Header-only; this translation unit exists so the target has a symbol for
+// every module and the header stays self-checked for includes.
+
+namespace screp {}  // namespace screp

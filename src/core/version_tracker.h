@@ -1,0 +1,39 @@
+// V_system tracking for the lazy coarse-grained scheme (paper §IV-A).
+//
+// The load balancer maintains V_system, "the database version of the
+// latest transaction committed and acknowledged to the clients".  A new
+// transaction is tagged with the current V_system; its replica must reach
+// V_local >= V_system before starting it, which guarantees the
+// transaction observes every update any client has been told about.
+
+#ifndef SCREP_CORE_VERSION_TRACKER_H_
+#define SCREP_CORE_VERSION_TRACKER_H_
+
+#include "common/types.h"
+
+namespace screp {
+
+/// Tracks the system-wide acknowledged database version.
+class VersionTracker {
+ public:
+  /// Current V_system.
+  DbVersion SystemVersion() const { return v_system_; }
+
+  /// Called when a replica's commit acknowledgment (tagged with the
+  /// replica's V_local) passes through the load balancer on its way to the
+  /// client. Monotone: stale acknowledgments never move V_system back.
+  void OnCommitAcknowledged(DbVersion v_local) {
+    if (v_local > v_system_) v_system_ = v_local;
+  }
+
+  /// Version a new transaction must wait for under the coarse-grained
+  /// scheme: everything acknowledged so far.
+  DbVersion RequiredVersion() const { return v_system_; }
+
+ private:
+  DbVersion v_system_ = 0;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_CORE_VERSION_TRACKER_H_

@@ -1,0 +1,192 @@
+#include "replication/certifier.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace screp {
+
+Certifier::Certifier(Simulator* sim, CertifierConfig config,
+                     int replica_count, bool eager)
+    : sim_(sim),
+      config_(config),
+      replica_count_(replica_count),
+      eager_(eager),
+      cpu_(sim, "certifier-cpu", 1),
+      disk_(sim, "certifier-disk", 1),
+      eager_tracker_(replica_count),
+      replica_down_(static_cast<size_t>(replica_count), false) {}
+
+void Certifier::SubmitCertification(WriteSet ws) {
+  SCREP_CHECK_MSG(!ws.empty(), "read-only writesets never reach the certifier");
+  SCREP_CHECK(ws.origin != kNoReplica);
+  // Single CPU server => certifications are processed in arrival order,
+  // which keeps version assignment deterministic.
+  cpu_.Submit(config_.certify_cpu_time, [this, ws = std::move(ws)]() mutable {
+    Certify(std::move(ws));
+  });
+}
+
+void Certifier::Certify(WriteSet ws) {
+  // Idempotence: a transaction re-submitted after a certifier failover
+  // (or a duplicated message) gets its original decision.
+  if (auto it = decided_.find(ws.txn_id); it != decided_.end()) {
+    if (!muted_) decision_cb_(ws.origin, it->second);
+    return;
+  }
+  // Forward to the standby BEFORE any decision can be announced, so the
+  // standby's deterministic state always covers everything the replicas
+  // may have observed (synchronous state-machine replication).
+  if (forward_cb_) forward_cb_(ws);
+  // Conservative abort when the snapshot predates the retained window.
+  const DbVersion window_start =
+      recent_.empty() ? 0 : recent_.front().commit_version - 1;
+  if (ws.snapshot_version < window_start) {
+    ++window_aborts_;
+    ++aborts_;
+    CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
+    decided_[ws.txn_id] = decision;
+    if (!muted_) decision_cb_(ws.origin, decision);
+    return;
+  }
+  // First-committer-wins: conflict with any writeset committed after this
+  // transaction's snapshot aborts it. recent_ is ascending by version, so
+  // scan from the back and stop at the snapshot. Serializable mode also
+  // aborts read-write conflicts (this transaction read data a concurrent
+  // committed transaction wrote).
+  const bool serializable =
+      config_.mode == CertificationMode::kSerializable;
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->commit_version <= ws.snapshot_version) break;
+    const bool ww = ws.ConflictsWith(*it);
+    const bool rw = serializable && ws.ReadsConflictWith(*it);
+    if (ww || rw) {
+      ++aborts_;
+      if (!ww && rw) ++rw_aborts_;
+      CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
+      decided_[ws.txn_id] = decision;
+      if (!muted_) decision_cb_(ws.origin, decision);
+      return;
+    }
+  }
+  // Commit: assign the next version in the global total order.
+  ws.commit_version = ++v_commit_;
+  ++certified_;
+  decided_[ws.txn_id] =
+      CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version};
+  recent_.push_back(ws);
+  while (recent_.size() > config_.conflict_window) recent_.pop_front();
+  if (eager_) {
+    eager_tracker_.OnCertified(ws.txn_id);
+    eager_origins_[ws.txn_id] = ws.origin;
+  }
+  MakeDurableAndAnnounce(std::move(ws));
+}
+
+void Certifier::MakeDurableAndAnnounce(WriteSet ws) {
+  // Group commit: batch decisions while a force is in flight; the next
+  // force covers the whole batch with a single disk write.
+  force_batch_.push_back(std::move(ws));
+  if (force_in_flight_) return;
+  force_in_flight_ = true;
+  auto force_next = std::make_shared<std::function<void()>>();
+  *force_next = [this, force_next]() {
+    std::vector<WriteSet> batch;
+    batch.swap(force_batch_);
+    disk_.Submit(config_.log_force_time, [this, batch = std::move(batch),
+                                          force_next]() {
+      for (const WriteSet& ws : batch) {
+        wal_.Append(ws, /*force=*/true);
+        Announce(ws);
+      }
+      if (!force_batch_.empty()) {
+        (*force_next)();
+      } else {
+        force_in_flight_ = false;
+      }
+    });
+  };
+  (*force_next)();
+}
+
+void Certifier::Announce(const WriteSet& ws) {
+  if (muted_) return;  // standby: identical state, silent channels
+  CertDecision decision{ws.txn_id, /*commit=*/true, ws.commit_version};
+  decision_cb_(ws.origin, decision);
+  for (ReplicaId r = 0; r < replica_count_; ++r) {
+    if (r == ws.origin) continue;
+    if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
+    refresh_cb_(r, ws);
+  }
+}
+
+void Certifier::MarkReplicaDown(ReplicaId replica) {
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  if (replica_down_[static_cast<size_t>(replica)]) return;
+  replica_down_[static_cast<size_t>(replica)] = true;
+  if (!eager_) return;
+  int active = 0;
+  for (bool down : replica_down_) active += down ? 0 : 1;
+  SCREP_CHECK_MSG(active >= 1, "all replicas down");
+  // Lowering the bar may complete pending global commits.
+  for (TxnId txn : eager_tracker_.SetActiveReplicaCount(active)) {
+    auto it = eager_origins_.find(txn);
+    SCREP_CHECK(it != eager_origins_.end());
+    const ReplicaId origin = it->second;
+    eager_origins_.erase(it);
+    // The origin itself may be the crashed replica; its client will be
+    // told of the failure by the load balancer instead.
+    if (origin != replica) global_commit_cb_(origin, txn);
+  }
+}
+
+void Certifier::MarkReplicaUp(ReplicaId replica) {
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  if (!replica_down_[static_cast<size_t>(replica)]) return;
+  replica_down_[static_cast<size_t>(replica)] = false;
+  if (!eager_) return;
+  int active = 0;
+  for (bool down : replica_down_) active += down ? 0 : 1;
+  // Raising the bar never completes anything.
+  (void)eager_tracker_.SetActiveReplicaCount(active);
+}
+
+bool Certifier::IsReplicaDown(ReplicaId replica) const {
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  return replica_down_[static_cast<size_t>(replica)];
+}
+
+Status Certifier::FetchSince(
+    DbVersion from,
+    const std::function<void(const WriteSet&)>& sink) const {
+  if (from >= v_commit_) return Status::OK();
+  const DbVersion window_start =
+      recent_.empty() ? v_commit_ + 1 : recent_.front().commit_version;
+  if (from + 1 >= window_start) {
+    for (const WriteSet& ws : recent_) {
+      if (ws.commit_version > from) sink(ws);
+    }
+    return Status::OK();
+  }
+  // The window no longer covers the requested range: decode the durable
+  // log (recovery is rare, so the full scan is acceptable).
+  std::vector<WriteSet> log;
+  SCREP_RETURN_NOT_OK(wal_.ReadAll(&log));
+  for (const WriteSet& ws : log) {
+    if (ws.commit_version > from) sink(ws);
+  }
+  return Status::OK();
+}
+
+void Certifier::NotifyReplicaCommitted(TxnId txn) {
+  if (!eager_) return;
+  if (eager_tracker_.OnReplicaCommitted(txn)) {
+    auto it = eager_origins_.find(txn);
+    SCREP_CHECK(it != eager_origins_.end());
+    const ReplicaId origin = it->second;
+    eager_origins_.erase(it);
+    if (!muted_) global_commit_cb_(origin, txn);
+  }
+}
+
+}  // namespace screp

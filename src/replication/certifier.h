@@ -1,0 +1,191 @@
+// The certifier (paper §IV, following Tashkent): decides update-transaction
+// commits, maintains the global commit order, makes decisions durable, and
+// fans refresh writesets out to the other replicas.
+//
+// Certification is first-committer-wins over writesets: a transaction T can
+// commit iff its writeset does not write-conflict with the writesets of
+// transactions that committed since T's snapshot.  Commit versions are
+// dense: V_commit increases by one per certified commit.
+//
+// Durability is enforced here (replicas run with log forcing off): each
+// certified writeset is appended to the certifier's WAL and forced to a
+// simulated disk.  Forces are group-committed — all decisions waiting while
+// the disk is busy share the next force.
+//
+// In the eager configuration the certifier additionally counts per-replica
+// commit notifications and tells the originating replica when a
+// transaction is *globally* committed (§IV-D).
+
+#ifndef SCREP_REPLICATION_CERTIFIER_H_
+#define SCREP_REPLICATION_CERTIFIER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/eager_tracker.h"
+#include "replication/message.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "storage/wal.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+/// What certification guarantees (paper §IV: the prototype provides GSI;
+/// the serializable mode additionally aborts read-write conflicts, the
+/// standard upgrade for workloads that are not serializable under SI).
+enum class CertificationMode {
+  /// Generalized snapshot isolation: first-committer-wins on write-write
+  /// conflicts only.
+  kGsi = 0,
+  /// Update-serializability: additionally aborts a transaction whose
+  /// *read set* intersects the writes of transactions committed since its
+  /// snapshot (write-skew / phantom protection).
+  kSerializable,
+};
+
+/// Tuning knobs for the certifier.
+struct CertifierConfig {
+  /// CPU time to certify one writeset (conflict check + bookkeeping).
+  SimTime certify_cpu_time = Micros(120);
+  /// Disk time for one forced log write (shared by a group-commit batch).
+  SimTime log_force_time = Millis(0.8);
+  /// Certification guarantee.
+  CertificationMode mode = CertificationMode::kGsi;
+  /// How many recent committed writesets are retained for conflict
+  /// checking; transactions with snapshots older than the window are
+  /// conservatively aborted (does not occur in practice).
+  size_t conflict_window = 100000;
+};
+
+/// Central certification service.
+class Certifier {
+ public:
+  using DecisionCallback =
+      std::function<void(ReplicaId origin, const CertDecision&)>;
+  using RefreshCallback =
+      std::function<void(ReplicaId target, const WriteSet&)>;
+  using GlobalCommitCallback =
+      std::function<void(ReplicaId origin, TxnId txn)>;
+  using ForwardCallback = std::function<void(const WriteSet&)>;
+
+  Certifier(Simulator* sim, CertifierConfig config, int replica_count,
+            bool eager);
+
+  /// Wires the decision channel back to replica proxies.
+  void SetDecisionCallback(DecisionCallback cb) {
+    decision_cb_ = std::move(cb);
+  }
+  /// Wires the refresh fan-out channel.
+  void SetRefreshCallback(RefreshCallback cb) { refresh_cb_ = std::move(cb); }
+  /// Wires global-commit notifications (eager mode only).
+  void SetGlobalCommitCallback(GlobalCommitCallback cb) {
+    global_commit_cb_ = std::move(cb);
+  }
+
+  /// State-machine replication: every certification request is forwarded
+  /// (in processing order, before its decision is announced) to a standby
+  /// certifier, which processes the identical deterministic stream.
+  void SetForwardCallback(ForwardCallback cb) { forward_cb_ = std::move(cb); }
+
+  /// Mutes/unmutes this certifier's outward channels (decision, refresh,
+  /// global-commit). A standby runs muted until promoted.
+  void SetMuted(bool muted) { muted_ = muted; }
+  bool muted() const { return muted_; }
+
+  /// Submits an update transaction's writeset for certification.
+  /// `ws.origin` and `ws.snapshot_version` must be filled in.
+  void SubmitCertification(WriteSet ws);
+
+  /// Eager mode: a replica reports having committed `txn` (locally or as
+  /// a refresh). When all live replicas have, the origin gets the
+  /// global-commit notification.
+  void NotifyReplicaCommitted(TxnId txn);
+
+  /// Membership: marks a replica crashed. Refresh fan-out skips it, and in
+  /// eager mode pending global commits stop waiting for it (it will catch
+  /// up from this certifier's durable log on recovery).
+  void MarkReplicaDown(ReplicaId replica);
+
+  /// Membership: marks a replica live again (recovery started).
+  void MarkReplicaUp(ReplicaId replica);
+
+  /// True when `replica` is currently marked down.
+  bool IsReplicaDown(ReplicaId replica) const;
+
+  /// Recovery catch-up: invokes `sink` with every committed writeset with
+  /// commit_version in (from, CommitVersion()], in version order. Serves
+  /// from the in-memory window when possible, otherwise decodes the
+  /// durable log.
+  Status FetchSince(DbVersion from,
+                    const std::function<void(const WriteSet&)>& sink) const;
+
+  /// Latest assigned commit version.
+  DbVersion CommitVersion() const { return v_commit_; }
+
+  int64_t certified_count() const { return certified_; }
+  int64_t abort_count() const { return aborts_; }
+  /// Aborts caused by read-write conflicts (serializable mode only).
+  int64_t rw_abort_count() const { return rw_aborts_; }
+  /// Aborts caused by the conflict window being exceeded (should be 0).
+  int64_t window_abort_count() const { return window_aborts_; }
+
+  const Wal& wal() const { return wal_; }
+  Resource* cpu() { return &cpu_; }
+  Resource* disk() { return &disk_; }
+
+  bool eager() const { return eager_; }
+  int replica_count() const { return replica_count_; }
+
+ private:
+  /// Runs after CPU service: the actual certification decision.
+  void Certify(WriteSet ws);
+  /// Appends to the durable log via group commit, then announces.
+  void MakeDurableAndAnnounce(WriteSet ws);
+  /// Sends the commit decision + refresh fan-out for a durable batch.
+  void Announce(const WriteSet& ws);
+
+  Simulator* sim_;
+  CertifierConfig config_;
+  int replica_count_;
+  bool eager_;
+
+  Resource cpu_;
+  Resource disk_;
+
+  DbVersion v_commit_ = 0;
+  /// Committed writesets, ascending by commit version, for conflict
+  /// checks (pruned to config_.conflict_window).
+  std::deque<WriteSet> recent_;
+
+  /// Writesets certified but awaiting the in-flight disk force.
+  std::vector<WriteSet> force_batch_;
+  bool force_in_flight_ = false;
+
+  EagerCommitTracker eager_tracker_;
+  std::unordered_map<TxnId, ReplicaId> eager_origins_;
+  std::vector<bool> replica_down_;
+
+  Wal wal_;
+  int64_t certified_ = 0;
+  int64_t aborts_ = 0;
+  int64_t window_aborts_ = 0;
+  int64_t rw_aborts_ = 0;
+
+  /// Certification is idempotent: re-submissions after a failover get the
+  /// original decision back instead of being re-decided.
+  std::unordered_map<TxnId, CertDecision> decided_;
+
+  bool muted_ = false;
+
+  DecisionCallback decision_cb_;
+  RefreshCallback refresh_cb_;
+  GlobalCommitCallback global_commit_cb_;
+  ForwardCallback forward_cb_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_CERTIFIER_H_

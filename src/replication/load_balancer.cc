@@ -1,0 +1,119 @@
+#include "replication/load_balancer.h"
+
+#include "common/logging.h"
+
+namespace screp {
+
+LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
+                           size_t table_count, int replica_count,
+                           RoutingPolicy routing, DbVersion staleness_bound)
+    : sim_(sim),
+      policy_(level, table_count, staleness_bound),
+      replica_count_(replica_count),
+      routing_(routing),
+      outstanding_(static_cast<size_t>(replica_count)),
+      down_(static_cast<size_t>(replica_count), false) {
+  SCREP_CHECK(replica_count_ >= 1);
+  (void)sim_;
+}
+
+void LoadBalancer::SetTableSets(
+    std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets) {
+  table_sets_ = std::move(table_sets);
+}
+
+ReplicaId LoadBalancer::PickReplica() {
+  ReplicaId best = kNoReplica;
+  size_t best_count = 0;
+  for (int i = 0; i < replica_count_; ++i) {
+    const size_t idx =
+        (tie_break_cursor_ + static_cast<size_t>(i)) %
+        static_cast<size_t>(replica_count_);
+    if (down_[idx]) continue;
+    if (routing_ == RoutingPolicy::kRoundRobin) {
+      best = static_cast<ReplicaId>(idx);  // first live in rotation
+      break;
+    }
+    const size_t count = outstanding_[idx].size();
+    if (best == kNoReplica || count < best_count) {
+      best = static_cast<ReplicaId>(idx);
+      best_count = count;
+    }
+  }
+  SCREP_CHECK_MSG(best != kNoReplica, "no live replica to route to");
+  ++tie_break_cursor_;
+  return best;
+}
+
+void LoadBalancer::OnClientRequest(const TxnRequest& request) {
+  static const std::vector<TableId> kEmptyTableSet;
+  const std::vector<TableId>* table_set = &kEmptyTableSet;
+  if (policy_.level() == ConsistencyLevel::kLazyFine) {
+    auto it = table_sets_.find(request.type);
+    SCREP_CHECK_MSG(it != table_sets_.end(),
+                    "fine-grained mode needs a table-set for txn type "
+                        << request.type);
+    table_set = &it->second;
+  }
+  const DbVersion required =
+      policy_.RequiredStartVersion(request.session, *table_set);
+  const ReplicaId replica = PickReplica();
+  outstanding_[static_cast<size_t>(replica)][request.txn_id] =
+      OutstandingTxn{request.type, request.session, request.client_id,
+                     request.submit_time};
+  ++dispatched_;
+  dispatch_cb_(replica, request, required);
+}
+
+void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
+  SCREP_CHECK(response.replica != kNoReplica);
+  auto& table = outstanding_[static_cast<size_t>(response.replica)];
+  auto it = table.find(response.txn_id);
+  if (it == table.end()) {
+    if (!promoted_) {
+      // Already failed over when the replica was marked down; the client
+      // has its answer.
+      return;
+    }
+    // A promoted standby relays responses for transactions dispatched by
+    // its dead predecessor (its outstanding table was soft state).
+  } else {
+    table.erase(it);
+  }
+  if (response.outcome == TxnOutcome::kCommitted) {
+    policy_.OnCommitAcknowledged(response.session, response.v_local_after,
+                                 response.written_table_versions);
+  }
+  client_response_cb_(response);
+}
+
+void LoadBalancer::PromoteFrom(DbVersion floor) {
+  promoted_ = true;
+  policy_.SetConservativeFloor(floor);
+}
+
+void LoadBalancer::MarkReplicaDown(ReplicaId replica) {
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  down_[static_cast<size_t>(replica)] = true;
+  auto& table = outstanding_[static_cast<size_t>(replica)];
+  for (const auto& [txn_id, info] : table) {
+    TxnResponse failure;
+    failure.txn_id = txn_id;
+    failure.type = info.type;
+    failure.session = info.session;
+    failure.client_id = info.client_id;
+    failure.outcome = TxnOutcome::kReplicaFailure;
+    failure.replica = replica;
+    failure.submit_time = info.submit_time;
+    ++failed_over_;
+    client_response_cb_(failure);
+  }
+  table.clear();
+}
+
+void LoadBalancer::MarkReplicaUp(ReplicaId replica) {
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  down_[static_cast<size_t>(replica)] = false;
+}
+
+}  // namespace screp

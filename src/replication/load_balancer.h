@@ -1,0 +1,128 @@
+// The load balancer (paper §IV): the intermediary between clients and
+// replicas.  It routes each transaction to the live replica with the
+// fewest active transactions, tags requests with the version requirement
+// computed by the consistency policy, and reads version tags off replica
+// responses on their way back to clients.
+//
+// Its state is deliberately small and soft (§IV, fault-tolerance):
+// per-replica outstanding-transaction tables, the version trackers, and
+// the table-set dictionary loaded once from the database catalog.  When a
+// replica crashes, the load balancer reports the failure for every
+// transaction outstanding there so clients can retry on live replicas.
+
+#ifndef SCREP_REPLICATION_LOAD_BALANCER_H_
+#define SCREP_REPLICATION_LOAD_BALANCER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sync_policy.h"
+#include "replication/message.h"
+#include "sim/simulator.h"
+
+namespace screp {
+
+/// How the load balancer picks a replica for a new transaction.
+enum class RoutingPolicy {
+  /// Fewest outstanding transactions (paper default).
+  kLeastActive = 0,
+  /// Cyclic assignment ignoring load.
+  kRoundRobin,
+};
+
+/// Client-facing router + consistency tagger.
+class LoadBalancer {
+ public:
+  using DispatchCallback = std::function<void(
+      ReplicaId replica, const TxnRequest&, DbVersion required_version)>;
+  using ClientResponseCallback = std::function<void(const TxnResponse&)>;
+
+  LoadBalancer(Simulator* sim, ConsistencyLevel level, size_t table_count,
+               int replica_count,
+               RoutingPolicy routing = RoutingPolicy::kLeastActive,
+               DbVersion staleness_bound = 0);
+
+  /// Wires request dispatch to replica proxies.
+  void SetDispatchCallback(DispatchCallback cb) {
+    dispatch_cb_ = std::move(cb);
+  }
+  /// Wires responses back to clients.
+  void SetClientResponseCallback(ClientResponseCallback cb) {
+    client_response_cb_ = std::move(cb);
+  }
+
+  /// Installs the transaction-type -> table-set dictionary (resolved to
+  /// table ids), obtained from the sys_tablesets catalog at startup.
+  void SetTableSets(
+      std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets);
+
+  /// A new client request: tag with the version requirement, route by
+  /// least-active-transactions among live replicas, dispatch.
+  void OnClientRequest(const TxnRequest& request);
+
+  /// A proxy's response: update trackers, relay to the client. Responses
+  /// for transactions already failed over (their replica crashed) are
+  /// dropped.
+  void OnProxyResponse(const TxnResponse& response);
+
+  /// Failure handling: stop routing to `replica` and fail every
+  /// transaction outstanding there back to its client.
+  void MarkReplicaDown(ReplicaId replica);
+
+  /// Resume routing to `replica`.
+  void MarkReplicaUp(ReplicaId replica);
+
+  bool IsReplicaDown(ReplicaId replica) const {
+    return down_[static_cast<size_t>(replica)];
+  }
+
+  /// Marks this instance as a promoted standby: the tracker state is
+  /// re-initialized conservatively from `floor` (the certifier's current
+  /// commit version) and responses for transactions dispatched by the
+  /// dead predecessor are relayed rather than dropped.
+  void PromoteFrom(DbVersion floor);
+
+  bool promoted() const { return promoted_; }
+
+  const SyncPolicy& policy() const { return policy_; }
+  /// Transactions currently outstanding at `replica`.
+  int ActiveAt(ReplicaId replica) const {
+    return static_cast<int>(
+        outstanding_[static_cast<size_t>(replica)].size());
+  }
+  int64_t dispatched_count() const { return dispatched_; }
+  int64_t failed_over_count() const { return failed_over_; }
+
+ private:
+  /// What we remember about a dispatched transaction — enough to
+  /// synthesize a failure response if its replica crashes.
+  struct OutstandingTxn {
+    TxnTypeId type = kUnknownTxnType;
+    SessionId session = 0;
+    int client_id = 0;
+    SimTime submit_time = 0;
+  };
+
+  /// Routing among live replicas per `routing_` (rotating tie-break).
+  ReplicaId PickReplica();
+
+  Simulator* sim_;
+  SyncPolicy policy_;
+  int replica_count_;
+  RoutingPolicy routing_;
+  std::vector<std::unordered_map<TxnId, OutstandingTxn>> outstanding_;
+  std::vector<bool> down_;
+  size_t tie_break_cursor_ = 0;
+  std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets_;
+  int64_t dispatched_ = 0;
+  int64_t failed_over_ = 0;
+  bool promoted_ = false;
+
+  DispatchCallback dispatch_cb_;
+  ClientResponseCallback client_response_cb_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_LOAD_BALANCER_H_

@@ -1,0 +1,33 @@
+#include "replication/message.h"
+
+#include <cstdio>
+
+namespace screp {
+
+const char* TxnOutcomeName(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kCertificationAbort:
+      return "certification-abort";
+    case TxnOutcome::kEarlyAbort:
+      return "early-abort";
+    case TxnOutcome::kExecutionError:
+      return "execution-error";
+    case TxnOutcome::kReplicaFailure:
+      return "replica-failure";
+  }
+  return "?";
+}
+
+std::string StageTimes::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "version=%.2fms queries=%.2fms certify=%.2fms sync=%.2fms "
+                "commit=%.2fms global=%.2fms",
+                ToMillis(version), ToMillis(queries), ToMillis(certify),
+                ToMillis(sync), ToMillis(commit), ToMillis(global));
+  return buf;
+}
+
+}  // namespace screp

@@ -1,0 +1,106 @@
+// Message types exchanged between clients, the load balancer, replica
+// proxies and the certifier.
+//
+// Components communicate through callbacks that the system wires with
+// simulated network latency; these structs are the payloads.
+
+#ifndef SCREP_REPLICATION_MESSAGE_H_
+#define SCREP_REPLICATION_MESSAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "storage/value.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+/// A client's request to run one transaction instance of a registered
+/// prepared-transaction type.
+struct TxnRequest {
+  TxnId txn_id = 0;
+  /// Transaction type id — clients tag requests with it so the load
+  /// balancer can look up the statically extracted table-set (§IV-B).
+  TxnTypeId type = kUnknownTxnType;
+  /// Session identifier (SID) for session-consistency accounting (§IV-C).
+  SessionId session = 0;
+  int client_id = 0;
+  /// Positional parameters for each statement of the transaction type.
+  std::vector<std::vector<Value>> params;
+  /// Virtual time the client sent the request.
+  SimTime submit_time = 0;
+};
+
+/// How a transaction ended.
+enum class TxnOutcome {
+  kCommitted = 0,
+  /// Certifier found a write-write conflict (first-committer-wins).
+  kCertificationAbort,
+  /// Proxy's early certification aborted the transaction against a
+  /// pending or arriving refresh writeset (hidden-deadlock avoidance).
+  kEarlyAbort,
+  /// A statement failed (e.g. inserting an existing key).
+  kExecutionError,
+  /// The replica serving the transaction crashed; the load balancer
+  /// reports the failure so the client can retry elsewhere.
+  kReplicaFailure,
+};
+
+const char* TxnOutcomeName(TxnOutcome outcome);
+
+/// Per-stage latency breakdown, matching the paper's measurement stages
+/// (§V-A): version / queries / certify / sync / commit / global.
+struct StageTimes {
+  SimTime version = 0;  ///< synchronization start delay (not in ESC)
+  SimTime queries = 0;  ///< executing the transaction's SQL statements
+  SimTime certify = 0;  ///< certifier round trip (updates only)
+  SimTime sync = 0;     ///< waiting for global commit order locally
+  SimTime commit = 0;   ///< committing to the local DBMS
+  SimTime global = 0;   ///< global commit delay (ESC updates only)
+
+  SimTime Total() const {
+    return version + queries + certify + sync + commit + global;
+  }
+  std::string ToString() const;
+};
+
+/// The proxy's reply for one transaction, relayed to the client by the
+/// load balancer (which also reads the version tags off it).
+struct TxnResponse {
+  TxnId txn_id = 0;
+  TxnTypeId type = kUnknownTxnType;
+  SessionId session = 0;
+  int client_id = 0;
+  TxnOutcome outcome = TxnOutcome::kCommitted;
+  bool read_only = true;
+  ReplicaId replica = kNoReplica;
+
+  /// Replica's database version when it acknowledged (the V_local tag).
+  DbVersion v_local_after = 0;
+  /// Snapshot the transaction read at.
+  DbVersion snapshot = 0;
+  /// Certified commit version (kNoVersion for read-only/aborted).
+  DbVersion commit_version = kNoVersion;
+  /// (table, new V_t) for each table written — the fine-grained tag.
+  std::vector<std::pair<TableId, DbVersion>> written_table_versions;
+  /// Record-level writes (for history checking).
+  std::vector<std::pair<TableId, int64_t>> keys_written;
+
+  StageTimes stages;
+  SimTime submit_time = 0;  ///< echoed from the request
+  SimTime start_time = 0;   ///< when BEGIN executed at the replica
+};
+
+/// Certifier's verdict on an update transaction.
+struct CertDecision {
+  TxnId txn_id = 0;
+  bool commit = false;
+  DbVersion commit_version = kNoVersion;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_MESSAGE_H_

@@ -1,0 +1,409 @@
+#include "replication/proxy.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace screp {
+
+Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
+             const sql::TransactionRegistry* registry, ProxyConfig config,
+             bool eager)
+    : sim_(sim),
+      id_(id),
+      db_(db),
+      registry_(registry),
+      config_(config),
+      eager_(eager),
+      service_rng_(config.seed * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(id) + 1),
+      cpu_(sim, "replica-" + std::to_string(id) + "-cpu",
+           config.cpu_cores) {}
+
+SimTime Proxy::Stochastic(SimTime mean_cost) {
+  const double spread = config_.service_spread;
+  double cost = static_cast<double>(mean_cost) *
+                ((1.0 - spread) + spread * service_rng_.NextExponential(1.0));
+  if (config_.stall_probability > 0 &&
+      service_rng_.NextBool(config_.stall_probability)) {
+    cost += service_rng_.NextExponential(
+        static_cast<double>(config_.stall_duration));
+  }
+  return static_cast<SimTime>(cost);
+}
+
+DbVersion Proxy::OldestActiveSnapshot() const {
+  DbVersion oldest = v_local();
+  for (const auto& [txn_id, t] : active_) {
+    (void)txn_id;
+    if (t->txn != nullptr) oldest = std::min(oldest, t->txn->snapshot());
+  }
+  return oldest;
+}
+
+void Proxy::Crash() {
+  down_ = true;
+  ++epoch_;  // invalidates every in-flight completion callback
+  active_.clear();
+  begin_waiters_.clear();
+  version_waiters_.clear();
+  pending_.clear();
+  local_claims_.clear();
+  applying_ = false;
+}
+
+int Proxy::ResubmitPendingCertifications() {
+  int resubmitted = 0;
+  for (auto& [txn_id, t] : active_) {
+    (void)txn_id;
+    if (t->awaiting_decision) {
+      cert_request_cb_(t->writeset);
+      ++resubmitted;
+    }
+  }
+  return resubmitted;
+}
+
+void Proxy::CallWhenVersionReached(DbVersion version,
+                                   std::function<void()> fn) {
+  if (v_local() >= version) {
+    fn();
+    return;
+  }
+  version_waiters_.emplace(version, std::move(fn));
+}
+
+void Proxy::Restart() {
+  SCREP_CHECK(down_);
+  down_ = false;
+}
+
+void Proxy::OnTxnRequest(const TxnRequest& request,
+                         DbVersion required_version) {
+  if (down_) {
+    ++dropped_while_down_;
+    return;  // the load balancer reports the failure to the client
+  }
+  auto t = std::make_unique<ActiveTxn>();
+  t->request = request;
+  t->prepared = &registry_->Get(request.type);
+  t->arrive_time = sim_->Now();
+  ActiveTxn* raw = t.get();
+  SCREP_CHECK_MSG(active_.emplace(request.txn_id, std::move(t)).second,
+                  "duplicate txn id " << request.txn_id);
+  if (v_local() >= required_version) {
+    StartExecution(raw);
+  } else {
+    // Synchronization start delay: wait for the refresh stream to bring
+    // V_local up to the tagged version (§IV-A/B/C).
+    begin_waiters_.emplace(required_version, request.txn_id);
+  }
+}
+
+void Proxy::ReleaseBeginWaiters() {
+  const DbVersion v = v_local();
+  while (!begin_waiters_.empty() && begin_waiters_.begin()->first <= v) {
+    const TxnId txn_id = begin_waiters_.begin()->second;
+    begin_waiters_.erase(begin_waiters_.begin());
+    auto it = active_.find(txn_id);
+    SCREP_CHECK(it != active_.end());
+    StartExecution(it->second.get());
+  }
+  while (!version_waiters_.empty() &&
+         version_waiters_.begin()->first <= v) {
+    auto fn = std::move(version_waiters_.begin()->second);
+    version_waiters_.erase(version_waiters_.begin());
+    fn();
+  }
+}
+
+void Proxy::StartExecution(ActiveTxn* t) {
+  t->exec_start_time = sim_->Now();
+  t->stages.version = t->exec_start_time - t->arrive_time;
+  t->txn = db_->Begin();  // snapshot at current V_local
+  ExecuteNextStatement(t);
+}
+
+void Proxy::ExecuteNextStatement(ActiveTxn* t) {
+  if (t->aborted_early) {
+    Respond(t, TxnOutcome::kEarlyAbort);
+    return;
+  }
+  if (t->next_stmt >= t->prepared->statements.size()) {
+    OnStatementsDone(t);
+    return;
+  }
+  const sql::PreparedStatement& stmt =
+      *t->prepared->statements[t->next_stmt];
+  const std::vector<Value>& params = t->request.params[t->next_stmt];
+  ++t->next_stmt;
+
+  // The statement's reads are against the fixed snapshot, so evaluating
+  // now and charging service time afterwards is equivalent to evaluating
+  // at any point inside the service window.
+  Result<sql::ResultSet> rs = sql::Execute(t->txn.get(), stmt, params);
+  if (!rs.ok()) {
+    SCREP_LOG(kDebug) << "txn " << t->request.txn_id << " statement failed: "
+                      << rs.status().ToString();
+    Respond(t, TxnOutcome::kExecutionError);
+    return;
+  }
+  t->rows_examined += rs->rows_examined;
+
+  // Early certification (§IV): an update statement's partial writeset is
+  // checked against pending refresh writesets; a conflict aborts the
+  // client transaction immediately instead of letting it block the
+  // refresh stream inside the DBMS.
+  if (stmt.IsUpdate() && config_.early_certification) {
+    if (ConflictsWithPendingRefresh(t->txn->PartialWriteSet())) {
+      ++early_aborts_;
+      Respond(t, TxnOutcome::kEarlyAbort);
+      return;
+    }
+  }
+
+  const SimTime cpu_cost = Stochastic(
+      (stmt.IsUpdate() ? config_.update_stmt_base : config_.read_stmt_base) +
+      config_.per_row_cost * rs->rows_examined);
+  const TxnId txn_id = t->request.txn_id;
+  cpu_.Submit(cpu_cost, [this, txn_id]() {
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) return;  // aborted meanwhile
+    ActiveTxn* t2 = it->second.get();
+    // Per-statement application round trip before the next statement.
+    sim_->Schedule(config_.stmt_round_trip, [this, txn_id]() {
+      auto it2 = active_.find(txn_id);
+      if (it2 == active_.end()) return;
+      ExecuteNextStatement(it2->second.get());
+    });
+    (void)t2;
+  });
+}
+
+void Proxy::OnStatementsDone(ActiveTxn* t) {
+  t->queries_end_time = sim_->Now();
+  t->stages.queries = t->queries_end_time - t->exec_start_time;
+  if (t->txn->read_only()) {
+    // Read-only fast path: commit locally, acknowledge immediately (§IV).
+    const TxnId txn_id = t->request.txn_id;
+    cpu_.Submit(Stochastic(config_.commit_cost), [this, txn_id]() {
+      auto it = active_.find(txn_id);
+      if (it == active_.end()) return;
+      ActiveTxn* t2 = it->second.get();
+      t2->stages.commit = sim_->Now() - t2->queries_end_time;
+      Respond(t2, TxnOutcome::kCommitted);
+    });
+    return;
+  }
+  // Update transaction: send the writeset to the certifier and await the
+  // decision.
+  t->writeset = t->txn->BuildWriteSet(config_.attach_read_sets);
+  t->writeset.txn_id = t->request.txn_id;
+  t->writeset.origin = id_;
+  t->certify_start_time = sim_->Now();
+  t->awaiting_decision = true;
+  cert_request_cb_(t->writeset);
+}
+
+void Proxy::OnCertDecision(const CertDecision& decision) {
+  auto it = active_.find(decision.txn_id);
+  if (down_ || it == active_.end()) {
+    // Decision for a transaction lost in a crash. If it committed, its
+    // writeset reaches this replica through recovery catch-up instead.
+    ++dropped_while_down_;
+    return;
+  }
+  ActiveTxn* t = it->second.get();
+  if (!t->awaiting_decision) return;  // duplicate (failover re-delivery)
+  t->awaiting_decision = false;
+  t->decision_time = sim_->Now();
+  t->stages.certify = t->decision_time - t->certify_start_time;
+  if (!decision.commit) {
+    Respond(t, TxnOutcome::kCertificationAbort);
+    return;
+  }
+  t->writeset.commit_version = decision.commit_version;
+  // Whichever channel commits this version locally finishes the
+  // transaction: normally the local apply queued below, but after a
+  // certifier failover the same writeset may arrive (or already have
+  // arrived, or be mid-apply) through the refresh/catch-up channel.
+  local_claims_[decision.commit_version] = decision.txn_id;
+  if (decision.commit_version <= v_local()) {
+    SettleLocalClaims();
+    return;
+  }
+  if (pending_.count(decision.commit_version) != 0) {
+    return;  // already queued as a refresh; the claim finishes it
+  }
+  // Queue the local commit at its slot in the global order; it interleaves
+  // with refresh writesets so every replica commits in certifier order.
+  PendingApply apply;
+  apply.ws = t->writeset;
+  apply.is_local = true;
+  apply.local_txn = decision.txn_id;
+  apply.enqueue_time = sim_->Now();
+  pending_.emplace(decision.commit_version, std::move(apply));
+  TryApplyNext();
+}
+
+void Proxy::OnRefresh(const WriteSet& ws) {
+  SCREP_CHECK(ws.commit_version != kNoVersion);
+  if (down_) {
+    ++dropped_while_down_;  // recovery catch-up re-delivers it
+    return;
+  }
+  if (ws.commit_version <= v_local() ||
+      pending_.count(ws.commit_version) != 0) {
+    return;  // duplicate delivery (recovery catch-up overlap)
+  }
+  // Early certification, arrival direction: abort conflicting active local
+  // transactions right away (§IV, hidden-deadlock avoidance).
+  if (config_.early_certification) AbortConflictingActives(ws);
+  PendingApply apply;
+  apply.ws = ws;
+  apply.is_local = false;
+  apply.enqueue_time = sim_->Now();
+  pending_.emplace(ws.commit_version, std::move(apply));
+  TryApplyNext();
+}
+
+void Proxy::AbortConflictingActives(const WriteSet& ws) {
+  for (auto& [txn_id, t] : active_) {
+    (void)txn_id;
+    if (t->aborted_early) continue;
+    // Transactions already at the certifier are resolved there: the
+    // refresh writeset committed first, so certification will abort them.
+    if (t->awaiting_decision || t->awaiting_global) continue;
+    if (t->txn == nullptr || t->txn->read_only()) continue;
+    if (ws.ConflictsWith(t->txn->PartialWriteSet())) {
+      t->aborted_early = true;  // surfaced at the next statement boundary
+      ++early_aborts_;
+    }
+  }
+}
+
+bool Proxy::ConflictsWithPendingRefresh(const WriteSet& partial) const {
+  for (const auto& [version, apply] : pending_) {
+    (void)version;
+    if (apply.is_local) continue;
+    if (apply.ws.ConflictsWith(partial)) return true;
+  }
+  return false;
+}
+
+void Proxy::TryApplyNext() {
+  if (applying_) return;
+  auto it = pending_.find(v_local() + 1);
+  if (it == pending_.end()) return;
+  applying_ = true;
+  PendingApply apply = std::move(it->second);
+  pending_.erase(it);
+
+  SimTime cost;
+  if (apply.is_local) {
+    auto ait = active_.find(apply.local_txn);
+    SCREP_CHECK(ait != active_.end());
+    ActiveTxn* t = ait->second.get();
+    t->apply_start_time = sim_->Now();
+    t->stages.sync = t->apply_start_time - t->decision_time;
+    cost = Stochastic(config_.commit_cost);
+  } else {
+    cost = Stochastic(config_.refresh_base +
+                      config_.refresh_per_op *
+                          static_cast<SimTime>(apply.ws.size()));
+  }
+
+  const uint64_t epoch = epoch_;
+  cpu_.Submit(cost, [this, epoch, apply = std::move(apply)]() {
+    if (epoch != epoch_ || down_) return;  // crashed meanwhile
+    const Status st = db_->ApplyWriteSet(apply.ws, /*force_log=*/false);
+    SCREP_CHECK_MSG(st.ok(), "apply failed: " << st.ToString());
+    applying_ = false;
+    if (!apply.is_local) ++refresh_applied_;
+    if (eager_) replica_committed_cb_(apply.ws.txn_id);
+    SettleLocalClaims();
+    ReleaseBeginWaiters();
+    TryApplyNext();
+  });
+}
+
+void Proxy::SettleLocalClaims() {
+  const DbVersion v = v_local();
+  while (!local_claims_.empty() && local_claims_.begin()->first <= v) {
+    const TxnId txn_id = local_claims_.begin()->second;
+    local_claims_.erase(local_claims_.begin());
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) continue;  // lost in a crash
+    FinishLocalCommit(it->second.get());
+  }
+}
+
+void Proxy::FinishLocalCommit(ActiveTxn* t) {
+  if (t->apply_start_time == 0) {
+    // Committed through the refresh channel (certifier failover): the
+    // ordering wait is folded into the certify stage.
+    t->apply_start_time = sim_->Now();
+  }
+  t->local_commit_time = sim_->Now();
+  t->stages.commit = t->local_commit_time - t->apply_start_time;
+  if (eager_) {
+    if (t->global_done_early) {
+      // The certifier already declared the global commit (a membership
+      // change can complete it before our own local commit finishes).
+      t->stages.global = 0;
+      Respond(t, TxnOutcome::kCommitted);
+      return;
+    }
+    // Global commit delay: hold the acknowledgment until every replica
+    // has committed this transaction (§IV-D).
+    t->awaiting_global = true;
+    return;
+  }
+  Respond(t, TxnOutcome::kCommitted);
+}
+
+void Proxy::OnGlobalCommit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (down_ || it == active_.end()) {
+    ++dropped_while_down_;  // transaction lost in a crash
+    return;
+  }
+  ActiveTxn* t = it->second.get();
+  if (!t->awaiting_global) {
+    // Local commit still in flight; remember the verdict.
+    t->global_done_early = true;
+    return;
+  }
+  t->stages.global = sim_->Now() - t->local_commit_time;
+  Respond(t, TxnOutcome::kCommitted);
+}
+
+void Proxy::Respond(ActiveTxn* t, TxnOutcome outcome) {
+  TxnResponse response;
+  response.txn_id = t->request.txn_id;
+  response.type = t->request.type;
+  response.session = t->request.session;
+  response.client_id = t->request.client_id;
+  response.outcome = outcome;
+  response.read_only = t->txn == nullptr || t->txn->read_only();
+  response.replica = id_;
+  response.v_local_after = v_local();
+  response.snapshot = t->txn != nullptr ? t->txn->snapshot() : 0;
+  response.stages = t->stages;
+  response.submit_time = t->request.submit_time;
+  response.start_time = t->exec_start_time;
+  if (outcome == TxnOutcome::kCommitted && !response.read_only) {
+    response.commit_version = t->writeset.commit_version;
+    for (TableId table : t->writeset.TablesWritten()) {
+      response.written_table_versions.emplace_back(
+          table, t->writeset.commit_version);
+    }
+    for (const WriteOp& op : t->writeset.ops) {
+      response.keys_written.emplace_back(op.table, op.key);
+    }
+  }
+  response_cb_(response);
+  active_.erase(t->request.txn_id);
+}
+
+}  // namespace screp

@@ -1,0 +1,252 @@
+// The per-replica proxy (paper §IV): intercepts all requests to the local
+// DBMS, executes client transactions against snapshot isolation, applies
+// refresh writesets in the certifier's global order, tracks V_local and
+// per-table versions, enforces the synchronization start delay, and
+// performs early certification to avoid the hidden-deadlock problem.
+
+#ifndef SCREP_REPLICATION_PROXY_H_
+#define SCREP_REPLICATION_PROXY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "replication/message.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sql/executor.h"
+#include "sql/table_set.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+
+namespace screp {
+
+/// Replica service-time model and behaviour knobs.
+///
+/// The mean service times are calibrated so a replica behaves like the
+/// paper's testbed nodes (SQL Server 2008 on a Core 2 Duo): statements
+/// cost a few milliseconds, and the serialized refresh-application stream
+/// saturates under update-heavy load.  Service times are *stochastic*
+/// (exponential spread plus rare multi-ms stalls modelling OS/disk
+/// interference): the max-over-replicas of the resulting apply lag is
+/// exactly what makes the eager scheme's global commit delay an order of
+/// magnitude larger than the lazy schemes' start delays (paper Fig. 4/6).
+struct ProxyConfig {
+  /// Parallel service units of the replica machine (the testbed's Core 2
+  /// Duo => 2).
+  int cpu_cores = 2;
+  /// Mean CPU time of a read statement.
+  SimTime read_stmt_base = Millis(2.5);
+  /// Mean CPU time of an update statement (index + row maintenance).
+  SimTime update_stmt_base = Millis(4.0);
+  /// Additional CPU per row the access path examines.
+  SimTime per_row_cost = Micros(25);
+  /// CPU time to commit a local transaction.
+  SimTime commit_cost = Millis(1.2);
+  /// Base CPU time to apply one refresh writeset (serialized, in commit
+  /// order).
+  SimTime refresh_base = Millis(1.0);
+  /// Additional CPU per record in a refresh writeset: applying a refresh
+  /// re-executes its writes statement by statement, so the cost scales
+  /// with the writeset size.
+  SimTime refresh_per_op = Millis(2.5);
+  /// Client<->replica round trip paid per statement (the app server talks
+  /// to the DBMS statement by statement).
+  SimTime stmt_round_trip = Micros(300);
+  /// Fraction of each service time drawn from an exponential (0 =
+  /// deterministic, 1 = fully exponential). Mean is preserved.
+  double service_spread = 0.7;
+  /// Probability that a work item hits a stall (checkpoint, page flush,
+  /// scheduler interference) ...
+  double stall_probability = 0.012;
+  /// ... of this mean (exponential) duration.
+  SimTime stall_duration = Millis(40);
+  /// Seed for the per-replica service-time stream.
+  uint64_t seed = 1;
+  /// Early certification on (paper default); the ablation benchmark turns
+  /// it off.
+  bool early_certification = true;
+  /// Attach read sets to writesets (set automatically when the system
+  /// runs in serializable certification mode).
+  bool attach_read_sets = false;
+};
+
+/// One replica's middleware component.
+class Proxy {
+ public:
+  using CertRequestCallback = std::function<void(const WriteSet&)>;
+  using ResponseCallback = std::function<void(const TxnResponse&)>;
+  using ReplicaCommittedCallback = std::function<void(TxnId)>;
+
+  Proxy(Simulator* sim, ReplicaId id, Database* db,
+        const sql::TransactionRegistry* registry, ProxyConfig config,
+        bool eager);
+
+  /// Wires the writeset channel to the certifier.
+  void SetCertRequestCallback(CertRequestCallback cb) {
+    cert_request_cb_ = std::move(cb);
+  }
+  /// Wires responses back to the load balancer.
+  void SetResponseCallback(ResponseCallback cb) {
+    response_cb_ = std::move(cb);
+  }
+  /// Wires eager commit notifications to the certifier.
+  void SetReplicaCommittedCallback(ReplicaCommittedCallback cb) {
+    replica_committed_cb_ = std::move(cb);
+  }
+
+  /// A routed transaction request arrives; the load balancer tagged it
+  /// with `required_version` — the replica delays BEGIN until
+  /// V_local >= required_version (the synchronization start delay).
+  void OnTxnRequest(const TxnRequest& request, DbVersion required_version);
+
+  /// The certifier's decision for a local update transaction.
+  void OnCertDecision(const CertDecision& decision);
+
+  /// A refresh writeset from the certifier.
+  void OnRefresh(const WriteSet& ws);
+
+  /// Eager mode: the certifier reports the global commit of a local
+  /// transaction; the client can finally be acknowledged.
+  void OnGlobalCommit(TxnId txn);
+
+  /// Crash-stop failure (paper's crash-recovery model): all in-flight
+  /// transactions and pending writesets vanish; incoming messages are
+  /// ignored until Restart(). The database content survives — the replica
+  /// recovers its own durable state — but refresh writesets missed while
+  /// down must be re-fetched from the certifier's log.
+  void Crash();
+
+  /// Brings the replica back up (the system then streams the missed
+  /// writesets from the certifier into OnRefresh).
+  void Restart();
+
+  bool down() const { return down_; }
+  int64_t dropped_while_down() const { return dropped_while_down_; }
+
+  /// Certifier failover: re-sends the writeset of every transaction still
+  /// awaiting a certification decision (certification is idempotent at
+  /// the certifier). Returns how many were resubmitted.
+  int ResubmitPendingCertifications();
+
+  /// Invokes `fn` once V_local reaches `version` (immediately if it
+  /// already has). Used by recovery: the replica rejoins routing only
+  /// after its catch-up stream has fully applied. Waiters are discarded
+  /// on a crash.
+  void CallWhenVersionReached(DbVersion version, std::function<void()> fn);
+
+  ReplicaId id() const { return id_; }
+  DbVersion v_local() const { return db_->CommittedVersion(); }
+  /// Client transactions currently being served (the load-balancing
+  /// signal).
+  size_t active_transactions() const { return active_.size(); }
+  /// Refresh/local writesets received but not yet applied.
+  size_t pending_writesets() const { return pending_.size(); }
+
+  Resource* cpu() { return &cpu_; }
+  int64_t refresh_applied_count() const { return refresh_applied_; }
+  int64_t early_abort_count() const { return early_aborts_; }
+
+  /// The oldest snapshot any active transaction reads at (V_local when
+  /// idle) — the MVCC garbage-collection horizon.
+  DbVersion OldestActiveSnapshot() const;
+
+ private:
+  /// A client transaction in flight at this replica.
+  struct ActiveTxn {
+    TxnRequest request;
+    const sql::PreparedTransaction* prepared = nullptr;
+    std::unique_ptr<Transaction> txn;
+    size_t next_stmt = 0;
+    int64_t rows_examined = 0;
+
+    bool aborted_early = false;     // flagged by early certification
+    bool awaiting_decision = false;  // writeset at the certifier
+    bool awaiting_global = false;    // eager: waiting for global commit
+    // Eager: the global commit arrived before the local commit finished
+    // (possible when a crash lowers the membership bar).
+    bool global_done_early = false;
+
+    WriteSet writeset;  // built at commit request
+
+    // Stage timestamps.
+    SimTime arrive_time = 0;
+    SimTime exec_start_time = 0;
+    SimTime queries_end_time = 0;
+    SimTime certify_start_time = 0;
+    SimTime decision_time = 0;
+    SimTime apply_start_time = 0;
+    SimTime local_commit_time = 0;
+    StageTimes stages;
+  };
+
+  /// An entry waiting its turn in the global commit order.
+  struct PendingApply {
+    WriteSet ws;
+    bool is_local = false;  // local client commit vs. refresh
+    TxnId local_txn = 0;
+    SimTime enqueue_time = 0;
+  };
+
+  void StartExecution(ActiveTxn* t);
+  void ExecuteNextStatement(ActiveTxn* t);
+  void OnStatementsDone(ActiveTxn* t);
+  /// Finishes decided local transactions whose commit version has been
+  /// applied locally (by either the local-apply or refresh channel).
+  void SettleLocalClaims();
+  void FinishLocalCommit(ActiveTxn* t);
+  void Respond(ActiveTxn* t, TxnOutcome outcome);
+
+  /// Applies the next writeset if it is this replica's turn.
+  void TryApplyNext();
+  /// Releases transactions whose required version has been reached.
+  void ReleaseBeginWaiters();
+  /// Early certification, arrival direction: aborts active local
+  /// transactions whose partial writesets conflict with `ws`.
+  void AbortConflictingActives(const WriteSet& ws);
+  /// Early certification, statement direction: true when the partial
+  /// writeset conflicts with any pending refresh writeset.
+  bool ConflictsWithPendingRefresh(const WriteSet& partial) const;
+
+  /// Applies the stochastic service-time model to a mean cost.
+  SimTime Stochastic(SimTime mean_cost);
+
+  Simulator* sim_;
+  ReplicaId id_;
+  Database* db_;
+  const sql::TransactionRegistry* registry_;
+  ProxyConfig config_;
+  bool eager_;
+  Rng service_rng_;
+
+  Resource cpu_;
+
+  std::unordered_map<TxnId, std::unique_ptr<ActiveTxn>> active_;
+  std::multimap<DbVersion, TxnId> begin_waiters_;
+  std::multimap<DbVersion, std::function<void()>> version_waiters_;
+  std::map<DbVersion, PendingApply> pending_;  // keyed by commit version
+  /// Decided local transactions awaiting their version's local commit —
+  /// normally satisfied by the queued local apply, but after a certifier
+  /// failover the same writeset may arrive through the refresh/catch-up
+  /// channel instead; whichever channel commits the version finishes the
+  /// transaction.
+  std::map<DbVersion, TxnId> local_claims_;
+  bool applying_ = false;
+
+  int64_t refresh_applied_ = 0;
+  int64_t early_aborts_ = 0;
+  bool down_ = false;
+  uint64_t epoch_ = 0;  ///< bumped on crash: stale callbacks bail out
+  int64_t dropped_while_down_ = 0;
+
+  CertRequestCallback cert_request_cb_;
+  ResponseCallback response_cb_;
+  ReplicaCommittedCallback replica_committed_cb_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_PROXY_H_

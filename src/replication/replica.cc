@@ -1,0 +1,13 @@
+#include "replication/replica.h"
+
+namespace screp {
+
+Replica::Replica(Simulator* sim, ReplicaId id,
+                 const sql::TransactionRegistry* registry,
+                 ProxyConfig config, bool eager)
+    : id_(id), db_(std::make_unique<Database>()) {
+  proxy_ = std::make_unique<Proxy>(sim, id, db_.get(), registry, config,
+                                   eager);
+}
+
+}  // namespace screp

@@ -1,0 +1,323 @@
+#include "replication/system.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace screp {
+
+ReplicatedSystem::ReplicatedSystem(Simulator* sim, SystemConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
+    Simulator* sim, const SystemConfig& config,
+    const SchemaBuilder& schema_builder, const TxnDefiner& txn_definer) {
+  if (config.replica_count < 1) {
+    return Status::InvalidArgument("need at least one replica");
+  }
+  auto system = std::unique_ptr<ReplicatedSystem>(
+      new ReplicatedSystem(sim, config));
+  const bool eager = config.level == ConsistencyLevel::kEager;
+
+  // Replicas first: all populated identically and deterministically.
+  for (ReplicaId r = 0; r < config.replica_count; ++r) {
+    ProxyConfig proxy_config = config.proxy;
+    proxy_config.seed = config.seed;
+    proxy_config.attach_read_sets =
+        config.certifier.mode == CertificationMode::kSerializable;
+    auto replica = std::make_unique<Replica>(
+        sim, r, &system->registry_, proxy_config, eager);
+    SCREP_RETURN_NOT_OK(schema_builder(replica->db()));
+    system->replicas_.push_back(std::move(replica));
+  }
+
+  // Prepare the workload's transactions against replica 0's catalog; the
+  // registry is shared, and table ids match across replicas because the
+  // schema builder runs identically on each.
+  Database* db0 = system->replicas_[0]->db();
+  SCREP_RETURN_NOT_OK(txn_definer(*db0, &system->registry_));
+
+  // Persist the table-set catalog into every replica (§IV-B: "storing the
+  // transaction table-set information in the database") and load it back
+  // for the load balancer, resolved to table ids.
+  for (auto& replica : system->replicas_) {
+    SCREP_RETURN_NOT_OK(system->registry_.PersistCatalog(replica->db()));
+  }
+  SCREP_ASSIGN_OR_RETURN(auto name_sets,
+                         sql::TransactionRegistry::LoadCatalog(*db0));
+  std::unordered_map<TxnTypeId, std::vector<TableId>> id_sets;
+  for (const auto& [type, names] : name_sets) {
+    std::vector<TableId> ids;
+    for (const std::string& name : names) {
+      SCREP_ASSIGN_OR_RETURN(TableId id, db0->FindTable(name));
+      ids.push_back(id);
+    }
+    id_sets[type] = std::move(ids);
+  }
+
+  system->certifier_ = std::make_unique<Certifier>(
+      sim, config.certifier, config.replica_count, eager);
+  if (config.standby_certifier) {
+    if (eager) {
+      return Status::NotSupported(
+          "standby certifier with the eager configuration");
+    }
+    system->standby_certifier_ = std::make_unique<Certifier>(
+        sim, config.certifier, config.replica_count, /*eager=*/false);
+    system->standby_certifier_->SetMuted(true);
+    // Muted channels still need non-null callbacks.
+    system->standby_certifier_->SetDecisionCallback(
+        [](ReplicaId, const CertDecision&) {});
+    system->standby_certifier_->SetRefreshCallback(
+        [](ReplicaId, const WriteSet&) {});
+    system->standby_certifier_->SetGlobalCommitCallback(
+        [](ReplicaId, TxnId) {});
+  }
+  system->table_sets_ = std::move(id_sets);
+  system->load_balancer_ = std::make_unique<LoadBalancer>(
+      sim, config.level, db0->TableCount(), config.replica_count,
+      config.routing, config.staleness_bound);
+  system->load_balancer_->SetTableSets(system->table_sets_);
+
+  system->Wire();
+  if (config.gc_interval > 0) system->ScheduleGc();
+  return system;
+}
+
+void ReplicatedSystem::Wire() {
+  const NetworkConfig& net = config_.network;
+
+  WireLoadBalancer();
+
+  // Replica proxy -> load balancer (responses).
+  for (auto& replica : replicas_) {
+    Proxy* proxy = replica->proxy();
+    proxy->SetResponseCallback([this, net](const TxnResponse& response) {
+      sim_->Schedule(net.lb_replica, [this, response]() {
+        load_balancer_->OnProxyResponse(response);
+      });
+    });
+
+    // Replica proxy -> certifier (writesets + eager commit reports).
+    proxy->SetCertRequestCallback([this, net](const WriteSet& ws) {
+      sim_->Schedule(net.replica_certifier, [this, ws]() {
+        certifier_->SubmitCertification(ws);
+      });
+    });
+    proxy->SetReplicaCommittedCallback([this, net](TxnId txn) {
+      sim_->Schedule(net.replica_certifier, [this, txn]() {
+        certifier_->NotifyReplicaCommitted(txn);
+      });
+    });
+  }
+
+  WireCertifier();
+}
+
+void ReplicatedSystem::WireLoadBalancer() {
+  const NetworkConfig& net = config_.network;
+  // Load balancer -> replica proxy (request dispatch).
+  load_balancer_->SetDispatchCallback(
+      [this, net](ReplicaId replica, const TxnRequest& request,
+                  DbVersion required) {
+        sim_->Schedule(net.lb_replica, [this, replica, request, required]() {
+          replicas_[static_cast<size_t>(replica)]->proxy()->OnTxnRequest(
+              request, required);
+        });
+      });
+  // Load balancer -> client (acknowledgments).
+  load_balancer_->SetClientResponseCallback(
+      [this, net](const TxnResponse& response) {
+        sim_->Schedule(net.client_lb, [this, response]() {
+          RecordHistory(response, sim_->Now());
+          if (client_cb_) client_cb_(response);
+        });
+      });
+}
+
+void ReplicatedSystem::CrashLoadBalancer() {
+  ++lb_failovers_;
+  // The standby holds no soft state: it learns the replica set and the
+  // table-set dictionary from configuration/catalog, re-initializes its
+  // version trackers conservatively from the certifier, and re-marks
+  // crashed replicas (hard state it can re-probe).
+  auto standby = std::make_unique<LoadBalancer>(
+      sim_, config_.level, replicas_[0]->db()->TableCount(),
+      config_.replica_count, config_.routing, config_.staleness_bound);
+  standby->SetTableSets(table_sets_);
+  standby->PromoteFrom(certifier_->CommitVersion());
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    if (replicas_[static_cast<size_t>(r)]->proxy()->down()) {
+      standby->MarkReplicaDown(r);
+    }
+  }
+  load_balancer_ = std::move(standby);
+  WireLoadBalancer();
+}
+
+void ReplicatedSystem::WireCertifier() {
+  const NetworkConfig& net = config_.network;
+  // Certifier -> replicas (decisions, refresh fan-out, global commits).
+  certifier_->SetDecisionCallback(
+      [this, net](ReplicaId origin, const CertDecision& decision) {
+        sim_->Schedule(net.replica_certifier, [this, origin, decision]() {
+          replicas_[static_cast<size_t>(origin)]->proxy()->OnCertDecision(
+              decision);
+        });
+      });
+  certifier_->SetRefreshCallback(
+      [this, net](ReplicaId target, const WriteSet& ws) {
+        sim_->Schedule(net.replica_certifier, [this, target, ws]() {
+          replicas_[static_cast<size_t>(target)]->proxy()->OnRefresh(ws);
+        });
+      });
+  certifier_->SetGlobalCommitCallback([this, net](ReplicaId origin,
+                                                  TxnId txn) {
+    sim_->Schedule(net.replica_certifier, [this, origin, txn]() {
+      replicas_[static_cast<size_t>(origin)]->proxy()->OnGlobalCommit(txn);
+    });
+  });
+  // Primary -> standby request stream (state-machine replication). A
+  // forward still in flight when the standby is promoted lands on the
+  // promoted certifier instead, where idempotent certification absorbs
+  // it.
+  if (standby_certifier_ != nullptr) {
+    certifier_->SetForwardCallback([this](const WriteSet& ws) {
+      sim_->Schedule(config_.network.replica_certifier, [this, ws]() {
+        Certifier* target = standby_certifier_ != nullptr
+                                ? standby_certifier_.get()
+                                : certifier_.get();
+        target->SubmitCertification(ws);
+      });
+    });
+  } else {
+    certifier_->SetForwardCallback(nullptr);
+  }
+}
+
+void ReplicatedSystem::CrashCertifier() {
+  SCREP_CHECK_MSG(standby_certifier_ != nullptr,
+                  "no standby certifier configured");
+  SCREP_CHECK_MSG(!certifier_failed_over_, "certifier already failed over");
+  certifier_failed_over_ = true;
+  // The primary is gone — muted, but kept allocated so simulated events
+  // it still owns (disk completions, queued certifications) fire into
+  // silence instead of freed memory. Its pending certifications forward
+  // to the promoted certifier through the forward channel.
+  dead_certifier_ = std::move(certifier_);
+  dead_certifier_->SetMuted(true);
+  // The standby (identical deterministic state) takes over and starts
+  // speaking on the real channels.
+  certifier_ = std::move(standby_certifier_);
+  certifier_->SetMuted(false);
+  WireCertifier();
+  // Replicas may have missed refreshes announced by the dead primary and
+  // decisions for in-flight transactions: catch up and resubmit, one
+  // failover round trip later.
+  for (ReplicaId r = 0; r < static_cast<ReplicaId>(replicas_.size()); ++r) {
+    Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
+    if (proxy->down()) continue;
+    sim_->Schedule(2 * config_.network.replica_certifier, [this, proxy]() {
+      if (proxy->down()) return;
+      const Status st = certifier_->FetchSince(
+          proxy->v_local(), [proxy](const WriteSet& ws) {
+            proxy->OnRefresh(ws);
+          });
+      SCREP_CHECK_MSG(st.ok(), "failover catch-up failed: " << st.ToString());
+      proxy->ResubmitPendingCertifications();
+    });
+  }
+}
+
+void ReplicatedSystem::CrashReplica(ReplicaId replica) {
+  Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
+  SCREP_CHECK_MSG(!proxy->down(), "replica already down");
+  proxy->Crash();
+  certifier_->MarkReplicaDown(replica);
+  // The load balancer notices the failure and fails outstanding
+  // transactions over to their clients (responses travel with latency).
+  load_balancer_->MarkReplicaDown(replica);
+}
+
+void ReplicatedSystem::RecoverReplica(ReplicaId replica) {
+  Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
+  SCREP_CHECK_MSG(proxy->down(), "replica is not down");
+  proxy->Restart();
+  // Resume the refresh flow first so nothing is missed between the catch-
+  // up snapshot and new commits, then stream the missed writesets from
+  // the certifier's durable log (one catch-up round trip).
+  certifier_->MarkReplicaUp(replica);
+  const DbVersion from = proxy->v_local();
+  sim_->Schedule(2 * config_.network.replica_certifier, [this, replica,
+                                                         from]() {
+    Proxy* p = replicas_[static_cast<size_t>(replica)]->proxy();
+    if (p->down()) return;  // crashed again before catch-up started
+    const DbVersion target = certifier_->CommitVersion();
+    const Status st = certifier_->FetchSince(
+        from, [p](const WriteSet& ws) { p->OnRefresh(ws); });
+    SCREP_CHECK_MSG(st.ok(), "catch-up fetch failed: " << st.ToString());
+    // The replica rejoins the routing rotation only once it is current:
+    // under the eager scheme nothing else would stop a freshly recovered
+    // replica from serving stale snapshots.
+    p->CallWhenVersionReached(target, [this, replica]() {
+      load_balancer_->MarkReplicaUp(replica);
+    });
+  });
+}
+
+bool ReplicatedSystem::IsReplicaDown(ReplicaId replica) const {
+  return replicas_[static_cast<size_t>(replica)]->proxy()->down();
+}
+
+void ReplicatedSystem::ScheduleGc() {
+  sim_->Schedule(config_.gc_interval, [this]() {
+    if (gc_stopped_) return;
+    for (auto& replica : replicas_) {
+      if (replica->proxy()->down()) continue;
+      const DbVersion horizon = replica->proxy()->OldestActiveSnapshot();
+      replica->db()->TruncateVersions(horizon);
+    }
+    ScheduleGc();
+  });
+}
+
+void ReplicatedSystem::Submit(TxnRequest request) {
+  request.submit_time = sim_->Now();
+  sim_->Schedule(config_.network.client_lb,
+                 [this, request = std::move(request)]() {
+                   load_balancer_->OnClientRequest(request);
+                 });
+}
+
+void ReplicatedSystem::RecordHistory(const TxnResponse& response,
+                                     SimTime ack_time) {
+  if (history_ == nullptr) return;
+  TxnRecord record;
+  record.id = response.txn_id;
+  record.session = response.session;
+  record.replica = response.replica;
+  record.submit_time = response.submit_time;
+  record.start_time = response.start_time;
+  record.ack_time = ack_time;
+  record.snapshot = response.snapshot;
+  record.commit_version = response.commit_version;
+  record.committed = response.outcome == TxnOutcome::kCommitted;
+  record.read_only = response.read_only;
+  if (response.type != kUnknownTxnType) {
+    const sql::PreparedTransaction& prepared = registry_.Get(response.type);
+    for (const auto& stmt : prepared.statements) {
+      if (std::find(record.table_set.begin(), record.table_set.end(),
+                    stmt->table_id()) == record.table_set.end()) {
+        record.table_set.push_back(stmt->table_id());
+      }
+    }
+  }
+  for (const auto& [table, version] : response.written_table_versions) {
+    (void)version;
+    record.tables_written.push_back(table);
+  }
+  record.keys_written = response.keys_written;
+  history_->Add(std::move(record));
+}
+
+}  // namespace screp

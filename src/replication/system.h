@@ -1,0 +1,168 @@
+// ReplicatedSystem: builds and wires the whole multi-master cluster —
+// load balancer, certifier, N replicas — over a simulated network, and
+// exposes the client entry point (paper Fig. 2).
+
+#ifndef SCREP_REPLICATION_SYSTEM_H_
+#define SCREP_REPLICATION_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consistency/history.h"
+#include "core/consistency_level.h"
+#include "replication/certifier.h"
+#include "replication/load_balancer.h"
+#include "replication/replica.h"
+#include "sim/simulator.h"
+#include "sql/table_set.h"
+
+namespace screp {
+
+/// One-way latencies of the cluster interconnect (Gigabit-Ethernet-ish).
+struct NetworkConfig {
+  SimTime client_lb = Micros(150);
+  SimTime lb_replica = Micros(120);
+  SimTime replica_certifier = Micros(120);
+};
+
+/// Everything needed to stand up a system.
+struct SystemConfig {
+  int replica_count = 4;
+  ConsistencyLevel level = ConsistencyLevel::kLazyCoarse;
+  ProxyConfig proxy;
+  CertifierConfig certifier;
+  NetworkConfig network;
+  /// Load balancer routing policy.
+  RoutingPolicy routing = RoutingPolicy::kLeastActive;
+  /// kBoundedStaleness only: how many versions a replica may lag behind
+  /// V_system at transaction start.
+  DbVersion staleness_bound = 100;
+  /// Run a hot-standby certifier replicated via the state-machine
+  /// approach (paper §IV fault-tolerance); CrashCertifier() then promotes
+  /// it. Not supported together with the eager configuration.
+  bool standby_certifier = false;
+  /// Interval of the replicas' MVCC garbage collection (0 = off). Each
+  /// sweep truncates row versions no active transaction can see.
+  SimTime gc_interval = 0;
+  /// Seed for the replicas' stochastic service-time streams.
+  uint64_t seed = 1;
+};
+
+/// Populates one replica's database (schema + initial rows); must be
+/// deterministic so all replicas start identical.
+using SchemaBuilder = std::function<Status(Database*)>;
+
+/// Registers the workload's prepared transactions against a replica's
+/// catalog (all replicas share table ids by construction).
+using TxnDefiner =
+    std::function<Status(const Database&, sql::TransactionRegistry*)>;
+
+/// The assembled replicated database system.
+class ReplicatedSystem {
+ public:
+  using ClientCallback = std::function<void(const TxnResponse&)>;
+
+  /// Builds the system: creates the replicas (each populated by
+  /// `schema_builder`), prepares the transaction registry, persists the
+  /// table-set catalog, and wires every channel with network latency.
+  static Result<std::unique_ptr<ReplicatedSystem>> Create(
+      Simulator* sim, const SystemConfig& config,
+      const SchemaBuilder& schema_builder, const TxnDefiner& txn_definer);
+
+  /// Client entry point: the request travels client -> load balancer with
+  /// latency, then onwards.
+  void Submit(TxnRequest request);
+
+  /// Wires acknowledgments back to clients (delivered with latency).
+  void SetClientCallback(ClientCallback cb) { client_cb_ = std::move(cb); }
+
+  /// Optional: record every finished transaction for consistency checking.
+  void SetHistory(History* history) { history_ = history; }
+
+  /// Allocates a globally unique transaction id.
+  TxnId NextTxnId() { return next_txn_id_++; }
+
+  /// Crash-stop failure of one replica (paper's crash-recovery model):
+  /// its in-flight transactions are failed back to their clients, the
+  /// load balancer stops routing to it, the certifier stops sending it
+  /// refreshes (and in eager mode stops waiting for it).
+  void CrashReplica(ReplicaId replica);
+
+  /// Recovery: the replica comes back, catches up from the certifier's
+  /// durable log, and rejoins routing.
+  void RecoverReplica(ReplicaId replica);
+
+  /// True while `replica` is crashed.
+  bool IsReplicaDown(ReplicaId replica) const;
+
+  /// Stops the periodic GC daemon (used by the experiment harness so the
+  /// event queue can drain at the end of a run).
+  void StopGc() { gc_stopped_ = true; }
+
+  /// Crash-stop failure of the primary certifier; the standby (which has
+  /// processed the identical certification stream) is promoted, replicas
+  /// catch up on any refreshes lost in flight, and transactions awaiting
+  /// decisions are resubmitted. Requires `standby_certifier`.
+  void CrashCertifier();
+
+  /// True when the primary certifier has failed over to the standby.
+  bool CertifierFailedOver() const { return certifier_failed_over_; }
+
+  /// Crash-stop failure of the load balancer; a standby with empty soft
+  /// state takes over, re-initialized conservatively from the certifier's
+  /// current commit version so no consistency guarantee weakens (§IV:
+  /// "a standby load balancer can be used for availability").
+  void CrashLoadBalancer();
+
+  /// How many times the load balancer has failed over.
+  int load_balancer_failovers() const { return lb_failovers_; }
+
+  Simulator* sim() { return sim_; }
+  const SystemConfig& config() const { return config_; }
+  LoadBalancer* load_balancer() { return load_balancer_.get(); }
+  Certifier* certifier() { return certifier_.get(); }
+  Replica* replica(ReplicaId id) {
+    return replicas_[static_cast<size_t>(id)].get();
+  }
+  int replica_count() const {
+    return static_cast<int>(replicas_.size());
+  }
+  const sql::TransactionRegistry& registry() const { return registry_; }
+
+ private:
+  ReplicatedSystem(Simulator* sim, SystemConfig config);
+
+  void Wire();
+  void RecordHistory(const TxnResponse& response, SimTime ack_time);
+  /// Schedules the next MVCC garbage-collection sweep.
+  void ScheduleGc();
+
+  Simulator* sim_;
+  SystemConfig config_;
+  /// (Re)wires the active certifier's outward channels.
+  void WireCertifier();
+  /// (Re)wires the active load balancer's channels.
+  void WireLoadBalancer();
+
+  sql::TransactionRegistry registry_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<Certifier> certifier_;
+  std::unique_ptr<Certifier> standby_certifier_;
+  /// The crashed primary is kept allocated (muted) until the run ends:
+  /// simulated work it had in flight may still complete, and a crashed
+  /// node's effects must simply be silenced, not use-after-freed.
+  std::unique_ptr<Certifier> dead_certifier_;
+  bool certifier_failed_over_ = false;
+  int lb_failovers_ = 0;
+  std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets_;
+  std::unique_ptr<LoadBalancer> load_balancer_;
+  ClientCallback client_cb_;
+  History* history_ = nullptr;
+  TxnId next_txn_id_ = 1;
+  bool gc_stopped_ = false;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_SYSTEM_H_

@@ -1,0 +1,51 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+namespace screp {
+
+Resource::Resource(Simulator* sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers) {
+  SCREP_CHECK(servers_ >= 1);
+}
+
+void Resource::Submit(SimTime service_time, Callback done) {
+  if (service_time < 0) service_time = 0;
+  Work work{service_time, sim_->Now(), std::move(done)};
+  if (busy_ < servers_) {
+    StartService(std::move(work));
+  } else {
+    queue_.push_back(std::move(work));
+  }
+}
+
+void Resource::StartService(Work work) {
+  ++busy_;
+  busy_time_ += work.service_time;
+  queue_delay_.Add(static_cast<double>(sim_->Now() - work.enqueued_at));
+  Callback done = std::move(work.done);
+  sim_->Schedule(work.service_time, [this, done = std::move(done)]() {
+    --busy_;
+    if (!queue_.empty()) {
+      Work next = std::move(queue_.front());
+      queue_.pop_front();
+      StartService(std::move(next));
+    }
+    done();
+  });
+}
+
+double Resource::Utilization() const {
+  const SimTime elapsed = sim_->Now() - stats_since_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(elapsed) * servers_);
+}
+
+void Resource::ResetStats() {
+  busy_time_ = 0;
+  stats_since_ = sim_->Now();
+  queue_delay_.Reset();
+}
+
+}  // namespace screp

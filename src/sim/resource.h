@@ -1,0 +1,77 @@
+// FIFO service resources for the simulator.
+//
+// A Resource models a server with `c` identical service units (e.g. the two
+// cores of a replica machine, a disk, or the certifier CPU).  Work is
+// submitted as (service_time, completion callback); requests queue FIFO when
+// all units are busy.  Utilization and queueing statistics are tracked so
+// experiments can report saturation.
+
+#ifndef SCREP_SIM_RESOURCE_H_
+#define SCREP_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace screp {
+
+/// A c-server FIFO queueing resource living on a Simulator.
+class Resource {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `servers` is the number of parallel service units (>= 1).
+  Resource(Simulator* sim, std::string name, int servers);
+
+  /// Submits a unit of work needing `service_time` of one server; `done`
+  /// fires when service completes (after any queueing delay).
+  void Submit(SimTime service_time, Callback done);
+
+  /// Name given at construction (for reports).
+  const std::string& name() const { return name_; }
+
+  /// Requests currently waiting (not yet in service).
+  size_t QueueLength() const { return queue_.size(); }
+
+  /// Servers currently busy.
+  int Busy() const { return busy_; }
+
+  /// Total busy server-time accumulated (for utilization reports).
+  SimTime BusyTime() const { return busy_time_; }
+
+  /// Utilization in [0,1] over [0, sim->Now()].
+  double Utilization() const;
+
+  /// Distribution of queueing delays observed (microseconds).
+  const Histogram& queue_delay() const { return queue_delay_; }
+
+  /// Clears statistics (not the queue) — used at the end of warm-up.
+  void ResetStats();
+
+ private:
+  struct Work {
+    SimTime service_time;
+    SimTime enqueued_at;
+    Callback done;
+  };
+
+  void StartService(Work work);
+
+  Simulator* sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime stats_since_ = 0;
+  std::deque<Work> queue_;
+  Histogram queue_delay_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_SIM_RESOURCE_H_

@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace screp {
+
+void Simulator::Schedule(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  SCREP_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                                                << " < "
+                                                                << now_);
+  queue_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the callback must be moved out
+  // before pop, so copy the metadata and move the closure via const_cast
+  // (safe: the element is removed immediately afterwards).
+  Event& top = const_cast<Event&>(queue_.top());
+  SimTime when = top.when;
+  Callback fn = std::move(top.fn);
+  queue_.pop();
+  now_ = when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+uint64_t Simulator::RunAll() {
+  uint64_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+}  // namespace screp

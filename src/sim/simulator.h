@@ -1,0 +1,82 @@
+// Deterministic discrete-event simulator.
+//
+// The replicated-database middleware in src/replication/ is written as
+// event-driven components: every latency in the system (network hops,
+// statement service times, disk writes, think times) is modelled by
+// scheduling a continuation at a later virtual time.  Events at the same
+// timestamp fire in insertion order, so runs are fully deterministic.
+
+#ifndef SCREP_SIM_SIMULATOR_H_
+#define SCREP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace screp {
+
+/// The virtual-time event loop.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at Now() + delay. Negative delays are clamped
+  /// to zero (run "immediately", after currently pending same-time events).
+  void Schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at an absolute virtual time (>= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs events until the queue is empty or virtual time would exceed
+  /// `until`. Returns the number of events executed.
+  uint64_t RunUntil(SimTime until);
+
+  /// Runs events until the queue drains. Returns events executed.
+  uint64_t RunAll();
+
+  /// Executes exactly one event if available. Returns false when empty.
+  bool Step();
+
+  /// True when no events are pending.
+  bool Empty() const { return queue_.empty(); }
+
+  /// Number of pending events.
+  size_t PendingEvents() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;  // tie-breaker: FIFO among same-time events
+    Callback fn;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_SIM_SIMULATOR_H_

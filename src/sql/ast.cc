@@ -1,0 +1,159 @@
+#include "sql/ast.h"
+
+namespace screp::sql {
+
+Expr Expr::Literal(Value v) {
+  Expr e;
+  e.kind = Kind::kLiteral;
+  e.literal = std::move(v);
+  return e;
+}
+
+Expr Expr::Param(int index) {
+  Expr e;
+  e.kind = Kind::kParam;
+  e.param_index = index;
+  return e;
+}
+
+Expr Expr::Column(std::string name) {
+  Expr e;
+  e.kind = Kind::kColumn;
+  e.column = std::move(name);
+  return e;
+}
+
+Expr Expr::Clone() const {
+  Expr e;
+  e.kind = kind;
+  e.literal = literal;
+  e.param_index = param_index;
+  e.column = column;
+  e.column_index = column_index;
+  e.op = op;
+  if (lhs) e.lhs = std::make_unique<Expr>(lhs->Clone());
+  if (rhs) e.rhs = std::make_unique<Expr>(rhs->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kParam:
+      return "?";
+    case Kind::kColumn:
+      return column;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Comparison::ToString() const {
+  if (op == CompareOp::kBetween) {
+    return column + " BETWEEN " + value.ToString() + " AND " +
+           value2.ToString();
+  }
+  return column + " " + OpName(op) + " " + value.ToString();
+}
+
+std::string Predicate::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conjuncts[i].ToString();
+  }
+  return out;
+}
+
+std::string SelectItem::ToString() const {
+  switch (agg) {
+    case AggFunc::kNone:
+      return column;
+    case AggFunc::kCount:
+      return column.empty() ? "COUNT(*)" : "COUNT(" + column + ")";
+    case AggFunc::kSum:
+      return "SUM(" + column + ")";
+    case AggFunc::kAvg:
+      return "AVG(" + column + ")";
+    case AggFunc::kMin:
+      return "MIN(" + column + ")";
+    case AggFunc::kMax:
+      return "MAX(" + column + ")";
+  }
+  return "?";
+}
+
+std::string StatementAst::ToString() const {
+  std::string out;
+  switch (kind) {
+    case StatementKind::kSelect: {
+      out = "SELECT ";
+      if (select_star) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < select_items.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += select_items[i].ToString();
+        }
+      }
+      out += " FROM " + table;
+      if (!where.empty()) out += " WHERE " + where.ToString();
+      if (order_by) {
+        out += " ORDER BY " + order_by->column +
+               (order_by->descending ? " DESC" : " ASC");
+      }
+      if (limit) out += " LIMIT " + limit->ToString();
+      break;
+    }
+    case StatementKind::kUpdate: {
+      out = "UPDATE " + table + " SET ";
+      for (size_t i = 0; i < assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += assignments[i].first + " = " + assignments[i].second.ToString();
+      }
+      if (!where.empty()) out += " WHERE " + where.ToString();
+      break;
+    }
+    case StatementKind::kInsert: {
+      out = "INSERT INTO " + table + " VALUES (";
+      for (size_t i = 0; i < insert_values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += insert_values[i].ToString();
+      }
+      out += ")";
+      break;
+    }
+    case StatementKind::kDelete: {
+      out = "DELETE FROM " + table;
+      if (!where.empty()) out += " WHERE " + where.ToString();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace screp::sql

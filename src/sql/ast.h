@@ -1,0 +1,113 @@
+// Abstract syntax tree for the mini-SQL dialect.
+
+#ifndef SCREP_SQL_AST_H_
+#define SCREP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace screp::sql {
+
+/// Scalar expression: literal, `?` parameter, column reference, or a
+/// binary arithmetic combination of those (+, -, *).
+struct Expr {
+  enum class Kind { kLiteral, kParam, kColumn, kBinary };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                    // kLiteral
+  int param_index = -1;             // kParam (0-based)
+  std::string column;               // kColumn
+  int column_index = -1;            // kColumn, resolved at prepare time
+  char op = 0;                      // kBinary: '+', '-', '*'
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  static Expr Literal(Value v);
+  static Expr Param(int index);
+  static Expr Column(std::string name);
+
+  Expr Clone() const;
+  std::string ToString() const;
+};
+
+/// Comparison operator in WHERE clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+/// One conjunct: `column OP expr` or `column BETWEEN expr AND expr`.
+struct Comparison {
+  std::string column;
+  int column_index = -1;  // resolved at prepare time
+  CompareOp op = CompareOp::kEq;
+  Expr value;
+  Expr value2;  // BETWEEN upper bound
+
+  std::string ToString() const;
+};
+
+/// A conjunction of comparisons (the only predicate form the dialect has).
+struct Predicate {
+  std::vector<Comparison> conjuncts;
+
+  bool empty() const { return conjuncts.empty(); }
+  std::string ToString() const;
+};
+
+/// Aggregate function in a select list.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One projected item: a column, or an aggregate over a column / `*`.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  std::string column;     // empty for COUNT(*)
+  int column_index = -1;  // resolved at prepare time
+
+  std::string ToString() const;
+};
+
+/// ORDER BY clause (single key).
+struct OrderBy {
+  std::string column;
+  int column_index = -1;
+  bool descending = false;
+};
+
+/// What kind of statement an AST node is.
+enum class StatementKind { kSelect, kUpdate, kInsert, kDelete };
+
+/// Parsed statement; exactly the fields for its `kind` are meaningful.
+struct StatementAst {
+  StatementKind kind = StatementKind::kSelect;
+  std::string table;
+
+  // SELECT
+  bool select_star = false;
+  std::vector<SelectItem> select_items;
+  std::optional<OrderBy> order_by;
+  std::optional<Expr> limit;  // integer literal or parameter
+
+  // UPDATE
+  std::vector<std::pair<std::string, Expr>> assignments;
+  std::vector<int> assignment_indexes;  // resolved at prepare time
+
+  // INSERT
+  std::vector<Expr> insert_values;
+
+  // SELECT / UPDATE / DELETE
+  Predicate where;
+
+  /// Number of `?` parameters in the statement.
+  int param_count = 0;
+
+  /// Whether executing this statement writes the database.
+  bool IsUpdate() const { return kind != StatementKind::kSelect; }
+
+  std::string ToString() const;
+};
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_AST_H_

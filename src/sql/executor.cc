@@ -1,0 +1,442 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace screp::sql {
+
+namespace {
+
+/// Evaluates an expression; `row` may be nullptr when no row context
+/// exists (INSERT values, WHERE bounds).
+Result<Value> Eval(const Expr& expr, const std::vector<Value>& params,
+                   const Row* row) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kParam:
+      if (expr.param_index < 0 ||
+          static_cast<size_t>(expr.param_index) >= params.size()) {
+        return Status::InvalidArgument(
+            "parameter " + std::to_string(expr.param_index + 1) +
+            " not bound");
+      }
+      return params[static_cast<size_t>(expr.param_index)];
+    case Expr::Kind::kColumn:
+      if (row == nullptr) {
+        return Status::InvalidArgument("column '" + expr.column +
+                                       "' referenced without row context");
+      }
+      SCREP_CHECK(expr.column_index >= 0);
+      if (static_cast<size_t>(expr.column_index) >= row->size()) {
+        return Status::Internal("column index out of range");
+      }
+      return (*row)[static_cast<size_t>(expr.column_index)];
+    case Expr::Kind::kBinary: {
+      SCREP_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, params, row));
+      SCREP_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, params, row));
+      const bool l_num =
+          l.type() == ValueType::kInt64 || l.type() == ValueType::kDouble;
+      const bool r_num =
+          r.type() == ValueType::kInt64 || r.type() == ValueType::kDouble;
+      if (expr.op == '+' && l.type() == ValueType::kString &&
+          r.type() == ValueType::kString) {
+        return Value(l.AsString() + r.AsString());
+      }
+      if (!l_num || !r_num) {
+        return Status::InvalidArgument("arithmetic on non-numeric values");
+      }
+      if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64) {
+        const int64_t a = l.AsInt();
+        const int64_t b = r.AsInt();
+        switch (expr.op) {
+          case '+':
+            return Value(a + b);
+          case '-':
+            return Value(a - b);
+          case '*':
+            return Value(a * b);
+        }
+      }
+      const double a = l.AsNumeric();
+      const double b = r.AsNumeric();
+      switch (expr.op) {
+        case '+':
+          return Value(a + b);
+        case '-':
+          return Value(a - b);
+        case '*':
+          return Value(a * b);
+      }
+      return Status::Internal("bad binary operator");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+bool CompareMatches(CompareOp op, const Value& lhs, const Value& rhs) {
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kBetween:
+      SCREP_CHECK(false);
+  }
+  return false;
+}
+
+/// Bound WHERE clause: each conjunct's operand expressions evaluated
+/// against params (row-independent), ready to test rows.
+struct BoundPredicate {
+  struct BoundComparison {
+    int column_index;
+    CompareOp op;
+    Value value;
+    Value value2;
+  };
+  std::vector<BoundComparison> conjuncts;
+
+  bool Matches(const Row& row) const {
+    for (const BoundComparison& c : conjuncts) {
+      const Value& cell = row[static_cast<size_t>(c.column_index)];
+      if (c.op == CompareOp::kBetween) {
+        if (cell.Compare(c.value) < 0 || cell.Compare(c.value2) > 0) {
+          return false;
+        }
+      } else if (!CompareMatches(c.op, cell, c.value)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+Result<BoundPredicate> BindPredicate(const Predicate& where,
+                                     const std::vector<Value>& params) {
+  BoundPredicate bound;
+  for (const Comparison& cmp : where.conjuncts) {
+    BoundPredicate::BoundComparison bc;
+    bc.column_index = cmp.column_index;
+    bc.op = cmp.op;
+    SCREP_ASSIGN_OR_RETURN(bc.value, Eval(cmp.value, params, nullptr));
+    if (cmp.op == CompareOp::kBetween) {
+      SCREP_ASSIGN_OR_RETURN(bc.value2, Eval(cmp.value2, params, nullptr));
+    }
+    bound.conjuncts.push_back(std::move(bc));
+  }
+  return bound;
+}
+
+/// Chosen access path for a bound predicate.
+struct AccessPath {
+  enum class Kind { kPoint, kRange, kIndexEq, kFullScan } kind =
+      Kind::kFullScan;
+  int64_t key = 0;         // kPoint
+  int64_t lo = 0, hi = 0;  // kRange
+  int index_column = -1;   // kIndexEq
+  Value index_value;       // kIndexEq
+};
+
+AccessPath ChoosePath(const Transaction* txn, TableId table,
+                      const BoundPredicate& pred) {
+  AccessPath path;
+  // Primary-key access beats everything.
+  for (const auto& c : pred.conjuncts) {
+    if (c.column_index != 0) continue;
+    if (c.op == CompareOp::kEq && c.value.type() == ValueType::kInt64) {
+      path.kind = AccessPath::Kind::kPoint;
+      path.key = c.value.AsInt();
+      return path;
+    }
+    if (c.op == CompareOp::kBetween &&
+        c.value.type() == ValueType::kInt64 &&
+        c.value2.type() == ValueType::kInt64) {
+      path.kind = AccessPath::Kind::kRange;
+      path.lo = c.value.AsInt();
+      path.hi = c.value2.AsInt();
+      return path;
+    }
+  }
+  // Next best: an equality on an indexed secondary column.
+  for (const auto& c : pred.conjuncts) {
+    if (c.column_index <= 0 || c.op != CompareOp::kEq) continue;
+    if (txn->HasIndex(table, c.column_index)) {
+      path.kind = AccessPath::Kind::kIndexEq;
+      path.index_column = c.column_index;
+      path.index_value = c.value;
+      return path;
+    }
+  }
+  return path;
+}
+
+/// Runs the access path, calling `visit` for each matching (key,row);
+/// returns rows examined.
+int64_t RunPath(Transaction* txn, TableId table, const AccessPath& path,
+                const BoundPredicate& pred,
+                const std::function<bool(int64_t, const Row&)>& visit) {
+  int64_t examined = 0;
+  auto filtered = [&](int64_t key, const Row& row) {
+    ++examined;
+    if (!pred.Matches(row)) return true;
+    return visit(key, row);
+  };
+  switch (path.kind) {
+    case AccessPath::Kind::kPoint: {
+      Result<Row> row = txn->Get(table, path.key);
+      if (row.ok()) {
+        ++examined;
+        if (pred.Matches(*row)) visit(path.key, *row);
+      }
+      break;
+    }
+    case AccessPath::Kind::kRange:
+      txn->ScanRange(table, path.lo, path.hi, filtered);
+      break;
+    case AccessPath::Kind::kIndexEq:
+      txn->IndexScan(table, path.index_column, path.index_value, filtered);
+      break;
+    case AccessPath::Kind::kFullScan:
+      txn->Scan(table, filtered);
+      break;
+  }
+  return examined;
+}
+
+Result<ResultSet> ExecuteSelect(Transaction* txn,
+                                const PreparedStatement& stmt,
+                                const std::vector<Value>& params) {
+  const StatementAst& ast = stmt.ast();
+  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
+                         BindPredicate(ast.where, params));
+  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+
+  ResultSet rs;
+  for (const SelectItem& item : ast.select_items) {
+    rs.columns.push_back(item.ToString());
+  }
+
+  const bool has_agg =
+      !ast.select_items.empty() &&
+      std::any_of(ast.select_items.begin(), ast.select_items.end(),
+                  [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
+  if (has_agg &&
+      std::any_of(ast.select_items.begin(), ast.select_items.end(),
+                  [](const SelectItem& i) { return i.agg == AggFunc::kNone; })) {
+    return Status::NotSupported(
+        "mixing aggregates and plain columns (no GROUP BY support)");
+  }
+
+  if (has_agg) {
+    struct AggState {
+      int64_t count = 0;
+      double sum = 0.0;
+      bool seen = false;
+      Value min, max;
+    };
+    std::vector<AggState> states(ast.select_items.size());
+    rs.rows_examined = RunPath(
+        txn, stmt.table_id(), path, pred, [&](int64_t, const Row& row) {
+          for (size_t i = 0; i < ast.select_items.size(); ++i) {
+            const SelectItem& item = ast.select_items[i];
+            AggState& st = states[i];
+            ++st.count;
+            if (item.agg == AggFunc::kCount) continue;
+            const Value& v = row[static_cast<size_t>(item.column_index)];
+            st.sum += v.AsNumeric();
+            if (!st.seen || v < st.min) st.min = v;
+            if (!st.seen || v > st.max) st.max = v;
+            st.seen = true;
+          }
+          return true;
+        });
+    Row out;
+    for (size_t i = 0; i < ast.select_items.size(); ++i) {
+      const AggState& st = states[i];
+      switch (ast.select_items[i].agg) {
+        case AggFunc::kCount:
+          out.push_back(Value(st.count));
+          break;
+        case AggFunc::kSum:
+          out.push_back(Value(st.sum));
+          break;
+        case AggFunc::kAvg:
+          out.push_back(st.count > 0
+                            ? Value(st.sum / static_cast<double>(st.count))
+                            : Value());
+          break;
+        case AggFunc::kMin:
+          out.push_back(st.seen ? st.min : Value());
+          break;
+        case AggFunc::kMax:
+          out.push_back(st.seen ? st.max : Value());
+          break;
+        case AggFunc::kNone:
+          break;
+      }
+    }
+    rs.rows.push_back(std::move(out));
+    return rs;
+  }
+
+  // Plain projection, with optional ORDER BY + LIMIT.
+  int64_t limit = -1;
+  if (ast.limit) {
+    SCREP_ASSIGN_OR_RETURN(Value lv, Eval(*ast.limit, params, nullptr));
+    if (lv.type() != ValueType::kInt64 || lv.AsInt() < 0) {
+      return Status::InvalidArgument("LIMIT must be a non-negative integer");
+    }
+    limit = lv.AsInt();
+  }
+
+  std::vector<Row> matched;
+  const bool can_stop_early = !ast.order_by && limit >= 0;
+  rs.rows_examined = RunPath(
+      txn, stmt.table_id(), path, pred, [&](int64_t, const Row& row) {
+        matched.push_back(row);
+        return !(can_stop_early &&
+                 matched.size() >= static_cast<size_t>(limit));
+      });
+
+  if (ast.order_by) {
+    const size_t idx = static_cast<size_t>(ast.order_by->column_index);
+    const bool desc = ast.order_by->descending;
+    std::stable_sort(matched.begin(), matched.end(),
+                     [idx, desc](const Row& a, const Row& b) {
+                       const int c = a[idx].Compare(b[idx]);
+                       return desc ? c > 0 : c < 0;
+                     });
+  }
+  if (limit >= 0 && matched.size() > static_cast<size_t>(limit)) {
+    matched.resize(static_cast<size_t>(limit));
+  }
+  for (Row& row : matched) {
+    Row projected;
+    projected.reserve(ast.select_items.size());
+    for (const SelectItem& item : ast.select_items) {
+      projected.push_back(row[static_cast<size_t>(item.column_index)]);
+    }
+    rs.rows.push_back(std::move(projected));
+  }
+  return rs;
+}
+
+Result<ResultSet> ExecuteUpdate(Transaction* txn,
+                                const PreparedStatement& stmt,
+                                const std::vector<Value>& params) {
+  const StatementAst& ast = stmt.ast();
+  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
+                         BindPredicate(ast.where, params));
+  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+
+  // Materialize matches first: mutating while scanning would invalidate
+  // the merge iterator over the write buffer.
+  std::vector<std::pair<int64_t, Row>> matches;
+  ResultSet rs;
+  rs.rows_examined = RunPath(txn, stmt.table_id(), path, pred,
+                             [&](int64_t key, const Row& row) {
+                               matches.emplace_back(key, row);
+                               return true;
+                             });
+  for (auto& [key, row] : matches) {
+    Row updated = row;
+    for (size_t i = 0; i < ast.assignments.size(); ++i) {
+      SCREP_ASSIGN_OR_RETURN(Value v,
+                             Eval(ast.assignments[i].second, params, &row));
+      updated[static_cast<size_t>(ast.assignment_indexes[i])] = std::move(v);
+    }
+    SCREP_RETURN_NOT_OK(txn->Update(stmt.table_id(), key, std::move(updated)));
+    ++rs.rows_affected;
+  }
+  return rs;
+}
+
+Result<ResultSet> ExecuteInsert(Transaction* txn,
+                                const PreparedStatement& stmt,
+                                const std::vector<Value>& params) {
+  const StatementAst& ast = stmt.ast();
+  Row row;
+  row.reserve(ast.insert_values.size());
+  for (const Expr& e : ast.insert_values) {
+    SCREP_ASSIGN_OR_RETURN(Value v, Eval(e, params, nullptr));
+    row.push_back(std::move(v));
+  }
+  SCREP_RETURN_NOT_OK(txn->Insert(stmt.table_id(), std::move(row)));
+  ResultSet rs;
+  rs.rows_affected = 1;
+  rs.rows_examined = 1;
+  return rs;
+}
+
+Result<ResultSet> ExecuteDelete(Transaction* txn,
+                                const PreparedStatement& stmt,
+                                const std::vector<Value>& params) {
+  const StatementAst& ast = stmt.ast();
+  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
+                         BindPredicate(ast.where, params));
+  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+  std::vector<int64_t> keys;
+  ResultSet rs;
+  rs.rows_examined = RunPath(txn, stmt.table_id(), path, pred,
+                             [&](int64_t key, const Row&) {
+                               keys.push_back(key);
+                               return true;
+                             });
+  for (int64_t key : keys) {
+    SCREP_RETURN_NOT_OK(txn->Delete(stmt.table_id(), key));
+    ++rs.rows_affected;
+  }
+  return rs;
+}
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    out += RowToString(row);
+    out += "\n";
+  }
+  if (columns.empty()) {
+    out = std::to_string(rows_affected) + " row(s) affected\n";
+  }
+  return out;
+}
+
+Result<ResultSet> Execute(Transaction* txn, const PreparedStatement& stmt,
+                          const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) != stmt.param_count()) {
+    return Status::InvalidArgument(
+        "statement needs " + std::to_string(stmt.param_count()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  switch (stmt.ast().kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(txn, stmt, params);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(txn, stmt, params);
+    case StatementKind::kInsert:
+      return ExecuteInsert(txn, stmt, params);
+    case StatementKind::kDelete:
+      return ExecuteDelete(txn, stmt, params);
+  }
+  return Status::Internal("bad statement kind");
+}
+
+}  // namespace screp::sql

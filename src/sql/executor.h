@@ -1,0 +1,44 @@
+// Statement execution against a snapshot-isolated Transaction.
+//
+// Access-path selection is deliberately simple (this models a replica's
+// local DBMS, not a query optimizer): an equality conjunct on the primary
+// key becomes a point lookup, a BETWEEN on the key becomes a range scan,
+// anything else is a filtered full scan.  The executor reports rows
+// examined so the simulator can charge realistic service time.
+
+#ifndef SCREP_SQL_EXECUTOR_H_
+#define SCREP_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/statement.h"
+#include "storage/transaction.h"
+
+namespace screp::sql {
+
+/// The outcome of executing one statement.
+struct ResultSet {
+  /// Projected column labels (SELECT only).
+  std::vector<std::string> columns;
+  /// Result rows (SELECT only).
+  std::vector<Row> rows;
+  /// Records written (UPDATE/INSERT/DELETE only).
+  int64_t rows_affected = 0;
+  /// Rows the access path visited — the cost-model input.
+  int64_t rows_examined = 0;
+
+  std::string ToString() const;
+};
+
+/// Executes a prepared statement within `txn` with positional `params`.
+///
+/// Errors: InvalidArgument for arity/type mismatches, NotFound /
+/// AlreadyExists surfaced from DML, NotSupported for unsupported shapes.
+Result<ResultSet> Execute(Transaction* txn, const PreparedStatement& stmt,
+                          const std::vector<Value>& params);
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_EXECUTOR_H_

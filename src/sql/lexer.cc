@@ -1,0 +1,168 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace screp::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Status Tokenize(const std::string& text, std::vector<Token>* tokens) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      std::string word = text.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLower(std::move(word));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.')) {
+        if (text[j] == '.') is_float = true;
+        ++j;
+      }
+      const std::string num = text.substr(i, j - i);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == '\'') {
+          if (j + 1 < n && text[j + 1] == '\'') {  // escaped quote
+            s.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        s.push_back(text[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          tok.type = TokenType::kComma;
+          ++i;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          ++i;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          ++i;
+          break;
+        case '*':
+          tok.type = TokenType::kStar;
+          ++i;
+          break;
+        case '+':
+          tok.type = TokenType::kPlus;
+          ++i;
+          break;
+        case '-':
+          tok.type = TokenType::kMinus;
+          ++i;
+          break;
+        case '?':
+          tok.type = TokenType::kParam;
+          ++i;
+          break;
+        case '=':
+          tok.type = TokenType::kEq;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && text[i + 1] == '>') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.type = TokenType::kGe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at " +
+              std::to_string(i));
+      }
+    }
+    tokens->push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace screp::sql

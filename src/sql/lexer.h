@@ -1,0 +1,20 @@
+// Tokenizer for the mini-SQL dialect.
+
+#ifndef SCREP_SQL_LEXER_H_
+#define SCREP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace screp::sql {
+
+/// Tokenizes `text` into `tokens` (terminated by a kEnd token).
+/// Fails with InvalidArgument on unterminated strings or stray characters.
+Status Tokenize(const std::string& text, std::vector<Token>* tokens);
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_LEXER_H_

@@ -1,0 +1,347 @@
+#include "sql/parser.h"
+
+#include <memory>
+
+#include "sql/lexer.h"
+
+namespace screp::sql {
+
+namespace {
+
+/// Token-stream cursor with error helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementAst> ParseStatement() {
+    StatementAst ast;
+    if (AcceptKeyword("SELECT")) {
+      SCREP_RETURN_NOT_OK(ParseSelect(&ast));
+    } else if (AcceptKeyword("UPDATE")) {
+      SCREP_RETURN_NOT_OK(ParseUpdate(&ast));
+    } else if (AcceptKeyword("INSERT")) {
+      SCREP_RETURN_NOT_OK(ParseInsert(&ast));
+    } else if (AcceptKeyword("DELETE")) {
+      SCREP_RETURN_NOT_OK(ParseDelete(&ast));
+    } else {
+      return Error("expected SELECT, UPDATE, INSERT or DELETE");
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    ast.param_count = param_count_;
+    return ast;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, Token* out = nullptr) {
+    if (Peek().type != type) {
+      return Error(std::string("expected ") + TokenTypeName(type) +
+                   ", found " + TokenTypeName(Peek().type));
+    }
+    if (out != nullptr) *out = Peek();
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (at offset " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  Status ParseSelect(StatementAst* ast) {
+    ast->kind = StatementKind::kSelect;
+    if (Accept(TokenType::kStar)) {
+      ast->select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        SCREP_RETURN_NOT_OK(ParseSelectItem(&item));
+        ast->select_items.push_back(std::move(item));
+      } while (Accept(TokenType::kComma));
+    }
+    SCREP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    Token table;
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &table));
+    ast->table = table.text;
+    if (AcceptKeyword("WHERE")) {
+      SCREP_RETURN_NOT_OK(ParsePredicate(&ast->where));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SCREP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      Token col;
+      SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &col));
+      OrderBy ob;
+      ob.column = col.text;
+      if (AcceptKeyword("DESC")) {
+        ob.descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      ast->order_by = std::move(ob);
+    }
+    if (AcceptKeyword("LIMIT")) {
+      Expr limit;
+      SCREP_RETURN_NOT_OK(ParsePrimary(&limit));
+      if (limit.kind == Expr::Kind::kColumn) {
+        return Error("LIMIT must be an integer or parameter");
+      }
+      ast->limit = std::move(limit);
+    }
+    return Status::OK();
+  }
+
+  Status ParseUpdate(StatementAst* ast) {
+    ast->kind = StatementKind::kUpdate;
+    Token table;
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &table));
+    ast->table = table.text;
+    SCREP_RETURN_NOT_OK(ExpectKeyword("SET"));
+    do {
+      Token col;
+      SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &col));
+      SCREP_RETURN_NOT_OK(Expect(TokenType::kEq));
+      Expr value;
+      SCREP_RETURN_NOT_OK(ParseExpr(&value));
+      ast->assignments.emplace_back(col.text, std::move(value));
+    } while (Accept(TokenType::kComma));
+    if (AcceptKeyword("WHERE")) {
+      SCREP_RETURN_NOT_OK(ParsePredicate(&ast->where));
+    }
+    return Status::OK();
+  }
+
+  Status ParseInsert(StatementAst* ast) {
+    ast->kind = StatementKind::kInsert;
+    SCREP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    Token table;
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &table));
+    ast->table = table.text;
+    SCREP_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    do {
+      Expr value;
+      SCREP_RETURN_NOT_OK(ParseExpr(&value));
+      if (value.kind == Expr::Kind::kColumn) {
+        return Error("INSERT values may not reference columns");
+      }
+      ast->insert_values.push_back(std::move(value));
+    } while (Accept(TokenType::kComma));
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return Status::OK();
+  }
+
+  Status ParseDelete(StatementAst* ast) {
+    ast->kind = StatementKind::kDelete;
+    SCREP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    Token table;
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &table));
+    ast->table = table.text;
+    if (AcceptKeyword("WHERE")) {
+      SCREP_RETURN_NOT_OK(ParsePredicate(&ast->where));
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItem(SelectItem* item) {
+    static const struct {
+      const char* kw;
+      AggFunc fn;
+    } kAggs[] = {{"COUNT", AggFunc::kCount},
+                 {"SUM", AggFunc::kSum},
+                 {"AVG", AggFunc::kAvg},
+                 {"MIN", AggFunc::kMin},
+                 {"MAX", AggFunc::kMax}};
+    for (const auto& agg : kAggs) {
+      if (AcceptKeyword(agg.kw)) {
+        item->agg = agg.fn;
+        SCREP_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        if (agg.fn == AggFunc::kCount && Accept(TokenType::kStar)) {
+          item->column.clear();
+        } else {
+          Token col;
+          SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &col));
+          item->column = col.text;
+        }
+        SCREP_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return Status::OK();
+      }
+    }
+    Token col;
+    SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &col));
+    item->agg = AggFunc::kNone;
+    item->column = col.text;
+    return Status::OK();
+  }
+
+  Status ParsePredicate(Predicate* pred) {
+    do {
+      Comparison cmp;
+      Token col;
+      SCREP_RETURN_NOT_OK(Expect(TokenType::kIdentifier, &col));
+      cmp.column = col.text;
+      if (AcceptKeyword("BETWEEN")) {
+        cmp.op = CompareOp::kBetween;
+        SCREP_RETURN_NOT_OK(ParseExpr(&cmp.value));
+        SCREP_RETURN_NOT_OK(ExpectKeyword("AND"));
+        SCREP_RETURN_NOT_OK(ParseExpr(&cmp.value2));
+      } else {
+        switch (Peek().type) {
+          case TokenType::kEq:
+            cmp.op = CompareOp::kEq;
+            break;
+          case TokenType::kNe:
+            cmp.op = CompareOp::kNe;
+            break;
+          case TokenType::kLt:
+            cmp.op = CompareOp::kLt;
+            break;
+          case TokenType::kLe:
+            cmp.op = CompareOp::kLe;
+            break;
+          case TokenType::kGt:
+            cmp.op = CompareOp::kGt;
+            break;
+          case TokenType::kGe:
+            cmp.op = CompareOp::kGe;
+            break;
+          default:
+            return Error("expected comparison operator");
+        }
+        Advance();
+        SCREP_RETURN_NOT_OK(ParseExpr(&cmp.value));
+      }
+      pred->conjuncts.push_back(std::move(cmp));
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  // expr := primary (('+'|'-'|'*') primary)*   (left-assoc, '*' binds like
+  // the others — parenthesize when it matters; workload statements are
+  // simple enough).
+  Status ParseExpr(Expr* out) {
+    Expr left;
+    SCREP_RETURN_NOT_OK(ParsePrimary(&left));
+    while (true) {
+      char op = 0;
+      if (Accept(TokenType::kPlus)) {
+        op = '+';
+      } else if (Accept(TokenType::kMinus)) {
+        op = '-';
+      } else if (Peek().type == TokenType::kStar) {
+        // '*' only acts as multiplication inside an expression context.
+        Advance();
+        op = '*';
+      } else {
+        break;
+      }
+      Expr right;
+      SCREP_RETURN_NOT_OK(ParsePrimary(&right));
+      Expr combined;
+      combined.kind = Expr::Kind::kBinary;
+      combined.op = op;
+      combined.lhs = std::make_unique<Expr>(std::move(left));
+      combined.rhs = std::make_unique<Expr>(std::move(right));
+      left = std::move(combined);
+    }
+    *out = std::move(left);
+    return Status::OK();
+  }
+
+  Status ParsePrimary(Expr* out) {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger:
+        *out = Expr::Literal(Value(tok.int_value));
+        Advance();
+        return Status::OK();
+      case TokenType::kFloat:
+        *out = Expr::Literal(Value(tok.float_value));
+        Advance();
+        return Status::OK();
+      case TokenType::kString:
+        *out = Expr::Literal(Value(tok.text));
+        Advance();
+        return Status::OK();
+      case TokenType::kParam:
+        *out = Expr::Param(param_count_++);
+        Advance();
+        return Status::OK();
+      case TokenType::kIdentifier:
+        *out = Expr::Column(tok.text);
+        Advance();
+        return Status::OK();
+      case TokenType::kKeyword:
+        if (tok.text == "NULL") {
+          *out = Expr::Literal(Value());
+          Advance();
+          return Status::OK();
+        }
+        return Error("unexpected keyword " + tok.text);
+      case TokenType::kMinus: {
+        Advance();
+        Expr inner;
+        SCREP_RETURN_NOT_OK(ParsePrimary(&inner));
+        if (inner.kind == Expr::Kind::kLiteral &&
+            inner.literal.type() == ValueType::kInt64) {
+          *out = Expr::Literal(Value(-inner.literal.AsInt()));
+          return Status::OK();
+        }
+        if (inner.kind == Expr::Kind::kLiteral &&
+            inner.literal.type() == ValueType::kDouble) {
+          *out = Expr::Literal(Value(-inner.literal.AsDouble()));
+          return Status::OK();
+        }
+        return Error("'-' only applies to numeric literals");
+      }
+      case TokenType::kLParen: {
+        Advance();
+        SCREP_RETURN_NOT_OK(ParseExpr(out));
+        return Expect(TokenType::kRParen);
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int param_count_ = 0;
+};
+
+}  // namespace
+
+Result<StatementAst> Parse(const std::string& text) {
+  std::vector<Token> tokens;
+  SCREP_RETURN_NOT_OK(Tokenize(text, &tokens));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace screp::sql

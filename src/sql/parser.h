@@ -1,0 +1,19 @@
+// Recursive-descent parser for the mini-SQL dialect.
+
+#ifndef SCREP_SQL_PARSER_H_
+#define SCREP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace screp::sql {
+
+/// Parses a single statement. On success the AST's `param_count` reflects
+/// the number of `?` placeholders (numbered left to right).
+Result<StatementAst> Parse(const std::string& text);
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_PARSER_H_

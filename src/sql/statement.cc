@@ -1,0 +1,121 @@
+#include "sql/statement.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace screp::sql {
+
+namespace {
+
+Status ResolveColumn(const Schema& schema, const std::string& table,
+                     const std::string& column, int* index) {
+  const int idx = schema.ColumnIndex(column);
+  if (idx < 0) {
+    return Status::InvalidArgument("unknown column '" + column +
+                                   "' in table '" + table + "'");
+  }
+  *index = idx;
+  return Status::OK();
+}
+
+Status ResolveExpr(const Schema& schema, const std::string& table,
+                   Expr* expr) {
+  switch (expr->kind) {
+    case Expr::Kind::kColumn:
+      return ResolveColumn(schema, table, expr->column,
+                           &expr->column_index);
+    case Expr::Kind::kBinary:
+      SCREP_RETURN_NOT_OK(ResolveExpr(schema, table, expr->lhs.get()));
+      return ResolveExpr(schema, table, expr->rhs.get());
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedStatement>> PreparedStatement::Prepare(
+    const Database& db, const std::string& text) {
+  SCREP_ASSIGN_OR_RETURN(StatementAst ast, Parse(text));
+
+  auto stmt = std::shared_ptr<PreparedStatement>(new PreparedStatement());
+  stmt->text_ = text;
+  stmt->table_name_ = ast.table;
+  SCREP_ASSIGN_OR_RETURN(stmt->table_id_, db.FindTable(ast.table));
+  const Schema& schema = db.table(stmt->table_id_)->schema();
+
+  // Resolve column references throughout the AST.
+  for (SelectItem& item : ast.select_items) {
+    if (item.agg == AggFunc::kCount && item.column.empty()) continue;
+    SCREP_RETURN_NOT_OK(
+        ResolveColumn(schema, ast.table, item.column, &item.column_index));
+  }
+  if (ast.select_star) {
+    ast.select_items.clear();
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      SelectItem item;
+      item.column = schema.column(i).name;
+      item.column_index = static_cast<int>(i);
+      ast.select_items.push_back(std::move(item));
+    }
+  }
+  for (Comparison& cmp : ast.where.conjuncts) {
+    SCREP_RETURN_NOT_OK(
+        ResolveColumn(schema, ast.table, cmp.column, &cmp.column_index));
+    SCREP_RETURN_NOT_OK(ResolveExpr(schema, ast.table, &cmp.value));
+    if (cmp.op == CompareOp::kBetween) {
+      SCREP_RETURN_NOT_OK(ResolveExpr(schema, ast.table, &cmp.value2));
+    }
+  }
+  if (ast.order_by) {
+    SCREP_RETURN_NOT_OK(ResolveColumn(schema, ast.table,
+                                      ast.order_by->column,
+                                      &ast.order_by->column_index));
+  }
+  ast.assignment_indexes.clear();
+  for (auto& [col, expr] : ast.assignments) {
+    int idx;
+    SCREP_RETURN_NOT_OK(ResolveColumn(schema, ast.table, col, &idx));
+    if (idx == 0) {
+      return Status::InvalidArgument("primary key may not be assigned");
+    }
+    ast.assignment_indexes.push_back(idx);
+    SCREP_RETURN_NOT_OK(ResolveExpr(schema, ast.table, &expr));
+  }
+  if (ast.kind == StatementKind::kInsert &&
+      ast.insert_values.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "INSERT provides " + std::to_string(ast.insert_values.size()) +
+        " values, table '" + ast.table + "' has " +
+        std::to_string(schema.num_columns()) + " columns");
+  }
+  if ((ast.kind == StatementKind::kUpdate ||
+       ast.kind == StatementKind::kDelete) &&
+      ast.where.empty()) {
+    return Status::NotSupported(
+        "UPDATE/DELETE without WHERE is not allowed");
+  }
+
+  stmt->ast_ = std::move(ast);
+  return std::shared_ptr<const PreparedStatement>(std::move(stmt));
+}
+
+std::vector<std::string> PreparedTransaction::TableSet() const {
+  std::vector<std::string> tables;
+  for (const auto& stmt : statements) {
+    if (std::find(tables.begin(), tables.end(), stmt->table_name()) ==
+        tables.end()) {
+      tables.push_back(stmt->table_name());
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  return tables;
+}
+
+bool PreparedTransaction::HasUpdates() const {
+  return std::any_of(statements.begin(), statements.end(),
+                     [](const auto& s) { return s->IsUpdate(); });
+}
+
+}  // namespace screp::sql

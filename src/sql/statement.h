@@ -1,0 +1,70 @@
+// Prepared statements: parsed once, resolved against a database catalog,
+// then executed many times with bound parameters — mirroring the
+// prepared-statement workloads the paper targets (§III-C: "each transaction
+// consists of a sequence of prepared statements").
+
+#ifndef SCREP_SQL_STATEMENT_H_
+#define SCREP_SQL_STATEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace screp::sql {
+
+/// A parsed, catalog-resolved statement ready for repeated execution.
+class PreparedStatement {
+ public:
+  /// Parses `text` and resolves table/column references against `db`'s
+  /// catalog. The same prepared statement is valid on every replica
+  /// because replicas create tables in identical order.
+  static Result<std::shared_ptr<const PreparedStatement>> Prepare(
+      const Database& db, const std::string& text);
+
+  const std::string& text() const { return text_; }
+  const StatementAst& ast() const { return ast_; }
+
+  /// The single table this statement touches.
+  const std::string& table_name() const { return table_name_; }
+  TableId table_id() const { return table_id_; }
+
+  /// True for UPDATE / INSERT / DELETE.
+  bool IsUpdate() const { return ast_.IsUpdate(); }
+
+  /// Number of `?` parameters to bind.
+  int param_count() const { return ast_.param_count; }
+
+ private:
+  PreparedStatement() = default;
+
+  std::string text_;
+  StatementAst ast_;
+  std::string table_name_;
+  TableId table_id_ = -1;
+};
+
+using PreparedStatementPtr = std::shared_ptr<const PreparedStatement>;
+
+/// A prepared *transaction*: a named sequence of prepared statements.
+/// Its table-set (union of the statements' tables) is what the lazy
+/// fine-grained scheme synchronizes on.
+struct PreparedTransaction {
+  TxnTypeId type_id = kUnknownTxnType;
+  std::string name;
+  std::vector<PreparedStatementPtr> statements;
+
+  /// Sorted distinct table names accessed by any statement.
+  std::vector<std::string> TableSet() const;
+
+  /// True when any statement is an update.
+  bool HasUpdates() const;
+};
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_STATEMENT_H_

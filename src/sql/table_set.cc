@@ -1,0 +1,93 @@
+#include "sql/table_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sql/parser.h"
+
+namespace screp::sql {
+
+Result<std::vector<std::string>> ExtractTableSet(
+    const std::vector<std::string>& statement_texts) {
+  std::vector<std::string> tables;
+  for (const std::string& text : statement_texts) {
+    SCREP_ASSIGN_OR_RETURN(StatementAst ast, Parse(text));
+    if (std::find(tables.begin(), tables.end(), ast.table) == tables.end()) {
+      tables.push_back(ast.table);
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  return tables;
+}
+
+TxnTypeId TransactionRegistry::Register(PreparedTransaction txn) {
+  const TxnTypeId id = static_cast<TxnTypeId>(transactions_.size());
+  txn.type_id = id;
+  SCREP_CHECK_MSG(by_name_.count(txn.name) == 0,
+                  "duplicate transaction type '" << txn.name << "'");
+  by_name_[txn.name] = id;
+  transactions_.push_back(std::move(txn));
+  return id;
+}
+
+const PreparedTransaction& TransactionRegistry::Get(TxnTypeId id) const {
+  SCREP_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < transactions_.size(),
+                  "bad transaction type id " << id);
+  return transactions_[static_cast<size_t>(id)];
+}
+
+Result<TxnTypeId> TransactionRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("transaction type '" + name + "'");
+  }
+  return it->second;
+}
+
+Status TransactionRegistry::PersistCatalog(Database* db) const {
+  Result<TableId> existing = db->FindTable("sys_tablesets");
+  TableId catalog;
+  if (existing.ok()) {
+    catalog = *existing;
+  } else {
+    SCREP_ASSIGN_OR_RETURN(
+        catalog,
+        db->CreateTable("sys_tablesets",
+                        Schema({{"id", ValueType::kInt64},
+                                {"name", ValueType::kString},
+                                {"tables", ValueType::kString}})));
+  }
+  for (const PreparedTransaction& txn : transactions_) {
+    std::string joined;
+    for (const std::string& t : txn.TableSet()) {
+      if (!joined.empty()) joined += ",";
+      joined += t;
+    }
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        catalog,
+        Row{Value(static_cast<int64_t>(txn.type_id)), Value(txn.name),
+            Value(joined)}));
+  }
+  return Status::OK();
+}
+
+Result<std::unordered_map<TxnTypeId, std::vector<std::string>>>
+TransactionRegistry::LoadCatalog(const Database& db) {
+  SCREP_ASSIGN_OR_RETURN(TableId catalog, db.FindTable("sys_tablesets"));
+  std::unordered_map<TxnTypeId, std::vector<std::string>> result;
+  db.table(catalog)->Scan(
+      db.CommittedVersion(), [&](int64_t key, const Row& row) {
+        std::vector<std::string> tables;
+        std::stringstream ss(row[2].AsString());
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          if (!item.empty()) tables.push_back(item);
+        }
+        result[static_cast<TxnTypeId>(key)] = std::move(tables);
+        return true;
+      });
+  return result;
+}
+
+}  // namespace screp::sql

@@ -1,0 +1,61 @@
+// Static table-set extraction — the workload information exploited by the
+// lazy fine-grained scheme (paper §III-C / §IV-B).
+//
+// In an automated environment the set of transactions is predefined, so
+// the tables each transaction type touches can be extracted once, stored
+// in the database, and looked up by the load balancer when a client tags a
+// request with its transaction type id.
+
+#ifndef SCREP_SQL_TABLE_SET_H_
+#define SCREP_SQL_TABLE_SET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/statement.h"
+
+namespace screp::sql {
+
+/// Extracts the sorted distinct table names referenced by raw SQL texts
+/// (parses each; fails if any text does not parse). This is the purely
+/// static path — no catalog needed.
+Result<std::vector<std::string>> ExtractTableSet(
+    const std::vector<std::string>& statement_texts);
+
+/// Registry of prepared transaction types; the replicated system stores
+/// its content in a catalog table (`sys_tablesets`) that the load balancer
+/// reads at startup, as described in §IV-B.
+class TransactionRegistry {
+ public:
+  /// Registers a transaction type; returns its dense TxnTypeId.
+  TxnTypeId Register(PreparedTransaction txn);
+
+  /// Looks up by id. Pre-condition: id was returned by Register.
+  const PreparedTransaction& Get(TxnTypeId id) const;
+
+  /// Looks up by name; NotFound when absent.
+  Result<TxnTypeId> Find(const std::string& name) const;
+
+  size_t size() const { return transactions_.size(); }
+
+  /// Writes one row per transaction type into the catalog table
+  /// `sys_tablesets(id, name, tables)` of `db`, creating it if necessary.
+  Status PersistCatalog(Database* db) const;
+
+  /// Reads the catalog table back into a map id -> table names — the load
+  /// balancer's startup query ("the load balancer queries the database
+  /// once to retrieve this information").
+  static Result<std::unordered_map<TxnTypeId, std::vector<std::string>>>
+  LoadCatalog(const Database& db);
+
+ private:
+  std::vector<PreparedTransaction> transactions_;
+  std::unordered_map<std::string, TxnTypeId> by_name_;
+};
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_TABLE_SET_H_

@@ -1,0 +1,61 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+namespace screp::sql {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kParam:
+      return "'?'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool IsKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "AND",    "ORDER",  "BY",
+      "ASC",    "DESC",   "LIMIT",  "UPDATE", "SET",    "INSERT",
+      "INTO",   "VALUES", "DELETE", "COUNT",  "SUM",    "AVG",
+      "MIN",    "MAX",    "BETWEEN", "NULL",
+  };
+  return kKeywords.count(upper_word) != 0;
+}
+
+}  // namespace screp::sql

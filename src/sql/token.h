@@ -1,0 +1,58 @@
+// Token definitions for the mini-SQL dialect.
+//
+// The dialect covers what the paper's workloads need from SQL Server:
+// single-table SELECT (with aggregates, ORDER BY, LIMIT), UPDATE, INSERT
+// and DELETE, all as prepared statements with `?` parameters.  The
+// middleware's fine-grained consistency scheme relies on *statically*
+// extracting the table-set from these statements (paper §III-C), which is
+// why this layer exists as real parsed SQL rather than opaque callbacks.
+
+#ifndef SCREP_SQL_TOKEN_H_
+#define SCREP_SQL_TOKEN_H_
+
+#include <string>
+
+namespace screp::sql {
+
+/// Lexical token kinds.
+enum class TokenType {
+  kIdentifier,   // table / column names (also non-reserved words)
+  kKeyword,      // SELECT, FROM, WHERE, ...
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kString,       // 'abc'
+  kParam,        // ?
+  kComma,        // ,
+  kLParen,       // (
+  kRParen,       // )
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kEq,           // =
+  kNe,           // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kEnd,          // end of input
+};
+
+/// One lexical token. Keywords are uppercased in `text`; identifiers are
+/// lowercased (the dialect is case-insensitive, like SQL).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  ///< byte offset in the statement text (diagnostics)
+};
+
+/// Name of a token type for diagnostics.
+const char* TokenTypeName(TokenType type);
+
+/// True when `word` (already uppercased) is a reserved keyword.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_TOKEN_H_

@@ -1,0 +1,142 @@
+#include "storage/database.h"
+
+#include "common/logging.h"
+#include "storage/transaction.h"
+
+namespace screp {
+
+Database::Database() = default;
+Database::~Database() = default;
+
+Result<TableId> Database::CreateTable(const std::string& name,
+                                      Schema schema) {
+  std::lock_guard lock(catalog_mutex_);
+  if (table_ids_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  const TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  table_ids_[name] = id;
+  return id;
+}
+
+Result<TableId> Database::FindTable(const std::string& name) const {
+  std::lock_guard lock(catalog_mutex_);
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Database::CreateIndex(TableId table_id,
+                             const std::string& column_name) {
+  Table* t = table(table_id);
+  const int column = t->schema().ColumnIndex(column_name);
+  if (column < 0) {
+    return Status::NotFound("column '" + column_name + "' in table '" +
+                            t->name() + "'");
+  }
+  return t->CreateIndex(column);
+}
+
+Table* Database::table(TableId id) {
+  std::lock_guard lock(catalog_mutex_);
+  SCREP_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < tables_.size(),
+                  "bad table id " << id);
+  return tables_[static_cast<size_t>(id)].get();
+}
+
+const Table* Database::table(TableId id) const {
+  std::lock_guard lock(catalog_mutex_);
+  SCREP_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < tables_.size(),
+                  "bad table id " << id);
+  return tables_[static_cast<size_t>(id)].get();
+}
+
+const std::string& Database::TableName(TableId id) const {
+  return table(id)->name();
+}
+
+size_t Database::TableCount() const {
+  std::lock_guard lock(catalog_mutex_);
+  return tables_.size();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard lock(catalog_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+std::unique_ptr<Transaction> Database::Begin() {
+  return BeginAt(CommittedVersion());
+}
+
+std::unique_ptr<Transaction> Database::BeginAt(DbVersion snapshot) {
+  SCREP_CHECK_MSG(snapshot <= CommittedVersion(),
+                  "snapshot " << snapshot << " beyond committed version "
+                              << CommittedVersion());
+  return std::unique_ptr<Transaction>(new Transaction(this, snapshot));
+}
+
+Status Database::ApplyWriteSet(const WriteSet& ws, bool force_log) {
+  std::lock_guard lock(commit_mutex_);
+  const DbVersion expected = CommittedVersion() + 1;
+  if (ws.commit_version != expected) {
+    return Status::Internal(
+        "out-of-order commit: writeset version " +
+        std::to_string(ws.commit_version) + ", expected " +
+        std::to_string(expected));
+  }
+  for (const WriteOp& op : ws.ops) {
+    Table* t = table(op.table);
+    if (op.type == WriteType::kDelete) {
+      t->Install(op.key, ws.commit_version, /*deleted=*/true, Row{});
+    } else {
+      SCREP_CHECK_MSG(op.row.has_value(), "insert/update without row");
+      t->Install(op.key, ws.commit_version, /*deleted=*/false, *op.row);
+    }
+  }
+  wal_.Append(ws, force_log);
+  committed_version_.store(ws.commit_version, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Database::BulkLoad(TableId table_id, Row row) {
+  Table* t = table(table_id);
+  SCREP_RETURN_NOT_OK(t->schema().ValidateRow(row));
+  if (row.empty() || row[0].type() != ValueType::kInt64) {
+    return Status::InvalidArgument("bulk load row needs INT key");
+  }
+  const int64_t key = row[0].AsInt();
+  t->Install(key, /*version=*/0, /*deleted=*/false, std::move(row));
+  return Status::OK();
+}
+
+size_t Database::TruncateVersions(DbVersion oldest_active) {
+  size_t discarded = 0;
+  size_t n;
+  {
+    std::lock_guard lock(catalog_mutex_);
+    n = tables_.size();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    discarded += table(static_cast<TableId>(i))->TruncateVersions(
+        oldest_active);
+  }
+  return discarded;
+}
+
+Status Database::RecoverFrom(const Wal& wal) {
+  std::vector<WriteSet> records;
+  SCREP_RETURN_NOT_OK(wal.ReadAll(&records));
+  for (const WriteSet& ws : records) {
+    SCREP_RETURN_NOT_OK(ApplyWriteSet(ws, /*force_log=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace screp

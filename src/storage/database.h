@@ -1,0 +1,109 @@
+// A standalone in-memory MVCC database instance providing snapshot
+// isolation — the per-replica DBMS of the paper's architecture.
+//
+// Versioning matches the paper's model (§IV): the database starts at
+// version 0 and the committed version advances by exactly one whenever an
+// update transaction (local or refresh) commits.  The commit path applies
+// certified writesets in the certifier's global order via ApplyWriteSet.
+
+#ifndef SCREP_STORAGE_DATABASE_H_
+#define SCREP_STORAGE_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+class Transaction;
+
+/// A collection of MVCC tables plus the local committed-version counter.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; the schema's column 0 must be the INT primary key.
+  Result<TableId> CreateTable(const std::string& name, Schema schema);
+
+  /// Id of a table by name, or NotFound.
+  Result<TableId> FindTable(const std::string& name) const;
+
+  /// Creates a secondary index on `table`.`column_name` (backfilled).
+  Status CreateIndex(TableId table, const std::string& column_name);
+
+  /// Pre-condition: `id` was returned by CreateTable.
+  Table* table(TableId id);
+  const Table* table(TableId id) const;
+
+  /// Name of a table by id.
+  const std::string& TableName(TableId id) const;
+
+  /// Number of tables.
+  size_t TableCount() const;
+
+  /// Names of all tables in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// The version of the latest committed update transaction (V_local when
+  /// this database backs a replica).
+  DbVersion CommittedVersion() const {
+    return committed_version_.load(std::memory_order_acquire);
+  }
+
+  /// Begins a transaction reading at the current committed version.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Begins a transaction reading at an explicit snapshot (must be
+  /// <= CommittedVersion()).
+  std::unique_ptr<Transaction> BeginAt(DbVersion snapshot);
+
+  /// Applies a certified writeset and advances the committed version.
+  /// `ws.commit_version` must be exactly CommittedVersion() + 1 — the
+  /// caller (the proxy) is responsible for ordering — otherwise Internal
+  /// is returned and nothing is applied.
+  ///
+  /// When `force_log` is true the writeset is appended to the WAL with a
+  /// forced write; replicas run with log forcing off because the certifier
+  /// enforces durability (paper §V-A / Tashkent).
+  Status ApplyWriteSet(const WriteSet& ws, bool force_log = false);
+
+  /// Loads a row directly at a version — used only for bulk-population
+  /// before the system starts (bypasses versioning checks).
+  Status BulkLoad(TableId table, Row row);
+
+  /// Garbage-collects versions invisible to snapshots >= oldest_active
+  /// across all tables. Returns versions discarded.
+  size_t TruncateVersions(DbVersion oldest_active);
+
+  /// The write-ahead log (populated only when ApplyWriteSet logs).
+  Wal* wal() { return &wal_; }
+
+  /// Rebuilds database state by replaying a WAL from scratch; tables must
+  /// already be created (schemas are not logged). Used for recovery tests.
+  Status RecoverFrom(const Wal& wal);
+
+ private:
+  mutable std::mutex catalog_mutex_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> table_ids_;
+  std::atomic<DbVersion> committed_version_{0};
+  std::mutex commit_mutex_;
+  Wal wal_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_DATABASE_H_

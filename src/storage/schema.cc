@@ -1,0 +1,58 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+
+namespace screp {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  SCREP_CHECK_MSG(!columns_.empty(), "schema needs at least the key column");
+  SCREP_CHECK_MSG(columns_[0].type == ValueType::kInt64,
+                  "column 0 must be the INT primary key");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_[columns_[i].name] = static_cast<int>(i);
+  }
+  SCREP_CHECK_MSG(index_.size() == columns_.size(),
+                  "duplicate column names in schema");
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  if (row[0].type() != ValueType::kInt64) {
+    return Status::InvalidArgument("primary key must be INT");
+  }
+  for (size_t i = 1; i < row.size(); ++i) {
+    const ValueType vt = row[i].type();
+    const ValueType ct = columns_[i].type;
+    if (vt == ValueType::kNull) continue;
+    const bool ok =
+        vt == ct || (vt == ValueType::kInt64 && ct == ValueType::kDouble);
+    if (!ok) {
+      return Status::InvalidArgument("column '" + columns_[i].name +
+                                     "' expects " + ValueTypeName(ct) +
+                                     ", got " + ValueTypeName(vt));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace screp

@@ -1,0 +1,50 @@
+// Table schemas: column names/types and row validation.
+
+#ifndef SCREP_STORAGE_SCHEMA_H_
+#define SCREP_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace screp {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// An ordered list of columns. Column 0 is always the INT primary key.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; the first column must be the INT primary key.
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Checks arity and (loose) type compatibility of a row against this
+  /// schema. NULLs are allowed in non-key columns; INT widens to DOUBLE.
+  Status ValidateRow(const Row& row) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_SCHEMA_H_

@@ -1,0 +1,199 @@
+#include "storage/transaction.h"
+
+#include "common/logging.h"
+#include "storage/database.h"
+
+namespace screp {
+
+Transaction::Transaction(Database* db, DbVersion snapshot)
+    : db_(db), snapshot_(snapshot) {}
+
+const Transaction::BufferedWrite* Transaction::FindWrite(TableId table,
+                                                         int64_t key) const {
+  auto it = writes_.find({table, key});
+  return it == writes_.end() ? nullptr : &it->second;
+}
+
+void Transaction::RecordReadKey(TableId table, int64_t key) const {
+  if (!read_keys_.empty() && read_keys_.back().first == table &&
+      read_keys_.back().second == key) {
+    return;
+  }
+  read_keys_.emplace_back(table, key);
+}
+
+Result<Row> Transaction::Get(TableId table, int64_t key) const {
+  RecordReadKey(table, key);
+  if (const BufferedWrite* w = FindWrite(table, key)) {
+    if (w->type == WriteType::kDelete) {
+      return Status::NotFound(db_->TableName(table) + "#" +
+                              std::to_string(key));
+    }
+    return *w->row;
+  }
+  return db_->table(table)->Get(key, snapshot_);
+}
+
+bool Transaction::Exists(TableId table, int64_t key) const {
+  RecordReadKey(table, key);
+  if (const BufferedWrite* w = FindWrite(table, key)) {
+    return w->type != WriteType::kDelete;
+  }
+  return db_->table(table)->Exists(key, snapshot_);
+}
+
+Status Transaction::Insert(TableId table, Row row) {
+  SCREP_RETURN_NOT_OK(db_->table(table)->schema().ValidateRow(row));
+  const int64_t key = row[0].AsInt();
+  if (Exists(table, key)) {
+    return Status::AlreadyExists(db_->TableName(table) + "#" +
+                                 std::to_string(key));
+  }
+  writes_[{table, key}] = BufferedWrite{WriteType::kInsert, std::move(row)};
+  return Status::OK();
+}
+
+Status Transaction::Update(TableId table, int64_t key, Row row) {
+  SCREP_RETURN_NOT_OK(db_->table(table)->schema().ValidateRow(row));
+  if (row[0].AsInt() != key) {
+    return Status::InvalidArgument("primary key may not be updated");
+  }
+  if (!Exists(table, key)) {
+    return Status::NotFound(db_->TableName(table) + "#" +
+                            std::to_string(key));
+  }
+  auto it = writes_.find({table, key});
+  if (it != writes_.end() && it->second.type == WriteType::kInsert) {
+    // Update over own insert: stays an insert with the new image.
+    it->second.row = std::move(row);
+  } else {
+    writes_[{table, key}] = BufferedWrite{WriteType::kUpdate, std::move(row)};
+  }
+  return Status::OK();
+}
+
+Status Transaction::UpdateColumns(
+    TableId table, int64_t key,
+    const std::vector<std::pair<int, Value>>& assignments) {
+  SCREP_ASSIGN_OR_RETURN(Row row, Get(table, key));
+  for (const auto& [col, value] : assignments) {
+    if (col <= 0 || static_cast<size_t>(col) >= row.size()) {
+      return Status::InvalidArgument("bad column index " +
+                                     std::to_string(col));
+    }
+    row[static_cast<size_t>(col)] = value;
+  }
+  return Update(table, key, std::move(row));
+}
+
+Status Transaction::Delete(TableId table, int64_t key) {
+  if (!Exists(table, key)) {
+    return Status::NotFound(db_->TableName(table) + "#" +
+                            std::to_string(key));
+  }
+  auto it = writes_.find({table, key});
+  if (it != writes_.end() && it->second.type == WriteType::kInsert) {
+    // Delete of own insert: net effect is nothing.
+    writes_.erase(it);
+    return Status::OK();
+  }
+  writes_[{table, key}] = BufferedWrite{WriteType::kDelete, std::nullopt};
+  return Status::OK();
+}
+
+void Transaction::Scan(
+    TableId table,
+    const std::function<bool(int64_t, const Row&)>& visitor) const {
+  ScanRange(table, INT64_MIN, INT64_MAX, visitor);
+}
+
+void Transaction::ScanRange(
+    TableId table, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const Row&)>& visitor) const {
+  read_ranges_.push_back(ReadRange{table, lo, hi});
+  // Merge the snapshot scan with this transaction's buffered writes for the
+  // table, in key order.
+  auto wit = writes_.lower_bound({table, lo});
+  const auto wend = writes_.end();
+  bool stopped = false;
+
+  auto emit_buffered_until = [&](int64_t bound_exclusive) {
+    while (!stopped && wit != wend && wit->first.first == table &&
+           wit->first.second < bound_exclusive &&
+           wit->first.second <= hi) {
+      if (wit->second.type != WriteType::kDelete) {
+        if (!visitor(wit->first.second, *wit->second.row)) stopped = true;
+      }
+      ++wit;
+    }
+  };
+
+  db_->table(table)->ScanRange(lo, hi, snapshot_,
+                               [&](int64_t key, const Row& row) {
+    // First, any buffered keys strictly before this snapshot key.
+    emit_buffered_until(key);
+    if (stopped) return false;
+    // Buffered write for the same key overrides the snapshot row.
+    if (wit != wend && wit->first.first == table &&
+        wit->first.second == key) {
+      if (wit->second.type != WriteType::kDelete) {
+        if (!visitor(key, *wit->second.row)) stopped = true;
+      }
+      ++wit;
+      return !stopped;
+    }
+    if (!visitor(key, row)) stopped = true;
+    return !stopped;
+  });
+  if (!stopped) emit_buffered_until(INT64_MAX);
+}
+
+bool Transaction::HasIndex(TableId table, int column) const {
+  return db_->table(table)->HasIndex(column);
+}
+
+void Transaction::IndexScan(
+    TableId table, int column, const Value& value,
+    const std::function<bool(int64_t, const Row&)>& visitor) const {
+  // Collect candidate keys from the index and from this transaction's
+  // buffered writes, then emit merged in key order with buffered writes
+  // overriding snapshot rows.
+  std::set<int64_t> keys;
+  db_->table(table)->IndexLookup(column, value, snapshot_,
+                                 [&keys](int64_t key, const Row&) {
+                                   keys.insert(key);
+                                   return true;
+                                 });
+  for (const auto& [tk, write] : writes_) {
+    if (tk.first != table) continue;
+    if (write.type != WriteType::kDelete &&
+        (*write.row)[static_cast<size_t>(column)] == value) {
+      keys.insert(tk.second);
+    }
+  }
+  for (int64_t key : keys) {
+    Result<Row> row = Get(table, key);  // sees own writes, records reads
+    if (!row.ok()) continue;            // buffered delete or revalidation miss
+    if ((*row)[static_cast<size_t>(column)] != value) continue;
+    if (!visitor(key, *row)) return;
+  }
+}
+
+WriteSet Transaction::BuildWriteSet(bool include_reads) const {
+  WriteSet ws;
+  ws.snapshot_version = snapshot_;
+  for (const auto& [tk, write] : writes_) {
+    ws.ops.push_back(WriteOp{tk.first, tk.second, write.type, write.row});
+  }
+  if (include_reads) {
+    ws.read_keys = read_keys_;
+    ws.read_ranges = read_ranges_;
+  }
+  return ws;
+}
+
+void Transaction::Abort() { writes_.clear(); }
+
+size_t Transaction::WriteCount() const { return writes_.size(); }
+
+}  // namespace screp

@@ -1,0 +1,132 @@
+// Snapshot-isolated transactions over a Database.
+//
+// A Transaction reads from a fixed snapshot and buffers its writes
+// privately (read-your-own-writes).  It never installs anything into the
+// shared store itself: at commit time the middleware extracts the writeset
+// (BuildWriteSet), the certifier assigns the commit version and checks
+// first-committer-wins, and the proxy applies the writeset through
+// Database::ApplyWriteSet in global order.
+
+#ifndef SCREP_STORAGE_TRANSACTION_H_
+#define SCREP_STORAGE_TRANSACTION_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+class Database;
+
+/// A snapshot-isolated read/write transaction.
+class Transaction {
+ public:
+  ~Transaction() = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// The snapshot this transaction reads at.
+  DbVersion snapshot() const { return snapshot_; }
+
+  /// True when no write has been buffered (the read-only fast path).
+  bool read_only() const { return writes_.empty(); }
+
+  /// Reads a row; sees this transaction's own buffered writes first, then
+  /// the snapshot.
+  Result<Row> Get(TableId table, int64_t key) const;
+
+  /// True when the key is live from this transaction's viewpoint.
+  bool Exists(TableId table, int64_t key) const;
+
+  /// Buffers an insert. Fails with AlreadyExists when the key is live at
+  /// the snapshot or already inserted by this transaction.
+  Status Insert(TableId table, Row row);
+
+  /// Buffers a full-row update. Fails with NotFound when the key is not
+  /// live.
+  Status Update(TableId table, int64_t key, Row row);
+
+  /// Read-modify-write of selected columns.
+  Status UpdateColumns(TableId table, int64_t key,
+                       const std::vector<std::pair<int, Value>>& assignments);
+
+  /// Buffers a delete. Fails with NotFound when the key is not live.
+  Status Delete(TableId table, int64_t key);
+
+  /// Visits live rows of a table in key order, overlaying this
+  /// transaction's buffered writes on the snapshot. Visitor returns false
+  /// to stop.
+  void Scan(TableId table,
+            const std::function<bool(int64_t key, const Row& row)>& visitor)
+      const;
+
+  /// Range variant of Scan over keys in [lo, hi].
+  void ScanRange(TableId table, int64_t lo, int64_t hi,
+                 const std::function<bool(int64_t key, const Row& row)>&
+                     visitor) const;
+
+  /// True when `table`.`column` (ordinal) has a secondary index.
+  bool HasIndex(TableId table, int column) const;
+
+  /// Visits live rows whose `column` equals `value` through the secondary
+  /// index, overlaying this transaction's buffered writes, in key order.
+  /// Pre-condition: HasIndex(table, column).
+  void IndexScan(TableId table, int column, const Value& value,
+                 const std::function<bool(int64_t key, const Row& row)>&
+                     visitor) const;
+
+  /// Extracts the buffered writes as a WriteSet (snapshot_version filled
+  /// in; commit_version left unassigned). When `include_reads` is true the
+  /// writeset also carries the read set (for serializable certification).
+  WriteSet BuildWriteSet(bool include_reads = false) const;
+
+  /// Partial writeset so far — used by the proxy's early certification
+  /// after each update statement (paper §IV).
+  WriteSet PartialWriteSet() const { return BuildWriteSet(); }
+
+  /// Discards buffered writes.
+  void Abort();
+
+  /// Number of buffered record writes.
+  size_t WriteCount() const;
+
+  /// Keys read so far (point accesses, including misses — the absence of
+  /// a row is also an observation).
+  const std::vector<std::pair<TableId, int64_t>>& read_keys() const {
+    return read_keys_;
+  }
+  /// Key ranges scanned so far.
+  const std::vector<ReadRange>& read_ranges() const { return read_ranges_; }
+
+ private:
+  friend class Database;
+  Transaction(Database* db, DbVersion snapshot);
+
+  struct BufferedWrite {
+    WriteType type;
+    std::optional<Row> row;  // absent for deletes
+  };
+
+  /// nullptr when this transaction has not written (table, key).
+  const BufferedWrite* FindWrite(TableId table, int64_t key) const;
+
+  /// Records a point read (deduplicated against the most recent entry,
+  /// which catches the common read-modify-write pattern).
+  void RecordReadKey(TableId table, int64_t key) const;
+
+  Database* db_;
+  DbVersion snapshot_;
+  // Ordered so scans can merge deterministically.
+  std::map<std::pair<TableId, int64_t>, BufferedWrite> writes_;
+  // Read set, tracked for serializable certification.
+  mutable std::vector<std::pair<TableId, int64_t>> read_keys_;
+  mutable std::vector<ReadRange> read_ranges_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_TRANSACTION_H_

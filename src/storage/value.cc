@@ -1,0 +1,103 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace screp {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  const bool a_num = a == ValueType::kInt64 || a == ValueType::kDouble;
+  const bool b_num = b == ValueType::kInt64 || b == ValueType::kDouble;
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  if (a_num && b_num) {
+    if (a == ValueType::kInt64 && b == ValueType::kInt64) {
+      const int64_t x = AsInt();
+      const int64_t y = other.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = AsNumeric();
+    const double y = other.AsNumeric();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numerics < strings
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return AsString().size() + 4;
+  }
+  return 0;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t total = 8;
+  for (const Value& v : row) total += v.ByteSize();
+  return total;
+}
+
+}  // namespace screp

@@ -1,0 +1,90 @@
+// Typed values and rows for the storage engine.
+
+#ifndef SCREP_STORAGE_VALUE_H_
+#define SCREP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace screp {
+
+/// Column/value types supported by the engine.
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+/// Returns "NULL", "INT", "DOUBLE" or "STRING".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL value.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  /// INT value.
+  Value(int64_t v) : data_(v) {}  // NOLINT(runtime/explicit)
+  Value(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  /// DOUBLE value.
+  Value(double v) : data_(v) {}  // NOLINT
+  /// STRING value.
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Pre-condition: type() == kInt64.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Pre-condition: type() == kDouble.
+  double AsDouble() const { return std::get<double>(data_); }
+  /// Pre-condition: type() == kString.
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: kInt64 or kDouble widened to double; 0 otherwise.
+  double AsNumeric() const;
+
+  /// Total ordering: NULL < numerics (by value) < strings. Values of
+  /// numeric types compare by numeric value (1 == 1.0).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// SQL-literal-ish rendering ('abc', 42, 3.5, NULL).
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes (for writeset sizing).
+  size_t ByteSize() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A tuple of values, positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Renders a row as "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+/// Approximate in-memory footprint of a row.
+size_t RowByteSize(const Row& row);
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_VALUE_H_

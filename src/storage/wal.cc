@@ -1,0 +1,70 @@
+#include "storage/wal.h"
+
+namespace screp {
+
+uint64_t Wal::Append(const WriteSet& ws, bool force) {
+  std::lock_guard lock(mutex_);
+  std::string rec;
+  ws.EncodeTo(&rec);
+  const uint64_t lsn = appended_++;
+  if (force) {
+    // Force implies flushing everything buffered before this record, to
+    // preserve ordering.
+    for (std::string& b : buffered_) {
+      durable_ += b;
+      ++durable_count_;
+    }
+    buffered_.clear();
+    durable_ += rec;
+    ++durable_count_;
+  } else {
+    buffered_.push_back(std::move(rec));
+  }
+  return lsn;
+}
+
+void Wal::Force() {
+  std::lock_guard lock(mutex_);
+  for (std::string& b : buffered_) {
+    durable_ += b;
+    ++durable_count_;
+  }
+  buffered_.clear();
+}
+
+uint64_t Wal::Size() const {
+  std::lock_guard lock(mutex_);
+  return appended_;
+}
+
+uint64_t Wal::DurableSize() const {
+  std::lock_guard lock(mutex_);
+  return durable_count_;
+}
+
+size_t Wal::DurableBytes() const {
+  std::lock_guard lock(mutex_);
+  return durable_.size();
+}
+
+Status Wal::ReadAll(std::vector<WriteSet>* out) const {
+  std::lock_guard lock(mutex_);
+  size_t offset = 0;
+  while (offset < durable_.size()) {
+    WriteSet ws;
+    if (!WriteSet::DecodeFrom(durable_, &offset, &ws)) {
+      return Status::IOError("corrupt WAL record at offset " +
+                             std::to_string(offset));
+    }
+    out->push_back(std::move(ws));
+  }
+  return Status::OK();
+}
+
+void Wal::DropUnforced() {
+  std::lock_guard lock(mutex_);
+  appended_ -= buffered_.size();
+  buffered_.clear();
+}
+
+}  // namespace screp

@@ -1,0 +1,64 @@
+// A minimal write-ahead log storing serialized writesets.
+//
+// In the paper's prototype, transaction durability is enforced by the
+// certifier (which forces its log) while replicas run with log forcing
+// turned off.  Both behaviours use this WAL: appends are buffered, and
+// Force() makes everything appended so far durable.  The log is held in
+// memory with explicit serialization so recovery genuinely re-decodes
+// bytes.
+
+#ifndef SCREP_STORAGE_WAL_H_
+#define SCREP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+/// Append-only log of certified writesets.
+class Wal {
+ public:
+  Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends a writeset; returns its log sequence number (0-based).
+  /// When `force` is true the record is immediately durable.
+  uint64_t Append(const WriteSet& ws, bool force);
+
+  /// Makes every appended record durable.
+  void Force();
+
+  /// Number of records appended.
+  uint64_t Size() const;
+
+  /// Number of records that are durable (forced).
+  uint64_t DurableSize() const;
+
+  /// Total bytes of serialized durable log.
+  size_t DurableBytes() const;
+
+  /// Decodes durable records in order into `out`. Returns IOError on a
+  /// corrupt record.
+  Status ReadAll(std::vector<WriteSet>* out) const;
+
+  /// Drops *unforced* records — simulates a crash losing buffered log.
+  void DropUnforced();
+
+ private:
+  mutable std::mutex mutex_;
+  std::string durable_;            // serialized forced records
+  std::vector<std::string> buffered_;  // serialized but not yet forced
+  uint64_t appended_ = 0;
+  uint64_t durable_count_ = 0;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_WAL_H_

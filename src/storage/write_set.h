@@ -1,0 +1,102 @@
+// Writesets: the unit of replication.
+//
+// When an update transaction commits at its host replica, the set of
+// records it inserted, updated or deleted is extracted as a WriteSet,
+// certified (checked for write-write conflicts), assigned a commit version
+// by the certifier, and forwarded to the other replicas as a *refresh
+// transaction* (paper §IV).
+
+#ifndef SCREP_STORAGE_WRITE_SET_H_
+#define SCREP_STORAGE_WRITE_SET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/value.h"
+
+namespace screp {
+
+/// Kind of a single write.
+enum class WriteType : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+
+/// One record-level write.
+struct WriteOp {
+  TableId table = 0;
+  int64_t key = 0;
+  WriteType type = WriteType::kUpdate;
+  /// The full after-image of the row (absent for deletes).
+  std::optional<Row> row;
+};
+
+/// A range of keys a transaction's scan covered (phantom protection in
+/// serializable certification).
+struct ReadRange {
+  TableId table = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// The set of records a transaction wrote, plus replication metadata.
+/// When the system runs in serializable certification mode the writeset
+/// also carries the transaction's *read set* (keys and scanned ranges),
+/// so the certifier can abort read-write conflicts — the standard way to
+/// upgrade (G)SI to (update-)serializability for workloads that need it.
+class WriteSet {
+ public:
+  WriteSet() = default;
+
+  TxnId txn_id = 0;
+  /// Database version the transaction read from (its snapshot).
+  DbVersion snapshot_version = 0;
+  /// Version assigned by the certifier at commit; kNoVersion before
+  /// certification.
+  DbVersion commit_version = kNoVersion;
+  /// Replica that executed the transaction.
+  ReplicaId origin = kNoReplica;
+
+  std::vector<WriteOp> ops;
+
+  /// Read set (only populated in serializable certification mode).
+  std::vector<std::pair<TableId, int64_t>> read_keys;
+  std::vector<ReadRange> read_ranges;
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+
+  /// Adds a write, coalescing with an earlier write to the same
+  /// (table, key): the transaction's last write wins, and an update over an
+  /// insert stays an insert.
+  void Add(TableId table, int64_t key, WriteType type,
+           std::optional<Row> row);
+
+  /// True when the two writesets touch at least one common (table, key) —
+  /// the write-write conflict test used by certification.
+  bool ConflictsWith(const WriteSet& other) const;
+
+  /// True when `other`'s writes intersect this writeset's *read set*
+  /// (keys or scanned ranges) — the read-write conflict test used by
+  /// serializable certification.
+  bool ReadsConflictWith(const WriteSet& other) const;
+
+  /// Sorted list of distinct tables written (the writeset's table-set,
+  /// used to advance per-table versions in the fine-grained scheme).
+  std::vector<TableId> TablesWritten() const;
+
+  /// Approximate wire size in bytes (drives network/apply costs).
+  size_t ByteSize() const;
+
+  /// Binary serialization (used by the WAL and message layer).
+  void EncodeTo(std::string* out) const;
+  /// Decodes a writeset encoded by EncodeTo. Returns false on corruption.
+  static bool DecodeFrom(const std::string& data, size_t* offset,
+                         WriteSet* out);
+
+  std::string ToString() const;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_STORAGE_WRITE_SET_H_

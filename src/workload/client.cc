@@ -1,0 +1,74 @@
+#include "workload/client.h"
+
+namespace screp {
+
+ClientDriver::ClientDriver(ReplicatedSystem* system,
+                           MetricsCollector* metrics,
+                           std::unique_ptr<TxnGenerator> generator,
+                           int client_id, ClientConfig config, Rng rng)
+    : system_(system),
+      metrics_(metrics),
+      generator_(std::move(generator)),
+      client_id_(client_id),
+      session_(static_cast<SessionId>(client_id) + 1),
+      config_(config),
+      rng_(rng) {}
+
+void ClientDriver::Start() { ThinkThenSubmit(); }
+
+void ClientDriver::ThinkThenSubmit() {
+  SimTime think = 0;
+  if (config_.mean_think_time > 0) {
+    think = static_cast<SimTime>(rng_.NextExponential(
+        static_cast<double>(config_.mean_think_time)));
+  }
+  system_->sim()->Schedule(think, [this]() {
+    if (stopped_) return;
+    current_ = generator_->Next();
+    has_current_ = true;
+    SubmitCurrent();
+  });
+}
+
+void ClientDriver::SubmitCurrent() {
+  SCREP_CHECK(has_current_);
+  TxnRequest request;
+  request.txn_id = system_->NextTxnId();
+  request.type = current_.type;
+  request.session = session_;
+  request.client_id = client_id_;
+  request.params = current_.params;
+  ++submitted_;
+  system_->Submit(std::move(request));
+}
+
+void ClientDriver::OnResponse(const TxnResponse& response) {
+  if (!stopped_) {
+    const bool eager =
+        system_->config().level == ConsistencyLevel::kEager;
+    metrics_->Record(response, system_->sim()->Now(), eager);
+  }
+  if (response.outcome == TxnOutcome::kCommitted) {
+    generator_->OnCommitted(current_);
+    has_current_ = false;
+    consecutive_exec_errors_ = 0;
+    if (!stopped_) ThinkThenSubmit();
+  } else if (!stopped_) {
+    if (response.outcome == TxnOutcome::kExecutionError &&
+        ++consecutive_exec_errors_ > config_.max_exec_error_retries) {
+      // Deterministic failure (see ClientConfig): drop the instance.
+      ++dropped_instances_;
+      consecutive_exec_errors_ = 0;
+      has_current_ = false;
+      ThinkThenSubmit();
+      return;
+    }
+    // Aborted: retry the same instance after a short delay — the client
+    // loop never gives up on a transaction (closed system).
+    ++retries_;
+    system_->sim()->Schedule(config_.retry_delay,
+                             [this]() { SubmitCurrent(); });
+  }
+}
+
+}  // namespace screp

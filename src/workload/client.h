@@ -1,0 +1,117 @@
+// Workload abstraction and the closed-loop client driver (the paper's
+// remote terminal emulator: each client thread issues transactions
+// back-to-back, optionally separated by negative-exponential think time).
+
+#ifndef SCREP_WORKLOAD_CLIENT_H_
+#define SCREP_WORKLOAD_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "replication/system.h"
+#include "workload/metrics.h"
+
+namespace screp {
+
+/// One generated transaction instance: a type plus bound parameters for
+/// each of its statements.
+struct TxnSpec {
+  TxnTypeId type = kUnknownTxnType;
+  std::vector<std::vector<Value>> params;
+};
+
+/// Per-client stream of transaction instances. Implementations may keep
+/// client-side state (shopping carts, last order) which advances only via
+/// OnCommitted, so aborted instances can be retried safely.
+class TxnGenerator {
+ public:
+  virtual ~TxnGenerator() = default;
+  /// Produces the next transaction instance.
+  virtual TxnSpec Next() = 0;
+  /// Called when an instance commits (drives client-side state).
+  virtual void OnCommitted(const TxnSpec& spec) { (void)spec; }
+};
+
+/// A benchmark workload: schema, prepared transactions, and per-client
+/// generators.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Creates tables and loads initial rows (deterministic).
+  virtual Status BuildSchema(Database* db) const = 0;
+  /// Registers the workload's prepared transactions.
+  virtual Status DefineTransactions(const Database& db,
+                                    sql::TransactionRegistry* registry)
+      const = 0;
+  /// Creates the generator for one client.
+  virtual std::unique_ptr<TxnGenerator> CreateGenerator(
+      const sql::TransactionRegistry& registry, int client_id,
+      Rng rng) const = 0;
+};
+
+/// Closed-loop client behaviour.
+struct ClientConfig {
+  /// Mean of the negative-exponential think time between transactions
+  /// (0 = back-to-back, as in the micro-benchmark).
+  SimTime mean_think_time = 0;
+  /// Delay before retrying an aborted transaction instance.
+  SimTime retry_delay = Millis(1.0);
+  /// Execution errors can be deterministic (e.g. re-inserting a key whose
+  /// first attempt actually committed but whose acknowledgment was lost in
+  /// a replica crash); after this many consecutive execution errors the
+  /// instance is dropped and the client moves on.
+  int max_exec_error_retries = 5;
+};
+
+/// One emulated client: think, submit, await acknowledgment, repeat.
+/// Aborted instances are retried until they commit (the closed loop).
+class ClientDriver {
+ public:
+  ClientDriver(ReplicatedSystem* system, MetricsCollector* metrics,
+               std::unique_ptr<TxnGenerator> generator, int client_id,
+               ClientConfig config, Rng rng);
+
+  /// Schedules the first submission.
+  void Start();
+
+  /// Stops the closed loop: in-flight work completes, but nothing new is
+  /// submitted and nothing further is recorded. Used by the harness to
+  /// drain the system at the end of the measurement window.
+  void Stop() { stopped_ = true; }
+
+  /// Routed here by the experiment harness for this client's responses.
+  void OnResponse(const TxnResponse& response);
+
+  int client_id() const { return client_id_; }
+  SessionId session() const { return session_; }
+  int64_t submitted() const { return submitted_; }
+  int64_t retries() const { return retries_; }
+  int64_t dropped_instances() const { return dropped_instances_; }
+
+ private:
+  void ThinkThenSubmit();
+  void SubmitCurrent();
+
+  ReplicatedSystem* system_;
+  MetricsCollector* metrics_;
+  std::unique_ptr<TxnGenerator> generator_;
+  int client_id_;
+  SessionId session_;
+  ClientConfig config_;
+  Rng rng_;
+
+  TxnSpec current_;
+  bool has_current_ = false;
+  bool stopped_ = false;
+  int64_t submitted_ = 0;
+  int64_t retries_ = 0;
+  int consecutive_exec_errors_ = 0;
+  int64_t dropped_instances_ = 0;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_CLIENT_H_

@@ -1,0 +1,134 @@
+#include "workload/experiment.h"
+
+#include <cstdio>
+
+namespace screp {
+
+std::string ExperimentResult::Header() {
+  return "config  repl cli |    TPS  resp(ms) p99(ms) syncd(ms) | "
+         "version queries certify    sync  commit  global | "
+         "commits  aborts util";
+}
+
+std::string ExperimentResult::ToLine() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-7s %4d %3d | %6.1f %9.2f %7.2f %9.2f | %7.2f %7.2f %7.2f %7.2f "
+      "%7.2f %7.2f | %7lld %7lld %4.2f",
+      ConsistencyLevelName(level), replicas, clients, throughput_tps,
+      mean_response_ms, p99_response_ms, sync_delay_ms, version_ms,
+      queries_ms, certify_ms, sync_ms, commit_ms, global_ms,
+      static_cast<long long>(committed),
+      static_cast<long long>(cert_aborts + early_aborts + exec_errors),
+      replica_cpu_utilization);
+  return buf;
+}
+
+Result<ExperimentResult> RunExperiment(const Workload& workload,
+                                       const ExperimentConfig& config) {
+  Simulator sim;
+  SystemConfig system_config = config.system;
+  system_config.seed = config.seed;
+  SCREP_ASSIGN_OR_RETURN(
+      auto system,
+      ReplicatedSystem::Create(
+          &sim, system_config,
+          [&workload](Database* db) { return workload.BuildSchema(db); },
+          [&workload](const Database& db, sql::TransactionRegistry* reg) {
+            return workload.DefineTransactions(db, reg);
+          }));
+  if (config.history != nullptr) system->SetHistory(config.history);
+
+  MetricsCollector metrics(config.warmup);
+  Rng seed_rng(config.seed);
+
+  ClientConfig client_config;
+  client_config.mean_think_time = config.mean_think_time;
+
+  std::vector<std::unique_ptr<ClientDriver>> clients;
+  clients.reserve(static_cast<size_t>(config.client_count));
+  for (int c = 0; c < config.client_count; ++c) {
+    clients.push_back(std::make_unique<ClientDriver>(
+        system.get(), &metrics,
+        workload.CreateGenerator(system->registry(), c, seed_rng.Fork()), c,
+        client_config, seed_rng.Fork()));
+  }
+  system->SetClientCallback([&clients](const TxnResponse& response) {
+    clients[static_cast<size_t>(response.client_id)]->OnResponse(response);
+  });
+  for (auto& client : clients) client->Start();
+
+  // Reset resource statistics at the end of warm-up so utilization covers
+  // only the measurement window.
+  sim.Schedule(config.warmup, [&system]() {
+    for (int r = 0; r < system->replica_count(); ++r) {
+      system->replica(r)->proxy()->cpu()->ResetStats();
+    }
+    system->certifier()->cpu()->ResetStats();
+    system->certifier()->disk()->ResetStats();
+  });
+
+  for (const FaultEvent& fault : config.faults) {
+    sim.Schedule(fault.crash_at, [&system, fault]() {
+      system->CrashReplica(fault.replica);
+    });
+    if (fault.recover_at != FaultEvent::kNoRecovery) {
+      sim.Schedule(fault.recover_at, [&system, fault]() {
+        system->RecoverReplica(fault.replica);
+      });
+    }
+  }
+
+  const SimTime end = config.warmup + config.duration;
+  // Stop the closed loops at the end of the window, then drain in-flight
+  // transactions so recorded histories are complete (commit versions with
+  // no response would otherwise look like gaps in the total order).
+  sim.Schedule(end, [&clients, &system]() {
+    for (auto& client : clients) client->Stop();
+    system->StopGc();  // otherwise the GC daemon keeps the queue alive
+  });
+  sim.RunUntil(end);
+  metrics.Finish(end);
+  sim.RunAll();
+
+  ExperimentResult result;
+  result.workload = workload.name();
+  result.level = config.system.level;
+  result.replicas = config.system.replica_count;
+  result.clients = config.client_count;
+  result.throughput_tps = metrics.Throughput();
+  result.mean_response_ms = metrics.MeanResponseMs();
+  result.p99_response_ms = metrics.P99ResponseMs();
+  result.sync_delay_ms = metrics.MeanSyncDelayMs();
+  result.version_ms =
+      ToMillis(static_cast<SimTime>(metrics.version_stage().mean()));
+  result.queries_ms =
+      ToMillis(static_cast<SimTime>(metrics.queries_stage().mean()));
+  result.certify_ms =
+      ToMillis(static_cast<SimTime>(metrics.certify_stage().mean()));
+  result.sync_ms =
+      ToMillis(static_cast<SimTime>(metrics.sync_stage().mean()));
+  result.commit_ms =
+      ToMillis(static_cast<SimTime>(metrics.commit_stage().mean()));
+  result.global_ms =
+      ToMillis(static_cast<SimTime>(metrics.global_stage().mean()));
+  result.committed = metrics.committed();
+  result.committed_updates = metrics.committed_updates();
+  result.cert_aborts = metrics.cert_aborts();
+  result.early_aborts = metrics.early_aborts();
+  result.exec_errors = metrics.exec_errors();
+  result.replica_failures = metrics.replica_failures();
+
+  double cpu_total = 0;
+  for (int r = 0; r < system->replica_count(); ++r) {
+    cpu_total += system->replica(r)->proxy()->cpu()->Utilization();
+  }
+  result.replica_cpu_utilization =
+      cpu_total / static_cast<double>(system->replica_count());
+  result.certifier_disk_utilization =
+      system->certifier()->disk()->Utilization();
+  return result;
+}
+
+}  // namespace screp

@@ -1,0 +1,79 @@
+// The experiment harness: stands up a replicated system + closed-loop
+// clients inside a simulator, runs warm-up then a measurement window, and
+// returns the aggregates every figure of the paper is built from.
+
+#ifndef SCREP_WORKLOAD_EXPERIMENT_H_
+#define SCREP_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "consistency/history.h"
+#include "workload/client.h"
+#include "workload/metrics.h"
+
+namespace screp {
+
+/// A scheduled replica failure.
+struct FaultEvent {
+  ReplicaId replica = 0;
+  SimTime crash_at = 0;
+  /// kNoRecovery leaves the replica down for the rest of the run.
+  SimTime recover_at = kNoRecovery;
+  static constexpr SimTime kNoRecovery = -1;
+};
+
+/// Parameters of one experiment run.
+struct ExperimentConfig {
+  SystemConfig system;
+  int client_count = 8;
+  /// Mean negative-exponential think time (0 = back-to-back).
+  SimTime mean_think_time = 0;
+  SimTime warmup = Seconds(3);
+  SimTime duration = Seconds(30);
+  uint64_t seed = 42;
+  /// When set, the run also records a history for consistency checking.
+  History* history = nullptr;
+  /// Replica failures injected during the run.
+  std::vector<FaultEvent> faults;
+};
+
+/// Aggregates of one run (times in ms, throughput in TPS).
+struct ExperimentResult {
+  std::string workload;
+  ConsistencyLevel level = ConsistencyLevel::kLazyCoarse;
+  int replicas = 0;
+  int clients = 0;
+
+  double throughput_tps = 0;
+  double mean_response_ms = 0;
+  double p99_response_ms = 0;
+  double sync_delay_ms = 0;
+
+  // Stage means (ms).
+  double version_ms = 0, queries_ms = 0, certify_ms = 0, sync_ms = 0,
+         commit_ms = 0, global_ms = 0;
+
+  int64_t committed = 0;
+  int64_t committed_updates = 0;
+  int64_t cert_aborts = 0;
+  int64_t early_aborts = 0;
+  int64_t exec_errors = 0;
+  int64_t replica_failures = 0;
+
+  double replica_cpu_utilization = 0;  // mean over replicas
+  double certifier_disk_utilization = 0;
+
+  /// One fixed-width report line; see ResultHeader() for the columns.
+  std::string ToLine() const;
+  static std::string Header();
+};
+
+/// Runs one experiment. Fails only on setup errors (schema/preparation);
+/// runtime invariant violations abort via SCREP_CHECK.
+Result<ExperimentResult> RunExperiment(const Workload& workload,
+                                       const ExperimentConfig& config);
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,109 @@
+#include "workload/metrics.h"
+
+#include <cstdio>
+
+namespace screp {
+
+void MetricsCollector::EnableTimeline(SimTime bucket_width) {
+  timeline_bucket_width_ = bucket_width;
+}
+
+MetricsCollector::TimelineBucket* MetricsCollector::TimelineBucketFor(
+    SimTime now) {
+  if (timeline_bucket_width_ <= 0) return nullptr;
+  const size_t index =
+      static_cast<size_t>(now / timeline_bucket_width_);
+  if (timeline_.size() <= index) timeline_.resize(index + 1);
+  return &timeline_[index];
+}
+
+void MetricsCollector::Record(const TxnResponse& response, SimTime now,
+                              bool eager) {
+  TimelineBucket* bucket = TimelineBucketFor(now);
+  if (bucket != nullptr) {
+    if (response.outcome == TxnOutcome::kCommitted) {
+      ++bucket->committed;
+      bucket->total_response_us +=
+          static_cast<double>(now - response.submit_time);
+    } else {
+      ++bucket->failures;
+    }
+  }
+  if (now < measure_from_) return;
+  switch (response.outcome) {
+    case TxnOutcome::kCertificationAbort:
+      ++cert_aborts_;
+      return;
+    case TxnOutcome::kEarlyAbort:
+      ++early_aborts_;
+      return;
+    case TxnOutcome::kExecutionError:
+      ++exec_errors_;
+      return;
+    case TxnOutcome::kReplicaFailure:
+      ++replica_failures_;
+      return;
+    case TxnOutcome::kCommitted:
+      break;
+  }
+  ++committed_;
+  if (!response.read_only) ++committed_updates_;
+
+  const SimTime rt = now - response.submit_time;
+  response_.Add(static_cast<double>(rt));
+  response_hist_.Add(static_cast<double>(rt));
+
+  const StageTimes& s = response.stages;
+  version_.Add(static_cast<double>(s.version));
+  queries_.Add(static_cast<double>(s.queries));
+  if (!response.read_only) {
+    certify_.Add(static_cast<double>(s.certify));
+    sync_.Add(static_cast<double>(s.sync));
+  }
+  commit_.Add(static_cast<double>(s.commit));
+  if (!response.read_only && eager) {
+    global_.Add(static_cast<double>(s.global));
+  }
+  // Fig. 6's "synchronization delay": the global commit delay under ESC
+  // (updates only), the synchronization start delay otherwise.
+  if (eager) {
+    if (!response.read_only) {
+      sync_delay_.Add(static_cast<double>(s.global));
+    }
+  } else {
+    sync_delay_.Add(static_cast<double>(s.version));
+  }
+}
+
+double MetricsCollector::Throughput() const {
+  const SimTime window = measure_until_ - measure_from_;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(committed_) / ToSeconds(window);
+}
+
+std::string MetricsCollector::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "committed=%lld (updates=%lld) aborts: cert=%lld early=%lld "
+      "err=%lld\n"
+      "throughput=%.1f TPS  response: mean=%.2fms p99=%.2fms  "
+      "sync-delay=%.2fms\n"
+      "stages(ms): version=%.2f queries=%.2f certify=%.2f sync=%.2f "
+      "commit=%.2f global=%.2f",
+      static_cast<long long>(committed_),
+      static_cast<long long>(committed_updates_),
+      static_cast<long long>(cert_aborts_),
+      static_cast<long long>(early_aborts_),
+      static_cast<long long>(exec_errors_), Throughput(), MeanResponseMs(),
+      P99ResponseMs(), MeanSyncDelayMs(),
+      ToMillis(static_cast<SimTime>(version_.mean())),
+      ToMillis(static_cast<SimTime>(queries_.mean())),
+      ToMillis(static_cast<SimTime>(certify_.mean())),
+      ToMillis(static_cast<SimTime>(sync_.mean())),
+      ToMillis(static_cast<SimTime>(commit_.mean())),
+      ToMillis(static_cast<SimTime>(global_.mean())));
+  return buf;
+}
+
+}  // namespace screp

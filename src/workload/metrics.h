@@ -1,0 +1,116 @@
+// Experiment metrics: throughput, response time, the paper's per-stage
+// latency breakdown, and the synchronization-delay measure of Fig. 6.
+
+#ifndef SCREP_WORKLOAD_METRICS_H_
+#define SCREP_WORKLOAD_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "replication/message.h"
+
+namespace screp {
+
+/// Collects per-transaction measurements inside a measurement window.
+class MetricsCollector {
+ public:
+  /// Observations before `measure_from` (warm-up) are discarded.
+  explicit MetricsCollector(SimTime measure_from)
+      : measure_from_(measure_from) {}
+
+  /// Records a finished transaction; `now` is the client-side
+  /// acknowledgment time, `eager` selects which stage counts as the
+  /// synchronization delay (global for ESC, version otherwise).
+  void Record(const TxnResponse& response, SimTime now, bool eager);
+
+  /// Ends the window (needed before computing throughput).
+  void Finish(SimTime now) { measure_until_ = now; }
+
+  // -- Aggregates (valid after Finish) --
+
+  /// Committed transactions per second of virtual time.
+  double Throughput() const;
+  /// Mean client response time in ms (committed transactions).
+  double MeanResponseMs() const {
+    return ToMillis(static_cast<SimTime>(response_.mean()));
+  }
+  double P99ResponseMs() const { return response_hist_.Percentile(0.99) / 1e3; }
+  /// Mean synchronization delay in ms (Fig. 6 metric).
+  double MeanSyncDelayMs() const {
+    return ToMillis(static_cast<SimTime>(sync_delay_.mean()));
+  }
+
+  int64_t committed() const { return committed_; }
+  int64_t committed_updates() const { return committed_updates_; }
+  int64_t committed_readonly() const {
+    return committed_ - committed_updates_;
+  }
+  int64_t cert_aborts() const { return cert_aborts_; }
+  int64_t early_aborts() const { return early_aborts_; }
+  int64_t exec_errors() const { return exec_errors_; }
+  int64_t replica_failures() const { return replica_failures_; }
+
+  /// Mean of one stage in ms over committed transactions of the given
+  /// class ("update" includes only update transactions).
+  const StatAccumulator& version_stage() const { return version_; }
+  const StatAccumulator& queries_stage() const { return queries_; }
+  const StatAccumulator& certify_stage() const { return certify_; }
+  const StatAccumulator& sync_stage() const { return sync_; }
+  const StatAccumulator& commit_stage() const { return commit_; }
+  const StatAccumulator& global_stage() const { return global_; }
+
+  const StatAccumulator& response_stat() const { return response_; }
+  const Histogram& response_histogram() const { return response_hist_; }
+
+  /// Enables per-interval throughput/latency buckets (timeline view —
+  /// e.g. to watch throughput dip and recover around a replica crash).
+  void EnableTimeline(SimTime bucket_width);
+
+  /// One timeline bucket.
+  struct TimelineBucket {
+    int64_t committed = 0;
+    int64_t failures = 0;  // aborts + replica failures
+    double total_response_us = 0;
+
+    double MeanResponseMs() const {
+      return committed > 0 ? total_response_us / committed / 1e3 : 0.0;
+    }
+  };
+
+  /// Buckets from time 0 in EnableTimeline() widths (empty if disabled).
+  const std::vector<TimelineBucket>& timeline() const { return timeline_; }
+  SimTime timeline_bucket_width() const { return timeline_bucket_width_; }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+
+ private:
+  /// Bucket containing `now`, growing the timeline as needed; nullptr
+  /// when the timeline is disabled.
+  TimelineBucket* TimelineBucketFor(SimTime now);
+
+  SimTime measure_from_;
+  SimTime measure_until_ = 0;
+
+  int64_t committed_ = 0;
+  int64_t committed_updates_ = 0;
+  int64_t cert_aborts_ = 0;
+  int64_t early_aborts_ = 0;
+  int64_t exec_errors_ = 0;
+  int64_t replica_failures_ = 0;
+
+  StatAccumulator response_;
+  Histogram response_hist_;
+  StatAccumulator sync_delay_;
+  StatAccumulator version_, queries_, certify_, sync_, commit_, global_;
+
+  SimTime timeline_bucket_width_ = 0;
+  std::vector<TimelineBucket> timeline_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_METRICS_H_

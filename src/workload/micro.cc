@@ -1,0 +1,110 @@
+#include "workload/micro.h"
+
+namespace screp {
+
+namespace {
+
+/// Generator: uniform table, uniform key, Bernoulli update choice.
+class MicroGenerator : public TxnGenerator {
+ public:
+  MicroGenerator(const MicroConfig& config, std::vector<TxnTypeId> reads,
+                 std::vector<TxnTypeId> updates, Rng rng)
+      : config_(config),
+        read_types_(std::move(reads)),
+        update_types_(std::move(updates)),
+        rng_(rng) {}
+
+  TxnSpec Next() override {
+    const int table = static_cast<int>(
+        rng_.NextBounded(static_cast<uint64_t>(config_.table_count)));
+    const int64_t key =
+        rng_.NextInRange(0, config_.rows_per_table - 1);
+    TxnSpec spec;
+    if (rng_.NextBool(config_.update_fraction)) {
+      spec.type = update_types_[static_cast<size_t>(table)];
+      // UPDATE ... SET val = val + ? WHERE id = ?
+      spec.params = {{Value(rng_.NextInRange(1, 100)), Value(key)}};
+    } else {
+      spec.type = read_types_[static_cast<size_t>(table)];
+      // SELECT ... WHERE id = ?
+      spec.params = {{Value(key)}};
+    }
+    return spec;
+  }
+
+ private:
+  MicroConfig config_;
+  std::vector<TxnTypeId> read_types_;
+  std::vector<TxnTypeId> update_types_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::string MicroWorkload::TableName(int i) {
+  return "item" + std::to_string(i);
+}
+
+Status MicroWorkload::BuildSchema(Database* db) const {
+  const std::string pad(static_cast<size_t>(config_.pad_chars), 'x');
+  for (int t = 0; t < config_.table_count; ++t) {
+    SCREP_ASSIGN_OR_RETURN(
+        TableId id, db->CreateTable(TableName(t),
+                                    Schema({{"id", ValueType::kInt64},
+                                            {"val", ValueType::kInt64},
+                                            {"pad", ValueType::kString}})));
+    for (int64_t key = 0; key < config_.rows_per_table; ++key) {
+      SCREP_RETURN_NOT_OK(
+          db->BulkLoad(id, Row{Value(key), Value(key % 997), Value(pad)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status MicroWorkload::DefineTransactions(
+    const Database& db, sql::TransactionRegistry* registry) const {
+  for (int t = 0; t < config_.table_count; ++t) {
+    const std::string table = TableName(t);
+    {
+      sql::PreparedTransaction txn;
+      txn.name = "read_" + table;
+      SCREP_ASSIGN_OR_RETURN(
+          auto stmt,
+          sql::PreparedStatement::Prepare(
+              db, "SELECT id, val, pad FROM " + table + " WHERE id = ?"));
+      txn.statements.push_back(std::move(stmt));
+      registry->Register(std::move(txn));
+    }
+    {
+      sql::PreparedTransaction txn;
+      txn.name = "update_" + table;
+      SCREP_ASSIGN_OR_RETURN(
+          auto stmt,
+          sql::PreparedStatement::Prepare(
+              db, "UPDATE " + table + " SET val = val + ? WHERE id = ?"));
+      txn.statements.push_back(std::move(stmt));
+      registry->Register(std::move(txn));
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<TxnGenerator> MicroWorkload::CreateGenerator(
+    const sql::TransactionRegistry& registry, int client_id,
+    Rng rng) const {
+  (void)client_id;
+  std::vector<TxnTypeId> reads;
+  std::vector<TxnTypeId> updates;
+  for (int t = 0; t < config_.table_count; ++t) {
+    const std::string table = TableName(t);
+    Result<TxnTypeId> read_id = registry.Find("read_" + table);
+    Result<TxnTypeId> update_id = registry.Find("update_" + table);
+    SCREP_CHECK(read_id.ok() && update_id.ok());
+    reads.push_back(*read_id);
+    updates.push_back(*update_id);
+  }
+  return std::make_unique<MicroGenerator>(config_, std::move(reads),
+                                          std::move(updates), rng);
+}
+
+}  // namespace screp

@@ -1,0 +1,47 @@
+// The paper's micro-benchmark (§V-B): 4 tables of 10,000 records
+// (INT key, INT value, 100-char text field); each transaction reads or
+// updates one random record of one random table; the read/update mix is
+// the experiment parameter.
+
+#ifndef SCREP_WORKLOAD_MICRO_H_
+#define SCREP_WORKLOAD_MICRO_H_
+
+#include "workload/client.h"
+
+namespace screp {
+
+/// Micro-benchmark parameters.
+struct MicroConfig {
+  int table_count = 4;
+  int rows_per_table = 10000;
+  int pad_chars = 100;
+  /// Fraction of update transactions in [0, 1].
+  double update_fraction = 0.25;
+};
+
+/// The micro-benchmark workload.
+class MicroWorkload : public Workload {
+ public:
+  explicit MicroWorkload(MicroConfig config) : config_(config) {}
+
+  std::string name() const override { return "micro"; }
+  Status BuildSchema(Database* db) const override;
+  Status DefineTransactions(const Database& db,
+                            sql::TransactionRegistry* registry) const
+      override;
+  std::unique_ptr<TxnGenerator> CreateGenerator(
+      const sql::TransactionRegistry& registry, int client_id,
+      Rng rng) const override;
+
+  const MicroConfig& config() const { return config_; }
+
+  /// Table name for index i ("item0", "item1", ...).
+  static std::string TableName(int i);
+
+ private:
+  MicroConfig config_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_MICRO_H_

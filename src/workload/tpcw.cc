@@ -1,0 +1,333 @@
+#include "workload/tpcw.h"
+
+#include <optional>
+
+namespace screp {
+
+const char* TpcwMixName(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return "browsing";
+    case TpcwMix::kShopping:
+      return "shopping";
+    case TpcwMix::kOrdering:
+      return "ordering";
+  }
+  return "?";
+}
+
+double TpcwUpdateFraction(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return 0.05;
+    case TpcwMix::kShopping:
+      return 0.20;
+    case TpcwMix::kOrdering:
+      return 0.50;
+  }
+  return 0.0;
+}
+
+ProxyConfig TpcwProxyConfig() {
+  ProxyConfig config;
+  config.read_stmt_base = Millis(10.0);
+  config.update_stmt_base = Millis(15.0);
+  config.per_row_cost = Micros(50);
+  config.commit_cost = Millis(2.5);
+  config.refresh_base = Millis(2.0);
+  config.refresh_per_op = Millis(8.0);
+  return config;
+}
+
+int TpcwClientsPerReplica(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return 10;
+    case TpcwMix::kShopping:
+      return 8;
+    case TpcwMix::kOrdering:
+      return 5;
+  }
+  return 0;
+}
+
+namespace {
+
+using tpcw::kLinesPerCartKeySpan;
+using tpcw::kLinesPerOrderKeySpan;
+
+/// One client's emulated-browser state machine.
+class TpcwGenerator : public TxnGenerator {
+ public:
+  TpcwGenerator(const TpcwScale& scale, TpcwMix mix,
+                const sql::TransactionRegistry& registry, int client_id,
+                Rng rng)
+      : scale_(scale),
+        mix_(mix),
+        client_id_(client_id),
+        rng_(rng),
+        id_base_(static_cast<int64_t>(client_id + 1) *
+                 tpcw::kClientKeyBase) {
+    auto find = [&registry](const char* name) {
+      Result<TxnTypeId> id = registry.Find(name);
+      SCREP_CHECK_MSG(id.ok(), "missing TPC-W txn type " << name);
+      return *id;
+    };
+    home_ = find(tpcw::kHome);
+    product_detail_ = find(tpcw::kProductDetail);
+    search_ = find(tpcw::kSearchBySubject);
+    new_products_ = find(tpcw::kNewProducts);
+    best_sellers_ = find(tpcw::kBestSellers);
+    order_inquiry_ = find(tpcw::kOrderInquiry);
+    shopping_cart_ = find(tpcw::kShoppingCart);
+    cart_update_ = find(tpcw::kCartUpdate);
+    registration_ = find(tpcw::kCustomerRegistration);
+    buy_request_ = find(tpcw::kBuyRequest);
+    buy_confirm_ = find(tpcw::kBuyConfirm);
+    admin_update_ = find(tpcw::kAdminUpdate);
+    my_customer_ = client_id % scale_.customers;
+    last_order_ = tpcw::kInitialOrderBase +
+                  static_cast<int64_t>(rng_.NextBounded(
+                      static_cast<uint64_t>(scale_.initial_orders)));
+  }
+
+  TxnSpec Next() override {
+    if (rng_.NextBool(TpcwUpdateFraction(mix_))) return NextUpdate();
+    return NextRead();
+  }
+
+  void OnCommitted(const TxnSpec& spec) override {
+    if (spec.type == shopping_cart_ && pending_cart_) {
+      carts_.push_back(*pending_cart_);
+      pending_cart_.reset();
+    } else if (spec.type == buy_confirm_ && pending_order_ >= 0) {
+      last_order_ = pending_order_;
+      pending_order_ = -1;
+      if (!carts_.empty()) carts_.pop_back();
+    }
+  }
+
+ private:
+  struct Cart {
+    int64_t sc_id;
+    int64_t item1, item2;
+    int64_t qty1, qty2;
+  };
+
+  int64_t RandomItem() {
+    return static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(scale_.items)));
+  }
+  int64_t RandomCustomer() {
+    return static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(scale_.customers)));
+  }
+  int64_t RandomSubject() {
+    return static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(scale_.subjects)));
+  }
+  int64_t NextDate() { return ++date_counter_; }
+
+  TxnSpec NextRead() {
+    const double r = rng_.NextDouble();
+    TxnSpec spec;
+    if (r < 0.30) {
+      spec.type = home_;
+      spec.params = {{Value(my_customer_)},
+                     {Value(RandomItem())},
+                     {Value(RandomItem())}};
+    } else if (r < 0.55) {
+      spec.type = product_detail_;
+      spec.params = {{Value(RandomItem())},
+                     {Value(static_cast<int64_t>(rng_.NextBounded(
+                         static_cast<uint64_t>(tpcw::AuthorCount(scale_)))))}};
+    } else if (r < 0.70) {
+      spec.type = search_;
+      spec.params = {{Value(RandomSubject())}};
+    } else if (r < 0.82) {
+      spec.type = new_products_;
+      spec.params = {{Value(RandomSubject())}};
+    } else if (r < 0.92) {
+      spec.type = best_sellers_;
+      spec.params = {{Value(RandomSubject())}};
+    } else {
+      spec.type = order_inquiry_;
+      const int64_t o = last_order_;
+      spec.params = {{Value(my_customer_)},
+                     {Value(o)},
+                     {Value(o * kLinesPerOrderKeySpan),
+                      Value(o * kLinesPerOrderKeySpan +
+                            kLinesPerOrderKeySpan - 1)}};
+    }
+    return spec;
+  }
+
+  TxnSpec NextUpdate() {
+    const double r = rng_.NextDouble();
+    if (r < 0.35) return MakeShoppingCart();
+    if (r < 0.55) {
+      if (carts_.empty()) return MakeShoppingCart();
+      return MakeCartUpdate();
+    }
+    if (r < 0.70) {
+      if (carts_.empty()) return MakeShoppingCart();
+      return MakeBuyRequest();
+    }
+    if (r < 0.85) {
+      if (carts_.empty()) return MakeShoppingCart();
+      return MakeBuyConfirm();
+    }
+    if (r < 0.95) return MakeRegistration();
+    return MakeAdminUpdate();
+  }
+
+  TxnSpec MakeShoppingCart() {
+    Cart cart;
+    cart.sc_id = id_base_ + cart_counter_++;
+    cart.item1 = RandomItem();
+    cart.item2 = RandomItem();
+    cart.qty1 = rng_.NextInRange(1, 4);
+    cart.qty2 = rng_.NextInRange(1, 4);
+    pending_cart_ = cart;
+    const int64_t base = cart.sc_id * kLinesPerCartKeySpan;
+    TxnSpec spec;
+    spec.type = shopping_cart_;
+    spec.params = {
+        {Value(cart.item1)},
+        {Value(cart.item2)},
+        {Value(cart.sc_id), Value(NextDate()), Value(0.0)},
+        {Value(base + 0), Value(cart.sc_id), Value(cart.item1),
+         Value(cart.qty1)},
+        {Value(base + 1), Value(cart.sc_id), Value(cart.item2),
+         Value(cart.qty2)},
+        {Value(25.0), Value(cart.sc_id)},
+    };
+    return spec;
+  }
+
+  TxnSpec MakeCartUpdate() {
+    const Cart& cart = carts_.back();
+    TxnSpec spec;
+    spec.type = cart_update_;
+    spec.params = {
+        {Value(cart.item1)},
+        {Value(rng_.NextInRange(1, 9)),
+         Value(cart.sc_id * kLinesPerCartKeySpan)},
+        {Value(5.0), Value(NextDate()), Value(cart.sc_id)},
+    };
+    return spec;
+  }
+
+  TxnSpec MakeBuyRequest() {
+    const Cart& cart = carts_.back();
+    const int64_t base = cart.sc_id * kLinesPerCartKeySpan;
+    TxnSpec spec;
+    spec.type = buy_request_;
+    spec.params = {
+        {Value(my_customer_)},
+        {Value(base), Value(base + kLinesPerCartKeySpan - 1)},
+        {Value(NextDate()), Value(cart.sc_id)},
+    };
+    return spec;
+  }
+
+  TxnSpec MakeBuyConfirm() {
+    const Cart& cart = carts_.back();
+    const int64_t o_id = id_base_ + order_counter_++;
+    pending_order_ = o_id;
+    const int64_t cart_base = cart.sc_id * kLinesPerCartKeySpan;
+    const double subtotal =
+        25.0 + static_cast<double>(rng_.NextBounded(10000)) / 100.0;
+    TxnSpec spec;
+    spec.type = buy_confirm_;
+    spec.params = {
+        {Value(cart_base), Value(cart_base + kLinesPerCartKeySpan - 1)},
+        {Value(o_id), Value(my_customer_), Value(NextDate()),
+         Value(subtotal), Value(subtotal * 0.08), Value(subtotal * 1.08),
+         Value("PENDING")},
+        {Value(o_id * kLinesPerOrderKeySpan + 0), Value(o_id),
+         Value(cart.item1), Value(cart.qty1), Value(0.0)},
+        {Value(o_id * kLinesPerOrderKeySpan + 1), Value(o_id),
+         Value(cart.item2), Value(cart.qty2), Value(0.0)},
+        {Value(cart.qty1), Value(cart.qty1), Value(cart.item1)},
+        {Value(cart.qty2), Value(cart.qty2), Value(cart.item2)},
+        {Value(o_id), Value("VISA"), Value(subtotal * 1.08),
+         Value(NextDate())},
+        {Value(subtotal * 1.08), Value(subtotal * 1.08),
+         Value(my_customer_)},
+        {Value(cart_base), Value(cart_base + kLinesPerCartKeySpan - 1)},
+    };
+    return spec;
+  }
+
+  TxnSpec MakeRegistration() {
+    const int64_t addr_id = id_base_ + address_counter_++;
+    const int64_t c_id = id_base_ + customer_counter_++;
+    TxnSpec spec;
+    spec.type = registration_;
+    spec.params = {
+        {Value(addr_id), Value("street" + std::to_string(addr_id)),
+         Value("city"), Value("zip"),
+         Value(static_cast<int64_t>(
+             rng_.NextBounded(static_cast<uint64_t>(scale_.countries))))},
+        {Value(c_id), Value("user" + std::to_string(c_id)), Value("new"),
+         Value("customer"), Value(addr_id), Value(0.0), Value(0.0),
+         Value(NextDate()), Value(int64_t{0}), Value(0.05)},
+    };
+    return spec;
+  }
+
+  TxnSpec MakeAdminUpdate() {
+    const int64_t item = RandomItem();
+    TxnSpec spec;
+    spec.type = admin_update_;
+    spec.params = {
+        {Value(item)},
+        {Value(5.0 + static_cast<double>(rng_.NextBounded(5000)) / 100.0),
+         Value(NextDate()), Value(RandomItem()), Value(item)},
+    };
+    return spec;
+  }
+
+  TpcwScale scale_;
+  TpcwMix mix_;
+  int client_id_;
+  Rng rng_;
+  int64_t id_base_;
+
+  TxnTypeId home_, product_detail_, search_, new_products_, best_sellers_,
+      order_inquiry_, shopping_cart_, cart_update_, registration_,
+      buy_request_, buy_confirm_, admin_update_;
+
+  int64_t my_customer_ = 0;
+  int64_t last_order_ = -1;
+  int64_t date_counter_ = 0;
+  int64_t cart_counter_ = 0;
+  int64_t order_counter_ = 0;
+  int64_t address_counter_ = 0;
+  int64_t customer_counter_ = 0;
+
+  std::vector<Cart> carts_;
+  std::optional<Cart> pending_cart_;
+  int64_t pending_order_ = -1;
+};
+
+}  // namespace
+
+Status TpcwWorkload::BuildSchema(Database* db) const {
+  return BuildTpcwSchema(db, scale_);
+}
+
+Status TpcwWorkload::DefineTransactions(
+    const Database& db, sql::TransactionRegistry* registry) const {
+  return tpcw::DefineTpcwTransactions(db, registry);
+}
+
+std::unique_ptr<TxnGenerator> TpcwWorkload::CreateGenerator(
+    const sql::TransactionRegistry& registry, int client_id,
+    Rng rng) const {
+  return std::make_unique<TpcwGenerator>(scale_, mix_, registry, client_id,
+                                         rng);
+}
+
+}  // namespace screp

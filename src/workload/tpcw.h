@@ -1,0 +1,61 @@
+// The TPC-W workload: the three standard mixes over the web interactions
+// of tpcw_transactions.h, driven by per-client emulated-browser state
+// (shopping carts, last order), exactly the shape of the paper's §V-C
+// evaluation.
+
+#ifndef SCREP_WORKLOAD_TPCW_H_
+#define SCREP_WORKLOAD_TPCW_H_
+
+#include "workload/client.h"
+#include "workload/tpcw_schema.h"
+#include "workload/tpcw_transactions.h"
+
+namespace screp {
+
+/// The three TPC-W transaction mixes (fraction of update transactions).
+enum class TpcwMix {
+  kBrowsing,  ///< 5% updates
+  kShopping,  ///< 20% updates
+  kOrdering,  ///< 50% updates
+};
+
+const char* TpcwMixName(TpcwMix mix);
+double TpcwUpdateFraction(TpcwMix mix);
+/// Clients per replica under the paper's scaled-load experiments
+/// (browsing 10, shopping 8, ordering 5).
+int TpcwClientsPerReplica(TpcwMix mix);
+
+/// Replica service-time profile for TPC-W experiments: web-interaction
+/// statements are an order of magnitude heavier than the micro-benchmark's
+/// single-record accesses (each page runs multi-row queries through the
+/// app server), which is what pushes the testbed toward saturation — the
+/// regime the paper's Figures 5-7 are measured in.
+ProxyConfig TpcwProxyConfig();
+
+/// The TPC-W workload for one mix.
+class TpcwWorkload : public Workload {
+ public:
+  TpcwWorkload(TpcwScale scale, TpcwMix mix) : scale_(scale), mix_(mix) {}
+
+  std::string name() const override {
+    return std::string("tpcw-") + TpcwMixName(mix_);
+  }
+  Status BuildSchema(Database* db) const override;
+  Status DefineTransactions(const Database& db,
+                            sql::TransactionRegistry* registry) const
+      override;
+  std::unique_ptr<TxnGenerator> CreateGenerator(
+      const sql::TransactionRegistry& registry, int client_id,
+      Rng rng) const override;
+
+  const TpcwScale& scale() const { return scale_; }
+  TpcwMix mix() const { return mix_; }
+
+ private:
+  TpcwScale scale_;
+  TpcwMix mix_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_TPCW_H_

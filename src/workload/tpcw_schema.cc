@@ -1,0 +1,186 @@
+#include "workload/tpcw_schema.h"
+
+#include "common/rng.h"
+
+namespace screp {
+
+namespace tpcw {
+
+void SubjectRange(const TpcwScale& s, int subject, int64_t* lo,
+                  int64_t* hi) {
+  const int span = s.items / s.subjects;
+  *lo = static_cast<int64_t>(subject) * span;
+  *hi = subject == s.subjects - 1 ? s.items - 1 : *lo + span - 1;
+}
+
+}  // namespace tpcw
+
+Status BuildTpcwSchema(Database* db, const TpcwScale& scale) {
+  // A fixed seed keeps the population identical on every replica.
+  Rng rng(0x7c9a11dULL);
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId country,
+      db->CreateTable("country", Schema({{"co_id", ValueType::kInt64},
+                                         {"co_name", ValueType::kString},
+                                         {"co_exchange", ValueType::kDouble}})));
+  for (int64_t i = 0; i < scale.countries; ++i) {
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        country, Row{Value(i), Value("country" + std::to_string(i)),
+                     Value(0.5 + 0.01 * static_cast<double>(i))}));
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId author,
+      db->CreateTable("author", Schema({{"a_id", ValueType::kInt64},
+                                        {"a_fname", ValueType::kString},
+                                        {"a_lname", ValueType::kString}})));
+  const int authors = tpcw::AuthorCount(scale);
+  for (int64_t i = 0; i < authors; ++i) {
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        author, Row{Value(i), Value("afirst" + std::to_string(i)),
+                    Value("alast" + std::to_string(i))}));
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId address,
+      db->CreateTable("address", Schema({{"addr_id", ValueType::kInt64},
+                                         {"addr_street", ValueType::kString},
+                                         {"addr_city", ValueType::kString},
+                                         {"addr_zip", ValueType::kString},
+                                         {"addr_co_id", ValueType::kInt64}})));
+  const int addresses = tpcw::AddressCount(scale);
+  for (int64_t i = 0; i < addresses; ++i) {
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        address,
+        Row{Value(i), Value("street" + std::to_string(i)),
+            Value("city" + std::to_string(i % 500)),
+            Value("zip" + std::to_string(i % 10000)),
+            Value(static_cast<int64_t>(
+                rng.NextBounded(static_cast<uint64_t>(scale.countries))))}));
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId customer,
+      db->CreateTable(
+          "customer", Schema({{"c_id", ValueType::kInt64},
+                              {"c_uname", ValueType::kString},
+                              {"c_fname", ValueType::kString},
+                              {"c_lname", ValueType::kString},
+                              {"c_addr_id", ValueType::kInt64},
+                              {"c_balance", ValueType::kDouble},
+                              {"c_ytd_pmt", ValueType::kDouble},
+                              {"c_last_login", ValueType::kInt64},
+                              {"c_expiration", ValueType::kInt64},
+                              {"c_discount", ValueType::kDouble}})));
+  for (int64_t i = 0; i < scale.customers; ++i) {
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        customer,
+        Row{Value(i), Value("user" + std::to_string(i)),
+            Value("first" + std::to_string(i)),
+            Value("last" + std::to_string(i)), Value(2 * i),
+            Value(0.0), Value(0.0), Value(int64_t{0}), Value(int64_t{0}),
+            Value(0.01 * static_cast<double>(rng.NextBounded(50)))}));
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId item,
+      db->CreateTable("item", Schema({{"i_id", ValueType::kInt64},
+                                      {"i_title", ValueType::kString},
+                                      {"i_a_id", ValueType::kInt64},
+                                      {"i_pub_date", ValueType::kInt64},
+                                      {"i_subject", ValueType::kInt64},
+                                      {"i_cost", ValueType::kDouble},
+                                      {"i_stock", ValueType::kInt64},
+                                      {"i_total_sold", ValueType::kInt64},
+                                      {"i_related", ValueType::kInt64}})));
+  for (int64_t i = 0; i < scale.items; ++i) {
+    const int span = scale.items / scale.subjects;
+    const int64_t subject = std::min<int64_t>(i / span, scale.subjects - 1);
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        item,
+        Row{Value(i), Value("title" + std::to_string(i)),
+            Value(static_cast<int64_t>(
+                rng.NextBounded(static_cast<uint64_t>(authors)))),
+            Value(static_cast<int64_t>(rng.NextBounded(3650))),
+            Value(subject),
+            Value(5.0 + 0.25 * static_cast<double>(rng.NextBounded(200))),
+            Value(static_cast<int64_t>(10 + rng.NextBounded(90))),
+            Value(static_cast<int64_t>(rng.NextBounded(1000))),
+            Value(static_cast<int64_t>(
+                rng.NextBounded(static_cast<uint64_t>(scale.items))))}));
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId orders,
+      db->CreateTable("orders", Schema({{"o_id", ValueType::kInt64},
+                                        {"o_c_id", ValueType::kInt64},
+                                        {"o_date", ValueType::kInt64},
+                                        {"o_subtotal", ValueType::kDouble},
+                                        {"o_tax", ValueType::kDouble},
+                                        {"o_total", ValueType::kDouble},
+                                        {"o_status", ValueType::kString}})));
+  SCREP_ASSIGN_OR_RETURN(
+      TableId order_line,
+      db->CreateTable("order_line",
+                      Schema({{"ol_id", ValueType::kInt64},
+                              {"ol_o_id", ValueType::kInt64},
+                              {"ol_i_id", ValueType::kInt64},
+                              {"ol_qty", ValueType::kInt64},
+                              {"ol_discount", ValueType::kDouble}})));
+  for (int64_t n = 0; n < scale.initial_orders; ++n) {
+    const int64_t o_id = tpcw::kInitialOrderBase + n;
+    const int64_t c_id = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(scale.customers)));
+    const double subtotal =
+        10.0 + static_cast<double>(rng.NextBounded(20000)) / 100.0;
+    SCREP_RETURN_NOT_OK(db->BulkLoad(
+        orders, Row{Value(o_id), Value(c_id),
+                    Value(static_cast<int64_t>(rng.NextBounded(365))),
+                    Value(subtotal), Value(subtotal * 0.08),
+                    Value(subtotal * 1.08), Value("SHIPPED")}));
+    for (int64_t l = 0; l < scale.lines_per_order; ++l) {
+      SCREP_RETURN_NOT_OK(db->BulkLoad(
+          order_line,
+          Row{Value(o_id * tpcw::kLinesPerOrderKeySpan + l), Value(o_id),
+              Value(static_cast<int64_t>(
+                  rng.NextBounded(static_cast<uint64_t>(scale.items)))),
+              Value(static_cast<int64_t>(1 + rng.NextBounded(5))),
+              Value(0.0)}));
+    }
+  }
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId cc_xacts,
+      db->CreateTable("cc_xacts", Schema({{"cx_o_id", ValueType::kInt64},
+                                          {"cx_type", ValueType::kString},
+                                          {"cx_amount", ValueType::kDouble},
+                                          {"cx_auth_date", ValueType::kInt64}})));
+  (void)cc_xacts;
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId cart,
+      db->CreateTable("shopping_cart",
+                      Schema({{"sc_id", ValueType::kInt64},
+                              {"sc_date", ValueType::kInt64},
+                              {"sc_total", ValueType::kDouble}})));
+  (void)cart;
+
+  SCREP_ASSIGN_OR_RETURN(
+      TableId cart_line,
+      db->CreateTable("shopping_cart_line",
+                      Schema({{"scl_id", ValueType::kInt64},
+                              {"scl_sc_id", ValueType::kInt64},
+                              {"scl_i_id", ValueType::kInt64},
+                              {"scl_qty", ValueType::kInt64}})));
+  (void)cart_line;
+
+  // Secondary indexes a real deployment would have: subject browsing and
+  // login-by-username (backfilled over the population above).
+  SCREP_RETURN_NOT_OK(db->CreateIndex(item, "i_subject"));
+  SCREP_RETURN_NOT_OK(db->CreateIndex(customer, "c_uname"));
+
+  return Status::OK();
+}
+
+}  // namespace screp

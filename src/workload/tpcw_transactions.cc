@@ -1,0 +1,130 @@
+#include "workload/tpcw_transactions.h"
+
+namespace screp::tpcw {
+
+namespace {
+
+Status Define(const Database& db, sql::TransactionRegistry* registry,
+              const char* name, std::initializer_list<const char*> texts) {
+  sql::PreparedTransaction txn;
+  txn.name = name;
+  for (const char* text : texts) {
+    SCREP_ASSIGN_OR_RETURN(auto stmt,
+                           sql::PreparedStatement::Prepare(db, text));
+    txn.statements.push_back(std::move(stmt));
+  }
+  registry->Register(std::move(txn));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DefineTpcwTransactions(const Database& db,
+                              sql::TransactionRegistry* registry) {
+  // ---- Read-only interactions -------------------------------------------
+
+  // Home page: greet the customer, show two promotional items.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kHome,
+      {"SELECT c_fname, c_lname, c_discount FROM customer WHERE c_id = ?",
+       "SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?",
+       "SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?"}));
+
+  // Product detail: the item plus its author.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kProductDetail,
+      {"SELECT i_id, i_title, i_a_id, i_pub_date, i_cost, i_stock FROM item "
+       "WHERE i_id = ?",
+       "SELECT a_id, a_fname, a_lname FROM author WHERE a_id = ?"}));
+
+  // Search by subject, served by the secondary index on i_subject.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kSearchBySubject,
+      {"SELECT i_id, i_title, i_cost FROM item WHERE i_subject = ? "
+       "ORDER BY i_title ASC LIMIT 20"}));
+
+  // New products in a subject, newest first.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kNewProducts,
+      {"SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = ? "
+       "ORDER BY i_pub_date DESC LIMIT 20"}));
+
+  // Best sellers in a subject by units sold.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kBestSellers,
+      {"SELECT i_id, i_title, i_total_sold FROM item WHERE i_subject = ? "
+       "ORDER BY i_total_sold DESC LIMIT 20"}));
+
+  // Order inquiry / display: the customer's most recent order.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kOrderInquiry,
+      {"SELECT c_id, c_fname, c_lname, c_balance FROM customer WHERE c_id "
+       "= ?",
+       "SELECT o_id, o_date, o_total, o_status FROM orders WHERE o_id = ?",
+       "SELECT ol_id, ol_i_id, ol_qty FROM order_line WHERE ol_id BETWEEN "
+       "? AND ?"}));
+
+  // ---- Update interactions ----------------------------------------------
+
+  // Shopping cart creation: look at two items, create the cart with two
+  // lines, accumulate the total.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kShoppingCart,
+      {"SELECT i_id, i_cost, i_stock FROM item WHERE i_id = ?",
+       "SELECT i_id, i_cost, i_stock FROM item WHERE i_id = ?",
+       "INSERT INTO shopping_cart VALUES (?, ?, ?)",
+       "INSERT INTO shopping_cart_line VALUES (?, ?, ?, ?)",
+       "INSERT INTO shopping_cart_line VALUES (?, ?, ?, ?)",
+       "UPDATE shopping_cart SET sc_total = sc_total + ? WHERE sc_id = ?"}));
+
+  // Cart update: change a line's quantity and the cart total.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kCartUpdate,
+      {"SELECT i_id, i_cost FROM item WHERE i_id = ?",
+       "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_id = ?",
+       "UPDATE shopping_cart SET sc_total = sc_total + ?, sc_date = ? WHERE "
+       "sc_id = ?"}));
+
+  // Customer registration: new address and customer rows.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kCustomerRegistration,
+      {"INSERT INTO address VALUES (?, ?, ?, ?, ?)",
+       "INSERT INTO customer VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"}));
+
+  // Buy request: cart summary page, refreshing the cart timestamp.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kBuyRequest,
+      {"SELECT c_id, c_discount, c_balance FROM customer WHERE c_id = ?",
+       "SELECT scl_id, scl_i_id, scl_qty FROM shopping_cart_line WHERE "
+       "scl_id BETWEEN ? AND ?",
+       "UPDATE shopping_cart SET sc_date = ? WHERE sc_id = ?"}));
+
+  // Buy confirm: the heavyweight purchase transaction — order + lines,
+  // stock decrements, payment, customer balance, cart cleared.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kBuyConfirm,
+      {"SELECT scl_id, scl_i_id, scl_qty FROM shopping_cart_line WHERE "
+       "scl_id BETWEEN ? AND ?",
+       "INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?)",
+       "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)",
+       "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)",
+       "UPDATE item SET i_stock = i_stock - ?, i_total_sold = i_total_sold "
+       "+ ? WHERE i_id = ?",
+       "UPDATE item SET i_stock = i_stock - ?, i_total_sold = i_total_sold "
+       "+ ? WHERE i_id = ?",
+       "INSERT INTO cc_xacts VALUES (?, ?, ?, ?)",
+       "UPDATE customer SET c_balance = c_balance + ?, c_ytd_pmt = "
+       "c_ytd_pmt + ? WHERE c_id = ?",
+       "DELETE FROM shopping_cart_line WHERE scl_id BETWEEN ? AND ?"}));
+
+  // Admin update: re-price an item and refresh its publication date.
+  SCREP_RETURN_NOT_OK(Define(
+      db, registry, kAdminUpdate,
+      {"SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?",
+       "UPDATE item SET i_cost = ?, i_pub_date = ?, i_related = ? WHERE "
+       "i_id = ?"}));
+
+  return Status::OK();
+}
+
+}  // namespace screp::tpcw

@@ -1,0 +1,39 @@
+// The TPC-W web interactions as prepared transactions.
+//
+// Each interaction is a fixed sequence of prepared statements, which is
+// exactly the "automated environment" shape the fine-grained scheme
+// exploits: the table-set of every interaction is statically known.
+// Secondary-index accesses of a real deployment (subject, pub-date,
+// best-seller indexes) are emulated as primary-key ranges — see
+// tpcw_schema.h's subject partitioning.
+
+#ifndef SCREP_WORKLOAD_TPCW_TRANSACTIONS_H_
+#define SCREP_WORKLOAD_TPCW_TRANSACTIONS_H_
+
+#include "common/status.h"
+#include "sql/table_set.h"
+#include "storage/database.h"
+
+namespace screp::tpcw {
+
+/// Names of the registered transaction types.
+inline constexpr const char* kHome = "home";
+inline constexpr const char* kProductDetail = "product_detail";
+inline constexpr const char* kSearchBySubject = "search_by_subject";
+inline constexpr const char* kNewProducts = "new_products";
+inline constexpr const char* kBestSellers = "best_sellers";
+inline constexpr const char* kOrderInquiry = "order_inquiry";
+inline constexpr const char* kShoppingCart = "shopping_cart";
+inline constexpr const char* kCartUpdate = "cart_update";
+inline constexpr const char* kCustomerRegistration = "customer_registration";
+inline constexpr const char* kBuyRequest = "buy_request";
+inline constexpr const char* kBuyConfirm = "buy_confirm";
+inline constexpr const char* kAdminUpdate = "admin_update";
+
+/// Registers all TPC-W transaction types against `db`'s catalog.
+Status DefineTpcwTransactions(const Database& db,
+                              sql::TransactionRegistry* registry);
+
+}  // namespace screp::tpcw
+
+#endif  // SCREP_WORKLOAD_TPCW_TRANSACTIONS_H_

@@ -1,0 +1,212 @@
+#include "replication/certifier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace screp {
+namespace {
+
+WriteSet MakeWs(TxnId id, ReplicaId origin, DbVersion snapshot,
+                std::initializer_list<int64_t> keys, TableId table = 0) {
+  WriteSet ws;
+  ws.txn_id = id;
+  ws.origin = origin;
+  ws.snapshot_version = snapshot;
+  for (int64_t key : keys) {
+    ws.Add(table, key, WriteType::kUpdate, Row{Value(key), Value(0)});
+  }
+  return ws;
+}
+
+class CertifierTest : public ::testing::Test {
+ protected:
+  void Build(int replicas, bool eager) {
+    certifier_ = std::make_unique<Certifier>(&sim_, CertifierConfig{},
+                                             replicas, eager);
+    certifier_->SetDecisionCallback(
+        [this](ReplicaId origin, const CertDecision& decision) {
+          decisions_.emplace_back(origin, decision);
+        });
+    certifier_->SetRefreshCallback(
+        [this](ReplicaId target, const WriteSet& ws) {
+          refreshes_.emplace_back(target, ws);
+        });
+    certifier_->SetGlobalCommitCallback([this](ReplicaId origin, TxnId txn) {
+      global_commits_.emplace_back(origin, txn);
+    });
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Certifier> certifier_;
+  std::vector<std::pair<ReplicaId, CertDecision>> decisions_;
+  std::vector<std::pair<ReplicaId, WriteSet>> refreshes_;
+  std::vector<std::pair<ReplicaId, TxnId>> global_commits_;
+};
+
+TEST_F(CertifierTest, FirstCommitGetsVersionOne) {
+  Build(3, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 1u);
+  EXPECT_EQ(decisions_[0].first, 0);
+  EXPECT_TRUE(decisions_[0].second.commit);
+  EXPECT_EQ(decisions_[0].second.commit_version, 1);
+  EXPECT_EQ(certifier_->CommitVersion(), 1);
+  EXPECT_EQ(certifier_->certified_count(), 1);
+}
+
+TEST_F(CertifierTest, RefreshFanOutSkipsOrigin) {
+  Build(4, false);
+  certifier_->SubmitCertification(MakeWs(1, 2, 0, {5}));
+  sim_.RunAll();
+  ASSERT_EQ(refreshes_.size(), 3u);
+  for (const auto& [target, ws] : refreshes_) {
+    EXPECT_NE(target, 2);
+    EXPECT_EQ(ws.commit_version, 1);
+    EXPECT_EQ(ws.txn_id, 1u);
+  }
+}
+
+TEST_F(CertifierTest, ConflictAborted) {
+  Build(2, false);
+  // Both transactions read snapshot 0 and write key 5.
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  certifier_->SubmitCertification(MakeWs(2, 1, 0, {5}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 2u);
+  // Abort decisions skip the log force, so they may overtake commit
+  // decisions — look decisions up by transaction id.
+  std::map<TxnId, bool> verdicts;
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    verdicts[decision.txn_id] = decision.commit;
+  }
+  EXPECT_TRUE(verdicts.at(1));
+  EXPECT_FALSE(verdicts.at(2));
+  EXPECT_EQ(certifier_->abort_count(), 1);
+  // The aborted transaction consumed no version.
+  EXPECT_EQ(certifier_->CommitVersion(), 1);
+  // No refresh for the aborted transaction.
+  EXPECT_EQ(refreshes_.size(), 1u);
+}
+
+TEST_F(CertifierTest, NonConflictingConcurrentCommitsBoth) {
+  Build(2, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  certifier_->SubmitCertification(MakeWs(2, 1, 0, {6}));
+  sim_.RunAll();
+  EXPECT_TRUE(decisions_[0].second.commit);
+  EXPECT_TRUE(decisions_[1].second.commit);
+  EXPECT_EQ(decisions_[1].second.commit_version, 2);
+}
+
+TEST_F(CertifierTest, LaterSnapshotEscapesOldConflict) {
+  Build(2, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  sim_.RunAll();
+  // Snapshot 1 already includes txn 1's commit: no conflict.
+  certifier_->SubmitCertification(MakeWs(2, 1, 1, {5}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 2u);
+  EXPECT_TRUE(decisions_[1].second.commit);
+}
+
+TEST_F(CertifierTest, SameTransactionKeysDifferentTablesNoConflict) {
+  Build(2, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}, /*table=*/0));
+  certifier_->SubmitCertification(MakeWs(2, 1, 0, {5}, /*table=*/1));
+  sim_.RunAll();
+  EXPECT_TRUE(decisions_[0].second.commit);
+  EXPECT_TRUE(decisions_[1].second.commit);
+}
+
+TEST_F(CertifierTest, DecisionsArriveInVersionOrder) {
+  Build(2, false);
+  for (TxnId t = 1; t <= 10; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 0, {static_cast<int64_t>(t * 100)}));
+  }
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 10u);
+  for (size_t i = 0; i < decisions_.size(); ++i) {
+    EXPECT_EQ(decisions_[i].second.commit_version,
+              static_cast<DbVersion>(i + 1));
+  }
+}
+
+TEST_F(CertifierTest, DurabilityLogGrowsWithCommits) {
+  Build(2, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  certifier_->SubmitCertification(MakeWs(2, 1, 0, {6}));
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->wal().DurableSize(), 2u);
+  std::vector<WriteSet> records;
+  ASSERT_TRUE(certifier_->wal().ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].commit_version, 1);
+  EXPECT_EQ(records[1].commit_version, 2);
+}
+
+TEST_F(CertifierTest, GroupCommitBatchesShareForce) {
+  Build(2, false);
+  // Submit many certifications back-to-back: with the default 0.8ms force
+  // and 0.12ms certify time, most commits should share forces (far fewer
+  // disk busy-time than one force each).
+  for (TxnId t = 1; t <= 20; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 0, {static_cast<int64_t>(t * 7)}));
+  }
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->certified_count(), 20);
+  const SimTime disk_time = certifier_->disk()->BusyTime();
+  EXPECT_LT(disk_time, 20 * Millis(0.8));
+}
+
+TEST_F(CertifierTest, EagerGlobalCommitAfterAllReplicas) {
+  Build(3, true);
+  certifier_->SubmitCertification(MakeWs(1, 1, 0, {5}));
+  sim_.RunAll();
+  EXPECT_TRUE(global_commits_.empty());
+  certifier_->NotifyReplicaCommitted(1);
+  certifier_->NotifyReplicaCommitted(1);
+  EXPECT_TRUE(global_commits_.empty());
+  certifier_->NotifyReplicaCommitted(1);
+  ASSERT_EQ(global_commits_.size(), 1u);
+  EXPECT_EQ(global_commits_[0].first, 1);   // origin replica
+  EXPECT_EQ(global_commits_[0].second, 1u);  // txn id
+}
+
+TEST_F(CertifierTest, NonEagerIgnoresCommitNotifications) {
+  Build(2, false);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  sim_.RunAll();
+  certifier_->NotifyReplicaCommitted(1);  // no-op, must not crash
+  EXPECT_TRUE(global_commits_.empty());
+}
+
+TEST_F(CertifierTest, WindowOverflowAbortsConservatively) {
+  CertifierConfig config;
+  config.conflict_window = 2;
+  certifier_ = std::make_unique<Certifier>(&sim_, config, 2, false);
+  certifier_->SetDecisionCallback(
+      [this](ReplicaId origin, const CertDecision& decision) {
+        decisions_.emplace_back(origin, decision);
+      });
+  certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+  for (TxnId t = 1; t <= 4; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, static_cast<DbVersion>(t - 1),
+               {static_cast<int64_t>(t)}));
+  }
+  sim_.RunAll();
+  // A transaction with an ancient snapshot must be aborted, not certified
+  // incorrectly.
+  certifier_->SubmitCertification(MakeWs(99, 0, 0, {999}));
+  sim_.RunAll();
+  EXPECT_FALSE(decisions_.back().second.commit);
+  EXPECT_EQ(certifier_->window_abort_count(), 1);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,258 @@
+#include "consistency/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+constexpr TableId kX = 0, kY = 1;
+
+TxnRecord Committed(TxnId id, SessionId session, SimTime submit,
+                    SimTime ack, DbVersion snapshot, DbVersion commit,
+                    std::vector<TableId> table_set,
+                    std::vector<TableId> written) {
+  TxnRecord r;
+  r.id = id;
+  r.session = session;
+  r.submit_time = submit;
+  r.start_time = submit + 1;
+  r.ack_time = ack;
+  r.snapshot = snapshot;
+  r.commit_version = commit;
+  r.committed = true;
+  r.read_only = commit == kNoVersion;
+  r.table_set = std::move(table_set);
+  r.tables_written = std::move(written);
+  for (TableId t : r.tables_written) r.keys_written.emplace_back(t, 1);
+  return r;
+}
+
+// The paper's history H1: T1 writes X and is acknowledged, then T2 reads
+// the old value of X (snapshot 0). Not strongly consistent.
+TEST(StrongConsistencyTest, PaperHistoryH1Violates) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 20, 30, 0, kNoVersion, {kX}, {}));
+  CheckResult result = CheckStrongConsistency(h);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.examined, 1);
+}
+
+// The paper's history H2: T2 reads the latest value (snapshot 1). Strongly
+// consistent.
+TEST(StrongConsistencyTest, PaperHistoryH2Passes) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 20, 30, 1, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckStrongConsistency(h).ok);
+}
+
+// Overlapping (concurrent) transactions are unconstrained: T2 submitted
+// before T1's acknowledgment may read the old snapshot.
+TEST(StrongConsistencyTest, ConcurrentTransactionsUnconstrained) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 5, 15, 0, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckStrongConsistency(h).ok);
+}
+
+// The fine-grained relaxation: T2 misses T1's update but accesses only
+// table Y, which T1 did not write — view-equivalent, so still strong.
+TEST(StrongConsistencyTest, DisjointTableSetAllowsOldSnapshot) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 20, 30, 0, kNoVersion, {kY}, {}));
+  EXPECT_TRUE(CheckStrongConsistency(h).ok);
+}
+
+TEST(StrongConsistencyTest, CrossSessionVisibilityRequired) {
+  // Session consistency would accept this; strong consistency must not:
+  // session 2's transaction misses session 1's acknowledged update on a
+  // table it reads.
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 50, 60, 0, kNoVersion, {kX, kY}, {}));
+  EXPECT_FALSE(CheckStrongConsistency(h).ok);
+  EXPECT_TRUE(CheckSessionConsistency(h).ok);
+}
+
+TEST(SessionConsistencyTest, OwnUpdatesMustBeVisible) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 1, 20, 30, 0, kNoVersion, {kX}, {}));  // same session!
+  CheckResult result = CheckSessionConsistency(h);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(SessionConsistencyTest, ConcurrentOwnUpdateUnconstrained) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  // Submitted at 5, before txn 1's acknowledgment at 10.
+  h.Add(Committed(2, 1, 5, 30, 0, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckSessionConsistency(h).ok);
+}
+
+TEST(MonotonicSnapshotsTest, ObservableSnapshotRegressionRejected) {
+  History h;
+  // Some other session committed a write to X at version 4.
+  h.Add(Committed(9, 9, 0, 1, 3, 4, {kX}, {kX}));
+  // Session 1 observed table X at version 5, then went back to 3 —
+  // missing the version-4 write to a table it reads: an observable
+  // regression of its own observations.
+  h.Add(Committed(1, 1, 2, 10, 5, kNoVersion, {kX}, {}));
+  h.Add(Committed(2, 1, 20, 30, 3, kNoVersion, {kX}, {}));
+  // Definition 2 is silent here (version 4 is not this session's commit),
+  // but the implementation-level monotonicity property is violated.
+  EXPECT_TRUE(CheckSessionConsistency(h).ok);
+  EXPECT_FALSE(CheckMonotonicSessionSnapshots(h).ok);
+}
+
+TEST(MonotonicSnapshotsTest, UnobservableSnapshotRegressionAllowed) {
+  History h;
+  // Version 4 wrote only table Y; the session's second transaction reads
+  // X, so going back from 5 to 3 is view-equivalent to an in-order
+  // history (the fine-grained scheme's slack).
+  h.Add(Committed(9, 9, 0, 1, 3, 4, {kY}, {kY}));
+  h.Add(Committed(1, 1, 2, 10, 5, kNoVersion, {kX}, {}));
+  h.Add(Committed(2, 1, 20, 30, 3, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckMonotonicSessionSnapshots(h).ok);
+}
+
+TEST(MonotonicSnapshotsTest, PerTableHorizonsAreIndependent) {
+  History h;
+  // Writers on X (v1) and Y (v2), fully acknowledged early.
+  h.Add(Committed(8, 8, 0, 1, 0, 1, {kX}, {kX}));
+  h.Add(Committed(9, 9, 0, 1, 1, 2, {kY}, {kY}));
+  // Session 1 read Y at snapshot 2, then reads X at snapshot 1: the X
+  // horizon for the session is untouched by the Y read, so no regression.
+  h.Add(Committed(1, 1, 2, 10, 2, kNoVersion, {kY}, {}));
+  h.Add(Committed(2, 1, 20, 30, 1, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckMonotonicSessionSnapshots(h).ok);
+}
+
+TEST(MonotonicSnapshotsTest, ConcurrentSameSessionUnconstrained) {
+  History h;
+  // The second transaction was submitted before the first was
+  // acknowledged, so its snapshot is unconstrained.
+  h.Add(Committed(8, 8, 0, 1, 0, 1, {kX}, {kX}));
+  h.Add(Committed(1, 1, 2, 50, 1, kNoVersion, {kX}, {}));
+  h.Add(Committed(2, 1, 10, 60, 0, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckMonotonicSessionSnapshots(h).ok);
+}
+
+TEST(SessionConsistencyTest, OwnUpdateToUnaccessedTableMaySkip) {
+  History h;
+  // Session 1 updates table Y, then reads table X at an older snapshot:
+  // allowed, because its own update is unobservable to the read.
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kY}, {kY}));
+  h.Add(Committed(2, 1, 20, 30, 0, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckSessionConsistency(h).ok);
+}
+
+TEST(SessionConsistencyTest, IndependentSessionsPass) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 5, kNoVersion, {kX}, {}));
+  h.Add(Committed(2, 2, 20, 30, 3, kNoVersion, {kX}, {}));
+  EXPECT_TRUE(CheckSessionConsistency(h).ok);
+}
+
+TEST(FirstCommitterWinsTest, ConcurrentOverlapViolates) {
+  History h;
+  // Both read snapshot 0, both write (kX, key 1), both commit.
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 0, 12, 0, 2, {kX}, {kX}));
+  EXPECT_FALSE(CheckFirstCommitterWins(h).ok);
+}
+
+TEST(FirstCommitterWinsTest, SerialOverlapAllowed) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  // Second writer's snapshot (1) includes the first commit: not concurrent.
+  h.Add(Committed(2, 2, 11, 20, 1, 2, {kX}, {kX}));
+  EXPECT_TRUE(CheckFirstCommitterWins(h).ok);
+}
+
+TEST(FirstCommitterWinsTest, ConcurrentDisjointKeysAllowed) {
+  History h;
+  TxnRecord a = Committed(1, 1, 0, 10, 0, 1, {kX}, {kX});
+  TxnRecord b = Committed(2, 2, 0, 12, 0, 2, {kX}, {kX});
+  a.keys_written = {{kX, 1}};
+  b.keys_written = {{kX, 2}};
+  h.Add(a);
+  h.Add(b);
+  EXPECT_TRUE(CheckFirstCommitterWins(h).ok);
+}
+
+TEST(CommitTotalOrderTest, DenseVersionsPass) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 1, 11, 20, 1, 2, {kX}, {kX}));
+  h.Add(Committed(3, 1, 21, 30, 2, 3, {kX}, {kX}));
+  EXPECT_TRUE(CheckCommitTotalOrder(h).ok);
+}
+
+TEST(CommitTotalOrderTest, DuplicateVersionFails) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 1, 11, 20, 0, 1, {kX}, {kX}));
+  EXPECT_FALSE(CheckCommitTotalOrder(h).ok);
+}
+
+TEST(CommitTotalOrderTest, GapFails) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 1, 11, 20, 1, 3, {kX}, {kX}));
+  EXPECT_FALSE(CheckCommitTotalOrder(h).ok);
+}
+
+TEST(CommitTotalOrderTest, SnapshotBeyondLastCommitFails) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 1, 11, 20, 7, kNoVersion, {kX}, {}));
+  EXPECT_FALSE(CheckCommitTotalOrder(h).ok);
+}
+
+TEST(CommitTotalOrderTest, SnapshotAtOrAfterOwnCommitFails) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 1, 1, {kX}, {kX}));
+  EXPECT_FALSE(CheckCommitTotalOrder(h).ok);
+}
+
+TEST(CheckAllTest, MergesAndRespectsExpectStrong) {
+  History h;  // the H1-style violation
+  h.Add(Committed(1, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(2, 2, 20, 30, 0, kNoVersion, {kX}, {}));
+  EXPECT_FALSE(CheckAll(h, /*expect_strong=*/true).ok);
+  // Under session-only expectations the same history is fine.
+  EXPECT_TRUE(CheckAll(h, /*expect_strong=*/false).ok);
+}
+
+TEST(CheckAllTest, EmptyHistoryPasses) {
+  History h;
+  EXPECT_TRUE(CheckAll(h, true).ok);
+}
+
+TEST(HistoryTest, CommittedUpdatesSortedByVersion) {
+  History h;
+  h.Add(Committed(1, 1, 0, 10, 2, 3, {kX}, {kX}));
+  h.Add(Committed(2, 1, 0, 10, 0, 1, {kX}, {kX}));
+  h.Add(Committed(3, 1, 0, 10, 1, 2, {kX}, {kX}));
+  TxnRecord aborted;
+  aborted.id = 4;
+  aborted.committed = false;
+  h.Add(aborted);
+  auto updates = h.CommittedUpdates();
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0]->commit_version, 1);
+  EXPECT_EQ(updates[2]->commit_version, 3);
+}
+
+TEST(HistoryTest, RecordToStringMentionsOutcome) {
+  TxnRecord r = Committed(1, 1, 0, 10, 0, 1, {kX}, {kX});
+  EXPECT_NE(r.ToString().find("committed @1"), std::string::npos);
+  r.committed = false;
+  EXPECT_NE(r.ToString().find("aborted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace screp

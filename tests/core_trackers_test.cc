@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/consistency_level.h"
+#include "core/eager_tracker.h"
+#include "core/session_tracker.h"
+#include "core/table_version_tracker.h"
+#include "core/version_tracker.h"
+
+namespace screp {
+namespace {
+
+TEST(ConsistencyLevelTest, NamesAndParsing) {
+  EXPECT_STREQ(ConsistencyLevelName(ConsistencyLevel::kEager), "ESC");
+  EXPECT_STREQ(ConsistencyLevelName(ConsistencyLevel::kLazyCoarse), "LSC");
+  EXPECT_STREQ(ConsistencyLevelName(ConsistencyLevel::kLazyFine), "LFC");
+  EXPECT_STREQ(ConsistencyLevelName(ConsistencyLevel::kSession), "SC");
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    auto parsed = ParseConsistencyLevel(ConsistencyLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_EQ(*ParseConsistencyLevel("eager"), ConsistencyLevel::kEager);
+  EXPECT_EQ(*ParseConsistencyLevel("session"), ConsistencyLevel::kSession);
+  EXPECT_FALSE(ParseConsistencyLevel("bogus").ok());
+}
+
+TEST(ConsistencyLevelTest, StrongConsistencyPredicate) {
+  EXPECT_TRUE(ProvidesStrongConsistency(ConsistencyLevel::kEager));
+  EXPECT_TRUE(ProvidesStrongConsistency(ConsistencyLevel::kLazyCoarse));
+  EXPECT_TRUE(ProvidesStrongConsistency(ConsistencyLevel::kLazyFine));
+  EXPECT_FALSE(ProvidesStrongConsistency(ConsistencyLevel::kSession));
+}
+
+TEST(VersionTrackerTest, MonotoneMax) {
+  VersionTracker vt;
+  EXPECT_EQ(vt.SystemVersion(), 0);
+  vt.OnCommitAcknowledged(5);
+  EXPECT_EQ(vt.SystemVersion(), 5);
+  vt.OnCommitAcknowledged(3);  // stale ack: no regression
+  EXPECT_EQ(vt.SystemVersion(), 5);
+  vt.OnCommitAcknowledged(9);
+  EXPECT_EQ(vt.RequiredVersion(), 9);
+}
+
+// Reproduces the paper's Table I: transactions T1..T6 over tables A, B, C.
+TEST(TableVersionTrackerTest, PaperTableOne) {
+  const TableId A = 0, B = 1, C = 2;
+  TableVersionTracker tracker(3);
+  // T1 updates A at version 1.
+  tracker.OnCommit(1, {A});
+  EXPECT_EQ(tracker.TableVersion(A), 1);
+  EXPECT_EQ(tracker.TableVersion(B), 0);
+  EXPECT_EQ(tracker.TableVersion(C), 0);
+  // T2 updates B, C at version 2.
+  tracker.OnCommit(2, {B, C});
+  EXPECT_EQ(tracker.TableVersion(B), 2);
+  EXPECT_EQ(tracker.TableVersion(C), 2);
+  // T3 updates B at 3; T4 updates C at 4; T5 updates B, C at 5.
+  tracker.OnCommit(3, {B});
+  tracker.OnCommit(4, {C});
+  tracker.OnCommit(5, {B, C});
+  EXPECT_EQ(tracker.TableVersion(A), 1);
+  EXPECT_EQ(tracker.TableVersion(B), 5);
+  EXPECT_EQ(tracker.TableVersion(C), 5);
+  // T6 accesses table A only: it can start at any V_local >= 1, not 5.
+  EXPECT_EQ(tracker.RequiredVersion({A}), 1);
+  EXPECT_EQ(tracker.RequiredVersion({B}), 5);
+  EXPECT_EQ(tracker.RequiredVersion({A, C}), 5);
+}
+
+TEST(TableVersionTrackerTest, EmptyTableSetNeedsNothing) {
+  TableVersionTracker tracker(2);
+  tracker.OnCommit(9, {0});
+  EXPECT_EQ(tracker.RequiredVersion({}), 0);
+}
+
+TEST(TableVersionTrackerTest, MergeIsMonotone) {
+  TableVersionTracker tracker(2);
+  tracker.Merge({{0, 4}, {1, 2}});
+  tracker.Merge({{0, 3}});  // stale
+  EXPECT_EQ(tracker.TableVersion(0), 4);
+  EXPECT_EQ(tracker.TableVersion(1), 2);
+}
+
+TEST(TableVersionTrackerTest, MergeGrowsTableSpace) {
+  TableVersionTracker tracker;
+  tracker.Merge({{5, 7}});
+  EXPECT_EQ(tracker.table_count(), 6u);
+  EXPECT_EQ(tracker.TableVersion(5), 7);
+  EXPECT_EQ(tracker.TableVersion(0), 0);
+}
+
+TEST(TableVersionTrackerTest, StaleCommitDoesNotRegress) {
+  TableVersionTracker tracker(1);
+  tracker.OnCommit(10, {0});
+  tracker.OnCommit(4, {0});  // acknowledgments may arrive out of order
+  EXPECT_EQ(tracker.TableVersion(0), 10);
+}
+
+TEST(SessionTrackerTest, PerSessionVersions) {
+  SessionTracker st;
+  EXPECT_EQ(st.RequiredVersion(1), 0);  // unknown session
+  st.OnCommitAcknowledged(1, 5);
+  st.OnCommitAcknowledged(2, 9);
+  EXPECT_EQ(st.RequiredVersion(1), 5);
+  EXPECT_EQ(st.RequiredVersion(2), 9);
+  st.OnCommitAcknowledged(1, 3);  // stale
+  EXPECT_EQ(st.RequiredVersion(1), 5);
+  EXPECT_EQ(st.session_count(), 2u);
+}
+
+TEST(SessionTrackerTest, EndSessionForgets) {
+  SessionTracker st;
+  st.OnCommitAcknowledged(1, 5);
+  st.EndSession(1);
+  EXPECT_EQ(st.RequiredVersion(1), 0);
+  EXPECT_EQ(st.session_count(), 0u);
+}
+
+TEST(EagerCommitTrackerTest, GlobalCommitAtFullCount) {
+  EagerCommitTracker tracker(3);
+  tracker.OnCertified(7);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(7));
+  EXPECT_FALSE(tracker.OnReplicaCommitted(7));
+  EXPECT_TRUE(tracker.OnReplicaCommitted(7));
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+TEST(EagerCommitTrackerTest, SingleReplicaImmediate) {
+  EagerCommitTracker tracker(1);
+  tracker.OnCertified(1);
+  EXPECT_TRUE(tracker.OnReplicaCommitted(1));
+}
+
+TEST(EagerCommitTrackerTest, IndependentTransactions) {
+  EagerCommitTracker tracker(2);
+  tracker.OnCertified(1);
+  tracker.OnCertified(2);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(1));
+  EXPECT_FALSE(tracker.OnReplicaCommitted(2));
+  EXPECT_EQ(tracker.pending(), 2u);
+  EXPECT_TRUE(tracker.OnReplicaCommitted(2));
+  EXPECT_TRUE(tracker.OnReplicaCommitted(1));
+}
+
+TEST(EagerCommitTrackerTest, UnknownTxnReportIgnored) {
+  // A recovered replica may re-report a commit whose global commit
+  // already completed while it was down.
+  EagerCommitTracker tracker(2);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(99));
+}
+
+TEST(EagerCommitTrackerTest, CrashLowersTheBar) {
+  EagerCommitTracker tracker(3);
+  tracker.OnCertified(1);
+  tracker.OnCertified(2);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(1));
+  EXPECT_FALSE(tracker.OnReplicaCommitted(1));  // 2 of 3
+  // Replica crashes: bar drops to 2; txn 1 completes, txn 2 (count 0)
+  // does not.
+  const std::vector<TxnId> ready = tracker.SetActiveReplicaCount(2);
+  EXPECT_EQ(ready, (std::vector<TxnId>{1}));
+  EXPECT_EQ(tracker.pending(), 1u);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(2));
+  EXPECT_TRUE(tracker.OnReplicaCommitted(2));
+}
+
+TEST(EagerCommitTrackerTest, RecoveryRaisesTheBar) {
+  EagerCommitTracker tracker(3);
+  (void)tracker.SetActiveReplicaCount(2);
+  tracker.OnCertified(1);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(1));
+  (void)tracker.SetActiveReplicaCount(3);
+  EXPECT_FALSE(tracker.OnReplicaCommitted(1));
+  EXPECT_TRUE(tracker.OnReplicaCommitted(1));
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,147 @@
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+
+#include "workload/micro.h"
+#include "workload/tpcw.h"
+
+namespace screp {
+namespace {
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig ShortRun(ConsistencyLevel level, int replicas,
+                          int clients) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.client_count = clients;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 7;
+  return config;
+}
+
+TEST(ExperimentTest, MicroRunProducesThroughput) {
+  MicroWorkload workload(SmallMicro(0.25));
+  auto result =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kLazyCoarse, 4, 8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->throughput_tps, 10.0);
+  EXPECT_GT(result->committed, 0);
+  EXPECT_GT(result->committed_updates, 0);
+  EXPECT_GT(result->mean_response_ms, 0.0);
+  EXPECT_GT(result->queries_ms, 0.0);
+  EXPECT_EQ(result->replicas, 4);
+  EXPECT_EQ(result->clients, 8);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  MicroWorkload workload(SmallMicro(0.25));
+  const ExperimentConfig config =
+      ShortRun(ConsistencyLevel::kLazyFine, 2, 4);
+  auto a = RunExperiment(workload, config);
+  auto b = RunExperiment(workload, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->committed, b->committed);
+  EXPECT_DOUBLE_EQ(a->throughput_tps, b->throughput_tps);
+  EXPECT_DOUBLE_EQ(a->mean_response_ms, b->mean_response_ms);
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferentButClose) {
+  MicroWorkload workload(SmallMicro(0.25));
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kSession, 2, 4);
+  auto a = RunExperiment(workload, config);
+  config.seed = 99;
+  auto b = RunExperiment(workload, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->throughput_tps, b->throughput_tps,
+              a->throughput_tps * 0.25);
+}
+
+TEST(ExperimentTest, EagerHasGlobalStageOthersDoNot) {
+  MicroWorkload workload(SmallMicro(0.5));
+  auto eager =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kEager, 4, 8));
+  auto lazy =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kLazyCoarse, 4, 8));
+  ASSERT_TRUE(eager.ok() && lazy.ok());
+  EXPECT_GT(eager->global_ms, 0.0);
+  EXPECT_EQ(lazy->global_ms, 0.0);
+  // Eager never delays transaction start.
+  EXPECT_EQ(eager->version_ms, 0.0);
+}
+
+TEST(ExperimentTest, EagerSlowerThanLazyOnUpdateHeavyMix) {
+  MicroWorkload workload(SmallMicro(0.5));
+  auto eager =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kEager, 8, 8));
+  auto lazy =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kLazyCoarse, 8, 8));
+  ASSERT_TRUE(eager.ok() && lazy.ok());
+  EXPECT_GT(lazy->throughput_tps, eager->throughput_tps);
+  EXPECT_GT(eager->mean_response_ms, lazy->mean_response_ms);
+}
+
+TEST(ExperimentTest, FineDelayAtMostCoarseDelay) {
+  MicroWorkload workload(SmallMicro(0.25));
+  auto coarse =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kLazyCoarse, 8, 8));
+  auto fine =
+      RunExperiment(workload, ShortRun(ConsistencyLevel::kLazyFine, 8, 8));
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LE(fine->version_ms, coarse->version_ms * 1.1);
+}
+
+TEST(ExperimentTest, HistoryFromRunSatisfiesConsistency) {
+  MicroWorkload workload(SmallMicro(0.25));
+  History history;
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 3, 6);
+  config.duration = Seconds(1.5);
+  config.history = &history;
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(history.size(), 0u);
+  CheckResult check = CheckAll(history, /*expect_strong=*/true);
+  EXPECT_TRUE(check.ok) << check.ToString();
+}
+
+TEST(ExperimentTest, TpcwSmokeRunAllLevels) {
+  TpcwScale scale;
+  scale.items = 200;
+  scale.customers = 100;
+  scale.initial_orders = 60;
+  scale.subjects = 8;
+  TpcwWorkload workload(scale, TpcwMix::kShopping);
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    SCOPED_TRACE(ConsistencyLevelName(level));
+    ExperimentConfig config = ShortRun(level, 2, 8);
+    config.mean_think_time = Millis(50);
+    config.duration = Seconds(3);
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->committed, 20);
+    EXPECT_EQ(result->exec_errors, 0);
+  }
+}
+
+TEST(ExperimentTest, ResultLineFormatting) {
+  ExperimentResult result;
+  result.level = ConsistencyLevel::kLazyFine;
+  result.replicas = 8;
+  result.clients = 64;
+  result.throughput_tps = 123.4;
+  const std::string line = result.ToLine();
+  EXPECT_NE(line.find("LFC"), std::string::npos);
+  EXPECT_FALSE(ExperimentResult::Header().empty());
+}
+
+}  // namespace
+}  // namespace screp

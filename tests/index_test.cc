@@ -1,0 +1,224 @@
+// Secondary indexes: candidate maintenance, MVCC revalidation, executor
+// access-path selection, and own-write overlay in transactions.
+
+#include <gtest/gtest.h>
+
+#include "sql/executor.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+
+namespace screp {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = db_.CreateTable("item",
+                              Schema({{"i_id", ValueType::kInt64},
+                                      {"i_subject", ValueType::kInt64},
+                                      {"i_title", ValueType::kString}}));
+    ASSERT_TRUE(id.ok());
+    item_ = *id;
+    for (int64_t k = 0; k < 30; ++k) {
+      ASSERT_TRUE(db_.BulkLoad(item_, {Value(k), Value(k % 3),
+                                       Value("t" + std::to_string(k))})
+                      .ok());
+    }
+  }
+
+  /// Commits a transaction's writes at the next version.
+  void CommitLocal(Transaction* txn) {
+    WriteSet ws = txn->BuildWriteSet();
+    ws.commit_version = db_.CommittedVersion() + 1;
+    ASSERT_TRUE(db_.ApplyWriteSet(ws).ok());
+  }
+
+  Database db_;
+  TableId item_ = -1;
+};
+
+TEST_F(IndexTest, CreateIndexBackfillsExistingRows) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  EXPECT_TRUE(db_.table(item_)->HasIndex(1));
+  std::vector<int64_t> keys;
+  db_.table(item_)->IndexLookup(1, Value(0), 0,
+                                [&](int64_t key, const Row&) {
+                                  keys.push_back(key);
+                                  return true;
+                                });
+  // Subjects cycle 0,1,2 over 30 keys: subject 0 = {0,3,6,...,27}.
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), 0);
+  EXPECT_EQ(keys.back(), 27);
+  // Results in primary-key order.
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(IndexTest, CreateIndexValidation) {
+  EXPECT_FALSE(db_.CreateIndex(item_, "missing").ok());
+  EXPECT_FALSE(db_.table(item_)->CreateIndex(0).ok());   // key column
+  EXPECT_FALSE(db_.table(item_)->CreateIndex(99).ok());  // out of range
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  EXPECT_TRUE(db_.CreateIndex(item_, "i_subject").ok());  // idempotent
+}
+
+TEST_F(IndexTest, IndexMaintainedOnCommit) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto txn = db_.Begin();
+  ASSERT_TRUE(txn->Insert(item_, {Value(100), Value(7), Value("new")}).ok());
+  CommitLocal(txn.get());
+  std::vector<int64_t> keys;
+  db_.table(item_)->IndexLookup(1, Value(7), db_.CommittedVersion(),
+                                [&](int64_t key, const Row&) {
+                                  keys.push_back(key);
+                                  return true;
+                                });
+  EXPECT_EQ(keys, (std::vector<int64_t>{100}));
+}
+
+TEST_F(IndexTest, RevalidationAfterValueChange) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  // Move key 0 from subject 0 to subject 9.
+  auto txn = db_.Begin();
+  ASSERT_TRUE(txn->UpdateColumns(item_, 0, {{1, Value(9)}}).ok());
+  CommitLocal(txn.get());
+  const DbVersion now = db_.CommittedVersion();
+  std::vector<int64_t> subject0, subject9;
+  db_.table(item_)->IndexLookup(1, Value(0), now,
+                                [&](int64_t key, const Row&) {
+                                  subject0.push_back(key);
+                                  return true;
+                                });
+  db_.table(item_)->IndexLookup(1, Value(9), now,
+                                [&](int64_t key, const Row&) {
+                                  subject9.push_back(key);
+                                  return true;
+                                });
+  // Key 0 is no longer reported under subject 0 (revalidated away)...
+  EXPECT_EQ(std::count(subject0.begin(), subject0.end(), 0), 0);
+  // ...and appears under subject 9.
+  EXPECT_EQ(subject9, (std::vector<int64_t>{0}));
+  // But a snapshot *before* the change still sees the old placement.
+  std::vector<int64_t> historical;
+  db_.table(item_)->IndexLookup(1, Value(0), now - 1,
+                                [&](int64_t key, const Row&) {
+                                  historical.push_back(key);
+                                  return true;
+                                });
+  EXPECT_EQ(std::count(historical.begin(), historical.end(), 0), 1);
+}
+
+TEST_F(IndexTest, DeletedRowsFiltered) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto txn = db_.Begin();
+  ASSERT_TRUE(txn->Delete(item_, 3).ok());
+  CommitLocal(txn.get());
+  std::vector<int64_t> keys;
+  db_.table(item_)->IndexLookup(1, Value(0), db_.CommittedVersion(),
+                                [&](int64_t key, const Row&) {
+                                  keys.push_back(key);
+                                  return true;
+                                });
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 3), 0);
+  EXPECT_EQ(keys.size(), 9u);
+}
+
+TEST_F(IndexTest, TransactionIndexScanSeesOwnWrites) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto txn = db_.Begin();
+  ASSERT_TRUE(txn->Insert(item_, {Value(200), Value(0), Value("mine")}).ok());
+  ASSERT_TRUE(txn->Delete(item_, 0).ok());
+  ASSERT_TRUE(txn->UpdateColumns(item_, 6, {{1, Value(5)}}).ok());
+  std::vector<int64_t> keys;
+  txn->IndexScan(item_, 1, Value(0), [&](int64_t key, const Row&) {
+    keys.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 200), 1);  // own insert
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 0), 0);    // own delete
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 6), 0);    // moved away
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(IndexTest, ExecutorUsesIndexPath) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto stmt = sql::PreparedStatement::Prepare(
+      db_, "SELECT i_id FROM item WHERE i_subject = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_.Begin();
+  auto rs = sql::Execute(txn.get(), **stmt, {Value(1)});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);
+  // Index path examines only the candidates, not all 30 rows.
+  EXPECT_EQ(rs->rows_examined, 10);
+}
+
+TEST_F(IndexTest, ExecutorFallsBackToScanWithoutIndex) {
+  auto stmt = sql::PreparedStatement::Prepare(
+      db_, "SELECT i_id FROM item WHERE i_subject = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_.Begin();
+  auto rs = sql::Execute(txn.get(), **stmt, {Value(1)});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);
+  EXPECT_EQ(rs->rows_examined, 30);  // full scan
+}
+
+TEST_F(IndexTest, PrimaryKeyPathStillWinsOverIndex) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto stmt = sql::PreparedStatement::Prepare(
+      db_, "SELECT i_id FROM item WHERE i_subject = ? AND i_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_.Begin();
+  auto rs = sql::Execute(txn.get(), **stmt, {Value(0), Value(3)});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows_examined, 1);  // point access
+}
+
+TEST_F(IndexTest, IndexedUpdateStatement) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  auto stmt = sql::PreparedStatement::Prepare(
+      db_, "UPDATE item SET i_title = 'x' WHERE i_subject = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_.Begin();
+  auto rs = sql::Execute(txn.get(), **stmt, {Value(2)});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows_affected, 10);
+  EXPECT_EQ(rs->rows_examined, 10);
+}
+
+TEST_F(IndexTest, StringIndexedColumn) {
+  auto id = db_.CreateTable("customer",
+                            Schema({{"c_id", ValueType::kInt64},
+                                    {"c_uname", ValueType::kString}}));
+  ASSERT_TRUE(id.ok());
+  for (int64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(
+        db_.BulkLoad(*id, {Value(k), Value("user" + std::to_string(k))})
+            .ok());
+  }
+  ASSERT_TRUE(db_.CreateIndex(*id, "c_uname").ok());
+  auto stmt = sql::PreparedStatement::Prepare(
+      db_, "SELECT c_id FROM customer WHERE c_uname = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_.Begin();
+  auto rs = sql::Execute(txn.get(), **stmt, {Value("user3")});
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs->rows_examined, 1);
+}
+
+TEST_F(IndexTest, LookupOfAbsentValueIsEmpty) {
+  ASSERT_TRUE(db_.CreateIndex(item_, "i_subject").ok());
+  int visits = 0;
+  db_.table(item_)->IndexLookup(1, Value(777), 0, [&](int64_t, const Row&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,213 @@
+// Unit tests for the metrics collector and the closed-loop client driver.
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+TxnResponse CommittedResponse(SimTime submit, bool read_only,
+                              StageTimes stages = {}) {
+  TxnResponse r;
+  r.outcome = TxnOutcome::kCommitted;
+  r.read_only = read_only;
+  r.submit_time = submit;
+  r.stages = stages;
+  return r;
+}
+
+TEST(MetricsTest, WarmupDiscarded) {
+  MetricsCollector metrics(Seconds(1));
+  metrics.Record(CommittedResponse(Millis(100), true), Millis(200), false);
+  metrics.Record(CommittedResponse(Seconds(1.1), true), Seconds(1.2),
+                 false);
+  metrics.Finish(Seconds(2));
+  EXPECT_EQ(metrics.committed(), 1);
+  EXPECT_DOUBLE_EQ(metrics.Throughput(), 1.0);
+}
+
+TEST(MetricsTest, OutcomeCounters) {
+  MetricsCollector metrics(0);
+  TxnResponse r;
+  r.outcome = TxnOutcome::kCertificationAbort;
+  metrics.Record(r, 1, false);
+  r.outcome = TxnOutcome::kEarlyAbort;
+  metrics.Record(r, 2, false);
+  metrics.Record(r, 3, false);
+  r.outcome = TxnOutcome::kExecutionError;
+  metrics.Record(r, 4, false);
+  r.outcome = TxnOutcome::kReplicaFailure;
+  metrics.Record(r, 5, false);
+  EXPECT_EQ(metrics.cert_aborts(), 1);
+  EXPECT_EQ(metrics.early_aborts(), 2);
+  EXPECT_EQ(metrics.exec_errors(), 1);
+  EXPECT_EQ(metrics.replica_failures(), 1);
+  EXPECT_EQ(metrics.committed(), 0);
+}
+
+TEST(MetricsTest, StageMeansSplitByClass) {
+  MetricsCollector metrics(0);
+  StageTimes read_stages;
+  read_stages.version = Millis(2);
+  read_stages.queries = Millis(4);
+  metrics.Record(CommittedResponse(0, true, read_stages), Millis(10),
+                 false);
+  StageTimes update_stages;
+  update_stages.certify = Millis(6);
+  update_stages.sync = Millis(8);
+  metrics.Record(CommittedResponse(0, false, update_stages), Millis(20),
+                 false);
+  EXPECT_EQ(metrics.committed(), 2);
+  EXPECT_EQ(metrics.committed_updates(), 1);
+  EXPECT_EQ(metrics.committed_readonly(), 1);
+  // certify/sync recorded only for the update transaction.
+  EXPECT_DOUBLE_EQ(metrics.certify_stage().mean(), 6000.0);
+  EXPECT_DOUBLE_EQ(metrics.sync_stage().mean(), 8000.0);
+  EXPECT_EQ(metrics.certify_stage().count(), 1);
+}
+
+TEST(MetricsTest, SyncDelayDefinitionPerConfiguration) {
+  // Non-eager: version stage of every transaction; eager: global stage of
+  // update transactions (the Fig. 6 definition).
+  MetricsCollector lazy(0);
+  StageTimes stages;
+  stages.version = Millis(5);
+  stages.global = Millis(50);
+  lazy.Record(CommittedResponse(0, false, stages), 1, /*eager=*/false);
+  EXPECT_DOUBLE_EQ(lazy.MeanSyncDelayMs(), 5.0);
+
+  MetricsCollector eager(0);
+  eager.Record(CommittedResponse(0, false, stages), 1, /*eager=*/true);
+  EXPECT_DOUBLE_EQ(eager.MeanSyncDelayMs(), 50.0);
+  // Eager read-only transactions contribute nothing.
+  eager.Record(CommittedResponse(0, true, stages), 2, /*eager=*/true);
+  EXPECT_DOUBLE_EQ(eager.MeanSyncDelayMs(), 50.0);
+}
+
+TEST(MetricsTest, TimelineBuckets) {
+  MetricsCollector metrics(0);
+  metrics.EnableTimeline(Millis(100));
+  metrics.Record(CommittedResponse(Millis(10), true), Millis(50), false);
+  metrics.Record(CommittedResponse(Millis(120), true), Millis(150), false);
+  TxnResponse failure;
+  failure.outcome = TxnOutcome::kReplicaFailure;
+  metrics.Record(failure, Millis(160), false);
+  ASSERT_EQ(metrics.timeline().size(), 2u);
+  EXPECT_EQ(metrics.timeline()[0].committed, 1);
+  EXPECT_EQ(metrics.timeline()[1].committed, 1);
+  EXPECT_EQ(metrics.timeline()[1].failures, 1);
+  EXPECT_NEAR(metrics.timeline()[0].MeanResponseMs(), 40.0, 1e-9);
+}
+
+TEST(MetricsTest, TimelineDisabledByDefault) {
+  MetricsCollector metrics(0);
+  metrics.Record(CommittedResponse(0, true), 1, false);
+  EXPECT_TRUE(metrics.timeline().empty());
+}
+
+TEST(MetricsTest, SummaryMentionsThroughput) {
+  MetricsCollector metrics(0);
+  metrics.Record(CommittedResponse(0, true), Millis(10), false);
+  metrics.Finish(Seconds(1));
+  EXPECT_NE(metrics.Summary().find("throughput"), std::string::npos);
+}
+
+// ---- Client driver --------------------------------------------------------
+
+class ClientDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MicroConfig micro;
+    micro.rows_per_table = 50;
+    micro.update_fraction = 1.0;
+    workload_ = std::make_unique<MicroWorkload>(micro);
+    SystemConfig config;
+    config.replica_count = 2;
+    auto system = ReplicatedSystem::Create(
+        &sim_, config,
+        [this](Database* db) { return workload_->BuildSchema(db); },
+        [this](const Database& db, sql::TransactionRegistry* reg) {
+          return workload_->DefineTransactions(db, reg);
+        });
+    ASSERT_TRUE(system.ok());
+    system_ = std::move(system).value();
+  }
+
+  std::unique_ptr<ClientDriver> MakeClient(ClientConfig config,
+                                           int client_id = 0) {
+    return std::make_unique<ClientDriver>(
+        system_.get(), &metrics_,
+        workload_->CreateGenerator(system_->registry(), client_id, Rng(5)),
+        client_id, config, Rng(7));
+  }
+
+  Simulator sim_;
+  std::unique_ptr<MicroWorkload> workload_;
+  std::unique_ptr<ReplicatedSystem> system_;
+  MetricsCollector metrics_{0};
+};
+
+TEST_F(ClientDriverTest, ClosedLoopSubmitsSequentially) {
+  auto client = MakeClient(ClientConfig{});
+  system_->SetClientCallback(
+      [&client](const TxnResponse& r) { client->OnResponse(r); });
+  client->Start();
+  sim_.RunUntil(Seconds(1));
+  client->Stop();
+  sim_.RunAll();
+  // Back-to-back: many transactions, one at a time; the final in-flight
+  // transaction may complete after Stop() and go unrecorded.
+  EXPECT_GT(client->submitted(), 20);
+  EXPECT_GE(metrics_.committed(), client->submitted() - 1);
+  EXPECT_LE(metrics_.committed(), client->submitted());
+}
+
+TEST_F(ClientDriverTest, ThinkTimeSlowsTheLoop) {
+  auto fast = MakeClient(ClientConfig{});
+  system_->SetClientCallback(
+      [&fast](const TxnResponse& r) { fast->OnResponse(r); });
+  fast->Start();
+  sim_.RunUntil(Seconds(1));
+  fast->Stop();
+  sim_.RunAll();
+  const int64_t fast_count = fast->submitted();
+
+  // Fresh system for the slow client (the simulator keeps running, so
+  // use a window relative to the current virtual time).
+  SetUp();
+  ClientConfig slow_config;
+  slow_config.mean_think_time = Millis(100);
+  auto slow = MakeClient(slow_config);
+  system_->SetClientCallback(
+      [&slow](const TxnResponse& r) { slow->OnResponse(r); });
+  slow->Start();
+  sim_.RunUntil(sim_.Now() + Seconds(1));
+  slow->Stop();
+  sim_.RunAll();
+  EXPECT_LT(slow->submitted(), fast_count / 2);
+  EXPECT_GT(slow->submitted(), 2);
+}
+
+TEST_F(ClientDriverTest, StopPreventsFurtherSubmissions) {
+  auto client = MakeClient(ClientConfig{});
+  system_->SetClientCallback(
+      [&client](const TxnResponse& r) { client->OnResponse(r); });
+  client->Start();
+  sim_.RunUntil(Millis(200));
+  client->Stop();
+  const int64_t at_stop = client->submitted();
+  sim_.RunAll();
+  // At most the in-flight transaction completes; nothing new starts.
+  EXPECT_LE(client->submitted(), at_stop);
+}
+
+TEST_F(ClientDriverTest, SessionIdsAreStablePerClient) {
+  auto a = MakeClient(ClientConfig{}, 3);
+  EXPECT_EQ(a->client_id(), 3);
+  EXPECT_EQ(a->session(), 4u);  // client_id + 1 (0 is reserved)
+}
+
+}  // namespace
+}  // namespace screp

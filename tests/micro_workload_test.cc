@@ -1,0 +1,114 @@
+#include "workload/micro.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+MicroConfig SmallConfig(double update_fraction) {
+  MicroConfig config;
+  config.table_count = 4;
+  config.rows_per_table = 50;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+TEST(MicroWorkloadTest, BuildsFourTablesWithRows) {
+  MicroWorkload workload(SmallConfig(0.25));
+  Database db;
+  ASSERT_TRUE(workload.BuildSchema(&db).ok());
+  EXPECT_EQ(db.TableCount(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    auto id = db.FindTable(MicroWorkload::TableName(t));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(db.table(*id)->LiveRowCount(0), 50u);
+  }
+}
+
+TEST(MicroWorkloadTest, RegistersReadAndUpdatePerTable) {
+  MicroWorkload workload(SmallConfig(0.25));
+  Database db;
+  ASSERT_TRUE(workload.BuildSchema(&db).ok());
+  sql::TransactionRegistry registry;
+  ASSERT_TRUE(workload.DefineTransactions(db, &registry).ok());
+  EXPECT_EQ(registry.size(), 8u);
+  ASSERT_TRUE(registry.Find("read_item0").ok());
+  ASSERT_TRUE(registry.Find("update_item3").ok());
+  // Table sets are single-table.
+  EXPECT_EQ(registry.Get(*registry.Find("read_item2")).TableSet(),
+            (std::vector<std::string>{"item2"}));
+  EXPECT_FALSE(registry.Get(*registry.Find("read_item0")).HasUpdates());
+  EXPECT_TRUE(registry.Get(*registry.Find("update_item0")).HasUpdates());
+}
+
+TEST(MicroWorkloadTest, GeneratorHonorsUpdateFraction) {
+  for (double fraction : {0.0, 0.25, 1.0}) {
+    MicroWorkload workload(SmallConfig(fraction));
+    Database db;
+    ASSERT_TRUE(workload.BuildSchema(&db).ok());
+    sql::TransactionRegistry registry;
+    ASSERT_TRUE(workload.DefineTransactions(db, &registry).ok());
+    auto gen = workload.CreateGenerator(registry, 0, Rng(7));
+    int updates = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      TxnSpec spec = gen->Next();
+      if (registry.Get(spec.type).HasUpdates()) ++updates;
+    }
+    EXPECT_NEAR(updates / static_cast<double>(n), fraction, 0.05)
+        << "fraction " << fraction;
+  }
+}
+
+TEST(MicroWorkloadTest, GeneratorParamsMatchStatementArity) {
+  MicroWorkload workload(SmallConfig(0.5));
+  Database db;
+  ASSERT_TRUE(workload.BuildSchema(&db).ok());
+  sql::TransactionRegistry registry;
+  ASSERT_TRUE(workload.DefineTransactions(db, &registry).ok());
+  auto gen = workload.CreateGenerator(registry, 0, Rng(11));
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = gen->Next();
+    const sql::PreparedTransaction& txn = registry.Get(spec.type);
+    ASSERT_EQ(spec.params.size(), txn.statements.size());
+    for (size_t s = 0; s < txn.statements.size(); ++s) {
+      EXPECT_EQ(static_cast<int>(spec.params[s].size()),
+                txn.statements[s]->param_count());
+    }
+  }
+}
+
+TEST(MicroWorkloadTest, GeneratorKeysInRange) {
+  MicroWorkload workload(SmallConfig(1.0));
+  Database db;
+  ASSERT_TRUE(workload.BuildSchema(&db).ok());
+  sql::TransactionRegistry registry;
+  ASSERT_TRUE(workload.DefineTransactions(db, &registry).ok());
+  auto gen = workload.CreateGenerator(registry, 0, Rng(13));
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = gen->Next();
+    // UPDATE params: (delta, key).
+    const int64_t key = spec.params[0][1].AsInt();
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 50);
+  }
+}
+
+TEST(MicroWorkloadTest, GeneratorsWithSameSeedAgree) {
+  MicroWorkload workload(SmallConfig(0.5));
+  Database db;
+  ASSERT_TRUE(workload.BuildSchema(&db).ok());
+  sql::TransactionRegistry registry;
+  ASSERT_TRUE(workload.DefineTransactions(db, &registry).ok());
+  auto a = workload.CreateGenerator(registry, 0, Rng(17));
+  auto b = workload.CreateGenerator(registry, 0, Rng(17));
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec sa = a->Next();
+    TxnSpec sb = b->Next();
+    EXPECT_EQ(sa.type, sb.type);
+    ASSERT_EQ(sa.params.size(), sb.params.size());
+  }
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,306 @@
+#include "replication/proxy.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+/// Drives a single Proxy directly, playing the roles of load balancer and
+/// certifier.
+class ProxyTest : public ::testing::Test {
+ protected:
+  void Build(bool eager = false, ProxyConfig config = ProxyConfig{}) {
+    auto table = db_.CreateTable(
+        "t", Schema({{"id", ValueType::kInt64}, {"val", ValueType::kInt64}}));
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+    auto t2 = db_.CreateTable(
+        "u", Schema({{"id", ValueType::kInt64}, {"val", ValueType::kInt64}}));
+    ASSERT_TRUE(t2.ok());
+    table2_ = *t2;
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(db_.BulkLoad(table_, {Value(k), Value(0)}).ok());
+      ASSERT_TRUE(db_.BulkLoad(table2_, {Value(k), Value(0)}).ok());
+    }
+
+    auto add = [&](const char* name, const char* text) {
+      sql::PreparedTransaction txn;
+      txn.name = name;
+      auto stmt = sql::PreparedStatement::Prepare(db_, text);
+      ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+      txn.statements.push_back(std::move(stmt).value());
+      registry_.Register(std::move(txn));
+    };
+    add("read", "SELECT val FROM t WHERE id = ?");
+    add("write", "UPDATE t SET val = val + ? WHERE id = ?");
+    {
+      sql::PreparedTransaction txn;
+      txn.name = "write2";
+      for (const char* text :
+           {"UPDATE t SET val = val + ? WHERE id = ?",
+            "UPDATE u SET val = val + ? WHERE id = ?"}) {
+        auto stmt = sql::PreparedStatement::Prepare(db_, text);
+        ASSERT_TRUE(stmt.ok());
+        txn.statements.push_back(std::move(stmt).value());
+      }
+      registry_.Register(std::move(txn));
+    }
+
+    proxy_ = std::make_unique<Proxy>(&sim_, 0, &db_, &registry_, config,
+                                     eager);
+    proxy_->SetCertRequestCallback(
+        [this](const WriteSet& ws) { cert_requests_.push_back(ws); });
+    proxy_->SetResponseCallback(
+        [this](const TxnResponse& r) { responses_.push_back(r); });
+    proxy_->SetReplicaCommittedCallback(
+        [this](TxnId txn) { commit_reports_.push_back(txn); });
+  }
+
+  TxnRequest MakeRequest(TxnId id, const char* type,
+                         std::vector<std::vector<Value>> params) {
+    TxnRequest req;
+    req.txn_id = id;
+    req.type = *registry_.Find(type);
+    req.session = 1;
+    req.params = std::move(params);
+    return req;
+  }
+
+  WriteSet MakeRefresh(TxnId id, DbVersion version, int64_t key,
+                       TableId table = -1) {
+    WriteSet ws;
+    ws.txn_id = id;
+    ws.origin = 1;  // another replica
+    ws.commit_version = version;
+    ws.Add(table < 0 ? table_ : table, key, WriteType::kUpdate,
+           Row{Value(key), Value(version * 1000)});
+    return ws;
+  }
+
+  Simulator sim_;
+  Database db_;
+  TableId table_ = -1, table2_ = -1;
+  sql::TransactionRegistry registry_;
+  std::unique_ptr<Proxy> proxy_;
+  std::vector<WriteSet> cert_requests_;
+  std::vector<TxnResponse> responses_;
+  std::vector<TxnId> commit_reports_;
+};
+
+TEST_F(ProxyTest, ReadOnlyFastPath) {
+  Build();
+  proxy_->OnTxnRequest(MakeRequest(1, "read", {{Value(3)}}), 0);
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  const TxnResponse& r = responses_[0];
+  EXPECT_EQ(r.outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(r.read_only);
+  EXPECT_EQ(r.commit_version, kNoVersion);
+  EXPECT_TRUE(r.written_table_versions.empty());
+  EXPECT_TRUE(cert_requests_.empty());  // never touched the certifier
+  EXPECT_GT(r.stages.queries, 0);
+  EXPECT_GT(r.stages.commit, 0);
+  EXPECT_EQ(r.stages.version, 0);
+}
+
+TEST_F(ProxyTest, UpdateGoesThroughCertification) {
+  Build();
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  ASSERT_EQ(cert_requests_.size(), 1u);
+  EXPECT_EQ(cert_requests_[0].txn_id, 1u);
+  EXPECT_EQ(cert_requests_[0].origin, 0);
+  EXPECT_EQ(cert_requests_[0].size(), 1u);
+  EXPECT_TRUE(responses_.empty());  // waiting for the decision
+
+  proxy_->OnCertDecision(CertDecision{1, true, 1});
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  const TxnResponse& r = responses_[0];
+  EXPECT_EQ(r.outcome, TxnOutcome::kCommitted);
+  EXPECT_FALSE(r.read_only);
+  EXPECT_EQ(r.commit_version, 1);
+  EXPECT_EQ(r.v_local_after, 1);
+  ASSERT_EQ(r.written_table_versions.size(), 1u);
+  EXPECT_EQ(r.written_table_versions[0].first, table_);
+  EXPECT_EQ(r.written_table_versions[0].second, 1);
+  // The write is in the local database.
+  EXPECT_EQ((*db_.Begin()->Get(table_, 3))[1].AsInt(), 5);
+}
+
+TEST_F(ProxyTest, CertificationAbortRollsBack) {
+  Build();
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  proxy_->OnCertDecision(CertDecision{1, false, kNoVersion});
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kCertificationAbort);
+  EXPECT_EQ(db_.CommittedVersion(), 0);
+  EXPECT_EQ((*db_.Begin()->Get(table_, 3))[1].AsInt(), 0);
+  EXPECT_EQ(proxy_->active_transactions(), 0u);
+}
+
+TEST_F(ProxyTest, SynchronizationStartDelay) {
+  Build();
+  // The load balancer demands version 2; the replica is at 0.
+  proxy_->OnTxnRequest(MakeRequest(1, "read", {{Value(3)}}), 2);
+  sim_.RunAll();
+  EXPECT_TRUE(responses_.empty());  // blocked at BEGIN
+  proxy_->OnRefresh(MakeRefresh(10, 1, 7));
+  sim_.RunAll();
+  EXPECT_TRUE(responses_.empty());  // still short of version 2
+  proxy_->OnRefresh(MakeRefresh(11, 2, 8));
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kCommitted);
+  EXPECT_GT(responses_[0].stages.version, 0);
+  EXPECT_EQ(responses_[0].snapshot, 2);  // reads the synchronized state
+}
+
+TEST_F(ProxyTest, RefreshesApplyInVersionOrder) {
+  Build();
+  // Deliver out of order: 3, then 1, then 2.
+  proxy_->OnRefresh(MakeRefresh(13, 3, 3));
+  sim_.RunAll();
+  EXPECT_EQ(proxy_->v_local(), 0);  // cannot apply v3 first
+  EXPECT_EQ(proxy_->pending_writesets(), 1u);
+  proxy_->OnRefresh(MakeRefresh(11, 1, 1));
+  sim_.RunAll();
+  EXPECT_EQ(proxy_->v_local(), 1);
+  proxy_->OnRefresh(MakeRefresh(12, 2, 2));
+  sim_.RunAll();
+  EXPECT_EQ(proxy_->v_local(), 3);
+  EXPECT_EQ(proxy_->refresh_applied_count(), 3);
+  // All three rows reflect their refresh values.
+  auto txn = db_.Begin();
+  EXPECT_EQ((*txn->Get(table_, 1))[1].AsInt(), 1000);
+  EXPECT_EQ((*txn->Get(table_, 3))[1].AsInt(), 3000);
+}
+
+TEST_F(ProxyTest, LocalCommitInterleavesWithRefreshOrder) {
+  Build();
+  // Local update certified at version 2; refresh v1 arrives afterwards.
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  proxy_->OnCertDecision(CertDecision{1, true, 2});
+  sim_.RunAll();
+  // Must wait: v1 has not been applied yet.
+  EXPECT_TRUE(responses_.empty());
+  proxy_->OnRefresh(MakeRefresh(11, 1, 7));
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(proxy_->v_local(), 2);
+  EXPECT_GT(responses_[0].stages.sync, 0);
+}
+
+TEST_F(ProxyTest, EarlyCertificationAgainstPendingRefresh) {
+  Build();
+  // A pending refresh (v2, not yet applicable) writes key 3.
+  proxy_->OnRefresh(MakeRefresh(12, 2, 3));
+  sim_.RunAll();
+  ASSERT_EQ(proxy_->pending_writesets(), 1u);
+  // A client update on key 3 must be aborted early.
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kEarlyAbort);
+  EXPECT_TRUE(cert_requests_.empty());
+  EXPECT_GE(proxy_->early_abort_count(), 1);
+}
+
+TEST_F(ProxyTest, EarlyCertificationDisabledLetsCertifierDecide) {
+  ProxyConfig config;
+  config.early_certification = false;
+  Build(false, config);
+  proxy_->OnRefresh(MakeRefresh(12, 2, 3));
+  sim_.RunAll();
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  EXPECT_TRUE(responses_.empty());
+  EXPECT_EQ(cert_requests_.size(), 1u);  // went to the certifier instead
+}
+
+TEST_F(ProxyTest, ArrivingRefreshAbortsConflictingActiveTxn) {
+  Build();
+  // Two-statement update transaction: after statement 1 it is still
+  // active when the conflicting refresh arrives.
+  proxy_->OnTxnRequest(
+      MakeRequest(1, "write2", {{Value(5), Value(3)}, {Value(5), Value(4)}}),
+      0);
+  // Let statement 1 execute but not the whole transaction.
+  sim_.RunUntil(Micros(100));
+  EXPECT_EQ(proxy_->active_transactions(), 1u);
+  proxy_->OnRefresh(MakeRefresh(11, 1, 3));  // conflicts with statement 1
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kEarlyAbort);
+}
+
+TEST_F(ProxyTest, NonConflictingRefreshLeavesActiveTxnAlone) {
+  Build();
+  proxy_->OnTxnRequest(
+      MakeRequest(1, "write2", {{Value(5), Value(3)}, {Value(5), Value(4)}}),
+      0);
+  sim_.RunUntil(Micros(100));
+  proxy_->OnRefresh(MakeRefresh(11, 1, 9));  // different key
+  sim_.RunAll();
+  // The transaction proceeds to certification.
+  ASSERT_EQ(cert_requests_.size(), 1u);
+  EXPECT_EQ(cert_requests_[0].size(), 2u);
+}
+
+TEST_F(ProxyTest, EagerHoldsResponseUntilGlobalCommit) {
+  Build(/*eager=*/true);
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  proxy_->OnCertDecision(CertDecision{1, true, 1});
+  sim_.RunAll();
+  // Local commit happened (reported to the certifier), but the client has
+  // no answer yet.
+  ASSERT_EQ(commit_reports_.size(), 1u);
+  EXPECT_EQ(commit_reports_[0], 1u);
+  EXPECT_TRUE(responses_.empty());
+  proxy_->OnGlobalCommit(1);
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kCommitted);
+  EXPECT_GE(responses_[0].stages.global, 0);
+}
+
+TEST_F(ProxyTest, EagerReportsRefreshCommitsToo) {
+  Build(/*eager=*/true);
+  proxy_->OnRefresh(MakeRefresh(11, 1, 7));
+  sim_.RunAll();
+  ASSERT_EQ(commit_reports_.size(), 1u);
+  EXPECT_EQ(commit_reports_[0], 11u);
+}
+
+TEST_F(ProxyTest, ExecutionErrorRespondsWithoutCertification) {
+  Build();
+  // Updating a missing key: 0 rows affected is fine, so use an insert
+  // conflict instead — "write" on key 3 twice in one txn is legal, so
+  // craft a read of a missing row via a type that fails: parameter arity
+  // mismatch triggers the execution error path.
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5)}}), 0);
+  sim_.RunAll();
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_EQ(responses_[0].outcome, TxnOutcome::kExecutionError);
+  EXPECT_TRUE(cert_requests_.empty());
+}
+
+TEST_F(ProxyTest, StageTimingsSumBelowTotalLatency) {
+  Build();
+  proxy_->OnTxnRequest(MakeRequest(1, "write", {{Value(5), Value(3)}}), 0);
+  sim_.RunAll();
+  const SimTime decision_at = sim_.Now();
+  proxy_->OnCertDecision(CertDecision{1, true, 1});
+  sim_.RunAll();
+  const TxnResponse& r = responses_.at(0);
+  // certify stage covers the decision wait measured at the proxy.
+  EXPECT_GE(r.stages.certify, decision_at - r.start_time - r.stages.queries);
+  EXPECT_GT(r.stages.Total(), 0);
+}
+
+}  // namespace
+}  // namespace screp

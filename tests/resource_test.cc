@@ -1,0 +1,127 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace screp {
+namespace {
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    res.Submit(Millis(10), [&] { completions.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(20));
+  EXPECT_EQ(completions[2], Millis(30));
+}
+
+TEST(ResourceTest, TwoServersOverlap) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    res.Submit(Millis(10), [&] { completions.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(10));
+  EXPECT_EQ(completions[2], Millis(20));
+  EXPECT_EQ(completions[3], Millis(20));
+}
+
+TEST(ResourceTest, FifoOrder) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    res.Submit(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ResourceTest, QueueLengthAndBusy) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  res.Submit(Millis(10), [] {});
+  res.Submit(Millis(10), [] {});
+  res.Submit(Millis(10), [] {});
+  EXPECT_EQ(res.Busy(), 1);
+  EXPECT_EQ(res.QueueLength(), 2u);
+  sim.RunUntil(Millis(15));
+  EXPECT_EQ(res.Busy(), 1);
+  EXPECT_EQ(res.QueueLength(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(res.Busy(), 0);
+  EXPECT_EQ(res.QueueLength(), 0u);
+}
+
+TEST(ResourceTest, UtilizationFullWhenAlwaysBusy) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  res.Submit(Millis(10), [] {});
+  sim.RunAll();
+  EXPECT_NEAR(res.Utilization(), 1.0, 1e-9);
+}
+
+TEST(ResourceTest, UtilizationHalf) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 2);
+  res.Submit(Millis(10), [] {});  // one of two servers busy
+  sim.RunAll();
+  EXPECT_NEAR(res.Utilization(), 0.5, 1e-9);
+}
+
+TEST(ResourceTest, QueueDelayRecorded) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  res.Submit(Millis(10), [] {});
+  res.Submit(Millis(10), [] {});
+  sim.RunAll();
+  EXPECT_EQ(res.queue_delay().count(), 2);
+  // Second request waited 10ms.
+  EXPECT_NEAR(res.queue_delay().max(), 10000.0, 10000.0 * 0.05);
+}
+
+TEST(ResourceTest, ResetStatsClearsBusyTime) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  res.Submit(Millis(10), [] {});
+  sim.RunAll();
+  res.ResetStats();
+  EXPECT_EQ(res.BusyTime(), 0);
+  EXPECT_EQ(res.queue_delay().count(), 0);
+  EXPECT_NEAR(res.Utilization(), 0.0, 1e-9);
+}
+
+TEST(ResourceTest, ZeroServiceTimeCompletes) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  bool done = false;
+  res.Submit(0, [&] { done = true; });
+  sim.RunAll();
+  EXPECT_TRUE(done);
+}
+
+TEST(ResourceTest, SubmitFromCompletionCallback) {
+  Simulator sim;
+  Resource res(&sim, "cpu", 1);
+  int completed = 0;
+  res.Submit(Millis(1), [&] {
+    ++completed;
+    res.Submit(Millis(1), [&] { ++completed; });
+  });
+  sim.RunAll();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(sim.Now(), Millis(2));
+}
+
+}  // namespace
+}  // namespace screp

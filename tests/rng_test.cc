@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace screp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(7);
+  Rng fork1 = a.Fork();
+  Rng b(7);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedWithinBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.NextBounded(10)];
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(17);
+  int trues = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.NextBool(0.25)) ++trues;
+  }
+  EXPECT_NEAR(trues / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(200.0);
+  EXPECT_NEAR(sum / n, 200.0, 5.0);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextExponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniformRange) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextZipf(100, 0.0), 100u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndexes) {
+  Rng rng(37);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 0.8) < 100) ++low;
+  }
+  // With theta=0.8 far more than 10% of the mass is in the first decile.
+  EXPECT_GT(low, n / 4);
+}
+
+}  // namespace
+}  // namespace screp

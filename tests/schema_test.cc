@@ -1,0 +1,77 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"score", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, ColumnAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column(0).name, "id");
+  EXPECT_EQ(s.column(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("score"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateAcceptsMatchingRow) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value(1), Value("a"), Value(2.5)}).ok());
+}
+
+TEST(SchemaTest, ValidateAcceptsIntWideningToDouble) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value(1), Value("a"), Value(3)}).ok());
+}
+
+TEST(SchemaTest, ValidateAcceptsNullsInNonKeyColumns) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value(1), Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsArityMismatch) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(s.ValidateRow({Value(1), Value("a")}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value(1), Value("a"), Value(1.0), Value(2)}).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsNonIntKey) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(s.ValidateRow({Value("k"), Value("a"), Value(1.0)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value(), Value("a"), Value(1.0)}).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsTypeMismatch) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(s.ValidateRow({Value(1), Value(2), Value(1.0)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value(1), Value("a"), Value("x")}).ok());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TestSchema().ToString(), "id INT, name STRING, score DOUBLE");
+}
+
+TEST(SchemaDeathTest, FirstColumnMustBeIntKey) {
+  EXPECT_DEATH(Schema({{"id", ValueType::kString}}), "primary key");
+}
+
+TEST(SchemaDeathTest, DuplicateColumnNamesRejected) {
+  EXPECT_DEATH(
+      Schema({{"id", ValueType::kInt64}, {"id", ValueType::kInt64}}),
+      "duplicate");
+}
+
+}  // namespace
+}  // namespace screp

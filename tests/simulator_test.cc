@@ -1,0 +1,107 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace screp {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(3), [&] { order.push_back(3); });
+  sim.Schedule(Millis(1), [&] { order.push_back(1); });
+  sim.Schedule(Millis(2), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(3));
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.Schedule(Millis(1), [&] {
+    sim.Schedule(Millis(2), [&] { fired_at = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, Millis(3));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Millis(5), [&] {
+    sim.Schedule(-Millis(1), [&] { EXPECT_EQ(sim.Now(), Millis(5)); });
+  });
+  sim.RunAll();
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(1), [&] { ++fired; });
+  sim.Schedule(Millis(10), [&] { ++fired; });
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Millis(5));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.RunAll();
+  EXPECT_EQ(sim.EventsExecuted(), 5u);
+}
+
+TEST(SimulatorTest, RunAllWithCascades) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 100) sim.Schedule(1, chain);
+  };
+  sim.Schedule(1, chain);
+  sim.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(TimeHelpersTest, Conversions) {
+  EXPECT_EQ(Millis(1.5), 1500);
+  EXPECT_EQ(Seconds(2), 2000000);
+  EXPECT_DOUBLE_EQ(ToMillis(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(2000000), 2.0);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,274 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace screp::sql {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = db_.CreateTable("item",
+                              Schema({{"i_id", ValueType::kInt64},
+                                      {"i_title", ValueType::kString},
+                                      {"i_cost", ValueType::kDouble},
+                                      {"i_stock", ValueType::kInt64}}));
+    ASSERT_TRUE(id.ok());
+    item_ = *id;
+    for (int64_t k = 0; k < 20; ++k) {
+      ASSERT_TRUE(db_.BulkLoad(item_, {Value(k),
+                                       Value("title" + std::to_string(k)),
+                                       Value(5.0 + static_cast<double>(k)),
+                                       Value(100 - k)})
+                      .ok());
+    }
+  }
+
+  PreparedStatementPtr Prep(const std::string& text) {
+    auto stmt = PreparedStatement::Prepare(db_, text);
+    EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status().ToString();
+    return std::move(stmt).value();
+  }
+
+  ResultSet Exec(Transaction* txn, const std::string& text,
+                 std::vector<Value> params = {}) {
+    auto stmt = Prep(text);
+    auto rs = Execute(txn, *stmt, params);
+    EXPECT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
+    return std::move(rs).value();
+  }
+
+  Database db_;
+  TableId item_ = -1;
+};
+
+TEST_F(ExecutorTest, PointSelectByPrimaryKey) {
+  auto txn = db_.Begin();
+  ResultSet rs =
+      Exec(txn.get(), "SELECT i_title, i_cost FROM item WHERE i_id = ?",
+           {Value(3)});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "title3");
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].AsDouble(), 8.0);
+  EXPECT_EQ(rs.rows_examined, 1);  // point access, not a scan
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"i_title", "i_cost"}));
+}
+
+TEST_F(ExecutorTest, PointSelectMissingKeyEmpty) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(), "SELECT i_id FROM item WHERE i_id = ?",
+                      {Value(999)});
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(ExecutorTest, SelectStarExpandsSchema) {
+  auto txn = db_.Begin();
+  ResultSet rs =
+      Exec(txn.get(), "SELECT * FROM item WHERE i_id = 0");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].size(), 4u);
+  EXPECT_EQ(rs.columns[0], "i_id");
+}
+
+TEST_F(ExecutorTest, RangeScanWithBetween) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "SELECT i_id FROM item WHERE i_id BETWEEN ? AND ?",
+                      {Value(5), Value(8)});
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows.front()[0].AsInt(), 5);
+  EXPECT_EQ(rs.rows.back()[0].AsInt(), 8);
+  EXPECT_EQ(rs.rows_examined, 4);
+}
+
+TEST_F(ExecutorTest, FullScanWithSecondaryPredicate) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "SELECT i_id FROM item WHERE i_stock >= ?",
+                      {Value(95)});
+  EXPECT_EQ(rs.rows.size(), 6u);  // stock 100..95 for ids 0..5
+  EXPECT_EQ(rs.rows_examined, 20);  // full scan
+}
+
+TEST_F(ExecutorTest, ConjunctionFiltersOnTopOfPointAccess) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "SELECT i_id FROM item WHERE i_id = ? AND i_stock > ?",
+                      {Value(3), Value(500)});
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(ExecutorTest, OrderByDescWithLimit) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(
+      txn.get(),
+      "SELECT i_id, i_cost FROM item ORDER BY i_cost DESC LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 19);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 18);
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 17);
+}
+
+TEST_F(ExecutorTest, LimitWithoutOrderStopsEarly) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(), "SELECT i_id FROM item LIMIT 5");
+  EXPECT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.rows_examined, 5);  // early-stopped scan
+}
+
+TEST_F(ExecutorTest, LimitAsParameter) {
+  auto txn = db_.Begin();
+  ResultSet rs =
+      Exec(txn.get(), "SELECT i_id FROM item LIMIT ?", {Value(2)});
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, Aggregates) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(
+      txn.get(),
+      "SELECT COUNT(*), SUM(i_stock), MIN(i_cost), MAX(i_cost), "
+      "AVG(i_stock) FROM item");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 20);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].AsDouble(), 1810.0);  // sum 81..100
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.rows[0][3].AsDouble(), 24.0);
+  EXPECT_DOUBLE_EQ(rs.rows[0][4].AsDouble(), 90.5);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyMatch) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "SELECT COUNT(*), MAX(i_cost) FROM item WHERE i_id = "
+                      "12345");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, MixedAggregateAndColumnRejected) {
+  auto txn = db_.Begin();
+  auto stmt = Prep("SELECT i_id, COUNT(*) FROM item");
+  EXPECT_FALSE(Execute(txn.get(), *stmt, {}).ok());
+}
+
+TEST_F(ExecutorTest, UpdateByKeyWithArithmetic) {
+  auto txn = db_.Begin();
+  ResultSet rs =
+      Exec(txn.get(),
+           "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+           {Value(10), Value(0)});
+  EXPECT_EQ(rs.rows_affected, 1);
+  ResultSet check = Exec(txn.get(),
+                         "SELECT i_stock FROM item WHERE i_id = 0");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 90);
+}
+
+TEST_F(ExecutorTest, UpdateByPredicateAffectsAllMatches) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "UPDATE item SET i_stock = 0 WHERE i_id BETWEEN ? AND ?",
+                      {Value(1), Value(3)});
+  EXPECT_EQ(rs.rows_affected, 3);
+}
+
+TEST_F(ExecutorTest, UpdateStringConcat) {
+  auto txn = db_.Begin();
+  Exec(txn.get(),
+       "UPDATE item SET i_title = i_title + '!' WHERE i_id = 1");
+  ResultSet rs = Exec(txn.get(), "SELECT i_title FROM item WHERE i_id = 1");
+  EXPECT_EQ(rs.rows[0][0].AsString(), "title1!");
+}
+
+TEST_F(ExecutorTest, InsertThenVisibleInSameTxn) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(), "INSERT INTO item VALUES (?, ?, ?, ?)",
+                      {Value(100), Value("new"), Value(9.99), Value(5)});
+  EXPECT_EQ(rs.rows_affected, 1);
+  ResultSet check =
+      Exec(txn.get(), "SELECT i_title FROM item WHERE i_id = 100");
+  ASSERT_EQ(check.rows.size(), 1u);
+  EXPECT_EQ(check.rows[0][0].AsString(), "new");
+}
+
+TEST_F(ExecutorTest, InsertDuplicateFails) {
+  auto txn = db_.Begin();
+  auto stmt = Prep("INSERT INTO item VALUES (?, ?, ?, ?)");
+  auto rs = Execute(txn.get(), *stmt,
+                    {Value(0), Value("dup"), Value(1.0), Value(1)});
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ExecutorTest, DeleteByRange) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(),
+                      "DELETE FROM item WHERE i_id BETWEEN ? AND ?",
+                      {Value(0), Value(4)});
+  EXPECT_EQ(rs.rows_affected, 5);
+  ResultSet count = Exec(txn.get(), "SELECT COUNT(*) FROM item");
+  EXPECT_EQ(count.rows[0][0].AsInt(), 15);
+}
+
+TEST_F(ExecutorTest, DeleteNoMatchesIsZeroAffected) {
+  auto txn = db_.Begin();
+  ResultSet rs = Exec(txn.get(), "DELETE FROM item WHERE i_id = ?",
+                      {Value(777)});
+  EXPECT_EQ(rs.rows_affected, 0);
+}
+
+TEST_F(ExecutorTest, ParameterArityChecked) {
+  auto txn = db_.Begin();
+  auto stmt = Prep("SELECT i_id FROM item WHERE i_id = ?");
+  EXPECT_FALSE(Execute(txn.get(), *stmt, {}).ok());
+  EXPECT_FALSE(Execute(txn.get(), *stmt, {Value(1), Value(2)}).ok());
+}
+
+TEST_F(ExecutorTest, NotEqualsAndInequalities) {
+  auto txn = db_.Begin();
+  ResultSet ne = Exec(txn.get(),
+                      "SELECT COUNT(*) FROM item WHERE i_id <> 0");
+  EXPECT_EQ(ne.rows[0][0].AsInt(), 19);
+  ResultSet lt =
+      Exec(txn.get(), "SELECT COUNT(*) FROM item WHERE i_id < 5");
+  EXPECT_EQ(lt.rows[0][0].AsInt(), 5);
+  ResultSet ge =
+      Exec(txn.get(), "SELECT COUNT(*) FROM item WHERE i_id >= 18");
+  EXPECT_EQ(ge.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, PrepareRejectsBadReferences) {
+  EXPECT_FALSE(PreparedStatement::Prepare(db_, "SELECT x FROM item").ok());
+  EXPECT_FALSE(
+      PreparedStatement::Prepare(db_, "SELECT i_id FROM missing").ok());
+  EXPECT_FALSE(PreparedStatement::Prepare(
+                   db_, "UPDATE item SET i_id = 1 WHERE i_id = 0")
+                   .ok());
+  EXPECT_FALSE(
+      PreparedStatement::Prepare(db_, "INSERT INTO item VALUES (1)").ok());
+  EXPECT_FALSE(PreparedStatement::Prepare(
+                   db_, "DELETE FROM item")  // no WHERE
+                   .ok());
+  EXPECT_FALSE(PreparedStatement::Prepare(
+                   db_, "SELECT i_id FROM item ORDER BY zzz")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, UpdateSeenThroughSnapshotAfterCommit) {
+  // Commit an update through the writeset path, then re-read.
+  auto writer = db_.Begin();
+  Exec(writer.get(), "UPDATE item SET i_stock = 7 WHERE i_id = 9");
+  WriteSet ws = writer->BuildWriteSet();
+  ws.commit_version = 1;
+  ASSERT_TRUE(db_.ApplyWriteSet(ws).ok());
+  auto reader = db_.Begin();
+  ResultSet rs = Exec(reader.get(),
+                      "SELECT i_stock FROM item WHERE i_id = 9");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace screp::sql

@@ -1,0 +1,89 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace screp::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  Status st = Tokenize(text, &tokens);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsUppercasedIdentifiersLowercased) {
+  auto tokens = Lex("SeLeCt FooBar fRoM t1");
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foobar");
+  EXPECT_EQ(tokens[2].text, "FROM");
+  EXPECT_EQ(tokens[3].text, "t1");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.5");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  std::vector<Token> tokens;
+  EXPECT_FALSE(Tokenize("'oops", &tokens).ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex("= <> < <= > >= , ( ) * + - ?");
+  const TokenType expected[] = {
+      TokenType::kEq,    TokenType::kNe,     TokenType::kLt,
+      TokenType::kLe,    TokenType::kGt,     TokenType::kGe,
+      TokenType::kComma, TokenType::kLParen, TokenType::kRParen,
+      TokenType::kStar,  TokenType::kPlus,   TokenType::kMinus,
+      TokenType::kParam, TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, StrayCharacterFails) {
+  std::vector<Token> tokens;
+  EXPECT_FALSE(Tokenize("SELECT @", &tokens).ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Lex("SELECT x");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, AggregateKeywords) {
+  auto tokens = Lex("COUNT SUM AVG MIN MAX BETWEEN NULL");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword) << i;
+  }
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  auto tokens = Lex("order_line scl_id2");
+  EXPECT_EQ(tokens[0].text, "order_line");
+  EXPECT_EQ(tokens[1].text, "scl_id2");
+}
+
+}  // namespace
+}  // namespace screp::sql

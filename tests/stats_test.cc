@@ -1,0 +1,131 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace screp {
+namespace {
+
+TEST(StatAccumulatorTest, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulatorTest, BasicMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.0, 1e-9);  // classic example
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulatorTest, MergeMatchesCombinedStream) {
+  StatAccumulator a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    if (i % 2 == 0) {
+      a.Add(x);
+    } else {
+      b.Add(x);
+    }
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatAccumulatorTest, MergeWithEmpty) {
+  StatAccumulator a, b;
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);  // copy
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(StatAccumulatorTest, ResetClears) {
+  StatAccumulator acc;
+  acc.Add(5);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(HistogramTest, EmptyPercentilesZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(1000.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_NEAR(h.Percentile(0.5), 1000.0, 1000.0 * 0.03);
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(0.5), 5000, 5000 * 0.03);
+  EXPECT_NEAR(h.Percentile(0.99), 9900, 9900 * 0.03);
+  EXPECT_NEAR(h.Percentile(1.0), 10000, 1e-9);  // capped at max
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Add(10);
+  for (int i = 0; i < 100; ++i) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_NEAR(a.Percentile(0.25), 10, 10 * 0.05);
+  EXPECT_NEAR(a.Percentile(0.75), 1000, 1000 * 0.05);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.9), 0.0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(1e12);  // beyond the bucket range: lands in the last bucket
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_LE(h.Percentile(0.5), 1e12);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,120 @@
+#include "sql/table_set.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace screp::sql {
+namespace {
+
+TEST(ExtractTableSetTest, DistinctSortedTables) {
+  auto result = ExtractTableSet({
+      "SELECT a FROM zebra WHERE a = 1",
+      "UPDATE apple SET b = 2 WHERE a = 1",
+      "SELECT a FROM zebra WHERE a = 2",
+      "INSERT INTO mango VALUES (1)",
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result,
+            (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(ExtractTableSetTest, FailsOnUnparsableStatement) {
+  EXPECT_FALSE(ExtractTableSet({"SELECT FROM"}).ok());
+}
+
+TEST(ExtractTableSetTest, EmptyInputYieldsEmptySet) {
+  auto result = ExtractTableSet({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("alpha",
+                                Schema({{"id", ValueType::kInt64},
+                                        {"v", ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("beta",
+                                Schema({{"id", ValueType::kInt64},
+                                        {"v", ValueType::kInt64}}))
+                    .ok());
+  }
+
+  PreparedTransaction MakeTxn(const std::string& name,
+                              std::vector<std::string> texts) {
+    PreparedTransaction txn;
+    txn.name = name;
+    for (const std::string& text : texts) {
+      auto stmt = PreparedStatement::Prepare(db_, text);
+      EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+      txn.statements.push_back(std::move(stmt).value());
+    }
+    return txn;
+  }
+
+  Database db_;
+};
+
+TEST_F(RegistryTest, RegisterAssignsDenseIds) {
+  TransactionRegistry registry;
+  const TxnTypeId a =
+      registry.Register(MakeTxn("read_a", {"SELECT v FROM alpha WHERE id = ?"}));
+  const TxnTypeId b = registry.Register(
+      MakeTxn("write_b", {"UPDATE beta SET v = ? WHERE id = ?"}));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Get(a).name, "read_a");
+  EXPECT_FALSE(registry.Get(a).HasUpdates());
+  EXPECT_TRUE(registry.Get(b).HasUpdates());
+}
+
+TEST_F(RegistryTest, FindByName) {
+  TransactionRegistry registry;
+  registry.Register(MakeTxn("t1", {"SELECT v FROM alpha WHERE id = ?"}));
+  auto found = registry.Find("t1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+  EXPECT_FALSE(registry.Find("missing").ok());
+}
+
+TEST_F(RegistryTest, TransactionTableSet) {
+  TransactionRegistry registry;
+  registry.Register(MakeTxn(
+      "multi", {"SELECT v FROM beta WHERE id = ?",
+                "UPDATE alpha SET v = ? WHERE id = ?",
+                "SELECT v FROM beta WHERE id = ?"}));
+  EXPECT_EQ(registry.Get(0).TableSet(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(RegistryTest, PersistAndLoadCatalogRoundTrip) {
+  TransactionRegistry registry;
+  registry.Register(MakeTxn("r", {"SELECT v FROM alpha WHERE id = ?"}));
+  registry.Register(
+      MakeTxn("w", {"UPDATE beta SET v = ? WHERE id = ?",
+                    "UPDATE alpha SET v = ? WHERE id = ?"}));
+  ASSERT_TRUE(registry.PersistCatalog(&db_).ok());
+
+  auto loaded = TransactionRegistry::LoadCatalog(db_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->at(0), (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(loaded->at(1), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(RegistryTest, LoadCatalogWithoutPersistFails) {
+  EXPECT_FALSE(TransactionRegistry::LoadCatalog(db_).ok());
+}
+
+TEST_F(RegistryTest, CatalogTableVisibleAsSysTablesets) {
+  TransactionRegistry registry;
+  registry.Register(MakeTxn("r", {"SELECT v FROM alpha WHERE id = ?"}));
+  ASSERT_TRUE(registry.PersistCatalog(&db_).ok());
+  EXPECT_TRUE(db_.FindTable("sys_tablesets").ok());
+}
+
+}  // namespace
+}  // namespace screp::sql

@@ -1,0 +1,213 @@
+#include "workload/tpcw.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+TpcwScale TinyScale() {
+  TpcwScale scale;
+  scale.items = 120;
+  scale.customers = 60;
+  scale.initial_orders = 40;
+  scale.subjects = 6;
+  return scale;
+}
+
+class TpcwTest : public ::testing::Test {
+ protected:
+  void Build(TpcwMix mix = TpcwMix::kShopping) {
+    db_ptr_ = std::make_unique<Database>();
+    registry_ptr_ = std::make_unique<sql::TransactionRegistry>();
+    workload_ = std::make_unique<TpcwWorkload>(TinyScale(), mix);
+    ASSERT_TRUE(workload_->BuildSchema(db_ptr_.get()).ok());
+    ASSERT_TRUE(
+        workload_->DefineTransactions(*db_ptr_, registry_ptr_.get()).ok());
+  }
+
+  Database& db() { return *db_ptr_; }
+  sql::TransactionRegistry& registry() { return *registry_ptr_; }
+
+  std::unique_ptr<Database> db_ptr_;
+  std::unique_ptr<sql::TransactionRegistry> registry_ptr_;
+  std::unique_ptr<TpcwWorkload> workload_;
+};
+
+TEST_F(TpcwTest, SchemaHasTenTables) {
+  Build();
+  EXPECT_EQ(db().TableCount(), 10u);
+  for (const char* table :
+       {"country", "author", "address", "customer", "item", "orders",
+        "order_line", "cc_xacts", "shopping_cart", "shopping_cart_line"}) {
+    EXPECT_TRUE(db().FindTable(table).ok()) << table;
+  }
+}
+
+TEST_F(TpcwTest, PopulationMatchesScale) {
+  Build();
+  const TpcwScale scale = TinyScale();
+  auto rows = [&](const char* name) {
+    return db().table(*db().FindTable(name))->LiveRowCount(0);
+  };
+  EXPECT_EQ(rows("item"), static_cast<size_t>(scale.items));
+  EXPECT_EQ(rows("customer"), static_cast<size_t>(scale.customers));
+  EXPECT_EQ(rows("country"), static_cast<size_t>(scale.countries));
+  EXPECT_EQ(rows("orders"), static_cast<size_t>(scale.initial_orders));
+  EXPECT_EQ(rows("order_line"),
+            static_cast<size_t>(scale.initial_orders *
+                                scale.lines_per_order));
+  EXPECT_EQ(rows("shopping_cart"), 0u);
+}
+
+TEST_F(TpcwTest, PopulationIsDeterministicAcrossReplicas) {
+  Build();
+  Database db2;
+  ASSERT_TRUE(workload_->BuildSchema(&db2).ok());
+  const TableId item = *db().FindTable("item");
+  std::vector<std::string> a, b;
+  db().table(item)->Scan(0, [&](int64_t, const Row& row) {
+    a.push_back(RowToString(row));
+    return true;
+  });
+  db2.table(item)->Scan(0, [&](int64_t, const Row& row) {
+    b.push_back(RowToString(row));
+    return true;
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TpcwTest, AllTwelveInteractionsRegistered) {
+  Build();
+  EXPECT_EQ(registry().size(), 12u);
+  for (const char* name :
+       {tpcw::kHome, tpcw::kProductDetail, tpcw::kSearchBySubject,
+        tpcw::kNewProducts, tpcw::kBestSellers, tpcw::kOrderInquiry,
+        tpcw::kShoppingCart, tpcw::kCartUpdate,
+        tpcw::kCustomerRegistration, tpcw::kBuyRequest, tpcw::kBuyConfirm,
+        tpcw::kAdminUpdate}) {
+    EXPECT_TRUE(registry().Find(name).ok()) << name;
+  }
+}
+
+TEST_F(TpcwTest, TableSetsAreStaticallyMeaningful) {
+  Build();
+  // Search touches only the item table — the fine-grained scheme's best
+  // case when carts are the hot update target.
+  EXPECT_EQ(registry().Get(*registry().Find(tpcw::kSearchBySubject)).TableSet(),
+            (std::vector<std::string>{"item"}));
+  // Buy confirm touches six tables.
+  const auto buy = registry().Get(*registry().Find(tpcw::kBuyConfirm)).TableSet();
+  EXPECT_EQ(buy.size(), 6u);
+  // Product detail reads item and author only.
+  EXPECT_EQ(registry().Get(*registry().Find(tpcw::kProductDetail)).TableSet(),
+            (std::vector<std::string>{"author", "item"}));
+}
+
+TEST_F(TpcwTest, MixUpdateFractions) {
+  EXPECT_DOUBLE_EQ(TpcwUpdateFraction(TpcwMix::kBrowsing), 0.05);
+  EXPECT_DOUBLE_EQ(TpcwUpdateFraction(TpcwMix::kShopping), 0.20);
+  EXPECT_DOUBLE_EQ(TpcwUpdateFraction(TpcwMix::kOrdering), 0.50);
+  EXPECT_EQ(TpcwClientsPerReplica(TpcwMix::kBrowsing), 10);
+  EXPECT_EQ(TpcwClientsPerReplica(TpcwMix::kShopping), 8);
+  EXPECT_EQ(TpcwClientsPerReplica(TpcwMix::kOrdering), 5);
+  EXPECT_STREQ(TpcwMixName(TpcwMix::kOrdering), "ordering");
+}
+
+TEST_F(TpcwTest, GeneratorUpdateFractionTracksMix) {
+  for (TpcwMix mix :
+       {TpcwMix::kBrowsing, TpcwMix::kShopping, TpcwMix::kOrdering}) {
+    Build(mix);
+    auto gen = workload_->CreateGenerator(registry(), 0, Rng(5));
+    int updates = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      TxnSpec spec = gen->Next();
+      if (registry().Get(spec.type).HasUpdates()) ++updates;
+      gen->OnCommitted(spec);  // drive the state machine forward
+    }
+    EXPECT_NEAR(updates / static_cast<double>(n), TpcwUpdateFraction(mix),
+                0.03)
+        << TpcwMixName(mix);
+  }
+}
+
+TEST_F(TpcwTest, GeneratorParamsAlwaysMatchStatementArity) {
+  Build(TpcwMix::kOrdering);
+  auto gen = workload_->CreateGenerator(registry(), 3, Rng(9));
+  for (int i = 0; i < 3000; ++i) {
+    TxnSpec spec = gen->Next();
+    const sql::PreparedTransaction& txn = registry().Get(spec.type);
+    ASSERT_EQ(spec.params.size(), txn.statements.size())
+        << txn.name << " at iteration " << i;
+    for (size_t s = 0; s < txn.statements.size(); ++s) {
+      ASSERT_EQ(static_cast<int>(spec.params[s].size()),
+                txn.statements[s]->param_count())
+          << txn.name << " statement " << s;
+    }
+    gen->OnCommitted(spec);
+  }
+}
+
+TEST_F(TpcwTest, EveryGeneratedTransactionExecutes) {
+  // Execute a long generated stream against a standalone database,
+  // committing each transaction — no statement may fail.
+  Build(TpcwMix::kOrdering);
+  auto gen = workload_->CreateGenerator(registry(), 1, Rng(21));
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = gen->Next();
+    const sql::PreparedTransaction& prepared = registry().Get(spec.type);
+    auto txn = db().Begin();
+    for (size_t s = 0; s < prepared.statements.size(); ++s) {
+      auto rs = sql::Execute(txn.get(), *prepared.statements[s],
+                             spec.params[s]);
+      ASSERT_TRUE(rs.ok()) << prepared.name << " stmt " << s << " iter "
+                           << i << ": " << rs.status().ToString();
+    }
+    if (!txn->read_only()) {
+      WriteSet ws = txn->BuildWriteSet();
+      ws.commit_version = db().CommittedVersion() + 1;
+      ASSERT_TRUE(db().ApplyWriteSet(ws).ok());
+    }
+    gen->OnCommitted(spec);
+  }
+  // The stream created real orders and carts.
+  EXPECT_GT(db().table(*db().FindTable("orders"))
+                ->LiveRowCount(db().CommittedVersion()),
+            static_cast<size_t>(TinyScale().initial_orders));
+}
+
+TEST_F(TpcwTest, BuyConfirmOnlyAfterCommittedCart) {
+  Build(TpcwMix::kOrdering);
+  auto gen = workload_->CreateGenerator(registry(), 0, Rng(33));
+  const TxnTypeId buy_confirm = *registry().Find(tpcw::kBuyConfirm);
+  const TxnTypeId cart = *registry().Find(tpcw::kShoppingCart);
+  int committed_carts = 0;
+  int buys = 0;
+  for (int i = 0; i < 2000; ++i) {
+    TxnSpec spec = gen->Next();
+    if (spec.type == buy_confirm) {
+      ++buys;
+      ASSERT_GT(committed_carts, 0) << "buy before any cart committed";
+      --committed_carts;  // consumed on commit
+    }
+    if (spec.type == cart) ++committed_carts;
+    gen->OnCommitted(spec);
+  }
+  EXPECT_GT(buys, 0);
+}
+
+TEST_F(TpcwTest, SubjectRangesPartitionItems) {
+  const TpcwScale scale = TinyScale();
+  int64_t expected_lo = 0;
+  for (int s = 0; s < scale.subjects; ++s) {
+    int64_t lo, hi;
+    tpcw::SubjectRange(scale, s, &lo, &hi);
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GE(hi, lo);
+    expected_lo = hi + 1;
+  }
+  EXPECT_EQ(expected_lo, scale.items);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,97 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(int64_t{42});
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntFromPlainInt) {
+  Value v(7);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt(), 7);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(3.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v(std::string("hello"));
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.ToString(), "'hello'");
+}
+
+TEST(ValueTest, CStringConstructor) {
+  Value v("abc");
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "abc");
+}
+
+TEST(ValueTest, NumericComparisonAcrossTypes) {
+  EXPECT_EQ(Value(1).Compare(Value(1.0)), 0);
+  EXPECT_LT(Value(1).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)), 0);
+}
+
+TEST(ValueTest, IntComparisonExactForLargeValues) {
+  // Values beyond double's 53-bit mantissa must still compare exactly.
+  const int64_t big = (int64_t{1} << 60);
+  EXPECT_LT(Value(big).Compare(Value(big + 1)), 0);
+  EXPECT_EQ(Value(big).Compare(Value(big)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+  EXPECT_LT(Value().Compare(Value("a")), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, NumericsBeforeStrings) {
+  EXPECT_LT(Value(999).Compare(Value("0")), 0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, RelationalOperators) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value(2) >= Value(2));
+  EXPECT_TRUE(Value("a") != Value("b"));
+  EXPECT_TRUE(Value(3.0) == Value(3));
+}
+
+TEST(ValueTest, ByteSizes) {
+  EXPECT_EQ(Value().ByteSize(), 1u);
+  EXPECT_EQ(Value(1).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 8u);  // 4 chars + 4 overhead
+}
+
+TEST(RowTest, ToStringAndSize) {
+  Row row{Value(1), Value("a"), Value(2.5)};
+  EXPECT_EQ(RowToString(row), "(1, 'a', 2.5)");
+  EXPECT_GT(RowByteSize(row), 16u);
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,82 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+WriteSet MakeWs(TxnId id, DbVersion version) {
+  WriteSet ws;
+  ws.txn_id = id;
+  ws.commit_version = version;
+  ws.Add(0, static_cast<int64_t>(id), WriteType::kUpdate,
+         Row{Value(static_cast<int64_t>(id)), Value(version)});
+  return ws;
+}
+
+TEST(WalTest, AppendForcedIsImmediatelyDurable) {
+  Wal wal;
+  EXPECT_EQ(wal.Append(MakeWs(1, 1), /*force=*/true), 0u);
+  EXPECT_EQ(wal.Size(), 1u);
+  EXPECT_EQ(wal.DurableSize(), 1u);
+  EXPECT_GT(wal.DurableBytes(), 0u);
+}
+
+TEST(WalTest, UnforcedAppendsBufferUntilForce) {
+  Wal wal;
+  wal.Append(MakeWs(1, 1), false);
+  wal.Append(MakeWs(2, 2), false);
+  EXPECT_EQ(wal.Size(), 2u);
+  EXPECT_EQ(wal.DurableSize(), 0u);
+  wal.Force();
+  EXPECT_EQ(wal.DurableSize(), 2u);
+}
+
+TEST(WalTest, ForcedAppendFlushesEarlierBuffered) {
+  Wal wal;
+  wal.Append(MakeWs(1, 1), false);
+  wal.Append(MakeWs(2, 2), true);  // must flush #1 first to keep order
+  EXPECT_EQ(wal.DurableSize(), 2u);
+  std::vector<WriteSet> records;
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].txn_id, 1u);
+  EXPECT_EQ(records[1].txn_id, 2u);
+}
+
+TEST(WalTest, ReadAllDecodesContent) {
+  Wal wal;
+  for (int i = 1; i <= 5; ++i) {
+    wal.Append(MakeWs(static_cast<TxnId>(i), i), true);
+  }
+  std::vector<WriteSet> records;
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].commit_version, i + 1);
+    EXPECT_EQ(records[static_cast<size_t>(i)].size(), 1u);
+  }
+}
+
+TEST(WalTest, DropUnforcedSimulatesCrash) {
+  Wal wal;
+  wal.Append(MakeWs(1, 1), true);
+  wal.Append(MakeWs(2, 2), false);
+  wal.DropUnforced();
+  EXPECT_EQ(wal.Size(), 1u);
+  EXPECT_EQ(wal.DurableSize(), 1u);
+  std::vector<WriteSet> records;
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].txn_id, 1u);
+}
+
+TEST(WalTest, EmptyReadAllOk) {
+  Wal wal;
+  std::vector<WriteSet> records;
+  EXPECT_TRUE(wal.ReadAll(&records).ok());
+  EXPECT_TRUE(records.empty());
+}
+
+}  // namespace
+}  // namespace screp

@@ -1,0 +1,154 @@
+#include "storage/write_set.h"
+
+#include <gtest/gtest.h>
+
+namespace screp {
+namespace {
+
+TEST(WriteSetTest, EmptyByDefault) {
+  WriteSet ws;
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.commit_version, kNoVersion);
+}
+
+TEST(WriteSetTest, AddCoalescesLastWriteWins) {
+  WriteSet ws;
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1), Value(10)});
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1), Value(20)});
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ((*ws.ops[0].row)[1].AsInt(), 20);
+}
+
+TEST(WriteSetTest, InsertThenUpdateStaysInsert) {
+  WriteSet ws;
+  ws.Add(0, 1, WriteType::kInsert, Row{Value(1), Value(10)});
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1), Value(20)});
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws.ops[0].type, WriteType::kInsert);
+  EXPECT_EQ((*ws.ops[0].row)[1].AsInt(), 20);
+}
+
+TEST(WriteSetTest, InsertThenDeleteBecomesDelete) {
+  WriteSet ws;
+  ws.Add(0, 1, WriteType::kInsert, Row{Value(1), Value(10)});
+  ws.Add(0, 1, WriteType::kDelete, std::nullopt);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws.ops[0].type, WriteType::kDelete);
+  EXPECT_FALSE(ws.ops[0].row.has_value());
+}
+
+TEST(WriteSetTest, DistinctKeysKept) {
+  WriteSet ws;
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1)});
+  ws.Add(0, 2, WriteType::kUpdate, Row{Value(2)});
+  ws.Add(1, 1, WriteType::kUpdate, Row{Value(1)});
+  EXPECT_EQ(ws.size(), 3u);
+}
+
+TEST(WriteSetTest, ConflictDetection) {
+  WriteSet a, b, c;
+  a.Add(0, 1, WriteType::kUpdate, Row{Value(1)});
+  b.Add(0, 1, WriteType::kDelete, std::nullopt);
+  c.Add(0, 2, WriteType::kUpdate, Row{Value(2)});
+  EXPECT_TRUE(a.ConflictsWith(b));
+  EXPECT_TRUE(b.ConflictsWith(a));
+  EXPECT_FALSE(a.ConflictsWith(c));
+  // Same key, different table: no conflict.
+  WriteSet d;
+  d.Add(1, 1, WriteType::kUpdate, Row{Value(1)});
+  EXPECT_FALSE(a.ConflictsWith(d));
+}
+
+TEST(WriteSetTest, EmptyNeverConflicts) {
+  WriteSet a, empty;
+  a.Add(0, 1, WriteType::kUpdate, Row{Value(1)});
+  EXPECT_FALSE(a.ConflictsWith(empty));
+  EXPECT_FALSE(empty.ConflictsWith(a));
+}
+
+TEST(WriteSetTest, TablesWrittenSortedDistinct) {
+  WriteSet ws;
+  ws.Add(2, 1, WriteType::kUpdate, Row{Value(1)});
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1)});
+  ws.Add(2, 2, WriteType::kUpdate, Row{Value(2)});
+  EXPECT_EQ(ws.TablesWritten(), (std::vector<TableId>{0, 2}));
+}
+
+TEST(WriteSetTest, ByteSizeGrowsWithContent) {
+  WriteSet small, large;
+  small.Add(0, 1, WriteType::kUpdate, Row{Value(1)});
+  large.Add(0, 1, WriteType::kUpdate,
+            Row{Value(1), Value(std::string(500, 'x'))});
+  EXPECT_GT(large.ByteSize(), small.ByteSize());
+}
+
+TEST(WriteSetTest, EncodeDecodeRoundTrip) {
+  WriteSet ws;
+  ws.txn_id = 42;
+  ws.snapshot_version = 7;
+  ws.commit_version = 9;
+  ws.origin = 3;
+  ws.Add(0, 1, WriteType::kInsert,
+         Row{Value(1), Value("hello"), Value(2.5), Value()});
+  ws.Add(1, 2, WriteType::kDelete, std::nullopt);
+  ws.Add(2, 3, WriteType::kUpdate, Row{Value(3), Value(-5)});
+
+  std::string buf;
+  ws.EncodeTo(&buf);
+  WriteSet decoded;
+  size_t offset = 0;
+  ASSERT_TRUE(WriteSet::DecodeFrom(buf, &offset, &decoded));
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(decoded.txn_id, 42u);
+  EXPECT_EQ(decoded.snapshot_version, 7);
+  EXPECT_EQ(decoded.commit_version, 9);
+  EXPECT_EQ(decoded.origin, 3);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded.ops[0].type, WriteType::kInsert);
+  EXPECT_EQ((*decoded.ops[0].row)[1].AsString(), "hello");
+  EXPECT_DOUBLE_EQ((*decoded.ops[0].row)[2].AsDouble(), 2.5);
+  EXPECT_TRUE((*decoded.ops[0].row)[3].is_null());
+  EXPECT_EQ(decoded.ops[1].type, WriteType::kDelete);
+  EXPECT_FALSE(decoded.ops[1].row.has_value());
+  EXPECT_EQ((*decoded.ops[2].row)[1].AsInt(), -5);
+}
+
+TEST(WriteSetTest, DecodeTruncatedFails) {
+  WriteSet ws;
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(1), Value("payload")});
+  std::string buf;
+  ws.EncodeTo(&buf);
+  for (size_t cut : {buf.size() - 1, buf.size() / 2, size_t{3}}) {
+    WriteSet decoded;
+    size_t offset = 0;
+    EXPECT_FALSE(
+        WriteSet::DecodeFrom(buf.substr(0, cut), &offset, &decoded));
+  }
+}
+
+TEST(WriteSetTest, MultipleRecordsSequentialDecode) {
+  std::string buf;
+  for (int i = 0; i < 3; ++i) {
+    WriteSet ws;
+    ws.txn_id = static_cast<TxnId>(i);
+    ws.Add(0, i, WriteType::kUpdate, Row{Value(i)});
+    ws.EncodeTo(&buf);
+  }
+  size_t offset = 0;
+  for (int i = 0; i < 3; ++i) {
+    WriteSet decoded;
+    ASSERT_TRUE(WriteSet::DecodeFrom(buf, &offset, &decoded));
+    EXPECT_EQ(decoded.txn_id, static_cast<TxnId>(i));
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(WriteSetTest, ToStringMentionsOps) {
+  WriteSet ws;
+  ws.txn_id = 1;
+  ws.Add(0, 7, WriteType::kDelete, std::nullopt);
+  EXPECT_NE(ws.ToString().find("del t0#7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace screp
