@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_timeline.dir/fault_timeline.cc.o"
+  "CMakeFiles/fault_timeline.dir/fault_timeline.cc.o.d"
+  "fault_timeline"
+  "fault_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

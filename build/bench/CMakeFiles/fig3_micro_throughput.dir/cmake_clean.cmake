@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_micro_throughput.dir/fig3_micro_throughput.cc.o"
+  "CMakeFiles/fig3_micro_throughput.dir/fig3_micro_throughput.cc.o.d"
+  "fig3_micro_throughput"
+  "fig3_micro_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_micro_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

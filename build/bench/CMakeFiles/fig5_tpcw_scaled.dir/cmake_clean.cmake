@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tpcw_scaled.dir/fig5_tpcw_scaled.cc.o"
+  "CMakeFiles/fig5_tpcw_scaled.dir/fig5_tpcw_scaled.cc.o.d"
+  "fig5_tpcw_scaled"
+  "fig5_tpcw_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tpcw_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sync_delay.dir/fig6_sync_delay.cc.o"
+  "CMakeFiles/fig6_sync_delay.dir/fig6_sync_delay.cc.o.d"
+  "fig6_sync_delay"
+  "fig6_sync_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sync_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

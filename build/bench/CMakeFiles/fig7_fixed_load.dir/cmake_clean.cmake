@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fixed_load.dir/fig7_fixed_load.cc.o"
+  "CMakeFiles/fig7_fixed_load.dir/fig7_fixed_load.cc.o.d"
+  "fig7_fixed_load"
+  "fig7_fixed_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fixed_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

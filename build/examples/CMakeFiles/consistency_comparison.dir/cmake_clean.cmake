@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_comparison.dir/consistency_comparison.cc.o"
+  "CMakeFiles/consistency_comparison.dir/consistency_comparison.cc.o.d"
+  "consistency_comparison"
+  "consistency_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_channel.dir/hidden_channel.cc.o"
+  "CMakeFiles/hidden_channel.dir/hidden_channel.cc.o.d"
+  "hidden_channel"
+  "hidden_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

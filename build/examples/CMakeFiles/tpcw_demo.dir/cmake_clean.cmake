@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_demo.dir/tpcw_demo.cc.o"
+  "CMakeFiles/tpcw_demo.dir/tpcw_demo.cc.o.d"
+  "tpcw_demo"
+  "tpcw_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_common.dir/common/logging.cc.o"
+  "CMakeFiles/screp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/screp_common.dir/common/stats.cc.o"
+  "CMakeFiles/screp_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/screp_common.dir/common/status.cc.o"
+  "CMakeFiles/screp_common.dir/common/status.cc.o.d"
+  "libscrep_common.a"
+  "libscrep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/checker.cc" "src/CMakeFiles/screp_consistency.dir/consistency/checker.cc.o" "gcc" "src/CMakeFiles/screp_consistency.dir/consistency/checker.cc.o.d"
+  "/root/repo/src/consistency/history.cc" "src/CMakeFiles/screp_consistency.dir/consistency/history.cc.o" "gcc" "src/CMakeFiles/screp_consistency.dir/consistency/history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/screp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

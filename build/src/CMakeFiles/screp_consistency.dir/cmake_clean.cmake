@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_consistency.dir/consistency/checker.cc.o"
+  "CMakeFiles/screp_consistency.dir/consistency/checker.cc.o.d"
+  "CMakeFiles/screp_consistency.dir/consistency/history.cc.o"
+  "CMakeFiles/screp_consistency.dir/consistency/history.cc.o.d"
+  "libscrep_consistency.a"
+  "libscrep_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency_level.cc" "src/CMakeFiles/screp_core.dir/core/consistency_level.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/consistency_level.cc.o.d"
+  "/root/repo/src/core/eager_tracker.cc" "src/CMakeFiles/screp_core.dir/core/eager_tracker.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/eager_tracker.cc.o.d"
+  "/root/repo/src/core/session_tracker.cc" "src/CMakeFiles/screp_core.dir/core/session_tracker.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/session_tracker.cc.o.d"
+  "/root/repo/src/core/sync_policy.cc" "src/CMakeFiles/screp_core.dir/core/sync_policy.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/sync_policy.cc.o.d"
+  "/root/repo/src/core/table_version_tracker.cc" "src/CMakeFiles/screp_core.dir/core/table_version_tracker.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/table_version_tracker.cc.o.d"
+  "/root/repo/src/core/version_tracker.cc" "src/CMakeFiles/screp_core.dir/core/version_tracker.cc.o" "gcc" "src/CMakeFiles/screp_core.dir/core/version_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/screp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_core.dir/core/consistency_level.cc.o"
+  "CMakeFiles/screp_core.dir/core/consistency_level.cc.o.d"
+  "CMakeFiles/screp_core.dir/core/eager_tracker.cc.o"
+  "CMakeFiles/screp_core.dir/core/eager_tracker.cc.o.d"
+  "CMakeFiles/screp_core.dir/core/session_tracker.cc.o"
+  "CMakeFiles/screp_core.dir/core/session_tracker.cc.o.d"
+  "CMakeFiles/screp_core.dir/core/sync_policy.cc.o"
+  "CMakeFiles/screp_core.dir/core/sync_policy.cc.o.d"
+  "CMakeFiles/screp_core.dir/core/table_version_tracker.cc.o"
+  "CMakeFiles/screp_core.dir/core/table_version_tracker.cc.o.d"
+  "CMakeFiles/screp_core.dir/core/version_tracker.cc.o"
+  "CMakeFiles/screp_core.dir/core/version_tracker.cc.o.d"
+  "libscrep_core.a"
+  "libscrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

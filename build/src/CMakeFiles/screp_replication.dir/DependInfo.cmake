@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/certifier.cc" "src/CMakeFiles/screp_replication.dir/replication/certifier.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/certifier.cc.o.d"
+  "/root/repo/src/replication/load_balancer.cc" "src/CMakeFiles/screp_replication.dir/replication/load_balancer.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/load_balancer.cc.o.d"
+  "/root/repo/src/replication/message.cc" "src/CMakeFiles/screp_replication.dir/replication/message.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/message.cc.o.d"
+  "/root/repo/src/replication/proxy.cc" "src/CMakeFiles/screp_replication.dir/replication/proxy.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/proxy.cc.o.d"
+  "/root/repo/src/replication/replica.cc" "src/CMakeFiles/screp_replication.dir/replication/replica.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/replica.cc.o.d"
+  "/root/repo/src/replication/system.cc" "src/CMakeFiles/screp_replication.dir/replication/system.cc.o" "gcc" "src/CMakeFiles/screp_replication.dir/replication/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/screp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

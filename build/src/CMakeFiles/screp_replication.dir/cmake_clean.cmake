@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_replication.dir/replication/certifier.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/certifier.cc.o.d"
+  "CMakeFiles/screp_replication.dir/replication/load_balancer.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/load_balancer.cc.o.d"
+  "CMakeFiles/screp_replication.dir/replication/message.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/message.cc.o.d"
+  "CMakeFiles/screp_replication.dir/replication/proxy.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/proxy.cc.o.d"
+  "CMakeFiles/screp_replication.dir/replication/replica.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/replica.cc.o.d"
+  "CMakeFiles/screp_replication.dir/replication/system.cc.o"
+  "CMakeFiles/screp_replication.dir/replication/system.cc.o.d"
+  "libscrep_replication.a"
+  "libscrep_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_sim.dir/sim/resource.cc.o"
+  "CMakeFiles/screp_sim.dir/sim/resource.cc.o.d"
+  "CMakeFiles/screp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/screp_sim.dir/sim/simulator.cc.o.d"
+  "libscrep_sim.a"
+  "libscrep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

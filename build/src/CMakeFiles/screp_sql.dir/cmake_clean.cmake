@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/statement.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/statement.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/table_set.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/table_set.cc.o.d"
+  "CMakeFiles/screp_sql.dir/sql/token.cc.o"
+  "CMakeFiles/screp_sql.dir/sql/token.cc.o.d"
+  "libscrep_sql.a"
+  "libscrep_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscrep_sql.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_storage.dir/storage/database.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/table.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/transaction.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/transaction.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/value.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/value.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/wal.cc.o.d"
+  "CMakeFiles/screp_storage.dir/storage/write_set.cc.o"
+  "CMakeFiles/screp_storage.dir/storage/write_set.cc.o.d"
+  "libscrep_storage.a"
+  "libscrep_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

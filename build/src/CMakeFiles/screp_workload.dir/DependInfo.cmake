@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cc" "src/CMakeFiles/screp_workload.dir/workload/client.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/client.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/screp_workload.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/screp_workload.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/micro.cc" "src/CMakeFiles/screp_workload.dir/workload/micro.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/micro.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/CMakeFiles/screp_workload.dir/workload/tpcw.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/tpcw.cc.o.d"
+  "/root/repo/src/workload/tpcw_schema.cc" "src/CMakeFiles/screp_workload.dir/workload/tpcw_schema.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/tpcw_schema.cc.o.d"
+  "/root/repo/src/workload/tpcw_transactions.cc" "src/CMakeFiles/screp_workload.dir/workload/tpcw_transactions.cc.o" "gcc" "src/CMakeFiles/screp_workload.dir/workload/tpcw_transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/screp_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/screp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

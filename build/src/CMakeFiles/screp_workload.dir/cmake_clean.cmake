@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screp_workload.dir/workload/client.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/client.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/experiment.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/experiment.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/metrics.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/metrics.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/micro.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/micro.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/tpcw.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/tpcw.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/tpcw_schema.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/tpcw_schema.cc.o.d"
+  "CMakeFiles/screp_workload.dir/workload/tpcw_transactions.cc.o"
+  "CMakeFiles/screp_workload.dir/workload/tpcw_transactions.cc.o.d"
+  "libscrep_workload.a"
+  "libscrep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_staleness_test.dir/bounded_staleness_test.cc.o"
+  "CMakeFiles/bounded_staleness_test.dir/bounded_staleness_test.cc.o.d"
+  "bounded_staleness_test"
+  "bounded_staleness_test.pdb"
+  "bounded_staleness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_staleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certifier_test.dir/certifier_test.cc.o"
+  "CMakeFiles/certifier_test.dir/certifier_test.cc.o.d"
+  "certifier_test"
+  "certifier_test.pdb"
+  "certifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_checker_test.dir/consistency_checker_test.cc.o"
+  "CMakeFiles/consistency_checker_test.dir/consistency_checker_test.cc.o.d"
+  "consistency_checker_test"
+  "consistency_checker_test.pdb"
+  "consistency_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

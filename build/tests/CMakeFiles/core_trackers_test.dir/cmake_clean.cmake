@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trackers_test.dir/core_trackers_test.cc.o"
+  "CMakeFiles/core_trackers_test.dir/core_trackers_test.cc.o.d"
+  "core_trackers_test"
+  "core_trackers_test.pdb"
+  "core_trackers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trackers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

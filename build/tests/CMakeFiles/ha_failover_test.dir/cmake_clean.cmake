@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_failover_test.dir/ha_failover_test.cc.o"
+  "CMakeFiles/ha_failover_test.dir/ha_failover_test.cc.o.d"
+  "ha_failover_test"
+  "ha_failover_test.pdb"
+  "ha_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_client_test.dir/metrics_client_test.cc.o"
+  "CMakeFiles/metrics_client_test.dir/metrics_client_test.cc.o.d"
+  "metrics_client_test"
+  "metrics_client_test.pdb"
+  "metrics_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_workload_test.dir/micro_workload_test.cc.o"
+  "CMakeFiles/micro_workload_test.dir/micro_workload_test.cc.o.d"
+  "micro_workload_test"
+  "micro_workload_test.pdb"
+  "micro_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

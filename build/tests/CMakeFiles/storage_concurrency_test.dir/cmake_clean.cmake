@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_concurrency_test.dir/storage_concurrency_test.cc.o"
+  "CMakeFiles/storage_concurrency_test.dir/storage_concurrency_test.cc.o.d"
+  "storage_concurrency_test"
+  "storage_concurrency_test.pdb"
+  "storage_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

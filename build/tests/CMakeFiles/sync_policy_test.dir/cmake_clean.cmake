@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_policy_test.dir/sync_policy_test.cc.o"
+  "CMakeFiles/sync_policy_test.dir/sync_policy_test.cc.o.d"
+  "sync_policy_test"
+  "sync_policy_test.pdb"
+  "sync_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

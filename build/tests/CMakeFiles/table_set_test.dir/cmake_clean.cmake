@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_set_test.dir/table_set_test.cc.o"
+  "CMakeFiles/table_set_test.dir/table_set_test.cc.o.d"
+  "table_set_test"
+  "table_set_test.pdb"
+  "table_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_set_test.dir/write_set_test.cc.o"
+  "CMakeFiles/write_set_test.dir/write_set_test.cc.o.d"
+  "write_set_test"
+  "write_set_test.pdb"
+  "write_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
