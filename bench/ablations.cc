@@ -38,6 +38,7 @@ void EarlyCertificationAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kLazyCoarse, 8, 16);
     config.system.proxy.early_certification = early;
+    ApplyObservability(options, early ? "earlyon" : "earlyoff", &config);
     const ExperimentResult r = MustRun(workload, config);
     std::printf("%-22s %8.1f %10.2f %12lld %12lld\n",
                 early ? "early-cert ON" : "early-cert OFF",
@@ -63,6 +64,10 @@ void TableSetGranularityAblation(const BenchOptions& options) {
       micro.update_fraction = 0.25;
       MicroWorkload workload(micro);
       ExperimentConfig config = BaseConfig(options, level, 8, 8);
+      ApplyObservability(options,
+                         std::string(ConsistencyLevelName(level)) + "t" +
+                             std::to_string(tables),
+                         &config);
       const ExperimentResult r = MustRun(workload, config);
       delays[i++] = r.sync_delay_ms;
     }
@@ -84,6 +89,9 @@ void GroupCommitAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kLazyCoarse, 4, 8);
     config.system.certifier.log_force_time = Millis(force_ms);
+    ApplyObservability(
+        options, "force" + std::to_string(static_cast<int>(force_ms * 10)),
+        &config);
     const ExperimentResult r = MustRun(workload, config);
     std::printf("%-18.1f %8.1f %12.2f\n", force_ms, r.throughput_tps,
                 r.certify_ms);
@@ -103,6 +111,10 @@ void RoutingPolicyAblation(const BenchOptions& options) {
     config.system.proxy = TpcwProxyConfig();
     config.system.routing = routing;
     config.mean_think_time = Millis(200);
+    ApplyObservability(options,
+                       routing == RoutingPolicy::kLeastActive ? "leastactive"
+                                                              : "roundrobin",
+                       &config);
     const ExperimentResult r = MustRun(workload, config);
     std::printf("%-14s %8.1f %10.2f\n",
                 routing == RoutingPolicy::kLeastActive ? "least-active"
@@ -125,6 +137,9 @@ void SerializableModeAblation(const BenchOptions& options) {
     config.system.proxy = TpcwProxyConfig();
     config.system.certifier.mode = mode;
     config.mean_think_time = Millis(200);
+    ApplyObservability(
+        options, mode == CertificationMode::kGsi ? "gsi" : "serializable",
+        &config);
     const ExperimentResult r = MustRun(workload, config);
     std::printf("%-14s %8.1f %12lld %12lld\n",
                 mode == CertificationMode::kGsi ? "GSI" : "serializable",
@@ -147,6 +162,9 @@ void RefreshCostAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kEager, 8, 8);
     config.system.proxy.refresh_base = Millis(base_ms);
+    ApplyObservability(
+        options, "refresh" + std::to_string(static_cast<int>(base_ms * 10)),
+        &config);
     const ExperimentResult r = MustRun(workload, config);
     std::printf("%-18.1f %10.1f %12.2f\n", base_ms, r.throughput_tps,
                 r.global_ms);

@@ -21,6 +21,12 @@ struct BenchOptions {
   SimTime warmup = Seconds(2);
   SimTime duration = Seconds(20);
   uint64_t seed = 42;
+  /// --metrics-json <path>: write each run's metrics snapshot + sampled
+  /// time series as JSON (multi-run drivers tag the path per run).
+  std::string metrics_json;
+  /// --trace-json <path>: write each run's per-transaction trace in
+  /// Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+  std::string trace_json;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -34,9 +40,44 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.duration = Seconds(60);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      options.metrics_json = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      options.metrics_json = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      options.trace_json = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      options.trace_json = argv[++i];
     }
   }
   return options;
+}
+
+/// Inserts `tag` before the path's extension ("out.json" + "lsc25" ->
+/// "out.lsc25.json") so multi-run drivers write one file per run.
+inline std::string TaggedPath(const std::string& path,
+                              const std::string& tag) {
+  if (tag.empty()) return path;
+  const size_t dot = path.find_last_of('.');
+  const size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+/// Copies the observability output options into one run's config, tagging
+/// the paths with a per-run label.
+inline void ApplyObservability(const BenchOptions& options,
+                               const std::string& tag,
+                               ExperimentConfig* config) {
+  if (!options.metrics_json.empty()) {
+    config->metrics_json_path = TaggedPath(options.metrics_json, tag);
+  }
+  if (!options.trace_json.empty()) {
+    config->trace_json_path = TaggedPath(options.trace_json, tag);
+  }
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

@@ -34,7 +34,6 @@ void PrintTimeline(const MetricsCollector& metrics, SimTime crash_at,
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseOptions(argc, argv);
-  (void)options;
   PrintHeader("Availability timeline: replica crash at t=4s, recovery at "
               "t=8s (LSC, 4 replicas, 16 clients)",
               "the crash-recovery design of §IV (extension)");
@@ -47,6 +46,8 @@ int Main(int argc, char** argv) {
   SystemConfig sys_config;
   sys_config.level = ConsistencyLevel::kLazyCoarse;
   sys_config.replica_count = 4;
+  if (!options.trace_json.empty()) sys_config.obs.tracing = true;
+  if (!options.metrics_json.empty()) sys_config.obs.sample_period = Millis(500);
   auto system_or = ReplicatedSystem::Create(
       &sim, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
@@ -79,11 +80,28 @@ int Main(int argc, char** argv) {
   const SimTime recover_at = Seconds(8);
   sim.Schedule(crash_at, [&system]() { system->CrashReplica(1); });
   sim.Schedule(recover_at, [&system]() { system->RecoverReplica(1); });
-  sim.Schedule(Seconds(12), [&clients]() {
+  sim.Schedule(Seconds(12), [&clients, &system]() {
     for (auto& client : clients) client->Stop();
+    system->obs()->StopSampling();
   });
   sim.RunUntil(Seconds(12));
   sim.RunAll();
+
+  if (!options.metrics_json.empty()) {
+    const Status st = system->obs()->WriteMetricsJson(options.metrics_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!options.trace_json.empty()) {
+    const Status st = system->obs()->WriteTraceJson(options.trace_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
 
   PrintTimeline(metrics, crash_at, recover_at);
   std::printf(

@@ -39,6 +39,10 @@ int Main(int argc, char** argv) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
+      ApplyObservability(options,
+                         std::string(ConsistencyLevelName(level)) +
+                             std::to_string(static_cast<int>(mix * 100)),
+                         &config);
 
       const ExperimentResult result = MustRun(workload, config);
       std::printf("%10.1f", result.throughput_tps);

@@ -29,6 +29,10 @@ void RunMix(const BenchOptions& options, double mix) {
     config.warmup = options.warmup;
     config.duration = options.duration;
     config.seed = options.seed;
+    ApplyObservability(options,
+                       std::string(ConsistencyLevelName(level)) +
+                           std::to_string(static_cast<int>(mix * 100)),
+                       &config);
 
     const ExperimentResult r = MustRun(workload, config);
     const double total = r.version_ms + r.queries_ms + r.certify_ms +

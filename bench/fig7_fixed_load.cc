@@ -36,6 +36,10 @@ void RunMix(const BenchOptions& options, TpcwMix mix) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
+      ApplyObservability(options,
+                         std::string(ConsistencyLevelName(level)) + "r" +
+                             std::to_string(replicas),
+                         &config);
       const ExperimentResult r = MustRun(workload, config);
       std::printf("%10.2f", r.mean_response_ms);
       std::fflush(stdout);

@@ -1,0 +1,60 @@
+// Minimal JSON utilities for the observability layer.
+//
+// The exporters in this directory hand-write JSON (the formats are small
+// and fixed); JsonEscape covers the one hard part.  JsonValue is a tiny
+// recursive-descent parser used to round-trip those exports in tests and
+// by any tool that wants to read a run's metrics back.
+
+#ifndef SCREP_OBS_JSON_H_
+#define SCREP_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace screp::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// A parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  double number() const { return number_; }
+  bool boolean() const { return boolean_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool boolean_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_JSON_H_

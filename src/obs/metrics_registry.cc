@@ -1,0 +1,171 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace screp::obs {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  SCREP_CHECK_MSG(callback_gauges_.count(name) == 0,
+                  "gauge name already taken by a callback gauge: " << name);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<double()> fn) {
+  SCREP_CHECK_MSG(fn != nullptr, "null callback gauge: " << name);
+  SCREP_CHECK_MSG(
+      gauges_.count(name) == 0 && callback_gauges_.count(name) == 0,
+      "duplicate gauge registration: " << name);
+  callback_gauges_.emplace(name, std::move(fn));
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::vector<std::string> names;
+  names.reserve(gauges_.size() + callback_gauges_.size());
+  // Both maps are sorted; merge keeps the combined list sorted.
+  auto it1 = gauges_.begin();
+  auto it2 = callback_gauges_.begin();
+  while (it1 != gauges_.end() || it2 != callback_gauges_.end()) {
+    if (it2 == callback_gauges_.end() ||
+        (it1 != gauges_.end() && it1->first < it2->first)) {
+      names.push_back((it1++)->first);
+    } else {
+      names.push_back((it2++)->first);
+    }
+  }
+  return names;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second->value();
+  }
+  if (auto it = callback_gauges_.find(name); it != callback_gauges_.end()) {
+    return it->second();
+  }
+  return 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    snapshot.gauges[name] = fn();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramSummary summary;
+    summary.count = hist->count();
+    summary.mean = hist->mean();
+    summary.p50 = hist->Percentile(0.5);
+    summary.p95 = hist->Percentile(0.95);
+    summary.p99 = hist->Percentile(0.99);
+    summary.max = hist->max();
+    snapshot.histograms[name] = summary;
+  }
+  return snapshot;
+}
+
+namespace {
+
+/// Shortest representation that round-trips a double.
+std::string NumberToJson(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << NumberToJson(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
+        << ",\"mean\":" << NumberToJson(h.mean)
+        << ",\"p50\":" << NumberToJson(h.p50)
+        << ",\"p95\":" << NumberToJson(h.p95)
+        << ",\"p99\":" << NumberToJson(h.p99)
+        << ",\"max\":" << NumberToJson(h.max) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Result<MetricsRegistry::Snapshot> MetricsRegistry::SnapshotFromJson(
+    const std::string& json) {
+  SCREP_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("registry JSON is not an object");
+  }
+  Snapshot snapshot;
+  if (const JsonValue* counters = root.Find("counters")) {
+    for (const auto& [name, value] : counters->object()) {
+      snapshot.counters[name] = static_cast<int64_t>(value.number());
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    for (const auto& [name, value] : gauges->object()) {
+      snapshot.gauges[name] = value.number();
+    }
+  }
+  if (const JsonValue* histograms = root.Find("histograms")) {
+    for (const auto& [name, value] : histograms->object()) {
+      Snapshot::HistogramSummary summary;
+      auto field = [&value](const char* key) {
+        const JsonValue* v = value.Find(key);
+        return v != nullptr ? v->number() : 0.0;
+      };
+      summary.count = static_cast<int64_t>(field("count"));
+      summary.mean = field("mean");
+      summary.p50 = field("p50");
+      summary.p95 = field("p95");
+      summary.p99 = field("p99");
+      summary.max = field("max");
+      snapshot.histograms[name] = summary;
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace screp::obs

@@ -1,0 +1,116 @@
+// MetricsRegistry: the system-wide catalog of named instruments.
+//
+// Three instrument kinds, matching what the middleware needs to expose
+// (paper §V is entirely about *where time goes*, so every component
+// publishes its internal signals here):
+//   - Counter: monotonically increasing event count (certified commits,
+//     aborts by reason, dispatches, ...).
+//   - Gauge: an instantaneous value, either set by the owning component
+//     or computed on demand by a registered callback (queue depths,
+//     per-replica version lag V_system - V_local, utilization).
+//   - Histogram: a distribution (group-commit batch sizes), reusing the
+//     log-bucketed common/stats.h histogram.
+//
+// Instruments are created on first access and never removed, so a
+// component promoted after a failover continues its predecessor's series
+// by simply asking for the same names.  The whole registry is
+// snapshotable and exportable as JSON.
+
+#ifndef SCREP_OBS_METRICS_REGISTRY_H_
+#define SCREP_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace screp::obs {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// An instantaneous value set by its owning component.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// The named-instrument catalog.  Not thread-safe by design: everything
+/// runs on the simulator's event loop.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use.  The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the settable gauge registered under `name`, creating it on
+  /// first use.  `name` must not collide with a callback gauge.
+  Gauge* GetGauge(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a gauge whose value is computed on demand (polled by the
+  /// Sampler and by snapshots).  `name` must be unused.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<double()> fn);
+
+  /// All gauge names (settable + callback), sorted — the sampler's poll
+  /// set.
+  std::vector<std::string> GaugeNames() const;
+
+  /// Current value of the gauge `name` (callback gauges are evaluated);
+  /// 0 for unknown names.
+  double GaugeValue(const std::string& name) const;
+
+  /// Point-in-time values of every instrument.
+  struct Snapshot {
+    struct HistogramSummary {
+      int64_t count = 0;
+      double mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
+    };
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSummary> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// The snapshot as a JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}.
+  std::string ToJson() const;
+
+  /// Parses a ToJson() document back into a snapshot (round-trip for
+  /// tests and offline tooling).
+  static Result<Snapshot> SnapshotFromJson(const std::string& json);
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::function<double()>> callback_gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_METRICS_REGISTRY_H_

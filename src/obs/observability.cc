@@ -1,0 +1,40 @@
+#include "obs/observability.h"
+
+#include <fstream>
+
+namespace screp::obs {
+
+Observability::Observability(Simulator* sim, const ObsConfig& config)
+    : config_(config),
+      tracer_(config.trace_capacity),
+      sampler_(sim, &registry_) {
+  tracer_.set_enabled(config.tracing);
+}
+
+void Observability::StartSampling() {
+  if (config_.sample_period > 0 && !sampler_.running()) {
+    sampler_.Start(config_.sample_period);
+  }
+}
+
+std::string Observability::MetricsJson() const {
+  std::string out = "{\"registry\":";
+  out += registry_.ToJson();
+  out += ",\"sampler\":";
+  out += sampler_.ToJson();
+  out += "}";
+  return out;
+}
+
+Status Observability::WriteMetricsJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open metrics output: " + path);
+  }
+  file << MetricsJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace screp::obs

@@ -1,0 +1,71 @@
+// The observability facade owned by ReplicatedSystem: one MetricsRegistry,
+// one span Tracer and one gauge Sampler per system, handed to every
+// middleware component at wiring time.
+//
+// Everything is off by default (ObsConfig{}) and the instrumentation in
+// the components is null-/enabled-guarded, so the default configuration
+// adds nothing to a run and never perturbs virtual-time results.
+
+#ifndef SCREP_OBS_OBSERVABILITY_H_
+#define SCREP_OBS_OBSERVABILITY_H_
+
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace screp::obs {
+
+/// What to collect during a run.
+struct ObsConfig {
+  /// Record per-transaction spans into the trace ring buffer.
+  bool tracing = false;
+  /// Span ring-buffer capacity (oldest spans evicted beyond it).
+  size_t trace_capacity = 1 << 16;
+  /// Gauge sampling period (0 = sampler off).
+  SimTime sample_period = 0;
+};
+
+/// Bundles the three observability pieces for one system.
+class Observability {
+ public:
+  Observability(Simulator* sim, const ObsConfig& config);
+
+  MetricsRegistry* registry() { return &registry_; }
+  Tracer* tracer() { return &tracer_; }
+  Sampler* sampler() { return &sampler_; }
+  const Sampler* sampler() const { return &sampler_; }
+
+  /// Starts the periodic sampler if the config asked for one.
+  void StartSampling();
+
+  /// Stops the sampler daemon so the event queue can drain (mirrors
+  /// ReplicatedSystem::StopGc).
+  void StopSampling() { sampler_.Stop(); }
+
+  /// The registry snapshot plus the sampled time series as one JSON
+  /// object: {"registry":{...},"sampler":{...}}.
+  std::string MetricsJson() const;
+
+  /// Writes MetricsJson() to `path`.
+  Status WriteMetricsJson(const std::string& path) const;
+
+  /// Writes the trace in Chrome trace-event JSON to `path`.
+  Status WriteTraceJson(const std::string& path) const {
+    return tracer_.WriteChromeJson(path);
+  }
+
+ private:
+  ObsConfig config_;
+  MetricsRegistry registry_;
+  Tracer tracer_;
+  Sampler sampler_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_OBSERVABILITY_H_

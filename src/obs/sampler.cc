@@ -1,0 +1,60 @@
+#include "obs/sampler.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace screp::obs {
+
+Sampler::Sampler(Simulator* sim, MetricsRegistry* registry)
+    : sim_(sim), registry_(registry) {}
+
+void Sampler::Start(SimTime period) {
+  SCREP_CHECK_MSG(period > 0, "sampler period must be positive");
+  SCREP_CHECK_MSG(!running_, "sampler already running");
+  period_ = period;
+  running_ = true;
+  sim_->Schedule(period_, [this]() { Tick(); });
+}
+
+void Sampler::Tick() {
+  if (!running_) return;
+  timestamps_.push_back(sim_->Now());
+  for (const std::string& name : registry_->GaugeNames()) {
+    std::vector<double>& values = series_[name];
+    // A gauge registered mid-run starts with zeros so every series has
+    // one value per timestamp.
+    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
+    values.push_back(registry_->GaugeValue(name));
+  }
+  sim_->Schedule(period_, [this]() { Tick(); });
+}
+
+std::string Sampler::ToJson() const {
+  std::ostringstream out;
+  out << "{\"period_us\":" << period_ << ",\"timestamps\":[";
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << timestamps_[i];
+  }
+  out << "],\"series\":{";
+  bool first = true;
+  for (const auto& [name, values] : series_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out << ",";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+      out << buf;
+    }
+    out << "]";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace screp::obs

@@ -1,0 +1,63 @@
+// Periodic gauge sampler: a daemon event on the Simulator that polls
+// every gauge in a MetricsRegistry into time series.
+//
+// Samples are taken at t = period, 2*period, ... — the right edges of
+// MetricsCollector's timeline buckets when the harness uses the same
+// width — so the internal queue/lag series line up with the client-side
+// throughput timeline.  Like the GC daemon, the sampler must be stopped
+// at the end of a run so the event queue can drain.
+
+#ifndef SCREP_OBS_SAMPLER_H_
+#define SCREP_OBS_SAMPLER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "obs/metrics_registry.h"
+#include "sim/simulator.h"
+
+namespace screp::obs {
+
+/// Polls registry gauges on a fixed virtual-time period.
+class Sampler {
+ public:
+  Sampler(Simulator* sim, MetricsRegistry* registry);
+
+  /// Begins sampling every `period` (> 0) from now; the first sample is
+  /// taken at Now() + period.
+  void Start(SimTime period);
+
+  /// Stops sampling (the pending tick becomes a no-op).
+  void Stop() { running_ = false; }
+
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+
+  /// Virtual times at which samples were taken.
+  const std::vector<SimTime>& timestamps() const { return timestamps_; }
+
+  /// One value per timestamp for every gauge.  Gauges registered after
+  /// sampling started are zero-padded so all series stay aligned.
+  const std::map<std::string, std::vector<double>>& series() const {
+    return series_;
+  }
+
+  /// {"period_us":N,"timestamps":[...],"series":{name:[...]}}.
+  std::string ToJson() const;
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  MetricsRegistry* registry_;
+  SimTime period_ = 0;
+  bool running_ = false;
+  std::vector<SimTime> timestamps_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_SAMPLER_H_

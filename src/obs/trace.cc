@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace screp::obs {
+
+Tracer::Tracer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void Tracer::Add(const TraceSpan& span) {
+  if (!enabled_) return;
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = span;
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest span.
+  ring_[head_] = span;
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+void Tracer::SetProcessName(int32_t pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::vector<TraceSpan> spans;
+  spans.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    spans.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return spans;
+}
+
+void Tracer::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+        << JsonEscape(name) << "\"}}";
+  }
+  for (size_t i = 0; i < size_; ++i) {
+    const TraceSpan& span = ring_[(head_ + i) % ring_.size()];
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << span.name << "\",\"cat\":\"" << span.category
+        << "\",\"ph\":\"X\",\"ts\":" << span.start
+        << ",\"dur\":" << span.duration << ",\"pid\":" << span.pid
+        << ",\"tid\":" << span.tid << ",\"args\":{\"txn\":" << span.txn;
+    if (span.arg_name != nullptr) {
+      out << ",\"" << span.arg_name << "\":" << span.arg_value;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  file << ToChromeJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace screp::obs

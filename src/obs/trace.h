@@ -1,0 +1,99 @@
+// Per-transaction tracing into a bounded ring buffer.
+//
+// Each transaction carries its TxnId as the trace id; components emit
+// spans for every stage it passes through (lb.route, proxy.start_delay,
+// per-statement execution, certifier.certify, certifier.log_force,
+// proxy.commit, eager.global_wait).  Timestamps are simulator virtual
+// time (already microseconds, the unit Chrome tracing expects), so a
+// whole run can be dumped as Chrome trace-event JSON and opened in
+// chrome://tracing or Perfetto.
+//
+// The buffer is a fixed-capacity ring: when full, the oldest spans are
+// overwritten and counted as dropped.  A disabled tracer (the default)
+// ignores Add() after one branch, so instrumentation can stay in place
+// permanently.
+
+#ifndef SCREP_OBS_TRACE_H_
+#define SCREP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace screp::obs {
+
+/// Chrome-trace process ids used for the middleware components; replica
+/// r maps to kReplicaPidBase + r.
+constexpr int32_t kLbPid = 1;
+constexpr int32_t kCertifierPid = 2;
+constexpr int32_t kReplicaPidBase = 10;
+
+/// One completed span.  Name/category/arg_name must be string literals
+/// (spans are recorded on hot paths; no allocation happens per span).
+struct TraceSpan {
+  const char* name = "";
+  const char* category = "";
+  int32_t pid = 0;
+  /// Chrome-trace thread id; per-transaction spans use the transaction id
+  /// so each transaction renders as its own row.
+  int64_t tid = 0;
+  SimTime start = 0;
+  SimTime duration = 0;
+  /// Transaction this span belongs to (0 = none, e.g. a group-commit
+  /// batch force).
+  TxnId txn = 0;
+  /// Optional extra argument (statement index, batch size, replica id).
+  const char* arg_name = nullptr;
+  int64_t arg_value = 0;
+};
+
+/// Bounded ring buffer of spans.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Records a span (no-op while disabled).  When the ring is full the
+  /// oldest span is evicted.
+  void Add(const TraceSpan& span);
+
+  /// Names a Chrome-trace process id (emitted as metadata events).
+  void SetProcessName(int32_t pid, std::string name);
+
+  /// Spans currently retained, oldest first.
+  std::vector<TraceSpan> Spans() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  /// Spans evicted because the ring was full.
+  int64_t dropped() const { return dropped_; }
+
+  /// Discards all recorded spans (not the process names).
+  void Clear();
+
+  /// The trace as Chrome trace-event JSON (the {"traceEvents":[...]}
+  /// object form).
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceSpan> ring_;
+  size_t head_ = 0;  ///< index of the oldest span
+  size_t size_ = 0;
+  int64_t dropped_ = 0;
+  std::map<int32_t, std::string> process_names_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_TRACE_H_

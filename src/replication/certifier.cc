@@ -17,14 +17,49 @@ Certifier::Certifier(Simulator* sim, CertifierConfig config,
       eager_tracker_(replica_count),
       replica_down_(static_cast<size_t>(replica_count), false) {}
 
+void Certifier::SetObservability(obs::Observability* obs) {
+  if (obs == nullptr) {
+    tracer_ = nullptr;
+    ctr_certified_ = nullptr;
+    ctr_aborts_ww_ = nullptr;
+    ctr_aborts_rw_ = nullptr;
+    ctr_aborts_window_ = nullptr;
+    ctr_forces_ = nullptr;
+    batch_size_hist_ = nullptr;
+    last_batch_gauge_ = nullptr;
+    return;
+  }
+  tracer_ = obs->tracer();
+  obs::MetricsRegistry* registry = obs->registry();
+  ctr_certified_ = registry->GetCounter("certifier.certified");
+  ctr_aborts_ww_ = registry->GetCounter("certifier.aborts.ww");
+  ctr_aborts_rw_ = registry->GetCounter("certifier.aborts.rw");
+  ctr_aborts_window_ = registry->GetCounter("certifier.aborts.window");
+  ctr_forces_ = registry->GetCounter("certifier.forces");
+  batch_size_hist_ = registry->GetHistogram("certifier.batch_size");
+  last_batch_gauge_ = registry->GetGauge("certifier.last_batch_size");
+}
+
 void Certifier::SubmitCertification(WriteSet ws) {
   SCREP_CHECK_MSG(!ws.empty(), "read-only writesets never reach the certifier");
   SCREP_CHECK(ws.origin != kNoReplica);
   // Single CPU server => certifications are processed in arrival order,
   // which keeps version assignment deterministic.
-  cpu_.Submit(config_.certify_cpu_time, [this, ws = std::move(ws)]() mutable {
-    Certify(std::move(ws));
-  });
+  const SimTime enqueued = sim_->Now();
+  cpu_.Submit(config_.certify_cpu_time,
+              [this, enqueued, ws = std::move(ws)]() mutable {
+                const TxnId txn = ws.txn_id;
+                Certify(std::move(ws));
+                if (tracer_ != nullptr && !muted_) {
+                  tracer_->Add({.name = "certifier.certify",
+                                .category = "certifier",
+                                .pid = obs::kCertifierPid,
+                                .tid = static_cast<int64_t>(txn),
+                                .start = enqueued,
+                                .duration = sim_->Now() - enqueued,
+                                .txn = txn});
+                }
+              });
 }
 
 void Certifier::Certify(WriteSet ws) {
@@ -44,6 +79,14 @@ void Certifier::Certify(WriteSet ws) {
   if (ws.snapshot_version < window_start) {
     ++window_aborts_;
     ++aborts_;
+    if (!muted_) {
+      if (ctr_aborts_window_ != nullptr) ctr_aborts_window_->Increment();
+      SCREP_LOG(kWarn) << "[certifier] conservative window abort of txn "
+                       << ws.txn_id << ": snapshot " << ws.snapshot_version
+                       << " predates the retained window (starts at "
+                       << window_start << ", conflict_window="
+                       << config_.conflict_window << ")";
+    }
     CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
     decided_[ws.txn_id] = decision;
     if (!muted_) decision_cb_(ws.origin, decision);
@@ -63,6 +106,19 @@ void Certifier::Certify(WriteSet ws) {
     if (ww || rw) {
       ++aborts_;
       if (!ww && rw) ++rw_aborts_;
+      if (!muted_) {
+        if (!ww && rw) {
+          if (ctr_aborts_rw_ != nullptr) ctr_aborts_rw_->Increment();
+        } else if (ctr_aborts_ww_ != nullptr) {
+          ctr_aborts_ww_->Increment();
+        }
+        SCREP_LOG(kDebug) << "[certifier] certification abort of txn "
+                          << ws.txn_id << " from replica " << ws.origin
+                          << " (snapshot " << ws.snapshot_version << "): "
+                          << (ww ? "write-write" : "read-write")
+                          << " conflict with committed version "
+                          << it->commit_version;
+      }
       CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
       decided_[ws.txn_id] = decision;
       if (!muted_) decision_cb_(ws.origin, decision);
@@ -72,6 +128,7 @@ void Certifier::Certify(WriteSet ws) {
   // Commit: assign the next version in the global total order.
   ws.commit_version = ++v_commit_;
   ++certified_;
+  if (!muted_ && ctr_certified_ != nullptr) ctr_certified_->Increment();
   decided_[ws.txn_id] =
       CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version};
   recent_.push_back(ws);
@@ -89,24 +146,47 @@ void Certifier::MakeDurableAndAnnounce(WriteSet ws) {
   force_batch_.push_back(std::move(ws));
   if (force_in_flight_) return;
   force_in_flight_ = true;
-  auto force_next = std::make_shared<std::function<void()>>();
-  *force_next = [this, force_next]() {
-    std::vector<WriteSet> batch;
-    batch.swap(force_batch_);
-    disk_.Submit(config_.log_force_time, [this, batch = std::move(batch),
-                                          force_next]() {
-      for (const WriteSet& ws : batch) {
-        wal_.Append(ws, /*force=*/true);
-        Announce(ws);
-      }
-      if (!force_batch_.empty()) {
-        (*force_next)();
-      } else {
-        force_in_flight_ = false;
-      }
-    });
-  };
-  (*force_next)();
+  ForceNext();
+}
+
+void Certifier::ForceNext() {
+  std::vector<WriteSet> batch;
+  batch.swap(force_batch_);
+  const SimTime force_start = sim_->Now();
+  disk_.Submit(
+      config_.log_force_time,
+      [this, batch = std::move(batch), force_start]() {
+        const auto batch_size = static_cast<int64_t>(batch.size());
+        if (!muted_) {
+          if (ctr_forces_ != nullptr) ctr_forces_->Increment();
+          if (batch_size_hist_ != nullptr) {
+            batch_size_hist_->Add(static_cast<double>(batch_size));
+          }
+          if (last_batch_gauge_ != nullptr) {
+            last_batch_gauge_->Set(static_cast<double>(batch_size));
+          }
+          if (tracer_ != nullptr) {
+            tracer_->Add({.name = "certifier.log_force",
+                          .category = "certifier",
+                          .pid = obs::kCertifierPid,
+                          .tid = 0,
+                          .start = force_start,
+                          .duration = sim_->Now() - force_start,
+                          .txn = 0,
+                          .arg_name = "batch",
+                          .arg_value = batch_size});
+          }
+        }
+        for (const WriteSet& ws : batch) {
+          wal_.Append(ws, /*force=*/true);
+          Announce(ws);
+        }
+        if (!force_batch_.empty()) {
+          ForceNext();
+        } else {
+          force_in_flight_ = false;
+        }
+      });
 }
 
 void Certifier::Announce(const WriteSet& ws) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/eager_tracker.h"
+#include "obs/observability.h"
 #include "replication/message.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -95,6 +96,12 @@ class Certifier {
   void SetMuted(bool muted) { muted_ = muted; }
   bool muted() const { return muted_; }
 
+  /// Attaches the system's observability layer: certification and
+  /// group-commit spans, abort counters and batch-size distribution.
+  /// Only the active (unmuted) certifier should be attached — a standby
+  /// processes the identical stream and would double-count.
+  void SetObservability(obs::Observability* obs);
+
   /// Submits an update transaction's writeset for certification.
   /// `ws.origin` and `ws.snapshot_version` must be filled in.
   void SubmitCertification(WriteSet ws);
@@ -136,6 +143,10 @@ class Certifier {
   Resource* cpu() { return &cpu_; }
   Resource* disk() { return &disk_; }
 
+  /// Writesets certified but still waiting for the in-flight disk force
+  /// (the next group-commit batch) — an instantaneous queue-depth gauge.
+  size_t force_batch_pending() const { return force_batch_.size(); }
+
   bool eager() const { return eager_; }
   int replica_count() const { return replica_count_; }
 
@@ -144,6 +155,9 @@ class Certifier {
   void Certify(WriteSet ws);
   /// Appends to the durable log via group commit, then announces.
   void MakeDurableAndAnnounce(WriteSet ws);
+  /// Forces the pending batch to disk; reschedules itself while
+  /// decisions keep arriving.
+  void ForceNext();
   /// Sends the commit decision + refresh fan-out for a durable batch.
   void Announce(const WriteSet& ws);
 
@@ -179,6 +193,16 @@ class Certifier {
   std::unordered_map<TxnId, CertDecision> decided_;
 
   bool muted_ = false;
+
+  // Observability (all optional; null until SetObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_certified_ = nullptr;
+  obs::Counter* ctr_aborts_ww_ = nullptr;
+  obs::Counter* ctr_aborts_rw_ = nullptr;
+  obs::Counter* ctr_aborts_window_ = nullptr;
+  obs::Counter* ctr_forces_ = nullptr;
+  Histogram* batch_size_hist_ = nullptr;
+  obs::Gauge* last_batch_gauge_ = nullptr;
 
   DecisionCallback decision_cb_;
   RefreshCallback refresh_cb_;

@@ -17,6 +17,14 @@ LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
   (void)sim_;
 }
 
+void LoadBalancer::SetObservability(obs::Observability* obs) {
+  if (obs == nullptr) return;
+  tracer_ = obs->tracer();
+  obs::MetricsRegistry* registry = obs->registry();
+  ctr_dispatched_ = registry->GetCounter("lb.dispatched");
+  ctr_failed_over_ = registry->GetCounter("lb.failed_over");
+}
+
 void LoadBalancer::SetTableSets(
     std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets) {
   table_sets_ = std::move(table_sets);
@@ -62,6 +70,19 @@ void LoadBalancer::OnClientRequest(const TxnRequest& request) {
       OutstandingTxn{request.type, request.session, request.client_id,
                      request.submit_time};
   ++dispatched_;
+  if (ctr_dispatched_ != nullptr) ctr_dispatched_->Increment();
+  if (tracer_ != nullptr) {
+    // An instantaneous routing decision: where this transaction went.
+    tracer_->Add({.name = "lb.route",
+                  .category = "lb",
+                  .pid = obs::kLbPid,
+                  .tid = static_cast<int64_t>(request.txn_id),
+                  .start = sim_->Now(),
+                  .duration = 0,
+                  .txn = request.txn_id,
+                  .arg_name = "replica",
+                  .arg_value = static_cast<int64_t>(replica)});
+  }
   dispatch_cb_(replica, request, required);
 }
 
@@ -96,6 +117,9 @@ void LoadBalancer::MarkReplicaDown(ReplicaId replica) {
   SCREP_CHECK(replica >= 0 && replica < replica_count_);
   down_[static_cast<size_t>(replica)] = true;
   auto& table = outstanding_[static_cast<size_t>(replica)];
+  SCREP_LOG(kInfo) << "[lb] replica " << replica
+                   << " marked down; failing over " << table.size()
+                   << " outstanding transaction(s)";
   for (const auto& [txn_id, info] : table) {
     TxnResponse failure;
     failure.txn_id = txn_id;
@@ -106,6 +130,7 @@ void LoadBalancer::MarkReplicaDown(ReplicaId replica) {
     failure.replica = replica;
     failure.submit_time = info.submit_time;
     ++failed_over_;
+    if (ctr_failed_over_ != nullptr) ctr_failed_over_->Increment();
     client_response_cb_(failure);
   }
   table.clear();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/sync_policy.h"
+#include "obs/observability.h"
 #include "replication/message.h"
 #include "sim/simulator.h"
 
@@ -51,6 +52,10 @@ class LoadBalancer {
   void SetClientResponseCallback(ClientResponseCallback cb) {
     client_response_cb_ = std::move(cb);
   }
+
+  /// Attaches the system's observability layer: routing spans plus
+  /// dispatch / fail-over counters.
+  void SetObservability(obs::Observability* obs);
 
   /// Installs the transaction-type -> table-set dictionary (resolved to
   /// table ids), obtained from the sys_tablesets catalog at startup.
@@ -118,6 +123,11 @@ class LoadBalancer {
   int64_t dispatched_ = 0;
   int64_t failed_over_ = 0;
   bool promoted_ = false;
+
+  // Observability (all optional; null until SetObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_dispatched_ = nullptr;
+  obs::Counter* ctr_failed_over_ = nullptr;
 
   DispatchCallback dispatch_cb_;
   ClientResponseCallback client_response_cb_;

@@ -20,6 +20,39 @@ Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
       cpu_(sim, "replica-" + std::to_string(id) + "-cpu",
            config.cpu_cores) {}
 
+void Proxy::SetObservability(obs::Observability* obs) {
+  if (obs == nullptr) return;
+  tracer_ = obs->tracer();
+  obs::MetricsRegistry* registry = obs->registry();
+  const std::string prefix = "replica" + std::to_string(id_) + ".";
+  ctr_early_aborts_ = registry->GetCounter(prefix + "early_aborts");
+  ctr_refresh_applied_ = registry->GetCounter(prefix + "refresh_applied");
+  ctr_dropped_ = registry->GetCounter(prefix + "dropped_while_down");
+}
+
+void Proxy::EmitSpan(const char* name, TxnId txn, SimTime start,
+                     SimTime duration, const char* arg_name,
+                     int64_t arg_value) {
+  if (tracer_ == nullptr) return;
+  tracer_->Add({.name = name,
+                .category = "proxy",
+                .pid = static_cast<int32_t>(obs::kReplicaPidBase + id_),
+                .tid = static_cast<int64_t>(txn),
+                .start = start,
+                .duration = duration,
+                .txn = txn,
+                .arg_name = arg_name,
+                .arg_value = arg_value});
+}
+
+void Proxy::NoteDroppedWhileDown(const char* what, TxnId txn) {
+  ++dropped_while_down_;
+  if (ctr_dropped_ != nullptr) ctr_dropped_->Increment();
+  SCREP_LOG(kDebug) << "[replica " << id_ << "] dropped " << what
+                    << " for txn " << txn
+                    << (down_ ? " while down" : " (lost in a crash)");
+}
+
 SimTime Proxy::Stochastic(SimTime mean_cost) {
   const double spread = config_.service_spread;
   double cost = static_cast<double>(mean_cost) *
@@ -44,6 +77,10 @@ DbVersion Proxy::OldestActiveSnapshot() const {
 void Proxy::Crash() {
   down_ = true;
   ++epoch_;  // invalidates every in-flight completion callback
+  SCREP_LOG(kWarn) << "[replica " << id_ << "] crash: dropping "
+                   << active_.size() << " in-flight transaction(s) and "
+                   << pending_.size() << " pending writeset(s); V_local="
+                   << v_local();
   active_.clear();
   begin_waiters_.clear();
   version_waiters_.clear();
@@ -81,7 +118,7 @@ void Proxy::Restart() {
 void Proxy::OnTxnRequest(const TxnRequest& request,
                          DbVersion required_version) {
   if (down_) {
-    ++dropped_while_down_;
+    NoteDroppedWhileDown("request", request.txn_id);
     return;  // the load balancer reports the failure to the client
   }
   auto t = std::make_unique<ActiveTxn>();
@@ -120,6 +157,8 @@ void Proxy::ReleaseBeginWaiters() {
 void Proxy::StartExecution(ActiveTxn* t) {
   t->exec_start_time = sim_->Now();
   t->stages.version = t->exec_start_time - t->arrive_time;
+  EmitSpan("proxy.start_delay", t->request.txn_id, t->arrive_time,
+           t->stages.version);
   t->txn = db_->Begin();  // snapshot at current V_local
   ExecuteNextStatement(t);
 }
@@ -157,6 +196,11 @@ void Proxy::ExecuteNextStatement(ActiveTxn* t) {
   if (stmt.IsUpdate() && config_.early_certification) {
     if (ConflictsWithPendingRefresh(t->txn->PartialWriteSet())) {
       ++early_aborts_;
+      if (ctr_early_aborts_ != nullptr) ctr_early_aborts_->Increment();
+      SCREP_LOG(kDebug) << "[replica " << id_ << "] early abort of txn "
+                        << t->request.txn_id
+                        << ": statement writes conflict with a pending "
+                           "refresh writeset";
       Respond(t, TxnOutcome::kEarlyAbort);
       return;
     }
@@ -166,23 +210,27 @@ void Proxy::ExecuteNextStatement(ActiveTxn* t) {
       (stmt.IsUpdate() ? config_.update_stmt_base : config_.read_stmt_base) +
       config_.per_row_cost * rs->rows_examined);
   const TxnId txn_id = t->request.txn_id;
-  cpu_.Submit(cpu_cost, [this, txn_id]() {
+  const int64_t stmt_index = static_cast<int64_t>(t->next_stmt) - 1;
+  const SimTime stmt_start = sim_->Now();
+  cpu_.Submit(cpu_cost, [this, txn_id, stmt_index, stmt_start]() {
     auto it = active_.find(txn_id);
     if (it == active_.end()) return;  // aborted meanwhile
-    ActiveTxn* t2 = it->second.get();
+    EmitSpan("proxy.stmt", txn_id, stmt_start, sim_->Now() - stmt_start,
+             "stmt", stmt_index);
     // Per-statement application round trip before the next statement.
     sim_->Schedule(config_.stmt_round_trip, [this, txn_id]() {
       auto it2 = active_.find(txn_id);
       if (it2 == active_.end()) return;
       ExecuteNextStatement(it2->second.get());
     });
-    (void)t2;
   });
 }
 
 void Proxy::OnStatementsDone(ActiveTxn* t) {
   t->queries_end_time = sim_->Now();
   t->stages.queries = t->queries_end_time - t->exec_start_time;
+  EmitSpan("proxy.exec", t->request.txn_id, t->exec_start_time,
+           t->stages.queries);
   if (t->txn->read_only()) {
     // Read-only fast path: commit locally, acknowledge immediately (§IV).
     const TxnId txn_id = t->request.txn_id;
@@ -191,6 +239,8 @@ void Proxy::OnStatementsDone(ActiveTxn* t) {
       if (it == active_.end()) return;
       ActiveTxn* t2 = it->second.get();
       t2->stages.commit = sim_->Now() - t2->queries_end_time;
+      EmitSpan("proxy.commit", txn_id, t2->queries_end_time,
+               t2->stages.commit);
       Respond(t2, TxnOutcome::kCommitted);
     });
     return;
@@ -210,7 +260,7 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   if (down_ || it == active_.end()) {
     // Decision for a transaction lost in a crash. If it committed, its
     // writeset reaches this replica through recovery catch-up instead.
-    ++dropped_while_down_;
+    NoteDroppedWhileDown("certification decision", decision.txn_id);
     return;
   }
   ActiveTxn* t = it->second.get();
@@ -218,7 +268,11 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   t->awaiting_decision = false;
   t->decision_time = sim_->Now();
   t->stages.certify = t->decision_time - t->certify_start_time;
+  EmitSpan("proxy.certify", decision.txn_id, t->certify_start_time,
+           t->stages.certify);
   if (!decision.commit) {
+    SCREP_LOG(kDebug) << "[replica " << id_
+                      << "] certification abort of txn " << decision.txn_id;
     Respond(t, TxnOutcome::kCertificationAbort);
     return;
   }
@@ -249,8 +303,8 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
 void Proxy::OnRefresh(const WriteSet& ws) {
   SCREP_CHECK(ws.commit_version != kNoVersion);
   if (down_) {
-    ++dropped_while_down_;  // recovery catch-up re-delivers it
-    return;
+    NoteDroppedWhileDown("refresh writeset", ws.txn_id);
+    return;  // recovery catch-up re-delivers it
   }
   if (ws.commit_version <= v_local() ||
       pending_.count(ws.commit_version) != 0) {
@@ -278,6 +332,11 @@ void Proxy::AbortConflictingActives(const WriteSet& ws) {
     if (ws.ConflictsWith(t->txn->PartialWriteSet())) {
       t->aborted_early = true;  // surfaced at the next statement boundary
       ++early_aborts_;
+      if (ctr_early_aborts_ != nullptr) ctr_early_aborts_->Increment();
+      SCREP_LOG(kDebug) << "[replica " << id_ << "] early abort of txn "
+                        << t->request.txn_id
+                        << ": arriving refresh writeset (version "
+                        << ws.commit_version << ") conflicts";
     }
   }
 }
@@ -306,6 +365,8 @@ void Proxy::TryApplyNext() {
     ActiveTxn* t = ait->second.get();
     t->apply_start_time = sim_->Now();
     t->stages.sync = t->apply_start_time - t->decision_time;
+    EmitSpan("proxy.sync_wait", apply.local_txn, t->decision_time,
+             t->stages.sync);
     cost = Stochastic(config_.commit_cost);
   } else {
     cost = Stochastic(config_.refresh_base +
@@ -319,7 +380,10 @@ void Proxy::TryApplyNext() {
     const Status st = db_->ApplyWriteSet(apply.ws, /*force_log=*/false);
     SCREP_CHECK_MSG(st.ok(), "apply failed: " << st.ToString());
     applying_ = false;
-    if (!apply.is_local) ++refresh_applied_;
+    if (!apply.is_local) {
+      ++refresh_applied_;
+      if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
+    }
     if (eager_) replica_committed_cb_(apply.ws.txn_id);
     SettleLocalClaims();
     ReleaseBeginWaiters();
@@ -346,6 +410,8 @@ void Proxy::FinishLocalCommit(ActiveTxn* t) {
   }
   t->local_commit_time = sim_->Now();
   t->stages.commit = t->local_commit_time - t->apply_start_time;
+  EmitSpan("proxy.commit", t->request.txn_id, t->apply_start_time,
+           t->stages.commit);
   if (eager_) {
     if (t->global_done_early) {
       // The certifier already declared the global commit (a membership
@@ -365,7 +431,7 @@ void Proxy::FinishLocalCommit(ActiveTxn* t) {
 void Proxy::OnGlobalCommit(TxnId txn) {
   auto it = active_.find(txn);
   if (down_ || it == active_.end()) {
-    ++dropped_while_down_;  // transaction lost in a crash
+    NoteDroppedWhileDown("global-commit notification", txn);
     return;
   }
   ActiveTxn* t = it->second.get();
@@ -375,6 +441,7 @@ void Proxy::OnGlobalCommit(TxnId txn) {
     return;
   }
   t->stages.global = sim_->Now() - t->local_commit_time;
+  EmitSpan("eager.global_wait", txn, t->local_commit_time, t->stages.global);
   Respond(t, TxnOutcome::kCommitted);
 }
 

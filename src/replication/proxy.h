@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/observability.h"
 #include "replication/message.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -97,6 +98,11 @@ class Proxy {
   void SetReplicaCommittedCallback(ReplicaCommittedCallback cb) {
     replica_committed_cb_ = std::move(cb);
   }
+
+  /// Attaches the system's observability layer: per-transaction stage
+  /// spans (start delay, statements, certification, ordering wait, commit,
+  /// eager global wait) plus early-abort / refresh / drop counters.
+  void SetObservability(obs::Observability* obs);
 
   /// A routed transaction request arrives; the load balancer tagged it
   /// with `required_version` — the replica delays BEGIN until
@@ -214,6 +220,13 @@ class Proxy {
   /// Applies the stochastic service-time model to a mean cost.
   SimTime Stochastic(SimTime mean_cost);
 
+  /// Records a span on this replica's trace row (no-op without a tracer).
+  void EmitSpan(const char* name, TxnId txn, SimTime start, SimTime duration,
+                const char* arg_name = nullptr, int64_t arg_value = 0);
+  /// Counts + logs a message discarded because the replica is down (or the
+  /// transaction was lost in a crash).
+  void NoteDroppedWhileDown(const char* what, TxnId txn);
+
   Simulator* sim_;
   ReplicaId id_;
   Database* db_;
@@ -241,6 +254,12 @@ class Proxy {
   bool down_ = false;
   uint64_t epoch_ = 0;  ///< bumped on crash: stale callbacks bail out
   int64_t dropped_while_down_ = 0;
+
+  // Observability (all optional; null until SetObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_early_aborts_ = nullptr;
+  obs::Counter* ctr_refresh_applied_ = nullptr;
+  obs::Counter* ctr_dropped_ = nullptr;
 
   CertRequestCallback cert_request_cb_;
   ResponseCallback response_cb_;

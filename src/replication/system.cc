@@ -19,6 +19,15 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
       new ReplicatedSystem(sim, config));
   const bool eager = config.level == ConsistencyLevel::kEager;
 
+  system->obs_ = std::make_unique<obs::Observability>(sim, config.obs);
+  obs::Tracer* tracer = system->obs_->tracer();
+  tracer->SetProcessName(obs::kLbPid, "load-balancer");
+  tracer->SetProcessName(obs::kCertifierPid, "certifier");
+  for (ReplicaId r = 0; r < config.replica_count; ++r) {
+    tracer->SetProcessName(obs::kReplicaPidBase + r,
+                           "replica-" + std::to_string(r));
+  }
+
   // Replicas first: all populated identically and deterministically.
   for (ReplicaId r = 0; r < config.replica_count; ++r) {
     ProxyConfig proxy_config = config.proxy;
@@ -80,8 +89,52 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   system->load_balancer_->SetTableSets(system->table_sets_);
 
   system->Wire();
+  system->RegisterGauges();
+  system->obs_->StartSampling();
   if (config.gc_interval > 0) system->ScheduleGc();
   return system;
+}
+
+void ReplicatedSystem::RegisterGauges() {
+  obs::MetricsRegistry* registry = obs_->registry();
+  // All callbacks read through `this` so certifier/load-balancer failovers
+  // transparently switch the gauges to the promoted instance.
+  registry->RegisterCallbackGauge("certifier.queue_depth", [this]() {
+    return static_cast<double>(certifier_->cpu()->QueueLength());
+  });
+  registry->RegisterCallbackGauge("certifier.force_pending", [this]() {
+    return static_cast<double>(certifier_->force_batch_pending());
+  });
+  registry->RegisterCallbackGauge("certifier.disk_util", [this]() {
+    return certifier_->disk()->Utilization();
+  });
+  registry->RegisterCallbackGauge("lb.outstanding", [this]() {
+    int total = 0;
+    for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+      total += load_balancer_->ActiveAt(r);
+    }
+    return static_cast<double>(total);
+  });
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    const std::string prefix = "replica" + std::to_string(r) + ".";
+    Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
+    registry->RegisterCallbackGauge(prefix + "version_lag", [this, proxy]() {
+      return static_cast<double>(certifier_->CommitVersion() -
+                                 proxy->v_local());
+    });
+    registry->RegisterCallbackGauge(prefix + "refresh_queue", [proxy]() {
+      return static_cast<double>(proxy->pending_writesets());
+    });
+    registry->RegisterCallbackGauge(prefix + "inflight", [proxy]() {
+      return static_cast<double>(proxy->active_transactions());
+    });
+    registry->RegisterCallbackGauge(prefix + "cpu_queue", [proxy]() {
+      return static_cast<double>(proxy->cpu()->QueueLength());
+    });
+    registry->RegisterCallbackGauge(prefix + "cpu_util", [proxy]() {
+      return proxy->cpu()->Utilization();
+    });
+  }
 }
 
 void ReplicatedSystem::Wire() {
@@ -92,6 +145,7 @@ void ReplicatedSystem::Wire() {
   // Replica proxy -> load balancer (responses).
   for (auto& replica : replicas_) {
     Proxy* proxy = replica->proxy();
+    proxy->SetObservability(obs_.get());
     proxy->SetResponseCallback([this, net](const TxnResponse& response) {
       sim_->Schedule(net.lb_replica, [this, response]() {
         load_balancer_->OnProxyResponse(response);
@@ -116,6 +170,7 @@ void ReplicatedSystem::Wire() {
 
 void ReplicatedSystem::WireLoadBalancer() {
   const NetworkConfig& net = config_.network;
+  load_balancer_->SetObservability(obs_.get());
   // Load balancer -> replica proxy (request dispatch).
   load_balancer_->SetDispatchCallback(
       [this, net](ReplicaId replica, const TxnRequest& request,
@@ -137,6 +192,10 @@ void ReplicatedSystem::WireLoadBalancer() {
 
 void ReplicatedSystem::CrashLoadBalancer() {
   ++lb_failovers_;
+  SCREP_LOG(kWarn) << "[system] load balancer crash (failover #"
+                   << lb_failovers_ << "): promoting a standby with "
+                      "conservative floor "
+                   << certifier_->CommitVersion();
   // The standby holds no soft state: it learns the replica set and the
   // table-set dictionary from configuration/catalog, re-initializes its
   // version trackers conservatively from the certifier, and re-marks
@@ -157,6 +216,10 @@ void ReplicatedSystem::CrashLoadBalancer() {
 
 void ReplicatedSystem::WireCertifier() {
   const NetworkConfig& net = config_.network;
+  // Only the active certifier reports: a standby processes the identical
+  // stream and would double-count. On promotion the same counter names
+  // continue their predecessor's totals.
+  certifier_->SetObservability(obs_.get());
   // Certifier -> replicas (decisions, refresh fan-out, global commits).
   certifier_->SetDecisionCallback(
       [this, net](ReplicaId origin, const CertDecision& decision) {
@@ -200,12 +263,16 @@ void ReplicatedSystem::CrashCertifier() {
                   "no standby certifier configured");
   SCREP_CHECK_MSG(!certifier_failed_over_, "certifier already failed over");
   certifier_failed_over_ = true;
+  SCREP_LOG(kWarn) << "[system] certifier crash: promoting the standby at "
+                      "commit version "
+                   << standby_certifier_->CommitVersion();
   // The primary is gone — muted, but kept allocated so simulated events
   // it still owns (disk completions, queued certifications) fire into
   // silence instead of freed memory. Its pending certifications forward
   // to the promoted certifier through the forward channel.
   dead_certifier_ = std::move(certifier_);
   dead_certifier_->SetMuted(true);
+  dead_certifier_->SetObservability(nullptr);
   // The standby (identical deterministic state) takes over and starts
   // speaking on the real channels.
   certifier_ = std::move(standby_certifier_);
@@ -232,6 +299,7 @@ void ReplicatedSystem::CrashCertifier() {
 void ReplicatedSystem::CrashReplica(ReplicaId replica) {
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(!proxy->down(), "replica already down");
+  SCREP_LOG(kWarn) << "[system] crash of replica " << replica;
   proxy->Crash();
   certifier_->MarkReplicaDown(replica);
   // The load balancer notices the failure and fails outstanding
@@ -242,6 +310,9 @@ void ReplicatedSystem::CrashReplica(ReplicaId replica) {
 void ReplicatedSystem::RecoverReplica(ReplicaId replica) {
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(proxy->down(), "replica is not down");
+  SCREP_LOG(kInfo) << "[system] recovery of replica " << replica
+                   << " from V_local=" << proxy->v_local()
+                   << " (certifier at " << certifier_->CommitVersion() << ")";
   proxy->Restart();
   // Resume the refresh flow first so nothing is missed between the catch-
   // up snapshot and new commits, then stream the missed writesets from

@@ -11,6 +11,7 @@
 
 #include "consistency/history.h"
 #include "core/consistency_level.h"
+#include "obs/observability.h"
 #include "replication/certifier.h"
 #include "replication/load_balancer.h"
 #include "replication/replica.h"
@@ -47,6 +48,8 @@ struct SystemConfig {
   SimTime gc_interval = 0;
   /// Seed for the replicas' stochastic service-time streams.
   uint64_t seed = 1;
+  /// Observability: tracing + sampling knobs (everything off by default).
+  obs::ObsConfig obs;
 };
 
 /// Populates one replica's database (schema + initial rows); must be
@@ -120,6 +123,9 @@ class ReplicatedSystem {
 
   Simulator* sim() { return sim_; }
   const SystemConfig& config() const { return config_; }
+  /// The system's observability layer (always present; collection is
+  /// governed by SystemConfig::obs).
+  obs::Observability* obs() { return obs_.get(); }
   LoadBalancer* load_balancer() { return load_balancer_.get(); }
   Certifier* certifier() { return certifier_.get(); }
   Replica* replica(ReplicaId id) {
@@ -137,9 +143,13 @@ class ReplicatedSystem {
   void RecordHistory(const TxnResponse& response, SimTime ack_time);
   /// Schedules the next MVCC garbage-collection sweep.
   void ScheduleGc();
+  /// Registers the component state gauges (queue depths, version lag,
+  /// utilizations) polled by the sampler.
+  void RegisterGauges();
 
   Simulator* sim_;
   SystemConfig config_;
+  std::unique_ptr<obs::Observability> obs_;
   /// (Re)wires the active certifier's outward channels.
   void WireCertifier();
   /// (Re)wires the active load balancer's channels.

@@ -30,6 +30,11 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   Simulator sim;
   SystemConfig system_config = config.system;
   system_config.seed = config.seed;
+  if (!config.trace_json_path.empty()) system_config.obs.tracing = true;
+  if (!config.metrics_json_path.empty() &&
+      system_config.obs.sample_period == 0) {
+    system_config.obs.sample_period = Millis(500);
+  }
   SCREP_ASSIGN_OR_RETURN(
       auto system,
       ReplicatedSystem::Create(
@@ -87,10 +92,20 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   sim.Schedule(end, [&clients, &system]() {
     for (auto& client : clients) client->Stop();
     system->StopGc();  // otherwise the GC daemon keeps the queue alive
+    system->obs()->StopSampling();  // likewise for the sampler daemon
   });
   sim.RunUntil(end);
   metrics.Finish(end);
   sim.RunAll();
+
+  if (!config.metrics_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteMetricsJson(config.metrics_json_path));
+  }
+  if (!config.trace_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteTraceJson(config.trace_json_path));
+  }
 
   ExperimentResult result;
   result.workload = workload.name();

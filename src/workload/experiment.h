@@ -36,6 +36,13 @@ struct ExperimentConfig {
   History* history = nullptr;
   /// Replica failures injected during the run.
   std::vector<FaultEvent> faults;
+  /// When non-empty, the metrics-registry snapshot plus the sampled time
+  /// series are written here as JSON after the run (turns the gauge
+  /// sampler on if `system.obs` did not already).
+  std::string metrics_json_path;
+  /// When non-empty, the per-transaction trace is written here in Chrome
+  /// trace-event JSON after the run (turns tracing on).
+  std::string trace_json_path;
 };
 
 /// Aggregates of one run (times in ms, throughput in TPS).

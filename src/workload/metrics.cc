@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
+
 namespace screp {
 
 void MetricsCollector::EnableTimeline(SimTime bucket_width) {
@@ -77,7 +79,13 @@ void MetricsCollector::Record(const TxnResponse& response, SimTime now,
 
 double MetricsCollector::Throughput() const {
   const SimTime window = measure_until_ - measure_from_;
-  if (window <= 0) return 0.0;
+  if (window <= 0) {
+    SCREP_LOG(kWarn) << "[metrics] zero-length measurement window ("
+                     << measure_from_ << ".." << measure_until_
+                     << " us): Throughput() is 0 — was Finish() called "
+                        "before the measurement interval ended?";
+    return 0.0;
+  }
   return static_cast<double>(committed_) / ToSeconds(window);
 }
 

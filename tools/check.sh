@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and tests the repo in the normal configuration, then again with
+# AddressSanitizer + UndefinedBehaviorSanitizer (SCREP_SANITIZE).
+#
+# Usage: tools/check.sh [--no-sanitize]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  SANITIZE=0
+fi
+
+echo "== normal build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SANITIZE" == "1" ]]; then
+  echo "== sanitized build (address,undefined) =="
+  cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+fi
+
+echo "== all checks passed =="
