@@ -25,7 +25,8 @@ ExperimentConfig BaseConfig(const BenchOptions& options,
   return config;
 }
 
-void EarlyCertificationAblation(const BenchOptions& options) {
+void EarlyCertificationAblation(const BenchOptions& options,
+                                BenchReport* report) {
   std::printf("\n-- Ablation: early certification (micro, 50%% updates, "
               "8 replicas) --\n");
   std::printf("%-22s %8s %10s %12s %12s\n", "variant", "TPS", "resp(ms)",
@@ -38,8 +39,9 @@ void EarlyCertificationAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kLazyCoarse, 8, 16);
     config.system.proxy.early_certification = early;
-    ApplyObservability(options, early ? "earlyon" : "earlyoff", &config);
-    const ExperimentResult r = MustRun(workload, config);
+    const std::string tag = early ? "earlyon" : "earlyoff";
+    ApplyObservability(options, tag, &config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     std::printf("%-22s %8.1f %10.2f %12lld %12lld\n",
                 early ? "early-cert ON" : "early-cert OFF",
                 r.throughput_tps, r.mean_response_ms,
@@ -49,7 +51,8 @@ void EarlyCertificationAblation(const BenchOptions& options) {
   }
 }
 
-void TableSetGranularityAblation(const BenchOptions& options) {
+void TableSetGranularityAblation(const BenchOptions& options,
+                                 BenchReport* report) {
   std::printf("\n-- Ablation: LFC advantage vs. table count (micro, 25%% "
               "updates, 8 replicas) --\n");
   std::printf("%-8s %14s %14s %16s\n", "tables", "LSC delay(ms)",
@@ -64,11 +67,10 @@ void TableSetGranularityAblation(const BenchOptions& options) {
       micro.update_fraction = 0.25;
       MicroWorkload workload(micro);
       ExperimentConfig config = BaseConfig(options, level, 8, 8);
-      ApplyObservability(options,
-                         std::string(ConsistencyLevelName(level)) + "t" +
-                             std::to_string(tables),
-                         &config);
-      const ExperimentResult r = MustRun(workload, config);
+      const std::string tag = std::string(ConsistencyLevelName(level)) +
+                              "t" + std::to_string(tables);
+      ApplyObservability(options, tag, &config);
+      const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
       delays[i++] = r.sync_delay_ms;
     }
     std::printf("%-8d %14.2f %14.2f %15.2f%%\n", tables, delays[0],
@@ -78,7 +80,8 @@ void TableSetGranularityAblation(const BenchOptions& options) {
   }
 }
 
-void GroupCommitAblation(const BenchOptions& options) {
+void GroupCommitAblation(const BenchOptions& options,
+                         BenchReport* report) {
   std::printf("\n-- Ablation: certifier log-force time (micro, 100%% "
               "updates, 4 replicas) --\n");
   std::printf("%-18s %8s %12s\n", "force time (ms)", "TPS", "certify(ms)");
@@ -89,17 +92,18 @@ void GroupCommitAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kLazyCoarse, 4, 8);
     config.system.certifier.log_force_time = Millis(force_ms);
-    ApplyObservability(
-        options, "force" + std::to_string(static_cast<int>(force_ms * 10)),
-        &config);
-    const ExperimentResult r = MustRun(workload, config);
+    const std::string tag =
+        "force" + std::to_string(static_cast<int>(force_ms * 10));
+    ApplyObservability(options, tag, &config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     std::printf("%-18.1f %8.1f %12.2f\n", force_ms, r.throughput_tps,
                 r.certify_ms);
     std::fflush(stdout);
   }
 }
 
-void RoutingPolicyAblation(const BenchOptions& options) {
+void RoutingPolicyAblation(const BenchOptions& options,
+                           BenchReport* report) {
   std::printf("\n-- Ablation: routing policy (tpcw shopping, 4 replicas, "
               "32 clients) --\n");
   std::printf("%-14s %8s %10s\n", "policy", "TPS", "resp(ms)");
@@ -111,11 +115,11 @@ void RoutingPolicyAblation(const BenchOptions& options) {
     config.system.proxy = TpcwProxyConfig();
     config.system.routing = routing;
     config.mean_think_time = Millis(200);
-    ApplyObservability(options,
-                       routing == RoutingPolicy::kLeastActive ? "leastactive"
-                                                              : "roundrobin",
-                       &config);
-    const ExperimentResult r = MustRun(workload, config);
+    const std::string tag = routing == RoutingPolicy::kLeastActive
+                                ? "leastactive"
+                                : "roundrobin";
+    ApplyObservability(options, tag, &config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     std::printf("%-14s %8.1f %10.2f\n",
                 routing == RoutingPolicy::kLeastActive ? "least-active"
                                                        : "round-robin",
@@ -124,7 +128,8 @@ void RoutingPolicyAblation(const BenchOptions& options) {
   }
 }
 
-void SerializableModeAblation(const BenchOptions& options) {
+void SerializableModeAblation(const BenchOptions& options,
+                              BenchReport* report) {
   std::printf("\n-- Ablation: GSI vs serializable certification (tpcw "
               "shopping, 4 replicas) --\n");
   std::printf("%-14s %8s %12s %12s\n", "mode", "TPS", "total-aborts",
@@ -137,10 +142,10 @@ void SerializableModeAblation(const BenchOptions& options) {
     config.system.proxy = TpcwProxyConfig();
     config.system.certifier.mode = mode;
     config.mean_think_time = Millis(200);
-    ApplyObservability(
-        options, mode == CertificationMode::kGsi ? "gsi" : "serializable",
-        &config);
-    const ExperimentResult r = MustRun(workload, config);
+    const std::string tag =
+        mode == CertificationMode::kGsi ? "gsi" : "serializable";
+    ApplyObservability(options, tag, &config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     std::printf("%-14s %8.1f %12lld %12lld\n",
                 mode == CertificationMode::kGsi ? "GSI" : "serializable",
                 r.throughput_tps,
@@ -150,7 +155,8 @@ void SerializableModeAblation(const BenchOptions& options) {
   }
 }
 
-void RefreshCostAblation(const BenchOptions& options) {
+void RefreshCostAblation(const BenchOptions& options,
+                         BenchReport* report) {
   std::printf("\n-- Ablation: refresh apply cost vs. ESC global delay "
               "(micro, 50%% updates, 8 replicas) --\n");
   std::printf("%-18s %10s %12s\n", "refresh base(ms)", "ESC TPS",
@@ -162,10 +168,10 @@ void RefreshCostAblation(const BenchOptions& options) {
     ExperimentConfig config =
         BaseConfig(options, ConsistencyLevel::kEager, 8, 8);
     config.system.proxy.refresh_base = Millis(base_ms);
-    ApplyObservability(
-        options, "refresh" + std::to_string(static_cast<int>(base_ms * 10)),
-        &config);
-    const ExperimentResult r = MustRun(workload, config);
+    const std::string tag =
+        "refresh" + std::to_string(static_cast<int>(base_ms * 10));
+    ApplyObservability(options, tag, &config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     std::printf("%-18.1f %10.1f %12.2f\n", base_ms, r.throughput_tps,
                 r.global_ms);
     std::fflush(stdout);
@@ -177,13 +183,14 @@ int Main(int argc, char** argv) {
   PrintHeader("Ablations: early certification, table-set granularity, "
               "group commit, refresh cost",
               "design choices of §IV (not a paper figure)");
-  EarlyCertificationAblation(options);
-  TableSetGranularityAblation(options);
-  GroupCommitAblation(options);
-  RefreshCostAblation(options);
-  RoutingPolicyAblation(options);
-  SerializableModeAblation(options);
-  return 0;
+  BenchReport report("ablations", options);
+  EarlyCertificationAblation(options, &report);
+  TableSetGranularityAblation(options, &report);
+  GroupCommitAblation(options, &report);
+  RefreshCostAblation(options, &report);
+  RoutingPolicyAblation(options, &report);
+  SerializableModeAblation(options, &report);
+  return report.Finish();
 }
 
 }  // namespace

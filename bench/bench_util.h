@@ -10,7 +10,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/experiment.h"
 
@@ -27,6 +30,17 @@ struct BenchOptions {
   /// --trace-json <path>: write each run's per-transaction trace in
   /// Chrome trace-event JSON (open in chrome://tracing or Perfetto).
   std::string trace_json;
+  /// --audit: run the online consistency auditor during every run and
+  /// print the per-run verdict + staleness attribution (exit 1 on any
+  /// violation).
+  bool audit = false;
+  /// --audit-json <path>: additionally write each run's audit report as
+  /// JSON (tagged per run; implies --audit).
+  std::string audit_json;
+  /// --bench-json [path]: write the machine-readable run summary
+  /// (throughput, latency percentiles, staleness percentiles).  The bare
+  /// flag defaults to BENCH_<driver>.json in the working directory.
+  std::string bench_json;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -48,6 +62,22 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.trace_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
       options.trace_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      options.audit = true;
+    } else if (std::strncmp(argv[i], "--audit-json=", 13) == 0) {
+      options.audit_json = argv[i] + 13;
+      options.audit = true;
+    } else if (std::strcmp(argv[i], "--audit-json") == 0 && i + 1 < argc) {
+      options.audit_json = argv[++i];
+      options.audit = true;
+    } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      options.bench_json = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        options.bench_json = argv[++i];
+      } else {
+        options.bench_json = "auto";  // resolved per driver by BenchReport
+      }
     }
   }
   return options;
@@ -78,6 +108,10 @@ inline void ApplyObservability(const BenchOptions& options,
   if (!options.trace_json.empty()) {
     config->trace_json_path = TaggedPath(options.trace_json, tag);
   }
+  if (options.audit) config->audit = true;
+  if (!options.audit_json.empty()) {
+    config->audit_json_path = TaggedPath(options.audit_json, tag);
+  }
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {
@@ -100,6 +134,97 @@ inline ExperimentResult MustRun(const Workload& workload,
   }
   return std::move(result).value();
 }
+
+/// Collects every run of a driver into the machine-readable BENCH_*.json
+/// summary and the end-of-run audit report.  Usage:
+///
+///   BenchReport report("fig3", options);
+///   ... per run: report.Add(tag, MustRun(workload, config));
+///   return report.Finish();
+///
+/// With auditing off this adds nothing to stdout (runs stay
+/// byte-identical); with --audit it prints one verdict line per run plus
+/// a final summary, and Finish() returns 1 if any run saw a violation.
+class BenchReport {
+ public:
+  BenchReport(std::string driver, const BenchOptions& options)
+      : driver_(std::move(driver)), options_(options) {}
+
+  /// Records one run under a per-run tag; returns the result untouched so
+  /// callers can keep using it.
+  const ExperimentResult& Add(const std::string& tag,
+                              const ExperimentResult& result) {
+    runs_.emplace_back(tag, result.ToJson());
+    if (result.audit.enabled) {
+      audited_ = true;
+      audit_events_ += result.audit.events;
+      audit_checks_ += result.audit.checks;
+      audit_violations_ += result.audit.violations;
+      if (!result.audit.ok && first_violation_tag_.empty()) {
+        first_violation_tag_ = tag;
+        first_violation_ = result.audit.first_violation;
+      }
+      audit_lines_.push_back("  [" + tag + "] " + result.audit.ToString());
+    }
+    return results_.emplace_back(result);
+  }
+
+  /// Writes the BENCH JSON (when requested), prints the end-of-run audit
+  /// report, and returns the driver's exit code (1 on any violation).
+  int Finish() {
+    if (!options_.bench_json.empty()) {
+      const std::string path = options_.bench_json == "auto"
+                                   ? "BENCH_" + driver_ + ".json"
+                                   : options_.bench_json;
+      std::ofstream out(path);
+      out << "{\"driver\":\"" << driver_ << "\",\"runs\":[";
+      for (size_t i = 0; i < runs_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "{\"tag\":\"" << runs_[i].first
+            << "\",\"result\":" << runs_[i].second << "}";
+      }
+      out << "]}\n";
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("\nwrote %s (%zu runs)\n", path.c_str(), runs_.size());
+    }
+    if (audited_) {
+      std::printf("\n---- audit report (%zu runs) ----\n", runs_.size());
+      for (const std::string& line : audit_lines_) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::printf("events consumed: %lld, checks performed: %lld\n",
+                  static_cast<long long>(audit_events_),
+                  static_cast<long long>(audit_checks_));
+      if (audit_violations_ == 0) {
+        std::printf("consistency: OK — no violations in any run\n");
+      } else {
+        std::printf("consistency: FAILED — %lld violation(s); first in "
+                    "run [%s]: %s\n",
+                    static_cast<long long>(audit_violations_),
+                    first_violation_tag_.c_str(), first_violation_.c_str());
+      }
+    }
+    return audit_violations_ > 0 ? 1 : 0;
+  }
+
+  const std::vector<ExperimentResult>& results() const { return results_; }
+
+ private:
+  std::string driver_;
+  const BenchOptions& options_;
+  std::vector<std::pair<std::string, std::string>> runs_;  // tag -> json
+  std::vector<ExperimentResult> results_;
+  bool audited_ = false;
+  std::vector<std::string> audit_lines_;
+  int64_t audit_events_ = 0;
+  int64_t audit_checks_ = 0;
+  int64_t audit_violations_ = 0;
+  std::string first_violation_tag_;
+  std::string first_violation_;
+};
 
 }  // namespace screp::bench
 

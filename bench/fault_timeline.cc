@@ -48,6 +48,7 @@ int Main(int argc, char** argv) {
   sys_config.replica_count = 4;
   if (!options.trace_json.empty()) sys_config.obs.tracing = true;
   if (!options.metrics_json.empty()) sys_config.obs.sample_period = Millis(500);
+  if (options.audit) sys_config.obs.audit = true;
   auto system_or = ReplicatedSystem::Create(
       &sim, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
@@ -109,6 +110,19 @@ int Main(int argc, char** argv) {
       "transactions (clients retried them on the survivors); the cluster\n"
       "keeps serving throughout, and the recovered replica rejoins after\n"
       "catching up from the certifier's log.\n");
+
+  if (!options.audit_json.empty()) {
+    const Status st = system->obs()->WriteAuditJson(options.audit_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "audit write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (const obs::Auditor* auditor = system->obs()->auditor()) {
+    std::printf("\n---- audit report ----\n%s\n",
+                auditor->Summary().c_str());
+    return auditor->ok() ? 0 : 1;
+  }
   return 0;
 }
 

@@ -14,6 +14,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig3", options);
   PrintHeader("Figure 3: micro-benchmark throughput (TPS), 8 replicas",
               "Fig. 3");
 
@@ -39,18 +40,18 @@ int Main(int argc, char** argv) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
-      ApplyObservability(options,
-                         std::string(ConsistencyLevelName(level)) +
-                             std::to_string(static_cast<int>(mix * 100)),
-                         &config);
+      const std::string tag = std::string(ConsistencyLevelName(level)) +
+                              std::to_string(static_cast<int>(mix * 100));
+      ApplyObservability(options, tag, &config);
 
       const ExperimentResult result = MustRun(workload, config);
       std::printf("%10.1f", result.throughput_tps);
       std::fflush(stdout);
+      report.Add(tag, result);
     }
     std::printf("\n");
   }
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 namespace screp::bench {
 namespace {
 
-void RunMix(const BenchOptions& options, double mix) {
+void RunMix(const BenchOptions& options, double mix, BenchReport* report) {
   std::printf("\n-- %.0f%% update mix --\n", mix * 100);
   std::printf("%-7s %9s %9s %9s %9s %9s %9s | %9s\n", "config", "version",
               "queries", "certify", "sync", "commit", "global", "total");
@@ -29,12 +29,11 @@ void RunMix(const BenchOptions& options, double mix) {
     config.warmup = options.warmup;
     config.duration = options.duration;
     config.seed = options.seed;
-    ApplyObservability(options,
-                       std::string(ConsistencyLevelName(level)) +
-                           std::to_string(static_cast<int>(mix * 100)),
-                       &config);
+    const std::string tag = std::string(ConsistencyLevelName(level)) +
+                            std::to_string(static_cast<int>(mix * 100));
+    ApplyObservability(options, tag, &config);
 
-    const ExperimentResult r = MustRun(workload, config);
+    const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
     const double total = r.version_ms + r.queries_ms + r.certify_ms +
                          r.sync_ms + r.commit_ms + r.global_ms;
     std::printf("%-7s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f | %9.2f\n",
@@ -50,9 +49,10 @@ int Main(int argc, char** argv) {
       "Figure 4: latency breakdown per stage (ms), micro-benchmark, "
       "8 replicas",
       "Fig. 4(a) 25% updates and Fig. 4(b) 100% updates");
-  RunMix(options, 0.25);
-  RunMix(options, 1.00);
-  return 0;
+  BenchReport report("fig4", options);
+  RunMix(options, 0.25, &report);
+  RunMix(options, 1.00, &report);
+  return report.Finish();
 }
 
 }  // namespace

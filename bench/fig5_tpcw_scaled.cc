@@ -14,7 +14,7 @@
 namespace screp::bench {
 namespace {
 
-void RunMix(const BenchOptions& options, TpcwMix mix) {
+void RunMix(const BenchOptions& options, TpcwMix mix, BenchReport* report) {
   std::printf("\n-- %s mix (%d%% updates, %d clients/replica) --\n",
               TpcwMixName(mix),
               static_cast<int>(TpcwUpdateFraction(mix) * 100),
@@ -39,12 +39,12 @@ void RunMix(const BenchOptions& options, TpcwMix mix) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
-      ApplyObservability(options,
-                         std::string(ConsistencyLevelName(level)) + "r" +
-                             std::to_string(replicas),
-                         &config);
+      const std::string tag = std::string(TpcwMixName(mix)) +
+                              ConsistencyLevelName(level) + "r" +
+                              std::to_string(replicas);
+      ApplyObservability(options, tag, &config);
 
-      const ExperimentResult r = MustRun(workload, config);
+      const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
       std::printf("  %12.1f %11.2f", r.throughput_tps, r.mean_response_ms);
       std::fflush(stdout);
     }
@@ -58,10 +58,11 @@ int Main(int argc, char** argv) {
       "Figure 5: TPC-W throughput (TPS) and response time (ms), scaled "
       "load",
       "Fig. 5(a)-(f)");
-  RunMix(options, TpcwMix::kBrowsing);
-  RunMix(options, TpcwMix::kShopping);
-  RunMix(options, TpcwMix::kOrdering);
-  return 0;
+  BenchReport report("fig5", options);
+  RunMix(options, TpcwMix::kBrowsing, &report);
+  RunMix(options, TpcwMix::kShopping, &report);
+  RunMix(options, TpcwMix::kOrdering, &report);
+  return report.Finish();
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 namespace screp::bench {
 namespace {
 
-void RunMix(const BenchOptions& options, TpcwMix mix) {
+void RunMix(const BenchOptions& options, TpcwMix mix, BenchReport* report) {
   std::printf("\n-- %s mix: mean synchronization delay (ms) --\n",
               TpcwMixName(mix));
   std::printf("%-9s", "replicas");
@@ -34,11 +34,11 @@ void RunMix(const BenchOptions& options, TpcwMix mix) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
-      ApplyObservability(options,
-                         std::string(ConsistencyLevelName(level)) + "r" +
-                             std::to_string(replicas),
-                         &config);
-      const ExperimentResult r = MustRun(workload, config);
+      const std::string tag = std::string(TpcwMixName(mix)) +
+                              ConsistencyLevelName(level) + "r" +
+                              std::to_string(replicas);
+      ApplyObservability(options, tag, &config);
+      const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
       std::printf("%10.2f", r.sync_delay_ms);
       std::fflush(stdout);
     }
@@ -52,9 +52,10 @@ int Main(int argc, char** argv) {
       "Figure 6: TPC-W synchronization delay (start delay for lazy "
       "configs,\nglobal commit delay for ESC), scaled load",
       "Fig. 6(a) shopping and Fig. 6(b) ordering");
-  RunMix(options, TpcwMix::kShopping);
-  RunMix(options, TpcwMix::kOrdering);
-  return 0;
+  BenchReport report("fig6", options);
+  RunMix(options, TpcwMix::kShopping, &report);
+  RunMix(options, TpcwMix::kOrdering, &report);
+  return report.Finish();
 }
 
 }  // namespace

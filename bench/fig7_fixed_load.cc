@@ -14,7 +14,7 @@
 namespace screp::bench {
 namespace {
 
-void RunMix(const BenchOptions& options, TpcwMix mix) {
+void RunMix(const BenchOptions& options, TpcwMix mix, BenchReport* report) {
   const int clients = TpcwClientsPerReplica(mix);
   std::printf("\n-- %s mix: mean response time (ms), %d clients total --\n",
               TpcwMixName(mix), clients);
@@ -36,11 +36,11 @@ void RunMix(const BenchOptions& options, TpcwMix mix) {
       config.warmup = options.warmup;
       config.duration = options.duration;
       config.seed = options.seed;
-      ApplyObservability(options,
-                         std::string(ConsistencyLevelName(level)) + "r" +
-                             std::to_string(replicas),
-                         &config);
-      const ExperimentResult r = MustRun(workload, config);
+      const std::string tag = std::string(TpcwMixName(mix)) +
+                              ConsistencyLevelName(level) + "r" +
+                              std::to_string(replicas);
+      ApplyObservability(options, tag, &config);
+      const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
       std::printf("%10.2f", r.mean_response_ms);
       std::fflush(stdout);
     }
@@ -52,9 +52,10 @@ int Main(int argc, char** argv) {
   const BenchOptions options = ParseOptions(argc, argv);
   PrintHeader("Figure 7: TPC-W response time under fixed load",
               "Fig. 7(a) shopping and Fig. 7(b) ordering");
-  RunMix(options, TpcwMix::kShopping);
-  RunMix(options, TpcwMix::kOrdering);
-  return 0;
+  BenchReport report("fig7", options);
+  RunMix(options, TpcwMix::kShopping, &report);
+  RunMix(options, TpcwMix::kOrdering, &report);
+  return report.Finish();
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "core/session_tracker.h"
 #include "core/table_version_tracker.h"
 #include "core/version_tracker.h"
+#include "obs/eventlog.h"
 
 namespace screp {
 
@@ -36,6 +37,25 @@ class SyncPolicy {
 
   ConsistencyLevel level() const { return level_; }
   DbVersion staleness_bound() const { return staleness_bound_; }
+
+  /// Which tracker the version tag comes from under this level — i.e.
+  /// where the auditor attributes any blocked BEGIN (or, for eager, ack)
+  /// time in the staleness report.
+  obs::WaitCause wait_cause() const {
+    switch (level_) {
+      case ConsistencyLevel::kEager:
+        return obs::WaitCause::kEagerGlobal;
+      case ConsistencyLevel::kLazyCoarse:
+        return obs::WaitCause::kSystemVersion;
+      case ConsistencyLevel::kLazyFine:
+        return obs::WaitCause::kTableVersion;
+      case ConsistencyLevel::kSession:
+        return obs::WaitCause::kSessionVersion;
+      case ConsistencyLevel::kBoundedStaleness:
+        return obs::WaitCause::kStalenessBound;
+    }
+    return obs::WaitCause::kNone;
+  }
 
   /// Fail-over recovery: a freshly promoted load balancer has lost the
   /// soft tracker state, so it must not *under*-synchronize. Setting a

@@ -1,0 +1,192 @@
+#include "obs/eventlog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace screp::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRoute:
+      return "route";
+    case EventKind::kBeginAdmitted:
+      return "begin";
+    case EventKind::kCertVerdict:
+      return "cert";
+    case EventKind::kApply:
+      return "apply";
+    case EventKind::kSessionUpdate:
+      return "session";
+    case EventKind::kTxnFinished:
+      return "finish";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRecover:
+      return "recover";
+    case EventKind::kFailover:
+      return "failover";
+  }
+  return "?";
+}
+
+const char* WaitCauseName(WaitCause cause) {
+  switch (cause) {
+    case WaitCause::kNone:
+      return "none";
+    case WaitCause::kSystemVersion:
+      return "system_version";
+    case WaitCause::kTableVersion:
+      return "table_version";
+    case WaitCause::kSessionVersion:
+      return "session_version";
+    case WaitCause::kStalenessBound:
+      return "staleness_bound";
+    case WaitCause::kEagerGlobal:
+      return "eager_global";
+  }
+  return "?";
+}
+
+std::string Event::ToJson() const {
+  std::ostringstream out;
+  out << "{\"kind\":\"" << EventKindName(kind) << "\",\"at\":" << at;
+  if (txn != 0) out << ",\"txn\":" << txn;
+  if (session != 0) out << ",\"session\":" << session;
+  if (replica != kNoReplica) out << ",\"replica\":" << replica;
+  switch (kind) {
+    case EventKind::kRoute:
+      out << ",\"required\":" << required_version
+          << ",\"v_system\":" << satisfied_version;
+      break;
+    case EventKind::kBeginAdmitted:
+      out << ",\"required\":" << required_version
+          << ",\"satisfied\":" << satisfied_version << ",\"cause\":\""
+          << WaitCauseName(wait_cause) << "\",\"wait\":" << wait;
+      break;
+    case EventKind::kCertVerdict:
+      out << ",\"committed\":" << (committed ? "true" : "false")
+          << ",\"snapshot\":" << snapshot;
+      if (committed) {
+        out << ",\"version\":" << commit_version;
+      } else {
+        out << ",\"reason\":\"" << JsonEscape(detail) << "\"";
+        if (conflict_version != kNoVersion) {
+          out << ",\"conflict_version\":" << conflict_version
+              << ",\"conflict_txn\":" << conflict_txn;
+        }
+      }
+      break;
+    case EventKind::kApply:
+      out << ",\"version\":" << commit_version
+          << ",\"local\":" << (local ? "true" : "false");
+      break;
+    case EventKind::kSessionUpdate:
+      out << ",\"version\":" << satisfied_version;
+      break;
+    case EventKind::kTxnFinished: {
+      out << ",\"committed\":" << (committed ? "true" : "false")
+          << ",\"read_only\":" << (read_only ? "true" : "false")
+          << ",\"snapshot\":" << snapshot << ",\"submit\":" << submit_time
+          << ",\"start\":" << start_time;
+      if (commit_version != kNoVersion) out << ",\"version\":" << commit_version;
+      auto tables = [&out](const char* key, const std::vector<TableId>& ts) {
+        out << ",\"" << key << "\":[";
+        for (size_t i = 0; i < ts.size(); ++i) {
+          if (i > 0) out << ",";
+          out << ts[i];
+        }
+        out << "]";
+      };
+      tables("table_set", table_set);
+      tables("tables_written", tables_written);
+      out << ",\"keys_written\":[";
+      for (size_t i = 0; i < keys_written.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "[" << keys_written[i].first << "," << keys_written[i].second
+            << "]";
+      }
+      out << "]";
+      break;
+    }
+    case EventKind::kCrash:
+    case EventKind::kRecover:
+    case EventKind::kFailover:
+      out << ",\"component\":\"" << JsonEscape(detail) << "\"";
+      break;
+  }
+  out << "}";
+  return out.str();
+}
+
+EventLog::EventLog(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void EventLog::Append(Event event) {
+  if (!enabled_) return;
+  ++appended_;
+  for (const Sink& sink : sinks_) sink(event);
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = std::move(event);
+    ++size_;
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::vector<Event> EventLog::Events() const {
+  std::vector<Event> events;
+  events.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::string out;
+  for (size_t i = 0; i < size_; ++i) {
+    out += ring_[(head_ + i) % ring_.size()].ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+Status EventLog::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open event-log output: " + path);
+  }
+  file << ToJsonl();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+History EventLog::ReplayHistory() const {
+  History history;
+  for (size_t i = 0; i < size_; ++i) {
+    const Event& e = ring_[(head_ + i) % ring_.size()];
+    if (e.kind != EventKind::kTxnFinished) continue;
+    TxnRecord record;
+    record.id = e.txn;
+    record.session = e.session;
+    record.replica = e.replica;
+    record.submit_time = e.submit_time;
+    record.start_time = e.start_time;
+    record.ack_time = e.at;
+    record.snapshot = e.snapshot;
+    record.commit_version = e.commit_version;
+    record.committed = e.committed;
+    record.read_only = e.read_only;
+    record.table_set = e.table_set;
+    record.tables_written = e.tables_written;
+    record.keys_written = e.keys_written;
+    history.Add(std::move(record));
+  }
+  return history;
+}
+
+}  // namespace screp::obs

@@ -2,13 +2,28 @@
 
 #include <fstream>
 
+#include "obs/json.h"
+
 namespace screp::obs {
 
 Observability::Observability(Simulator* sim, const ObsConfig& config)
     : config_(config),
       tracer_(config.trace_capacity),
-      sampler_(sim, &registry_) {
+      sampler_(sim, &registry_),
+      event_log_(config.event_log_capacity) {
   tracer_.set_enabled(config.tracing);
+  event_log_.set_enabled(config.event_log || config.audit);
+}
+
+void Observability::ConfigureAuditor(bool expect_strong,
+                                     bool expect_session) {
+  if (!config_.audit || auditor_ != nullptr) return;
+  AuditorConfig auditor_config;
+  auditor_config.check_strong = expect_strong;
+  auditor_config.check_session = expect_session;
+  auditor_ = std::make_unique<Auditor>(auditor_config, &registry_);
+  event_log_.AddSink(
+      [auditor = auditor_.get()](const Event& e) { auditor->OnEvent(e); });
 }
 
 void Observability::StartSampling() {
@@ -24,6 +39,38 @@ std::string Observability::MetricsJson() const {
   out += sampler_.ToJson();
   out += "}";
   return out;
+}
+
+std::string Observability::AuditJson() const {
+  std::string out = "{\"auditor\":";
+  out += auditor_ != nullptr ? auditor_->ToJson() : "null";
+  out += ",\"staleness\":{";
+  const auto snapshot = registry_.TakeSnapshot();
+  bool first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name.rfind("staleness.", 0) != 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"mean\":" + std::to_string(h.mean) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p95\":" + std::to_string(h.p95) +
+           ",\"p99\":" + std::to_string(h.p99) +
+           ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Status Observability::WriteAuditJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open audit output: " + path);
+  }
+  file << AuditJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
 }
 
 Status Observability::WriteMetricsJson(const std::string& path) const {

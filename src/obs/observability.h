@@ -9,10 +9,13 @@
 #ifndef SCREP_OBS_OBSERVABILITY_H_
 #define SCREP_OBS_OBSERVABILITY_H_
 
+#include <memory>
 #include <string>
 
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "obs/auditor.h"
+#include "obs/eventlog.h"
 #include "obs/metrics_registry.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -28,6 +31,14 @@ struct ObsConfig {
   size_t trace_capacity = 1 << 16;
   /// Gauge sampling period (0 = sampler off).
   SimTime sample_period = 0;
+  /// Record middleware decisions into the structured event log.
+  bool event_log = false;
+  /// Event ring-buffer capacity (oldest events evicted beyond it; live
+  /// sinks — the auditor — still see every event).
+  size_t event_log_capacity = 1 << 16;
+  /// Attach the online consistency auditor to the event stream (implies
+  /// event logging).
+  bool audit = false;
 };
 
 /// Bundles the three observability pieces for one system.
@@ -39,6 +50,22 @@ class Observability {
   Tracer* tracer() { return &tracer_; }
   Sampler* sampler() { return &sampler_; }
   const Sampler* sampler() const { return &sampler_; }
+  EventLog* event_log() { return &event_log_; }
+  const EventLog* event_log() const { return &event_log_; }
+
+  /// The online auditor; null unless the config asked for auditing and
+  /// ConfigureAuditor ran.
+  Auditor* auditor() { return auditor_.get(); }
+  const Auditor* auditor() const { return auditor_.get(); }
+  bool audit_enabled() const { return config_.audit; }
+
+  /// Creates the auditor and subscribes it to the event log (no-op when
+  /// the config did not ask for auditing).  Called by the system at
+  /// wiring time, once it knows what the consistency configuration
+  /// promises: Definition 1 (strong) and/or Definition 2 (session —
+  /// everything but bounded staleness, which bounds lag without
+  /// consulting session versions).
+  void ConfigureAuditor(bool expect_strong, bool expect_session);
 
   /// Starts the periodic sampler if the config asked for one.
   void StartSampling();
@@ -59,11 +86,27 @@ class Observability {
     return tracer_.WriteChromeJson(path);
   }
 
+  /// The end-of-run audit report as one JSON object:
+  /// {"auditor":{...}|null,"staleness":{histogram name:{count,...}}}
+  /// — the staleness block pulls every "staleness."-prefixed histogram
+  /// out of the registry snapshot.
+  std::string AuditJson() const;
+
+  /// Writes AuditJson() to `path`.
+  Status WriteAuditJson(const std::string& path) const;
+
+  /// Writes the retained event log as JSONL to `path`.
+  Status WriteEventsJsonl(const std::string& path) const {
+    return event_log_.WriteJsonl(path);
+  }
+
  private:
   ObsConfig config_;
   MetricsRegistry registry_;
   Tracer tracer_;
   Sampler sampler_;
+  EventLog event_log_;
+  std::unique_ptr<Auditor> auditor_;
 };
 
 }  // namespace screp::obs

@@ -57,12 +57,13 @@ std::string Tracer::ToChromeJson() const {
     const TraceSpan& span = ring_[(head_ + i) % ring_.size()];
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << span.name << "\",\"cat\":\"" << span.category
+    out << "{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+        << JsonEscape(span.category)
         << "\",\"ph\":\"X\",\"ts\":" << span.start
         << ",\"dur\":" << span.duration << ",\"pid\":" << span.pid
         << ",\"tid\":" << span.tid << ",\"args\":{\"txn\":" << span.txn;
     if (span.arg_name != nullptr) {
-      out << ",\"" << span.arg_name << "\":" << span.arg_value;
+      out << ",\"" << JsonEscape(span.arg_name) << "\":" << span.arg_value;
     }
     out << "}}";
   }

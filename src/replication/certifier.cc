@@ -20,6 +20,7 @@ Certifier::Certifier(Simulator* sim, CertifierConfig config,
 void Certifier::SetObservability(obs::Observability* obs) {
   if (obs == nullptr) {
     tracer_ = nullptr;
+    event_log_ = nullptr;
     ctr_certified_ = nullptr;
     ctr_aborts_ww_ = nullptr;
     ctr_aborts_rw_ = nullptr;
@@ -30,6 +31,7 @@ void Certifier::SetObservability(obs::Observability* obs) {
     return;
   }
   tracer_ = obs->tracer();
+  event_log_ = obs->event_log();
   obs::MetricsRegistry* registry = obs->registry();
   ctr_certified_ = registry->GetCounter("certifier.certified");
   ctr_aborts_ww_ = registry->GetCounter("certifier.aborts.ww");
@@ -62,6 +64,28 @@ void Certifier::SubmitCertification(WriteSet ws) {
               });
 }
 
+void Certifier::EmitVerdict(const WriteSet& ws, bool commit,
+                            const char* reason, DbVersion conflict_version,
+                            TxnId conflict_txn) {
+  if (muted_ || event_log_ == nullptr || !event_log_->enabled()) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kCertVerdict;
+  e.at = sim_->Now();
+  e.txn = ws.txn_id;
+  e.replica = ws.origin;
+  e.snapshot = ws.snapshot_version;
+  e.committed = commit;
+  e.read_only = false;
+  if (commit) {
+    e.commit_version = ws.commit_version;
+  } else {
+    e.detail = reason;
+    e.conflict_version = conflict_version;
+    e.conflict_txn = conflict_txn;
+  }
+  event_log_->Append(std::move(e));
+}
+
 void Certifier::Certify(WriteSet ws) {
   // Idempotence: a transaction re-submitted after a certifier failover
   // (or a duplicated message) gets its original decision.
@@ -87,6 +111,7 @@ void Certifier::Certify(WriteSet ws) {
                        << window_start << ", conflict_window="
                        << config_.conflict_window << ")";
     }
+    EmitVerdict(ws, /*commit=*/false, "window", kNoVersion, 0);
     CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
     decided_[ws.txn_id] = decision;
     if (!muted_) decision_cb_(ws.origin, decision);
@@ -119,6 +144,8 @@ void Certifier::Certify(WriteSet ws) {
                           << " conflict with committed version "
                           << it->commit_version;
       }
+      EmitVerdict(ws, /*commit=*/false, (!ww && rw) ? "rw" : "ww",
+                  it->commit_version, it->txn_id);
       CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
       decided_[ws.txn_id] = decision;
       if (!muted_) decision_cb_(ws.origin, decision);
@@ -128,6 +155,7 @@ void Certifier::Certify(WriteSet ws) {
   // Commit: assign the next version in the global total order.
   ws.commit_version = ++v_commit_;
   ++certified_;
+  EmitVerdict(ws, /*commit=*/true, nullptr, kNoVersion, 0);
   if (!muted_ && ctr_certified_ != nullptr) ctr_certified_->Increment();
   decided_[ws.txn_id] =
       CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version};

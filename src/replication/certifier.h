@@ -194,8 +194,14 @@ class Certifier {
 
   bool muted_ = false;
 
+  /// Appends a kCertVerdict event (no-op without an event log or while
+  /// muted — a standby re-decides the identical stream).
+  void EmitVerdict(const WriteSet& ws, bool commit, const char* reason,
+                   DbVersion conflict_version, TxnId conflict_txn);
+
   // Observability (all optional; null until SetObservability).
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
   obs::Counter* ctr_certified_ = nullptr;
   obs::Counter* ctr_aborts_ww_ = nullptr;
   obs::Counter* ctr_aborts_rw_ = nullptr;

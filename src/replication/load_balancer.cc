@@ -20,6 +20,7 @@ LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
 void LoadBalancer::SetObservability(obs::Observability* obs) {
   if (obs == nullptr) return;
   tracer_ = obs->tracer();
+  event_log_ = obs->event_log();
   obs::MetricsRegistry* registry = obs->registry();
   ctr_dispatched_ = registry->GetCounter("lb.dispatched");
   ctr_failed_over_ = registry->GetCounter("lb.failed_over");
@@ -83,6 +84,17 @@ void LoadBalancer::OnClientRequest(const TxnRequest& request) {
                   .arg_name = "replica",
                   .arg_value = static_cast<int64_t>(replica)});
   }
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRoute;
+    e.at = sim_->Now();
+    e.txn = request.txn_id;
+    e.session = request.session;
+    e.replica = replica;
+    e.required_version = required;
+    e.satisfied_version = policy_.system_version().SystemVersion();
+    event_log_->Append(std::move(e));
+  }
   dispatch_cb_(replica, request, required);
 }
 
@@ -104,6 +116,16 @@ void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
   if (response.outcome == TxnOutcome::kCommitted) {
     policy_.OnCommitAcknowledged(response.session, response.v_local_after,
                                  response.written_table_versions);
+    if (event_log_ != nullptr && event_log_->enabled()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kSessionUpdate;
+      e.at = sim_->Now();
+      e.txn = response.txn_id;
+      e.session = response.session;
+      e.replica = response.replica;
+      e.satisfied_version = policy_.sessions().RequiredVersion(response.session);
+      event_log_->Append(std::move(e));
+    }
   }
   client_response_cb_(response);
 }

@@ -128,6 +128,7 @@ class LoadBalancer {
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* ctr_dispatched_ = nullptr;
   obs::Counter* ctr_failed_over_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
 
   DispatchCallback dispatch_cb_;
   ClientResponseCallback client_response_cb_;

@@ -23,11 +23,23 @@ Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
 void Proxy::SetObservability(obs::Observability* obs) {
   if (obs == nullptr) return;
   tracer_ = obs->tracer();
-  obs::MetricsRegistry* registry = obs->registry();
+  event_log_ = obs->event_log();
+  metrics_ = obs->registry();
+  audit_ = obs->audit_enabled();
   const std::string prefix = "replica" + std::to_string(id_) + ".";
-  ctr_early_aborts_ = registry->GetCounter(prefix + "early_aborts");
-  ctr_refresh_applied_ = registry->GetCounter(prefix + "refresh_applied");
-  ctr_dropped_ = registry->GetCounter(prefix + "dropped_while_down");
+  ctr_early_aborts_ = metrics_->GetCounter(prefix + "early_aborts");
+  ctr_refresh_applied_ = metrics_->GetCounter(prefix + "refresh_applied");
+  ctr_dropped_ = metrics_->GetCounter(prefix + "dropped_while_down");
+}
+
+void Proxy::RecordBlockedTime(SimTime blocked) {
+  if (!audit_ || metrics_ == nullptr) return;
+  if (blocked_hist_ == nullptr) {
+    blocked_hist_ = metrics_->GetHistogram(
+        std::string(obs::kBlockedHistogramPrefix) +
+        obs::WaitCauseName(wait_cause_) + "_us");
+  }
+  blocked_hist_->Add(static_cast<double>(blocked));
 }
 
 void Proxy::EmitSpan(const char* name, TxnId txn, SimTime start,
@@ -123,12 +135,13 @@ void Proxy::OnTxnRequest(const TxnRequest& request,
   }
   auto t = std::make_unique<ActiveTxn>();
   t->request = request;
+  t->required_version = required_version;
   t->prepared = &registry_->Get(request.type);
   t->arrive_time = sim_->Now();
   ActiveTxn* raw = t.get();
   SCREP_CHECK_MSG(active_.emplace(request.txn_id, std::move(t)).second,
                   "duplicate txn id " << request.txn_id);
-  if (v_local() >= required_version) {
+  if (v_local() >= required_version || config_.test_skip_version_check) {
     StartExecution(raw);
   } else {
     // Synchronization start delay: wait for the refresh stream to bring
@@ -160,6 +173,22 @@ void Proxy::StartExecution(ActiveTxn* t) {
   EmitSpan("proxy.start_delay", t->request.txn_id, t->arrive_time,
            t->stages.version);
   t->txn = db_->Begin();  // snapshot at current V_local
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kBeginAdmitted;
+    e.at = t->exec_start_time;
+    e.txn = t->request.txn_id;
+    e.session = t->request.session;
+    e.replica = id_;
+    e.required_version = t->required_version;
+    e.satisfied_version = t->txn->snapshot();
+    e.wait_cause = wait_cause_;
+    e.wait = t->stages.version;
+    event_log_->Append(std::move(e));
+  }
+  // Eager pays at the ack instead (see Respond); the lazy schemes' only
+  // blocked time is this start delay.
+  if (!eager_) RecordBlockedTime(t->stages.version);
   ExecuteNextStatement(t);
 }
 
@@ -384,6 +413,16 @@ void Proxy::TryApplyNext() {
       ++refresh_applied_;
       if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
     }
+    if (event_log_ != nullptr && event_log_->enabled()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kApply;
+      e.at = sim_->Now();
+      e.txn = apply.ws.txn_id;
+      e.replica = id_;
+      e.commit_version = apply.ws.commit_version;
+      e.local = apply.is_local;
+      event_log_->Append(std::move(e));
+    }
     if (eager_) replica_committed_cb_(apply.ws.txn_id);
     SettleLocalClaims();
     ReleaseBeginWaiters();
@@ -446,6 +485,10 @@ void Proxy::OnGlobalCommit(TxnId txn) {
 }
 
 void Proxy::Respond(ActiveTxn* t, TxnOutcome outcome) {
+  if (eager_ && outcome == TxnOutcome::kCommitted && t->txn != nullptr &&
+      !t->txn->read_only()) {
+    RecordBlockedTime(t->stages.global);
+  }
   TxnResponse response;
   response.txn_id = t->request.txn_id;
   response.type = t->request.type;

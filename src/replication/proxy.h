@@ -73,6 +73,10 @@ struct ProxyConfig {
   /// Attach read sets to writesets (set automatically when the system
   /// runs in serializable certification mode).
   bool attach_read_sets = false;
+  /// TEST ONLY: admit every BEGIN immediately, skipping the
+  /// synchronization start-delay version check.  Deliberately breaks the
+  /// guarantee so tests can prove the online auditor catches it.
+  bool test_skip_version_check = false;
 };
 
 /// One replica's middleware component.
@@ -101,8 +105,15 @@ class Proxy {
 
   /// Attaches the system's observability layer: per-transaction stage
   /// spans (start delay, statements, certification, ordering wait, commit,
-  /// eager global wait) plus early-abort / refresh / drop counters.
+  /// eager global wait) plus early-abort / refresh / drop counters, the
+  /// structured event log (BEGIN admissions, writeset applies) and — when
+  /// auditing — the blocked-time-by-cause staleness histogram.
   void SetObservability(obs::Observability* obs);
+
+  /// Tells the proxy which tracker the version tags come from under the
+  /// system's consistency configuration, for event annotation and
+  /// blocked-time attribution.  Called by the system at wiring time.
+  void SetWaitCause(obs::WaitCause cause) { wait_cause_ = cause; }
 
   /// A routed transaction request arrives; the load balancer tagged it
   /// with `required_version` — the replica delays BEGIN until
@@ -164,6 +175,7 @@ class Proxy {
   /// A client transaction in flight at this replica.
   struct ActiveTxn {
     TxnRequest request;
+    DbVersion required_version = 0;  ///< the load balancer's version tag
     const sql::PreparedTransaction* prepared = nullptr;
     std::unique_ptr<Transaction> txn;
     size_t next_stmt = 0;
@@ -223,6 +235,10 @@ class Proxy {
   /// Records a span on this replica's trace row (no-op without a tracer).
   void EmitSpan(const char* name, TxnId txn, SimTime start, SimTime duration,
                 const char* arg_name = nullptr, int64_t arg_value = 0);
+  /// Adds to the blocked-time-by-cause staleness histogram (auditing
+  /// only): the synchronization start delay for the lazy schemes, the
+  /// global commit wait for eager.
+  void RecordBlockedTime(SimTime blocked);
   /// Counts + logs a message discarded because the replica is down (or the
   /// transaction was lost in a crash).
   void NoteDroppedWhileDown(const char* what, TxnId txn);
@@ -260,6 +276,14 @@ class Proxy {
   obs::Counter* ctr_early_aborts_ = nullptr;
   obs::Counter* ctr_refresh_applied_ = nullptr;
   obs::Counter* ctr_dropped_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool audit_ = false;
+  obs::WaitCause wait_cause_ = obs::WaitCause::kNone;
+  /// "staleness.blocked.<cause>_us" (shared across replicas); created
+  /// lazily — and only when auditing — so audit-off metrics output is
+  /// unchanged.
+  Histogram* blocked_hist_ = nullptr;
 
   CertRequestCallback cert_request_cb_;
   ResponseCallback response_cb_;

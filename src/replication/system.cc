@@ -89,6 +89,9 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   system->load_balancer_->SetTableSets(system->table_sets_);
 
   system->Wire();
+  system->obs_->ConfigureAuditor(
+      ProvidesStrongConsistency(config.level),
+      config.level != ConsistencyLevel::kBoundedStaleness);
   system->RegisterGauges();
   system->obs_->StartSampling();
   if (config.gc_interval > 0) system->ScheduleGc();
@@ -145,6 +148,7 @@ void ReplicatedSystem::Wire() {
   // Replica proxy -> load balancer (responses).
   for (auto& replica : replicas_) {
     Proxy* proxy = replica->proxy();
+    proxy->SetWaitCause(load_balancer_->policy().wait_cause());
     proxy->SetObservability(obs_.get());
     proxy->SetResponseCallback([this, net](const TxnResponse& response) {
       sim_->Schedule(net.lb_replica, [this, response]() {
@@ -190,8 +194,22 @@ void ReplicatedSystem::WireLoadBalancer() {
       });
 }
 
+void ReplicatedSystem::EmitFaultEvent(obs::EventKind kind,
+                                      const char* component,
+                                      ReplicaId replica) {
+  obs::EventLog* log = obs_->event_log();
+  if (!log->enabled()) return;
+  obs::Event e;
+  e.kind = kind;
+  e.at = sim_->Now();
+  e.replica = replica;
+  e.detail = component;
+  log->Append(std::move(e));
+}
+
 void ReplicatedSystem::CrashLoadBalancer() {
   ++lb_failovers_;
+  EmitFaultEvent(obs::EventKind::kFailover, "lb", kNoReplica);
   SCREP_LOG(kWarn) << "[system] load balancer crash (failover #"
                    << lb_failovers_ << "): promoting a standby with "
                       "conservative floor "
@@ -263,6 +281,7 @@ void ReplicatedSystem::CrashCertifier() {
                   "no standby certifier configured");
   SCREP_CHECK_MSG(!certifier_failed_over_, "certifier already failed over");
   certifier_failed_over_ = true;
+  EmitFaultEvent(obs::EventKind::kFailover, "certifier", kNoReplica);
   SCREP_LOG(kWarn) << "[system] certifier crash: promoting the standby at "
                       "commit version "
                    << standby_certifier_->CommitVersion();
@@ -300,6 +319,7 @@ void ReplicatedSystem::CrashReplica(ReplicaId replica) {
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(!proxy->down(), "replica already down");
   SCREP_LOG(kWarn) << "[system] crash of replica " << replica;
+  EmitFaultEvent(obs::EventKind::kCrash, "replica", replica);
   proxy->Crash();
   certifier_->MarkReplicaDown(replica);
   // The load balancer notices the failure and fails outstanding
@@ -310,6 +330,7 @@ void ReplicatedSystem::CrashReplica(ReplicaId replica) {
 void ReplicatedSystem::RecoverReplica(ReplicaId replica) {
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(proxy->down(), "replica is not down");
+  EmitFaultEvent(obs::EventKind::kRecover, "replica", replica);
   SCREP_LOG(kInfo) << "[system] recovery of replica " << replica
                    << " from V_local=" << proxy->v_local()
                    << " (certifier at " << certifier_->CommitVersion() << ")";
@@ -362,7 +383,8 @@ void ReplicatedSystem::Submit(TxnRequest request) {
 
 void ReplicatedSystem::RecordHistory(const TxnResponse& response,
                                      SimTime ack_time) {
-  if (history_ == nullptr) return;
+  obs::EventLog* event_log = obs_->event_log();
+  if (history_ == nullptr && !event_log->enabled()) return;
   TxnRecord record;
   record.id = response.txn_id;
   record.session = response.session;
@@ -388,7 +410,25 @@ void ReplicatedSystem::RecordHistory(const TxnResponse& response,
     record.tables_written.push_back(table);
   }
   record.keys_written = response.keys_written;
-  history_->Add(std::move(record));
+  if (event_log->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kTxnFinished;
+    e.at = ack_time;
+    e.txn = record.id;
+    e.session = record.session;
+    e.replica = record.replica;
+    e.snapshot = record.snapshot;
+    e.commit_version = record.commit_version;
+    e.committed = record.committed;
+    e.read_only = record.read_only;
+    e.submit_time = record.submit_time;
+    e.start_time = record.start_time;
+    e.table_set = record.table_set;
+    e.tables_written = record.tables_written;
+    e.keys_written = record.keys_written;
+    event_log->Append(std::move(e));
+  }
+  if (history_ != nullptr) history_->Add(std::move(record));
 }
 
 }  // namespace screp

@@ -141,6 +141,10 @@ class ReplicatedSystem {
 
   void Wire();
   void RecordHistory(const TxnResponse& response, SimTime ack_time);
+  /// Appends a crash/recover/failover event for `component` ("replica",
+  /// "certifier", "lb") to the event log.
+  void EmitFaultEvent(obs::EventKind kind, const char* component,
+                      ReplicaId replica);
   /// Schedules the next MVCC garbage-collection sweep.
   void ScheduleGc();
   /// Registers the component state gauges (queue depths, version lag,

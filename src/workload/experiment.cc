@@ -1,8 +1,26 @@
 #include "workload/experiment.h"
 
 #include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
 
 namespace screp {
+
+std::string AuditSummary::ToString() const {
+  if (!enabled) return "audit: off";
+  std::ostringstream out;
+  if (ok) {
+    out << "audit: OK (" << events << " events, " << checks << " checks)";
+  } else {
+    out << "audit: FAILED with " << violations << " violation(s)";
+    if (!first_violation.empty()) out << "; first: " << first_violation;
+  }
+  out << "; version lag at BEGIN p50/p95/p99 = " << version_lag_p50 << "/"
+      << version_lag_p95 << "/" << version_lag_p99
+      << ", snapshot age p95 = " << snapshot_age_p95_ms << " ms";
+  return out.str();
+}
 
 std::string ExperimentResult::Header() {
   return "config  repl cli |    TPS  resp(ms) p99(ms) syncd(ms) | "
@@ -25,6 +43,49 @@ std::string ExperimentResult::ToLine() const {
   return buf;
 }
 
+std::string ExperimentResult::ToJson() const {
+  std::ostringstream out;
+  out << "{\"workload\":\"" << obs::JsonEscape(workload) << "\""
+      << ",\"level\":\"" << ConsistencyLevelName(level) << "\""
+      << ",\"replicas\":" << replicas << ",\"clients\":" << clients
+      << ",\"throughput_tps\":" << throughput_tps
+      << ",\"response_ms\":{\"mean\":" << mean_response_ms
+      << ",\"p50\":" << p50_response_ms << ",\"p95\":" << p95_response_ms
+      << ",\"p99\":" << p99_response_ms << "}"
+      << ",\"sync_delay_ms\":" << sync_delay_ms
+      << ",\"stages_ms\":{\"version\":" << version_ms
+      << ",\"queries\":" << queries_ms << ",\"certify\":" << certify_ms
+      << ",\"sync\":" << sync_ms << ",\"commit\":" << commit_ms
+      << ",\"global\":" << global_ms << "}"
+      << ",\"committed\":" << committed
+      << ",\"committed_updates\":" << committed_updates
+      << ",\"cert_aborts\":" << cert_aborts
+      << ",\"early_aborts\":" << early_aborts
+      << ",\"exec_errors\":" << exec_errors
+      << ",\"replica_failures\":" << replica_failures
+      << ",\"replica_cpu_utilization\":" << replica_cpu_utilization
+      << ",\"certifier_disk_utilization\":" << certifier_disk_utilization;
+  if (audit.enabled) {
+    out << ",\"audit\":{\"ok\":" << (audit.ok ? "true" : "false")
+        << ",\"events\":" << audit.events << ",\"checks\":" << audit.checks
+        << ",\"violations\":" << audit.violations;
+    if (!audit.first_violation.empty()) {
+      out << ",\"first_violation\":\""
+          << obs::JsonEscape(audit.first_violation) << "\"";
+    }
+    out << ",\"staleness\":{\"version_lag\":{\"p50\":"
+        << audit.version_lag_p50 << ",\"p95\":" << audit.version_lag_p95
+        << ",\"p99\":" << audit.version_lag_p99
+        << "},\"snapshot_age_ms\":{\"p50\":" << audit.snapshot_age_p50_ms
+        << ",\"p95\":" << audit.snapshot_age_p95_ms
+        << ",\"p99\":" << audit.snapshot_age_p99_ms << "}}}";
+  } else {
+    out << ",\"audit\":null";
+  }
+  out << "}";
+  return out.str();
+}
+
 Result<ExperimentResult> RunExperiment(const Workload& workload,
                                        const ExperimentConfig& config) {
   Simulator sim;
@@ -34,6 +95,9 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   if (!config.metrics_json_path.empty() &&
       system_config.obs.sample_period == 0) {
     system_config.obs.sample_period = Millis(500);
+  }
+  if (config.audit || !config.audit_json_path.empty()) {
+    system_config.obs.audit = true;
   }
   SCREP_ASSIGN_OR_RETURN(
       auto system,
@@ -106,6 +170,10 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
     SCREP_RETURN_NOT_OK(
         system->obs()->WriteTraceJson(config.trace_json_path));
   }
+  if (!config.audit_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteAuditJson(config.audit_json_path));
+  }
 
   ExperimentResult result;
   result.workload = workload.name();
@@ -114,6 +182,8 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   result.clients = config.client_count;
   result.throughput_tps = metrics.Throughput();
   result.mean_response_ms = metrics.MeanResponseMs();
+  result.p50_response_ms = metrics.response_histogram().Percentile(0.5) / 1e3;
+  result.p95_response_ms = metrics.response_histogram().Percentile(0.95) / 1e3;
   result.p99_response_ms = metrics.P99ResponseMs();
   result.sync_delay_ms = metrics.MeanSyncDelayMs();
   result.version_ms =
@@ -143,6 +213,27 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
       cpu_total / static_cast<double>(system->replica_count());
   result.certifier_disk_utilization =
       system->certifier()->disk()->Utilization();
+
+  if (const obs::Auditor* auditor = system->obs()->auditor()) {
+    result.audit.enabled = true;
+    result.audit.ok = auditor->ok();
+    result.audit.events = auditor->events_consumed();
+    result.audit.checks = auditor->checks_performed();
+    result.audit.violations = auditor->violation_count();
+    if (!auditor->violations().empty()) {
+      const auto& v = auditor->violations().front();
+      result.audit.first_violation = "[" + v.check + "] " + v.detail;
+    }
+    obs::MetricsRegistry* registry = system->obs()->registry();
+    const Histogram* lag = registry->GetHistogram(obs::kVersionLagHistogram);
+    result.audit.version_lag_p50 = lag->Percentile(0.5);
+    result.audit.version_lag_p95 = lag->Percentile(0.95);
+    result.audit.version_lag_p99 = lag->Percentile(0.99);
+    const Histogram* age = registry->GetHistogram(obs::kSnapshotAgeHistogram);
+    result.audit.snapshot_age_p50_ms = age->Percentile(0.5) / 1e3;
+    result.audit.snapshot_age_p95_ms = age->Percentile(0.95) / 1e3;
+    result.audit.snapshot_age_p99_ms = age->Percentile(0.99) / 1e3;
+  }
   return result;
 }
 

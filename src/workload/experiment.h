@@ -43,6 +43,33 @@ struct ExperimentConfig {
   /// When non-empty, the per-transaction trace is written here in Chrome
   /// trace-event JSON after the run (turns tracing on).
   std::string trace_json_path;
+  /// Turns on the structured event log + online consistency auditor for
+  /// this run (ExperimentResult::audit then carries the verdict).
+  bool audit = false;
+  /// When non-empty, the end-of-run audit report (auditor verdict +
+  /// staleness histograms) is written here as JSON (implies `audit`).
+  std::string audit_json_path;
+};
+
+/// The online auditor's end-of-run verdict plus the staleness
+/// percentiles, as carried in ExperimentResult (all zero when the run
+/// did not audit).
+struct AuditSummary {
+  bool enabled = false;
+  bool ok = true;
+  int64_t events = 0;
+  int64_t checks = 0;
+  int64_t violations = 0;
+  /// "[check] detail" of the first violation (empty when ok).
+  std::string first_violation;
+
+  // Staleness attribution at BEGIN (versions / milliseconds).
+  double version_lag_p50 = 0, version_lag_p95 = 0, version_lag_p99 = 0;
+  double snapshot_age_p50_ms = 0, snapshot_age_p95_ms = 0,
+         snapshot_age_p99_ms = 0;
+
+  /// One-line human summary.
+  std::string ToString() const;
 };
 
 /// Aggregates of one run (times in ms, throughput in TPS).
@@ -54,6 +81,8 @@ struct ExperimentResult {
 
   double throughput_tps = 0;
   double mean_response_ms = 0;
+  double p50_response_ms = 0;
+  double p95_response_ms = 0;
   double p99_response_ms = 0;
   double sync_delay_ms = 0;
 
@@ -71,9 +100,20 @@ struct ExperimentResult {
   double replica_cpu_utilization = 0;  // mean over replicas
   double certifier_disk_utilization = 0;
 
+  /// Online-audit verdict + staleness percentiles (zero unless the run
+  /// had ExperimentConfig::audit on).
+  AuditSummary audit;
+
   /// One fixed-width report line; see ResultHeader() for the columns.
+  /// (Audit results are NOT part of the line: audit-off output is
+  /// byte-identical to runs before auditing existed.)
   std::string ToLine() const;
   static std::string Header();
+
+  /// The result as one JSON object (throughput, latency percentiles,
+  /// abort counts, staleness percentiles, audit verdict) — the
+  /// machine-readable form behind the bench drivers' BENCH_*.json.
+  std::string ToJson() const;
 };
 
 /// Runs one experiment. Fails only on setup errors (schema/preparation);

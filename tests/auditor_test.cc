@@ -1,0 +1,262 @@
+// Unit tests for the online consistency auditor, driven by synthetic
+// event streams: a clean history passes, each check fires on the exact
+// anomaly it guards against, and the failover duplicate-verdict case is
+// tolerated.
+
+#include <gtest/gtest.h>
+
+#include "obs/auditor.h"
+#include "obs/metrics_registry.h"
+
+namespace screp::obs {
+namespace {
+
+Event Certify(TxnId txn, DbVersion version, SimTime at) {
+  Event e;
+  e.kind = EventKind::kCertVerdict;
+  e.txn = txn;
+  e.at = at;
+  e.commit_version = version;
+  e.snapshot = version - 1;
+  e.committed = true;
+  e.read_only = false;
+  return e;
+}
+
+Event Begin(TxnId txn, DbVersion required, DbVersion satisfied, SimTime at) {
+  Event e;
+  e.kind = EventKind::kBeginAdmitted;
+  e.txn = txn;
+  e.at = at;
+  e.replica = 0;
+  e.required_version = required;
+  e.satisfied_version = satisfied;
+  e.wait_cause = WaitCause::kSystemVersion;
+  return e;
+}
+
+Event Apply(ReplicaId replica, DbVersion version, SimTime at) {
+  Event e;
+  e.kind = EventKind::kApply;
+  e.txn = version;
+  e.at = at;
+  e.replica = replica;
+  e.commit_version = version;
+  return e;
+}
+
+Event FinishUpdate(TxnId txn, DbVersion snapshot, DbVersion commit,
+                   SimTime submit, SimTime ack,
+                   std::vector<std::pair<TableId, int64_t>> keys) {
+  Event e;
+  e.kind = EventKind::kTxnFinished;
+  e.txn = txn;
+  e.at = ack;
+  e.session = 1;
+  e.snapshot = snapshot;
+  e.commit_version = commit;
+  e.committed = true;
+  e.read_only = false;
+  e.submit_time = submit;
+  e.start_time = submit;
+  for (const auto& key : keys) {
+    if (e.table_set.empty() || e.table_set.back() != key.first) {
+      e.table_set.push_back(key.first);
+      e.tables_written.push_back(key.first);
+    }
+  }
+  e.keys_written = std::move(keys);
+  return e;
+}
+
+Event FinishRead(TxnId txn, DbVersion snapshot, SimTime submit, SimTime ack,
+                 std::vector<TableId> table_set, SessionId session = 1) {
+  Event e;
+  e.kind = EventKind::kTxnFinished;
+  e.txn = txn;
+  e.at = ack;
+  e.session = session;
+  e.snapshot = snapshot;
+  e.committed = true;
+  e.read_only = true;
+  e.submit_time = submit;
+  e.start_time = submit;
+  e.table_set = std::move(table_set);
+  return e;
+}
+
+TEST(AuditorTest, CleanHistoryPasses) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Apply(0, 1, 12));
+  auditor.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));
+  auditor.OnEvent(Begin(2, 1, 1, 20));
+  auditor.OnEvent(FinishRead(2, 1, 18, 25, {0}));
+  auditor.OnEvent(Certify(3, 2, 30));
+  auditor.OnEvent(Apply(0, 2, 32));
+  auditor.OnEvent(FinishUpdate(3, 1, 2, 20, 35, {{0, 8}}));
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  EXPECT_EQ(auditor.max_commit_version(), 2);
+  EXPECT_GT(auditor.checks_performed(), 0);
+  EXPECT_EQ(auditor.events_consumed(), 8);
+}
+
+TEST(AuditorTest, AdmissionBelowVersionTagFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Begin(1, /*required=*/5, /*satisfied=*/3, 10));
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "admission");
+  EXPECT_EQ(auditor.violations()[0].txn, 1);
+}
+
+TEST(AuditorTest, RouteTagBeyondIssuedVersionsFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  Event route;
+  route.kind = EventKind::kRoute;
+  route.txn = 2;
+  route.at = 20;
+  route.required_version = 9;  // certifier only issued up to 1
+  auditor.OnEvent(route);
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "route");
+}
+
+TEST(AuditorTest, DuplicateVersionFromDifferentTxnFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Certify(2, 1, 20));  // different txn claims version 1
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "total-order");
+}
+
+TEST(AuditorTest, FailoverReannouncementIsTolerated) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  // A promoted standby re-decides the forwarded writeset: same txn, same
+  // version. Benign.
+  auditor.OnEvent(Certify(1, 1, 30));
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+}
+
+TEST(AuditorTest, VersionGapFiresOnceThenResyncs) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Certify(2, 4, 20));  // skips 2 and 3
+  auditor.OnEvent(Certify(3, 5, 30));  // dense again after resync
+  EXPECT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "total-order");
+  EXPECT_EQ(auditor.max_commit_version(), 5);
+}
+
+TEST(AuditorTest, OutOfOrderApplyFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Certify(2, 2, 11));
+  auditor.OnEvent(Apply(0, 1, 12));
+  auditor.OnEvent(Apply(1, 2, 13));  // replica 1 skipped version 1
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "apply-order");
+  EXPECT_NE(auditor.violations()[0].detail.find("replica 1"),
+            std::string::npos);
+}
+
+TEST(AuditorTest, FirstCommitterWinsOverlapFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Certify(2, 2, 20));
+  auditor.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));
+  // Txn 2 also read snapshot 0 (concurrent with txn 1) and wrote the same
+  // key — the certifier should have aborted it.
+  auditor.OnEvent(FinishUpdate(2, 0, 2, 6, 25, {{0, 7}}));
+  ASSERT_GE(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "fcw");
+}
+
+TEST(AuditorTest, Definition1StaleSnapshotFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));
+  // Submitted at t=20, after txn 1's ack at t=15, but read snapshot 0:
+  // misses a transaction committed before it was submitted.  (Different
+  // session, so Definition 2 stays quiet and only Definition 1 fires.)
+  auditor.OnEvent(FinishRead(2, 0, 20, 30, {0}, /*session=*/2));
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "definition1");
+  EXPECT_NE(auditor.violations()[0].detail.find("txn 1"), std::string::npos);
+}
+
+TEST(AuditorTest, Definition1AllowsConcurrentSubmission) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));
+  // Submitted at t=12 < ack t=15: concurrent, allowed to miss txn 1.
+  auditor.OnEvent(FinishRead(2, 0, 12, 30, {0}));
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+}
+
+TEST(AuditorTest, Definition2FiresWhenStrongCheckingIsOff) {
+  AuditorConfig config;
+  config.check_strong = false;  // session-consistency configurations
+  Auditor auditor(config, nullptr);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));  // session 1
+  // Same session submits after the ack but reads the old snapshot: breaks
+  // Definition 2 even though Definition 1 is not being enforced.
+  auditor.OnEvent(FinishRead(2, 0, 20, 30, {0}, /*session=*/1));
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "definition2");
+
+  // A different session reading stale is fine under session consistency.
+  Auditor relaxed(config, nullptr);
+  relaxed.OnEvent(Certify(1, 1, 10));
+  relaxed.OnEvent(FinishUpdate(1, 0, 1, 5, 15, {{0, 7}}));
+  relaxed.OnEvent(FinishRead(2, 0, 20, 30, {0}, /*session=*/2));
+  EXPECT_TRUE(relaxed.ok()) << relaxed.Summary();
+}
+
+TEST(AuditorTest, SnapshotBeyondCertifiedVersionFires) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(FinishRead(1, 5, 10, 20, {0}));  // nothing certified yet
+  ASSERT_EQ(auditor.violation_count(), 1);
+  EXPECT_EQ(auditor.violations()[0].check, "total-order");
+}
+
+TEST(AuditorTest, ViolationRecordingIsCappedButCountRuns) {
+  AuditorConfig config;
+  config.max_recorded_violations = 2;
+  Auditor auditor(config, nullptr);
+  for (TxnId t = 1; t <= 5; ++t) {
+    auditor.OnEvent(Begin(t, /*required=*/10, /*satisfied=*/0, t));
+  }
+  EXPECT_EQ(auditor.violation_count(), 5);
+  EXPECT_EQ(auditor.violations().size(), 2u);
+}
+
+TEST(AuditorTest, StalenessHistogramsLandInTheRegistry) {
+  MetricsRegistry registry;
+  Auditor auditor(AuditorConfig{}, &registry);
+  auditor.OnEvent(Certify(1, 1, 10));
+  auditor.OnEvent(Certify(2, 2, 20));
+  // BEGIN at version 1 while the certifier is at 2: lag 1, snapshot age
+  // = now - certify time of the first missed version (2, certified t=20).
+  auditor.OnEvent(Begin(3, 1, 1, 50));
+  const Histogram* lag = registry.GetHistogram(kVersionLagHistogram);
+  ASSERT_EQ(lag->count(), 1);
+  EXPECT_DOUBLE_EQ(lag->max(), 1.0);
+  const Histogram* age = registry.GetHistogram(kSnapshotAgeHistogram);
+  ASSERT_EQ(age->count(), 1);
+  EXPECT_DOUBLE_EQ(age->max(), 30.0);
+}
+
+TEST(AuditorTest, JsonReportCarriesViolations) {
+  Auditor auditor(AuditorConfig{}, nullptr);
+  auditor.OnEvent(Begin(1, 5, 3, 10));
+  const std::string json = auditor.ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"check\":\"admission\""), std::string::npos);
+  EXPECT_NE(auditor.Summary().find("audit FAILED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace screp::obs

@@ -68,6 +68,12 @@ TEST(HistogramTest, EmptyPercentilesZero) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.Percentile(0.5), 0.0);
+  // The extreme quantiles of nothing are also nothing — the audit report
+  // renders p50/p95/p99 of runs that never blocked, so these must not
+  // trap or return garbage.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
 }
 
 TEST(HistogramTest, SingleValue) {
@@ -76,6 +82,28 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_EQ(h.count(), 1);
   EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
   EXPECT_NEAR(h.Percentile(0.5), 1000.0, 1000.0 * 0.03);
+  // Every quantile of a single-sample series is that sample (within the
+  // log-bucket resolution).
+  EXPECT_NEAR(h.Percentile(0.01), 1000.0, 1000.0 * 0.03);
+  EXPECT_NEAR(h.Percentile(0.99), 1000.0, 1000.0 * 0.03);
+  EXPECT_DOUBLE_EQ(h.min(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  for (int i = 0; i < 50; ++i) a.Add(100);
+  const double before = a.Percentile(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 50);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), before);
+
+  Histogram b;
+  b.Merge(a);  // merging into empty adopts the donor's distribution
+  EXPECT_EQ(b.count(), 50);
+  EXPECT_DOUBLE_EQ(b.Percentile(0.5), before);
+  EXPECT_DOUBLE_EQ(b.min(), a.min());
+  EXPECT_DOUBLE_EQ(b.max(), a.max());
 }
 
 TEST(HistogramTest, PercentilesWithinRelativeError) {

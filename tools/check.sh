@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds and tests the repo in the normal configuration, then again with
-# AddressSanitizer + UndefinedBehaviorSanitizer (SCREP_SANITIZE).
+# AddressSanitizer + UndefinedBehaviorSanitizer, then with
+# ThreadSanitizer (separate build trees; TSan cannot combine with ASan).
 #
 # Usage: tools/check.sh [--no-sanitize]
 
@@ -22,6 +23,11 @@ if [[ "$SANITIZE" == "1" ]]; then
   cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j)
+
+  echo "== sanitized build (thread) =="
+  cmake -B build-tsan -S . -DSCREP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j
+  (cd build-tsan && ctest --output-on-failure -j)
 fi
 
 echo "== all checks passed =="
