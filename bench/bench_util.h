@@ -41,6 +41,11 @@ struct BenchOptions {
   /// (throughput, latency percentiles, staleness percentiles).  The bare
   /// flag defaults to BENCH_<driver>.json in the working directory.
   std::string bench_json;
+  /// --apply-lanes=N: how many certified writesets each replica may
+  /// execute concurrently (out-of-order execution, in-order version
+  /// publish).  0 keeps the driver's own default (the paper's serial
+  /// apply, N=1).
+  int apply_lanes = 0;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -70,6 +75,9 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--audit-json") == 0 && i + 1 < argc) {
       options.audit_json = argv[++i];
       options.audit = true;
+    } else if (std::strncmp(argv[i], "--apply-lanes=", 14) == 0) {
+      options.apply_lanes = static_cast<int>(std::strtol(argv[i] + 14,
+                                                         nullptr, 10));
     } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
       options.bench_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--bench-json") == 0) {
@@ -111,6 +119,9 @@ inline void ApplyObservability(const BenchOptions& options,
   if (options.audit) config->audit = true;
   if (!options.audit_json.empty()) {
     config->audit_json_path = TaggedPath(options.audit_json, tag);
+  }
+  if (options.apply_lanes > 0) {
+    config->system.proxy.apply_lanes = options.apply_lanes;
   }
 }
 

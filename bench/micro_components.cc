@@ -2,11 +2,22 @@
 // operations, SQL parse/execute, writeset certification, version
 // trackers, and the discrete-event core. These are sanity/ablation
 // benches, not paper figures.
+//
+// `--bench-json[=path]` switches to a self-measured summary mode instead:
+// it times indexed vs. linear-scan certification across conflict-window
+// sizes and the apply-lane pipeline across lane counts, prints the
+// speedups, and writes them as JSON (default BENCH_certifier.json).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
 #include "core/table_version_tracker.h"
 #include "replication/certifier.h"
+#include "replication/proxy.h"
 #include "sim/simulator.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -198,7 +209,245 @@ void BM_CertifierThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_CertifierThroughput);
 
+// A certifier with its conflict window pre-filled with distinct-key
+// commits, fed probe writesets whose snapshots sit at the far edge of the
+// window — the linear-scan oracle must rescan the entire window per
+// decision while the indexed path does O(|writeset|) lookups.
+class CertifierHarness {
+ public:
+  CertifierHarness(size_t window, bool linear_scan, int ws_size)
+      : ws_size_(ws_size), window_(static_cast<DbVersion>(window)) {
+    CertifierConfig config;
+    config.conflict_window = window;
+    config.linear_scan_oracle = linear_scan;
+    certifier_ = std::make_unique<Certifier>(&sim_, config, 4,
+                                             /*eager=*/false);
+    certifier_->SetDecisionCallback([](ReplicaId, const CertDecision&) {});
+    certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    for (size_t i = 0; i < window; ++i) Submit(certifier_->CommitVersion());
+    sim_.RunAll();
+    SCREP_CHECK(certifier_->abort_count() == 0);
+  }
+
+  /// Submits and decides `count` non-conflicting probes.  Probe i is
+  /// certified at commit version v+i with snapshot v+i-window: the oldest
+  /// snapshot that escapes the conservative window abort, so the whole
+  /// window is eligible for conflicts.
+  void RunProbes(int count) {
+    const DbVersion v = certifier_->CommitVersion();
+    for (int i = 0; i < count; ++i) {
+      Submit(v - window_ + static_cast<DbVersion>(i));
+    }
+    sim_.RunAll();
+    SCREP_CHECK(certifier_->window_abort_count() == 0);
+  }
+
+ private:
+  void Submit(DbVersion snapshot) {
+    WriteSet ws;
+    ws.txn_id = next_txn_++;
+    ws.origin = 0;
+    ws.snapshot_version = snapshot;
+    for (int i = 0; i < ws_size_; ++i) {
+      ws.Add(0, next_key_++, WriteType::kUpdate, Row{Value(int64_t{1})});
+    }
+    certifier_->SubmitCertification(std::move(ws));
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Certifier> certifier_;
+  int ws_size_;
+  DbVersion window_;
+  TxnId next_txn_ = 1;
+  int64_t next_key_ = 0;
+};
+
+void BM_CertifierDecisionIndexed(benchmark::State& state) {
+  CertifierHarness harness(static_cast<size_t>(state.range(0)),
+                           /*linear_scan=*/false,
+                           static_cast<int>(state.range(1)));
+  for (auto _ : state) harness.RunProbes(32);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CertifierDecisionIndexed)
+    ->Args({1024, 2})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Args({16384, 8})
+    ->Args({4096, 32});
+
+void BM_CertifierDecisionLinearScan(benchmark::State& state) {
+  CertifierHarness harness(static_cast<size_t>(state.range(0)),
+                           /*linear_scan=*/true,
+                           static_cast<int>(state.range(1)));
+  for (auto _ : state) harness.RunProbes(32);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CertifierDecisionLinearScan)
+    ->Args({1024, 2})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Args({16384, 8})
+    ->Args({4096, 32});
+
+// One proxy fed a backlog of distinct-key refresh writesets under a
+// deterministic service-time model; the interesting number is the
+// *simulated* makespan, which shrinks as lanes are added.
+class ApplyLaneHarness {
+ public:
+  ApplyLaneHarness(int lanes, int64_t refreshes) : refreshes_(refreshes) {
+    auto table = db_.CreateTable(
+        "t", Schema({{"id", ValueType::kInt64}, {"val", ValueType::kInt64}}));
+    SCREP_CHECK(table.ok());
+    table_ = *table;
+    for (int64_t k = 0; k < refreshes; ++k) {
+      SCREP_CHECK(db_.BulkLoad(table_, {Value(k), Value(int64_t{0})}).ok());
+    }
+    ProxyConfig config;
+    config.apply_lanes = lanes;
+    config.cpu_cores = 16;        // lanes, not cores, are the bottleneck
+    config.service_spread = 0.0;  // deterministic apply cost
+    config.stall_probability = 0.0;
+    proxy_ = std::make_unique<Proxy>(&sim_, 0, &db_, &registry_, config,
+                                     /*eager=*/false);
+    proxy_->SetCertRequestCallback([](const WriteSet&) {});
+    proxy_->SetResponseCallback([](const TxnResponse&) {});
+    proxy_->SetReplicaCommittedCallback([](TxnId) {});
+  }
+
+  /// Feeds the whole refresh backlog at time 0 and returns the simulated
+  /// makespan of applying (and publishing) all of it.
+  SimTime Run() {
+    for (int64_t i = 0; i < refreshes_; ++i) {
+      WriteSet ws;
+      ws.txn_id = static_cast<TxnId>(1000 + i);
+      ws.origin = 1;
+      ws.commit_version = i + 1;
+      ws.Add(table_, i, WriteType::kUpdate, Row{Value(i), Value(int64_t{1})});
+      proxy_->OnRefresh(ws);
+    }
+    sim_.RunAll();
+    SCREP_CHECK(proxy_->v_local() == refreshes_);
+    return sim_.Now();
+  }
+
+ private:
+  Simulator sim_;
+  Database db_;
+  TableId table_ = -1;
+  sql::TransactionRegistry registry_;
+  std::unique_ptr<Proxy> proxy_;
+  int64_t refreshes_;
+};
+
+void BM_ApplyLaneMakespan(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  SimTime makespan = 0;
+  for (auto _ : state) {
+    ApplyLaneHarness harness(lanes, 256);
+    makespan = harness.Run();
+    benchmark::DoNotOptimize(makespan);
+  }
+  state.counters["sim_makespan_ms"] =
+      static_cast<double>(makespan) / 1000.0;
+}
+BENCHMARK(BM_ApplyLaneMakespan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------
+// --bench-json summary mode.
+
+double MeasureDecisionsPerSec(size_t window, bool linear_scan, int ws_size,
+                              int probes) {
+  CertifierHarness harness(window, linear_scan, ws_size);
+  const auto start = std::chrono::steady_clock::now();
+  harness.RunProbes(probes);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return probes / std::max(elapsed.count(), 1e-9);
+}
+
+int RunBenchJson(const std::string& path) {
+  std::string json = "{\"driver\":\"micro_components\",\"certifier\":[";
+  std::printf("certifier decision throughput (indexed vs linear-scan "
+              "oracle, ws_size=8)\n");
+  std::printf("%10s %14s %14s %9s\n", "window", "indexed/s", "linear/s",
+              "speedup");
+  bool first = true;
+  double speedup_at_4096 = 0.0;
+  for (const size_t window : {size_t{1024}, size_t{4096}, size_t{16384}}) {
+    // The linear scan is O(window) per decision: shrink its probe count
+    // with the window to keep the run short.
+    const int linear_probes =
+        std::max(128, static_cast<int>((1 << 21) / window));
+    const double indexed =
+        MeasureDecisionsPerSec(window, /*linear_scan=*/false, 8, 8192);
+    const double linear = MeasureDecisionsPerSec(window, /*linear_scan=*/true,
+                                                 8, linear_probes);
+    const double speedup = indexed / linear;
+    if (window == 4096) speedup_at_4096 = speedup;
+    std::printf("%10zu %14.0f %14.0f %8.1fx\n", window, indexed, linear,
+                speedup);
+    if (!first) json += ",";
+    first = false;
+    json += "{\"window\":" + std::to_string(window) +
+            ",\"ws_size\":8,\"indexed_per_sec\":" +
+            std::to_string(indexed) +
+            ",\"linear_per_sec\":" + std::to_string(linear) +
+            ",\"speedup\":" + std::to_string(speedup) + "}";
+  }
+  json += "],\"apply_lanes\":[";
+  std::printf("\napply-lane pipeline (256 distinct-key refreshes, "
+              "simulated makespan)\n");
+  std::printf("%10s %14s %9s\n", "lanes", "makespan_ms", "speedup");
+  SimTime serial_makespan = 0;
+  first = true;
+  for (const int lanes : {1, 2, 4, 8}) {
+    ApplyLaneHarness harness(lanes, 256);
+    const SimTime makespan = harness.Run();
+    if (lanes == 1) serial_makespan = makespan;
+    const double speedup = static_cast<double>(serial_makespan) /
+                           static_cast<double>(makespan);
+    std::printf("%10d %14.2f %8.2fx\n", lanes,
+                static_cast<double>(makespan) / 1000.0, speedup);
+    if (!first) json += ",";
+    first = false;
+    json += "{\"lanes\":" + std::to_string(lanes) + ",\"makespan_ms\":" +
+            std::to_string(static_cast<double>(makespan) / 1000.0) +
+            ",\"speedup_vs_serial\":" + std::to_string(speedup) + "}";
+  }
+  json += "]}\n";
+  std::ofstream out(path);
+  out << json;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  if (speedup_at_4096 < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: indexed certification only %.1fx faster than the "
+                 "linear-scan oracle at window 4096 (expected >= 5x)\n",
+                 speedup_at_4096);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace screp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      return screp::RunBenchJson(argv[i] + 13);
+    }
+    if (std::strcmp(argv[i], "--bench-json") == 0) {
+      return screp::RunBenchJson("BENCH_certifier.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

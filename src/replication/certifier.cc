@@ -14,6 +14,7 @@ Certifier::Certifier(Simulator* sim, CertifierConfig config,
       eager_(eager),
       cpu_(sim, "certifier-cpu", 1),
       disk_(sim, "certifier-disk", 1),
+      conflict_index_(config.mode == CertificationMode::kSerializable),
       eager_tracker_(replica_count),
       replica_down_(static_cast<size_t>(replica_count), false) {}
 
@@ -86,6 +87,20 @@ void Certifier::EmitVerdict(const WriteSet& ws, bool commit,
   event_log_->Append(std::move(e));
 }
 
+void Certifier::RecordDecision(const CertDecision& decision) {
+  decided_[decision.txn_id] = decision;
+  decided_log_.emplace_back(v_commit_, decision.txn_id);
+  // Retire decisions a full conflict window old: a transaction
+  // re-submitted that long after its decision would be window-aborted
+  // anyway, so idempotence only needs the in-window tail.
+  const DbVersion horizon = static_cast<DbVersion>(config_.conflict_window);
+  while (!decided_log_.empty() &&
+         v_commit_ - decided_log_.front().first > horizon) {
+    decided_.erase(decided_log_.front().second);
+    decided_log_.pop_front();
+  }
+}
+
 void Certifier::Certify(WriteSet ws) {
   // Idempotence: a transaction re-submitted after a certifier failover
   // (or a duplicated message) gets its original decision.
@@ -113,54 +128,94 @@ void Certifier::Certify(WriteSet ws) {
     }
     EmitVerdict(ws, /*commit=*/false, "window", kNoVersion, 0);
     CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
-    decided_[ws.txn_id] = decision;
+    RecordDecision(decision);
     if (!muted_) decision_cb_(ws.origin, decision);
     return;
   }
   // First-committer-wins: conflict with any writeset committed after this
-  // transaction's snapshot aborts it. recent_ is ascending by version, so
-  // scan from the back and stop at the snapshot. Serializable mode also
-  // aborts read-write conflicts (this transaction read data a concurrent
-  // committed transaction wrote).
+  // transaction's snapshot aborts it.  Serializable mode also aborts
+  // read-write conflicts (this transaction read data a concurrent
+  // committed transaction wrote).  The indexed path looks each written /
+  // read key up in the conflict index — O(|writeset|) — and reports the
+  // newest conflicting version, exactly what the oracle's newest-first
+  // window rescan reports.
   const bool serializable =
       config_.mode == CertificationMode::kSerializable;
-  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
-    if (it->commit_version <= ws.snapshot_version) break;
-    const bool ww = ws.ConflictsWith(*it);
-    const bool rw = serializable && ws.ReadsConflictWith(*it);
-    if (ww || rw) {
-      ++aborts_;
-      if (!ww && rw) ++rw_aborts_;
-      if (!muted_) {
-        if (!ww && rw) {
-          if (ctr_aborts_rw_ != nullptr) ctr_aborts_rw_->Increment();
-        } else if (ctr_aborts_ww_ != nullptr) {
-          ctr_aborts_ww_->Increment();
-        }
-        SCREP_LOG(kDebug) << "[certifier] certification abort of txn "
-                          << ws.txn_id << " from replica " << ws.origin
-                          << " (snapshot " << ws.snapshot_version << "): "
-                          << (ww ? "write-write" : "read-write")
-                          << " conflict with committed version "
-                          << it->commit_version;
+  bool ww = false, rw = false;
+  DbVersion conflict_version = kNoVersion;
+  TxnId conflict_txn = 0;
+  if (config_.linear_scan_oracle) {
+    // recent_ is ascending by version: scan from the back and stop at
+    // the snapshot; the first conflict found is the newest.
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+      if (it->commit_version <= ws.snapshot_version) break;
+      ww = ws.ConflictsWith(*it);
+      rw = serializable && ws.ReadsConflictWith(*it);
+      if (ww || rw) {
+        conflict_version = it->commit_version;
+        conflict_txn = it->txn_id;
+        break;
       }
-      EmitVerdict(ws, /*commit=*/false, (!ww && rw) ? "rw" : "ww",
-                  it->commit_version, it->txn_id);
-      CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
-      decided_[ws.txn_id] = decision;
-      if (!muted_) decision_cb_(ws.origin, decision);
-      return;
     }
+  } else {
+    CommittedKeyIndex::Hit write_hit, read_hit;
+    const bool has_write =
+        conflict_index_.LatestWriteConflict(ws, ws.snapshot_version,
+                                            &write_hit);
+    const bool has_read =
+        serializable && conflict_index_.LatestReadConflict(
+                            ws, ws.snapshot_version, &read_hit);
+    if (has_write || has_read) {
+      // Attribute the abort to the newest conflicting writeset; when it
+      // conflicts both ways the write-write conflict wins (matching the
+      // oracle's per-writeset check order).
+      if (has_write && write_hit.version >= read_hit.version) {
+        ww = true;
+        rw = has_read && read_hit.version == write_hit.version;
+        conflict_version = write_hit.version;
+        conflict_txn = write_hit.txn;
+      } else {
+        rw = true;
+        conflict_version = read_hit.version;
+        conflict_txn = read_hit.txn;
+      }
+    }
+  }
+  if (ww || rw) {
+    ++aborts_;
+    if (!ww && rw) ++rw_aborts_;
+    if (!muted_) {
+      if (!ww && rw) {
+        if (ctr_aborts_rw_ != nullptr) ctr_aborts_rw_->Increment();
+      } else if (ctr_aborts_ww_ != nullptr) {
+        ctr_aborts_ww_->Increment();
+      }
+      SCREP_LOG(kDebug) << "[certifier] certification abort of txn "
+                        << ws.txn_id << " from replica " << ws.origin
+                        << " (snapshot " << ws.snapshot_version << "): "
+                        << (ww ? "write-write" : "read-write")
+                        << " conflict with committed version "
+                        << conflict_version;
+    }
+    EmitVerdict(ws, /*commit=*/false, (!ww && rw) ? "rw" : "ww",
+                conflict_version, conflict_txn);
+    CertDecision decision{ws.txn_id, /*commit=*/false, kNoVersion};
+    RecordDecision(decision);
+    if (!muted_) decision_cb_(ws.origin, decision);
+    return;
   }
   // Commit: assign the next version in the global total order.
   ws.commit_version = ++v_commit_;
   ++certified_;
   EmitVerdict(ws, /*commit=*/true, nullptr, kNoVersion, 0);
   if (!muted_ && ctr_certified_ != nullptr) ctr_certified_->Increment();
-  decided_[ws.txn_id] =
-      CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version};
+  RecordDecision(CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version});
   recent_.push_back(ws);
-  while (recent_.size() > config_.conflict_window) recent_.pop_front();
+  if (!config_.linear_scan_oracle) conflict_index_.Insert(recent_.back());
+  while (recent_.size() > config_.conflict_window) {
+    if (!config_.linear_scan_oracle) conflict_index_.Erase(recent_.front());
+    recent_.pop_front();
+  }
   if (eager_) {
     eager_tracker_.OnCertified(ws.txn_id);
     eager_origins_[ws.txn_id] = ws.origin;

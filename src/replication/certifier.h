@@ -26,6 +26,7 @@
 
 #include "core/eager_tracker.h"
 #include "obs/observability.h"
+#include "replication/conflict_index.h"
 #include "replication/message.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -59,6 +60,11 @@ struct CertifierConfig {
   /// checking; transactions with snapshots older than the window are
   /// conservatively aborted (does not occur in practice).
   size_t conflict_window = 100000;
+  /// DEBUG ONLY: decide by linearly rescanning the whole conflict window
+  /// (the pre-index brute-force path) instead of the keyed conflict
+  /// index.  Kept as the oracle for property tests and the certification
+  /// microbenchmark; decisions are identical either way.
+  bool linear_scan_oracle = false;
 };
 
 /// Central certification service.
@@ -132,6 +138,13 @@ class Certifier {
   /// Latest assigned commit version.
   DbVersion CommitVersion() const { return v_commit_; }
 
+  /// Distinct (table, key) coordinates currently indexed over the
+  /// conflict window (0 in linear-scan-oracle mode).
+  size_t conflict_index_size() const { return conflict_index_.size(); }
+  /// Decisions retained for failover idempotence (bounded by the
+  /// conflict window).
+  size_t decided_size() const { return decided_.size(); }
+
   int64_t certified_count() const { return certified_; }
   int64_t abort_count() const { return aborts_; }
   /// Aborts caused by read-write conflicts (serializable mode only).
@@ -153,6 +166,9 @@ class Certifier {
  private:
   /// Runs after CPU service: the actual certification decision.
   void Certify(WriteSet ws);
+  /// Records a decision for failover idempotence and retires decisions a
+  /// full conflict window old.
+  void RecordDecision(const CertDecision& decision);
   /// Appends to the durable log via group commit, then announces.
   void MakeDurableAndAnnounce(WriteSet ws);
   /// Forces the pending batch to disk; reschedules itself while
@@ -173,6 +189,11 @@ class Certifier {
   /// Committed writesets, ascending by commit version, for conflict
   /// checks (pruned to config_.conflict_window).
   std::deque<WriteSet> recent_;
+  /// Keyed index over `recent_`: (table, key) -> newest committed write
+  /// (plus per-table ordered maps in serializable mode), making a
+  /// certification O(|writeset|) lookups instead of a window rescan.
+  /// Not maintained in linear-scan-oracle mode.
+  CommittedKeyIndex conflict_index_;
 
   /// Writesets certified but awaiting the in-flight disk force.
   std::vector<WriteSet> force_batch_;
@@ -189,8 +210,15 @@ class Certifier {
   int64_t rw_aborts_ = 0;
 
   /// Certification is idempotent: re-submissions after a failover get the
-  /// original decision back instead of being re-decided.
+  /// original decision back instead of being re-decided.  Bounded: a
+  /// decision is retired once certification has advanced a full conflict
+  /// window past it (`decided_log_` remembers the commit version current
+  /// when each decision was made, in decision order) — failover
+  /// resubmissions arrive within a handful of versions, so in-window
+  /// idempotence is preserved while the map stops growing with run
+  /// length.
   std::unordered_map<TxnId, CertDecision> decided_;
+  std::deque<std::pair<DbVersion, TxnId>> decided_log_;
 
   bool muted_ = false;
 

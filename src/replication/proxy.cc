@@ -18,7 +18,11 @@ Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
       service_rng_(config.seed * 0x9e3779b97f4a7c15ULL +
                    static_cast<uint64_t>(id) + 1),
       cpu_(sim, "replica-" + std::to_string(id) + "-cpu",
-           config.cpu_cores) {}
+           config.cpu_cores),
+      apply_lanes_(sim, "replica-" + std::to_string(id) + "-apply-lanes",
+                   config.apply_lanes) {
+  SCREP_CHECK(config.apply_lanes >= 1);
+}
 
 void Proxy::SetObservability(obs::Observability* obs) {
   if (obs == nullptr) return;
@@ -91,14 +95,20 @@ void Proxy::Crash() {
   ++epoch_;  // invalidates every in-flight completion callback
   SCREP_LOG(kWarn) << "[replica " << id_ << "] crash: dropping "
                    << active_.size() << " in-flight transaction(s) and "
-                   << pending_.size() << " pending writeset(s); V_local="
+                   << pending_writesets() << " pending writeset(s); V_local="
                    << v_local();
   active_.clear();
   begin_waiters_.clear();
   version_waiters_.clear();
   pending_.clear();
+  // In-flight apply completions bail on the epoch check, so their lanes
+  // must be returned here.
+  for (size_t i = 0; i < executing_.size(); ++i) apply_lanes_.Release();
+  executing_.clear();
+  executed_.clear();
+  pending_index_.Clear();
+  contiguous_ = v_local();
   local_claims_.clear();
-  applying_ = false;
 }
 
 int Proxy::ResubmitPendingCertifications() {
@@ -315,7 +325,7 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
     SettleLocalClaims();
     return;
   }
-  if (pending_.count(decision.commit_version) != 0) {
+  if (IsUnpublished(decision.commit_version)) {
     return;  // already queued as a refresh; the claim finishes it
   }
   // Queue the local commit at its slot in the global order; it interleaves
@@ -325,8 +335,10 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   apply.is_local = true;
   apply.local_txn = decision.txn_id;
   apply.enqueue_time = sim_->Now();
+  pending_index_.Insert(apply.ws, /*is_local=*/true);
   pending_.emplace(decision.commit_version, std::move(apply));
-  TryApplyNext();
+  AdvanceContiguous();
+  DispatchApplies();
 }
 
 void Proxy::OnRefresh(const WriteSet& ws) {
@@ -335,8 +347,7 @@ void Proxy::OnRefresh(const WriteSet& ws) {
     NoteDroppedWhileDown("refresh writeset", ws.txn_id);
     return;  // recovery catch-up re-delivers it
   }
-  if (ws.commit_version <= v_local() ||
-      pending_.count(ws.commit_version) != 0) {
+  if (ws.commit_version <= v_local() || IsUnpublished(ws.commit_version)) {
     return;  // duplicate delivery (recovery catch-up overlap)
   }
   // Early certification, arrival direction: abort conflicting active local
@@ -346,11 +357,16 @@ void Proxy::OnRefresh(const WriteSet& ws) {
   apply.ws = ws;
   apply.is_local = false;
   apply.enqueue_time = sim_->Now();
+  pending_index_.Insert(apply.ws, /*is_local=*/false);
   pending_.emplace(ws.commit_version, std::move(apply));
-  TryApplyNext();
+  AdvanceContiguous();
+  DispatchApplies();
 }
 
 void Proxy::AbortConflictingActives(const WriteSet& ws) {
+  // One hash set over the refresh's keys; each active transaction then
+  // costs O(|its partial writeset|) instead of O(|ws| * |partial|).
+  const WriteKeySet refresh_keys(ws);
   for (auto& [txn_id, t] : active_) {
     (void)txn_id;
     if (t->aborted_early) continue;
@@ -358,7 +374,7 @@ void Proxy::AbortConflictingActives(const WriteSet& ws) {
     // refresh writeset committed first, so certification will abort them.
     if (t->awaiting_decision || t->awaiting_global) continue;
     if (t->txn == nullptr || t->txn->read_only()) continue;
-    if (ws.ConflictsWith(t->txn->PartialWriteSet())) {
+    if (refresh_keys.Intersects(t->txn->PartialWriteSet())) {
       t->aborted_early = true;  // surfaced at the next statement boundary
       ++early_aborts_;
       if (ctr_early_aborts_ != nullptr) ctr_early_aborts_->Increment();
@@ -371,21 +387,44 @@ void Proxy::AbortConflictingActives(const WriteSet& ws) {
 }
 
 bool Proxy::ConflictsWithPendingRefresh(const WriteSet& partial) const {
-  for (const auto& [version, apply] : pending_) {
-    (void)version;
-    if (apply.is_local) continue;
-    if (apply.ws.ConflictsWith(partial)) return true;
-  }
-  return false;
+  return pending_index_.ConflictsWithQueuedRefresh(partial);
 }
 
-void Proxy::TryApplyNext() {
-  if (applying_) return;
-  auto it = pending_.find(v_local() + 1);
-  if (it == pending_.end()) return;
-  applying_ = true;
+bool Proxy::IsUnpublished(DbVersion version) const {
+  return pending_.count(version) != 0 || executing_.count(version) != 0 ||
+         executed_.count(version) != 0;
+}
+
+void Proxy::AdvanceContiguous() {
+  while (IsUnpublished(contiguous_ + 1)) ++contiguous_;
+}
+
+void Proxy::DispatchApplies() {
+  auto it = pending_.begin();
+  while (it != pending_.end() && apply_lanes_.FreeServers() > 0) {
+    const DbVersion version = it->first;
+    if (version > contiguous_) {
+      // Version gap below: an unseen earlier writeset could conflict, so
+      // nothing above the gap may dispatch yet.
+      break;
+    }
+    if (pending_index_.BlockedByEarlier(it->second.ws)) {
+      ++it;  // must wait for a conflicting earlier writeset to publish
+      continue;
+    }
+    ++it;  // advance before StartApply erases this entry
+    StartApply(version);
+  }
+}
+
+void Proxy::StartApply(DbVersion version) {
+  SCREP_CHECK(apply_lanes_.TryAcquire());
+  auto it = pending_.find(version);
+  SCREP_CHECK(it != pending_.end());
   PendingApply apply = std::move(it->second);
   pending_.erase(it);
+  pending_index_.MarkDispatched(apply.ws);
+  executing_.insert(version);
 
   SimTime cost;
   if (apply.is_local) {
@@ -404,11 +443,30 @@ void Proxy::TryApplyNext() {
   }
 
   const uint64_t epoch = epoch_;
-  cpu_.Submit(cost, [this, epoch, apply = std::move(apply)]() {
-    if (epoch != epoch_ || down_) return;  // crashed meanwhile
+  cpu_.Submit(cost, [this, epoch, version, apply = std::move(apply)]() mutable {
+    if (epoch != epoch_ || down_) return;  // crashed meanwhile; Crash()
+                                           // already returned the lane
+    executing_.erase(version);
+    apply_lanes_.Release();
+    executed_.emplace(version, std::move(apply));
+    PublishReady();
+    DispatchApplies();
+  });
+}
+
+void Proxy::PublishReady() {
+  // Publish executed writesets in strict commit-version order: V_local
+  // only ever advances by one, and each version's side effects (event
+  // log, eager report, local-commit settlement, BEGIN-waiter release)
+  // fire before the next version's — exactly the serial apply path's
+  // externally visible order.
+  for (auto it = executed_.find(v_local() + 1); it != executed_.end();
+       it = executed_.find(v_local() + 1)) {
+    PendingApply apply = std::move(it->second);
+    executed_.erase(it);
     const Status st = db_->ApplyWriteSet(apply.ws, /*force_log=*/false);
     SCREP_CHECK_MSG(st.ok(), "apply failed: " << st.ToString());
-    applying_ = false;
+    pending_index_.Erase(apply.ws);
     if (!apply.is_local) {
       ++refresh_applied_;
       if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
@@ -426,8 +484,7 @@ void Proxy::TryApplyNext() {
     if (eager_) replica_committed_cb_(apply.ws.txn_id);
     SettleLocalClaims();
     ReleaseBeginWaiters();
-    TryApplyNext();
-  });
+  }
 }
 
 void Proxy::SettleLocalClaims() {

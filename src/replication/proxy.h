@@ -10,11 +10,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "obs/observability.h"
+#include "replication/conflict_index.h"
 #include "replication/message.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -70,6 +72,15 @@ struct ProxyConfig {
   /// Early certification on (paper default); the ablation benchmark turns
   /// it off.
   bool early_certification = true;
+  /// Apply lanes: how many certified writesets may *execute* concurrently
+  /// on the replica CPU.  A writeset is dispatched to a lane as soon as
+  /// it conflicts with no earlier un-published writeset; execution is out
+  /// of order, but V_local only advances — and BEGIN waiters, local
+  /// commits and eager reports only fire — in strict commit-version
+  /// order, so every consistency configuration sees the same versioned
+  /// states as the serial apply path.  1 (the paper's serial apply)
+  /// reproduces the pre-lane behaviour exactly.
+  int apply_lanes = 1;
   /// Attach read sets to writesets (set automatically when the system
   /// runs in serializable certification mode).
   bool attach_read_sets = false;
@@ -160,10 +171,20 @@ class Proxy {
   /// Client transactions currently being served (the load-balancing
   /// signal).
   size_t active_transactions() const { return active_.size(); }
-  /// Refresh/local writesets received but not yet applied.
-  size_t pending_writesets() const { return pending_.size(); }
+  /// Refresh/local writesets received but not yet published: queued,
+  /// executing in an apply lane, or executed awaiting the in-order
+  /// version publish.
+  size_t pending_writesets() const {
+    return pending_.size() + executing_.size() + executed_.size();
+  }
+  /// Writesets executed out of order, waiting for an earlier version to
+  /// finish before V_local may advance over them.
+  size_t publish_backlog() const { return executed_.size(); }
 
   Resource* cpu() { return &cpu_; }
+  /// The apply-lane slot pool (its Busy()/Utilization() report lane
+  /// occupancy).
+  Resource* apply_lanes() { return &apply_lanes_; }
   int64_t refresh_applied_count() const { return refresh_applied_; }
   int64_t early_abort_count() const { return early_aborts_; }
 
@@ -218,15 +239,28 @@ class Proxy {
   void FinishLocalCommit(ActiveTxn* t);
   void Respond(ActiveTxn* t, TxnOutcome outcome);
 
-  /// Applies the next writeset if it is this replica's turn.
-  void TryApplyNext();
+  /// Dispatches queued writesets into free apply lanes, lowest version
+  /// first, as long as the dispatch rule allows (no version gap below,
+  /// no conflict with an earlier un-published writeset).
+  void DispatchApplies();
+  /// Starts executing one queued writeset on a lane.
+  void StartApply(DbVersion version);
+  /// Publishes executed writesets in strict commit-version order:
+  /// advances V_local, fires the event log / eager reports / local-commit
+  /// settlement / BEGIN-waiter release for each version.
+  void PublishReady();
+  /// True when `version` is received but not yet published (queued,
+  /// executing, or awaiting publish).
+  bool IsUnpublished(DbVersion version) const;
+  /// Advances the received-contiguously watermark after an arrival.
+  void AdvanceContiguous();
   /// Releases transactions whose required version has been reached.
   void ReleaseBeginWaiters();
   /// Early certification, arrival direction: aborts active local
   /// transactions whose partial writesets conflict with `ws`.
   void AbortConflictingActives(const WriteSet& ws);
   /// Early certification, statement direction: true when the partial
-  /// writeset conflicts with any pending refresh writeset.
+  /// writeset conflicts with any queued refresh writeset.
   bool ConflictsWithPendingRefresh(const WriteSet& partial) const;
 
   /// Applies the stochastic service-time model to a mean cost.
@@ -252,18 +286,34 @@ class Proxy {
   Rng service_rng_;
 
   Resource cpu_;
+  /// Apply-lane slot pool: one held slot per writeset currently
+  /// executing.  Execution time is still served by `cpu_` (applies
+  /// compete with client statements for the replica cores, as before);
+  /// the lanes only bound how many applies may be in flight at once.
+  Resource apply_lanes_;
 
   std::unordered_map<TxnId, std::unique_ptr<ActiveTxn>> active_;
   std::multimap<DbVersion, TxnId> begin_waiters_;
   std::multimap<DbVersion, std::function<void()>> version_waiters_;
-  std::map<DbVersion, PendingApply> pending_;  // keyed by commit version
+  /// Received writesets not yet dispatched, keyed by commit version.
+  std::map<DbVersion, PendingApply> pending_;
+  /// Versions currently executing in an apply lane.
+  std::set<DbVersion> executing_;
+  /// Executed out of order, awaiting the in-order version publish.
+  std::map<DbVersion, PendingApply> executed_;
+  /// Keyed index over every un-published writeset, for O(|writeset|)
+  /// early-certification probes and lane dispatch checks.
+  PendingApplyIndex pending_index_;
+  /// Highest version v such that every version in (V_local, v] has been
+  /// received — a writeset above this gap must wait (an unseen earlier
+  /// writeset could conflict with it).
+  DbVersion contiguous_ = 0;
   /// Decided local transactions awaiting their version's local commit —
   /// normally satisfied by the queued local apply, but after a certifier
   /// failover the same writeset may arrive through the refresh/catch-up
   /// channel instead; whichever channel commits the version finishes the
   /// transaction.
   std::map<DbVersion, TxnId> local_claims_;
-  bool applying_ = false;
 
   int64_t refresh_applied_ = 0;
   int64_t early_aborts_ = 0;

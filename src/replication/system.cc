@@ -137,6 +137,12 @@ void ReplicatedSystem::RegisterGauges() {
     registry->RegisterCallbackGauge(prefix + "cpu_util", [proxy]() {
       return proxy->cpu()->Utilization();
     });
+    registry->RegisterCallbackGauge(prefix + "apply_lanes_busy", [proxy]() {
+      return static_cast<double>(proxy->apply_lanes()->Busy());
+    });
+    registry->RegisterCallbackGauge(prefix + "publish_backlog", [proxy]() {
+      return static_cast<double>(proxy->publish_backlog());
+    });
   }
 }
 

@@ -19,6 +19,26 @@ void Resource::Submit(SimTime service_time, Callback done) {
   }
 }
 
+bool Resource::TryAcquire() {
+  if (busy_ >= servers_) return false;
+  ++busy_;
+  hold_starts_.push_back(sim_->Now());
+  return true;
+}
+
+void Resource::Release() {
+  SCREP_CHECK(busy_ > 0);
+  SCREP_CHECK(!hold_starts_.empty());
+  --busy_;
+  busy_time_ += sim_->Now() - hold_starts_.front();
+  hold_starts_.pop_front();
+  if (!queue_.empty() && busy_ < servers_) {
+    Work next = std::move(queue_.front());
+    queue_.pop_front();
+    StartService(std::move(next));
+  }
+}
+
 void Resource::StartService(Work work) {
   ++busy_;
   busy_time_ += work.service_time;
@@ -45,6 +65,8 @@ double Resource::Utilization() const {
 void Resource::ResetStats() {
   busy_time_ = 0;
   stats_since_ = sim_->Now();
+  // In-flight claims only count their post-reset portion.
+  for (SimTime& start : hold_starts_) start = sim_->Now();
   queue_delay_.Reset();
 }
 

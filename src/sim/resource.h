@@ -32,6 +32,20 @@ class Resource {
   /// fires when service completes (after any queueing delay).
   void Submit(SimTime service_time, Callback done);
 
+  /// Claims a free server immediately (no queueing); false when all are
+  /// busy.  The claim lasts until the matching Release().  Lets a client
+  /// use the resource as a slot pool whose hold times it controls itself
+  /// (e.g. a proxy's apply lanes) while keeping Busy()/Utilization()
+  /// meaningful.
+  bool TryAcquire();
+
+  /// Returns a server claimed by TryAcquire(), accounting its hold time,
+  /// and starts queued Submit() work if any is waiting.
+  void Release();
+
+  /// Servers currently idle.
+  int FreeServers() const { return servers_ - busy_; }
+
   /// Name given at construction (for reports).
   const std::string& name() const { return name_; }
 
@@ -69,6 +83,10 @@ class Resource {
   SimTime busy_time_ = 0;
   SimTime stats_since_ = 0;
   std::deque<Work> queue_;
+  /// Start times of outstanding TryAcquire() claims.  Releases are
+  /// anonymous: pairing each Release() with the *oldest* start still sums
+  /// to the true total busy time (the sum is permutation-invariant).
+  std::deque<SimTime> hold_starts_;
   Histogram queue_delay_;
 };
 

@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "storage/transaction.h"
 
@@ -72,14 +74,30 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 std::unique_ptr<Transaction> Database::Begin() {
-  return BeginAt(CommittedVersion());
+  // Read the committed version and register it as active under one lock
+  // so a concurrent TruncateVersions cannot slip between the two and GC
+  // the snapshot before it is pinned.
+  std::lock_guard lock(snapshots_mutex_);
+  const DbVersion snapshot = CommittedVersion();
+  active_snapshots_.insert(snapshot);
+  return std::unique_ptr<Transaction>(new Transaction(this, snapshot));
 }
 
 std::unique_ptr<Transaction> Database::BeginAt(DbVersion snapshot) {
   SCREP_CHECK_MSG(snapshot <= CommittedVersion(),
                   "snapshot " << snapshot << " beyond committed version "
                               << CommittedVersion());
+  std::lock_guard lock(snapshots_mutex_);
+  active_snapshots_.insert(snapshot);
   return std::unique_ptr<Transaction>(new Transaction(this, snapshot));
+}
+
+void Database::UnregisterSnapshot(DbVersion snapshot) {
+  std::lock_guard lock(snapshots_mutex_);
+  auto it = active_snapshots_.find(snapshot);
+  SCREP_CHECK_MSG(it != active_snapshots_.end(),
+                  "unregistering unknown snapshot " << snapshot);
+  active_snapshots_.erase(it);
 }
 
 Status Database::ApplyWriteSet(const WriteSet& ws, bool force_log) {
@@ -117,6 +135,15 @@ Status Database::BulkLoad(TableId table_id, Row row) {
 }
 
 size_t Database::TruncateVersions(DbVersion oldest_active) {
+  {
+    // Never GC past a live transaction's snapshot.  Transactions that
+    // begin after this point read at the current committed version, which
+    // is >= any horizon a caller can legitimately pass.
+    std::lock_guard lock(snapshots_mutex_);
+    if (!active_snapshots_.empty()) {
+      oldest_active = std::min(oldest_active, *active_snapshots_.begin());
+    }
+  }
   size_t discarded = 0;
   size_t n;
   {

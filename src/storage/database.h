@@ -12,6 +12,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,7 +86,9 @@ class Database {
   Status BulkLoad(TableId table, Row row);
 
   /// Garbage-collects versions invisible to snapshots >= oldest_active
-  /// across all tables. Returns versions discarded.
+  /// across all tables. Returns versions discarded.  The horizon is
+  /// clamped to the oldest snapshot of any live Transaction, so a reader
+  /// that began before this call never loses the versions it reads.
   size_t TruncateVersions(DbVersion oldest_active);
 
   /// The write-ahead log (populated only when ApplyWriteSet logs).
@@ -96,11 +99,20 @@ class Database {
   Status RecoverFrom(const Wal& wal);
 
  private:
+  friend class Transaction;
+
+  /// Called from ~Transaction; drops one registration of `snapshot`.
+  void UnregisterSnapshot(DbVersion snapshot);
+
   mutable std::mutex catalog_mutex_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, TableId> table_ids_;
   std::atomic<DbVersion> committed_version_{0};
   std::mutex commit_mutex_;
+  // Snapshots of live transactions; TruncateVersions never GCs past the
+  // smallest one.
+  mutable std::mutex snapshots_mutex_;
+  std::multiset<DbVersion> active_snapshots_;
   Wal wal_;
 };
 

@@ -8,6 +8,8 @@ namespace screp {
 Transaction::Transaction(Database* db, DbVersion snapshot)
     : db_(db), snapshot_(snapshot) {}
 
+Transaction::~Transaction() { db_->UnregisterSnapshot(snapshot_); }
+
 const Transaction::BufferedWrite* Transaction::FindWrite(TableId table,
                                                          int64_t key) const {
   auto it = writes_.find({table, key});

@@ -25,7 +25,7 @@ class Database;
 /// A snapshot-isolated read/write transaction.
 class Transaction {
  public:
-  ~Transaction() = default;
+  ~Transaction();
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 

@@ -168,12 +168,10 @@ bool WriteSet::ReadsConflictWith(const WriteSet& other) const {
 
 std::vector<TableId> WriteSet::TablesWritten() const {
   std::vector<TableId> tables;
-  for (const WriteOp& op : ops) {
-    if (std::find(tables.begin(), tables.end(), op.table) == tables.end()) {
-      tables.push_back(op.table);
-    }
-  }
+  tables.reserve(ops.size());
+  for (const WriteOp& op : ops) tables.push_back(op.table);
   std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
   return tables;
 }
 

@@ -1,0 +1,80 @@
+// End-to-end tests for the multi-lane apply pipeline: out-of-order
+// writeset execution with in-order version publish must preserve every
+// consistency configuration (the online auditor checks sequential applies
+// per replica, snapshot monotonicity and the start-delay guarantee), and
+// parallel lanes must actually shorten the synchronization start delay
+// under an update-heavy workload.
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+MicroConfig UpdateHeavyMicro() {
+  MicroConfig config;
+  config.rows_per_table = 400;
+  config.update_fraction = 0.6;
+  return config;
+}
+
+ExperimentConfig LaneRun(ConsistencyLevel level, int apply_lanes) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = 4;
+  config.system.proxy.cpu_cores = 4;
+  config.system.proxy.apply_lanes = apply_lanes;
+  config.client_count = 16;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(4);
+  config.seed = 11;
+  config.audit = true;
+  return config;
+}
+
+TEST(ApplyLanesIntegrationTest, FourLanesAuditCleanlyAtEveryLevel) {
+  const MicroWorkload workload(UpdateHeavyMicro());
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    auto result = RunExperiment(workload, LaneRun(level, 4));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->audit.enabled) << ConsistencyLevelName(level);
+    EXPECT_TRUE(result->audit.ok)
+        << ConsistencyLevelName(level) << ": " << result->audit.ToString();
+    EXPECT_GT(result->audit.checks, 0);
+    EXPECT_GT(result->committed_updates, 0);
+  }
+}
+
+TEST(ApplyLanesIntegrationTest, LanesReduceSyncStartDelay) {
+  const MicroWorkload workload(UpdateHeavyMicro());
+  auto serial = RunExperiment(workload, LaneRun(ConsistencyLevel::kLazyCoarse, 1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto laned = RunExperiment(workload, LaneRun(ConsistencyLevel::kLazyCoarse, 4));
+  ASSERT_TRUE(laned.ok()) << laned.status().ToString();
+  EXPECT_TRUE(serial->audit.ok) << serial->audit.ToString();
+  EXPECT_TRUE(laned->audit.ok) << laned->audit.ToString();
+  // The point of the lanes: non-conflicting refresh writesets apply in
+  // parallel, replicas track V_system more closely, and transactions
+  // spend less time blocked at BEGIN.
+  EXPECT_GT(serial->sync_delay_ms, 0.0);
+  EXPECT_LT(laned->sync_delay_ms, serial->sync_delay_ms);
+  // Both runs decide the same workload; throughput must not regress.
+  EXPECT_GE(laned->throughput_tps, serial->throughput_tps * 0.95);
+}
+
+TEST(ApplyLanesIntegrationTest, LanesSurviveCrashAndRecovery) {
+  const MicroWorkload workload(UpdateHeavyMicro());
+  ExperimentConfig config = LaneRun(ConsistencyLevel::kLazyFine, 4);
+  config.faults.push_back(FaultEvent{/*replica=*/2,
+                                     /*crash_at=*/Seconds(1.5),
+                                     /*recover_at=*/Seconds(2.5)});
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+  EXPECT_GT(result->committed_updates, 0);
+}
+
+}  // namespace
+}  // namespace screp

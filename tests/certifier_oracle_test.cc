@@ -1,0 +1,187 @@
+// Property test for the keyed conflict index: the indexed certification
+// path must make exactly the decisions the pre-index linear-scan oracle
+// (CertifierConfig::linear_scan_oracle) makes — same verdicts, same
+// commit versions, same conflict attribution (version, transaction and
+// ww/rw/window reason) — over randomized workloads that exercise
+// write-write conflicts, serializable read-key and read-range conflicts,
+// and conservative window aborts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/observability.h"
+#include "replication/certifier.h"
+
+namespace screp {
+namespace {
+
+/// One certifier plus everything needed to compare it against a twin.
+struct Lane {
+  Simulator sim;
+  std::unique_ptr<obs::Observability> obs;
+  std::unique_ptr<Certifier> certifier;
+  std::vector<CertDecision> decisions;
+
+  Lane(CertifierConfig config, bool linear_scan) {
+    config.linear_scan_oracle = linear_scan;
+    obs::ObsConfig obs_config;
+    obs_config.event_log = true;
+    obs = std::make_unique<obs::Observability>(&sim, obs_config);
+    certifier = std::make_unique<Certifier>(&sim, config, 3, /*eager=*/false);
+    certifier->SetDecisionCallback(
+        [this](ReplicaId, const CertDecision& decision) {
+          decisions.push_back(decision);
+        });
+    certifier->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    certifier->SetObservability(obs.get());
+  }
+};
+
+class CertifierOracleTest : public ::testing::Test {
+ protected:
+  void Build(CertifierConfig config) {
+    indexed_ = std::make_unique<Lane>(config, /*linear_scan=*/false);
+    oracle_ = std::make_unique<Lane>(config, /*linear_scan=*/true);
+  }
+
+  /// Submits the identical writeset to both certifiers and processes it.
+  void Submit(const WriteSet& ws) {
+    indexed_->certifier->SubmitCertification(ws);
+    oracle_->certifier->SubmitCertification(ws);
+    indexed_->sim.RunAll();
+    oracle_->sim.RunAll();
+    ASSERT_EQ(indexed_->certifier->CommitVersion(),
+              oracle_->certifier->CommitVersion());
+  }
+
+  /// Builds one random writeset against the current commit version:
+  /// small key space (to make conflicts common), random snapshot lag
+  /// (sometimes beyond the window), and — when `with_reads` — random
+  /// read keys and read ranges for the serializable mode.
+  WriteSet RandomWs(Rng* rng, bool with_reads, int max_lag) {
+    const DbVersion v = indexed_->certifier->CommitVersion();
+    WriteSet ws;
+    ws.txn_id = next_txn_++;
+    ws.origin = static_cast<ReplicaId>(rng->NextInRange(0, 2));
+    ws.snapshot_version =
+        std::max<DbVersion>(0, v - rng->NextInRange(0, max_lag));
+    const int ops = static_cast<int>(rng->NextInRange(1, 4));
+    for (int i = 0; i < ops; ++i) {
+      const TableId table = static_cast<TableId>(rng->NextInRange(0, 2));
+      const int64_t key = rng->NextInRange(0, 199);
+      ws.Add(table, key, WriteType::kUpdate, Row{Value(key), Value(0)});
+    }
+    if (with_reads) {
+      const int reads = static_cast<int>(rng->NextInRange(0, 3));
+      for (int i = 0; i < reads; ++i) {
+        ws.read_keys.emplace_back(static_cast<TableId>(rng->NextInRange(0, 2)),
+                                  rng->NextInRange(0, 199));
+      }
+      if (rng->NextBool(0.4)) {
+        const int64_t lo = rng->NextInRange(0, 180);
+        ws.read_ranges.push_back(
+            ReadRange{static_cast<TableId>(rng->NextInRange(0, 2)), lo,
+                      lo + rng->NextInRange(0, 30)});
+      }
+    }
+    return ws;
+  }
+
+  /// Full equivalence: decision stream, abort attribution counters, and
+  /// the per-verdict conflict attribution recorded in the event log.
+  void ExpectIdenticalOutcomes() {
+    ASSERT_EQ(indexed_->decisions.size(), oracle_->decisions.size());
+    for (size_t i = 0; i < indexed_->decisions.size(); ++i) {
+      const CertDecision& a = indexed_->decisions[i];
+      const CertDecision& b = oracle_->decisions[i];
+      EXPECT_EQ(a.txn_id, b.txn_id) << "decision " << i;
+      EXPECT_EQ(a.commit, b.commit) << "txn " << a.txn_id;
+      EXPECT_EQ(a.commit_version, b.commit_version) << "txn " << a.txn_id;
+    }
+    EXPECT_EQ(indexed_->certifier->certified_count(),
+              oracle_->certifier->certified_count());
+    EXPECT_EQ(indexed_->certifier->abort_count(),
+              oracle_->certifier->abort_count());
+    EXPECT_EQ(indexed_->certifier->rw_abort_count(),
+              oracle_->certifier->rw_abort_count());
+    EXPECT_EQ(indexed_->certifier->window_abort_count(),
+              oracle_->certifier->window_abort_count());
+
+    const std::vector<obs::Event>& ia = indexed_->obs->event_log()->Events();
+    const std::vector<obs::Event>& ib = oracle_->obs->event_log()->Events();
+    ASSERT_EQ(ia.size(), ib.size());
+    int aborts_checked = 0;
+    for (size_t i = 0; i < ia.size(); ++i) {
+      ASSERT_EQ(ia[i].kind, obs::EventKind::kCertVerdict);
+      EXPECT_EQ(ia[i].txn, ib[i].txn);
+      EXPECT_EQ(ia[i].committed, ib[i].committed);
+      EXPECT_EQ(ia[i].commit_version, ib[i].commit_version);
+      // The heart of the property: aborts blame the identical committed
+      // version, transaction and reason either way.
+      EXPECT_EQ(ia[i].conflict_version, ib[i].conflict_version)
+          << "txn " << ia[i].txn;
+      EXPECT_EQ(ia[i].conflict_txn, ib[i].conflict_txn)
+          << "txn " << ia[i].txn;
+      EXPECT_EQ(ia[i].detail, ib[i].detail) << "txn " << ia[i].txn;
+      if (!ia[i].committed) ++aborts_checked;
+    }
+    aborts_seen_ = aborts_checked;
+  }
+
+  std::unique_ptr<Lane> indexed_;
+  std::unique_ptr<Lane> oracle_;
+  TxnId next_txn_ = 1;
+  int aborts_seen_ = 0;
+};
+
+TEST_F(CertifierOracleTest, GsiRandomizedWorkloadMatchesOracle) {
+  CertifierConfig config;
+  config.conflict_window = 64;  // small: window aborts actually occur
+  Build(config);
+  Rng rng(20260806);
+  for (int i = 0; i < 1500; ++i) {
+    Submit(RandomWs(&rng, /*with_reads=*/false, /*max_lag=*/80));
+  }
+  ExpectIdenticalOutcomes();
+  // The workload must actually have exercised the abort paths.
+  EXPECT_GT(aborts_seen_, 0);
+  EXPECT_GT(indexed_->certifier->window_abort_count(), 0);
+  EXPECT_GT(indexed_->certifier->abort_count(),
+            indexed_->certifier->window_abort_count());
+}
+
+TEST_F(CertifierOracleTest, SerializableRandomizedWorkloadMatchesOracle) {
+  CertifierConfig config;
+  config.conflict_window = 64;
+  config.mode = CertificationMode::kSerializable;
+  Build(config);
+  Rng rng(987654321);
+  for (int i = 0; i < 1500; ++i) {
+    Submit(RandomWs(&rng, /*with_reads=*/true, /*max_lag=*/80));
+  }
+  ExpectIdenticalOutcomes();
+  EXPECT_GT(aborts_seen_, 0);
+  // Read-write (including read-range) conflicts must have occurred.
+  EXPECT_GT(indexed_->certifier->rw_abort_count(), 0);
+}
+
+TEST_F(CertifierOracleTest, LargeWindowNoWindowAborts) {
+  CertifierConfig config;
+  config.conflict_window = 4096;
+  Build(config);
+  Rng rng(7);
+  for (int i = 0; i < 800; ++i) {
+    Submit(RandomWs(&rng, /*with_reads=*/false, /*max_lag=*/40));
+  }
+  ExpectIdenticalOutcomes();
+  EXPECT_EQ(indexed_->certifier->window_abort_count(), 0);
+  // The index prunes with the window, so it is bounded by the window's
+  // key footprint.
+  EXPECT_GT(indexed_->certifier->conflict_index_size(), 0u);
+}
+
+}  // namespace
+}  // namespace screp

@@ -208,5 +208,58 @@ TEST_F(CertifierTest, WindowOverflowAbortsConservatively) {
   EXPECT_EQ(certifier_->window_abort_count(), 1);
 }
 
+TEST_F(CertifierTest, DecisionMapBoundedByConflictWindow) {
+  CertifierConfig config;
+  config.conflict_window = 16;
+  certifier_ = std::make_unique<Certifier>(&sim_, config, 2, false);
+  certifier_->SetDecisionCallback(
+      [this](ReplicaId origin, const CertDecision& decision) {
+        decisions_.emplace_back(origin, decision);
+      });
+  certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+  for (TxnId t = 1; t <= 500; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, static_cast<DbVersion>(t - 1),
+               {static_cast<int64_t>(t)}));
+    sim_.RunAll();
+  }
+  EXPECT_EQ(certifier_->certified_count(), 500);
+  // Retired once certification advances a full window past them — the
+  // map no longer grows with run length.
+  EXPECT_LE(certifier_->decided_size(), 18u);
+  // The index over the committed window is pruned alongside it.
+  EXPECT_LE(certifier_->conflict_index_size(), 16u);
+
+  // In-window idempotence survives the retirement: a recent decision is
+  // replayed, not re-decided (no new commit version is consumed).
+  const DbVersion before = certifier_->CommitVersion();
+  decisions_.clear();
+  certifier_->SubmitCertification(MakeWs(500, 0, 499, {500}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 1u);
+  EXPECT_TRUE(decisions_[0].second.commit);
+  EXPECT_EQ(decisions_[0].second.commit_version, before);
+  EXPECT_EQ(certifier_->CommitVersion(), before);
+}
+
+TEST_F(CertifierTest, ConflictIndexMatchesNewestConflictingVersion) {
+  Build(2, false);
+  // Three successive writers of key 5.
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  certifier_->SubmitCertification(MakeWs(2, 0, 1, {5, 6}));
+  certifier_->SubmitCertification(MakeWs(3, 0, 2, {5, 7}));
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->CommitVersion(), 3);
+  // A stale writer of key 6 must be aborted against version 2 (the
+  // newest write to key 6), even though key 5 was rewritten at 3.
+  certifier_->SubmitCertification(MakeWs(10, 1, 1, {6}));
+  sim_.RunAll();
+  EXPECT_FALSE(decisions_.back().second.commit);
+  // A writer of key 6 whose snapshot already saw version 2 commits.
+  certifier_->SubmitCertification(MakeWs(11, 1, 2, {6}));
+  sim_.RunAll();
+  EXPECT_TRUE(decisions_.back().second.commit);
+}
+
 }  // namespace
 }  // namespace screp

@@ -110,6 +110,61 @@ TEST(ResourceTest, ZeroServiceTimeCompletes) {
   EXPECT_TRUE(done);
 }
 
+TEST(ResourceTest, TryAcquireClaimsAndReleaseReturnsServers) {
+  Simulator sim;
+  Resource res(&sim, "lanes", 2);
+  EXPECT_EQ(res.FreeServers(), 2);
+  EXPECT_TRUE(res.TryAcquire());
+  EXPECT_TRUE(res.TryAcquire());
+  EXPECT_EQ(res.Busy(), 2);
+  EXPECT_EQ(res.FreeServers(), 0);
+  EXPECT_FALSE(res.TryAcquire());  // all claimed
+  res.Release();
+  EXPECT_EQ(res.FreeServers(), 1);
+  EXPECT_TRUE(res.TryAcquire());
+  res.Release();
+  res.Release();
+  EXPECT_EQ(res.Busy(), 0);
+}
+
+TEST(ResourceTest, TryAcquireHoldTimeCountsAsBusyTime) {
+  Simulator sim;
+  Resource res(&sim, "lanes", 2);
+  // Two overlapping claims: [0, 10ms] and [5ms, 15ms] — 20ms of busy
+  // server-time over 15ms of wall time on 2 servers.
+  ASSERT_TRUE(res.TryAcquire());
+  sim.Schedule(Millis(5), [&] { ASSERT_TRUE(res.TryAcquire()); });
+  sim.Schedule(Millis(10), [&] { res.Release(); });
+  sim.Schedule(Millis(15), [&] { res.Release(); });
+  sim.RunAll();
+  EXPECT_EQ(res.BusyTime(), Millis(20));
+  EXPECT_NEAR(res.Utilization(), 20.0 / 30.0, 1e-9);
+}
+
+TEST(ResourceTest, ReleaseStartsQueuedSubmitWork) {
+  Simulator sim;
+  Resource res(&sim, "mixed", 1);
+  ASSERT_TRUE(res.TryAcquire());
+  bool done = false;
+  res.Submit(Millis(1), [&] { done = true; });
+  sim.RunAll();
+  EXPECT_FALSE(done);  // queued behind the claim
+  res.Release();
+  sim.RunAll();
+  EXPECT_TRUE(done);
+}
+
+TEST(ResourceTest, ResetStatsClampsInFlightClaims) {
+  Simulator sim;
+  Resource res(&sim, "lanes", 1);
+  ASSERT_TRUE(res.TryAcquire());
+  sim.Schedule(Millis(10), [&] { res.ResetStats(); });
+  sim.Schedule(Millis(15), [&] { res.Release(); });
+  sim.RunAll();
+  // Only the 5ms after the reset counts.
+  EXPECT_EQ(res.BusyTime(), Millis(5));
+}
+
 TEST(ResourceTest, SubmitFromCompletionCallback) {
   Simulator sim;
   Resource res(&sim, "cpu", 1);

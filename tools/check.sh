@@ -18,6 +18,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== certification / apply-lane microbench =="
+# Self-checking: exits non-zero if the indexed certifier is not at least
+# 5x faster than the linear-scan oracle at a 4096-entry conflict window.
+./build/bench/micro_components --bench-json=build/BENCH_certifier.json
+
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="
   cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
