@@ -46,6 +46,17 @@ struct BenchOptions {
   /// publish).  0 keeps the driver's own default (the paper's serial
   /// apply, N=1).
   int apply_lanes = 0;
+  /// --net-jitter=<us>: mean exponential jitter added to every cluster
+  /// link (FIFO per link is preserved; 0 keeps the deterministic
+  /// latencies).
+  SimTime net_jitter = 0;
+  /// --net-loss=<p>: drop probability injected on the certifier->replica
+  /// refresh stream (the reliable channel retransmits, so runs finish
+  /// audit-clean — slower, not wrong).
+  double net_loss = 0;
+  /// --refresh-batch: coalesce each group commit's refresh fan-out into
+  /// one message per target replica.
+  bool refresh_batch = false;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -78,6 +89,12 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--apply-lanes=", 14) == 0) {
       options.apply_lanes = static_cast<int>(std::strtol(argv[i] + 14,
                                                          nullptr, 10));
+    } else if (std::strncmp(argv[i], "--net-jitter=", 13) == 0) {
+      options.net_jitter = Micros(std::strtod(argv[i] + 13, nullptr));
+    } else if (std::strncmp(argv[i], "--net-loss=", 11) == 0) {
+      options.net_loss = std::strtod(argv[i] + 11, nullptr);
+    } else if (std::strcmp(argv[i], "--refresh-batch") == 0) {
+      options.refresh_batch = true;
     } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
       options.bench_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--bench-json") == 0) {
@@ -105,6 +122,23 @@ inline std::string TaggedPath(const std::string& path,
   return path.substr(0, dot) + "." + tag + path.substr(dot);
 }
 
+/// Applies the --net-jitter / --net-loss / --refresh-batch knobs to one
+/// system config (used directly by drivers that build a SystemConfig by
+/// hand; ApplyObservability calls it for the experiment-based drivers).
+inline void ApplyNetworkOptions(const BenchOptions& options,
+                                SystemConfig* system) {
+  if (options.net_jitter > 0) {
+    system->network.client_lb.jitter_mean = options.net_jitter;
+    system->network.lb_replica.jitter_mean = options.net_jitter;
+    system->network.replica_certifier.jitter_mean = options.net_jitter;
+    system->network.refresh.jitter_mean = options.net_jitter;
+  }
+  if (options.net_loss > 0) {
+    system->network.refresh.drop_probability = options.net_loss;
+  }
+  if (options.refresh_batch) system->certifier.refresh_batching = true;
+}
+
 /// Copies the observability output options into one run's config, tagging
 /// the paths with a per-run label.
 inline void ApplyObservability(const BenchOptions& options,
@@ -123,6 +157,7 @@ inline void ApplyObservability(const BenchOptions& options,
   if (options.apply_lanes > 0) {
     config->system.proxy.apply_lanes = options.apply_lanes;
   }
+  ApplyNetworkOptions(options, &config->system);
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

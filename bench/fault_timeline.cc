@@ -32,8 +32,106 @@ void PrintTimeline(const MetricsCollector& metrics, SimTime crash_at,
   }
 }
 
+// Network-sensitivity sweep (--net-sweep): instead of a crash, replica 1
+// is *partitioned* at t=4s (links cut, process alive) and healed at
+// t=8s, optionally under --net-jitter / --net-loss.  Verifies that the
+// LB fails the silent replica over, that the healed replica catches
+// back up to the survivors, and that the run stays audit-clean.
+int NetSweep(const BenchOptions& options) {
+  PrintHeader("Network sweep: replica partition at t=4s, heal at t=8s "
+              "(LSC, 4 replicas, 16 clients)",
+              "the crash-recovery design of §IV (extension)");
+  std::printf("link jitter mean: %.0fus, refresh loss: %.2f, refresh "
+              "batching: %s\n",
+              static_cast<double>(options.net_jitter), options.net_loss,
+              options.refresh_batch ? "on" : "off");
+
+  MicroConfig micro;
+  micro.update_fraction = 0.5;
+  MicroWorkload workload(micro);
+
+  Simulator sim;
+  SystemConfig sys_config;
+  sys_config.level = ConsistencyLevel::kLazyCoarse;
+  sys_config.replica_count = 4;
+  sys_config.obs.audit = true;
+  ApplyNetworkOptions(options, &sys_config);
+  auto system_or = ReplicatedSystem::Create(
+      &sim, sys_config,
+      [&workload](Database* db) { return workload.BuildSchema(db); },
+      [&workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  auto system = std::move(system_or).value();
+
+  MetricsCollector metrics(0);
+  metrics.EnableTimeline(Millis(500));
+  std::vector<std::unique_ptr<ClientDriver>> clients;
+  Rng rng(17);
+  for (int c = 0; c < 16; ++c) {
+    clients.push_back(std::make_unique<ClientDriver>(
+        system.get(), &metrics,
+        workload.CreateGenerator(system->registry(), c, rng.Fork()), c,
+        ClientConfig{}, rng.Fork()));
+  }
+  system->SetClientCallback([&clients](const TxnResponse& r) {
+    clients[static_cast<size_t>(r.client_id)]->OnResponse(r);
+  });
+  for (auto& client : clients) client->Start();
+
+  const SimTime partition_at = Seconds(4);
+  const SimTime heal_at = Seconds(8);
+  sim.Schedule(partition_at, [&system]() { system->PartitionReplica(1); });
+  sim.Schedule(heal_at, [&system]() { system->HealReplicaPartition(1); });
+  sim.Schedule(Seconds(12), [&clients, &system]() {
+    for (auto& client : clients) client->Stop();
+    system->obs()->StopSampling();
+  });
+  sim.RunUntil(Seconds(12));
+  sim.RunAll();
+
+  PrintTimeline(metrics, partition_at, heal_at);
+
+  // The partition must have been detected (transactions failed over) and
+  // fully repaired (the healed replica converged with the survivors).
+  int64_t failures = 0;
+  for (const auto& bucket : metrics.timeline()) failures += bucket.failures;
+  const DbVersion v_healed = system->replica(1)->db()->CommittedVersion();
+  const DbVersion v_survivor = system->replica(0)->db()->CommittedVersion();
+  const auto& refresh = system->refresh_channel(1)->stats();
+  std::printf("\nfailed-over transactions: %lld\n",
+              static_cast<long long>(failures));
+  std::printf("healed replica version: %lld (survivor: %lld)\n",
+              static_cast<long long>(v_healed),
+              static_cast<long long>(v_survivor));
+  std::printf("refresh link to healed replica: %s\n",
+              refresh.ToString().c_str());
+  bool ok = true;
+  if (failures == 0) {
+    std::printf("FAIL: no transaction failed over at the partition\n");
+    ok = false;
+  }
+  if (v_healed != v_survivor) {
+    std::printf("FAIL: healed replica did not converge\n");
+    ok = false;
+  }
+  const obs::Auditor* auditor = system->obs()->auditor();
+  std::printf("\n---- audit report ----\n%s\n", auditor->Summary().c_str());
+  if (!auditor->ok()) ok = false;
+  std::printf("%s\n", ok ? "net sweep: OK" : "net sweep: FAILED");
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseOptions(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net-sweep") == 0) return NetSweep(options);
+  }
   PrintHeader("Availability timeline: replica crash at t=4s, recovery at "
               "t=8s (LSC, 4 replicas, 16 clients)",
               "the crash-recovery design of §IV (extension)");
@@ -49,6 +147,7 @@ int Main(int argc, char** argv) {
   if (!options.trace_json.empty()) sys_config.obs.tracing = true;
   if (!options.metrics_json.empty()) sys_config.obs.sample_period = Millis(500);
   if (options.audit) sys_config.obs.audit = true;
+  ApplyNetworkOptions(options, &sys_config);
   auto system_or = ReplicatedSystem::Create(
       &sim, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },

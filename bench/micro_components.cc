@@ -7,6 +7,10 @@
 // it times indexed vs. linear-scan certification across conflict-window
 // sizes and the apply-lane pipeline across lane counts, prints the
 // speedups, and writes them as JSON (default BENCH_certifier.json).
+//
+// `--net-json[=path]` measures the certifier->replica refresh fan-out
+// over real channels, batched vs unbatched, and writes the message/byte
+// counts as JSON (default BENCH_network.json).
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +20,7 @@
 #include <fstream>
 
 #include "core/table_version_tracker.h"
+#include "net/channel.h"
 #include "replication/certifier.h"
 #include "replication/proxy.h"
 #include "sim/simulator.h"
@@ -192,7 +197,7 @@ void BM_CertifierThroughput(benchmark::State& state) {
     int decisions = 0;
     certifier.SetDecisionCallback(
         [&decisions](ReplicaId, const CertDecision&) { ++decisions; });
-    certifier.SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    certifier.SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
     for (TxnId t = 1; t <= 500; ++t) {
       WriteSet ws;
       ws.txn_id = t;
@@ -223,7 +228,7 @@ class CertifierHarness {
     certifier_ = std::make_unique<Certifier>(&sim_, config, 4,
                                              /*eager=*/false);
     certifier_->SetDecisionCallback([](ReplicaId, const CertDecision&) {});
-    certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    certifier_->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
     for (size_t i = 0; i < window; ++i) Submit(certifier_->CommitVersion());
     sim_.RunAll();
     SCREP_CHECK(certifier_->abort_count() == 0);
@@ -433,6 +438,116 @@ int RunBenchJson(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// --net-json: refresh fan-out over real channels, batched vs unbatched.
+
+struct FanOutResult {
+  int64_t messages = 0;   // RefreshBatch messages across all targets
+  int64_t bytes = 0;      // modelled wire bytes across all targets
+  int64_t writesets = 0;  // writeset copies delivered to proxies
+};
+
+/// Drives one certifier through `txns` back-to-back distinct-key commits
+/// (so group commits carry batches larger than one) with the refresh
+/// fan-out wired over per-target channels, and returns the message and
+/// byte counts the channels observed.
+FanOutResult MeasureFanOut(bool batching, int replicas, int txns) {
+  Simulator sim;
+  FanOutResult out;
+  CertifierConfig config;
+  config.refresh_batching = batching;
+  Certifier certifier(&sim, config, replicas, /*eager=*/false);
+  certifier.SetDecisionCallback([](ReplicaId, const CertDecision&) {});
+  std::vector<std::unique_ptr<net::Channel<RefreshBatch>>> channels;
+  for (int r = 0; r < replicas; ++r) {
+    auto ch = std::make_unique<net::Channel<RefreshBatch>>(
+        &sim, "fanout.r" + std::to_string(r), net::LinkConfig{Micros(120)},
+        static_cast<uint64_t>(r) + 1);
+    ch->SetSizeFn(
+        [](const RefreshBatch& b) { return b.SerializedBytes(); });
+    ch->SetHandler([&out](const RefreshBatch& b) {
+      out.writesets += static_cast<int64_t>(b.writesets.size());
+    });
+    channels.push_back(std::move(ch));
+  }
+  certifier.SetRefreshCallback(
+      [&channels](ReplicaId target, const RefreshBatch& batch) {
+        channels[static_cast<size_t>(target)]->Send(batch);
+      });
+  for (TxnId t = 1; t <= static_cast<TxnId>(txns); ++t) {
+    WriteSet ws;
+    ws.txn_id = t;
+    ws.origin = static_cast<ReplicaId>(t % replicas);
+    ws.snapshot_version = static_cast<DbVersion>(t) - 1;
+    ws.Add(0, static_cast<int64_t>(t), WriteType::kUpdate,
+           Row{Value(static_cast<int64_t>(t))});
+    certifier.SubmitCertification(std::move(ws));
+  }
+  sim.RunAll();
+  for (const auto& ch : channels) {
+    out.messages += ch->stats().sent;
+    out.bytes += ch->stats().bytes;
+  }
+  return out;
+}
+
+int RunNetJson(const std::string& path) {
+  constexpr int kReplicas = 4;
+  constexpr int kTxns = 2000;
+  const FanOutResult unbatched = MeasureFanOut(false, kReplicas, kTxns);
+  const FanOutResult batched = MeasureFanOut(true, kReplicas, kTxns);
+  std::printf("refresh fan-out, %d replicas, %d back-to-back commits "
+              "(group commit batches the log forces)\n",
+              kReplicas, kTxns);
+  std::printf("%12s %10s %12s %11s %12s\n", "mode", "messages", "bytes",
+              "writesets", "ws/message");
+  const auto print_row = [](const char* mode, const FanOutResult& r) {
+    std::printf("%12s %10lld %12lld %11lld %12.2f\n", mode,
+                static_cast<long long>(r.messages),
+                static_cast<long long>(r.bytes),
+                static_cast<long long>(r.writesets),
+                static_cast<double>(r.writesets) /
+                    static_cast<double>(r.messages));
+  };
+  print_row("unbatched", unbatched);
+  print_row("batched", batched);
+  const double message_reduction =
+      static_cast<double>(unbatched.messages) /
+      static_cast<double>(batched.messages);
+  std::printf("message reduction: %.1fx\n", message_reduction);
+
+  std::ofstream out(path);
+  out << "{\"driver\":\"micro_components_network\",\"replicas\":"
+      << kReplicas << ",\"txns\":" << kTxns << ",\"unbatched\":{\"messages\":"
+      << unbatched.messages << ",\"bytes\":" << unbatched.bytes
+      << ",\"writesets\":" << unbatched.writesets
+      << "},\"batched\":{\"messages\":" << batched.messages
+      << ",\"bytes\":" << batched.bytes << ",\"writesets\":"
+      << batched.writesets << "},\"message_reduction\":"
+      << message_reduction << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+
+  // Self-checks: batching must not change what the proxies receive, and
+  // must strictly shrink the message (and thus framing-byte) count.
+  if (batched.writesets != unbatched.writesets ||
+      unbatched.writesets !=
+          static_cast<int64_t>(kTxns) * (kReplicas - 1)) {
+    std::fprintf(stderr, "FAIL: writeset delivery mismatch\n");
+    return 1;
+  }
+  if (batched.messages >= unbatched.messages ||
+      batched.bytes >= unbatched.bytes) {
+    std::fprintf(stderr,
+                 "FAIL: batching did not reduce refresh messages/bytes\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace screp
 
@@ -443,6 +558,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--bench-json") == 0) {
       return screp::RunBenchJson("BENCH_certifier.json");
+    }
+    if (std::strncmp(argv[i], "--net-json=", 11) == 0) {
+      return screp::RunNetJson(argv[i] + 11);
+    }
+    if (std::strcmp(argv[i], "--net-json") == 0) {
+      return screp::RunNetJson("BENCH_network.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,16 @@
+#include "net/link.h"
+
+#include <sstream>
+
+namespace screp::net {
+
+std::string LinkStats::ToString() const {
+  std::ostringstream out;
+  out << "sent=" << sent << " delivered=" << delivered << " bytes=" << bytes
+      << " dropped=" << dropped << " duplicated=" << duplicated
+      << " reordered=" << reordered << " redelivered=" << redelivered
+      << " in_flight=" << in_flight;
+  return out.str();
+}
+
+}  // namespace screp::net

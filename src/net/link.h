@@ -1,0 +1,106 @@
+// Link modeling for the simulated cluster interconnect.
+//
+// A LinkConfig describes one directed link's behaviour: base one-way
+// latency, optional jitter, per-byte serialization cost, and fault
+// injection knobs (drop / duplicate / reorder).  Channels (channel.h)
+// consume a LinkConfig to schedule message deliveries over the
+// simulator.  The default configuration — base latency only — makes a
+// channel Send() exactly one Schedule(base_latency) call, so a system
+// wired over default links replays the identical event sequence as
+// direct scheduling.
+
+#ifndef SCREP_NET_LINK_H_
+#define SCREP_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace screp::net {
+
+/// Delivery guarantee of a channel.
+enum class Reliability {
+  /// Fire-and-forget: a message lost to the drop fault is gone.  All
+  /// channels are loss-free under the default fault knobs, so this is
+  /// the default mode.
+  kBestEffort = 0,
+  /// Sequence-number + redelivery: every Send is stamped with a
+  /// per-channel sequence number; a message lost to the drop fault is
+  /// retransmitted after `retransmit_timeout`, and the receiver releases
+  /// messages to the handler in strict send order, holding out-of-order
+  /// arrivals.  For channels that must survive loss (the certifier ->
+  /// replica refresh stream, whose consumer already tolerates idempotent
+  /// re-apply).  Retransmission gives up while the link is muted,
+  /// partitioned or the destination endpoint is closed — recovery
+  /// catch-up (Certifier::FetchSince) repairs what a dead link missed,
+  /// after the owner calls Reset() on heal.
+  kReliable,
+};
+
+/// One directed link's latency / size / fault model.
+struct LinkConfig {
+  /// Base one-way propagation latency.
+  SimTime base_latency = 0;
+  /// Mean of an exponential jitter term added to every delivery
+  /// (0 = deterministic latency).  FIFO order is preserved by default:
+  /// a jittered message never overtakes an earlier one on the same link.
+  SimTime jitter_mean = 0;
+  /// Serialization/transmission cost per payload byte (fractional
+  /// microseconds; ~0.008 models a gigabit link).  Only channels with a
+  /// size function (writeset-bearing ones) pay it.
+  double per_byte_us = 0.0;
+
+  // Fault injection (all off by default).
+  /// Probability a message is lost in flight.
+  double drop_probability = 0.0;
+  /// Probability a message is delivered twice (second copy drawn with
+  /// independent latency, exempt from the FIFO clamp).
+  double duplicate_probability = 0.0;
+  /// Probability a message is deliberately delayed past later traffic
+  /// (breaks FIFO for that message).
+  double reorder_probability = 0.0;
+  /// Extra uniform [0, reorder_window] delay a reordered message draws.
+  SimTime reorder_window = 0;
+
+  /// Preserve per-link FIFO delivery despite jitter (default).  Messages
+  /// hit by the reorder fault are exempt.
+  bool fifo = true;
+  /// Delivery guarantee (see Reliability).
+  Reliability reliability = Reliability::kBestEffort;
+  /// Reliable mode: how long the sender waits before retransmitting a
+  /// lost message.  0 derives a default of 4 * base_latency.
+  SimTime retransmit_timeout = 0;
+
+  constexpr LinkConfig() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare latency is a link.
+  constexpr LinkConfig(SimTime latency) : base_latency(latency) {}
+
+  /// The link's nominal round-trip time — the named replacement for the
+  /// magic `2 * one_way` delays in recovery / failover paths.
+  constexpr SimTime RoundTrip() const { return 2 * base_latency; }
+
+  SimTime EffectiveRetransmitTimeout() const {
+    if (retransmit_timeout > 0) return retransmit_timeout;
+    const SimTime rto = 4 * base_latency;
+    return rto > 0 ? rto : 1;
+  }
+};
+
+/// Running totals a channel keeps about its traffic.
+struct LinkStats {
+  int64_t sent = 0;         ///< Send() calls accepted (incl. later drops)
+  int64_t delivered = 0;    ///< handler invocations
+  int64_t bytes = 0;        ///< payload bytes across all sends
+  int64_t dropped = 0;      ///< fault drops + mute/partition/closed drops
+  int64_t duplicated = 0;   ///< extra copies injected by the duplicate fault
+  int64_t reordered = 0;    ///< messages hit by the reorder fault
+  int64_t redelivered = 0;  ///< reliable-mode retransmissions attempted
+  int64_t in_flight = 0;    ///< copies currently scheduled for delivery
+
+  std::string ToString() const;
+};
+
+}  // namespace screp::net
+
+#endif  // SCREP_NET_LINK_H_

@@ -260,9 +260,19 @@ void Certifier::ForceNext() {
                           .arg_value = batch_size});
           }
         }
-        for (const WriteSet& ws : batch) {
-          wal_.Append(ws, /*force=*/true);
-          Announce(ws);
+        if (config_.refresh_batching) {
+          // Durability + decisions per writeset (in version order), then
+          // one coalesced refresh message per target for the whole batch.
+          for (const WriteSet& ws : batch) {
+            wal_.Append(ws, /*force=*/true);
+            AnnounceDecision(ws);
+          }
+          AnnounceRefreshBatches(batch);
+        } else {
+          for (const WriteSet& ws : batch) {
+            wal_.Append(ws, /*force=*/true);
+            Announce(ws);
+          }
         }
         if (!force_batch_.empty()) {
           ForceNext();
@@ -274,12 +284,30 @@ void Certifier::ForceNext() {
 
 void Certifier::Announce(const WriteSet& ws) {
   if (muted_) return;  // standby: identical state, silent channels
-  CertDecision decision{ws.txn_id, /*commit=*/true, ws.commit_version};
-  decision_cb_(ws.origin, decision);
+  AnnounceDecision(ws);
   for (ReplicaId r = 0; r < replica_count_; ++r) {
     if (r == ws.origin) continue;
     if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
-    refresh_cb_(r, ws);
+    refresh_cb_(r, RefreshBatch{{ws}});
+  }
+}
+
+void Certifier::AnnounceDecision(const WriteSet& ws) {
+  if (muted_) return;
+  CertDecision decision{ws.txn_id, /*commit=*/true, ws.commit_version};
+  decision_cb_(ws.origin, decision);
+}
+
+void Certifier::AnnounceRefreshBatches(const std::vector<WriteSet>& batch) {
+  if (muted_) return;
+  for (ReplicaId r = 0; r < replica_count_; ++r) {
+    if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
+    RefreshBatch refresh;
+    for (const WriteSet& ws : batch) {
+      if (ws.origin == r) continue;  // the origin applies its own commit
+      refresh.writesets.push_back(ws);
+    }
+    if (!refresh.writesets.empty()) refresh_cb_(r, refresh);
   }
 }
 

@@ -65,6 +65,11 @@ struct CertifierConfig {
   /// index.  Kept as the oracle for property tests and the certification
   /// microbenchmark; decisions are identical either way.
   bool linear_scan_oracle = false;
+  /// Coalesce each group-commit force's refresh fan-out into one message
+  /// per target replica (amortizing per-message latency exactly where
+  /// the batch already exists).  Off by default: one message per
+  /// writeset per target, the original fan-out schedule.
+  bool refresh_batching = false;
 };
 
 /// Central certification service.
@@ -73,7 +78,7 @@ class Certifier {
   using DecisionCallback =
       std::function<void(ReplicaId origin, const CertDecision&)>;
   using RefreshCallback =
-      std::function<void(ReplicaId target, const WriteSet&)>;
+      std::function<void(ReplicaId target, const RefreshBatch&)>;
   using GlobalCommitCallback =
       std::function<void(ReplicaId origin, TxnId txn)>;
   using ForwardCallback = std::function<void(const WriteSet&)>;
@@ -174,8 +179,14 @@ class Certifier {
   /// Forces the pending batch to disk; reschedules itself while
   /// decisions keep arriving.
   void ForceNext();
-  /// Sends the commit decision + refresh fan-out for a durable batch.
+  /// Sends the commit decision + per-writeset refresh fan-out for one
+  /// durable writeset (the unbatched announcement path).
   void Announce(const WriteSet& ws);
+  /// Sends one writeset's commit decision to its origin.
+  void AnnounceDecision(const WriteSet& ws);
+  /// Refresh-batching: sends each live replica one message carrying the
+  /// whole force batch (minus writesets it originated).
+  void AnnounceRefreshBatches(const std::vector<WriteSet>& batch);
 
   Simulator* sim_;
   CertifierConfig config_;

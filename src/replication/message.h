@@ -101,6 +101,29 @@ struct CertDecision {
   DbVersion commit_version = kNoVersion;
 };
 
+/// A dispatch from the load balancer to a replica proxy: the client's
+/// request plus the version tag enforcing the synchronization start
+/// delay.
+struct RoutedRequest {
+  TxnRequest request;
+  DbVersion required_version = 0;
+};
+
+/// One certifier -> replica refresh message: the writesets of one
+/// group-commit force destined for that replica, in commit-version
+/// order.  Without refresh batching every message carries exactly one
+/// writeset (the original per-writeset fan-out schedule).
+struct RefreshBatch {
+  std::vector<WriteSet> writesets;
+
+  /// Total wire size (drives the refresh link's per-byte cost).
+  size_t SerializedBytes() const {
+    size_t total = 8;  // batch header
+    for (const WriteSet& ws : writesets) total += ws.SerializedBytes();
+    return total;
+  }
+};
+
 }  // namespace screp
 
 #endif  // SCREP_REPLICATION_MESSAGE_H_

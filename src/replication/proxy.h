@@ -137,6 +137,13 @@ class Proxy {
   /// A refresh writeset from the certifier.
   void OnRefresh(const WriteSet& ws);
 
+  /// A refresh message from the certifier: one or more writesets (one
+  /// group-commit force's worth when refresh batching is on), unpacked
+  /// in order through the apply lanes.
+  void OnRefreshBatch(const RefreshBatch& batch) {
+    for (const WriteSet& ws : batch.writesets) OnRefresh(ws);
+  }
+
   /// Eager mode: the certifier reports the global commit of a local
   /// transaction; the client can finally be acknowledged.
   void OnGlobalCommit(TxnId txn);

@@ -73,14 +73,10 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
     }
     system->standby_certifier_ = std::make_unique<Certifier>(
         sim, config.certifier, config.replica_count, /*eager=*/false);
+    // A standby runs muted: it processes the identical certification
+    // stream but its announcement paths never fire, so it needs no
+    // channels until promotion.
     system->standby_certifier_->SetMuted(true);
-    // Muted channels still need non-null callbacks.
-    system->standby_certifier_->SetDecisionCallback(
-        [](ReplicaId, const CertDecision&) {});
-    system->standby_certifier_->SetRefreshCallback(
-        [](ReplicaId, const WriteSet&) {});
-    system->standby_certifier_->SetGlobalCommitCallback(
-        [](ReplicaId, TxnId) {});
   }
   system->table_sets_ = std::move(id_sets);
   system->load_balancer_ = std::make_unique<LoadBalancer>(
@@ -88,6 +84,7 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
       config.routing, config.staleness_bound);
   system->load_balancer_->SetTableSets(system->table_sets_);
 
+  system->BuildChannels();
   system->Wire();
   system->obs_->ConfigureAuditor(
       ProvidesStrongConsistency(config.level),
@@ -146,32 +143,150 @@ void ReplicatedSystem::RegisterGauges() {
   }
 }
 
-void ReplicatedSystem::Wire() {
+void ReplicatedSystem::BuildChannels() {
   const NetworkConfig& net = config_.network;
+  obs::MetricsRegistry* registry = obs_->registry();
+  // Per-channel RNG streams forked deterministically from the network
+  // seed, in fixed construction order.
+  Rng seeder(net.seed);
 
+  lb_endpoint_ = std::make_unique<net::Endpoint>("lb");
+  certifier_endpoint_ = std::make_unique<net::Endpoint>("certifier");
+  client_endpoint_ = std::make_unique<net::Endpoint>("clients");
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    replica_endpoints_.push_back(std::make_unique<net::Endpoint>(
+        "replica" + std::to_string(r)));
+  }
+  partitioned_.assign(static_cast<size_t>(config_.replica_count), false);
+
+  // Handlers read the component pointers through `this`, so a promoted
+  // LB or certifier keeps receiving over the same channels, and messages
+  // in flight across a failover land on the successor (as before).
+  ch_client_lb_ = std::make_unique<net::Channel<TxnRequest>>(
+      sim_, "client_lb", net.client_lb, seeder.Next());
+  ch_client_lb_->SetDestination(lb_endpoint_.get());
+  ch_client_lb_->SetHandler([this](const TxnRequest& request) {
+    load_balancer_->OnClientRequest(request);
+  });
+  ch_client_lb_->AttachMetrics(registry);
+
+  ch_lb_client_ = std::make_unique<net::Channel<TxnResponse>>(
+      sim_, "lb_client", net.client_lb, seeder.Next());
+  ch_lb_client_->SetDestination(client_endpoint_.get());
+  ch_lb_client_->SetHandler([this](const TxnResponse& response) {
+    RecordHistory(response, sim_->Now());
+    if (client_cb_) client_cb_(response);
+  });
+  ch_lb_client_->AttachMetrics(registry);
+
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    const std::string tag = ".r" + std::to_string(r);
+    net::Endpoint* replica_ep = replica_endpoints_[static_cast<size_t>(r)]
+                                    .get();
+
+    auto dispatch = std::make_unique<net::Channel<RoutedRequest>>(
+        sim_, "dispatch" + tag, net.lb_replica, seeder.Next());
+    dispatch->SetDestination(replica_ep);
+    dispatch->SetHandler([this, r](const RoutedRequest& routed) {
+      replicas_[static_cast<size_t>(r)]->proxy()->OnTxnRequest(
+          routed.request, routed.required_version);
+    });
+    dispatch->AttachMetrics(registry);
+    ch_dispatch_.push_back(std::move(dispatch));
+
+    auto response = std::make_unique<net::Channel<TxnResponse>>(
+        sim_, "response" + tag, net.lb_replica, seeder.Next());
+    response->SetDestination(lb_endpoint_.get());
+    response->SetHandler([this](const TxnResponse& resp) {
+      load_balancer_->OnProxyResponse(resp);
+    });
+    response->AttachMetrics(registry);
+    ch_response_.push_back(std::move(response));
+
+    auto cert_request = std::make_unique<net::Channel<WriteSet>>(
+        sim_, "certreq" + tag, net.replica_certifier, seeder.Next());
+    cert_request->SetDestination(certifier_endpoint_.get());
+    cert_request->SetSizeFn(
+        [](const WriteSet& ws) { return ws.SerializedBytes(); });
+    cert_request->SetHandler([this](const WriteSet& ws) {
+      certifier_->SubmitCertification(ws);
+    });
+    cert_request->AttachMetrics(registry);
+    ch_cert_request_.push_back(std::move(cert_request));
+
+    auto commit_notice = std::make_unique<net::Channel<TxnId>>(
+        sim_, "commit_notice" + tag, net.replica_certifier, seeder.Next());
+    commit_notice->SetDestination(certifier_endpoint_.get());
+    commit_notice->SetHandler([this](const TxnId& txn) {
+      certifier_->NotifyReplicaCommitted(txn);
+    });
+    commit_notice->AttachMetrics(registry);
+    ch_commit_notice_.push_back(std::move(commit_notice));
+
+    auto decision = std::make_unique<net::Channel<CertDecision>>(
+        sim_, "decision" + tag, net.replica_certifier, seeder.Next());
+    decision->SetDestination(replica_ep);
+    decision->SetHandler([this, r](const CertDecision& d) {
+      replicas_[static_cast<size_t>(r)]->proxy()->OnCertDecision(d);
+    });
+    decision->AttachMetrics(registry);
+    ch_decision_.push_back(std::move(decision));
+
+    auto refresh = std::make_unique<net::Channel<RefreshBatch>>(
+        sim_, "refresh" + tag, net.refresh, seeder.Next());
+    refresh->SetDestination(replica_ep);
+    refresh->SetSizeFn(
+        [](const RefreshBatch& batch) { return batch.SerializedBytes(); });
+    refresh->SetHandler([this, r](const RefreshBatch& batch) {
+      replicas_[static_cast<size_t>(r)]->proxy()->OnRefreshBatch(batch);
+    });
+    refresh->AttachMetrics(registry);
+    ch_refresh_.push_back(std::move(refresh));
+
+    auto global_commit = std::make_unique<net::Channel<TxnId>>(
+        sim_, "global_commit" + tag, net.replica_certifier, seeder.Next());
+    global_commit->SetDestination(replica_ep);
+    global_commit->SetHandler([this, r](const TxnId& txn) {
+      replicas_[static_cast<size_t>(r)]->proxy()->OnGlobalCommit(txn);
+    });
+    global_commit->AttachMetrics(registry);
+    ch_global_commit_.push_back(std::move(global_commit));
+  }
+
+  // Primary -> standby certification stream (state-machine replication).
+  // A forward still in flight when the standby is promoted lands on the
+  // promoted certifier instead, where idempotent certification absorbs
+  // it.
+  ch_forward_ = std::make_unique<net::Channel<WriteSet>>(
+      sim_, "standby_forward", net.replica_certifier, seeder.Next());
+  ch_forward_->SetSizeFn(
+      [](const WriteSet& ws) { return ws.SerializedBytes(); });
+  ch_forward_->SetHandler([this](const WriteSet& ws) {
+    Certifier* target = standby_certifier_ != nullptr
+                            ? standby_certifier_.get()
+                            : certifier_.get();
+    target->SubmitCertification(ws);
+  });
+  ch_forward_->AttachMetrics(registry);
+}
+
+void ReplicatedSystem::Wire() {
   WireLoadBalancer();
 
-  // Replica proxy -> load balancer (responses).
-  for (auto& replica : replicas_) {
-    Proxy* proxy = replica->proxy();
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
     proxy->SetWaitCause(load_balancer_->policy().wait_cause());
     proxy->SetObservability(obs_.get());
-    proxy->SetResponseCallback([this, net](const TxnResponse& response) {
-      sim_->Schedule(net.lb_replica, [this, response]() {
-        load_balancer_->OnProxyResponse(response);
-      });
+    // Replica proxy -> load balancer (responses).
+    proxy->SetResponseCallback([this, r](const TxnResponse& response) {
+      ch_response_[static_cast<size_t>(r)]->Send(response);
     });
-
     // Replica proxy -> certifier (writesets + eager commit reports).
-    proxy->SetCertRequestCallback([this, net](const WriteSet& ws) {
-      sim_->Schedule(net.replica_certifier, [this, ws]() {
-        certifier_->SubmitCertification(ws);
-      });
+    proxy->SetCertRequestCallback([this, r](const WriteSet& ws) {
+      ch_cert_request_[static_cast<size_t>(r)]->Send(ws);
     });
-    proxy->SetReplicaCommittedCallback([this, net](TxnId txn) {
-      sim_->Schedule(net.replica_certifier, [this, txn]() {
-        certifier_->NotifyReplicaCommitted(txn);
-      });
+    proxy->SetReplicaCommittedCallback([this, r](TxnId txn) {
+      ch_commit_notice_[static_cast<size_t>(r)]->Send(txn);
     });
   }
 
@@ -179,24 +294,18 @@ void ReplicatedSystem::Wire() {
 }
 
 void ReplicatedSystem::WireLoadBalancer() {
-  const NetworkConfig& net = config_.network;
   load_balancer_->SetObservability(obs_.get());
   // Load balancer -> replica proxy (request dispatch).
   load_balancer_->SetDispatchCallback(
-      [this, net](ReplicaId replica, const TxnRequest& request,
-                  DbVersion required) {
-        sim_->Schedule(net.lb_replica, [this, replica, request, required]() {
-          replicas_[static_cast<size_t>(replica)]->proxy()->OnTxnRequest(
-              request, required);
-        });
+      [this](ReplicaId replica, const TxnRequest& request,
+             DbVersion required) {
+        ch_dispatch_[static_cast<size_t>(replica)]->Send(
+            RoutedRequest{request, required});
       });
   // Load balancer -> client (acknowledgments).
   load_balancer_->SetClientResponseCallback(
-      [this, net](const TxnResponse& response) {
-        sim_->Schedule(net.client_lb, [this, response]() {
-          RecordHistory(response, sim_->Now());
-          if (client_cb_) client_cb_(response);
-        });
+      [this](const TxnResponse& response) {
+        ch_lb_client_->Send(response);
       });
 }
 
@@ -239,44 +348,25 @@ void ReplicatedSystem::CrashLoadBalancer() {
 }
 
 void ReplicatedSystem::WireCertifier() {
-  const NetworkConfig& net = config_.network;
   // Only the active certifier reports: a standby processes the identical
   // stream and would double-count. On promotion the same counter names
   // continue their predecessor's totals.
   certifier_->SetObservability(obs_.get());
   // Certifier -> replicas (decisions, refresh fan-out, global commits).
   certifier_->SetDecisionCallback(
-      [this, net](ReplicaId origin, const CertDecision& decision) {
-        sim_->Schedule(net.replica_certifier, [this, origin, decision]() {
-          replicas_[static_cast<size_t>(origin)]->proxy()->OnCertDecision(
-              decision);
-        });
+      [this](ReplicaId origin, const CertDecision& decision) {
+        ch_decision_[static_cast<size_t>(origin)]->Send(decision);
       });
   certifier_->SetRefreshCallback(
-      [this, net](ReplicaId target, const WriteSet& ws) {
-        sim_->Schedule(net.replica_certifier, [this, target, ws]() {
-          replicas_[static_cast<size_t>(target)]->proxy()->OnRefresh(ws);
-        });
+      [this](ReplicaId target, const RefreshBatch& batch) {
+        ch_refresh_[static_cast<size_t>(target)]->Send(batch);
       });
-  certifier_->SetGlobalCommitCallback([this, net](ReplicaId origin,
-                                                  TxnId txn) {
-    sim_->Schedule(net.replica_certifier, [this, origin, txn]() {
-      replicas_[static_cast<size_t>(origin)]->proxy()->OnGlobalCommit(txn);
-    });
+  certifier_->SetGlobalCommitCallback([this](ReplicaId origin, TxnId txn) {
+    ch_global_commit_[static_cast<size_t>(origin)]->Send(txn);
   });
-  // Primary -> standby request stream (state-machine replication). A
-  // forward still in flight when the standby is promoted lands on the
-  // promoted certifier instead, where idempotent certification absorbs
-  // it.
   if (standby_certifier_ != nullptr) {
-    certifier_->SetForwardCallback([this](const WriteSet& ws) {
-      sim_->Schedule(config_.network.replica_certifier, [this, ws]() {
-        Certifier* target = standby_certifier_ != nullptr
-                                ? standby_certifier_.get()
-                                : certifier_.get();
-        target->SubmitCertification(ws);
-      });
-    });
+    certifier_->SetForwardCallback(
+        [this](const WriteSet& ws) { ch_forward_->Send(ws); });
   } else {
     certifier_->SetForwardCallback(nullptr);
   }
@@ -309,7 +399,8 @@ void ReplicatedSystem::CrashCertifier() {
   for (ReplicaId r = 0; r < static_cast<ReplicaId>(replicas_.size()); ++r) {
     Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
     if (proxy->down()) continue;
-    sim_->Schedule(2 * config_.network.replica_certifier, [this, proxy]() {
+    sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+                   [this, proxy]() {
       if (proxy->down()) return;
       const Status st = certifier_->FetchSince(
           proxy->v_local(), [proxy](const WriteSet& ws) {
@@ -324,9 +415,14 @@ void ReplicatedSystem::CrashCertifier() {
 void ReplicatedSystem::CrashReplica(ReplicaId replica) {
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(!proxy->down(), "replica already down");
+  SCREP_CHECK_MSG(!IsReplicaPartitioned(replica),
+                  "crash of a partitioned replica is not modelled");
   SCREP_LOG(kWarn) << "[system] crash of replica " << replica;
   EmitFaultEvent(obs::EventKind::kCrash, "replica", replica);
   proxy->Crash();
+  // Crash-stop at the transport: the endpoint closes, so anything still
+  // addressed to the dead replica drops at its channel (counted there).
+  replica_endpoints_[static_cast<size_t>(replica)]->Close();
   certifier_->MarkReplicaDown(replica);
   // The load balancer notices the failure and fails outstanding
   // transactions over to their clients (responses travel with latency).
@@ -341,13 +437,19 @@ void ReplicatedSystem::RecoverReplica(ReplicaId replica) {
                    << " from V_local=" << proxy->v_local()
                    << " (certifier at " << certifier_->CommitVersion() << ")";
   proxy->Restart();
+  replica_endpoints_[static_cast<size_t>(replica)]->Open();
+  // The refresh channel forgets sequencing state from before the crash:
+  // a retransmission that gave up while the endpoint was closed must not
+  // leave a gap stalling post-recovery traffic (catch-up re-delivers
+  // everything missed).
+  ch_refresh_[static_cast<size_t>(replica)]->Reset();
   // Resume the refresh flow first so nothing is missed between the catch-
   // up snapshot and new commits, then stream the missed writesets from
   // the certifier's durable log (one catch-up round trip).
   certifier_->MarkReplicaUp(replica);
   const DbVersion from = proxy->v_local();
-  sim_->Schedule(2 * config_.network.replica_certifier, [this, replica,
-                                                         from]() {
+  sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+                 [this, replica, from]() {
     Proxy* p = replicas_[static_cast<size_t>(replica)]->proxy();
     if (p->down()) return;  // crashed again before catch-up started
     const DbVersion target = certifier_->CommitVersion();
@@ -367,6 +469,69 @@ bool ReplicatedSystem::IsReplicaDown(ReplicaId replica) const {
   return replicas_[static_cast<size_t>(replica)]->proxy()->down();
 }
 
+void ReplicatedSystem::SetReplicaLinksPartitioned(ReplicaId replica,
+                                                  bool partitioned) {
+  const auto r = static_cast<size_t>(replica);
+  ch_dispatch_[r]->SetPartitioned(partitioned);
+  ch_response_[r]->SetPartitioned(partitioned);
+  ch_cert_request_[r]->SetPartitioned(partitioned);
+  ch_commit_notice_[r]->SetPartitioned(partitioned);
+  ch_decision_[r]->SetPartitioned(partitioned);
+  ch_refresh_[r]->SetPartitioned(partitioned);
+  ch_global_commit_[r]->SetPartitioned(partitioned);
+}
+
+void ReplicatedSystem::PartitionReplica(ReplicaId replica) {
+  Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
+  SCREP_CHECK_MSG(!proxy->down(), "cannot partition a crashed replica");
+  SCREP_CHECK_MSG(!IsReplicaPartitioned(replica),
+                  "replica already partitioned");
+  partitioned_[static_cast<size_t>(replica)] = true;
+  EmitFaultEvent(obs::EventKind::kCrash, "partition", replica);
+  SCREP_LOG(kWarn) << "[system] network partition of replica " << replica;
+  SetReplicaLinksPartitioned(replica, true);
+  // The replica itself keeps running, but the rest of the cluster hears
+  // silence: one heartbeat round trip later the LB fails outstanding
+  // transactions over and the certifier stops fanning refreshes to it.
+  sim_->Schedule(config_.network.lb_replica.RoundTrip(), [this, replica]() {
+    if (!IsReplicaPartitioned(replica)) return;  // healed before detection
+    certifier_->MarkReplicaDown(replica);
+    load_balancer_->MarkReplicaDown(replica);
+  });
+}
+
+void ReplicatedSystem::HealReplicaPartition(ReplicaId replica) {
+  SCREP_CHECK_MSG(IsReplicaPartitioned(replica), "replica is not partitioned");
+  Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
+  partitioned_[static_cast<size_t>(replica)] = false;
+  EmitFaultEvent(obs::EventKind::kRecover, "partition", replica);
+  SCREP_LOG(kInfo) << "[system] partition of replica " << replica
+                   << " heals at V_local=" << proxy->v_local()
+                   << " (certifier at " << certifier_->CommitVersion() << ")";
+  SetReplicaLinksPartitioned(replica, false);
+  // Sends dropped at the cut (and retransmissions that gave up) left
+  // sequence gaps on the refresh channel; the catch-up stream below
+  // re-delivers that range, so the channel restarts clean.
+  ch_refresh_[static_cast<size_t>(replica)]->Reset();
+  certifier_->MarkReplicaUp(replica);
+  const DbVersion from = proxy->v_local();
+  sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+                 [this, replica, from]() {
+    Proxy* p = replicas_[static_cast<size_t>(replica)]->proxy();
+    if (p->down() || IsReplicaPartitioned(replica)) return;  // cut again
+    const DbVersion target = certifier_->CommitVersion();
+    const Status st = certifier_->FetchSince(
+        from, [p](const WriteSet& ws) { p->OnRefresh(ws); });
+    SCREP_CHECK_MSG(st.ok(), "heal catch-up failed: " << st.ToString());
+    // Transactions stuck awaiting decisions re-certify (idempotent at
+    // the certifier — already-decided ones get their original verdict).
+    p->ResubmitPendingCertifications();
+    p->CallWhenVersionReached(target, [this, replica]() {
+      load_balancer_->MarkReplicaUp(replica);
+    });
+  });
+}
+
 void ReplicatedSystem::ScheduleGc() {
   sim_->Schedule(config_.gc_interval, [this]() {
     if (gc_stopped_) return;
@@ -381,10 +546,7 @@ void ReplicatedSystem::ScheduleGc() {
 
 void ReplicatedSystem::Submit(TxnRequest request) {
   request.submit_time = sim_->Now();
-  sim_->Schedule(config_.network.client_lb,
-                 [this, request = std::move(request)]() {
-                   load_balancer_->OnClientRequest(request);
-                 });
+  ch_client_lb_->Send(request);
 }
 
 void ReplicatedSystem::RecordHistory(const TxnResponse& response,

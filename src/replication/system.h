@@ -11,6 +11,7 @@
 
 #include "consistency/history.h"
 #include "core/consistency_level.h"
+#include "net/channel.h"
 #include "obs/observability.h"
 #include "replication/certifier.h"
 #include "replication/load_balancer.h"
@@ -20,11 +21,29 @@
 
 namespace screp {
 
-/// One-way latencies of the cluster interconnect (Gigabit-Ethernet-ish).
+/// The cluster interconnect: one LinkConfig per hop class
+/// (Gigabit-Ethernet-ish defaults).  Beyond the base one-way latency each
+/// link can model jitter, per-byte cost and injected faults — see
+/// net/link.h.
 struct NetworkConfig {
-  SimTime client_lb = Micros(150);
-  SimTime lb_replica = Micros(120);
-  SimTime replica_certifier = Micros(120);
+  /// Client <-> load balancer (both directions).
+  net::LinkConfig client_lb{Micros(150)};
+  /// Load balancer <-> replica proxies (both directions).
+  net::LinkConfig lb_replica{Micros(120)};
+  /// Replica <-> certifier control traffic (certification requests,
+  /// decisions, eager commit notices / global commits, standby stream).
+  net::LinkConfig replica_certifier{Micros(120)};
+  /// Certifier -> replica refresh fan-out.  Kept separate from
+  /// `replica_certifier` so loss/jitter can be injected on the refresh
+  /// stream alone; runs in reliable (sequence-number + redelivery) mode
+  /// by default, so a dropped refresh is retransmitted instead of
+  /// stalling the apply stream forever.
+  net::LinkConfig refresh{Micros(120)};
+  /// Seed of the per-channel jitter/fault RNG streams (independent of
+  /// the workload and service-time streams).
+  uint64_t seed = 0x6e657473ULL;
+
+  NetworkConfig() { refresh.reliability = net::Reliability::kReliable; }
 };
 
 /// Everything needed to stand up a system.
@@ -99,6 +118,23 @@ class ReplicatedSystem {
   /// True while `replica` is crashed.
   bool IsReplicaDown(ReplicaId replica) const;
 
+  /// Network fault injection: cuts every link to and from `replica`
+  /// (messages drop at the channel, counted per link).  The replica
+  /// itself keeps running — unlike a crash its state survives — but the
+  /// LB and certifier detect the silent peer one heartbeat round trip
+  /// later and fail it out of the cluster.
+  void PartitionReplica(ReplicaId replica);
+
+  /// Heals the partition: links reopen, the replica catches up from the
+  /// certifier's durable log (resubmitting transactions stuck awaiting
+  /// decisions), and rejoins routing once current.
+  void HealReplicaPartition(ReplicaId replica);
+
+  /// True while `replica` is partitioned.
+  bool IsReplicaPartitioned(ReplicaId replica) const {
+    return partitioned_[static_cast<size_t>(replica)];
+  }
+
   /// Stops the periodic GC daemon (used by the experiment harness so the
   /// event queue can drain at the end of a run).
   void StopGc() { gc_stopped_ = true; }
@@ -136,9 +172,25 @@ class ReplicatedSystem {
   }
   const sql::TransactionRegistry& registry() const { return registry_; }
 
+  /// The certifier -> replica refresh channel (tests and benches read
+  /// its per-link stats: messages, bytes, drops, redeliveries).
+  net::Channel<RefreshBatch>* refresh_channel(ReplicaId replica) {
+    return ch_refresh_[static_cast<size_t>(replica)].get();
+  }
+  /// The LB -> replica dispatch channel.
+  net::Channel<RoutedRequest>* dispatch_channel(ReplicaId replica) {
+    return ch_dispatch_[static_cast<size_t>(replica)].get();
+  }
+
  private:
   ReplicatedSystem(Simulator* sim, SystemConfig config);
 
+  /// Builds every named channel of the cluster fabric (handlers read
+  /// component pointers through `this`, so LB/certifier failovers keep
+  /// speaking over the same channels).
+  void BuildChannels();
+  /// Flips the partitioned flag on every channel into/out of `replica`.
+  void SetReplicaLinksPartitioned(ReplicaId replica, bool partitioned);
   void Wire();
   void RecordHistory(const TxnResponse& response, SimTime ack_time);
   /// Appends a crash/recover/failover event for `component` ("replica",
@@ -175,6 +227,27 @@ class ReplicatedSystem {
   History* history_ = nullptr;
   TxnId next_txn_id_ = 1;
   bool gc_stopped_ = false;
+
+  // ---- The transport fabric (net/channel.h) ----
+  // Endpoints: closing one (crash-stop) makes every channel pointed at
+  // it drop at send.  Declared before the channels that reference them.
+  std::unique_ptr<net::Endpoint> lb_endpoint_;
+  std::unique_ptr<net::Endpoint> certifier_endpoint_;
+  std::unique_ptr<net::Endpoint> client_endpoint_;
+  std::vector<std::unique_ptr<net::Endpoint>> replica_endpoints_;
+  // Directed channels, one per hop (client<->LB shared by all clients;
+  // everything else per replica).
+  std::unique_ptr<net::Channel<TxnRequest>> ch_client_lb_;
+  std::unique_ptr<net::Channel<TxnResponse>> ch_lb_client_;
+  std::vector<std::unique_ptr<net::Channel<RoutedRequest>>> ch_dispatch_;
+  std::vector<std::unique_ptr<net::Channel<TxnResponse>>> ch_response_;
+  std::vector<std::unique_ptr<net::Channel<WriteSet>>> ch_cert_request_;
+  std::vector<std::unique_ptr<net::Channel<TxnId>>> ch_commit_notice_;
+  std::vector<std::unique_ptr<net::Channel<CertDecision>>> ch_decision_;
+  std::vector<std::unique_ptr<net::Channel<RefreshBatch>>> ch_refresh_;
+  std::vector<std::unique_ptr<net::Channel<TxnId>>> ch_global_commit_;
+  std::unique_ptr<net::Channel<WriteSet>> ch_forward_;
+  std::vector<bool> partitioned_;
 };
 
 }  // namespace screp

@@ -184,6 +184,36 @@ size_t WriteSet::ByteSize() const {
   return total;
 }
 
+size_t WriteSet::SerializedBytes() const {
+  // Mirrors EncodeTo() field by field; write_set_test asserts the two
+  // stay in lockstep.
+  size_t total = 8 + 8 + 8 + 8;  // txn_id, snapshot, commit, origin
+  total += 8;                    // n_ops
+  for (const WriteOp& op : ops) {
+    total += 8 + 8 + 1 + 1;  // table, key, type, has_row
+    if (op.row) {
+      total += 8;  // n_vals
+      for (const Value& v : *op.row) {
+        total += 1;  // type tag
+        switch (v.type()) {
+          case ValueType::kNull:
+            break;
+          case ValueType::kInt64:
+          case ValueType::kDouble:
+            total += 8;
+            break;
+          case ValueType::kString:
+            total += 8 + v.AsString().size();
+            break;
+        }
+      }
+    }
+  }
+  total += 8 + 16 * read_keys.size();    // n_read_keys + (table, key)
+  total += 8 + 24 * read_ranges.size();  // n_ranges + (table, lo, hi)
+  return total;
+}
+
 void WriteSet::EncodeTo(std::string* out) const {
   PutU64(out, txn_id);
   PutI64(out, snapshot_version);

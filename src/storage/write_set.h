@@ -88,6 +88,10 @@ class WriteSet {
   /// Approximate wire size in bytes (drives network/apply costs).
   size_t ByteSize() const;
 
+  /// Exact size of the EncodeTo() serialization, computed without
+  /// allocating — drives the transport layer's per-byte link costs.
+  size_t SerializedBytes() const;
+
   /// Binary serialization (used by the WAL and message layer).
   void EncodeTo(std::string* out) const;
   /// Decodes a writeset encoded by EncodeTo. Returns false on corruption.

@@ -35,7 +35,7 @@ struct Lane {
         [this](ReplicaId, const CertDecision& decision) {
           decisions.push_back(decision);
         });
-    certifier->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+    certifier->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
     certifier->SetObservability(obs.get());
   }
 };

@@ -29,8 +29,10 @@ class CertifierTest : public ::testing::Test {
           decisions_.emplace_back(origin, decision);
         });
     certifier_->SetRefreshCallback(
-        [this](ReplicaId target, const WriteSet& ws) {
-          refreshes_.emplace_back(target, ws);
+        [this](ReplicaId target, const RefreshBatch& batch) {
+          for (const WriteSet& ws : batch.writesets) {
+            refreshes_.emplace_back(target, ws);
+          }
         });
     certifier_->SetGlobalCommitCallback([this](ReplicaId origin, TxnId txn) {
       global_commits_.emplace_back(origin, txn);
@@ -193,7 +195,7 @@ TEST_F(CertifierTest, WindowOverflowAbortsConservatively) {
       [this](ReplicaId origin, const CertDecision& decision) {
         decisions_.emplace_back(origin, decision);
       });
-  certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+  certifier_->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
   for (TxnId t = 1; t <= 4; ++t) {
     certifier_->SubmitCertification(
         MakeWs(t, 0, static_cast<DbVersion>(t - 1),
@@ -216,7 +218,7 @@ TEST_F(CertifierTest, DecisionMapBoundedByConflictWindow) {
       [this](ReplicaId origin, const CertDecision& decision) {
         decisions_.emplace_back(origin, decision);
       });
-  certifier_->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+  certifier_->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
   for (TxnId t = 1; t <= 500; ++t) {
     certifier_->SubmitCertification(
         MakeWs(t, 0, static_cast<DbVersion>(t - 1),

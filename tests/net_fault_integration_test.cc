@@ -1,0 +1,211 @@
+// Network fault injection end to end: loss / jitter / reordering on the
+// certifier -> replica refresh stream (reliable channel absorbs them),
+// replica partition + heal, and refresh batching equivalence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "consistency/checker.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig NetRun(ConsistencyLevel level) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = 3;
+  config.client_count = 8;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 17;
+  config.audit = true;
+  return config;
+}
+
+std::unique_ptr<ReplicatedSystem> BuildDirect(Simulator* sim,
+                                              MicroWorkload* workload,
+                                              SystemConfig config) {
+  auto system_or = ReplicatedSystem::Create(
+      sim, config,
+      [workload](Database* db) { return workload->BuildSchema(db); },
+      [workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload->DefineTransactions(db, reg);
+      });
+  SCREP_CHECK(system_or.ok());
+  return std::move(system_or).value();
+}
+
+// Loss + jitter on the refresh stream: the reliable channel retransmits
+// and resequences, so every consistency level stays audit-clean.
+class RefreshLossPropertyTest
+    : public ::testing::TestWithParam<ConsistencyLevel> {};
+
+TEST_P(RefreshLossPropertyTest, AuditCleanUnderLossAndJitter) {
+  MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config = NetRun(GetParam());
+  config.system.network.refresh.drop_probability = 0.05;
+  config.system.network.refresh.jitter_mean = Micros(200);
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 500);
+  EXPECT_TRUE(result->audit.enabled);
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, RefreshLossPropertyTest,
+    ::testing::Values(ConsistencyLevel::kEager, ConsistencyLevel::kLazyCoarse,
+                      ConsistencyLevel::kLazyFine, ConsistencyLevel::kSession),
+    [](const ::testing::TestParamInfo<ConsistencyLevel>& info) {
+      return std::string(ConsistencyLevelName(info.param));
+    });
+
+TEST(NetFaultIntegrationTest, AuditCleanUnderRefreshReorderAndDuplication) {
+  MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config = NetRun(ConsistencyLevel::kLazyCoarse);
+  config.system.network.refresh.reorder_probability = 0.2;
+  config.system.network.refresh.reorder_window = Micros(600);
+  config.system.network.refresh.duplicate_probability = 0.1;
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 500);
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+}
+
+TEST(NetFaultIntegrationTest, AuditCleanUnderLossWithRefreshBatching) {
+  MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config = NetRun(ConsistencyLevel::kLazyCoarse);
+  config.system.certifier.refresh_batching = true;
+  config.system.network.refresh.drop_probability = 0.05;
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 500);
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+}
+
+TEST(NetFaultIntegrationTest, PartitionedReplicaHealsAndCatchesUp) {
+  Simulator sim;
+  SystemConfig config;
+  config.replica_count = 3;
+  config.level = ConsistencyLevel::kLazyCoarse;
+  MicroWorkload workload(SmallMicro(1.0));
+  auto system = BuildDirect(&sim, &workload, config);
+  std::vector<TxnResponse> responses;
+  system->SetClientCallback(
+      [&](const TxnResponse& r) { responses.push_back(r); });
+  auto submit_update = [&](int64_t key) {
+    TxnRequest req;
+    req.txn_id = system->NextTxnId();
+    req.type = *system->registry().Find("update_item0");
+    req.session = 1;
+    req.params = {{Value(1), Value(key)}};
+    system->Submit(std::move(req));
+  };
+
+  // Ten committed updates, then cut every link to replica 2.
+  for (int64_t k = 0; k < 10; ++k) submit_update(k);
+  sim.RunAll();
+  ASSERT_EQ(responses.size(), 10u);
+  system->PartitionReplica(2);
+  EXPECT_TRUE(system->IsReplicaPartitioned(2));
+  EXPECT_FALSE(system->IsReplicaDown(2));  // the process is alive
+  const DbVersion at_partition = system->replica(2)->db()->CommittedVersion();
+
+  // Twenty more while partitioned; requests routed to replica 2 before
+  // the silence is detected are failed over to their clients by the LB.
+  for (int64_t k = 10; k < 30; ++k) submit_update(k);
+  sim.RunAll();
+  ASSERT_EQ(responses.size(), 30u);
+  int failed_over = 0, committed = 0;
+  for (const auto& r : responses) {
+    if (r.outcome == TxnOutcome::kReplicaFailure) ++failed_over;
+    if (r.outcome == TxnOutcome::kCommitted) ++committed;
+  }
+  EXPECT_GT(failed_over, 0);
+  EXPECT_GT(committed, 10);
+  // Nothing crossed the partition: replica 2 is frozen, survivors moved.
+  // (Requests routed to it before the LB detected the silence dropped at
+  // the dispatch link; once detected, the certifier stops fanning out to
+  // it, so the refresh channel sees no traffic at all.)
+  EXPECT_EQ(system->replica(2)->db()->CommittedVersion(), at_partition);
+  EXPECT_GT(system->replica(0)->db()->CommittedVersion(), at_partition);
+  EXPECT_GT(system->dispatch_channel(2)->stats().dropped, 0);
+
+  // Heal: replica 2 catches up out of band and rejoins routing.
+  system->HealReplicaPartition(2);
+  sim.RunAll();
+  EXPECT_FALSE(system->IsReplicaPartitioned(2));
+  EXPECT_EQ(system->replica(2)->db()->CommittedVersion(),
+            system->replica(0)->db()->CommittedVersion());
+
+  // And it serves traffic again: later updates keep all replicas equal.
+  for (int64_t k = 30; k < 50; ++k) submit_update(k);
+  sim.RunAll();
+  EXPECT_EQ(system->replica(2)->db()->CommittedVersion(),
+            system->replica(0)->db()->CommittedVersion());
+  EXPECT_EQ(system->replica(1)->db()->CommittedVersion(),
+            system->replica(0)->db()->CommittedVersion());
+}
+
+TEST(NetFaultIntegrationTest, RefreshBatchingEquivalentAndFewerMessages) {
+  // Same submission sequence against two systems differing only in
+  // certifier.refresh_batching; outcomes and final state must match,
+  // while the batched refresh fan-out uses strictly fewer messages.
+  auto run = [&](bool batching) {
+    struct Run {
+      std::map<TxnId, TxnOutcome> outcomes;
+      DbVersion final_version = 0;
+      int64_t refresh_messages = 0;
+      int64_t refresh_writesets = 0;
+    } out;
+    Simulator sim;
+    SystemConfig config;
+    config.replica_count = 3;
+    config.level = ConsistencyLevel::kLazyCoarse;
+    config.certifier.refresh_batching = batching;
+    MicroWorkload workload(SmallMicro(1.0));
+    auto system = BuildDirect(&sim, &workload, config);
+    system->SetClientCallback([&](const TxnResponse& r) {
+      out.outcomes[r.txn_id] = r.outcome;
+    });
+    // Back-to-back submissions pile up behind the 0.8ms log force, so
+    // group commits carry batches larger than one.
+    for (int64_t k = 0; k < 100; ++k) {
+      TxnRequest req;
+      req.txn_id = system->NextTxnId();
+      req.type = *system->registry().Find("update_item0");
+      req.session = 1;
+      req.params = {{Value(1), Value(k % 50)}};
+      system->Submit(std::move(req));
+    }
+    sim.RunAll();
+    out.final_version = system->replica(0)->db()->CommittedVersion();
+    for (int r = 0; r < system->replica_count(); ++r) {
+      EXPECT_EQ(system->replica(r)->db()->CommittedVersion(),
+                out.final_version);
+      out.refresh_messages += system->refresh_channel(r)->stats().sent;
+    }
+    return out;
+  };
+
+  const auto unbatched = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(unbatched.outcomes.size(), 100u);
+  EXPECT_EQ(batched.outcomes, unbatched.outcomes);
+  EXPECT_EQ(batched.final_version, unbatched.final_version);
+  EXPECT_GT(batched.refresh_messages, 0);
+  EXPECT_LT(batched.refresh_messages, unbatched.refresh_messages);
+}
+
+}  // namespace
+}  // namespace screp

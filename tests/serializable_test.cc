@@ -269,7 +269,7 @@ TEST_F(WriteSkewTest, SerializableCatchesPhantomInsert) {
   std::vector<CertDecision> decisions;
   system_->certifier()->SetDecisionCallback(
       [&](ReplicaId, const CertDecision& d) { decisions.push_back(d); });
-  system_->certifier()->SetRefreshCallback([](ReplicaId, const WriteSet&) {});
+  system_->certifier()->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
   system_->certifier()->SubmitCertification(inserter);
   system_->certifier()->SubmitCertification(scanner);
   sim_->RunAll();

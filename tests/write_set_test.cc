@@ -82,6 +82,37 @@ TEST(WriteSetTest, ByteSizeGrowsWithContent) {
   EXPECT_GT(large.ByteSize(), small.ByteSize());
 }
 
+TEST(WriteSetTest, SerializedBytesMatchesEncodedSize) {
+  // SerializedBytes() is the network size model (per-byte link latency);
+  // it must stay in lockstep with the actual wire encoding.
+  WriteSet empty;
+  std::string buf;
+  empty.EncodeTo(&buf);
+  EXPECT_EQ(empty.SerializedBytes(), buf.size());
+
+  WriteSet ws;
+  ws.txn_id = 42;
+  ws.snapshot_version = 7;
+  ws.commit_version = 9;
+  ws.origin = 3;
+  ws.Add(0, 1, WriteType::kInsert,
+         Row{Value(1), Value("hello"), Value(2.5), Value()});
+  ws.Add(1, 2, WriteType::kDelete, std::nullopt);
+  ws.Add(2, 3, WriteType::kUpdate, Row{Value(3), Value(-5)});
+  ws.read_keys = {{0, 1}, {2, 99}};
+  ws.read_ranges = {{1, 10, 20}};
+  buf.clear();
+  ws.EncodeTo(&buf);
+  EXPECT_EQ(ws.SerializedBytes(), buf.size());
+
+  WriteSet big;
+  big.Add(0, 5, WriteType::kUpdate,
+          Row{Value(5), Value(std::string(500, 'x'))});
+  buf.clear();
+  big.EncodeTo(&buf);
+  EXPECT_EQ(big.SerializedBytes(), buf.size());
+}
+
 TEST(WriteSetTest, EncodeDecodeRoundTrip) {
   WriteSet ws;
   ws.txn_id = 42;

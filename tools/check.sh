@@ -23,16 +23,32 @@ echo "== certification / apply-lane microbench =="
 # 5x faster than the linear-scan oracle at a 4096-entry conflict window.
 ./build/bench/micro_components --bench-json=build/BENCH_certifier.json
 
+echo "== refresh fan-out microbench =="
+# Self-checking: exits non-zero unless batching strictly reduces the
+# certifier->replica message and byte counts while delivering the same
+# writesets.
+./build/bench/micro_components --net-json=build/BENCH_network.json
+
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="
   cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j)
 
+  echo "== network-fault stage (address,undefined) =="
+  # Loss / reorder / partition-heal on the refresh stream under ASan:
+  # the reliable channel's retransmission and resequencing paths.
+  ./build-asan/tests/net_channel_test
+  ./build-asan/tests/net_fault_integration_test
+
   echo "== sanitized build (thread) =="
   cmake -B build-tsan -S . -DSCREP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j
   (cd build-tsan && ctest --output-on-failure -j)
+
+  echo "== network-fault stage (thread) =="
+  ./build-tsan/tests/net_channel_test
+  ./build-tsan/tests/net_fault_integration_test
 fi
 
 echo "== all checks passed =="
