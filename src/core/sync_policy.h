@@ -111,6 +111,12 @@ class SyncPolicy {
     sessions_.OnCommitAcknowledged(session, v_local);
   }
 
+  /// Drops a finished session's tracker entry.  Session state is soft:
+  /// a later request from the same SID simply re-creates it (with the
+  /// conservative floor still applied), so ending early is always safe —
+  /// but never ending it grows the map by one entry per session forever.
+  void EndSession(SessionId session) { sessions_.EndSession(session); }
+
   const VersionTracker& system_version() const { return system_version_; }
   const TableVersionTracker& table_versions() const {
     return table_versions_;

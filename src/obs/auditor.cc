@@ -63,6 +63,11 @@ void Auditor::OnEvent(const Event& event) {
     case EventKind::kCrash:
     case EventKind::kRecover:
     case EventKind::kFailover:
+    case EventKind::kShed:
+    case EventKind::kTimeout:
+      // Overload shedding and client timeouts never commit anything, so
+      // there is nothing to cross-check — consistency is judged on the
+      // transactions that do finish.
       break;
   }
 }

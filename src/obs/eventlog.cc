@@ -27,6 +27,10 @@ const char* EventKindName(EventKind kind) {
       return "recover";
     case EventKind::kFailover:
       return "failover";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -114,6 +118,12 @@ std::string Event::ToJson() const {
     case EventKind::kRecover:
     case EventKind::kFailover:
       out << ",\"component\":\"" << JsonEscape(detail) << "\"";
+      break;
+    case EventKind::kShed:
+      out << ",\"where\":\"" << JsonEscape(detail) << "\"";
+      break;
+    case EventKind::kTimeout:
+      out << ",\"waited\":" << wait;
       break;
   }
   out << "}";

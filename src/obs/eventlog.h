@@ -17,6 +17,10 @@
 //                   consistency-checker TxnRecord needs
 //   kCrash/kRecover/kFailover
 //                   component failure events
+//   kShed           overload protection refused a request (admission
+//                   queue full, or the certifier's intake bound)
+//   kTimeout        a client abandoned an unacknowledged request and
+//                   will retry it with backoff
 //
 // The log is consumed three ways: live sinks (the online Auditor), JSONL
 // export for offline tooling, and replay into consistency/history.h types
@@ -51,6 +55,8 @@ enum class EventKind {
   kCrash,
   kRecover,
   kFailover,
+  kShed,
+  kTimeout,
 };
 
 const char* EventKindName(EventKind kind);
@@ -111,6 +117,7 @@ struct Event {
 
   /// kCertVerdict abort / kCrash / kFailover: short reason tag
   /// ("ww" / "rw" / "window", "replica" / "certifier" / "lb").
+  /// kShed: where the request was refused ("lb" / "certifier").
   std::string detail;
 
   /// kTxnFinished: declared table-set / written tables / written keys.

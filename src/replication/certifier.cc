@@ -1,5 +1,6 @@
 #include "replication/certifier.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -16,7 +17,10 @@ Certifier::Certifier(Simulator* sim, CertifierConfig config,
       disk_(sim, "certifier-disk", 1),
       conflict_index_(config.mode == CertificationMode::kSerializable),
       eager_tracker_(replica_count),
-      replica_down_(static_cast<size_t>(replica_count), false) {}
+      replica_down_(static_cast<size_t>(replica_count), false),
+      refresh_credits_(static_cast<size_t>(replica_count),
+                       static_cast<int64_t>(config.refresh_credit_window)),
+      deferred_refresh_(static_cast<size_t>(replica_count)) {}
 
 void Certifier::SetObservability(obs::Observability* obs) {
   if (obs == nullptr) {
@@ -27,6 +31,7 @@ void Certifier::SetObservability(obs::Observability* obs) {
     ctr_aborts_rw_ = nullptr;
     ctr_aborts_window_ = nullptr;
     ctr_forces_ = nullptr;
+    ctr_shed_ = nullptr;
     batch_size_hist_ = nullptr;
     last_batch_gauge_ = nullptr;
     return;
@@ -39,6 +44,7 @@ void Certifier::SetObservability(obs::Observability* obs) {
   ctr_aborts_rw_ = registry->GetCounter("certifier.aborts.rw");
   ctr_aborts_window_ = registry->GetCounter("certifier.aborts.window");
   ctr_forces_ = registry->GetCounter("certifier.forces");
+  ctr_shed_ = registry->GetCounter("certifier.shed");
   batch_size_hist_ = registry->GetHistogram("certifier.batch_size");
   last_batch_gauge_ = registry->GetGauge("certifier.last_batch_size");
 }
@@ -46,6 +52,17 @@ void Certifier::SetObservability(obs::Observability* obs) {
 void Certifier::SubmitCertification(WriteSet ws) {
   SCREP_CHECK_MSG(!ws.empty(), "read-only writesets never reach the certifier");
   SCREP_CHECK(ws.origin != kNoReplica);
+  // Intake bound: refuse on arrival once the CPU queue is at the bound,
+  // BEFORE the writeset can enter the certification stream — a shed
+  // submission is never forwarded to the standby, so primary and standby
+  // still process identical streams.  Failover resubmissions (already in
+  // decided_) are exempt: their decision exists and must be re-sent.
+  if (!muted_ && config_.max_intake > 0 &&
+      cpu_.QueueLength() >= config_.max_intake &&
+      decided_.find(ws.txn_id) == decided_.end()) {
+    ShedSubmission(ws);
+    return;
+  }
   // Single CPU server => certifications are processed in arrival order,
   // which keeps version assignment deterministic.
   const SimTime enqueued = sim_->Now();
@@ -63,6 +80,27 @@ void Certifier::SubmitCertification(WriteSet ws) {
                                 .txn = txn});
                 }
               });
+}
+
+void Certifier::ShedSubmission(const WriteSet& ws) {
+  ++shed_;
+  if (ctr_shed_ != nullptr) ctr_shed_->Increment();
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kShed;
+    e.at = sim_->Now();
+    e.txn = ws.txn_id;
+    e.replica = ws.origin;
+    e.detail = "certifier";
+    event_log_->Append(std::move(e));
+  }
+  // Deliberately NOT recorded in decided_: nothing was certified, and a
+  // retry must be certified fresh (against its new snapshot).
+  CertDecision decision;
+  decision.txn_id = ws.txn_id;
+  decision.commit = false;
+  decision.overloaded = true;
+  decision_cb_(ws.origin, decision);
 }
 
 void Certifier::EmitVerdict(const WriteSet& ws, bool commit,
@@ -288,8 +326,24 @@ void Certifier::Announce(const WriteSet& ws) {
   for (ReplicaId r = 0; r < replica_count_; ++r) {
     if (r == ws.origin) continue;
     if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
-    refresh_cb_(r, RefreshBatch{{ws}});
+    SendRefresh(r, ws);
   }
+}
+
+void Certifier::SendRefresh(ReplicaId replica, const WriteSet& ws) {
+  if (config_.refresh_credit_window == 0) {
+    refresh_cb_(replica, RefreshBatch{{ws}});
+    return;
+  }
+  const auto idx = static_cast<size_t>(replica);
+  // Order preservation: once anything is deferred for this replica,
+  // everything newer must queue behind it.
+  if (!deferred_refresh_[idx].empty() || refresh_credits_[idx] <= 0) {
+    deferred_refresh_[idx].push_back(ws);
+    return;
+  }
+  --refresh_credits_[idx];
+  refresh_cb_(replica, RefreshBatch{{ws}});
 }
 
 void Certifier::AnnounceDecision(const WriteSet& ws) {
@@ -300,21 +354,62 @@ void Certifier::AnnounceDecision(const WriteSet& ws) {
 
 void Certifier::AnnounceRefreshBatches(const std::vector<WriteSet>& batch) {
   if (muted_) return;
+  const bool credited = config_.refresh_credit_window > 0;
   for (ReplicaId r = 0; r < replica_count_; ++r) {
-    if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
+    const auto idx = static_cast<size_t>(r);
+    if (replica_down_[idx]) continue;  // catches up later
     RefreshBatch refresh;
     for (const WriteSet& ws : batch) {
       if (ws.origin == r) continue;  // the origin applies its own commit
+      // Each writeset in the coalesced batch consumes one credit; the
+      // overflow is deferred in version order behind anything already
+      // deferred.
+      if (credited && (!deferred_refresh_[idx].empty() ||
+                       refresh_credits_[idx] <= 0)) {
+        deferred_refresh_[idx].push_back(ws);
+        continue;
+      }
+      if (credited) --refresh_credits_[idx];
       refresh.writesets.push_back(ws);
     }
     if (!refresh.writesets.empty()) refresh_cb_(r, refresh);
   }
 }
 
+void Certifier::OnCreditReturned(ReplicaId replica, int credits) {
+  if (config_.refresh_credit_window == 0) return;
+  SCREP_CHECK(replica >= 0 && replica < replica_count_);
+  const auto idx = static_cast<size_t>(replica);
+  // Cap at the window: duplicate-tolerant (a proxy returning a credit for
+  // a writeset the channel duplicated can never inflate the window).
+  refresh_credits_[idx] =
+      std::min(refresh_credits_[idx] + credits,
+               static_cast<int64_t>(config_.refresh_credit_window));
+  if (muted_ || replica_down_[idx]) return;
+  auto& deferred = deferred_refresh_[idx];
+  if (deferred.empty()) return;
+  // Drain as ONE coalesced batch up to the credits available — under
+  // sustained pressure the flow-control path batches fan-out by itself.
+  RefreshBatch refresh;
+  while (!deferred.empty() && refresh_credits_[idx] > 0) {
+    refresh.writesets.push_back(std::move(deferred.front()));
+    deferred.pop_front();
+    --refresh_credits_[idx];
+  }
+  if (!refresh.writesets.empty()) refresh_cb_(replica, refresh);
+}
+
 void Certifier::MarkReplicaDown(ReplicaId replica) {
   SCREP_CHECK(replica >= 0 && replica < replica_count_);
   if (replica_down_[static_cast<size_t>(replica)]) return;
   replica_down_[static_cast<size_t>(replica)] = true;
+  if (config_.refresh_credit_window > 0) {
+    // In-flight refreshes and deferred backlog are moot: the replica
+    // catches up from the durable log on recovery, so its window resets.
+    deferred_refresh_[static_cast<size_t>(replica)].clear();
+    refresh_credits_[static_cast<size_t>(replica)] =
+        static_cast<int64_t>(config_.refresh_credit_window);
+  }
   if (!eager_) return;
   int active = 0;
   for (bool down : replica_down_) active += down ? 0 : 1;
@@ -335,6 +430,12 @@ void Certifier::MarkReplicaUp(ReplicaId replica) {
   SCREP_CHECK(replica >= 0 && replica < replica_count_);
   if (!replica_down_[static_cast<size_t>(replica)]) return;
   replica_down_[static_cast<size_t>(replica)] = false;
+  if (config_.refresh_credit_window > 0) {
+    // The recovered replica's apply pipeline restarted empty; any credit
+    // returns still in flight from before the crash will be capped.
+    refresh_credits_[static_cast<size_t>(replica)] =
+        static_cast<int64_t>(config_.refresh_credit_window);
+  }
   if (!eager_) return;
   int active = 0;
   for (bool down : replica_down_) active += down ? 0 : 1;

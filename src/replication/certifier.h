@@ -70,6 +70,18 @@ struct CertifierConfig {
   /// the batch already exists).  Off by default: one message per
   /// writeset per target, the original fan-out schedule.
   bool refresh_batching = false;
+  /// Bound on the certification intake queue (0 = unbounded).  A
+  /// submission finding the CPU queue at the bound is refused on arrival
+  /// with an `overloaded` decision instead of queueing — backpressure
+  /// the proxy surfaces to the client as TxnOutcome::kOverloaded.
+  size_t max_intake = 0;
+  /// Credit-based refresh flow control (0 = off): at most this many
+  /// unacknowledged refresh writesets are in flight per target replica.
+  /// Fan-out past the window is deferred here and sent — coalesced into
+  /// one batch — as the replica returns credits on publish, so a slow
+  /// replica bounds the certifier's and its own memory instead of
+  /// accumulating writesets without limit.
+  size_t refresh_credit_window = 0;
 };
 
 /// Central certification service.
@@ -122,6 +134,11 @@ class Certifier {
   /// global-commit notification.
   void NotifyReplicaCommitted(TxnId txn);
 
+  /// Refresh flow control: `replica` published `credits` refresh
+  /// writesets and frees that much of its window.  Deferred writesets
+  /// drain to it as one coalesced batch, up to the credits available.
+  void OnCreditReturned(ReplicaId replica, int credits);
+
   /// Membership: marks a replica crashed. Refresh fan-out skips it, and in
   /// eager mode pending global commits stop waiting for it (it will catch
   /// up from this certifier's durable log on recovery).
@@ -152,6 +169,18 @@ class Certifier {
 
   int64_t certified_count() const { return certified_; }
   int64_t abort_count() const { return aborts_; }
+  /// Submissions refused at the intake bound (never certified).
+  int64_t shed_count() const { return shed_; }
+  /// Refresh credits currently available for `replica`.
+  int64_t refresh_credits(ReplicaId replica) const {
+    return refresh_credits_[static_cast<size_t>(replica)];
+  }
+  /// Refresh writesets deferred (awaiting credits) across all replicas.
+  size_t deferred_refresh_total() const {
+    size_t total = 0;
+    for (const auto& q : deferred_refresh_) total += q.size();
+    return total;
+  }
   /// Aborts caused by read-write conflicts (serializable mode only).
   int64_t rw_abort_count() const { return rw_aborts_; }
   /// Aborts caused by the conflict window being exceeded (should be 0).
@@ -187,6 +216,12 @@ class Certifier {
   /// Refresh-batching: sends each live replica one message carrying the
   /// whole force batch (minus writesets it originated).
   void AnnounceRefreshBatches(const std::vector<WriteSet>& batch);
+  /// Refuses one submission at the intake bound: an immediate
+  /// `overloaded` decision, no certification, no standby forward.
+  void ShedSubmission(const WriteSet& ws);
+  /// Sends `ws` to `replica` now if a credit is available (or flow
+  /// control is off), otherwise defers it until credits return.
+  void SendRefresh(ReplicaId replica, const WriteSet& ws);
 
   Simulator* sim_;
   CertifierConfig config_;
@@ -214,11 +249,18 @@ class Certifier {
   std::unordered_map<TxnId, ReplicaId> eager_origins_;
   std::vector<bool> replica_down_;
 
+  /// Refresh flow control (only consulted when refresh_credit_window >
+  /// 0): per-replica credits remaining, and writesets deferred in
+  /// commit-version order until the replica returns credits.
+  std::vector<int64_t> refresh_credits_;
+  std::vector<std::deque<WriteSet>> deferred_refresh_;
+
   Wal wal_;
   int64_t certified_ = 0;
   int64_t aborts_ = 0;
   int64_t window_aborts_ = 0;
   int64_t rw_aborts_ = 0;
+  int64_t shed_ = 0;
 
   /// Certification is idempotent: re-submissions after a failover get the
   /// original decision back instead of being re-decided.  Bounded: a
@@ -246,6 +288,7 @@ class Certifier {
   obs::Counter* ctr_aborts_rw_ = nullptr;
   obs::Counter* ctr_aborts_window_ = nullptr;
   obs::Counter* ctr_forces_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
   Histogram* batch_size_hist_ = nullptr;
   obs::Gauge* last_batch_gauge_ = nullptr;
 

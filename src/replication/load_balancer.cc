@@ -1,16 +1,21 @@
 #include "replication/load_balancer.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace screp {
 
 LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
                            size_t table_count, int replica_count,
-                           RoutingPolicy routing, DbVersion staleness_bound)
+                           RoutingPolicy routing, DbVersion staleness_bound,
+                           AdmissionConfig admission)
     : sim_(sim),
       policy_(level, table_count, staleness_bound),
       replica_count_(replica_count),
       routing_(routing),
+      admission_(admission),
       outstanding_(static_cast<size_t>(replica_count)),
       down_(static_cast<size_t>(replica_count), false) {
   SCREP_CHECK(replica_count_ >= 1);
@@ -24,6 +29,7 @@ void LoadBalancer::SetObservability(obs::Observability* obs) {
   obs::MetricsRegistry* registry = obs->registry();
   ctr_dispatched_ = registry->GetCounter("lb.dispatched");
   ctr_failed_over_ = registry->GetCounter("lb.failed_over");
+  ctr_shed_ = registry->GetCounter("lb.shed");
 }
 
 void LoadBalancer::SetTableSets(
@@ -31,7 +37,7 @@ void LoadBalancer::SetTableSets(
   table_sets_ = std::move(table_sets);
 }
 
-ReplicaId LoadBalancer::PickReplica() {
+ReplicaId LoadBalancer::PickReplica(bool respect_window) {
   ReplicaId best = kNoReplica;
   size_t best_count = 0;
   for (int i = 0; i < replica_count_; ++i) {
@@ -39,6 +45,7 @@ ReplicaId LoadBalancer::PickReplica() {
         (tie_break_cursor_ + static_cast<size_t>(i)) %
         static_cast<size_t>(replica_count_);
     if (down_[idx]) continue;
+    if (respect_window && !HasWindowRoom(idx)) continue;
     if (routing_ == RoutingPolicy::kRoundRobin) {
       best = static_cast<ReplicaId>(idx);  // first live in rotation
       break;
@@ -49,12 +56,74 @@ ReplicaId LoadBalancer::PickReplica() {
       best_count = count;
     }
   }
-  SCREP_CHECK_MSG(best != kNoReplica, "no live replica to route to");
+  if (best == kNoReplica) return kNoReplica;
   ++tie_break_cursor_;
   return best;
 }
 
 void LoadBalancer::OnClientRequest(const TxnRequest& request) {
+  const ReplicaId replica = PickReplica(/*respect_window=*/true);
+  if (replica != kNoReplica) {
+    Dispatch(replica, request);
+    return;
+  }
+  // No dispatchable replica.  Distinguish "every replica is down" (the
+  // request cannot succeed, fail it back) from "live replicas are all at
+  // their window" (queue it, bounded).
+  if (PickReplica(/*respect_window=*/false) == kNoReplica) {
+    ++unroutable_;
+    SCREP_LOG(kInfo) << "[lb] no live replica for txn " << request.txn_id
+                     << "; failing the request back to the client";
+    Reject(request, TxnOutcome::kReplicaFailure);
+    return;
+  }
+  if (admission_.admission_queue_limit > 0 &&
+      admission_queue_.size() >= admission_.admission_queue_limit) {
+    Reject(request, TxnOutcome::kOverloaded);
+    return;
+  }
+  admission_queue_.push_back(request);
+  peak_admission_queue_ =
+      std::max(peak_admission_queue_, admission_queue_.size());
+}
+
+void LoadBalancer::Reject(const TxnRequest& request, TxnOutcome outcome) {
+  if (outcome == TxnOutcome::kOverloaded) {
+    ++shed_;
+    if (ctr_shed_ != nullptr) ctr_shed_->Increment();
+    if (event_log_ != nullptr && event_log_->enabled()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kShed;
+      e.at = sim_->Now();
+      e.txn = request.txn_id;
+      e.session = request.session;
+      e.detail = "lb";
+      event_log_->Append(std::move(e));
+    }
+  }
+  TxnResponse failure;
+  failure.txn_id = request.txn_id;
+  failure.type = request.type;
+  failure.session = request.session;
+  failure.client_id = request.client_id;
+  failure.outcome = outcome;
+  failure.submit_time = request.submit_time;
+  // Straight back to the client: the request never reached a replica, so
+  // failure.replica stays kNoReplica and no outstanding entry exists.
+  client_response_cb_(failure);
+}
+
+void LoadBalancer::DrainAdmissionQueue() {
+  while (!admission_queue_.empty()) {
+    const ReplicaId replica = PickReplica(/*respect_window=*/true);
+    if (replica == kNoReplica) return;
+    TxnRequest request = std::move(admission_queue_.front());
+    admission_queue_.pop_front();
+    Dispatch(replica, request);
+  }
+}
+
+void LoadBalancer::Dispatch(ReplicaId replica, const TxnRequest& request) {
   static const std::vector<TableId> kEmptyTableSet;
   const std::vector<TableId>* table_set = &kEmptyTableSet;
   if (policy_.level() == ConsistencyLevel::kLazyFine) {
@@ -64,9 +133,11 @@ void LoadBalancer::OnClientRequest(const TxnRequest& request) {
                         << request.type);
     table_set = &it->second;
   }
+  // Tagged at dispatch (not arrival) time: a request that waited in the
+  // admission queue picks up any versions acknowledged meanwhile, so it
+  // can only over-wait relative to tagging on arrival — never weaker.
   const DbVersion required =
       policy_.RequiredStartVersion(request.session, *table_set);
-  const ReplicaId replica = PickReplica();
   outstanding_[static_cast<size_t>(replica)][request.txn_id] =
       OutstandingTxn{request.type, request.session, request.client_id,
                      request.submit_time};
@@ -128,6 +199,8 @@ void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
     }
   }
   client_response_cb_(response);
+  // The finished transaction freed one window slot at its replica.
+  if (!admission_queue_.empty()) DrainAdmissionQueue();
 }
 
 void LoadBalancer::PromoteFrom(DbVersion floor) {
@@ -156,11 +229,24 @@ void LoadBalancer::MarkReplicaDown(ReplicaId replica) {
     client_response_cb_(failure);
   }
   table.clear();
+  // Queued requests can still dispatch to the surviving replicas; only
+  // when this was the last one must they fail back to their clients.
+  if (PickReplica(/*respect_window=*/false) == kNoReplica) {
+    std::deque<TxnRequest> queued;
+    queued.swap(admission_queue_);
+    for (const TxnRequest& request : queued) {
+      ++unroutable_;
+      Reject(request, TxnOutcome::kReplicaFailure);
+    }
+  } else if (!admission_queue_.empty()) {
+    DrainAdmissionQueue();
+  }
 }
 
 void LoadBalancer::MarkReplicaUp(ReplicaId replica) {
   SCREP_CHECK(replica >= 0 && replica < replica_count_);
   down_[static_cast<size_t>(replica)] = false;
+  if (!admission_queue_.empty()) DrainAdmissionQueue();
 }
 
 }  // namespace screp

@@ -13,6 +13,7 @@
 #ifndef SCREP_REPLICATION_LOAD_BALANCER_H_
 #define SCREP_REPLICATION_LOAD_BALANCER_H_
 
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,21 @@ enum class RoutingPolicy {
   kRoundRobin,
 };
 
+/// Overload protection at the load balancer.  Both knobs default to 0
+/// ("unbounded"), which reproduces the pre-flow-control behavior exactly:
+/// every arrival dispatches immediately and nothing is ever queued or
+/// shed at admission.
+struct AdmissionConfig {
+  /// Per-replica outstanding window: a replica holding this many
+  /// transactions accepts no further dispatches, so arrivals wait in the
+  /// admission queue instead of piling onto replica queues.
+  int max_outstanding_per_replica = 0;
+  /// Bound on the admission queue; arrivals finding it full are shed
+  /// with TxnOutcome::kOverloaded.  Only meaningful with the window on;
+  /// 0 leaves the queue unbounded.
+  size_t admission_queue_limit = 0;
+};
+
 /// Client-facing router + consistency tagger.
 class LoadBalancer {
  public:
@@ -42,7 +58,8 @@ class LoadBalancer {
   LoadBalancer(Simulator* sim, ConsistencyLevel level, size_t table_count,
                int replica_count,
                RoutingPolicy routing = RoutingPolicy::kLeastActive,
-               DbVersion staleness_bound = 0);
+               DbVersion staleness_bound = 0,
+               AdmissionConfig admission = AdmissionConfig{});
 
   /// Wires request dispatch to replica proxies.
   void SetDispatchCallback(DispatchCallback cb) {
@@ -62,8 +79,14 @@ class LoadBalancer {
   void SetTableSets(
       std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets);
 
-  /// A new client request: tag with the version requirement, route by
-  /// least-active-transactions among live replicas, dispatch.
+  /// A new client request: route by least-active-transactions among live
+  /// replicas and dispatch with the version-requirement tag.  With
+  /// admission control on, requests finding every live replica at its
+  /// window wait in the bounded admission queue; past the bound they are
+  /// shed with kOverloaded.  With no live replica at all, the request
+  /// fails straight back to the client as kReplicaFailure (the load
+  /// balancer's state is soft — aborting the process would turn a
+  /// transient total outage into a permanent one).
   void OnClientRequest(const TxnRequest& request);
 
   /// A proxy's response: update trackers, relay to the client. Responses
@@ -90,6 +113,10 @@ class LoadBalancer {
 
   bool promoted() const { return promoted_; }
 
+  /// A client finished its session: drop the session tracker entry (soft
+  /// state; a later request under the same SID re-creates it safely).
+  void EndSession(SessionId session) { policy_.EndSession(session); }
+
   const SyncPolicy& policy() const { return policy_; }
   /// Transactions currently outstanding at `replica`.
   int ActiveAt(ReplicaId replica) const {
@@ -98,6 +125,12 @@ class LoadBalancer {
   }
   int64_t dispatched_count() const { return dispatched_; }
   int64_t failed_over_count() const { return failed_over_; }
+  /// Requests shed with kOverloaded at the admission queue bound.
+  int64_t shed_count() const { return shed_; }
+  /// Requests failed with kReplicaFailure because no replica was live.
+  int64_t unroutable_count() const { return unroutable_; }
+  size_t admission_queue_depth() const { return admission_queue_.size(); }
+  size_t peak_admission_queue() const { return peak_admission_queue_; }
 
  private:
   /// What we remember about a dispatched transaction — enough to
@@ -110,24 +143,52 @@ class LoadBalancer {
   };
 
   /// Routing among live replicas per `routing_` (rotating tie-break).
-  ReplicaId PickReplica();
+  /// With `respect_window`, replicas at the outstanding window are
+  /// skipped as if down.  Returns kNoReplica when no candidate is left.
+  ReplicaId PickReplica(bool respect_window);
+
+  /// True when `replica` may take one more transaction under the window.
+  bool HasWindowRoom(size_t replica) const {
+    return admission_.max_outstanding_per_replica <= 0 ||
+           outstanding_[replica].size() <
+               static_cast<size_t>(admission_.max_outstanding_per_replica);
+  }
+
+  /// Tags, records, and sends one admitted request to `replica`.
+  void Dispatch(ReplicaId replica, const TxnRequest& request);
+
+  /// Fails `request` straight back to the client with `outcome`
+  /// (kOverloaded shed or kReplicaFailure when nothing is routable).
+  void Reject(const TxnRequest& request, TxnOutcome outcome);
+
+  /// Dispatches queued requests while some live replica has window room.
+  void DrainAdmissionQueue();
 
   Simulator* sim_;
   SyncPolicy policy_;
   int replica_count_;
   RoutingPolicy routing_;
+  AdmissionConfig admission_;
   std::vector<std::unordered_map<TxnId, OutstandingTxn>> outstanding_;
   std::vector<bool> down_;
   size_t tie_break_cursor_ = 0;
   std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets_;
+  /// Requests admitted but not yet dispatchable (every live replica at
+  /// its window).  FIFO; version tags are computed at dispatch time, so
+  /// a queued request only ever over-waits (safe), never under-waits.
+  std::deque<TxnRequest> admission_queue_;
+  size_t peak_admission_queue_ = 0;
   int64_t dispatched_ = 0;
   int64_t failed_over_ = 0;
+  int64_t shed_ = 0;
+  int64_t unroutable_ = 0;
   bool promoted_ = false;
 
   // Observability (all optional; null until SetObservability).
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* ctr_dispatched_ = nullptr;
   obs::Counter* ctr_failed_over_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
 
   DispatchCallback dispatch_cb_;

@@ -16,6 +16,8 @@ const char* TxnOutcomeName(TxnOutcome outcome) {
       return "execution-error";
     case TxnOutcome::kReplicaFailure:
       return "replica-failure";
+    case TxnOutcome::kOverloaded:
+      return "overloaded";
   }
   return "?";
 }

@@ -47,6 +47,10 @@ enum class TxnOutcome {
   /// The replica serving the transaction crashed; the load balancer
   /// reports the failure so the client can retry elsewhere.
   kReplicaFailure,
+  /// The middleware shed the request under overload (admission queue
+  /// full or certifier intake bound reached); the client should back
+  /// off and retry.
+  kOverloaded,
 };
 
 const char* TxnOutcomeName(TxnOutcome outcome);
@@ -99,6 +103,11 @@ struct CertDecision {
   TxnId txn_id = 0;
   bool commit = false;
   DbVersion commit_version = kNoVersion;
+  /// The certifier refused the writeset at its intake bound without
+  /// certifying it; the proxy surfaces TxnOutcome::kOverloaded instead
+  /// of a certification abort so clients back off rather than blaming a
+  /// conflict.
+  bool overloaded = false;
 };
 
 /// A dispatch from the load balancer to a replica proxy: the client's

@@ -1,5 +1,6 @@
 #include "replication/proxy.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -310,6 +311,15 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   EmitSpan("proxy.certify", decision.txn_id, t->certify_start_time,
            t->stages.certify);
   if (!decision.commit) {
+    if (decision.overloaded) {
+      // The certifier refused the writeset at its intake bound without
+      // certifying it; tell the client to back off, not that it lost a
+      // conflict.
+      SCREP_LOG(kDebug) << "[replica " << id_ << "] txn " << decision.txn_id
+                        << " shed at the certifier intake bound";
+      Respond(t, TxnOutcome::kOverloaded);
+      return;
+    }
     SCREP_LOG(kDebug) << "[replica " << id_
                       << "] certification abort of txn " << decision.txn_id;
     Respond(t, TxnOutcome::kCertificationAbort);
@@ -337,18 +347,24 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   apply.enqueue_time = sim_->Now();
   pending_index_.Insert(apply.ws, /*is_local=*/true);
   pending_.emplace(decision.commit_version, std::move(apply));
+  peak_pending_writesets_ =
+      std::max(peak_pending_writesets_, pending_writesets());
   AdvanceContiguous();
   DispatchApplies();
 }
 
 void Proxy::OnRefresh(const WriteSet& ws) {
+  IngestRefresh(ws, /*credited=*/false);
+}
+
+bool Proxy::IngestRefresh(const WriteSet& ws, bool credited) {
   SCREP_CHECK(ws.commit_version != kNoVersion);
   if (down_) {
     NoteDroppedWhileDown("refresh writeset", ws.txn_id);
-    return;  // recovery catch-up re-delivers it
+    return false;  // recovery catch-up re-delivers it
   }
   if (ws.commit_version <= v_local() || IsUnpublished(ws.commit_version)) {
-    return;  // duplicate delivery (recovery catch-up overlap)
+    return false;  // duplicate delivery (recovery catch-up overlap)
   }
   // Early certification, arrival direction: abort conflicting active local
   // transactions right away (§IV, hidden-deadlock avoidance).
@@ -356,11 +372,15 @@ void Proxy::OnRefresh(const WriteSet& ws) {
   PendingApply apply;
   apply.ws = ws;
   apply.is_local = false;
+  apply.credited = credited;
   apply.enqueue_time = sim_->Now();
   pending_index_.Insert(apply.ws, /*is_local=*/false);
   pending_.emplace(ws.commit_version, std::move(apply));
+  peak_pending_writesets_ =
+      std::max(peak_pending_writesets_, pending_writesets());
   AdvanceContiguous();
   DispatchApplies();
+  return true;
 }
 
 void Proxy::AbortConflictingActives(const WriteSet& ws) {
@@ -471,6 +491,9 @@ void Proxy::PublishReady() {
       ++refresh_applied_;
       if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
     }
+    // Publishing frees the apply-pipeline slot this writeset held:
+    // return its refresh credit so the certifier may send the next one.
+    if (apply.credited && credit_cb_) credit_cb_(1);
     if (event_log_ != nullptr && event_log_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kApply;

@@ -96,6 +96,7 @@ class Proxy {
   using CertRequestCallback = std::function<void(const WriteSet&)>;
   using ResponseCallback = std::function<void(const TxnResponse&)>;
   using ReplicaCommittedCallback = std::function<void(TxnId)>;
+  using CreditCallback = std::function<void(int credits)>;
 
   Proxy(Simulator* sim, ReplicaId id, Database* db,
         const sql::TransactionRegistry* registry, ProxyConfig config,
@@ -113,6 +114,10 @@ class Proxy {
   void SetReplicaCommittedCallback(ReplicaCommittedCallback cb) {
     replica_committed_cb_ = std::move(cb);
   }
+  /// Wires refresh flow-control credit returns to the certifier.  Only
+  /// set when the certifier runs with a refresh credit window; unset
+  /// (the default) the proxy accounts no credits at all.
+  void SetCreditCallback(CreditCallback cb) { credit_cb_ = std::move(cb); }
 
   /// Attaches the system's observability layer: per-transaction stage
   /// spans (start delay, statements, certification, ordering wait, commit,
@@ -134,14 +139,22 @@ class Proxy {
   /// The certifier's decision for a local update transaction.
   void OnCertDecision(const CertDecision& decision);
 
-  /// A refresh writeset from the certifier.
+  /// A refresh writeset outside the credited channel (the recovery
+  /// catch-up stream): never consumes or returns credits.
   void OnRefresh(const WriteSet& ws);
 
   /// A refresh message from the certifier: one or more writesets (one
   /// group-commit force's worth when refresh batching is on), unpacked
-  /// in order through the apply lanes.
+  /// in order through the apply lanes.  With flow control on, each
+  /// writeset carries one credit: returned on publish, or immediately
+  /// when the writeset is not accepted (duplicate delivery).
   void OnRefreshBatch(const RefreshBatch& batch) {
-    for (const WriteSet& ws : batch.writesets) OnRefresh(ws);
+    for (const WriteSet& ws : batch.writesets) {
+      if (!IngestRefresh(ws, /*credited=*/credit_cb_ != nullptr) &&
+          credit_cb_) {
+        credit_cb_(1);
+      }
+    }
   }
 
   /// Eager mode: the certifier reports the global commit of a local
@@ -184,6 +197,9 @@ class Proxy {
   size_t pending_writesets() const {
     return pending_.size() + executing_.size() + executed_.size();
   }
+  /// High-water mark of pending_writesets() over the proxy's lifetime —
+  /// what the refresh credit window is supposed to bound.
+  size_t peak_pending_writesets() const { return peak_pending_writesets_; }
   /// Writesets executed out of order, waiting for an earlier version to
   /// finish before V_local may advance over them.
   size_t publish_backlog() const { return executed_.size(); }
@@ -233,9 +249,16 @@ class Proxy {
   struct PendingApply {
     WriteSet ws;
     bool is_local = false;  // local client commit vs. refresh
+    /// Arrived through the credited refresh channel; publishing it
+    /// returns one credit to the certifier.
+    bool credited = false;
     TxnId local_txn = 0;
     SimTime enqueue_time = 0;
   };
+
+  /// Queues one refresh writeset through the apply pipeline; returns
+  /// false when it is dropped instead (down, or duplicate delivery).
+  bool IngestRefresh(const WriteSet& ws, bool credited);
 
   void StartExecution(ActiveTxn* t);
   void ExecuteNextStatement(ActiveTxn* t);
@@ -324,6 +347,7 @@ class Proxy {
 
   int64_t refresh_applied_ = 0;
   int64_t early_aborts_ = 0;
+  size_t peak_pending_writesets_ = 0;
   bool down_ = false;
   uint64_t epoch_ = 0;  ///< bumped on crash: stale callbacks bail out
   int64_t dropped_while_down_ = 0;
@@ -345,6 +369,7 @@ class Proxy {
   CertRequestCallback cert_request_cb_;
   ResponseCallback response_cb_;
   ReplicaCommittedCallback replica_committed_cb_;
+  CreditCallback credit_cb_;
 };
 
 }  // namespace screp

@@ -81,7 +81,7 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   system->table_sets_ = std::move(id_sets);
   system->load_balancer_ = std::make_unique<LoadBalancer>(
       sim, config.level, db0->TableCount(), config.replica_count,
-      config.routing, config.staleness_bound);
+      config.routing, config.staleness_bound, config.admission);
   system->load_balancer_->SetTableSets(system->table_sets_);
 
   system->BuildChannels();
@@ -115,6 +115,18 @@ void ReplicatedSystem::RegisterGauges() {
     }
     return static_cast<double>(total);
   });
+  // Flow-control gauges only exist when the knobs are on, so metrics
+  // snapshots of default-config runs are unchanged.
+  if (config_.admission.max_outstanding_per_replica > 0) {
+    registry->RegisterCallbackGauge("lb.admission_queue", [this]() {
+      return static_cast<double>(load_balancer_->admission_queue_depth());
+    });
+  }
+  if (config_.certifier.refresh_credit_window > 0) {
+    registry->RegisterCallbackGauge("certifier.deferred_refresh", [this]() {
+      return static_cast<double>(certifier_->deferred_refresh_total());
+    });
+  }
   for (ReplicaId r = 0; r < config_.replica_count; ++r) {
     const std::string prefix = "replica" + std::to_string(r) + ".";
     Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
@@ -140,6 +152,12 @@ void ReplicatedSystem::RegisterGauges() {
     registry->RegisterCallbackGauge(prefix + "publish_backlog", [proxy]() {
       return static_cast<double>(proxy->publish_backlog());
     });
+    if (config_.certifier.refresh_credit_window > 0) {
+      registry->RegisterCallbackGauge(prefix + "refresh_credits",
+                                      [this, r]() {
+        return static_cast<double>(certifier_->refresh_credits(r));
+      });
+    }
   }
 }
 
@@ -268,6 +286,23 @@ void ReplicatedSystem::BuildChannels() {
     target->SubmitCertification(ws);
   });
   ch_forward_->AttachMetrics(registry);
+
+  // Replica -> certifier refresh-credit returns (flow control).  Built
+  // in its own loop AFTER every pre-existing channel: each construction
+  // consumes one fork of the network seeder, so appending here keeps the
+  // per-channel RNG streams — and thus every default-config run —
+  // identical to before flow control existed.
+  for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+    auto credit = std::make_unique<net::Channel<int>>(
+        sim_, "credit.r" + std::to_string(r), net.replica_certifier,
+        seeder.Next());
+    credit->SetDestination(certifier_endpoint_.get());
+    credit->SetHandler([this, r](const int& credits) {
+      certifier_->OnCreditReturned(r, credits);
+    });
+    credit->AttachMetrics(registry);
+    ch_credit_.push_back(std::move(credit));
+  }
 }
 
 void ReplicatedSystem::Wire() {
@@ -288,6 +323,14 @@ void ReplicatedSystem::Wire() {
     proxy->SetReplicaCommittedCallback([this, r](TxnId txn) {
       ch_commit_notice_[static_cast<size_t>(r)]->Send(txn);
     });
+    // Refresh flow control: only wired when the certifier runs with a
+    // credit window — an unset callback keeps the proxy's refresh path
+    // exactly as before.
+    if (config_.certifier.refresh_credit_window > 0) {
+      proxy->SetCreditCallback([this, r](int credits) {
+        ch_credit_[static_cast<size_t>(r)]->Send(credits);
+      });
+    }
   }
 
   WireCertifier();
@@ -335,7 +378,8 @@ void ReplicatedSystem::CrashLoadBalancer() {
   // crashed replicas (hard state it can re-probe).
   auto standby = std::make_unique<LoadBalancer>(
       sim_, config_.level, replicas_[0]->db()->TableCount(),
-      config_.replica_count, config_.routing, config_.staleness_bound);
+      config_.replica_count, config_.routing, config_.staleness_bound,
+      config_.admission);
   standby->SetTableSets(table_sets_);
   standby->PromoteFrom(certifier_->CommitVersion());
   for (ReplicaId r = 0; r < config_.replica_count; ++r) {
@@ -479,6 +523,7 @@ void ReplicatedSystem::SetReplicaLinksPartitioned(ReplicaId replica,
   ch_decision_[r]->SetPartitioned(partitioned);
   ch_refresh_[r]->SetPartitioned(partitioned);
   ch_global_commit_[r]->SetPartitioned(partitioned);
+  ch_credit_[r]->SetPartitioned(partitioned);
 }
 
 void ReplicatedSystem::PartitionReplica(ReplicaId replica) {

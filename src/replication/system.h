@@ -55,6 +55,9 @@ struct SystemConfig {
   NetworkConfig network;
   /// Load balancer routing policy.
   RoutingPolicy routing = RoutingPolicy::kLeastActive;
+  /// Load balancer admission control (defaults off = unbounded, the
+  /// pre-flow-control behavior).
+  AdmissionConfig admission;
   /// kBoundedStaleness only: how many versions a replica may lag behind
   /// V_system at transaction start.
   DbVersion staleness_bound = 100;
@@ -104,6 +107,11 @@ class ReplicatedSystem {
 
   /// Allocates a globally unique transaction id.
   TxnId NextTxnId() { return next_txn_id_++; }
+
+  /// A client finished its session: the load balancer drops the session
+  /// tracker entry (soft state — long-running systems would otherwise
+  /// grow the per-session map by one entry per client forever).
+  void EndSession(SessionId session) { load_balancer_->EndSession(session); }
 
   /// Crash-stop failure of one replica (paper's crash-recovery model):
   /// its in-flight transactions are failed back to their clients, the
@@ -247,6 +255,8 @@ class ReplicatedSystem {
   std::vector<std::unique_ptr<net::Channel<RefreshBatch>>> ch_refresh_;
   std::vector<std::unique_ptr<net::Channel<TxnId>>> ch_global_commit_;
   std::unique_ptr<net::Channel<WriteSet>> ch_forward_;
+  /// Replica -> certifier refresh-credit returns (flow control).
+  std::vector<std::unique_ptr<net::Channel<int>>> ch_credit_;
   std::vector<bool> partitioned_;
 };
 

@@ -1,6 +1,27 @@
 #include "workload/client.h"
 
+#include <algorithm>
+
+#include "obs/observability.h"
+
 namespace screp {
+
+SimTime RetryBackoff(const ClientConfig& config, int attempt, Rng* rng) {
+  if (config.backoff_base <= 0) return config.retry_delay;
+  SCREP_CHECK(attempt >= 1);
+  // Doubling via repeated addition: 2^(attempt-1) overflows int64 past
+  // attempt 63, and a saturated closed loop can retry far more often.
+  SimTime delay = config.backoff_base;
+  for (int i = 1; i < attempt && delay < config.backoff_cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config.backoff_cap);
+  const double jitter =
+      (1.0 - config.backoff_jitter) +
+      2.0 * config.backoff_jitter * rng->NextDouble();
+  delay = static_cast<SimTime>(static_cast<double>(delay) * jitter);
+  return std::max<SimTime>(delay, 1);
+}
 
 ClientDriver::ClientDriver(ReplicatedSystem* system,
                            MetricsCollector* metrics,
@@ -39,10 +60,50 @@ void ClientDriver::SubmitCurrent() {
   request.client_id = client_id_;
   request.params = current_.params;
   ++submitted_;
+  inflight_txn_ = request.txn_id;
+  if (config_.request_timeout > 0) {
+    const TxnId txn = request.txn_id;
+    system_->sim()->Schedule(config_.request_timeout,
+                             [this, txn]() { OnTimeout(txn); });
+  }
   system_->Submit(std::move(request));
 }
 
+void ClientDriver::OnTimeout(TxnId txn) {
+  if (stopped_ || inflight_txn_ != txn) return;  // answered meanwhile
+  ++timeouts_;
+  obs::EventLog* event_log = system_->obs()->event_log();
+  if (event_log->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kTimeout;
+    e.at = system_->sim()->Now();
+    e.txn = txn;
+    e.session = session_;
+    e.wait = config_.request_timeout;
+    event_log->Append(std::move(e));
+  }
+  // Give up on this attempt: whatever response eventually arrives for
+  // `txn` is dropped as stale, and the instance is resubmitted under a
+  // fresh transaction id after backoff.
+  inflight_txn_ = 0;
+  ++retries_;
+  ++retry_attempts_;
+  system_->sim()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
+                           [this]() {
+                             if (stopped_) return;
+                             SubmitCurrent();
+                           });
+}
+
 void ClientDriver::OnResponse(const TxnResponse& response) {
+  if (response.txn_id != inflight_txn_) {
+    // A timed-out attempt answering late (possibly even committing —
+    // the successor attempt then aborts on certification, so the closed
+    // loop stays safe); the client moved on.
+    ++stale_responses_;
+    return;
+  }
+  inflight_txn_ = 0;
   if (!stopped_) {
     const bool eager =
         system_->config().level == ConsistencyLevel::kEager;
@@ -52,6 +113,7 @@ void ClientDriver::OnResponse(const TxnResponse& response) {
     generator_->OnCommitted(current_);
     has_current_ = false;
     consecutive_exec_errors_ = 0;
+    retry_attempts_ = 0;
     if (!stopped_) ThinkThenSubmit();
   } else if (!stopped_) {
     if (response.outcome == TxnOutcome::kExecutionError &&
@@ -63,12 +125,15 @@ void ClientDriver::OnResponse(const TxnResponse& response) {
       ThinkThenSubmit();
       return;
     }
-    // Aborted: retry the same instance after a short delay — the client
-    // loop never gives up on a transaction (closed system).
+    // Aborted (or shed under overload): retry the same instance after a
+    // delay — the client loop never gives up on a transaction (closed
+    // system).
     ++retries_;
-    system_->sim()->Schedule(config_.retry_delay,
+    ++retry_attempts_;
+    system_->sim()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
                              [this]() { SubmitCurrent(); });
   }
+  if (stopped_) system_->EndSession(session_);
 }
 
 }  // namespace screp

@@ -57,14 +57,36 @@ struct ClientConfig {
   /// Mean of the negative-exponential think time between transactions
   /// (0 = back-to-back, as in the micro-benchmark).
   SimTime mean_think_time = 0;
-  /// Delay before retrying an aborted transaction instance.
+  /// Delay before retrying an aborted transaction instance.  Only used
+  /// when `backoff_base` is 0 (the legacy fixed-delay retry path).
   SimTime retry_delay = Millis(1.0);
+  /// Jittered exponential backoff: > 0 switches retries from the fixed
+  /// `retry_delay` to min(backoff_cap, backoff_base * 2^(attempt-1))
+  /// scaled by a uniform jitter factor in [1 - backoff_jitter,
+  /// 1 + backoff_jitter].  A retrying herd with a fixed delay re-arrives
+  /// in lockstep and re-saturates an overloaded system forever; jittered
+  /// exponential backoff spreads and thins the retry stream instead.
+  SimTime backoff_base = 0;
+  SimTime backoff_cap = Millis(64);
+  double backoff_jitter = 0.5;
+  /// > 0: if no response arrives within this bound the client gives up on
+  /// the attempt (the response, should it still arrive, is dropped as
+  /// stale) and resubmits the instance under a fresh transaction id after
+  /// backoff.  Crash-safe: a request stranded by a replica crash no
+  /// longer wedges its closed loop until the failure notice arrives.
+  SimTime request_timeout = 0;
   /// Execution errors can be deterministic (e.g. re-inserting a key whose
   /// first attempt actually committed but whose acknowledgment was lost in
   /// a replica crash); after this many consecutive execution errors the
   /// instance is dropped and the client moves on.
   int max_exec_error_retries = 5;
 };
+
+/// The delay before retry number `attempt` (1-based).  With
+/// `backoff_base` unset this is the fixed `retry_delay` and `rng` is not
+/// drawn from (so legacy configurations consume exactly the same random
+/// stream as before backoff existed).
+SimTime RetryBackoff(const ClientConfig& config, int attempt, Rng* rng);
 
 /// One emulated client: think, submit, await acknowledgment, repeat.
 /// Aborted instances are retried until they commit (the closed loop).
@@ -79,8 +101,13 @@ class ClientDriver {
 
   /// Stops the closed loop: in-flight work completes, but nothing new is
   /// submitted and nothing further is recorded. Used by the harness to
-  /// drain the system at the end of the measurement window.
-  void Stop() { stopped_ = true; }
+  /// drain the system at the end of the measurement window.  Ends the
+  /// client's session at the load balancer once nothing is in flight
+  /// (immediately here, otherwise when the last response arrives).
+  void Stop() {
+    stopped_ = true;
+    if (inflight_txn_ == 0) system_->EndSession(session_);
+  }
 
   /// Routed here by the experiment harness for this client's responses.
   void OnResponse(const TxnResponse& response);
@@ -90,10 +117,15 @@ class ClientDriver {
   int64_t submitted() const { return submitted_; }
   int64_t retries() const { return retries_; }
   int64_t dropped_instances() const { return dropped_instances_; }
+  int64_t timeouts() const { return timeouts_; }
+  int64_t stale_responses() const { return stale_responses_; }
 
  private:
   void ThinkThenSubmit();
   void SubmitCurrent();
+  /// Fires `request_timeout` after submitting `txn`; a no-op unless that
+  /// attempt is still the one in flight.
+  void OnTimeout(TxnId txn);
 
   ReplicatedSystem* system_;
   MetricsCollector* metrics_;
@@ -110,6 +142,13 @@ class ClientDriver {
   int64_t retries_ = 0;
   int consecutive_exec_errors_ = 0;
   int64_t dropped_instances_ = 0;
+  /// Consecutive failed attempts of the current instance (drives the
+  /// exponential backoff; reset on commit).
+  int retry_attempts_ = 0;
+  /// Transaction id of the attempt awaiting a response (0 = none).
+  TxnId inflight_txn_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t stale_responses_ = 0;
 };
 
 }  // namespace screp

@@ -1,5 +1,6 @@
 #include "workload/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -63,6 +64,12 @@ std::string ExperimentResult::ToJson() const {
       << ",\"early_aborts\":" << early_aborts
       << ",\"exec_errors\":" << exec_errors
       << ",\"replica_failures\":" << replica_failures
+      << ",\"overloaded\":" << overloaded
+      << ",\"client_timeouts\":" << client_timeouts
+      << ",\"lb_shed\":" << lb_shed
+      << ",\"certifier_shed\":" << certifier_shed
+      << ",\"peak_admission_queue\":" << peak_admission_queue
+      << ",\"peak_pending_writesets\":" << peak_pending_writesets
       << ",\"replica_cpu_utilization\":" << replica_cpu_utilization
       << ",\"certifier_disk_utilization\":" << certifier_disk_utilization;
   if (audit.enabled) {
@@ -112,7 +119,7 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   MetricsCollector metrics(config.warmup);
   Rng seed_rng(config.seed);
 
-  ClientConfig client_config;
+  ClientConfig client_config = config.client;
   client_config.mean_think_time = config.mean_think_time;
 
   std::vector<std::unique_ptr<ClientDriver>> clients;
@@ -204,6 +211,20 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   result.early_aborts = metrics.early_aborts();
   result.exec_errors = metrics.exec_errors();
   result.replica_failures = metrics.replica_failures();
+  result.overloaded = metrics.overloaded();
+  for (const auto& client : clients) {
+    result.client_timeouts += client->timeouts();
+  }
+  result.lb_shed = system->load_balancer()->shed_count();
+  result.peak_admission_queue =
+      static_cast<int64_t>(system->load_balancer()->peak_admission_queue());
+  result.certifier_shed = system->certifier()->shed_count();
+  for (int r = 0; r < system->replica_count(); ++r) {
+    result.peak_pending_writesets = std::max(
+        result.peak_pending_writesets,
+        static_cast<int64_t>(
+            system->replica(r)->proxy()->peak_pending_writesets()));
+  }
 
   double cpu_total = 0;
   for (int r = 0; r < system->replica_count(); ++r) {

@@ -29,6 +29,10 @@ struct ExperimentConfig {
   int client_count = 8;
   /// Mean negative-exponential think time (0 = back-to-back).
   SimTime mean_think_time = 0;
+  /// Client retry/timeout behaviour (`mean_think_time` above overrides
+  /// the copy inside; everything else — backoff, request timeout — is
+  /// taken from here).
+  ClientConfig client;
   SimTime warmup = Seconds(3);
   SimTime duration = Seconds(30);
   uint64_t seed = 42;
@@ -96,6 +100,15 @@ struct ExperimentResult {
   int64_t early_aborts = 0;
   int64_t exec_errors = 0;
   int64_t replica_failures = 0;
+
+  // Overload-protection observations (all zero with flow control off;
+  // carried in ToJson() only — ToLine() stays byte-identical).
+  int64_t overloaded = 0;        ///< shed responses seen by clients
+  int64_t client_timeouts = 0;   ///< request timeouts across all clients
+  int64_t lb_shed = 0;           ///< requests refused at the LB
+  int64_t certifier_shed = 0;    ///< write sets refused at the certifier
+  int64_t peak_admission_queue = 0;
+  int64_t peak_pending_writesets = 0;  ///< max over replicas
 
   double replica_cpu_utilization = 0;  // mean over replicas
   double certifier_disk_utilization = 0;

@@ -45,6 +45,9 @@ void MetricsCollector::Record(const TxnResponse& response, SimTime now,
     case TxnOutcome::kReplicaFailure:
       ++replica_failures_;
       return;
+    case TxnOutcome::kOverloaded:
+      ++overloaded_;
+      return;
     case TxnOutcome::kCommitted:
       break;
   }

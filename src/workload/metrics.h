@@ -52,6 +52,7 @@ class MetricsCollector {
   int64_t early_aborts() const { return early_aborts_; }
   int64_t exec_errors() const { return exec_errors_; }
   int64_t replica_failures() const { return replica_failures_; }
+  int64_t overloaded() const { return overloaded_; }
 
   /// Mean of one stage in ms over committed transactions of the given
   /// class ("update" includes only update transactions).
@@ -101,6 +102,7 @@ class MetricsCollector {
   int64_t early_aborts_ = 0;
   int64_t exec_errors_ = 0;
   int64_t replica_failures_ = 0;
+  int64_t overloaded_ = 0;
 
   StatAccumulator response_;
   Histogram response_hist_;

@@ -9,8 +9,11 @@ constexpr TableId kA = 0, kB = 1;
 
 class LoadBalancerTest : public ::testing::Test {
  protected:
-  void Build(ConsistencyLevel level, int replicas = 3) {
-    lb_ = std::make_unique<LoadBalancer>(&sim_, level, 2, replicas);
+  void Build(ConsistencyLevel level, int replicas = 3,
+             AdmissionConfig admission = AdmissionConfig{}) {
+    lb_ = std::make_unique<LoadBalancer>(&sim_, level, 2, replicas,
+                                         RoutingPolicy::kLeastActive, 0,
+                                         admission);
     lb_->SetDispatchCallback([this](ReplicaId replica,
                                     const TxnRequest& request,
                                     DbVersion required) {
@@ -158,6 +161,76 @@ TEST_F(LoadBalancerTest, SingleReplicaAlwaysPicked) {
     lb_->OnClientRequest(MakeRequest(t, 0, 1));
   }
   for (const auto& d : dispatches_) EXPECT_EQ(d.replica, 0);
+}
+
+TEST_F(LoadBalancerTest, AllReplicasDownFailsRequestBackToClient) {
+  Build(ConsistencyLevel::kLazyCoarse);
+  for (ReplicaId r = 0; r < 3; ++r) lb_->MarkReplicaDown(r);
+  // No live replica: the request must fail back, not abort the process.
+  lb_->OnClientRequest(MakeRequest(1, 0, 1));
+  EXPECT_TRUE(dispatches_.empty());
+  ASSERT_EQ(client_responses_.size(), 1u);
+  EXPECT_EQ(client_responses_[0].outcome, TxnOutcome::kReplicaFailure);
+  EXPECT_EQ(client_responses_[0].replica, kNoReplica);
+  EXPECT_EQ(lb_->unroutable_count(), 1);
+  // One replica back: routable again.
+  lb_->MarkReplicaUp(1);
+  lb_->OnClientRequest(MakeRequest(2, 0, 1));
+  ASSERT_EQ(dispatches_.size(), 1u);
+  EXPECT_EQ(dispatches_[0].replica, 1);
+}
+
+TEST_F(LoadBalancerTest, AdmissionWindowQueuesThenSheds) {
+  AdmissionConfig admission;
+  admission.max_outstanding_per_replica = 1;
+  admission.admission_queue_limit = 2;
+  Build(ConsistencyLevel::kLazyCoarse, /*replicas=*/2, admission);
+  // Two dispatches fill both windows; two more queue; the fifth is shed.
+  for (TxnId t = 1; t <= 5; ++t) {
+    lb_->OnClientRequest(MakeRequest(t, 0, 1));
+  }
+  EXPECT_EQ(dispatches_.size(), 2u);
+  EXPECT_EQ(lb_->admission_queue_depth(), 2u);
+  EXPECT_EQ(lb_->peak_admission_queue(), 2u);
+  ASSERT_EQ(client_responses_.size(), 1u);
+  EXPECT_EQ(client_responses_[0].txn_id, 5u);
+  EXPECT_EQ(client_responses_[0].outcome, TxnOutcome::kOverloaded);
+  EXPECT_EQ(lb_->shed_count(), 1);
+  // A finished transaction frees a window slot and drains the queue FIFO.
+  lb_->OnProxyResponse(MakeResponse(dispatches_[0].request.txn_id,
+                                    dispatches_[0].replica, 1, 1));
+  ASSERT_EQ(dispatches_.size(), 3u);
+  EXPECT_EQ(dispatches_[2].request.txn_id, 3u);
+  EXPECT_EQ(lb_->admission_queue_depth(), 1u);
+}
+
+TEST_F(LoadBalancerTest, MarkReplicaDownFailsQueuedRequestsWhenLastDies) {
+  AdmissionConfig admission;
+  admission.max_outstanding_per_replica = 1;
+  Build(ConsistencyLevel::kLazyCoarse, /*replicas=*/1, admission);
+  lb_->OnClientRequest(MakeRequest(1, 0, 1));  // dispatched
+  lb_->OnClientRequest(MakeRequest(2, 0, 1));  // queued (window full)
+  EXPECT_EQ(lb_->admission_queue_depth(), 1u);
+  lb_->MarkReplicaDown(0);
+  // Both the outstanding and the queued request fail back to clients.
+  ASSERT_EQ(client_responses_.size(), 2u);
+  EXPECT_EQ(client_responses_[0].outcome, TxnOutcome::kReplicaFailure);
+  EXPECT_EQ(client_responses_[1].outcome, TxnOutcome::kReplicaFailure);
+  EXPECT_EQ(lb_->admission_queue_depth(), 0u);
+}
+
+TEST_F(LoadBalancerTest, EndSessionDropsTrackerEntry) {
+  Build(ConsistencyLevel::kSession);
+  lb_->OnClientRequest(MakeRequest(1, 0, 7));
+  lb_->OnProxyResponse(
+      MakeResponse(1, dispatches_[0].replica, 7, 4, {{kA, 4}}));
+  EXPECT_EQ(lb_->policy().sessions().session_count(), 1u);
+  lb_->EndSession(7);
+  EXPECT_EQ(lb_->policy().sessions().session_count(), 0u);
+  // A later request under the same SID re-creates the entry safely, with
+  // the conservative (no-requirement) floor.
+  lb_->OnClientRequest(MakeRequest(2, 0, 7));
+  EXPECT_EQ(dispatches_[1].required, 0);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Overload-protection integration tests: LB admission control (window +
+// bounded queue), certifier intake backpressure, credit-based refresh
+// flow control, client request timeouts with jittered exponential
+// backoff, and the all-replicas-down path — each checked end to end and
+// (where a full run is involved) under the online consistency auditor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig ShortRun(ConsistencyLevel level, int replicas,
+                          int clients) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.client_count = clients;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 7;
+  config.audit = true;
+  return config;
+}
+
+// ---- RetryBackoff ---------------------------------------------------------
+
+TEST(RetryBackoffTest, LegacyFixedDelayDrawsNoRandomness) {
+  ClientConfig config;  // backoff_base = 0: the legacy path
+  config.retry_delay = Millis(3);
+  Rng used(42), untouched(42);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(RetryBackoff(config, attempt, &used), Millis(3));
+  }
+  // The legacy path must not consume the client's random stream — runs
+  // configured without backoff stay byte-identical to older builds.
+  EXPECT_EQ(used.Next(), untouched.Next());
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyWithinJitterBounds) {
+  ClientConfig config;
+  config.backoff_base = Millis(1);
+  config.backoff_cap = Millis(64);
+  config.backoff_jitter = 0.5;
+  Rng rng(1);
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const SimTime nominal =
+        std::min<SimTime>(Millis(64), Millis(1) << (attempt - 1));
+    const SimTime delay = RetryBackoff(config, attempt, &rng);
+    EXPECT_GE(delay, nominal / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, nominal + nominal / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoffTest, CapsAndJitterFreeWhenConfigured) {
+  ClientConfig config;
+  config.backoff_base = Millis(2);
+  config.backoff_cap = Millis(10);
+  config.backoff_jitter = 0;  // deterministic
+  Rng rng(9);
+  EXPECT_EQ(RetryBackoff(config, 1, &rng), Millis(2));
+  EXPECT_EQ(RetryBackoff(config, 2, &rng), Millis(4));
+  EXPECT_EQ(RetryBackoff(config, 3, &rng), Millis(8));
+  EXPECT_EQ(RetryBackoff(config, 4, &rng), Millis(10));  // capped
+  EXPECT_EQ(RetryBackoff(config, 100, &rng), Millis(10));
+}
+
+TEST(RetryBackoffTest, DeterministicGivenSeed) {
+  ClientConfig config;
+  config.backoff_base = Millis(1);
+  Rng a(5), b(5);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(RetryBackoff(config, attempt, &a),
+              RetryBackoff(config, attempt, &b));
+  }
+}
+
+// ---- All replicas down ----------------------------------------------------
+
+TEST(OverloadIntegrationTest, AllReplicasDownFailsRequestsWithoutAbort) {
+  Simulator sim;
+  SystemConfig config;
+  config.replica_count = 3;
+  config.level = ConsistencyLevel::kLazyCoarse;
+  MicroWorkload workload(SmallMicro(1.0));
+  auto system_or = ReplicatedSystem::Create(
+      &sim, config,
+      [&workload](Database* db) { return workload.BuildSchema(db); },
+      [&workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  ASSERT_TRUE(system_or.ok());
+  auto system = std::move(system_or).value();
+  std::vector<TxnResponse> responses;
+  system->SetClientCallback(
+      [&](const TxnResponse& r) { responses.push_back(r); });
+
+  for (ReplicaId r = 0; r < 3; ++r) system->CrashReplica(r);
+  sim.RunAll();
+  responses.clear();
+
+  // A request with no live replica anywhere must come back as a failure
+  // — the LB's state is soft, so aborting the process would turn a
+  // transient total outage into a permanent one.
+  for (int64_t k = 0; k < 4; ++k) {
+    TxnRequest req;
+    req.txn_id = system->NextTxnId();
+    req.type = *system->registry().Find("update_item0");
+    req.session = 1;
+    req.params = {{Value(1), Value(k)}};
+    system->Submit(std::move(req));
+  }
+  sim.RunAll();
+  ASSERT_EQ(responses.size(), 4u);
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.outcome, TxnOutcome::kReplicaFailure);
+    EXPECT_EQ(r.replica, kNoReplica);
+  }
+  EXPECT_EQ(system->load_balancer()->unroutable_count(), 4);
+
+  // One replica recovering makes the system serve again.
+  system->RecoverReplica(1);
+  sim.RunAll();
+  responses.clear();
+  TxnRequest req;
+  req.txn_id = system->NextTxnId();
+  req.type = *system->registry().Find("update_item0");
+  req.session = 1;
+  req.params = {{Value(1), Value(99)}};
+  system->Submit(std::move(req));
+  sim.RunAll();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].outcome, TxnOutcome::kCommitted);
+}
+
+// ---- Admission control ----------------------------------------------------
+
+TEST(OverloadIntegrationTest, AdmissionSheddingAuditCleanAtAllLevels) {
+  MicroWorkload workload(SmallMicro(0.25));
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    SCOPED_TRACE(ConsistencyLevelName(level));
+    // 64 back-to-back clients against 2 replicas * window 4 + queue 8:
+    // permanently oversubscribed, so admission must shed throughout.
+    ExperimentConfig config = ShortRun(level, 2, 64);
+    config.system.admission.max_outstanding_per_replica = 4;
+    config.system.admission.admission_queue_limit = 8;
+    config.client.backoff_base = Millis(1);
+    config.client.backoff_cap = Millis(16);
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->committed, 0);
+    EXPECT_GT(result->lb_shed, 0);
+    EXPECT_GT(result->overloaded, 0);  // shed responses reached clients
+    EXPECT_LE(result->peak_admission_queue, 8);
+    EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+  }
+}
+
+// ---- Certifier intake backpressure ----------------------------------------
+
+TEST(OverloadIntegrationTest, CertifierIntakeBoundShedsToClients) {
+  MicroWorkload workload(SmallMicro(1.0));
+  // A deliberately slow certifier with a tiny intake bound and no LB
+  // window in front: the flood reaches certification and must be refused
+  // there, not queued without limit.
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 2, 32);
+  config.system.certifier.certify_cpu_time = Millis(2);
+  config.system.certifier.max_intake = 4;
+  config.client.backoff_base = Millis(1);
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 0);
+  EXPECT_GT(result->certifier_shed, 0);
+  EXPECT_GT(result->overloaded, 0);
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+}
+
+// ---- Credit-based refresh flow control ------------------------------------
+
+TEST(OverloadIntegrationTest, RefreshCreditsBoundPendingWritesets) {
+  MicroWorkload workload(SmallMicro(1.0));
+  constexpr size_t kCredits = 8;
+  constexpr int kWindow = 4;
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kSession, 3, 24);
+  config.system.admission.max_outstanding_per_replica = kWindow;
+  config.system.certifier.refresh_credit_window = kCredits;
+  config.client.backoff_base = Millis(1);
+  auto bounded = RunExperiment(workload, config);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_GT(bounded->committed, 0);
+  EXPECT_GT(bounded->peak_pending_writesets, 0);
+  // Per replica: at most kCredits credited refreshes in flight plus its
+  // own local applies (bounded by the admission window), with a little
+  // slack for decisions already queued at the proxy.
+  EXPECT_LE(bounded->peak_pending_writesets,
+            static_cast<int64_t>(kCredits) + kWindow + 4);
+  EXPECT_TRUE(bounded->audit.ok) << bounded->audit.ToString();
+
+  // Same run without credits: the apply backlog is allowed to grow past
+  // the credited bound (the regression the credits exist to prevent).
+  config.system.certifier.refresh_credit_window = 0;
+  auto unbounded = RunExperiment(workload, config);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_GE(unbounded->peak_pending_writesets,
+            bounded->peak_pending_writesets);
+}
+
+// ---- Request timeouts + backoff across a crash ----------------------------
+
+TEST(OverloadIntegrationTest, TimeoutBackoffAcrossCrashAuditClean) {
+  MicroWorkload workload(SmallMicro(0.25));
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    SCOPED_TRACE(ConsistencyLevelName(level));
+    ExperimentConfig config = ShortRun(level, 2, 24);
+    config.duration = Seconds(4);
+    // Tight enough that loaded-response tails cross it: timed-out
+    // attempts are abandoned client-side and resubmitted under fresh
+    // transaction ids, racing their own stale responses.
+    config.client.request_timeout = Millis(25);
+    config.client.backoff_base = Millis(1);
+    config.client.backoff_cap = Millis(16);
+    config.faults.push_back(FaultEvent{1, Seconds(1.5), Seconds(2.5)});
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->committed, 0);
+    EXPECT_GT(result->client_timeouts, 0);
+    EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+  }
+}
+
+// ---- Session teardown -----------------------------------------------------
+
+TEST(OverloadIntegrationTest, SessionCountReturnsToZeroAfterStop) {
+  Simulator sim;
+  SystemConfig config;
+  config.replica_count = 2;
+  config.level = ConsistencyLevel::kSession;
+  MicroConfig micro = SmallMicro(1.0);
+  micro.rows_per_table = 50;
+  MicroWorkload workload(micro);
+  auto system_or = ReplicatedSystem::Create(
+      &sim, config,
+      [&workload](Database* db) { return workload.BuildSchema(db); },
+      [&workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  ASSERT_TRUE(system_or.ok());
+  auto system = std::move(system_or).value();
+
+  MetricsCollector metrics(0);
+  std::vector<std::unique_ptr<ClientDriver>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(std::make_unique<ClientDriver>(
+        system.get(), &metrics,
+        workload.CreateGenerator(system->registry(), c, Rng(c + 1)), c,
+        ClientConfig{}, Rng(c + 100)));
+  }
+  system->SetClientCallback([&clients](const TxnResponse& r) {
+    clients[static_cast<size_t>(r.client_id)]->OnResponse(r);
+  });
+  for (auto& client : clients) client->Start();
+  sim.RunUntil(Seconds(1));
+  // Every client has committed, so every session is tracked.
+  EXPECT_EQ(system->load_balancer()->policy().sessions().session_count(),
+            4u);
+  for (auto& client : clients) client->Stop();
+  sim.RunAll();
+  // Stopping ends the sessions once their last response drains: the
+  // tracker must not leak one entry per client that ever connected.
+  EXPECT_EQ(system->load_balancer()->policy().sessions().session_count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace screp

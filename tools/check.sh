@@ -29,6 +29,12 @@ echo "== refresh fan-out microbench =="
 # writesets.
 ./build/bench/micro_components --net-json=build/BENCH_network.json
 
+echo "== saturation sweep (flow control on) =="
+# Self-checking: exits non-zero unless the admission queue and the
+# per-replica apply backlog stay within their configured bounds, the
+# top-load runs actually shed, and p99 stays bounded past the knee.
+./build/bench/saturation --quick --bench-json=build/BENCH_saturation.json
+
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="
   cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
@@ -40,6 +46,13 @@ if [[ "$SANITIZE" == "1" ]]; then
   # the reliable channel's retransmission and resequencing paths.
   ./build-asan/tests/net_channel_test
   ./build-asan/tests/net_fault_integration_test
+
+  echo "== overload stage (address,undefined) =="
+  # Admission shedding, certifier intake backpressure, refresh credits,
+  # and timeout/backoff retry paths under ASan: the shed/timeout paths
+  # synthesize responses outside the normal proxy flow, so exercise
+  # their ownership story explicitly.
+  ./build-asan/tests/overload_integration_test
 
   echo "== sanitized build (thread) =="
   cmake -B build-tsan -S . -DSCREP_SANITIZE=thread >/dev/null
