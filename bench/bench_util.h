@@ -41,6 +41,17 @@ struct BenchOptions {
   /// (throughput, latency percentiles, staleness percentiles).  The bare
   /// flag defaults to BENCH_<driver>.json in the working directory.
   std::string bench_json;
+  /// --profile: run the critical-path profiler during every run, print
+  /// the per-run segment breakdown, and embed the full report in the
+  /// bench JSON.  The driver exits 1 if any run's segment sums fail the
+  /// conservation self-check.
+  bool profile = false;
+  /// --profile-json <path>: additionally write each run's full profiler
+  /// report as JSON (tagged per run; implies --profile).
+  std::string profile_json;
+  /// --metrics-prom <path>: write each run's end-of-run metrics snapshot
+  /// in Prometheus text exposition format (tagged per run).
+  std::string metrics_prom;
   /// --apply-lanes=N: how many certified writesets each replica may
   /// execute concurrently (out-of-order execution, in-order version
   /// publish).  0 keeps the driver's own default (the paper's serial
@@ -95,6 +106,18 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.net_loss = std::strtod(argv[i] + 11, nullptr);
     } else if (std::strcmp(argv[i], "--refresh-batch") == 0) {
       options.refresh_batch = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      options.profile = true;
+    } else if (std::strncmp(argv[i], "--profile-json=", 15) == 0) {
+      options.profile_json = argv[i] + 15;
+      options.profile = true;
+    } else if (std::strcmp(argv[i], "--profile-json") == 0 && i + 1 < argc) {
+      options.profile_json = argv[++i];
+      options.profile = true;
+    } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
+      options.metrics_prom = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
+      options.metrics_prom = argv[++i];
     } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
       options.bench_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--bench-json") == 0) {
@@ -154,6 +177,13 @@ inline void ApplyObservability(const BenchOptions& options,
   if (!options.audit_json.empty()) {
     config->audit_json_path = TaggedPath(options.audit_json, tag);
   }
+  if (options.profile) config->profile = true;
+  if (!options.profile_json.empty()) {
+    config->profile_json_path = TaggedPath(options.profile_json, tag);
+  }
+  if (!options.metrics_prom.empty()) {
+    config->metrics_prom_path = TaggedPath(options.metrics_prom, tag);
+  }
   if (options.apply_lanes > 0) {
     config->system.proxy.apply_lanes = options.apply_lanes;
   }
@@ -167,6 +197,22 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
               paper_ref);
   std::printf(" numbers depend on the simulated service-time model)\n");
   std::printf("================================================================\n");
+}
+
+/// "segment=mean_ms ..." over the nonzero segments of one profiled run
+/// (population means, so the printed values sum to the mean response).
+inline std::string ProfileBreakdownLine(const ProfileSummary& profile) {
+  char buf[64];
+  std::string out;
+  for (int s = 0; s < obs::kProfileSegmentCount; ++s) {
+    const double ms = profile.segment_mean_ms[static_cast<size_t>(s)];
+    if (ms <= 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s=%.2f", out.empty() ? "" : " ",
+                  obs::ProfileSegmentName(static_cast<obs::ProfileSegment>(s)),
+                  ms);
+    out += buf;
+  }
+  return out.empty() ? "(all segments zero)" : out;
 }
 
 /// Runs one experiment, aborting the binary on setup failure.
@@ -212,6 +258,18 @@ class BenchReport {
       }
       audit_lines_.push_back("  [" + tag + "] " + result.audit.ToString());
     }
+    if (result.profile.enabled) {
+      profiled_ = true;
+      profile_checked_ += result.profile.conservation_checked;
+      profile_violations_ += result.profile.conservation_violations;
+      if (result.profile.conservation_violations > 0 &&
+          first_profile_violation_tag_.empty()) {
+        first_profile_violation_tag_ = tag;
+        first_profile_violation_ = result.profile.first_violation;
+      }
+      profile_lines_.push_back("  [" + tag + "] " +
+                               ProfileBreakdownLine(result.profile));
+    }
     return results_.emplace_back(result);
   }
 
@@ -253,7 +311,26 @@ class BenchReport {
                     first_violation_tag_.c_str(), first_violation_.c_str());
       }
     }
-    return audit_violations_ > 0 ? 1 : 0;
+    if (profiled_) {
+      std::printf("\n---- critical-path profile (%zu runs; mean ms per "
+                  "segment) ----\n", runs_.size());
+      for (const std::string& line : profile_lines_) {
+        std::printf("%s\n", line.c_str());
+      }
+      if (profile_violations_ == 0) {
+        std::printf("conservation: OK — segments sum to the response time "
+                    "on all %lld checked attempt(s)\n",
+                    static_cast<long long>(profile_checked_));
+      } else {
+        std::printf("conservation: FAILED — %lld of %lld checked "
+                    "attempt(s); first in run [%s]: %s\n",
+                    static_cast<long long>(profile_violations_),
+                    static_cast<long long>(profile_checked_),
+                    first_profile_violation_tag_.c_str(),
+                    first_profile_violation_.c_str());
+      }
+    }
+    return (audit_violations_ > 0 || profile_violations_ > 0) ? 1 : 0;
   }
 
   const std::vector<ExperimentResult>& results() const { return results_; }
@@ -270,6 +347,12 @@ class BenchReport {
   int64_t audit_violations_ = 0;
   std::string first_violation_tag_;
   std::string first_violation_;
+  bool profiled_ = false;
+  std::vector<std::string> profile_lines_;
+  int64_t profile_checked_ = 0;
+  int64_t profile_violations_ = 0;
+  std::string first_profile_violation_tag_;
+  std::string first_profile_violation_;
 };
 
 }  // namespace screp::bench

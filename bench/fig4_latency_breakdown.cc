@@ -13,6 +13,41 @@
 namespace screp::bench {
 namespace {
 
+/// The figure's six stage columns (ms).  Profiled runs derive them from
+/// the critical-path profiler's exclusive segments — the same numbers the
+/// conservation self-check guarantees sum to the response time — instead
+/// of the legacy per-response stage accumulators.
+struct StageColumns {
+  double version = 0, queries = 0, certify = 0, sync = 0, commit = 0,
+         global = 0;
+};
+
+StageColumns Columns(const ExperimentResult& r) {
+  if (!r.profile.enabled) {
+    return {r.version_ms, r.queries_ms, r.certify_ms,
+            r.sync_ms,    r.commit_ms,  r.global_ms};
+  }
+  const auto& seg = r.profile.segment_mean_ms;
+  const auto at = [&seg](obs::ProfileSegment s) {
+    return seg[static_cast<size_t>(s)];
+  };
+  StageColumns c;
+  c.version = at(obs::ProfileSegment::kVersionWait);
+  c.queries = at(obs::ProfileSegment::kExec);
+  c.certify = at(obs::ProfileSegment::kNetCertifier) +
+              at(obs::ProfileSegment::kCertIntakeWait) +
+              at(obs::ProfileSegment::kCertify) +
+              at(obs::ProfileSegment::kForceWait);
+  c.sync = at(obs::ProfileSegment::kGapWait) +
+           at(obs::ProfileSegment::kLaneWait) +
+           at(obs::ProfileSegment::kClaimWait);
+  c.commit = at(obs::ProfileSegment::kApply) +
+             at(obs::ProfileSegment::kPublishWait) +
+             at(obs::ProfileSegment::kCommit);
+  c.global = at(obs::ProfileSegment::kGlobalWait);
+  return c;
+}
+
 void RunMix(const BenchOptions& options, double mix, BenchReport* report) {
   std::printf("\n-- %.0f%% update mix --\n", mix * 100);
   std::printf("%-7s %9s %9s %9s %9s %9s %9s | %9s\n", "config", "version",
@@ -34,11 +69,12 @@ void RunMix(const BenchOptions& options, double mix, BenchReport* report) {
     ApplyObservability(options, tag, &config);
 
     const ExperimentResult& r = report->Add(tag, MustRun(workload, config));
-    const double total = r.version_ms + r.queries_ms + r.certify_ms +
-                         r.sync_ms + r.commit_ms + r.global_ms;
+    const StageColumns c = Columns(r);
+    const double total = c.version + c.queries + c.certify + c.sync +
+                         c.commit + c.global;
     std::printf("%-7s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f | %9.2f\n",
-                ConsistencyLevelName(level), r.version_ms, r.queries_ms,
-                r.certify_ms, r.sync_ms, r.commit_ms, r.global_ms, total);
+                ConsistencyLevelName(level), c.version, c.queries, c.certify,
+                c.sync, c.commit, c.global, total);
     std::fflush(stdout);
   }
 }

@@ -60,6 +60,11 @@ class Channel {
  public:
   using Handler = std::function<void(const Msg&)>;
   using SizeFn = std::function<size_t(const Msg&)>;
+  /// Observes each delivery the instant before the handler runs:
+  /// (message, send time, delivery time).  Retransmitted and resequenced
+  /// messages report their *original* send time, so the observed interval
+  /// is the full transport delay the receiver experienced.
+  using TraceFn = std::function<void(const Msg&, SimTime, SimTime)>;
 
   Channel(Simulator* sim, std::string name, const LinkConfig& config,
           uint64_t seed)
@@ -75,6 +80,9 @@ class Channel {
   /// Points the channel at its destination endpoint; a closed endpoint
   /// drops sends.
   void SetDestination(Endpoint* dst) { dst_ = dst; }
+  /// Installs a delivery observer (e.g. per-hop latency spans).  Purely
+  /// passive: it runs right before the handler on every delivery.
+  void SetTraceFn(TraceFn fn) { trace_fn_ = std::move(fn); }
 
   /// Registers this channel's telemetry under "net.<name>.*":
   /// messages/bytes/dropped/redelivered counters plus an in_flight
@@ -108,11 +116,14 @@ class Channel {
       return;
     }
     const uint64_t seq = next_seq_++;
-    Transmit(msg, bytes, seq, /*redelivery=*/false, /*exempt_fifo=*/false);
+    const SimTime sent = sim_->Now();
+    Transmit(msg, bytes, seq, sent, /*redelivery=*/false,
+             /*exempt_fifo=*/false);
     if (config_.duplicate_probability > 0 &&
         rng_.NextBool(config_.duplicate_probability)) {
       ++stats_.duplicated;
-      Transmit(msg, bytes, seq, /*redelivery=*/false, /*exempt_fifo=*/true);
+      Transmit(msg, bytes, seq, sent, /*redelivery=*/false,
+               /*exempt_fifo=*/true);
     }
   }
 
@@ -155,9 +166,10 @@ class Channel {
   }
 
   /// Schedules one copy of `msg` for delivery (or its loss + possible
-  /// retransmission).
-  void Transmit(const Msg& msg, size_t bytes, uint64_t seq, bool redelivery,
-                bool exempt_fifo) {
+  /// retransmission).  `sent` is the original Send() time, preserved
+  /// across retransmissions for the delivery observer.
+  void Transmit(const Msg& msg, size_t bytes, uint64_t seq, SimTime sent,
+                bool redelivery, bool exempt_fifo) {
     if (redelivery) {
       if (Blocked()) {
         // The peer died while the retransmission was pending: give up —
@@ -174,9 +186,9 @@ class Channel {
       if (config_.reliability == Reliability::kReliable) {
         const uint64_t epoch = epoch_;
         sim_->Schedule(config_.EffectiveRetransmitTimeout(),
-                       [this, msg, bytes, seq, epoch]() {
+                       [this, msg, bytes, seq, sent, epoch]() {
                          if (epoch != epoch_) return;
-                         Transmit(msg, bytes, seq, /*redelivery=*/true,
+                         Transmit(msg, bytes, seq, sent, /*redelivery=*/true,
                                   /*exempt_fifo=*/true);
                        });
       }
@@ -211,36 +223,39 @@ class Channel {
     }
     ++stats_.in_flight;
     const uint64_t epoch = epoch_;
-    sim_->Schedule(arrival - sim_->Now(), [this, msg, seq, epoch]() {
+    sim_->Schedule(arrival - sim_->Now(), [this, msg, seq, sent, epoch]() {
       if (epoch != epoch_) return;  // Reset while in flight
       --stats_.in_flight;
-      Arrive(msg, seq);
+      Arrive(msg, seq, sent);
     });
   }
 
-  void Arrive(const Msg& msg, uint64_t seq) {
+  void Deliver(const Msg& msg, SimTime sent) {
+    ++stats_.delivered;
+    if (trace_fn_) trace_fn_(msg, sent, sim_->Now());
+    handler_(msg);
+  }
+
+  void Arrive(const Msg& msg, uint64_t seq, SimTime sent) {
     if (config_.reliability != Reliability::kReliable) {
-      ++stats_.delivered;
-      handler_(msg);
+      Deliver(msg, sent);
       return;
     }
     // Reliable: release in send order, exactly once.
     if (seq < next_deliver_seq_) return;  // stale duplicate / late copy
     if (seq > next_deliver_seq_) {
-      hold_.emplace(seq, msg);  // gap below: hold until it fills
+      hold_.emplace(seq, std::make_pair(msg, sent));  // hold until gap fills
       return;
     }
     ++next_deliver_seq_;
-    ++stats_.delivered;
-    handler_(msg);
+    Deliver(msg, sent);
     for (auto it = hold_.begin();
          it != hold_.end() && it->first == next_deliver_seq_;
          it = hold_.begin()) {
-      Msg held = std::move(it->second);
+      std::pair<Msg, SimTime> held = std::move(it->second);
       hold_.erase(it);
       ++next_deliver_seq_;
-      ++stats_.delivered;
-      handler_(held);
+      Deliver(held.first, held.second);
     }
   }
 
@@ -250,6 +265,7 @@ class Channel {
   Rng rng_;
   Handler handler_;
   SizeFn size_fn_;
+  TraceFn trace_fn_;
   Endpoint* dst_ = nullptr;
 
   bool muted_ = false;
@@ -266,8 +282,8 @@ class Channel {
   uint64_t next_seq_ = 0;
   /// Next sequence number the handler is owed.
   uint64_t next_deliver_seq_ = 0;
-  /// Out-of-order arrivals awaiting their turn.
-  std::map<uint64_t, Msg> hold_;
+  /// Out-of-order arrivals awaiting their turn, with their send times.
+  std::map<uint64_t, std::pair<Msg, SimTime>> hold_;
 
   LinkStats stats_;
   obs::Counter* ctr_messages_ = nullptr;

@@ -8,6 +8,40 @@
 
 namespace screp::obs {
 
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusUnescapeLabel(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case '"': out += '"'; break;
+      case 'n': out += '\n'; break;
+      default:  // not an escape we produce: keep verbatim
+        out += '\\';
+        out += escaped[i];
+    }
+  }
+  return out;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -129,6 +163,36 @@ std::string MetricsRegistry::ToJson() const {
         << ",\"max\":" << NumberToJson(h.max) << "}";
   }
   out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ostringstream out;
+  out << "# TYPE screp_counter counter\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "screp_counter{name=\"" << PrometheusEscapeLabel(name) << "\"} "
+        << value << "\n";
+  }
+  out << "# TYPE screp_gauge gauge\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "screp_gauge{name=\"" << PrometheusEscapeLabel(name) << "\"} "
+        << NumberToJson(value) << "\n";
+  }
+  out << "# TYPE screp_histogram summary\n";
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string label = PrometheusEscapeLabel(name);
+    out << "screp_histogram{name=\"" << label << "\",quantile=\"0.5\"} "
+        << NumberToJson(h.p50) << "\n";
+    out << "screp_histogram{name=\"" << label << "\",quantile=\"0.95\"} "
+        << NumberToJson(h.p95) << "\n";
+    out << "screp_histogram{name=\"" << label << "\",quantile=\"0.99\"} "
+        << NumberToJson(h.p99) << "\n";
+    out << "screp_histogram_sum{name=\"" << label << "\"} "
+        << NumberToJson(h.mean * static_cast<double>(h.count)) << "\n";
+    out << "screp_histogram_count{name=\"" << label << "\"} " << h.count
+        << "\n";
+  }
   return out.str();
 }
 

@@ -31,6 +31,11 @@
 
 namespace screp::obs {
 
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string PrometheusEscapeLabel(const std::string& value);
+/// Inverse of PrometheusEscapeLabel.
+std::string PrometheusUnescapeLabel(const std::string& escaped);
+
 /// A monotonically increasing event count.
 class Counter {
  public:
@@ -99,6 +104,12 @@ class MetricsRegistry {
   /// The snapshot as a JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}.
   std::string ToJson() const;
+
+  /// The snapshot in Prometheus text exposition format.  Instrument
+  /// names carry dots, so each kind is exported as one metric family
+  /// (screp_counter / screp_gauge / screp_histogram summaries) with the
+  /// original name as an escaped `name` label.
+  std::string ToPrometheusText() const;
 
   /// Parses a ToJson() document back into a snapshot (round-trip for
   /// tests and offline tooling).

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/logging.h"
 #include "obs/json.h"
 
 namespace screp::obs {
@@ -12,7 +13,24 @@ Observability::Observability(Simulator* sim, const ObsConfig& config)
       sampler_(sim, &registry_),
       event_log_(config.event_log_capacity) {
   tracer_.set_enabled(config.tracing);
-  event_log_.set_enabled(config.event_log || config.audit);
+  event_log_.set_enabled(config.event_log || config.audit ||
+                         config.profile);
+  if (config.tracing) {
+    // Drops are invisible in the exported trace itself; surface them so a
+    // silently truncated trace can be spotted from the metrics.
+    registry_.RegisterCallbackGauge("trace.dropped_spans", [this]() {
+      return static_cast<double>(tracer_.dropped());
+    });
+  }
+  if (config.profile) {
+    profiler_ = std::make_unique<Profiler>();
+    tracer_.AddSink([profiler = profiler_.get()](const TraceSpan& span) {
+      profiler->OnSpan(span);
+    });
+    event_log_.AddSink([profiler = profiler_.get()](const Event& e) {
+      profiler->OnEvent(e);
+    });
+  }
 }
 
 void Observability::ConfigureAuditor(bool expect_strong,
@@ -82,6 +100,34 @@ Status Observability::WriteMetricsJson(const std::string& path) const {
   file.close();
   if (!file.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
+}
+
+Status Observability::WriteTraceJson(const std::string& path) const {
+  if (tracer_.dropped() > 0) {
+    SCREP_LOG(kWarn) << "trace ring buffer overflowed: " << tracer_.dropped()
+                     << " span(s) dropped; " << path
+                     << " is incomplete (raise ObsConfig::trace_capacity)";
+  }
+  return tracer_.WriteChromeJson(path);
+}
+
+Status Observability::WriteMetricsProm(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open metrics output: " + path);
+  }
+  file << registry_.ToPrometheusText();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status Observability::WriteProfileJson(const std::string& path) const {
+  if (profiler_ == nullptr) {
+    return Status::InvalidArgument(
+        "profiling is off (set ObsConfig::profile)");
+  }
+  return profiler_->WriteJson(path);
 }
 
 }  // namespace screp::obs

@@ -17,6 +17,7 @@
 #include "obs/auditor.h"
 #include "obs/eventlog.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -39,6 +40,10 @@ struct ObsConfig {
   /// Attach the online consistency auditor to the event stream (implies
   /// event logging).
   bool audit = false;
+  /// Attach the critical-path profiler to the span + event streams
+  /// (implies event logging; the trace ring buffer itself stays off
+  /// unless `tracing` is also set — the profiler consumes spans live).
+  bool profile = false;
 };
 
 /// Bundles the three observability pieces for one system.
@@ -58,6 +63,10 @@ class Observability {
   Auditor* auditor() { return auditor_.get(); }
   const Auditor* auditor() const { return auditor_.get(); }
   bool audit_enabled() const { return config_.audit; }
+
+  /// The critical-path profiler; null unless the config asked for it.
+  Profiler* profiler() { return profiler_.get(); }
+  const Profiler* profiler() const { return profiler_.get(); }
 
   /// Creates the auditor and subscribes it to the event log (no-op when
   /// the config did not ask for auditing).  Called by the system at
@@ -81,10 +90,15 @@ class Observability {
   /// Writes MetricsJson() to `path`.
   Status WriteMetricsJson(const std::string& path) const;
 
-  /// Writes the trace in Chrome trace-event JSON to `path`.
-  Status WriteTraceJson(const std::string& path) const {
-    return tracer_.WriteChromeJson(path);
-  }
+  /// Writes the trace in Chrome trace-event JSON to `path`, warning when
+  /// the ring buffer overflowed and the file is silently incomplete.
+  Status WriteTraceJson(const std::string& path) const;
+
+  /// Writes the registry snapshot in Prometheus text format to `path`.
+  Status WriteMetricsProm(const std::string& path) const;
+
+  /// Writes the profiler report to `path` (error if profiling is off).
+  Status WriteProfileJson(const std::string& path) const;
 
   /// The end-of-run audit report as one JSON object:
   /// {"auditor":{...}|null,"staleness":{histogram name:{count,...}}}
@@ -107,6 +121,7 @@ class Observability {
   Sampler sampler_;
   EventLog event_log_;
   std::unique_ptr<Auditor> auditor_;
+  std::unique_ptr<Profiler> profiler_;
 };
 
 }  // namespace screp::obs

@@ -1,0 +1,370 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace screp::obs {
+
+namespace {
+
+/// Which span family credits which segment.  Two spans may share a
+/// segment (request + response hop of the same link class); dedup is per
+/// table *entry*, so both directions still count once each.
+struct SpanMapping {
+  const char* span_name;
+  ProfileSegment segment;
+};
+
+constexpr SpanMapping kSpanTable[] = {
+    {"net.client_lb", ProfileSegment::kNetClientLb},
+    {"net.lb_client", ProfileSegment::kNetClientLb},
+    {"lb.admission_wait", ProfileSegment::kAdmissionWait},
+    {"net.dispatch", ProfileSegment::kNetLbReplica},
+    {"net.response", ProfileSegment::kNetLbReplica},
+    {"proxy.start_delay", ProfileSegment::kVersionWait},
+    {"proxy.exec", ProfileSegment::kExec},
+    {"net.certreq", ProfileSegment::kNetCertifier},
+    {"net.decision", ProfileSegment::kNetCertifier},
+    {"certifier.intake_wait", ProfileSegment::kCertIntakeWait},
+    {"certifier.certify", ProfileSegment::kCertify},
+    {"certifier.force_wait", ProfileSegment::kForceWait},
+    {"proxy.gap_wait", ProfileSegment::kGapWait},
+    {"proxy.lane_wait", ProfileSegment::kLaneWait},
+    {"proxy.apply", ProfileSegment::kApply},
+    {"proxy.publish_wait", ProfileSegment::kPublishWait},
+    {"proxy.commit", ProfileSegment::kCommit},
+    {"proxy.claim_wait", ProfileSegment::kClaimWait},
+    {"eager.global_wait", ProfileSegment::kGlobalWait},
+};
+
+constexpr int kSpanTableSize =
+    static_cast<int>(sizeof(kSpanTable) / sizeof(kSpanTable[0]));
+static_assert(kSpanTableSize <= 32, "seen bitmask is 32 bits");
+
+int SpanTableIndex(const char* name) {
+  for (int i = 0; i < kSpanTableSize; ++i) {
+    if (std::strcmp(kSpanTable[i].span_name, name) == 0) return i;
+  }
+  return -1;
+}
+
+double Ms(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Nearest-rank percentile of a sorted sample (empty -> 0).
+SimTime Percentile(const std::vector<SimTime>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+const char* ProfileSegmentName(ProfileSegment segment) {
+  switch (segment) {
+    case ProfileSegment::kNetClientLb: return "net_client_lb";
+    case ProfileSegment::kAdmissionWait: return "admission_wait";
+    case ProfileSegment::kNetLbReplica: return "net_lb_replica";
+    case ProfileSegment::kVersionWait: return "version_wait";
+    case ProfileSegment::kExec: return "exec";
+    case ProfileSegment::kNetCertifier: return "net_certifier";
+    case ProfileSegment::kCertIntakeWait: return "cert_intake_wait";
+    case ProfileSegment::kCertify: return "certify";
+    case ProfileSegment::kForceWait: return "force_wait";
+    case ProfileSegment::kGapWait: return "gap_wait";
+    case ProfileSegment::kLaneWait: return "lane_wait";
+    case ProfileSegment::kApply: return "apply";
+    case ProfileSegment::kPublishWait: return "publish_wait";
+    case ProfileSegment::kCommit: return "commit";
+    case ProfileSegment::kClaimWait: return "claim_wait";
+    case ProfileSegment::kGlobalWait: return "global_wait";
+    case ProfileSegment::kRetry: return "retry";
+    case ProfileSegment::kSegmentCount: break;
+  }
+  return "?";
+}
+
+SegmentKind ProfileSegmentKind(ProfileSegment segment) {
+  switch (segment) {
+    case ProfileSegment::kNetClientLb:
+    case ProfileSegment::kNetLbReplica:
+    case ProfileSegment::kNetCertifier:
+      return SegmentKind::kNetwork;
+    case ProfileSegment::kExec:
+    case ProfileSegment::kCertify:
+    case ProfileSegment::kApply:
+    case ProfileSegment::kCommit:
+      return SegmentKind::kService;
+    default:
+      return SegmentKind::kWait;
+  }
+}
+
+const char* SegmentKindName(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kWait: return "wait";
+    case SegmentKind::kService: return "service";
+    case SegmentKind::kNetwork: return "network";
+  }
+  return "?";
+}
+
+void Profiler::OnSpan(const TraceSpan& span) {
+  if (span.txn == 0) return;  // batch-level span (log force)
+  const int index = SpanTableIndex(span.name);
+  if (index < 0) return;  // overlapping/diagnostic span families
+  if (closed_.count(span.txn) != 0) return;  // attempt already timed out
+  OpenAttempt& open = open_[span.txn];
+  const uint32_t bit = uint32_t{1} << index;
+  if ((open.seen & bit) != 0) return;  // duplicate delivery: first wins
+  open.seen |= bit;
+  open.seg[static_cast<size_t>(kSpanTable[index].segment)] += span.duration;
+}
+
+void Profiler::OnEvent(const Event& event) {
+  if (event.txn == 0) return;
+  switch (event.kind) {
+    case EventKind::kTxnFinished:
+      if (closed_.erase(event.txn) > 0) {
+        // The attempt was already closed by its timeout; this is the
+        // answer the client dropped as stale.
+        ++stale_finishes_;
+        return;
+      }
+      Finalize(event.txn, event.at - event.submit_time, event.at,
+               event.committed, /*timed_out=*/false);
+      break;
+    case EventKind::kTimeout:
+      // The client measured exactly `wait` before giving up; whatever
+      // the attempt was doing when the timer fired is charged to retry.
+      Finalize(event.txn, event.wait, event.at, /*committed=*/false,
+               /*timed_out=*/true);
+      closed_.insert(event.txn);
+      break;
+    default:
+      break;
+  }
+}
+
+void Profiler::Finalize(TxnId txn, SimTime total, SimTime ack,
+                        bool committed, bool timed_out) {
+  Attempt attempt;
+  auto it = open_.find(txn);
+  if (it != open_.end()) {
+    attempt.seg = it->second.seg;
+    open_.erase(it);
+  }
+  attempt.total = total;
+  attempt.committed = committed;
+  attempt.timed_out = timed_out;
+  attempt.measured = ack >= measure_from_;
+  if (timed_out) ++timeouts_;
+
+  SimTime sum = 0;
+  for (const SimTime s : attempt.seg) sum += s;
+  SimTime residual = total - sum;
+  if (committed) {
+    // Committed attempts traversed fully instrumented stages: the
+    // segments must tile the response interval.
+    ++conservation_checked_;
+    if (std::llabs(residual) > max_abs_residual_) {
+      max_abs_residual_ = std::llabs(residual);
+    }
+    if (std::llabs(residual) > tolerance_) {
+      ++conservation_violations_;
+      if (first_violation_.empty()) {
+        std::ostringstream out;
+        out << "txn " << txn << ": response=" << total << "us, segments="
+            << sum << "us, residual=" << residual << "us";
+        first_violation_ = out.str();
+      }
+    }
+  } else if (residual > 0) {
+    attempt.seg[static_cast<size_t>(ProfileSegment::kRetry)] = residual;
+  } else if (residual < -tolerance_) {
+    // Segments exceeding the measured wait means double counting —
+    // just as much a conservation bug as losing time.
+    ++conservation_violations_;
+    if (std::llabs(residual) > max_abs_residual_) {
+      max_abs_residual_ = std::llabs(residual);
+    }
+    if (first_violation_.empty()) {
+      std::ostringstream out;
+      out << "txn " << txn << " (failed): response=" << total
+          << "us, segments=" << sum << "us, residual=" << residual << "us";
+      first_violation_ = out.str();
+    }
+  }
+
+  if (attempt.measured) {
+    ++measured_;
+    if (committed) {
+      ++committed_;
+    } else {
+      ++failed_;
+    }
+    for (int s = 0; s < kProfileSegmentCount; ++s) {
+      measured_totals_[static_cast<size_t>(s)] +=
+          attempt.seg[static_cast<size_t>(s)];
+    }
+    measured_response_total_ += total;
+  }
+  attempts_.push_back(attempt);
+}
+
+double Profiler::SegmentTotalMs(ProfileSegment segment) const {
+  return Ms(measured_totals_[static_cast<size_t>(segment)]);
+}
+
+double Profiler::MeanSegmentMs(ProfileSegment segment) const {
+  if (measured_ == 0) return 0;
+  return SegmentTotalMs(segment) / static_cast<double>(measured_);
+}
+
+std::string Profiler::MeanBreakdown() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  bool first = true;
+  for (int s = 0; s < kProfileSegmentCount; ++s) {
+    const auto segment = static_cast<ProfileSegment>(s);
+    if (measured_totals_[static_cast<size_t>(s)] == 0) continue;
+    if (!first) out << " ";
+    first = false;
+    out << ProfileSegmentName(segment) << "=" << MeanSegmentMs(segment);
+  }
+  return out.str();
+}
+
+std::string Profiler::ToJson() const {
+  std::ostringstream out;
+  out << "{\"measure_from_us\":" << measure_from_
+      << ",\"tolerance_us\":" << tolerance_ << ",\"counts\":{\"finished\":"
+      << finished() << ",\"measured\":" << measured_
+      << ",\"committed\":" << committed_ << ",\"failed\":" << failed_
+      << ",\"timeouts\":" << timeouts_ << ",\"unfinished\":" << unfinished()
+      << ",\"stale_finishes\":" << stale_finishes_ << "}"
+      << ",\"conservation\":{\"checked\":" << conservation_checked_
+      << ",\"violations\":" << conservation_violations_
+      << ",\"max_abs_residual_us\":" << max_abs_residual_;
+  if (!first_violation_.empty()) {
+    // The detail string is built from integers only; no escaping needed.
+    out << ",\"first_violation\":\"" << first_violation_ << "\"";
+  }
+  out << "}";
+
+  // Per-segment stats over measured attempts.  mean_ms is the population
+  // mean (zeros included) so the means tile the mean response time;
+  // percentiles are over the attempts where the segment is nonzero.
+  out << ",\"mean_response_ms\":"
+      << (measured_ > 0
+              ? Ms(measured_response_total_) / static_cast<double>(measured_)
+              : 0.0);
+  out << ",\"segments\":{";
+  bool first = true;
+  for (int s = 0; s < kProfileSegmentCount; ++s) {
+    const auto segment = static_cast<ProfileSegment>(s);
+    std::vector<SimTime> nonzero;
+    for (const Attempt& a : attempts_) {
+      if (!a.measured) continue;
+      const SimTime v = a.seg[static_cast<size_t>(s)];
+      if (v > 0) nonzero.push_back(v);
+    }
+    std::sort(nonzero.begin(), nonzero.end());
+    const SimTime total = measured_totals_[static_cast<size_t>(s)];
+    const double share =
+        measured_response_total_ > 0
+            ? static_cast<double>(total) /
+                  static_cast<double>(measured_response_total_)
+            : 0.0;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << ProfileSegmentName(segment) << "\":{\"kind\":\""
+        << SegmentKindName(ProfileSegmentKind(segment))
+        << "\",\"count\":" << nonzero.size() << ",\"total_ms\":" << Ms(total)
+        << ",\"mean_ms\":" << MeanSegmentMs(segment)
+        << ",\"p50_ms\":" << Ms(Percentile(nonzero, 0.5))
+        << ",\"p95_ms\":" << Ms(Percentile(nonzero, 0.95))
+        << ",\"p99_ms\":" << Ms(Percentile(nonzero, 0.99))
+        << ",\"share\":" << share << "}";
+  }
+  out << "}";
+
+  // Percentile-banded attribution: which segments dominate the middle of
+  // the response distribution vs its tail.
+  std::vector<SimTime> totals;
+  totals.reserve(static_cast<size_t>(measured_));
+  for (const Attempt& a : attempts_) {
+    if (a.measured) totals.push_back(a.total);
+  }
+  std::sort(totals.begin(), totals.end());
+  const SimTime p50 = Percentile(totals, 0.5);
+  const SimTime p95 = Percentile(totals, 0.95);
+  const SimTime p99 = Percentile(totals, 0.99);
+  struct Band {
+    const char* name;
+    int64_t count = 0;
+    SimTime total = 0;
+    std::array<SimTime, kProfileSegmentCount> seg{};
+  };
+  std::array<Band, 4> bands{Band{"le_p50"}, Band{"p50_p95"},
+                            Band{"p95_p99"}, Band{"gt_p99"}};
+  for (const Attempt& a : attempts_) {
+    if (!a.measured) continue;
+    size_t b = 0;
+    if (a.total > p99) {
+      b = 3;
+    } else if (a.total > p95) {
+      b = 2;
+    } else if (a.total > p50) {
+      b = 1;
+    }
+    ++bands[b].count;
+    bands[b].total += a.total;
+    for (int s = 0; s < kProfileSegmentCount; ++s) {
+      bands[b].seg[static_cast<size_t>(s)] += a.seg[static_cast<size_t>(s)];
+    }
+  }
+  out << ",\"bands\":{";
+  first = true;
+  for (const Band& band : bands) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << band.name << "\":{\"count\":" << band.count
+        << ",\"mean_total_ms\":"
+        << (band.count > 0
+                ? Ms(band.total) / static_cast<double>(band.count)
+                : 0.0)
+        << ",\"segments_ms\":{";
+    bool first_seg = true;
+    for (int s = 0; s < kProfileSegmentCount; ++s) {
+      const auto segment = static_cast<ProfileSegment>(s);
+      if (!first_seg) out << ",";
+      first_seg = false;
+      out << "\"" << ProfileSegmentName(segment) << "\":"
+          << (band.count > 0
+                  ? Ms(band.seg[static_cast<size_t>(s)]) /
+                        static_cast<double>(band.count)
+                  : 0.0);
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Status Profiler::WriteJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open profile output: " + path);
+  }
+  file << ToJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace screp::obs

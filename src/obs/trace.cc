@@ -11,6 +11,7 @@ namespace screp::obs {
 Tracer::Tracer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
 
 void Tracer::Add(const TraceSpan& span) {
+  for (const Sink& sink : sinks_) sink(span);
   if (!enabled_) return;
   if (size_ < ring_.size()) {
     ring_[(head_ + size_) % ring_.size()] = span;

@@ -17,6 +17,7 @@
 #define SCREP_OBS_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,13 +56,24 @@ struct TraceSpan {
 /// Bounded ring buffer of spans.
 class Tracer {
  public:
+  /// A live span consumer; sinks see every span, including those the
+  /// ring later evicts, and even while the ring itself is disabled.
+  using Sink = std::function<void(const TraceSpan&)>;
+
   explicit Tracer(size_t capacity);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  /// Records a span (no-op while disabled).  When the ring is full the
-  /// oldest span is evicted.
+  /// Whether spans go anywhere at all — the guard instrumentation sites
+  /// use to decide if emitting spans is worth the bookkeeping.
+  bool active() const { return enabled_ || !sinks_.empty(); }
+
+  /// Subscribes a live consumer (e.g. the critical-path profiler).
+  void AddSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Records a span: sinks always see it; the ring retains it only while
+  /// enabled.  When the ring is full the oldest span is evicted.
   void Add(const TraceSpan& span);
 
   /// Names a Chrome-trace process id (emitted as metadata events).
@@ -87,6 +99,7 @@ class Tracer {
 
  private:
   bool enabled_ = false;
+  std::vector<Sink> sinks_;
   std::vector<TraceSpan> ring_;
   size_t head_ = 0;  ///< index of the oldest span
   size_t size_ = 0;

@@ -71,12 +71,24 @@ void Certifier::SubmitCertification(WriteSet ws) {
                 const TxnId txn = ws.txn_id;
                 Certify(std::move(ws));
                 if (tracer_ != nullptr && !muted_) {
-                  tracer_->Add({.name = "certifier.certify",
+                  // The single-server FIFO CPU served this writeset for
+                  // exactly certify_cpu_time at the end of the interval;
+                  // everything before that was intake queueing.
+                  const SimTime service_start =
+                      sim_->Now() - config_.certify_cpu_time;
+                  tracer_->Add({.name = "certifier.intake_wait",
                                 .category = "certifier",
                                 .pid = obs::kCertifierPid,
                                 .tid = static_cast<int64_t>(txn),
                                 .start = enqueued,
-                                .duration = sim_->Now() - enqueued,
+                                .duration = service_start - enqueued,
+                                .txn = txn});
+                  tracer_->Add({.name = "certifier.certify",
+                                .category = "certifier",
+                                .pid = obs::kCertifierPid,
+                                .tid = static_cast<int64_t>(txn),
+                                .start = service_start,
+                                .duration = config_.certify_cpu_time,
                                 .txn = txn});
                 }
               });
@@ -258,6 +270,11 @@ void Certifier::Certify(WriteSet ws) {
     eager_tracker_.OnCertified(ws.txn_id);
     eager_origins_[ws.txn_id] = ws.origin;
   }
+  if (tracer_ != nullptr && !muted_ && tracer_->active()) {
+    // Remember when certification finished so the announcement after the
+    // group-commit force can span the durability wait.
+    certify_done_at_[ws.txn_id] = sim_->Now();
+  }
   MakeDurableAndAnnounce(std::move(ws));
 }
 
@@ -348,6 +365,19 @@ void Certifier::SendRefresh(ReplicaId replica, const WriteSet& ws) {
 
 void Certifier::AnnounceDecision(const WriteSet& ws) {
   if (muted_) return;
+  if (tracer_ != nullptr) {
+    if (auto it = certify_done_at_.find(ws.txn_id);
+        it != certify_done_at_.end()) {
+      tracer_->Add({.name = "certifier.force_wait",
+                    .category = "certifier",
+                    .pid = obs::kCertifierPid,
+                    .tid = static_cast<int64_t>(ws.txn_id),
+                    .start = it->second,
+                    .duration = sim_->Now() - it->second,
+                    .txn = ws.txn_id});
+      certify_done_at_.erase(it);
+    }
+  }
   CertDecision decision{ws.txn_id, /*commit=*/true, ws.commit_version};
   decision_cb_(ws.origin, decision);
 }

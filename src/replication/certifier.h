@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/eager_tracker.h"
@@ -283,6 +284,9 @@ class Certifier {
   // Observability (all optional; null until SetObservability).
   obs::Tracer* tracer_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
+  /// Certification-done times of commits awaiting their group-commit
+  /// force, for the "certifier.force_wait" span (tracing only).
+  std::unordered_map<TxnId, SimTime> certify_done_at_;
   obs::Counter* ctr_certified_ = nullptr;
   obs::Counter* ctr_aborts_ww_ = nullptr;
   obs::Counter* ctr_aborts_rw_ = nullptr;

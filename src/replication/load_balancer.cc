@@ -82,7 +82,7 @@ void LoadBalancer::OnClientRequest(const TxnRequest& request) {
     Reject(request, TxnOutcome::kOverloaded);
     return;
   }
-  admission_queue_.push_back(request);
+  admission_queue_.push_back({request, sim_->Now()});
   peak_admission_queue_ =
       std::max(peak_admission_queue_, admission_queue_.size());
 }
@@ -117,9 +117,18 @@ void LoadBalancer::DrainAdmissionQueue() {
   while (!admission_queue_.empty()) {
     const ReplicaId replica = PickReplica(/*respect_window=*/true);
     if (replica == kNoReplica) return;
-    TxnRequest request = std::move(admission_queue_.front());
+    QueuedRequest queued = std::move(admission_queue_.front());
     admission_queue_.pop_front();
-    Dispatch(replica, request);
+    if (tracer_ != nullptr) {
+      tracer_->Add({.name = "lb.admission_wait",
+                    .category = "lb",
+                    .pid = obs::kLbPid,
+                    .tid = static_cast<int64_t>(queued.request.txn_id),
+                    .start = queued.enqueued,
+                    .duration = sim_->Now() - queued.enqueued,
+                    .txn = queued.request.txn_id});
+    }
+    Dispatch(replica, queued.request);
   }
 }
 
@@ -232,11 +241,11 @@ void LoadBalancer::MarkReplicaDown(ReplicaId replica) {
   // Queued requests can still dispatch to the surviving replicas; only
   // when this was the last one must they fail back to their clients.
   if (PickReplica(/*respect_window=*/false) == kNoReplica) {
-    std::deque<TxnRequest> queued;
+    std::deque<QueuedRequest> queued;
     queued.swap(admission_queue_);
-    for (const TxnRequest& request : queued) {
+    for (const QueuedRequest& entry : queued) {
       ++unroutable_;
-      Reject(request, TxnOutcome::kReplicaFailure);
+      Reject(entry.request, TxnOutcome::kReplicaFailure);
     }
   } else if (!admission_queue_.empty()) {
     DrainAdmissionQueue();

@@ -173,10 +173,17 @@ class LoadBalancer {
   std::vector<bool> down_;
   size_t tie_break_cursor_ = 0;
   std::unordered_map<TxnTypeId, std::vector<TableId>> table_sets_;
+  /// One admission-queue entry: the request plus when it was queued (the
+  /// profiler's admission-wait boundary).
+  struct QueuedRequest {
+    TxnRequest request;
+    SimTime enqueued = 0;
+  };
+
   /// Requests admitted but not yet dispatchable (every live replica at
   /// its window).  FIFO; version tags are computed at dispatch time, so
   /// a queued request only ever over-waits (safe), never under-waits.
-  std::deque<TxnRequest> admission_queue_;
+  std::deque<QueuedRequest> admission_queue_;
   size_t peak_admission_queue_ = 0;
   int64_t dispatched_ = 0;
   int64_t failed_over_ = 0;

@@ -416,7 +416,13 @@ bool Proxy::IsUnpublished(DbVersion version) const {
 }
 
 void Proxy::AdvanceContiguous() {
-  while (IsUnpublished(contiguous_ + 1)) ++contiguous_;
+  while (IsUnpublished(contiguous_ + 1)) {
+    ++contiguous_;
+    // The version just became dispatchable gap-wise; remember when, so
+    // StartApply can split its ordering wait into gap wait vs. lane wait.
+    auto it = pending_.find(contiguous_);
+    if (it != pending_.end()) it->second.ready_time = sim_->Now();
+  }
 }
 
 void Proxy::DispatchApplies() {
@@ -453,8 +459,16 @@ void Proxy::StartApply(DbVersion version) {
     ActiveTxn* t = ait->second.get();
     t->apply_start_time = sim_->Now();
     t->stages.sync = t->apply_start_time - t->decision_time;
-    EmitSpan("proxy.sync_wait", apply.local_txn, t->decision_time,
-             t->stages.sync);
+    // The ordering wait splits at the moment the contiguity watermark
+    // crossed this version: before it, the writeset waited for the gap
+    // below to fill (gap wait); after it, for a free lane and any
+    // conflicting earlier writesets (lane wait).
+    const SimTime ready =
+        apply.ready_time > 0 ? apply.ready_time : t->decision_time;
+    EmitSpan("proxy.gap_wait", apply.local_txn, t->decision_time,
+             ready - t->decision_time);
+    EmitSpan("proxy.lane_wait", apply.local_txn, ready,
+             t->apply_start_time - ready);
     cost = Stochastic(config_.commit_cost);
   } else {
     cost = Stochastic(config_.refresh_base +
@@ -468,6 +482,15 @@ void Proxy::StartApply(DbVersion version) {
                                            // already returned the lane
     executing_.erase(version);
     apply_lanes_.Release();
+    if (apply.is_local) {
+      auto ait = active_.find(apply.local_txn);
+      if (ait != active_.end()) {
+        ActiveTxn* t = ait->second.get();
+        t->exec_done_time = sim_->Now();
+        EmitSpan("proxy.apply", apply.local_txn, t->apply_start_time,
+                 t->exec_done_time - t->apply_start_time);
+      }
+    }
     executed_.emplace(version, std::move(apply));
     PublishReady();
     DispatchApplies();
@@ -524,13 +547,19 @@ void Proxy::SettleLocalClaims() {
 void Proxy::FinishLocalCommit(ActiveTxn* t) {
   if (t->apply_start_time == 0) {
     // Committed through the refresh channel (certifier failover): the
-    // ordering wait is folded into the certify stage.
+    // whole wait from the decision to the version's local commit is one
+    // claim wait — there was no local apply to decompose.
+    EmitSpan("proxy.claim_wait", t->request.txn_id, t->decision_time,
+             sim_->Now() - t->decision_time);
     t->apply_start_time = sim_->Now();
+  } else if (t->exec_done_time > 0) {
+    // The local apply finished on its lane at exec_done_time; since then
+    // the transaction waited for every earlier version to publish.
+    EmitSpan("proxy.publish_wait", t->request.txn_id, t->exec_done_time,
+             sim_->Now() - t->exec_done_time);
   }
   t->local_commit_time = sim_->Now();
   t->stages.commit = t->local_commit_time - t->apply_start_time;
-  EmitSpan("proxy.commit", t->request.txn_id, t->apply_start_time,
-           t->stages.commit);
   if (eager_) {
     if (t->global_done_early) {
       // The certifier already declared the global commit (a membership

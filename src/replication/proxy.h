@@ -241,6 +241,7 @@ class Proxy {
     SimTime certify_start_time = 0;
     SimTime decision_time = 0;
     SimTime apply_start_time = 0;
+    SimTime exec_done_time = 0;  ///< local apply finished on its lane
     SimTime local_commit_time = 0;
     StageTimes stages;
   };
@@ -254,6 +255,10 @@ class Proxy {
     bool credited = false;
     TxnId local_txn = 0;
     SimTime enqueue_time = 0;
+    /// When the contiguity watermark crossed this version (it became
+    /// dispatchable gap-wise); splits the ordering wait into gap wait vs.
+    /// lane wait for the profiler.
+    SimTime ready_time = 0;
   };
 
   /// Queues one refresh writeset through the apply pipeline; returns

@@ -303,6 +303,82 @@ void ReplicatedSystem::BuildChannels() {
     credit->AttachMetrics(registry);
     ch_credit_.push_back(std::move(credit));
   }
+
+  // Transport spans for the request path (tracing and the critical-path
+  // profiler).  Trace fns fire on every actual delivery with the original
+  // send time, so each span is the full transport delay the receiver
+  // experienced — retransmissions and resequencing included.  Refresh,
+  // commit-notice, global-commit and credit channels carry no per-txn
+  // critical-path hop (the eager global wait is measured proxy-side), so
+  // they stay untraced.
+  obs::Tracer* tr = obs_->tracer();
+  if (tr->active()) {
+    ch_client_lb_->SetTraceFn(
+        [tr](const TxnRequest& request, SimTime sent, SimTime at) {
+          tr->Add({.name = "net.client_lb",
+                   .category = "net",
+                   .pid = obs::kLbPid,
+                   .tid = static_cast<int64_t>(request.txn_id),
+                   .start = sent,
+                   .duration = at - sent,
+                   .txn = request.txn_id});
+        });
+    ch_lb_client_->SetTraceFn(
+        [tr](const TxnResponse& response, SimTime sent, SimTime at) {
+          tr->Add({.name = "net.lb_client",
+                   .category = "net",
+                   .pid = obs::kLbPid,
+                   .tid = static_cast<int64_t>(response.txn_id),
+                   .start = sent,
+                   .duration = at - sent,
+                   .txn = response.txn_id});
+        });
+    for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+      const int32_t replica_pid = obs::kReplicaPidBase + r;
+      ch_dispatch_[static_cast<size_t>(r)]->SetTraceFn(
+          [tr, replica_pid](const RoutedRequest& routed, SimTime sent,
+                            SimTime at) {
+            tr->Add({.name = "net.dispatch",
+                     .category = "net",
+                     .pid = replica_pid,
+                     .tid = static_cast<int64_t>(routed.request.txn_id),
+                     .start = sent,
+                     .duration = at - sent,
+                     .txn = routed.request.txn_id});
+          });
+      ch_response_[static_cast<size_t>(r)]->SetTraceFn(
+          [tr](const TxnResponse& response, SimTime sent, SimTime at) {
+            tr->Add({.name = "net.response",
+                     .category = "net",
+                     .pid = obs::kLbPid,
+                     .tid = static_cast<int64_t>(response.txn_id),
+                     .start = sent,
+                     .duration = at - sent,
+                     .txn = response.txn_id});
+          });
+      ch_cert_request_[static_cast<size_t>(r)]->SetTraceFn(
+          [tr](const WriteSet& ws, SimTime sent, SimTime at) {
+            tr->Add({.name = "net.certreq",
+                     .category = "net",
+                     .pid = obs::kCertifierPid,
+                     .tid = static_cast<int64_t>(ws.txn_id),
+                     .start = sent,
+                     .duration = at - sent,
+                     .txn = ws.txn_id});
+          });
+      ch_decision_[static_cast<size_t>(r)]->SetTraceFn(
+          [tr, replica_pid](const CertDecision& d, SimTime sent,
+                            SimTime at) {
+            tr->Add({.name = "net.decision",
+                     .category = "net",
+                     .pid = replica_pid,
+                     .tid = static_cast<int64_t>(d.txn_id),
+                     .start = sent,
+                     .duration = at - sent,
+                     .txn = d.txn_id});
+          });
+    }
+  }
 }
 
 void ReplicatedSystem::Wire() {

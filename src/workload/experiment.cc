@@ -89,6 +89,9 @@ std::string ExperimentResult::ToJson() const {
   } else {
     out << ",\"audit\":null";
   }
+  // Omitted entirely (not null) when off: profile-off BENCH JSON is
+  // byte-identical to output from before the profiler existed.
+  if (profile.enabled) out << ",\"profile\":" << profile.json;
   out << "}";
   return out.str();
 }
@@ -106,6 +109,9 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   if (config.audit || !config.audit_json_path.empty()) {
     system_config.obs.audit = true;
   }
+  if (config.profile || !config.profile_json_path.empty()) {
+    system_config.obs.profile = true;
+  }
   SCREP_ASSIGN_OR_RETURN(
       auto system,
       ReplicatedSystem::Create(
@@ -115,6 +121,9 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
             return workload.DefineTransactions(db, reg);
           }));
   if (config.history != nullptr) system->SetHistory(config.history);
+  if (obs::Profiler* profiler = system->obs()->profiler()) {
+    profiler->set_measure_from(config.warmup);
+  }
 
   MetricsCollector metrics(config.warmup);
   Rng seed_rng(config.seed);
@@ -180,6 +189,14 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   if (!config.audit_json_path.empty()) {
     SCREP_RETURN_NOT_OK(
         system->obs()->WriteAuditJson(config.audit_json_path));
+  }
+  if (!config.profile_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteProfileJson(config.profile_json_path));
+  }
+  if (!config.metrics_prom_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteMetricsProm(config.metrics_prom_path));
   }
 
   ExperimentResult result;
@@ -254,6 +271,20 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
     result.audit.snapshot_age_p50_ms = age->Percentile(0.5) / 1e3;
     result.audit.snapshot_age_p95_ms = age->Percentile(0.95) / 1e3;
     result.audit.snapshot_age_p99_ms = age->Percentile(0.99) / 1e3;
+  }
+
+  if (const obs::Profiler* profiler = system->obs()->profiler()) {
+    result.profile.enabled = true;
+    result.profile.measured = profiler->measured();
+    result.profile.conservation_checked = profiler->conservation_checked();
+    result.profile.conservation_violations =
+        profiler->conservation_violations();
+    result.profile.first_violation = profiler->first_violation();
+    for (int s = 0; s < obs::kProfileSegmentCount; ++s) {
+      result.profile.segment_mean_ms[static_cast<size_t>(s)] =
+          profiler->MeanSegmentMs(static_cast<obs::ProfileSegment>(s));
+    }
+    result.profile.json = profiler->ToJson();
   }
   return result;
 }

@@ -5,10 +5,12 @@
 #ifndef SCREP_WORKLOAD_EXPERIMENT_H_
 #define SCREP_WORKLOAD_EXPERIMENT_H_
 
+#include <array>
 #include <memory>
 #include <string>
 
 #include "consistency/history.h"
+#include "obs/profiler.h"
 #include "workload/client.h"
 #include "workload/metrics.h"
 
@@ -53,6 +55,15 @@ struct ExperimentConfig {
   /// When non-empty, the end-of-run audit report (auditor verdict +
   /// staleness histograms) is written here as JSON (implies `audit`).
   std::string audit_json_path;
+  /// Turns on the critical-path profiler for this run
+  /// (ExperimentResult::profile then carries the per-segment breakdown).
+  bool profile = false;
+  /// When non-empty, the profiler's full JSON report is written here
+  /// after the run (implies `profile`).
+  std::string profile_json_path;
+  /// When non-empty, the end-of-run metrics-registry snapshot is written
+  /// here in Prometheus text exposition format.
+  std::string metrics_prom_path;
 };
 
 /// The online auditor's end-of-run verdict plus the staleness
@@ -74,6 +85,24 @@ struct AuditSummary {
 
   /// One-line human summary.
   std::string ToString() const;
+};
+
+/// The critical-path profiler's per-run summary, as carried in
+/// ExperimentResult (disabled unless the run profiled).
+struct ProfileSummary {
+  bool enabled = false;
+  /// Attempts acknowledged inside the measurement window.
+  int64_t measured = 0;
+  int64_t conservation_checked = 0;
+  int64_t conservation_violations = 0;
+  /// Description of the first violated attempt (empty when clean).
+  std::string first_violation;
+  /// Population-mean milliseconds per segment over measured attempts,
+  /// indexed by obs::ProfileSegment; the entries sum to the profiled
+  /// mean response time.
+  std::array<double, obs::kProfileSegmentCount> segment_mean_ms{};
+  /// The profiler's full JSON report (segments, percentiles, bands).
+  std::string json;
 };
 
 /// Aggregates of one run (times in ms, throughput in TPS).
@@ -116,6 +145,10 @@ struct ExperimentResult {
   /// Online-audit verdict + staleness percentiles (zero unless the run
   /// had ExperimentConfig::audit on).
   AuditSummary audit;
+
+  /// Critical-path breakdown (disabled unless ExperimentConfig::profile;
+  /// carried in ToJson() only — ToLine() stays byte-identical).
+  ProfileSummary profile;
 
   /// One fixed-width report line; see ResultHeader() for the columns.
   /// (Audit results are NOT part of the line: audit-off output is

@@ -116,9 +116,17 @@ TEST(ObsIntegrationTest, SpanDurationsMatchStageAccumulators) {
               near(metrics.queries_stage().sum()));
   EXPECT_NEAR(span_sums["proxy.certify"], metrics.certify_stage().sum(),
               near(metrics.certify_stage().sum()));
-  EXPECT_NEAR(span_sums["proxy.sync_wait"], metrics.sync_stage().sum(),
-              near(metrics.sync_stage().sum()));
-  EXPECT_NEAR(span_sums["proxy.commit"], metrics.commit_stage().sum(),
+  // The ordering wait is now decomposed: gap wait + lane wait for locally
+  // applied commits, the whole claim wait for decisions that raced the
+  // refresh stream.  Together they still equal the sync stage.
+  EXPECT_NEAR(span_sums["proxy.gap_wait"] + span_sums["proxy.lane_wait"] +
+                  span_sums["proxy.claim_wait"],
+              metrics.sync_stage().sum(), near(metrics.sync_stage().sum()));
+  // Likewise the commit stage: apply service + publish wait for updates,
+  // plus the read-only commit span.
+  EXPECT_NEAR(span_sums["proxy.apply"] + span_sums["proxy.publish_wait"] +
+                  span_sums["proxy.commit"],
+              metrics.commit_stage().sum(),
               near(metrics.commit_stage().sum()));
 
   // Under LSC at 25% updates the replicas visibly lag V_system: the
@@ -255,7 +263,7 @@ TEST(ObsIntegrationTest, ExperimentWritesValidJsonWithoutPerturbingRun) {
   int committed_updates_traced = 0;
   for (const auto& [tid, phases] : phases_by_tid) {
     if (phases.count("proxy.certify") == 0 ||
-        phases.count("proxy.commit") == 0) {
+        phases.count("proxy.apply") == 0) {
       continue;  // aborted or only partially captured
     }
     ++committed_updates_traced;

@@ -1,0 +1,156 @@
+// End-to-end profiler tests: on real runs across every consistency
+// configuration the critical-path segments tile the measured response
+// time (zero conservation violations) while the online auditor stays
+// clean, the eager level attributes time to the global-commit barrier,
+// crash-induced retries land in the `retry` segment without breaking
+// conservation, the profile JSON export is well-formed, and turning the
+// profiler on does not perturb the simulation.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/profiler.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig ShortRun(ConsistencyLevel level, int replicas,
+                          int clients) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.client_count = clients;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 7;
+  return config;
+}
+
+double SegmentMs(const ExperimentResult& r, obs::ProfileSegment s) {
+  return r.profile.segment_mean_ms[static_cast<size_t>(s)];
+}
+
+TEST(ProfilerIntegrationTest, AllLevelsConserveAndAuditCleanly) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    ExperimentConfig config = ShortRun(level, 4, 8);
+    config.profile = true;
+    config.audit = true;
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->profile.enabled) << ConsistencyLevelName(level);
+    EXPECT_GT(result->profile.measured, 0) << ConsistencyLevelName(level);
+    EXPECT_GT(result->profile.conservation_checked, 0)
+        << ConsistencyLevelName(level);
+    EXPECT_EQ(result->profile.conservation_violations, 0)
+        << ConsistencyLevelName(level) << ": "
+        << result->profile.first_violation;
+    EXPECT_TRUE(result->audit.ok)
+        << ConsistencyLevelName(level) << ": " << result->audit.ToString();
+
+    // The per-segment means are an exact decomposition of the profiled
+    // mean response time.
+    double sum = 0;
+    for (int s = 0; s < obs::kProfileSegmentCount; ++s) {
+      sum += result->profile.segment_mean_ms[static_cast<size_t>(s)];
+    }
+    EXPECT_GT(sum, 0) << ConsistencyLevelName(level);
+
+    // Statement execution shows up at every level; the global-commit
+    // barrier only under eager replication.
+    EXPECT_GT(SegmentMs(*result, obs::ProfileSegment::kExec), 0)
+        << ConsistencyLevelName(level);
+    if (level == ConsistencyLevel::kEager) {
+      EXPECT_GT(SegmentMs(*result, obs::ProfileSegment::kGlobalWait), 0);
+    } else {
+      EXPECT_EQ(SegmentMs(*result, obs::ProfileSegment::kGlobalWait), 0)
+          << ConsistencyLevelName(level);
+    }
+  }
+}
+
+TEST(ProfilerIntegrationTest, CrashRetriesChargedToRetrySegment) {
+  const MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 4, 16);
+  config.profile = true;
+  config.audit = true;
+  config.client.request_timeout = Millis(200);
+  config.client.backoff_base = Millis(2);
+  config.faults.push_back(
+      FaultEvent{1, Seconds(1), FaultEvent::kNoRecovery});
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->replica_failures, 0);
+  ASSERT_TRUE(result->profile.enabled);
+  EXPECT_EQ(result->profile.conservation_violations, 0)
+      << result->profile.first_violation;
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+  // Requests stranded on the crashed replica were abandoned and retried;
+  // that dead time belongs to no stage and must land in `retry`.
+  EXPECT_GT(SegmentMs(*result, obs::ProfileSegment::kRetry), 0);
+}
+
+TEST(ProfilerIntegrationTest, ProfileJsonExportIsWellFormed) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 4, 8);
+  const std::string path =
+      ::testing::TempDir() + "/profiler_integration_profile.json";
+  config.profile_json_path = path;  // implies profile
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->profile.enabled);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "profile JSON not written: " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = obs::JsonValue::Parse(text.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->Find("conservation"), nullptr);
+  EXPECT_EQ(doc->Find("conservation")->Find("violations")->number(), 0);
+  ASSERT_NE(doc->Find("segments"), nullptr);
+  ASSERT_NE(doc->Find("bands"), nullptr);
+  // The embedded summary is the same document.
+  auto embedded = obs::JsonValue::Parse(result->profile.json);
+  ASSERT_TRUE(embedded.ok()) << embedded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ProfilerIntegrationTest, ProfilingDoesNotPerturbTheRun) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  ExperimentConfig plain = ShortRun(ConsistencyLevel::kLazyFine, 4, 8);
+  ExperimentConfig profiled = plain;
+  profiled.profile = true;
+  auto base = RunExperiment(workload, plain);
+  auto prof = RunExperiment(workload, profiled);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(prof.ok());
+  // The profiler consumes spans and events but no randomness: every
+  // virtual-time aggregate must be bit-identical.
+  EXPECT_EQ(base->ToLine(), prof->ToLine());
+  EXPECT_EQ(base->committed, prof->committed);
+  EXPECT_EQ(base->throughput_tps, prof->throughput_tps);
+  EXPECT_FALSE(base->profile.enabled);
+  ASSERT_TRUE(prof->profile.enabled);
+  // The off-run's JSON omits the profile key entirely (byte-compat with
+  // pre-profiler output); the on-run embeds it.
+  EXPECT_EQ(base->ToJson().find("\"profile\""), std::string::npos);
+  EXPECT_NE(prof->ToJson().find("\"profile\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace screp

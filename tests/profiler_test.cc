@@ -1,0 +1,282 @@
+// Unit tests for the critical-path profiler: span/event assembly,
+// conservation checking, retry attribution, duplicate-span and stale-
+// finish handling, and the JSON report shape — plus the Prometheus
+// text-exposition escaping round trip and the tracer's sink plumbing.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace screp::obs {
+namespace {
+
+TraceSpan Span(const char* name, TxnId txn, SimTime duration) {
+  TraceSpan span;
+  span.name = name;
+  span.category = "test";
+  span.tid = static_cast<int64_t>(txn);
+  span.duration = duration;
+  span.txn = txn;
+  return span;
+}
+
+Event Finished(TxnId txn, SimTime submit, SimTime ack, bool committed) {
+  Event e;
+  e.kind = EventKind::kTxnFinished;
+  e.at = ack;
+  e.txn = txn;
+  e.submit_time = submit;
+  e.committed = committed;
+  return e;
+}
+
+Event Timeout(TxnId txn, SimTime at, SimTime wait) {
+  Event e;
+  e.kind = EventKind::kTimeout;
+  e.at = at;
+  e.txn = txn;
+  e.wait = wait;
+  return e;
+}
+
+TEST(ProfilerTest, CommittedAttemptConserves) {
+  Profiler profiler;
+  profiler.OnSpan(Span("net.client_lb", 1, 100));
+  profiler.OnSpan(Span("net.dispatch", 1, 200));
+  profiler.OnSpan(Span("proxy.start_delay", 1, 50));
+  profiler.OnSpan(Span("proxy.exec", 1, 400));
+  profiler.OnSpan(Span("net.certreq", 1, 150));
+  profiler.OnSpan(Span("certifier.intake_wait", 1, 10));
+  profiler.OnSpan(Span("certifier.certify", 1, 120));
+  profiler.OnSpan(Span("certifier.force_wait", 1, 30));
+  profiler.OnSpan(Span("net.decision", 1, 150));
+  profiler.OnSpan(Span("proxy.gap_wait", 1, 5));
+  profiler.OnSpan(Span("proxy.lane_wait", 1, 15));
+  profiler.OnSpan(Span("proxy.apply", 1, 300));
+  profiler.OnSpan(Span("proxy.publish_wait", 1, 20));
+  profiler.OnSpan(Span("net.response", 1, 200));
+  profiler.OnSpan(Span("net.lb_client", 1, 100));
+  const SimTime total = 100 + 200 + 50 + 400 + 150 + 10 + 120 + 30 + 150 +
+                        5 + 15 + 300 + 20 + 200 + 100;
+  profiler.OnEvent(Finished(1, 1000, 1000 + total, /*committed=*/true));
+
+  EXPECT_EQ(profiler.finished(), 1);
+  EXPECT_EQ(profiler.committed_count(), 1);
+  EXPECT_EQ(profiler.conservation_checked(), 1);
+  EXPECT_EQ(profiler.conservation_violations(), 0);
+  EXPECT_EQ(profiler.max_abs_residual(), 0);
+  ASSERT_EQ(profiler.attempts().size(), 1u);
+  const Profiler::Attempt& attempt = profiler.attempts()[0];
+  EXPECT_EQ(attempt.total, total);
+  EXPECT_EQ(attempt.seg[static_cast<size_t>(ProfileSegment::kExec)], 400);
+  // The two LB<->replica hops land in one exclusive segment.
+  EXPECT_EQ(attempt.seg[static_cast<size_t>(ProfileSegment::kNetLbReplica)],
+            400);
+  EXPECT_EQ(attempt.seg[static_cast<size_t>(ProfileSegment::kRetry)], 0);
+}
+
+TEST(ProfilerTest, CommittedShortfallIsAViolation) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 2, 400));
+  profiler.OnEvent(Finished(2, 0, 1000, /*committed=*/true));
+  EXPECT_EQ(profiler.conservation_checked(), 1);
+  EXPECT_EQ(profiler.conservation_violations(), 1);
+  EXPECT_EQ(profiler.max_abs_residual(), 600);
+  EXPECT_FALSE(profiler.first_violation().empty());
+}
+
+TEST(ProfilerTest, ToleranceAbsorbsOneTick) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 3, 999));
+  profiler.OnEvent(Finished(3, 0, 1000, /*committed=*/true));
+  EXPECT_EQ(profiler.conservation_violations(), 0);
+  EXPECT_EQ(profiler.max_abs_residual(), 1);
+}
+
+TEST(ProfilerTest, FailedAttemptResidualBecomesRetry) {
+  Profiler profiler;
+  profiler.OnSpan(Span("net.client_lb", 4, 100));
+  profiler.OnSpan(Span("proxy.exec", 4, 200));
+  profiler.OnEvent(Finished(4, 0, 1000, /*committed=*/false));
+  EXPECT_EQ(profiler.failed(), 1);
+  EXPECT_EQ(profiler.conservation_checked(), 0);  // only commits checked
+  EXPECT_EQ(profiler.conservation_violations(), 0);
+  ASSERT_EQ(profiler.attempts().size(), 1u);
+  EXPECT_EQ(profiler.attempts()[0].seg[static_cast<size_t>(
+                ProfileSegment::kRetry)],
+            700);
+}
+
+TEST(ProfilerTest, FailedAttemptOvercountIsAViolation) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 5, 2000));
+  profiler.OnEvent(Finished(5, 0, 1000, /*committed=*/false));
+  EXPECT_EQ(profiler.conservation_violations(), 1);
+}
+
+TEST(ProfilerTest, DuplicateSpanDeliveriesCountOnce) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 6, 400));
+  profiler.OnSpan(Span("proxy.exec", 6, 400));  // duplicated delivery
+  profiler.OnEvent(Finished(6, 0, 400, /*committed=*/true));
+  EXPECT_EQ(profiler.conservation_violations(), 0);
+  EXPECT_EQ(profiler.attempts()[0].seg[static_cast<size_t>(
+                ProfileSegment::kExec)],
+            400);
+}
+
+TEST(ProfilerTest, UnknownSpansAndTxnZeroIgnored) {
+  Profiler profiler;
+  profiler.OnSpan(Span("certifier.log_force", 0, 500));  // batch span
+  profiler.OnSpan(Span("proxy.stmt", 7, 123));           // per-statement
+  profiler.OnSpan(Span("lb.route", 7, 0));
+  profiler.OnSpan(Span("proxy.certify", 7, 999));  // overlaps net+certifier
+  profiler.OnSpan(Span("proxy.exec", 7, 400));
+  profiler.OnEvent(Finished(7, 0, 400, /*committed=*/true));
+  EXPECT_EQ(profiler.conservation_violations(), 0);
+}
+
+TEST(ProfilerTest, TimeoutThenStaleFinishIgnored) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 8, 100));
+  profiler.OnEvent(Timeout(8, 5000, 1000));
+  EXPECT_EQ(profiler.timeouts(), 1);
+  EXPECT_EQ(profiler.finished(), 1);
+  ASSERT_EQ(profiler.attempts().size(), 1u);
+  EXPECT_TRUE(profiler.attempts()[0].timed_out);
+  EXPECT_EQ(profiler.attempts()[0].total, 1000);
+  // The response eventually lands after the client gave up: it must not
+  // produce a second attempt.
+  profiler.OnEvent(Finished(8, 4000, 6000, /*committed=*/true));
+  EXPECT_EQ(profiler.finished(), 1);
+  EXPECT_EQ(profiler.stale_finishes(), 1);
+}
+
+TEST(ProfilerTest, WarmupAttemptsExcludedFromAggregates) {
+  Profiler profiler;
+  profiler.set_measure_from(500);
+  profiler.OnSpan(Span("proxy.exec", 9, 400));
+  profiler.OnEvent(Finished(9, 0, 400, /*committed=*/true));  // in warm-up
+  profiler.OnSpan(Span("proxy.exec", 10, 800));
+  profiler.OnEvent(Finished(10, 0, 800, /*committed=*/true));
+  EXPECT_EQ(profiler.finished(), 2);
+  EXPECT_EQ(profiler.measured(), 1);
+  // Conservation is still checked on the warm-up attempt.
+  EXPECT_EQ(profiler.conservation_checked(), 2);
+  EXPECT_DOUBLE_EQ(profiler.MeanSegmentMs(ProfileSegment::kExec), 0.8);
+}
+
+TEST(ProfilerTest, MeanSegmentsSumToMeanResponse) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 11, 400));
+  profiler.OnEvent(Finished(11, 0, 400, /*committed=*/true));
+  profiler.OnSpan(Span("net.client_lb", 12, 100));
+  profiler.OnEvent(Finished(12, 0, 600, /*committed=*/false));
+  double sum = 0;
+  for (int s = 0; s < kProfileSegmentCount; ++s) {
+    sum += profiler.MeanSegmentMs(static_cast<ProfileSegment>(s));
+  }
+  EXPECT_NEAR(sum, (400 + 600) / 2 / 1e3, 1e-12);
+}
+
+TEST(ProfilerTest, JsonReportShape) {
+  Profiler profiler;
+  profiler.OnSpan(Span("proxy.exec", 13, 400));
+  profiler.OnSpan(Span("eager.global_wait", 13, 100));
+  profiler.OnEvent(Finished(13, 0, 500, /*committed=*/true));
+  auto doc = JsonValue::Parse(profiler.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("counts")->Find("finished")->number(), 1);
+  EXPECT_EQ(doc->Find("conservation")->Find("checked")->number(), 1);
+  EXPECT_EQ(doc->Find("conservation")->Find("violations")->number(), 0);
+  const JsonValue* exec = doc->Find("segments")->Find("exec");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->Find("kind")->str(), "service");
+  EXPECT_DOUBLE_EQ(exec->Find("mean_ms")->number(), 0.4);
+  const JsonValue* global = doc->Find("segments")->Find("global_wait");
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(global->Find("kind")->str(), "wait");
+  ASSERT_NE(doc->Find("bands"), nullptr);
+  ASSERT_NE(doc->Find("bands")->Find("gt_p99"), nullptr);
+}
+
+TEST(ProfilerTest, SegmentNamesAndKindsCoverAllSegments) {
+  for (int s = 0; s < kProfileSegmentCount; ++s) {
+    const auto segment = static_cast<ProfileSegment>(s);
+    EXPECT_STRNE(ProfileSegmentName(segment), "");
+    const char* kind = SegmentKindName(ProfileSegmentKind(segment));
+    EXPECT_TRUE(std::string(kind) == "wait" ||
+                std::string(kind) == "service" ||
+                std::string(kind) == "network")
+        << ProfileSegmentName(segment);
+  }
+}
+
+TEST(TracerSinkTest, SinksSeeSpansWhileRingDisabled) {
+  Tracer tracer(/*capacity=*/4);
+  EXPECT_FALSE(tracer.active());
+  int seen = 0;
+  tracer.AddSink([&seen](const TraceSpan&) { ++seen; });
+  EXPECT_TRUE(tracer.active());  // sinks make the tracer worth feeding
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Add(Span("proxy.exec", 1, 10));
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(tracer.Spans().empty());  // the ring stays off
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(TracerSinkTest, SinksSeeSpansTheRingEvicts) {
+  Tracer tracer(/*capacity=*/2);
+  tracer.set_enabled(true);
+  int seen = 0;
+  tracer.AddSink([&seen](const TraceSpan&) { ++seen; });
+  for (TxnId t = 1; t <= 5; ++t) tracer.Add(Span("proxy.exec", t, 10));
+  EXPECT_EQ(seen, 5);
+  EXPECT_EQ(tracer.Spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3);
+}
+
+TEST(PrometheusTest, EscapeRoundTrip) {
+  const std::string tricky[] = {
+      "plain.name", "with\"quote", "back\\slash", "new\nline",
+      "all\\three\"\n\\\"", ""};
+  for (const std::string& s : tricky) {
+    EXPECT_EQ(PrometheusUnescapeLabel(PrometheusEscapeLabel(s)), s) << s;
+  }
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(PrometheusTest, TextExpositionCarriesAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("lb.dispatched")->Increment();
+  registry.GetCounter("lb.dispatched")->Increment();
+  Histogram* hist = registry.GetHistogram("resp_us");
+  for (int i = 1; i <= 100; ++i) hist->Add(i);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE screp_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("screp_counter{name=\"lb.dispatched\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("screp_histogram{name=\"resp_us\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("screp_histogram_count{name=\"resp_us\"} 100"),
+            std::string::npos);
+  // Every line is either a comment or "name{labels} value".
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace screp::obs

@@ -35,6 +35,29 @@ echo "== saturation sweep (flow control on) =="
 # top-load runs actually shed, and p99 stays bounded past the knee.
 ./build/bench/saturation --quick --bench-json=build/BENCH_saturation.json
 
+echo "== saturation sweep with critical-path profiling =="
+# Self-checking twice over: the profiler verifies at runtime that each
+# committed attempt's segments sum to its measured response time, and the
+# virtual-time results must match the unprofiled sweep exactly (the
+# profiler consumes spans, not randomness).
+./build/bench/saturation --quick --profile \
+  --bench-json=build/BENCH_profile.json \
+  --profile-json=build/PROFILE_saturation.json
+
+echo "== bench regression gate =="
+# Compares the fresh BENCH_*.json against the committed baselines with
+# per-metric tolerance bands; --self-test proves the gate still catches
+# planted regressions (e.g. a 20% p99 slowdown).
+python3 tools/bench_gate.py --self-test
+python3 tools/bench_gate.py --baseline BENCH_certifier.json \
+  --fresh build/BENCH_certifier.json
+python3 tools/bench_gate.py --baseline BENCH_network.json \
+  --fresh build/BENCH_network.json
+python3 tools/bench_gate.py --baseline BENCH_saturation.json \
+  --fresh build/BENCH_saturation.json
+python3 tools/bench_gate.py --baseline BENCH_profile.json \
+  --fresh build/BENCH_profile.json
+
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="
   cmake -B build-asan -S . -DSCREP_SANITIZE=address,undefined >/dev/null
