@@ -68,6 +68,18 @@ struct BenchOptions {
   /// --refresh-batch: coalesce each group commit's refresh fan-out into
   /// one message per target replica.
   bool refresh_batch = false;
+  /// --health: run the online health monitor during every run and print
+  /// the per-run verdict (state transitions, detector firings).  Does
+  /// not affect the exit code — detection policy belongs to the health
+  /// sweep, not the figure drivers.
+  bool health = false;
+  /// --health-json <path>: additionally write each run's health report as
+  /// JSON (tagged per run; implies --health).
+  std::string health_json;
+  /// --timeline-json <path>: write each run's timeline bundle (sampled
+  /// series + health track + fault markers) as JSON for
+  /// tools/render_timeline.py (tagged per run; implies --health).
+  std::string timeline_json;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -114,6 +126,20 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--profile-json") == 0 && i + 1 < argc) {
       options.profile_json = argv[++i];
       options.profile = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      options.health = true;
+    } else if (std::strncmp(argv[i], "--health-json=", 14) == 0) {
+      options.health_json = argv[i] + 14;
+      options.health = true;
+    } else if (std::strcmp(argv[i], "--health-json") == 0 && i + 1 < argc) {
+      options.health_json = argv[++i];
+      options.health = true;
+    } else if (std::strncmp(argv[i], "--timeline-json=", 16) == 0) {
+      options.timeline_json = argv[i] + 16;
+      options.health = true;
+    } else if (std::strcmp(argv[i], "--timeline-json") == 0 && i + 1 < argc) {
+      options.timeline_json = argv[++i];
+      options.health = true;
     } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
       options.metrics_prom = argv[i] + 15;
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
@@ -183,6 +209,13 @@ inline void ApplyObservability(const BenchOptions& options,
   }
   if (!options.metrics_prom.empty()) {
     config->metrics_prom_path = TaggedPath(options.metrics_prom, tag);
+  }
+  if (options.health) config->health = true;
+  if (!options.health_json.empty()) {
+    config->health_json_path = TaggedPath(options.health_json, tag);
+  }
+  if (!options.timeline_json.empty()) {
+    config->timeline_json_path = TaggedPath(options.timeline_json, tag);
   }
   if (options.apply_lanes > 0) {
     config->system.proxy.apply_lanes = options.apply_lanes;
@@ -270,6 +303,12 @@ class BenchReport {
       profile_lines_.push_back("  [" + tag + "] " +
                                ProfileBreakdownLine(result.profile));
     }
+    if (result.health.enabled) {
+      health_monitored_ = true;
+      health_firings_ += result.health.firings;
+      health_lines_.push_back("  [" + tag + "] " +
+                              result.health.ToString());
+    }
     return results_.emplace_back(result);
   }
 
@@ -330,6 +369,19 @@ class BenchReport {
                     first_profile_violation_.c_str());
       }
     }
+    if (health_monitored_) {
+      std::printf("\n---- health report (%zu runs) ----\n", runs_.size());
+      for (const std::string& line : health_lines_) {
+        std::printf("%s\n", line.c_str());
+      }
+      if (health_firings_ == 0) {
+        std::printf("health: quiet — no detector fired in any run\n");
+      } else {
+        std::printf("health: %lld detector firing(s) across runs (see "
+                    "per-run lines; not an error for figure drivers)\n",
+                    static_cast<long long>(health_firings_));
+      }
+    }
     return (audit_violations_ > 0 || profile_violations_ > 0) ? 1 : 0;
   }
 
@@ -353,6 +405,9 @@ class BenchReport {
   int64_t profile_violations_ = 0;
   std::string first_profile_violation_tag_;
   std::string first_profile_violation_;
+  bool health_monitored_ = false;
+  std::vector<std::string> health_lines_;
+  int64_t health_firings_ = 0;
 };
 
 }  // namespace screp::bench

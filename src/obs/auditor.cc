@@ -65,9 +65,10 @@ void Auditor::OnEvent(const Event& event) {
     case EventKind::kFailover:
     case EventKind::kShed:
     case EventKind::kTimeout:
-      // Overload shedding and client timeouts never commit anything, so
-      // there is nothing to cross-check — consistency is judged on the
-      // transactions that do finish.
+    case EventKind::kHealth:
+      // Overload shedding, client timeouts and health-state changes never
+      // commit anything, so there is nothing to cross-check — consistency
+      // is judged on the transactions that do finish.
       break;
   }
 }

@@ -31,6 +31,8 @@ const char* EventKindName(EventKind kind) {
       return "shed";
     case EventKind::kTimeout:
       return "timeout";
+    case EventKind::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -124,6 +126,9 @@ std::string Event::ToJson() const {
       break;
     case EventKind::kTimeout:
       out << ",\"waited\":" << wait;
+      break;
+    case EventKind::kHealth:
+      out << ",\"change\":\"" << JsonEscape(detail) << "\"";
       break;
   }
   out << "}";

@@ -21,6 +21,8 @@
 //                   queue full, or the certifier's intake bound)
 //   kTimeout        a client abandoned an unacknowledged request and
 //                   will retry it with backoff
+//   kHealth         the online health monitor changed state (detail names
+//                   the old/new state and the triggering detector)
 //
 // The log is consumed three ways: live sinks (the online Auditor), JSONL
 // export for offline tooling, and replay into consistency/history.h types
@@ -57,6 +59,7 @@ enum class EventKind {
   kFailover,
   kShed,
   kTimeout,
+  kHealth,
 };
 
 const char* EventKindName(EventKind kind);

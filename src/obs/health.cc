@@ -1,0 +1,503 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace screp::obs {
+namespace {
+
+std::string Fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string ReplicaGauge(int replica, const char* suffix) {
+  return "replica" + std::to_string(replica) + "." + suffix;
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+const char* HealthDetectorName(HealthDetector detector) {
+  switch (detector) {
+    case HealthDetector::kSloFastBurn:
+      return "slo_fast_burn";
+    case HealthDetector::kSloSlowBurn:
+      return "slo_slow_burn";
+    case HealthDetector::kAvailability:
+      return "availability";
+    case HealthDetector::kLagDivergence:
+      return "lag_divergence";
+    case HealthDetector::kQueueGrowth:
+      return "queue_growth";
+    case HealthDetector::kCreditStarvation:
+      return "credit_starvation";
+    case HealthDetector::kCertifierSaturation:
+      return "certifier_saturation";
+    case HealthDetector::kCatchupStall:
+      return "catchup_stall";
+    case HealthDetector::kRefreshLoss:
+      return "refresh_loss";
+  }
+  return "?";
+}
+
+HealthState HealthDetectorSeverity(HealthDetector detector) {
+  switch (detector) {
+    // User-visible SLO impact: the error budget is burning fast, or
+    // availability is already below objective.
+    case HealthDetector::kSloFastBurn:
+    case HealthDetector::kAvailability:
+      return HealthState::kCritical;
+    // Headroom / redundancy loss: users are mostly fine, an operator
+    // should look.
+    case HealthDetector::kSloSlowBurn:
+    case HealthDetector::kLagDivergence:
+    case HealthDetector::kQueueGrowth:
+    case HealthDetector::kCreditStarvation:
+    case HealthDetector::kCertifierSaturation:
+    case HealthDetector::kCatchupStall:
+    case HealthDetector::kRefreshLoss:
+      return HealthState::kDegraded;
+  }
+  return HealthState::kDegraded;
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config, int replica_count,
+                             const TimeSeriesStore* store,
+                             MetricsRegistry* registry, EventLog* event_log)
+    : config_(config),
+      replica_count_(replica_count),
+      store_(store),
+      event_log_(event_log),
+      lag_streak_(static_cast<size_t>(replica_count), 0),
+      credit_streak_(static_cast<size_t>(replica_count), 0),
+      recovered_at_(static_cast<size_t>(replica_count), SimTime{-1}),
+      catchup_samples_(static_cast<size_t>(replica_count), 0),
+      catchup_baseline_(static_cast<size_t>(replica_count), 0.0) {
+  SCREP_CHECK_MSG(replica_count > 0, "health monitor needs replicas");
+  SCREP_CHECK_MSG(store != nullptr, "health monitor needs a series store");
+  first_fired_at_.fill(SimTime{-1});
+  state_gauge_ = registry->GetGauge("health.state");
+  for (int d = 0; d < kHealthDetectorCount; ++d) {
+    detector_gauges_[static_cast<size_t>(d)] = registry->GetGauge(
+        std::string("health.") +
+        HealthDetectorName(static_cast<HealthDetector>(d)));
+  }
+}
+
+void HealthMonitor::OnEvent(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kTxnFinished: {
+      ++current_.attempts;
+      const double ms = ToMillis(event.at - event.submit_time);
+      if (ms > config_.p99_objective_ms) ++current_.slow;
+      if (!event.committed) ++current_.bad;  // certification abort
+      break;
+    }
+    case EventKind::kShed:
+      ++current_.attempts;
+      ++current_.bad;
+      break;
+    case EventKind::kTimeout:
+      // The abandoned attempt never reaches kTxnFinished; count it here.
+      ++current_.attempts;
+      ++current_.slow;
+      ++current_.bad;
+      break;
+    case EventKind::kRecover:
+      if (event.detail == "replica" && event.replica >= 0 &&
+          event.replica < replica_count_) {
+        recovered_at_[static_cast<size_t>(event.replica)] = event.at;
+        catchup_samples_[static_cast<size_t>(event.replica)] = 0;
+        catchup_baseline_[static_cast<size_t>(event.replica)] = 0;
+      }
+      break;
+    case EventKind::kHealth:
+      // Our own transitions echo back through the log; never re-enter.
+      break;
+    default:
+      break;
+  }
+}
+
+HealthMonitor::SloBucket HealthMonitor::WindowTotals(int window) const {
+  SloBucket total;
+  const size_t n = buckets_.size();
+  const size_t take = std::min(n, static_cast<size_t>(std::max(window, 0)));
+  for (size_t i = n - take; i < n; ++i) {
+    total.attempts += buckets_[i].attempts;
+    total.slow += buckets_[i].slow;
+    total.bad += buckets_[i].bad;
+  }
+  return total;
+}
+
+void HealthMonitor::EvaluateSlo() {
+  const SloBucket fast = WindowTotals(config_.fast_window);
+  const SloBucket slow = WindowTotals(config_.slow_window);
+
+  // Burn = (fraction of attempts violating the latency objective) over
+  // the tolerated fraction.  Shed and timed-out attempts violate it by
+  // definition — the client never got a timely answer.
+  const auto burn = [this](const SloBucket& b) {
+    if (b.attempts < config_.min_attempts) return 0.0;
+    return static_cast<double>(b.slow) / static_cast<double>(b.attempts) /
+           config_.latency_budget;
+  };
+  const double fast_burn = burn(fast);
+  const double slow_burn = burn(slow);
+  // The fast window pages only while the slow window also exceeds the page
+  // threshold (the standard multi-window guard: a single terrible sample
+  // burns the fast window but dilutes away in the slow one).
+  SetFiring(HealthDetector::kSloFastBurn,
+            fast_burn >= config_.fast_burn_threshold &&
+                slow_burn >= config_.fast_burn_threshold,
+            now_,
+            "fast_burn=" + Fmt(fast_burn) + " slow_burn=" + Fmt(slow_burn) +
+                " attempts=" + std::to_string(fast.attempts));
+  SetFiring(HealthDetector::kSloSlowBurn,
+            slow_burn >= config_.slow_burn_threshold, now_,
+            "slow_burn=" + Fmt(slow_burn) +
+                " attempts=" + std::to_string(slow.attempts));
+
+  double availability = 1.0;
+  if (slow.attempts >= config_.min_attempts) {
+    availability = 1.0 - static_cast<double>(slow.bad) /
+                             static_cast<double>(slow.attempts);
+  }
+  SetFiring(HealthDetector::kAvailability,
+            availability < config_.availability_objective, now_,
+            "availability=" + Fmt(availability) + " objective=" +
+                Fmt(config_.availability_objective) +
+                " attempts=" + std::to_string(slow.attempts));
+}
+
+void HealthMonitor::EvaluateLagDivergence() {
+  std::vector<double> lags(static_cast<size_t>(replica_count_), 0.0);
+  bool any = false;
+  for (int r = 0; r < replica_count_; ++r) {
+    if (const RollingWindow* w =
+            store_->gauge(ReplicaGauge(r, "version_lag"))) {
+      lags[static_cast<size_t>(r)] = w->latest();
+      any = true;
+    }
+  }
+  if (!any) {
+    SetFiring(HealthDetector::kLagDivergence, false, now_, "");
+    return;
+  }
+  std::vector<double> sorted = lags;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  bool fired = false;
+  std::string detail;
+  for (int r = 0; r < replica_count_; ++r) {
+    const double lag = lags[static_cast<size_t>(r)];
+    const bool diverged =
+        lag - median > config_.lag_divergence_min &&
+        lag > config_.lag_divergence_factor * std::max(median, 1.0);
+    int& streak = lag_streak_[static_cast<size_t>(r)];
+    streak = diverged ? streak + 1 : 0;
+    if (streak >= config_.lag_divergence_samples) {
+      fired = true;
+      detail = "replica=" + std::to_string(r) + " lag=" + Fmt(lag) +
+               " median=" + Fmt(median);
+    }
+  }
+  SetFiring(HealthDetector::kLagDivergence, fired, now_, detail);
+}
+
+void HealthMonitor::EvaluateQueueGrowth() {
+  const RollingWindow* queue = store_->gauge("lb.admission_queue");
+  bool growing = false;
+  std::string detail;
+  if (queue != nullptr && !queue->empty()) {
+    const double depth = queue->latest();
+    const double slope = queue->TailSlopePerSec(
+        static_cast<size_t>(std::max(config_.queue_growth_window, 2)));
+    growing = depth >= config_.queue_growth_min_depth &&
+              slope >= config_.queue_growth_slope;
+    detail = "depth=" + Fmt(depth) + " slope=" + Fmt(slope) + "/s";
+  }
+  queue_streak_ = growing ? queue_streak_ + 1 : 0;
+  SetFiring(HealthDetector::kQueueGrowth,
+            queue_streak_ >= config_.queue_growth_samples, now_, detail);
+}
+
+void HealthMonitor::EvaluateCreditStarvation() {
+  const RollingWindow* deferred = store_->gauge("certifier.deferred_refresh");
+  bool fired = false;
+  std::string detail;
+  const bool backlog = deferred != nullptr && deferred->latest() > 0;
+  for (int r = 0; r < replica_count_; ++r) {
+    const RollingWindow* credits =
+        store_->gauge(ReplicaGauge(r, "refresh_credits"));
+    const bool starved =
+        backlog && credits != nullptr && !credits->empty() &&
+        credits->latest() <= 0;
+    int& streak = credit_streak_[static_cast<size_t>(r)];
+    streak = starved ? streak + 1 : 0;
+    if (streak >= config_.credit_starvation_samples) {
+      fired = true;
+      detail = "replica=" + std::to_string(r) +
+               " credits=0 deferred=" + Fmt(deferred->latest());
+    }
+  }
+  SetFiring(HealthDetector::kCreditStarvation, fired, now_, detail);
+}
+
+void HealthMonitor::EvaluateCertifierSaturation() {
+  const RollingWindow* queue = store_->gauge("certifier.queue_depth");
+  const bool saturated = queue != nullptr && !queue->empty() &&
+                         queue->latest() >= config_.certifier_queue_critical;
+  certifier_streak_ = saturated ? certifier_streak_ + 1 : 0;
+  SetFiring(HealthDetector::kCertifierSaturation,
+            certifier_streak_ >= config_.certifier_saturation_samples, now_,
+            queue != nullptr ? "queue=" + Fmt(queue->latest()) : "");
+}
+
+void HealthMonitor::EvaluateCatchupStall() {
+  bool fired = false;
+  std::string detail;
+  for (int r = 0; r < replica_count_; ++r) {
+    const size_t idx = static_cast<size_t>(r);
+    if (recovered_at_[idx] < 0) continue;
+    const RollingWindow* lag_w = store_->gauge(ReplicaGauge(r, "version_lag"));
+    if (lag_w == nullptr || lag_w->empty() ||
+        lag_w->latest_time() <= recovered_at_[idx]) {
+      continue;  // no post-recovery sample yet
+    }
+    const double lag = lag_w->latest();
+    if (lag <= config_.catchup_done_lag) {
+      recovered_at_[idx] = -1;  // converged; disarm
+      continue;
+    }
+    ++catchup_samples_[idx];
+    if (catchup_samples_[idx] <= config_.catchup_grace_samples) {
+      // Within grace: keep the best lag seen as the stall baseline.
+      catchup_baseline_[idx] =
+          catchup_samples_[idx] == 1 ? lag
+                                     : std::min(catchup_baseline_[idx], lag);
+      continue;
+    }
+    if (lag < catchup_baseline_[idx]) {
+      // Still making progress: the baseline ratchets down with it.
+      catchup_baseline_[idx] = lag;
+      catchup_samples_[idx] = config_.catchup_grace_samples + 1;
+      continue;
+    }
+    if (catchup_samples_[idx] >=
+        config_.catchup_grace_samples + config_.catchup_stall_samples) {
+      fired = true;
+      detail = "replica=" + std::to_string(r) + " lag=" + Fmt(lag) +
+               " baseline=" + Fmt(catchup_baseline_[idx]);
+    }
+  }
+  SetFiring(HealthDetector::kCatchupStall, fired, now_, detail);
+}
+
+void HealthMonitor::EvaluateRefreshLoss() {
+  double drop_rate = 0;
+  bool any = false;
+  for (int r = 0; r < replica_count_; ++r) {
+    const std::string name = "net.refresh.r" + std::to_string(r) + ".dropped";
+    if (const RollingWindow* w = store_->rate(name)) {
+      if (!w->empty()) {
+        drop_rate += w->latest();
+        any = true;
+      }
+    }
+  }
+  const bool lossy = any && drop_rate >= config_.refresh_loss_rate;
+  loss_streak_ = lossy ? loss_streak_ + 1 : 0;
+  SetFiring(HealthDetector::kRefreshLoss,
+            loss_streak_ >= config_.refresh_loss_samples, now_,
+            "drops=" + Fmt(drop_rate) + "/s");
+}
+
+void HealthMonitor::SetFiring(HealthDetector detector, bool firing, SimTime at,
+                              const std::string& detail) {
+  const size_t idx = static_cast<size_t>(detector);
+  if (firing && !firing_[idx]) {
+    ++firings_[idx];
+    if (first_fired_at_[idx] < 0) first_fired_at_[idx] = at;
+  }
+  firing_[idx] = firing;
+  if (firing) last_detail_[idx] = detail;
+  detector_gauges_[idx]->Set(firing ? 1 : 0);
+}
+
+void HealthMonitor::OnSample(SimTime at) {
+  now_ = at;
+  buckets_.push_back(current_);
+  current_ = SloBucket{};
+  const size_t keep = static_cast<size_t>(
+      std::max({config_.fast_window, config_.slow_window, 1}));
+  while (buckets_.size() > keep) buckets_.pop_front();
+
+  EvaluateSlo();
+  EvaluateLagDivergence();
+  EvaluateQueueGrowth();
+  EvaluateCreditStarvation();
+  EvaluateCertifierSaturation();
+  EvaluateCatchupStall();
+  EvaluateRefreshLoss();
+
+  // Overall state: worst severity among firing detectors.
+  HealthState next = HealthState::kHealthy;
+  HealthDetector trigger = HealthDetector::kSloFastBurn;
+  bool have_trigger = false;
+  uint16_t mask = 0;
+  for (int d = 0; d < kHealthDetectorCount; ++d) {
+    if (!firing_[static_cast<size_t>(d)]) continue;
+    mask |= static_cast<uint16_t>(1u << d);
+    const HealthState severity =
+        HealthDetectorSeverity(static_cast<HealthDetector>(d));
+    if (!have_trigger || severity > next) {
+      next = severity;
+      trigger = static_cast<HealthDetector>(d);
+      have_trigger = true;
+    }
+  }
+
+  if (next != state_) {
+    HealthTransition tr;
+    tr.at = at;
+    tr.from = state_;
+    tr.to = next;
+    if (have_trigger) {
+      tr.trigger = HealthDetectorName(trigger);
+      tr.detail = last_detail_[static_cast<size_t>(trigger)];
+    }
+    transitions_.push_back(tr);
+    if (event_log_ != nullptr) {
+      Event event;
+      event.kind = EventKind::kHealth;
+      event.at = at;
+      std::string text = std::string(HealthStateName(tr.from)) + "->" +
+                         HealthStateName(tr.to);
+      if (!tr.trigger.empty()) {
+        text += " [" + tr.trigger + "] " + tr.detail;
+      }
+      event.detail = text;
+      event_log_->Append(std::move(event));
+    }
+    state_ = next;
+    worst_state_ = std::max(worst_state_, next);
+  }
+  state_gauge_->Set(static_cast<double>(static_cast<int>(state_)));
+  states_.push_back(static_cast<int8_t>(state_));
+  firing_masks_.push_back(mask);
+}
+
+int64_t HealthMonitor::total_firings() const {
+  int64_t total = 0;
+  for (int64_t f : firings_) total += f;
+  return total;
+}
+
+std::string HealthMonitor::FiredDetectorNames() const {
+  std::string names;
+  for (int d = 0; d < kHealthDetectorCount; ++d) {
+    if (firings_[static_cast<size_t>(d)] == 0) continue;
+    if (!names.empty()) names += ",";
+    names += HealthDetectorName(static_cast<HealthDetector>(d));
+  }
+  return names;
+}
+
+std::string HealthMonitor::Summary() const {
+  std::ostringstream out;
+  out << "state=" << HealthStateName(state_)
+      << " worst=" << HealthStateName(worst_state_)
+      << " transitions=" << transitions_.size()
+      << " firings=" << total_firings();
+  const std::string fired = FiredDetectorNames();
+  if (!fired.empty()) out << " detectors=" << fired;
+  return out.str();
+}
+
+std::string HealthMonitor::ToJson() const {
+  std::ostringstream out;
+  out << "{\"state\":\"" << HealthStateName(state_) << "\",\"worst\":\""
+      << HealthStateName(worst_state_) << "\",\"samples\":" << samples()
+      << ",\"total_firings\":" << total_firings() << ",\"objectives\":{"
+      << "\"p99_objective_ms\":" << Fmt(config_.p99_objective_ms)
+      << ",\"latency_budget\":" << Fmt(config_.latency_budget)
+      << ",\"availability_objective\":"
+      << Fmt(config_.availability_objective) << "},\"detectors\":{";
+  for (int d = 0; d < kHealthDetectorCount; ++d) {
+    const size_t idx = static_cast<size_t>(d);
+    if (d > 0) out << ",";
+    out << "\"" << HealthDetectorName(static_cast<HealthDetector>(d))
+        << "\":{\"firings\":" << firings_[idx] << ",\"firing\":"
+        << (firing_[idx] ? "true" : "false") << ",\"first_fired_at\":"
+        << first_fired_at_[idx];
+    if (!last_detail_[idx].empty()) {
+      out << ",\"detail\":\"" << JsonEscape(last_detail_[idx]) << "\"";
+    }
+    out << "}";
+  }
+  out << "},\"transitions\":[";
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    const HealthTransition& tr = transitions_[i];
+    if (i > 0) out << ",";
+    out << "{\"at\":" << tr.at << ",\"from\":\"" << HealthStateName(tr.from)
+        << "\",\"to\":\"" << HealthStateName(tr.to) << "\",\"trigger\":\""
+        << JsonEscape(tr.trigger) << "\",\"detail\":\""
+        << JsonEscape(tr.detail) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string HealthMonitor::TimelineJson() const {
+  std::ostringstream out;
+  out << "{\"states\":[";
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << static_cast<int>(states_[i]);
+  }
+  out << "],\"detectors\":{";
+  for (int d = 0; d < kHealthDetectorCount; ++d) {
+    if (d > 0) out << ",";
+    out << "\"" << HealthDetectorName(static_cast<HealthDetector>(d))
+        << "\":[";
+    for (size_t i = 0; i < firing_masks_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << ((firing_masks_[i] >> d) & 1u);
+    }
+    out << "]";
+  }
+  out << "},\"transitions\":[";
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    const HealthTransition& tr = transitions_[i];
+    if (i > 0) out << ",";
+    out << "{\"at\":" << tr.at << ",\"from\":" << static_cast<int>(tr.from)
+        << ",\"to\":" << static_cast<int>(tr.to) << ",\"trigger\":\""
+        << JsonEscape(tr.trigger) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace screp::obs

@@ -1,0 +1,268 @@
+// Online health monitor: judges the system's health *while it runs* from
+// the streaming time-series layer (timeseries.h) and the event stream
+// (eventlog.h), with no post-hoc analysis.
+//
+// Two kinds of judgment:
+//
+//  - Declarative SLOs, evaluated as multi-window burn rates in the SRE
+//    style.  The latency SLO says "at most `latency_budget` of requests
+//    may exceed `p99_objective_ms`"; the burn rate is the observed bad
+//    fraction divided by the budget, so burn 1.0 consumes the budget
+//    exactly, and a fast-window burn of 14 means the budget is burning
+//    14x too fast — page now.  The availability SLO treats shed, aborted
+//    and timed-out attempts as downtime: availability = 1 − shed−abort
+//    rate over the slow window.
+//
+//  - Anomaly detectors tuned to this middleware's failure modes, each a
+//    thresholded predicate over rolling windows with a consecutive-sample
+//    debounce: per-replica version-lag divergence vs. the cluster median
+//    (a crashed or partitioned replica stops applying refreshes and falls
+//    behind the survivors), admission-queue growth trend (overload before
+//    shedding starts), refresh-credit starvation (flow control pinned at
+//    zero with fan-out deferred), certifier intake saturation (the global
+//    certification bottleneck backing up), post-crash catch-up stall (a
+//    recovered replica failing to converge), and refresh-link loss (drops
+//    and retransmissions on the refresh stream).
+//
+// Health is the worst severity among the firing signals: healthy →
+// degraded (redundancy or headroom lost, users mostly fine) → critical
+// (user-visible SLO impact).  Every state transition is appended to the
+// event log as a kHealth event naming the triggering detector and the
+// observed values, and the current state plus per-detector firing flags
+// are exported as `health.*` gauges, so the health signal itself becomes
+// a sampled series on the timeline.
+
+#ifndef SCREP_OBS_HEALTH_H_
+#define SCREP_OBS_HEALTH_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "obs/eventlog.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+
+namespace screp::obs {
+
+enum class HealthState { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStateName(HealthState state);
+
+/// The detector catalog.  Order is stable: it indexes the firing bitmask
+/// in the exported timeline.
+enum class HealthDetector {
+  kSloFastBurn = 0,      ///< latency budget burning >= fast threshold
+  kSloSlowBurn,          ///< latency budget burning >= slow threshold
+  kAvailability,         ///< 1 - shed-abort rate below objective
+  kLagDivergence,        ///< replica version lag vs. cluster median
+  kQueueGrowth,          ///< admission queue growing, trend + depth
+  kCreditStarvation,     ///< refresh credits pinned at 0, fan-out deferred
+  kCertifierSaturation,  ///< certifier intake queue at/above bound
+  kCatchupStall,         ///< recovered replica failing to converge
+  kRefreshLoss,          ///< refresh-link drop/retransmission rate
+};
+inline constexpr int kHealthDetectorCount = 9;
+
+const char* HealthDetectorName(HealthDetector detector);
+
+/// Severity a detector reports while firing.
+HealthState HealthDetectorSeverity(HealthDetector detector);
+
+/// Declarative objectives and detector thresholds.  The defaults are
+/// deliberately conservative: clean default-config runs of every bench
+/// driver must stay detector-quiet (enforced by bench/fault_timeline
+/// --health-sweep), while each injected fault class still trips its
+/// detector within a handful of samples.
+struct HealthConfig {
+  // ---- Latency SLO (burn-rate windows) ----
+  /// Response-time objective: at most `latency_budget` of attempts may
+  /// take longer than this.  Sub-second, in the spirit of TPC-W's
+  /// web-interaction response-time thresholds: the slowest clean figure
+  /// workload (eager ordering) must fit with real headroom.
+  double p99_objective_ms = 500.0;
+  /// Tolerated fraction of attempts above the objective (the error
+  /// budget the burn rate is measured against).
+  double latency_budget = 0.01;
+  /// Burn-rate windows, in samples, and their firing thresholds.
+  int fast_window = 4;
+  int slow_window = 24;
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 3.0;
+  /// Windows with fewer attempts than this are not judged (a near-idle
+  /// window would otherwise turn one slow request into a page).
+  int64_t min_attempts = 20;
+
+  // ---- Availability SLO ----
+  /// Objective on 1 - (shed + aborted + timed-out) / attempts over the
+  /// slow window.  Certification aborts count: they consume client
+  /// retries just like sheds do.
+  double availability_objective = 0.80;
+
+  // ---- Anomaly detectors ----
+  /// Replica lag divergence: lag must exceed the cluster median by both
+  /// this many versions and `lag_divergence_factor` x the median, for
+  /// `lag_divergence_samples` consecutive samples.
+  double lag_divergence_min = 200.0;
+  double lag_divergence_factor = 8.0;
+  int lag_divergence_samples = 3;
+  /// Admission-queue growth: queue at least this deep and growing at
+  /// least this fast — trend over the last `queue_growth_window` samples,
+  /// so flat history before a burst does not dilute the ramp — for this
+  /// many consecutive samples.
+  double queue_growth_min_depth = 16.0;
+  double queue_growth_slope = 20.0;  ///< queued requests per second
+  int queue_growth_window = 8;
+  int queue_growth_samples = 3;
+  /// Refresh-credit starvation: a replica's credits at zero while the
+  /// certifier holds deferred fan-out, for this many samples.
+  int credit_starvation_samples = 4;
+  /// Certifier intake saturation: certification CPU queue at or above
+  /// this depth for this many samples.
+  double certifier_queue_critical = 64.0;
+  int certifier_saturation_samples = 3;
+  /// Post-crash catch-up: a recovered replica is converged once its lag
+  /// drops below `catchup_done_lag`.  After `catchup_grace_samples` of
+  /// grace, a further `catchup_stall_samples` samples without the lag
+  /// improving on its post-grace baseline fires the stall detector.
+  double catchup_done_lag = 100.0;
+  int catchup_grace_samples = 4;
+  int catchup_stall_samples = 4;
+  /// Refresh-link loss: administratively or stochastically dropped
+  /// refresh messages per second, summed over replicas.
+  double refresh_loss_rate = 25.0;
+  int refresh_loss_samples = 2;
+};
+
+/// One health-state change.
+struct HealthTransition {
+  SimTime at = 0;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  /// Name of the detector that triggered the change (the most severe
+  /// firing one on upgrades; empty on recovery to healthy).
+  std::string trigger;
+  /// Human-readable observed values behind the trigger.
+  std::string detail;
+};
+
+/// The online monitor.  Subscribe OnEvent to the event log and OnSample
+/// to the sampler (after the time-series store ingested the tick).
+class HealthMonitor {
+ public:
+  HealthMonitor(const HealthConfig& config, int replica_count,
+                const TimeSeriesStore* store, MetricsRegistry* registry,
+                EventLog* event_log);
+
+  /// Event-log sink: accumulates SLO inputs (finished / shed / timed-out
+  /// attempts) and arms the catch-up detector on recovery events.
+  void OnEvent(const Event& event);
+
+  /// Sampler sink: evaluates every SLO and detector against the current
+  /// windows, updates state, and emits transitions.  Call after the
+  /// TimeSeriesStore ingested the same tick.
+  void OnSample(SimTime at);
+
+  HealthState state() const { return state_; }
+  HealthState worst_state() const { return worst_state_; }
+
+  /// True while `detector` is firing.
+  bool firing(HealthDetector detector) const {
+    return firing_[static_cast<size_t>(detector)];
+  }
+  /// Rising edges of `detector` (distinct incidents, not samples).
+  int64_t firings(HealthDetector detector) const {
+    return firings_[static_cast<size_t>(detector)];
+  }
+  /// Rising edges across all detectors; 0 = the run was detector-quiet.
+  int64_t total_firings() const;
+  /// Virtual time `detector` first fired, or -1 if it never did.
+  SimTime first_fired_at(HealthDetector detector) const {
+    return first_fired_at_[static_cast<size_t>(detector)];
+  }
+
+  int64_t samples() const { return static_cast<int64_t>(states_.size()); }
+  const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Names of the detectors that fired at least once, comma-joined.
+  std::string FiredDetectorNames() const;
+
+  /// One-line human verdict.
+  std::string Summary() const;
+
+  /// Full report: objectives, per-detector statistics, transitions.
+  std::string ToJson() const;
+
+  /// Per-sample health track for the timeline dashboard:
+  /// {"states":[0,1,...],"detectors":{name:[0,1,...]},"transitions":[...]}
+  /// — aligned with the sampler's timestamps from the first sample after
+  /// the monitor was attached.
+  std::string TimelineJson() const;
+
+ private:
+  /// Attempt counts accumulated between two samples.
+  struct SloBucket {
+    int64_t attempts = 0;  ///< finished + shed
+    int64_t slow = 0;      ///< finished later than the objective
+    int64_t bad = 0;       ///< shed + aborted + timed out
+  };
+  /// Sum of the most recent `window` buckets.
+  SloBucket WindowTotals(int window) const;
+
+  void EvaluateSlo();
+  void EvaluateLagDivergence();
+  void EvaluateQueueGrowth();
+  void EvaluateCreditStarvation();
+  void EvaluateCertifierSaturation();
+  void EvaluateCatchupStall();
+  void EvaluateRefreshLoss();
+
+  /// Latches the detector's firing flag for this sample, counting rising
+  /// edges and remembering the first trigger description.
+  void SetFiring(HealthDetector detector, bool firing, SimTime at,
+                 const std::string& detail);
+
+  HealthConfig config_;
+  int replica_count_;
+  const TimeSeriesStore* store_;
+  EventLog* event_log_;
+  Gauge* state_gauge_;
+  std::array<Gauge*, kHealthDetectorCount> detector_gauges_{};
+
+  // SLO accumulation.
+  SloBucket current_;
+  std::deque<SloBucket> buckets_;
+
+  // Per-detector state.
+  std::array<bool, kHealthDetectorCount> firing_{};
+  std::array<int64_t, kHealthDetectorCount> firings_{};
+  std::array<SimTime, kHealthDetectorCount> first_fired_at_;
+  std::array<std::string, kHealthDetectorCount> last_detail_;
+  /// Consecutive-sample debounce counters.
+  std::vector<int> lag_streak_;     // per replica
+  std::vector<int> credit_streak_;  // per replica
+  int queue_streak_ = 0;
+  int certifier_streak_ = 0;
+  int loss_streak_ = 0;
+  /// Catch-up tracking, per replica: -1 = disarmed.
+  std::vector<SimTime> recovered_at_;
+  std::vector<int> catchup_samples_;
+  std::vector<double> catchup_baseline_;
+
+  // State machine + timeline.
+  SimTime now_ = 0;
+  HealthState state_ = HealthState::kHealthy;
+  HealthState worst_state_ = HealthState::kHealthy;
+  std::vector<HealthTransition> transitions_;
+  std::vector<int8_t> states_;          // one per sample
+  std::vector<uint16_t> firing_masks_;  // one per sample, bit = detector
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_HEALTH_H_

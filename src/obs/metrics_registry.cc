@@ -98,6 +98,20 @@ double MetricsRegistry::GaugeValue(const std::string& name) const {
   return 0;
 }
 
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second->value();
+  }
+  return 0;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snapshot;
   for (const auto& [name, counter] : counters_) {

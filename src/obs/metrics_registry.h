@@ -89,6 +89,12 @@ class MetricsRegistry {
   /// 0 for unknown names.
   double GaugeValue(const std::string& name) const;
 
+  /// All counter names, sorted — the sampler's delta poll set.
+  std::vector<std::string> CounterNames() const;
+
+  /// Current value of the counter `name`; 0 for unknown names.
+  int64_t CounterValue(const std::string& name) const;
+
   /// Point-in-time values of every instrument.
   struct Snapshot {
     struct HistogramSummary {

@@ -1,5 +1,6 @@
 #include "obs/observability.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/logging.h"
@@ -12,9 +13,14 @@ Observability::Observability(Simulator* sim, const ObsConfig& config)
       tracer_(config.trace_capacity),
       sampler_(sim, &registry_),
       event_log_(config.event_log_capacity) {
+  // The health monitor is driven by sampler ticks; give it a period if
+  // the caller asked for health but left the sampler off.
+  if (config_.health && config_.sample_period == 0) {
+    config_.sample_period = Millis(250);
+  }
   tracer_.set_enabled(config.tracing);
   event_log_.set_enabled(config.event_log || config.audit ||
-                         config.profile);
+                         config.profile || config.health);
   if (config.tracing) {
     // Drops are invisible in the exported trace itself; surface them so a
     // silently truncated trace can be spotted from the metrics.
@@ -42,6 +48,32 @@ void Observability::ConfigureAuditor(bool expect_strong,
   auditor_ = std::make_unique<Auditor>(auditor_config, &registry_);
   event_log_.AddSink(
       [auditor = auditor_.get()](const Event& e) { auditor->OnEvent(e); });
+}
+
+void Observability::ConfigureHealth(int replica_count) {
+  if (!config_.health || health_monitor_ != nullptr) return;
+  // Keep enough window for the slowest consumer: the monitor's slow burn
+  // window plus the trend detectors' lookback.
+  TimeSeriesConfig ts_config;
+  ts_config.window = static_cast<size_t>(
+      std::max({config_.health_config.slow_window + 1, 16, 1}));
+  timeseries_ = std::make_unique<TimeSeriesStore>(ts_config);
+  health_monitor_ = std::make_unique<HealthMonitor>(
+      config_.health_config, replica_count, timeseries_.get(), &registry_,
+      &event_log_);
+  event_log_.AddSink([monitor = health_monitor_.get()](const Event& e) {
+    monitor->OnEvent(e);
+  });
+  // Series store ingests the tick first, then the monitor judges it; sink
+  // order makes that sequencing explicit.
+  sampler_.AddSink([store = timeseries_.get(), monitor =
+                        health_monitor_.get()](
+                       SimTime at, SimTime period,
+                       const std::map<std::string, double>& gauges,
+                       const std::map<std::string, double>& deltas) {
+    store->Ingest(at, period, gauges, deltas);
+    monitor->OnSample(at);
+  });
 }
 
 void Observability::StartSampling() {
@@ -128,6 +160,60 @@ Status Observability::WriteProfileJson(const std::string& path) const {
         "profiling is off (set ObsConfig::profile)");
   }
   return profiler_->WriteJson(path);
+}
+
+Status Observability::WriteHealthJson(const std::string& path) const {
+  if (health_monitor_ == nullptr) {
+    return Status::InvalidArgument(
+        "health monitoring is off (set ObsConfig::health)");
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open health output: " + path);
+  }
+  file << health_monitor_->ToJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string Observability::TimelineJson() const {
+  std::string out = "{\"sampler\":";
+  out += sampler_.ToJson();
+  out += ",\"health\":";
+  out += health_monitor_ != nullptr ? health_monitor_->TimelineJson()
+                                    : "null";
+  out += ",\"faults\":[";
+  bool first = true;
+  for (const Event& event : event_log_.Events()) {
+    if (event.kind != EventKind::kCrash &&
+        event.kind != EventKind::kRecover &&
+        event.kind != EventKind::kFailover) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "{\"kind\":\"" + std::string(EventKindName(event.kind)) +
+           "\",\"at\":" + std::to_string(event.at) + ",\"component\":\"" +
+           JsonEscape(event.detail) + "\"";
+    if (event.replica != kNoReplica) {
+      out += ",\"replica\":" + std::to_string(event.replica);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Observability::WriteTimelineJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open timeline output: " + path);
+  }
+  file << TimelineJson();
+  file.close();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
 }
 
 }  // namespace screp::obs

@@ -16,9 +16,11 @@
 #include "common/status.h"
 #include "obs/auditor.h"
 #include "obs/eventlog.h"
+#include "obs/health.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -44,6 +46,13 @@ struct ObsConfig {
   /// (implies event logging; the trace ring buffer itself stays off
   /// unless `tracing` is also set — the profiler consumes spans live).
   bool profile = false;
+  /// Attach the online health monitor: a streaming time-series store fed
+  /// by the sampler plus SLO/anomaly detectors over it (implies event
+  /// logging, and defaults `sample_period` to 250 ms if unset — the
+  /// monitor is driven by sampler ticks).
+  bool health = false;
+  /// Objectives and detector thresholds for the health monitor.
+  HealthConfig health_config;
 };
 
 /// Bundles the three observability pieces for one system.
@@ -68,6 +77,17 @@ class Observability {
   Profiler* profiler() { return profiler_.get(); }
   const Profiler* profiler() const { return profiler_.get(); }
 
+  /// The online health monitor; null unless the config asked for health
+  /// and ConfigureHealth ran.
+  HealthMonitor* health_monitor() { return health_monitor_.get(); }
+  const HealthMonitor* health_monitor() const {
+    return health_monitor_.get();
+  }
+  /// The streaming windowed series store behind the monitor; null unless
+  /// ConfigureHealth ran.
+  const TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+  bool health_enabled() const { return config_.health; }
+
   /// Creates the auditor and subscribes it to the event log (no-op when
   /// the config did not ask for auditing).  Called by the system at
   /// wiring time, once it knows what the consistency configuration
@@ -75,6 +95,12 @@ class Observability {
   /// everything but bounded staleness, which bounds lag without
   /// consulting session versions).
   void ConfigureAuditor(bool expect_strong, bool expect_session);
+
+  /// Creates the time-series store and health monitor and subscribes them
+  /// to the sampler and the event log (no-op when the config did not ask
+  /// for health).  Called by the system at wiring time, once it knows the
+  /// replica count.
+  void ConfigureHealth(int replica_count);
 
   /// Starts the periodic sampler if the config asked for one.
   void StartSampling();
@@ -100,6 +126,18 @@ class Observability {
   /// Writes the profiler report to `path` (error if profiling is off).
   Status WriteProfileJson(const std::string& path) const;
 
+  /// The health monitor's full report (error text via Status if health
+  /// monitoring is off).
+  Status WriteHealthJson(const std::string& path) const;
+
+  /// Everything a timeline dashboard needs as one JSON object:
+  /// {"sampler":{...},"health":{...}|null,"faults":[{kind,at,component}]}
+  /// — faults are the crash/recover/failover events retained in the log.
+  std::string TimelineJson() const;
+
+  /// Writes TimelineJson() to `path`.
+  Status WriteTimelineJson(const std::string& path) const;
+
   /// The end-of-run audit report as one JSON object:
   /// {"auditor":{...}|null,"staleness":{histogram name:{count,...}}}
   /// — the staleness block pulls every "staleness."-prefixed histogram
@@ -122,6 +160,8 @@ class Observability {
   EventLog event_log_;
   std::unique_ptr<Auditor> auditor_;
   std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<TimeSeriesStore> timeseries_;
+  std::unique_ptr<HealthMonitor> health_monitor_;
 };
 
 }  // namespace screp::obs

@@ -7,6 +7,27 @@
 #include "obs/json.h"
 
 namespace screp::obs {
+namespace {
+
+/// Appends a series under its JSON key, emitting null for the slots from
+/// before the series existed.
+void AppendSeriesJson(std::ostringstream& out, const std::string& name,
+                      const std::vector<double>& values, size_t start) {
+  out << "\"" << JsonEscape(name) << "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ",";
+    if (i < start) {
+      out << "null";
+      continue;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    out << buf;
+  }
+  out << "]";
+}
+
+}  // namespace
 
 Sampler::Sampler(Simulator* sim, MetricsRegistry* registry)
     : sim_(sim), registry_(registry) {}
@@ -22,14 +43,40 @@ void Sampler::Start(SimTime period) {
 void Sampler::Tick() {
   if (!running_) return;
   timestamps_.push_back(sim_->Now());
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> deltas;
   for (const std::string& name : registry_->GaugeNames()) {
     std::vector<double>& values = series_[name];
     // A gauge registered mid-run starts with zeros so every series has
-    // one value per timestamp.
+    // one value per timestamp; series_start_ remembers where the real
+    // values begin (the JSON export nulls the padding).
+    if (values.empty()) series_start_[name] = timestamps_.size() - 1;
     while (values.size() + 1 < timestamps_.size()) values.push_back(0);
-    values.push_back(registry_->GaugeValue(name));
+    const double value = registry_->GaugeValue(name);
+    values.push_back(value);
+    gauges[name] = value;
   }
+  for (const std::string& name : registry_->CounterNames()) {
+    std::vector<double>& values = counter_deltas_[name];
+    if (values.empty()) series_start_[name] = timestamps_.size() - 1;
+    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
+    const int64_t current = registry_->CounterValue(name);
+    const auto prev = counter_prev_.find(name);
+    // The first delta of a counter covers everything it counted so far.
+    const int64_t delta =
+        current - (prev != counter_prev_.end() ? prev->second : 0);
+    counter_prev_[name] = current;
+    values.push_back(static_cast<double>(delta));
+    deltas[name] = static_cast<double>(delta);
+  }
+  const SimTime at = sim_->Now();
+  for (const Sink& sink : sinks_) sink(at, period_, gauges, deltas);
   sim_->Schedule(period_, [this]() { Tick(); });
+}
+
+size_t Sampler::SeriesStart(const std::string& name) const {
+  const auto it = series_start_.find(name);
+  return it != series_start_.end() ? it->second : timestamps_.size();
 }
 
 std::string Sampler::ToJson() const {
@@ -44,14 +91,14 @@ std::string Sampler::ToJson() const {
   for (const auto& [name, values] : series_) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << JsonEscape(name) << "\":[";
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (i > 0) out << ",";
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
-      out << buf;
-    }
-    out << "]";
+    AppendSeriesJson(out, name, values, SeriesStart(name));
+  }
+  out << "},\"counter_deltas\":{";
+  first = true;
+  for (const auto& [name, values] : counter_deltas_) {
+    if (!first) out << ",";
+    first = false;
+    AppendSeriesJson(out, name, values, SeriesStart(name));
   }
   out << "}}";
   return out.str();

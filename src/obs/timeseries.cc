@@ -1,0 +1,137 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace screp::obs {
+
+RollingWindow::RollingWindow(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void RollingWindow::Add(SimTime at, double value) {
+  if (samples_.size() == capacity_) {
+    sum_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+  samples_.emplace_back(at, value);
+  sum_ += value;
+}
+
+double RollingWindow::latest() const {
+  return samples_.empty() ? 0 : samples_.back().second;
+}
+
+SimTime RollingWindow::latest_time() const {
+  return samples_.empty() ? 0 : samples_.back().first;
+}
+
+double RollingWindow::mean() const {
+  return samples_.empty() ? 0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double RollingWindow::min() const {
+  if (samples_.empty()) return 0;
+  double m = samples_.front().second;
+  for (const auto& [at, v] : samples_) m = std::min(m, v);
+  return m;
+}
+
+double RollingWindow::max() const {
+  if (samples_.empty()) return 0;
+  double m = samples_.front().second;
+  for (const auto& [at, v] : samples_) m = std::max(m, v);
+  return m;
+}
+
+double RollingWindow::Percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted;
+  sorted.reserve(samples_.size());
+  for (const auto& [at, v] : samples_) sorted.push_back(v);
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank > 0 ? rank - 1 : 0];
+}
+
+double RollingWindow::SlopePerSec() const {
+  return TailSlopePerSec(samples_.size());
+}
+
+double RollingWindow::TailSlopePerSec(size_t last_n) const {
+  const size_t n_samples = std::min(last_n, samples_.size());
+  if (n_samples < 2) return 0;
+  const size_t first = samples_.size() - n_samples;
+  // Least squares on (t - t0) seconds vs value.
+  const double t0 = static_cast<double>(samples_[first].first);
+  double sum_t = 0, sum_v = 0, sum_tt = 0, sum_tv = 0;
+  for (size_t i = first; i < samples_.size(); ++i) {
+    const auto& [at, v] = samples_[i];
+    const double t = (static_cast<double>(at) - t0) / 1e6;
+    sum_t += t;
+    sum_v += v;
+    sum_tt += t * t;
+    sum_tv += t * v;
+  }
+  const double n = static_cast<double>(n_samples);
+  const double denom = n * sum_tt - sum_t * sum_t;
+  if (denom == 0) return 0;  // all samples at the same instant
+  return (n * sum_tv - sum_t * sum_v) / denom;
+}
+
+TimeSeriesStore::TimeSeriesStore(const TimeSeriesConfig& config)
+    : config_(config) {
+  SCREP_CHECK_MSG(config.window > 0, "time-series window must be positive");
+}
+
+void TimeSeriesStore::Ingest(
+    SimTime at, SimTime period, const std::map<std::string, double>& gauges,
+    const std::map<std::string, double>& counter_deltas) {
+  ++samples_;
+  last_sample_at_ = at;
+  for (const auto& [name, value] : gauges) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, RollingWindow(config_.window)).first;
+    }
+    it->second.Add(at, value);
+  }
+  const double period_s = period > 0 ? ToSeconds(period) : 1.0;
+  for (const auto& [name, delta] : counter_deltas) {
+    auto it = rates_.find(name);
+    if (it == rates_.end()) {
+      it = rates_.emplace(name, RollingWindow(config_.window)).first;
+    }
+    it->second.Add(at, delta / period_s);
+  }
+}
+
+const RollingWindow* TimeSeriesStore::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const RollingWindow* TimeSeriesStore::rate(const std::string& name) const {
+  const auto it = rates_.find(name);
+  return it != rates_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> TimeSeriesStore::GaugeNames() const {
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, window] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> TimeSeriesStore::RateNames() const {
+  std::vector<std::string> names;
+  names.reserve(rates_.size());
+  for (const auto& [name, window] : rates_) names.push_back(name);
+  return names;
+}
+
+}  // namespace screp::obs

@@ -1,0 +1,114 @@
+// Streaming windowed time-series layer on top of the Sampler: one
+// fixed-capacity rolling window per gauge series and per counter *rate*
+// series (per-period deltas divided by the sample period, so TPS / shed /
+// abort / retransmit rates are first-class signals).
+//
+// Each window answers the questions an online health monitor asks of a
+// signal — latest value, windowed mean/min/max, percentile, and the
+// least-squares trend (rate of change per second) — without retaining the
+// full run history.  The store is fed by a Sampler sink; nothing here
+// schedules events or perturbs virtual time.
+
+#ifndef SCREP_OBS_TIMESERIES_H_
+#define SCREP_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace screp::obs {
+
+/// The most recent `capacity` samples of one series, with summary
+/// statistics over exactly those samples.
+class RollingWindow {
+ public:
+  explicit RollingWindow(size_t capacity);
+
+  /// Appends one sample, evicting the oldest past capacity.
+  void Add(SimTime at, double value);
+
+  size_t count() const { return samples_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Most recent value / its timestamp (0 when empty).
+  double latest() const;
+  SimTime latest_time() const;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Value at quantile q in [0, 1] over the window (nearest-rank on the
+  /// sorted window; exact, since windows are small by construction).
+  double Percentile(double q) const;
+
+  /// Least-squares slope of value over time, in value units per second;
+  /// 0 with fewer than two samples or zero time spread.
+  double SlopePerSec() const;
+
+  /// Same, restricted to the most recent `last_n` samples — the trend on
+  /// a shorter timescale than the full window (detectors use this so a
+  /// long flat history does not dilute a fresh ramp).
+  double TailSlopePerSec(size_t last_n) const;
+
+  /// Samples oldest-first (for tests and exports).
+  const std::deque<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<std::pair<SimTime, double>> samples_;
+  double sum_ = 0;
+};
+
+/// How much history each series keeps.
+struct TimeSeriesConfig {
+  /// Samples retained per series (windows larger than any consumer's
+  /// lookback).
+  size_t window = 64;
+};
+
+/// The live windowed view over everything the sampler polls.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(const TimeSeriesConfig& config);
+
+  /// Ingests one sampling tick: current gauge readings plus per-period
+  /// counter deltas (converted to per-second rates).  Matches the
+  /// Sampler::Sink signature.
+  void Ingest(SimTime at, SimTime period,
+              const std::map<std::string, double>& gauges,
+              const std::map<std::string, double>& counter_deltas);
+
+  /// Ticks ingested so far.
+  size_t samples() const { return samples_; }
+  SimTime last_sample_at() const { return last_sample_at_; }
+
+  /// Rolling window of gauge `name`; nullptr when the series has never
+  /// appeared (distinct from a window of zeros).
+  const RollingWindow* gauge(const std::string& name) const;
+
+  /// Rolling window of the per-second rate of counter `name`; nullptr
+  /// when the counter has never appeared.
+  const RollingWindow* rate(const std::string& name) const;
+
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> RateNames() const;
+
+ private:
+  TimeSeriesConfig config_;
+  size_t samples_ = 0;
+  SimTime last_sample_at_ = 0;
+  std::map<std::string, RollingWindow> gauges_;
+  std::map<std::string, RollingWindow> rates_;
+};
+
+}  // namespace screp::obs
+
+#endif  // SCREP_OBS_TIMESERIES_H_

@@ -89,6 +89,7 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   system->obs_->ConfigureAuditor(
       ProvidesStrongConsistency(config.level),
       config.level != ConsistencyLevel::kBoundedStaleness);
+  system->obs_->ConfigureHealth(config.replica_count);
   system->RegisterGauges();
   system->obs_->StartSampling();
   if (config.gc_interval > 0) system->ScheduleGc();

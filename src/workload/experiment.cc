@@ -23,6 +23,16 @@ std::string AuditSummary::ToString() const {
   return out.str();
 }
 
+std::string HealthSummary::ToString() const {
+  if (!enabled) return "health: off";
+  std::ostringstream out;
+  out << "health: " << final_state << " (worst " << worst_state << ", "
+      << transitions << " transition(s), " << firings << " firing(s)";
+  if (!detectors.empty()) out << ": " << detectors;
+  out << ")";
+  return out.str();
+}
+
 std::string ExperimentResult::Header() {
   return "config  repl cli |    TPS  resp(ms) p99(ms) syncd(ms) | "
          "version queries certify    sync  commit  global | "
@@ -92,6 +102,16 @@ std::string ExperimentResult::ToJson() const {
   // Omitted entirely (not null) when off: profile-off BENCH JSON is
   // byte-identical to output from before the profiler existed.
   if (profile.enabled) out << ",\"profile\":" << profile.json;
+  // Likewise for health: off-runs carry no "health" member at all.
+  if (health.enabled) {
+    out << ",\"health\":{\"state\":\"" << obs::JsonEscape(health.final_state)
+        << "\",\"worst\":\"" << obs::JsonEscape(health.worst_state)
+        << "\",\"transitions\":" << health.transitions
+        << ",\"firings\":" << health.firings << ",\"detectors\":\""
+        << obs::JsonEscape(health.detectors)
+        << "\",\"first_transition_at\":" << health.first_transition_at
+        << "}";
+  }
   out << "}";
   return out.str();
 }
@@ -111,6 +131,10 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   }
   if (config.profile || !config.profile_json_path.empty()) {
     system_config.obs.profile = true;
+  }
+  if (config.health || !config.health_json_path.empty() ||
+      !config.timeline_json_path.empty()) {
+    system_config.obs.health = true;
   }
   SCREP_ASSIGN_OR_RETURN(
       auto system,
@@ -197,6 +221,14 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   if (!config.metrics_prom_path.empty()) {
     SCREP_RETURN_NOT_OK(
         system->obs()->WriteMetricsProm(config.metrics_prom_path));
+  }
+  if (!config.health_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteHealthJson(config.health_json_path));
+  }
+  if (!config.timeline_json_path.empty()) {
+    SCREP_RETURN_NOT_OK(
+        system->obs()->WriteTimelineJson(config.timeline_json_path));
   }
 
   ExperimentResult result;
@@ -285,6 +317,19 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
           profiler->MeanSegmentMs(static_cast<obs::ProfileSegment>(s));
     }
     result.profile.json = profiler->ToJson();
+  }
+
+  if (const obs::HealthMonitor* monitor = system->obs()->health_monitor()) {
+    result.health.enabled = true;
+    result.health.final_state = obs::HealthStateName(monitor->state());
+    result.health.worst_state = obs::HealthStateName(monitor->worst_state());
+    result.health.transitions =
+        static_cast<int64_t>(monitor->transitions().size());
+    result.health.firings = monitor->total_firings();
+    result.health.detectors = monitor->FiredDetectorNames();
+    result.health.first_transition_at =
+        monitor->transitions().empty() ? -1
+                                       : monitor->transitions().front().at;
   }
   return result;
 }

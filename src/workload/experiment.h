@@ -64,6 +64,16 @@ struct ExperimentConfig {
   /// When non-empty, the end-of-run metrics-registry snapshot is written
   /// here in Prometheus text exposition format.
   std::string metrics_prom_path;
+  /// Turns on the online health monitor for this run
+  /// (ExperimentResult::health then carries the verdict).
+  bool health = false;
+  /// When non-empty, the health monitor's full JSON report is written
+  /// here after the run (implies `health`).
+  std::string health_json_path;
+  /// When non-empty, the timeline bundle (sampled series + health track +
+  /// fault markers) is written here as JSON (implies `health`) — the
+  /// input to tools/render_timeline.py.
+  std::string timeline_json_path;
 };
 
 /// The online auditor's end-of-run verdict plus the staleness
@@ -103,6 +113,26 @@ struct ProfileSummary {
   std::array<double, obs::kProfileSegmentCount> segment_mean_ms{};
   /// The profiler's full JSON report (segments, percentiles, bands).
   std::string json;
+};
+
+/// The online health monitor's end-of-run verdict, as carried in
+/// ExperimentResult (disabled unless the run monitored health).
+struct HealthSummary {
+  bool enabled = false;
+  /// Final / worst health state name ("healthy" / "degraded" /
+  /// "critical").
+  std::string final_state = "healthy";
+  std::string worst_state = "healthy";
+  int64_t transitions = 0;
+  /// Rising-edge detector firings across the run (0 = detector-quiet).
+  int64_t firings = 0;
+  /// Comma-joined names of the detectors that fired (empty when quiet).
+  std::string detectors;
+  /// Virtual time (us) of the first departure from healthy (-1 = never).
+  SimTime first_transition_at = -1;
+
+  /// One-line human summary.
+  std::string ToString() const;
 };
 
 /// Aggregates of one run (times in ms, throughput in TPS).
@@ -149,6 +179,10 @@ struct ExperimentResult {
   /// Critical-path breakdown (disabled unless ExperimentConfig::profile;
   /// carried in ToJson() only — ToLine() stays byte-identical).
   ProfileSummary profile;
+
+  /// Online health verdict (disabled unless ExperimentConfig::health;
+  /// carried in ToJson() only — ToLine() stays byte-identical).
+  HealthSummary health;
 
   /// One fixed-width report line; see ResultHeader() for the columns.
   /// (Audit results are NOT part of the line: audit-off output is

@@ -1,0 +1,144 @@
+// End-to-end health-monitor tests: clean runs at every consistency level
+// stay detector-quiet, an injected crash trips the lag-divergence
+// detector within a bounded number of samples, the health/timeline JSON
+// exports are well-formed, and turning the monitor off leaves the result
+// JSON without a "health" key (byte-identity with pre-monitor output).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig ShortRun(ConsistencyLevel level, int replicas,
+                          int clients) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.client_count = clients;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(4);
+  config.seed = 7;
+  return config;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(HealthIntegrationTest, AllLevelsStayDetectorQuiet) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  for (ConsistencyLevel level : kAllConsistencyLevels) {
+    ExperimentConfig config = ShortRun(level, 4, 8);
+    config.health = true;
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->health.enabled) << ConsistencyLevelName(level);
+    EXPECT_EQ(result->health.firings, 0)
+        << ConsistencyLevelName(level) << " fired "
+        << result->health.detectors;
+    EXPECT_EQ(result->health.final_state, "healthy");
+    EXPECT_EQ(result->health.worst_state, "healthy");
+    EXPECT_EQ(result->health.transitions, 0);
+    EXPECT_EQ(result->health.first_transition_at, -1);
+  }
+}
+
+TEST(HealthIntegrationTest, CrashTripsLagDivergenceWithinBound) {
+  const MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config =
+      ShortRun(ConsistencyLevel::kLazyCoarse, 4, 16);
+  config.duration = Seconds(8);
+  config.health = true;
+  config.faults.push_back(FaultEvent{.replica = 1, .crash_at = Seconds(2)});
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->health.enabled);
+  EXPECT_GT(result->health.firings, 0);
+  EXPECT_NE(result->health.detectors.find("lag_divergence"),
+            std::string::npos)
+      << "fired: " << result->health.detectors;
+  EXPECT_EQ(result->health.worst_state, "degraded");
+  // Fires within 16 sampling periods (4 s at the default 250 ms) of the
+  // crash — measured from the *run* start, which precedes the crash.
+  ASSERT_GE(result->health.first_transition_at, 0);
+  EXPECT_LE(result->health.first_transition_at,
+            config.warmup + Seconds(2) + 16 * Millis(250));
+}
+
+TEST(HealthIntegrationTest, HealthAndTimelineJsonAreWellFormed) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 4, 8);
+  config.health_json_path = testing::TempDir() + "/health.json";
+  config.timeline_json_path = testing::TempDir() + "/timeline.json";
+  config.faults.push_back(FaultEvent{
+      .replica = 2, .crash_at = Seconds(1), .recover_at = Seconds(2)});
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The paths imply health monitoring even without config.health.
+  EXPECT_TRUE(result->health.enabled);
+
+  auto health = obs::JsonValue::Parse(
+      ReadFileOrDie(config.health_json_path));
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_NE(health->Find("state"), nullptr);
+  EXPECT_NE(health->Find("detectors")->Find("lag_divergence"), nullptr);
+
+  auto timeline = obs::JsonValue::Parse(
+      ReadFileOrDie(config.timeline_json_path));
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  // The bundle carries the sampled series, the health track, and the
+  // injected fault markers (one crash + one recovery here).
+  EXPECT_NE(timeline->Find("sampler"), nullptr);
+  EXPECT_NE(timeline->Find("health")->Find("states"), nullptr);
+  const auto& fault_markers = timeline->Find("faults")->array();
+  ASSERT_EQ(fault_markers.size(), 2u);
+  EXPECT_EQ(fault_markers[0].Find("kind")->str(), "crash");
+  EXPECT_EQ(fault_markers[1].Find("kind")->str(), "recover");
+}
+
+TEST(HealthIntegrationTest, ResultJsonOmitsHealthWhenOff) {
+  const MicroWorkload workload(SmallMicro(0.25));
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kLazyCoarse, 4, 8);
+  auto off = RunExperiment(workload, config);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_FALSE(off->health.enabled);
+  EXPECT_EQ(off->ToJson().find("\"health\""), std::string::npos);
+
+  config.health = true;
+  auto on = RunExperiment(workload, config);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  auto parsed = obs::JsonValue::Parse(on->ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_NE(parsed->Find("health"), nullptr);
+  EXPECT_EQ(parsed->Find("health")->Find("state")->str(), "healthy");
+
+  // Monitoring must not perturb the simulation: the measured aggregates
+  // are bit-identical with and without the monitor attached.
+  EXPECT_EQ(off->throughput_tps, on->throughput_tps);
+  EXPECT_EQ(off->mean_response_ms, on->mean_response_ms);
+  EXPECT_EQ(off->committed, on->committed);
+  EXPECT_EQ(off->cert_aborts, on->cert_aborts);
+  EXPECT_EQ(off->ToLine(), on->ToLine());
+}
+
+}  // namespace
+}  // namespace screp

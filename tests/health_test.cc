@@ -1,0 +1,397 @@
+// Unit tests for the online health monitor: each detector is driven with
+// synthetic time-series samples and events (no simulator), checking that
+// it fires on its failure signature, stays quiet on healthy input, and
+// that state transitions reach the event log as kHealth events.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/sim_time.h"
+#include "obs/eventlog.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+
+namespace screp::obs {
+namespace {
+
+constexpr SimTime kPeriod = Millis(250);
+
+/// Drives a store + monitor pair with synthetic samples: a tiny harness
+/// standing in for the Sampler.
+class HealthHarness {
+ public:
+  explicit HealthHarness(const HealthConfig& config, int replicas = 4)
+      : store_(TimeSeriesConfig{.window = 64}),
+        log_(1024),
+        monitor_(config, replicas, &store_, &registry_, &log_) {
+    log_.set_enabled(true);
+    log_.AddSink([this](const Event& e) { monitor_.OnEvent(e); });
+  }
+
+  /// One sampling tick at the next period boundary.
+  void Tick(const std::map<std::string, double>& gauges,
+            const std::map<std::string, double>& counter_deltas = {}) {
+    now_ += kPeriod;
+    store_.Ingest(now_, kPeriod, gauges, counter_deltas);
+    monitor_.OnSample(now_);
+  }
+
+  /// A finished attempt `ms` milliseconds after submit.
+  void Finish(double ms, bool committed = true) {
+    Event e;
+    e.kind = EventKind::kTxnFinished;
+    e.at = now_ + Millis(1);
+    e.submit_time = e.at - Millis(ms);
+    e.committed = committed;
+    log_.Append(std::move(e));
+  }
+
+  void Shed() {
+    Event e;
+    e.kind = EventKind::kShed;
+    e.at = now_ + Millis(1);
+    e.detail = "lb";
+    log_.Append(std::move(e));
+  }
+
+  void Timeout() {
+    Event e;
+    e.kind = EventKind::kTimeout;
+    e.at = now_ + Millis(1);
+    log_.Append(std::move(e));
+  }
+
+  void Recover(int replica) {
+    Event e;
+    e.kind = EventKind::kRecover;
+    e.at = now_ + Millis(1);
+    e.replica = replica;
+    e.detail = "replica";
+    log_.Append(std::move(e));
+  }
+
+  SimTime now() const { return now_; }
+  HealthMonitor& monitor() { return monitor_; }
+  EventLog& log() { return log_; }
+  MetricsRegistry& registry() { return registry_; }
+
+ private:
+  SimTime now_ = 0;
+  MetricsRegistry registry_;
+  TimeSeriesStore store_;
+  EventLog log_;
+  HealthMonitor monitor_;
+};
+
+/// Healthy per-replica gauges for an N-replica cluster.
+std::map<std::string, double> HealthyGauges(int replicas) {
+  std::map<std::string, double> g;
+  for (int r = 0; r < replicas; ++r) {
+    const std::string prefix = "replica" + std::to_string(r) + ".";
+    g[prefix + "version_lag"] = 2;
+    g[prefix + "refresh_credits"] = 32;
+  }
+  g["lb.admission_queue"] = 0;
+  g["certifier.queue_depth"] = 1;
+  g["certifier.deferred_refresh"] = 0;
+  return g;
+}
+
+TEST(HealthMonitorTest, StaysHealthyOnQuietInput) {
+  HealthHarness h{HealthConfig{}};
+  for (int i = 0; i < 40; ++i) {
+    for (int a = 0; a < 10; ++a) h.Finish(20.0);
+    h.Tick(HealthyGauges(4));
+  }
+  EXPECT_EQ(h.monitor().state(), HealthState::kHealthy);
+  EXPECT_EQ(h.monitor().worst_state(), HealthState::kHealthy);
+  EXPECT_EQ(h.monitor().total_firings(), 0);
+  EXPECT_TRUE(h.monitor().transitions().empty());
+  EXPECT_EQ(h.monitor().FiredDetectorNames(), "");
+}
+
+TEST(HealthMonitorTest, SlowBurnFiresWhenBudgetBurnsSlowly) {
+  HealthConfig config;
+  config.min_attempts = 10;
+  HealthHarness h{config};
+  // 5% of attempts above the objective = 5x the 1% budget: above the
+  // slow threshold (3) but nowhere near the fast one (14).
+  for (int i = 0; i < config.slow_window + 2; ++i) {
+    for (int a = 0; a < 19; ++a) h.Finish(20.0);
+    h.Finish(900.0);
+    h.Tick(HealthyGauges(4));
+  }
+  EXPECT_GE(h.monitor().firings(HealthDetector::kSloSlowBurn), 1);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kSloFastBurn), 0);
+  EXPECT_EQ(h.monitor().state(), HealthState::kDegraded);
+}
+
+TEST(HealthMonitorTest, FastBurnRequiresSlowWindowAgreement) {
+  HealthConfig config;
+  config.min_attempts = 10;
+  HealthHarness h{config};
+  // Long healthy run, then one terrible sample: the fast window burns but
+  // the slow window dilutes it below its threshold => no fast-burn page.
+  for (int i = 0; i < config.slow_window; ++i) {
+    for (int a = 0; a < 20; ++a) h.Finish(20.0);
+    h.Tick(HealthyGauges(4));
+  }
+  for (int a = 0; a < 20; ++a) h.Finish(900.0);
+  h.Tick(HealthyGauges(4));
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kSloFastBurn), 0);
+
+  // Sustained badness: both windows agree and the page fires (critical).
+  for (int i = 0; i < config.slow_window; ++i) {
+    for (int a = 0; a < 20; ++a) h.Finish(900.0);
+    h.Tick(HealthyGauges(4));
+  }
+  EXPECT_GE(h.monitor().firings(HealthDetector::kSloFastBurn), 1);
+  EXPECT_EQ(h.monitor().worst_state(), HealthState::kCritical);
+}
+
+TEST(HealthMonitorTest, NearIdleWindowsAreNotJudged) {
+  HealthConfig config;
+  config.min_attempts = 30;
+  HealthHarness h{config};
+  // One slow attempt per sample — awful ratio, but even the slow window
+  // (24 samples) never accumulates min_attempts, so neither is judged.
+  for (int i = 0; i < config.slow_window + 2; ++i) {
+    h.Finish(900.0);
+    h.Tick(HealthyGauges(4));
+  }
+  EXPECT_EQ(h.monitor().total_firings(), 0);
+}
+
+TEST(HealthMonitorTest, AvailabilityCountsShedsTimeoutsAndAborts) {
+  HealthConfig config;
+  config.min_attempts = 10;
+  HealthHarness h{config};
+  // 60% of attempts shed / timed out / aborted: availability 0.4 is far
+  // below the 0.80 objective.
+  for (int i = 0; i < config.slow_window + 2; ++i) {
+    for (int a = 0; a < 4; ++a) h.Finish(20.0);
+    for (int a = 0; a < 3; ++a) h.Shed();
+    h.Timeout();
+    for (int a = 0; a < 2; ++a) h.Finish(20.0, /*committed=*/false);
+    h.Tick(HealthyGauges(4));
+  }
+  EXPECT_GE(h.monitor().firings(HealthDetector::kAvailability), 1);
+  EXPECT_EQ(h.monitor().worst_state(), HealthState::kCritical);
+}
+
+TEST(HealthMonitorTest, LagDivergenceNeedsConsecutiveSamples) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  gauges["replica1.version_lag"] = 5000;  // >> median 2, > min, > factor
+  for (int i = 0; i < config.lag_divergence_samples - 1; ++i) {
+    h.Tick(gauges);
+  }
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kLagDivergence), 0);
+  h.Tick(gauges);  // the debounce threshold-th consecutive sample
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kLagDivergence), 1);
+  EXPECT_TRUE(h.monitor().firing(HealthDetector::kLagDivergence));
+  EXPECT_EQ(h.monitor().state(), HealthState::kDegraded);
+
+  // Lag back to normal: the detector clears and health recovers.
+  h.Tick(HealthyGauges(4));
+  EXPECT_FALSE(h.monitor().firing(HealthDetector::kLagDivergence));
+  EXPECT_EQ(h.monitor().state(), HealthState::kHealthy);
+  EXPECT_EQ(h.monitor().worst_state(), HealthState::kDegraded);
+}
+
+TEST(HealthMonitorTest, UniformLagIsNotDivergence) {
+  HealthConfig config;
+  HealthHarness h{config};
+  // Every replica equally behind (e.g. update-heavy phase): lag is high
+  // but the *cluster median* is too, so nobody diverges.
+  auto gauges = HealthyGauges(4);
+  for (int r = 0; r < 4; ++r) {
+    gauges["replica" + std::to_string(r) + ".version_lag"] = 5000;
+  }
+  for (int i = 0; i < 10; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kLagDivergence), 0);
+}
+
+TEST(HealthMonitorTest, QueueGrowthFiresOnRampNotOnFlatDepth) {
+  HealthConfig config;
+  HealthHarness h{config};
+  // Deep but flat queue: no growth, no firing.
+  auto gauges = HealthyGauges(4);
+  gauges["lb.admission_queue"] = 100;
+  for (int i = 0; i < 10; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kQueueGrowth), 0);
+
+  // Ramp at 40 requests/second: fires after the debounce.
+  double depth = 100;
+  for (int i = 0; i < config.queue_growth_window +
+                          config.queue_growth_samples; ++i) {
+    depth += 40 * ToSeconds(kPeriod);
+    gauges["lb.admission_queue"] = depth;
+    h.Tick(gauges);
+  }
+  EXPECT_GE(h.monitor().firings(HealthDetector::kQueueGrowth), 1);
+}
+
+TEST(HealthMonitorTest, CreditStarvationNeedsZeroCreditsAndBacklog) {
+  HealthConfig config;
+  HealthHarness h{config};
+  // Zero credits but no deferred fan-out: not starvation (e.g. idle).
+  auto gauges = HealthyGauges(4);
+  gauges["replica2.refresh_credits"] = 0;
+  for (int i = 0; i < 10; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCreditStarvation), 0);
+
+  // Zero credits while the certifier holds deferred refreshes: fires
+  // after the debounce.
+  gauges["certifier.deferred_refresh"] = 12;
+  for (int i = 0; i < config.credit_starvation_samples; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCreditStarvation), 1);
+}
+
+TEST(HealthMonitorTest, CertifierSaturationFiresAtCriticalDepth) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  gauges["certifier.queue_depth"] = config.certifier_queue_critical - 1;
+  for (int i = 0; i < 10; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCertifierSaturation), 0);
+
+  gauges["certifier.queue_depth"] = config.certifier_queue_critical;
+  for (int i = 0; i < config.certifier_saturation_samples; ++i) {
+    h.Tick(gauges);
+  }
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCertifierSaturation), 1);
+}
+
+TEST(HealthMonitorTest, CatchupStallFiresWhenRecoveredReplicaStopsGaining) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  h.Tick(gauges);
+  h.Recover(1);
+  // Post-recovery lag stuck way above the done threshold, never
+  // improving: grace passes, then the stall countdown fires.
+  gauges["replica1.version_lag"] = 4000;
+  for (int i = 0;
+       i < config.catchup_grace_samples + config.catchup_stall_samples;
+       ++i) {
+    h.Tick(gauges);
+  }
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCatchupStall), 1);
+}
+
+TEST(HealthMonitorTest, CatchupProgressDisarmsTheStallDetector) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  h.Tick(gauges);
+  h.Recover(1);
+  // Lag halves every sample: steady progress, then convergence below the
+  // done threshold — never a stall.
+  double lag = 4000;
+  for (int i = 0; i < 12; ++i) {
+    gauges["replica1.version_lag"] = lag;
+    h.Tick(gauges);
+    lag /= 2;
+  }
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kCatchupStall), 0);
+}
+
+TEST(HealthMonitorTest, RefreshLossSumsDropRatesAcrossReplicas) {
+  HealthConfig config;
+  HealthHarness h{config};
+  const auto gauges = HealthyGauges(4);
+  // 4 drops per replica per 250 ms tick = 16/s per replica, 48/s summed
+  // over the three lossy links: above the 25/s threshold.
+  const std::map<std::string, double> drops = {
+      {"net.refresh.r1.dropped", 4},
+      {"net.refresh.r2.dropped", 4},
+      {"net.refresh.r3.dropped", 4},
+  };
+  for (int i = 0; i < config.refresh_loss_samples; ++i) h.Tick(gauges, drops);
+  EXPECT_EQ(h.monitor().firings(HealthDetector::kRefreshLoss), 1);
+
+  // A trickle (one drop per tick on one link = 4/s) stays quiet.
+  HealthHarness quiet{config};
+  for (int i = 0; i < 10; ++i) {
+    quiet.Tick(gauges, {{"net.refresh.r1.dropped", 1}});
+  }
+  EXPECT_EQ(quiet.monitor().firings(HealthDetector::kRefreshLoss), 0);
+}
+
+TEST(HealthMonitorTest, TransitionsAreLoggedAsHealthEventsWithoutReentry) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  gauges["replica3.version_lag"] = 9000;
+  for (int i = 0; i < config.lag_divergence_samples; ++i) h.Tick(gauges);
+  h.Tick(HealthyGauges(4));  // recover
+
+  ASSERT_EQ(h.monitor().transitions().size(), 2u);
+  const HealthTransition& up = h.monitor().transitions()[0];
+  EXPECT_EQ(up.from, HealthState::kHealthy);
+  EXPECT_EQ(up.to, HealthState::kDegraded);
+  EXPECT_EQ(up.trigger, "lag_divergence");
+  const HealthTransition& down = h.monitor().transitions()[1];
+  EXPECT_EQ(down.to, HealthState::kHealthy);
+  EXPECT_TRUE(down.trigger.empty());
+
+  int health_events = 0;
+  for (const Event& e : h.log().Events()) {
+    if (e.kind == EventKind::kHealth) {
+      ++health_events;
+      EXPECT_NE(e.detail.find("->"), std::string::npos);
+    }
+  }
+  // The monitor is itself a log sink; kHealth events must not feed back
+  // into the SLO accounting (which would double-count or recurse).
+  EXPECT_EQ(health_events, 2);
+}
+
+TEST(HealthMonitorTest, GaugesExposeStateAndFiringFlags) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  gauges["replica1.version_lag"] = 9000;
+  for (int i = 0; i < config.lag_divergence_samples; ++i) h.Tick(gauges);
+  EXPECT_EQ(h.registry().GetGauge("health.state")->value(), 1.0);
+  EXPECT_EQ(h.registry().GetGauge("health.lag_divergence")->value(), 1.0);
+  EXPECT_EQ(h.registry().GetGauge("health.queue_growth")->value(), 0.0);
+}
+
+TEST(HealthMonitorTest, JsonReportsParseAndCarryTheCatalog) {
+  HealthConfig config;
+  HealthHarness h{config};
+  auto gauges = HealthyGauges(4);
+  gauges["replica1.version_lag"] = 9000;
+  for (int i = 0; i < config.lag_divergence_samples; ++i) h.Tick(gauges);
+
+  Result<JsonValue> report = JsonValue::Parse(h.monitor().ToJson());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->Find("state")->str(), "degraded");
+  EXPECT_EQ(report->Find("worst")->str(), "degraded");
+  const JsonValue* detectors = report->Find("detectors");
+  ASSERT_NE(detectors, nullptr);
+  EXPECT_EQ(detectors->Find("lag_divergence")->Find("firings")->number(), 1);
+  EXPECT_EQ(detectors->Find("refresh_loss")->Find("firings")->number(), 0);
+  ASSERT_EQ(report->Find("transitions")->array().size(), 1u);
+
+  Result<JsonValue> timeline = JsonValue::Parse(h.monitor().TimelineJson());
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  const auto& states = timeline->Find("states")->array();
+  ASSERT_EQ(states.size(),
+            static_cast<size_t>(h.monitor().samples()));
+  EXPECT_EQ(states.back().number(), 1);  // degraded at the end
+  const auto& lag_track =
+      timeline->Find("detectors")->Find("lag_divergence")->array();
+  ASSERT_EQ(lag_track.size(), states.size());
+  EXPECT_EQ(lag_track.back().number(), 1);
+}
+
+}  // namespace
+}  // namespace screp::obs

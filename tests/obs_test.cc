@@ -231,6 +231,38 @@ TEST(SamplerTest, LateRegisteredGaugesAreZeroPaddedIntoAlignment) {
   EXPECT_DOUBLE_EQ(early[0], 1.0);
 }
 
+TEST(SamplerTest, JsonExportNullsPaddingAndCarriesCounterDeltas) {
+  Simulator sim;
+  MetricsRegistry registry;
+  Counter* certified = registry.GetCounter("certified");
+  certified->Increment(3);
+  Sampler sampler(&sim, &registry);
+  sampler.Start(Millis(10));
+  sim.Schedule(Millis(12), [certified]() { certified->Increment(4); });
+  sim.Schedule(Millis(15), [&registry]() {
+    registry.RegisterCallbackGauge("late", []() { return 9.0; });
+  });
+  sim.Schedule(Millis(25), [&sampler]() { sampler.Stop(); });
+  sim.RunAll();
+
+  Result<JsonValue> doc = JsonValue::Parse(sampler.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // The in-memory series zero-pads the slot before "late" existed; the
+  // JSON export must emit null there so a dashboard can tell "not yet
+  // registered" apart from a real zero.
+  const auto& late = doc->Find("series")->Find("late")->array();
+  ASSERT_EQ(late.size(), 2u);
+  EXPECT_EQ(late[0].kind(), JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(late[1].number(), 9.0);
+  EXPECT_EQ(sampler.SeriesStart("late"), 1u);
+  // Counters export per-period deltas: 3 before the first poll, then 4.
+  const auto& deltas =
+      doc->Find("counter_deltas")->Find("certified")->array();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(deltas[0].number(), 3);
+  EXPECT_DOUBLE_EQ(deltas[1].number(), 4);
+}
+
 TEST(ObservabilityTest, MetricsJsonBundlesRegistryAndSampler) {
   Simulator sim;
   ObsConfig config;

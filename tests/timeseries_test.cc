@@ -1,0 +1,140 @@
+// Unit tests for the streaming time-series layer: RollingWindow summary
+// statistics (mean/min/max, nearest-rank percentile, least-squares slope,
+// eviction at capacity) and TimeSeriesStore ingestion (gauge windows,
+// counter deltas converted to per-second rates, absent series).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/sim_time.h"
+#include "obs/timeseries.h"
+
+namespace screp::obs {
+namespace {
+
+TEST(RollingWindowTest, EmptyWindowIsInert) {
+  RollingWindow w(4);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.latest(), 0.0);
+  EXPECT_EQ(w.latest_time(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.min(), 0.0);
+  EXPECT_EQ(w.max(), 0.0);
+  EXPECT_EQ(w.Percentile(0.99), 0.0);
+  EXPECT_EQ(w.SlopePerSec(), 0.0);
+}
+
+TEST(RollingWindowTest, SummariesCoverExactlyTheWindow) {
+  RollingWindow w(3);
+  w.Add(Millis(1), 10);
+  w.Add(Millis(2), 20);
+  w.Add(Millis(3), 30);
+  EXPECT_DOUBLE_EQ(w.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(w.min(), 10.0);
+  EXPECT_DOUBLE_EQ(w.max(), 30.0);
+  EXPECT_DOUBLE_EQ(w.latest(), 30.0);
+  EXPECT_EQ(w.latest_time(), Millis(3));
+
+  // A fourth sample evicts the oldest: the window is now {20, 30, 40}.
+  w.Add(Millis(4), 40);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(w.min(), 20.0);
+  EXPECT_DOUBLE_EQ(w.max(), 40.0);
+}
+
+TEST(RollingWindowTest, PercentileIsNearestRankOnTheSortedWindow) {
+  RollingWindow w(8);
+  // Insert out of order by value; percentile must sort.
+  const double values[] = {50, 10, 40, 20, 30};
+  SimTime t = 0;
+  for (double v : values) w.Add(t += Millis(1), v);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(w.Percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.99), 50.0);
+}
+
+TEST(RollingWindowTest, SlopeIsLeastSquaresPerSecond) {
+  RollingWindow w(8);
+  // value = 5 * t_seconds + 7: exact fit, slope 5 per second.
+  for (int i = 0; i < 5; ++i) {
+    const SimTime at = Seconds(i);
+    w.Add(at, 5.0 * i + 7.0);
+  }
+  EXPECT_NEAR(w.SlopePerSec(), 5.0, 1e-9);
+
+  // Constant series: slope 0.
+  RollingWindow flat(8);
+  for (int i = 0; i < 5; ++i) flat.Add(Seconds(i), 3.0);
+  EXPECT_NEAR(flat.SlopePerSec(), 0.0, 1e-12);
+}
+
+TEST(RollingWindowTest, SlopeDegenerateCasesAreZero) {
+  RollingWindow w(4);
+  EXPECT_EQ(w.SlopePerSec(), 0.0);
+  w.Add(Millis(1), 42);
+  EXPECT_EQ(w.SlopePerSec(), 0.0);  // one sample
+  w.Add(Millis(1), 43);
+  EXPECT_EQ(w.SlopePerSec(), 0.0);  // zero time spread
+}
+
+TEST(RollingWindowTest, EvictionKeepsSlopeOnTheRecentSamples) {
+  RollingWindow w(3);
+  // Early flat phase, then a steep ramp; after eviction only the ramp
+  // remains in the window.
+  w.Add(Seconds(0), 0);
+  w.Add(Seconds(1), 0);
+  w.Add(Seconds(2), 0);
+  w.Add(Seconds(3), 100);
+  w.Add(Seconds(4), 200);
+  // Window = {(2,0),(3,100),(4,200)}: slope exactly 100 per second.
+  EXPECT_NEAR(w.SlopePerSec(), 100.0, 1e-9);
+}
+
+TEST(TimeSeriesStoreTest, IngestBuildsGaugeWindowsAndRateWindows) {
+  TimeSeriesStore store(TimeSeriesConfig{.window = 8});
+  const SimTime period = Millis(250);
+  store.Ingest(period, period, {{"replica0.version_lag", 5.0}},
+               {{"committed", 50.0}});
+  store.Ingest(2 * period, period, {{"replica0.version_lag", 9.0}},
+               {{"committed", 100.0}});
+
+  EXPECT_EQ(store.samples(), 2u);
+  EXPECT_EQ(store.last_sample_at(), 2 * period);
+
+  const RollingWindow* lag = store.gauge("replica0.version_lag");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->count(), 2u);
+  EXPECT_DOUBLE_EQ(lag->latest(), 9.0);
+
+  // Counter deltas become per-second rates: 50 per 250 ms = 200/s,
+  // 100 per 250 ms = 400/s.
+  const RollingWindow* rate = store.rate("committed");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->count(), 2u);
+  EXPECT_DOUBLE_EQ(rate->samples()[0].second, 200.0);
+  EXPECT_DOUBLE_EQ(rate->latest(), 400.0);
+}
+
+TEST(TimeSeriesStoreTest, AbsentSeriesAreNullNotZero) {
+  TimeSeriesStore store(TimeSeriesConfig{.window = 4});
+  store.Ingest(Millis(250), Millis(250), {{"present", 1.0}}, {});
+  EXPECT_NE(store.gauge("present"), nullptr);
+  EXPECT_EQ(store.gauge("absent"), nullptr);
+  EXPECT_EQ(store.rate("absent"), nullptr);
+}
+
+TEST(TimeSeriesStoreTest, NamesEnumerateEverySeries) {
+  TimeSeriesStore store(TimeSeriesConfig{.window = 4});
+  store.Ingest(Millis(250), Millis(250), {{"b", 1.0}, {"a", 2.0}},
+               {{"c", 3.0}});
+  EXPECT_EQ(store.GaugeNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(store.RateNames(), (std::vector<std::string>{"c"}));
+}
+
+}  // namespace
+}  // namespace screp::obs

@@ -17,6 +17,9 @@ kind gates the metrics that matter for it:
   micro_components: per-(window, ws_size) certification-throughput and
       speedup floors; apply-lane speedup floors.
   micro_components_network: message-reduction floor.
+  fault_timeline_health: every fault scenario must still be detected by
+      its matching detector within a detection-latency band; clean-run
+      detector firings are a hard zero (no false-positive tolerance).
 
 Tolerances are deliberately loose one-sided bands: the simulator is
 deterministic, so same-config same-seed runs reproduce exactly, but the
@@ -38,6 +41,8 @@ SHED_REL_SLACK = 0.5         # max(abs, rel * base) in either direction
 CERT_SPEEDUP_FLOOR = 0.25    # wall-clock micro-bench: +/-2x host noise
 LANES_SPEEDUP_FLOOR = 0.90   # virtual-time makespan: deterministic
 NETWORK_REDUCTION_FLOOR = 0.85
+HEALTH_LATENCY_REL = 1.5     # detection may be 1.5x base samples + 2 ...
+HEALTH_LATENCY_ABS = 2       # ... but never past the scenario bound
 
 
 class Gate:
@@ -127,6 +132,49 @@ def gate_micro_components(gate, base, fresh):
                    row["speedup_vs_serial"], LANES_SPEEDUP_FLOOR)
 
 
+def gate_health(gate, base, fresh):
+    """fault_timeline --health-sweep: detection latency + false positives.
+
+    Every fault must still be detected by its matching detector, within
+    both the scenario's hard sample bound and a drift band around the
+    committed baseline latency.  Clean runs are a hard zero: a single
+    detector firing on a default-config figure run is a regression, full
+    stop — there is no tolerance band for false positives.
+    """
+    fresh_faults = {row["fault"]: row for row in fresh.get("faults", [])}
+    for row in base.get("faults", []):
+        f = fresh_faults.get(row["fault"])
+        label = f"fault {row['fault']}"
+        if f is None:
+            gate.check(label, False, "scenario missing from fresh output")
+            continue
+        gate.check(f"{label} detected", f.get("detected", False),
+                   f"detector {row['detector']} "
+                   f"fired={f.get('fired', '') or '(none)'}")
+        if not f.get("detected", False):
+            continue
+        bound = f["bound_samples"]
+        drift = row["detection_samples"] * HEALTH_LATENCY_REL + \
+            HEALTH_LATENCY_ABS
+        limit = min(bound, drift)
+        gate.check(f"{label} latency",
+                   f["detection_samples"] <= limit,
+                   f"fresh {f['detection_samples']} samples vs "
+                   f"base {row['detection_samples']} "
+                   f"(limit {limit:g} = min(bound {bound}, drift "
+                   f"{drift:g}))")
+    fresh_clean = {row["run"]: row for row in fresh.get("clean", [])}
+    for row in base.get("clean", []):
+        f = fresh_clean.get(row["run"])
+        label = f"clean {row['run']}"
+        if f is None:
+            gate.check(label, False, "clean run missing from fresh output")
+            continue
+        gate.check(f"{label} quiet", f.get("firings", 1) == 0,
+                   f"{f.get('firings')} firing(s) "
+                   f"[{f.get('fired', '') or 'quiet'}] — must be 0")
+
+
 def gate_network(gate, base, fresh):
     gate.floor("message_reduction", fresh["message_reduction"],
                base["message_reduction"], NETWORK_REDUCTION_FLOOR)
@@ -148,6 +196,8 @@ def run_gate(base, fresh):
         gate_micro_components(gate, base, fresh)
     elif driver == "micro_components_network":
         gate_network(gate, base, fresh)
+    elif driver == "fault_timeline_health":
+        gate_health(gate, base, fresh)
     elif "runs" in base:
         gate_experiment_runs(gate, base, fresh)
     else:
@@ -209,6 +259,41 @@ def self_test():
 
     missing_run = {"driver": "saturation", "runs": []}
     expect("missing run fails", 1, missing_run)
+
+    health_base = {
+        "driver": "fault_timeline_health",
+        "faults": [{
+            "fault": "crash", "detector": "lag_divergence",
+            "injected_at_ms": 4000, "detected": True,
+            "detection_samples": 6, "bound_samples": 16,
+            "fired": "lag_divergence",
+        }],
+        "clean": [{"run": "fig3", "firings": 0, "fired": ""}],
+    }
+
+    def expect_health(name, expected_rc, fresh):
+        print(f"-- self-test: {name} (expect rc={expected_rc})")
+        rc = run_gate(health_base, fresh)
+        if rc != expected_rc:
+            failures.append(f"{name}: rc={rc}, expected {expected_rc}")
+
+    expect_health("health identity passes", 0,
+                  json.loads(json.dumps(health_base)))
+
+    undetected = json.loads(json.dumps(health_base))
+    undetected["faults"][0]["detected"] = False
+    undetected["faults"][0]["fired"] = ""
+    expect_health("undetected fault fails", 1, undetected)
+
+    slow_detect = json.loads(json.dumps(health_base))
+    # 6-sample base latency allows min(16, 6*1.5+2) = 11; 12 must fail.
+    slow_detect["faults"][0]["detection_samples"] = 12
+    expect_health("detection-latency regression fails", 1, slow_detect)
+
+    false_positive = json.loads(json.dumps(health_base))
+    false_positive["clean"][0]["firings"] = 1
+    false_positive["clean"][0]["fired"] = "slo_fast_burn"
+    expect_health("clean-run false positive fails", 1, false_positive)
 
     if failures:
         print("self-test FAILED:")

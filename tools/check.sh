@@ -44,6 +44,23 @@ echo "== saturation sweep with critical-path profiling =="
   --bench-json=build/BENCH_profile.json \
   --profile-json=build/PROFILE_saturation.json
 
+echo "== health-monitor fault sweep =="
+# Self-checking: exits non-zero unless every injected fault (crash,
+# partition, overload burst, refresh loss, catch-up stall, credit
+# squeeze, certifier saturation) trips its matching detector within the
+# scenario's sample bound AND the clean default-config figure runs stay
+# detector-quiet.
+./build/bench/fault_timeline --health-sweep \
+  --bench-json build/BENCH_health.json
+
+echo "== timeline dashboard render =="
+# Render one fault timeline end-to-end (sampler + health + fault
+# markers) to prove the JSON bundle and the stdlib-only renderer agree.
+./build/bench/fault_timeline --health \
+  --timeline-json build/timeline_crash.json >/dev/null
+python3 tools/render_timeline.py build/timeline_crash.json \
+  -o build/timeline_crash.html --title "fault_timeline: crash + recover"
+
 echo "== bench regression gate =="
 # Compares the fresh BENCH_*.json against the committed baselines with
 # per-metric tolerance bands; --self-test proves the gate still catches
@@ -57,6 +74,8 @@ python3 tools/bench_gate.py --baseline BENCH_saturation.json \
   --fresh build/BENCH_saturation.json
 python3 tools/bench_gate.py --baseline BENCH_profile.json \
   --fresh build/BENCH_profile.json
+python3 tools/bench_gate.py --baseline BENCH_health.json \
+  --fresh build/BENCH_health.json
 
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="

@@ -1,0 +1,632 @@
+#!/usr/bin/env python3
+"""Render a fault-timeline bundle as a self-contained HTML dashboard.
+
+Input: the --timeline-json bundle written by the bench drivers /
+Observability::WriteTimelineJson():
+
+    {"sampler":  {"period_us": ..., "timestamps": [...],
+                  "series": {name: [null|num, ...]},
+                  "counter_deltas": {name: [...]}},
+     "health":   {"states": [0|1|2, ...],
+                  "detectors": {name: [0|1, ...]},
+                  "transitions": [{"at":..,"from":..,"to":..,"trigger":..}]}
+                 (or null when the run did not monitor health),
+     "faults":   [{"kind":"crash|recover|failover","at":..,
+                   "component":"...","replica":N}, ...]}
+
+Output: one HTML file, no external assets: stacked time-series panels
+(per-replica version lag, throughput/error rates, queue depths), a
+health-state band, per-detector firing strips, and fault markers, with a
+crosshair tooltip and a plain data table. Stdlib only.
+"""
+
+import argparse
+import html
+import json
+import math
+import sys
+
+# ---------------------------------------------------------------------------
+# Palette: the validated reference categorical order (slots assigned in this
+# fixed order, never cycled), status colors for health states, and the chart
+# chrome inks. Light and dark are both selected steps, swapped via CSS
+# custom properties.
+CATEGORICAL_LIGHT = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                     "#e87ba4", "#008300", "#4a3aa7", "#e34948"]
+CATEGORICAL_DARK = ["#3987e5", "#d95926", "#199e70", "#c98500",
+                    "#d55181", "#008300", "#9085e9", "#e66767"]
+# Health states are status, not identity: good / warning / critical.
+STATE_COLORS = {0: "var(--status-good)", 1: "var(--status-warning)",
+                2: "var(--status-critical)"}
+STATE_NAMES = {0: "healthy", 1: "degraded", 2: "critical"}
+
+PLOT_W = 880
+PLOT_H = 150
+MARGIN_L = 64
+MARGIN_R = 16
+STRIP_H = 22
+
+CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+%LIGHT_SLOTS%
+  color-scheme: light;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px; min-height: 100vh; box-sizing: border-box;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+%DARK_SLOTS%
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7;
+  --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+%DARK_SLOTS%
+}
+.viz-root h1 { font-size: 18px; font-weight: 600; margin: 0 0 2px; }
+.viz-root .subtitle { color: var(--text-secondary); font-size: 13px;
+  margin: 0 0 18px; }
+.panel { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px 10px; margin-bottom: 14px;
+  max-width: %CARD_W%px; }
+.panel h2 { font-size: 13px; font-weight: 600; margin: 0 0 2px; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px;
+  margin: 2px 0 6px; font-size: 12px; color: var(--text-secondary); }
+.legend .key { display: inline-block; width: 14px; height: 0;
+  border-top: 2px solid; border-radius: 1px; vertical-align: middle;
+  margin-right: 5px; }
+.legend .swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; vertical-align: -1px; margin-right: 5px; }
+.panel svg { display: block; }
+.panel svg text { font-family: inherit; }
+.axis-label { fill: var(--muted); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+.strip-label { fill: var(--text-secondary); font-size: 11px; }
+.fault-label { fill: var(--text-secondary); font-size: 10px; }
+.quiet-note { color: var(--text-secondary); font-size: 12px; margin: 4px 0; }
+.tooltip { position: fixed; pointer-events: none; display: none;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; box-shadow: 0 2px 10px rgba(0,0,0,0.18);
+  padding: 8px 10px; font-size: 12px; z-index: 10; max-width: 280px; }
+.tooltip .tt-time { color: var(--text-secondary); margin-bottom: 4px; }
+.tooltip .tt-row { display: flex; align-items: center; gap: 6px;
+  white-space: nowrap; }
+.tooltip .tt-val { font-weight: 600; font-variant-numeric: tabular-nums; }
+.tooltip .tt-name { color: var(--text-secondary); }
+details.table-view { max-width: %CARD_W%px; margin-top: 6px;
+  font-size: 12px; }
+details.table-view summary { cursor: pointer; color: var(--text-secondary); }
+details.table-view table { border-collapse: collapse; margin-top: 8px;
+  font-variant-numeric: tabular-nums; }
+details.table-view th, details.table-view td { border: 1px solid var(--grid);
+  padding: 2px 8px; text-align: right; }
+details.table-view th { color: var(--text-secondary); font-weight: 500; }
+.theme-toggle { float: right; font: inherit; font-size: 12px;
+  color: var(--text-secondary); background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px; padding: 4px 10px;
+  cursor: pointer; }
+"""
+
+TOOLTIP_JS = """
+(function () {
+  var data = JSON.parse(document.getElementById('timeline-data').textContent);
+  var tip = document.getElementById('tooltip');
+  var marginL = %MARGIN_L%, plotW = %PLOT_W%;
+  function fmt(v) {
+    if (v === null || v === undefined) return null;
+    if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString();
+    return (Math.round(v * 100) / 100).toLocaleString();
+  }
+  document.querySelectorAll('svg[data-panel]').forEach(function (svg) {
+    var panel = data.panels[svg.getAttribute('data-panel')];
+    var cross = svg.querySelector('.crosshair');
+    function clear() {
+      tip.style.display = 'none';
+      if (cross) cross.setAttribute('visibility', 'hidden');
+    }
+    function move(ev) {
+      var rect = svg.getBoundingClientRect();
+      var scale = rect.width / svg.viewBox.baseVal.width;
+      var x = (ev.clientX - rect.left) / scale;
+      if (x < marginL || x > marginL + plotW || !data.times.length) {
+        clear(); return;
+      }
+      var t = data.t0 + (x - marginL) / plotW * (data.t1 - data.t0);
+      var best = 0, bestd = Infinity;
+      for (var i = 0; i < data.times.length; i++) {
+        var d = Math.abs(data.times[i] - t);
+        if (d < bestd) { bestd = d; best = i; }
+      }
+      var sx = marginL + (data.times[best] - data.t0) /
+               (data.t1 - data.t0 || 1) * plotW;
+      if (cross) {
+        cross.setAttribute('x1', sx); cross.setAttribute('x2', sx);
+        cross.setAttribute('visibility', 'visible');
+      }
+      while (tip.firstChild) tip.removeChild(tip.firstChild);
+      var head = document.createElement('div');
+      head.className = 'tt-time';
+      head.textContent = 't = ' + data.times[best].toFixed(2) + ' s';
+      tip.appendChild(head);
+      panel.series.forEach(function (s) {
+        var v = fmt(s.values[best]);
+        var row = document.createElement('div');
+        row.className = 'tt-row';
+        var key = document.createElement('span');
+        key.className = 'key';
+        key.style.borderTop = '2px solid ' + s.color;
+        key.style.width = '12px'; key.style.display = 'inline-block';
+        var val = document.createElement('span');
+        val.className = 'tt-val';
+        val.textContent = v === null ? '—' : v;
+        var name = document.createElement('span');
+        name.className = 'tt-name';
+        name.textContent = s.name;
+        row.appendChild(key); row.appendChild(val); row.appendChild(name);
+        tip.appendChild(row);
+      });
+      if (panel.states) {
+        var st = panel.states[best];
+        if (st !== null && st !== undefined) {
+          var row2 = document.createElement('div');
+          row2.className = 'tt-row';
+          var val2 = document.createElement('span');
+          val2.className = 'tt-val';
+          val2.textContent = data.stateNames[st];
+          var name2 = document.createElement('span');
+          name2.className = 'tt-name';
+          name2.textContent = 'health';
+          row2.appendChild(val2); row2.appendChild(name2);
+          tip.appendChild(row2);
+        }
+      }
+      tip.style.display = 'block';
+      var tx = ev.clientX + 14, ty = ev.clientY + 14;
+      if (tx + tip.offsetWidth > window.innerWidth - 8) {
+        tx = ev.clientX - tip.offsetWidth - 14;
+      }
+      if (ty + tip.offsetHeight > window.innerHeight - 8) {
+        ty = ev.clientY - tip.offsetHeight - 14;
+      }
+      tip.style.left = tx + 'px'; tip.style.top = ty + 'px';
+    }
+    svg.addEventListener('pointermove', move);
+    svg.addEventListener('pointerleave', clear);
+  });
+  var toggle = document.getElementById('theme-toggle');
+  if (toggle) toggle.addEventListener('click', function () {
+    var root = document.documentElement;
+    var dark = root.getAttribute('data-theme') === 'dark' ||
+        (!root.getAttribute('data-theme') &&
+         window.matchMedia('(prefers-color-scheme: dark)').matches);
+    root.setAttribute('data-theme', dark ? 'light' : 'dark');
+  });
+})();
+"""
+
+
+def nice_ticks(lo, hi, n=4):
+    """Clean 1-2-5 ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1
+    span = hi - lo
+    raw = span / max(n, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def fmt_tick(v):
+    if v == int(v):
+        return f"{int(v):,}"
+    return f"{v:g}"
+
+
+class Scale:
+    def __init__(self, lo, hi, out_lo, out_hi):
+        self.lo, self.hi = lo, hi
+        self.out_lo, self.out_hi = out_lo, out_hi
+
+    def __call__(self, v):
+        span = self.hi - self.lo or 1.0
+        return self.out_lo + (v - self.lo) / span * (self.out_hi - self.out_lo)
+
+
+def line_path(times, values, xs, ys):
+    """SVG path with gaps at nulls."""
+    parts = []
+    pen_up = True
+    for t, v in zip(times, values):
+        if v is None:
+            pen_up = True
+            continue
+        cmd = "M" if pen_up else "L"
+        parts.append(f"{cmd}{xs(t):.1f},{ys(v):.1f}")
+        pen_up = False
+    return " ".join(parts)
+
+
+def fault_marker_svg(faults, xs, height):
+    out = []
+    for f in faults:
+        x = xs(f["t"])
+        label = f["kind"]
+        if "replica" in f:
+            label += f" r{f['replica']}"
+        elif f.get("component"):
+            label += f" {f['component']}"
+        out.append(
+            f'<line x1="{x:.1f}" y1="14" x2="{x:.1f}" y2="{height}" '
+            f'stroke="var(--muted)" stroke-width="1"/>'
+            f'<text x="{x + 3:.1f}" y="11" class="fault-label">'
+            f'{html.escape(label)}</text>')
+    return "".join(out)
+
+
+def render_line_panel(pid, title, series, times, t0, t1, faults,
+                      unit=""):
+    """One line-chart panel: hairline grid, 2px lines, legend, crosshair."""
+    height = PLOT_H + 34  # plot + x-axis band + fault-label headroom
+    xs = Scale(t0, t1, MARGIN_L, MARGIN_L + PLOT_W)
+    vmax = 0.0
+    for s in series:
+        for v in s["values"]:
+            if v is not None:
+                vmax = max(vmax, v)
+    ticks = nice_ticks(0, vmax if vmax > 0 else 1)
+    ys = Scale(0, ticks[-1], PLOT_H + 14, 14)
+
+    grid = []
+    for t in ticks:
+        y = ys(t)
+        grid.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{MARGIN_L + PLOT_W}" y2="{y:.1f}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{MARGIN_L - 6}" y="{y + 3:.1f}" class="axis-label" '
+            f'text-anchor="end">{fmt_tick(t)}</text>')
+    for t in nice_ticks(t0, t1, 8):
+        if t < t0 or t > t1:
+            continue
+        x = xs(t)
+        grid.append(
+            f'<text x="{x:.1f}" y="{PLOT_H + 28}" class="axis-label" '
+            f'text-anchor="middle">{fmt_tick(t)}s</text>')
+    baseline = (f'<line x1="{MARGIN_L}" y1="{ys(0):.1f}" '
+                f'x2="{MARGIN_L + PLOT_W}" y2="{ys(0):.1f}" '
+                f'stroke="var(--axis)" stroke-width="1"/>')
+
+    paths = []
+    for s in series:
+        d = line_path(times, s["values"], xs, ys)
+        if d:
+            paths.append(f'<path d="{d}" fill="none" stroke="{s["color"]}" '
+                         f'stroke-width="2" stroke-linejoin="round" '
+                         f'stroke-linecap="round"/>')
+
+    crosshair = (f'<line class="crosshair" x1="0" y1="14" x2="0" '
+                 f'y2="{PLOT_H + 14}" stroke="var(--axis)" '
+                 f'stroke-width="1" visibility="hidden"/>')
+
+    legend = "".join(
+        f'<span><span class="key" style="border-color:{s["color"]}">'
+        f'</span>{html.escape(s["name"])}</span>' for s in series)
+
+    card_w = MARGIN_L + PLOT_W + MARGIN_R
+    unit_note = f" ({unit})" if unit else ""
+    return f"""
+<div class="panel">
+<h2>{html.escape(title)}{html.escape(unit_note)}</h2>
+<div class="legend">{legend}</div>
+<svg data-panel="{pid}" viewBox="0 0 {card_w} {height}"
+     width="100%" role="img" aria-label="{html.escape(title)}">
+{"".join(grid)}{baseline}
+{fault_marker_svg(faults, xs, PLOT_H + 14)}
+{"".join(paths)}
+{crosshair}
+</svg>
+</div>"""
+
+
+def render_health_panel(pid, health, times, t0, t1, faults):
+    """Health-state band plus one firing strip per active detector."""
+    states = health.get("states") or []
+    detectors = health.get("detectors") or {}
+    active = [(name, track) for name, track in detectors.items()
+              if any(track)]
+    quiet = [name for name, track in detectors.items() if not any(track)]
+
+    n_strips = 1 + len(active)
+    height = n_strips * (STRIP_H + 6) + 36
+    xs = Scale(t0, t1, MARGIN_L, MARGIN_L + PLOT_W)
+
+    # Align the health track with the tail of the sampler timestamps (the
+    # monitor sees every sample once attached).
+    offset = len(times) - len(states)
+
+    def seg_rects(y, track, color_of):
+        """Merge consecutive equal values into one rect per run."""
+        rects = []
+        i = 0
+        while i < len(track):
+            j = i
+            while j + 1 < len(track) and track[j + 1] == track[i]:
+                j += 1
+            color = color_of(track[i])
+            if color is not None and offset + i < len(times):
+                x1 = xs(times[offset + i])
+                x2 = xs(times[min(offset + j, len(times) - 1)])
+                # Stretch each run half a sample left so bands abut.
+                rects.append(
+                    f'<rect x="{x1:.1f}" y="{y}" '
+                    f'width="{max(x2 - x1, 2):.1f}" height="{STRIP_H}" '
+                    f'rx="2" fill="{color}"/>')
+            i = j + 1
+        return rects
+
+    rows = []
+    y = 22
+    rows.append(f'<text x="{MARGIN_L - 6}" y="{y + STRIP_H / 2 + 4}" '
+                f'class="strip-label" text-anchor="end">state</text>')
+    rows += seg_rects(y, states, lambda s: STATE_COLORS.get(s))
+    y += STRIP_H + 6
+    for name, track in active:
+        rows.append(f'<text x="{MARGIN_L - 6}" y="{y + STRIP_H / 2 + 4}" '
+                    f'class="strip-label" text-anchor="end">'
+                    f'{html.escape(name)}</text>')
+        rows += seg_rects(
+            y, track,
+            lambda v: "var(--status-serious)" if v else None)
+        y += STRIP_H + 6
+
+    for t in nice_ticks(t0, t1, 8):
+        if t0 <= t <= t1:
+            rows.append(f'<text x="{xs(t):.1f}" y="{y + 12}" '
+                        f'class="axis-label" text-anchor="middle">'
+                        f'{fmt_tick(t)}s</text>')
+
+    crosshair = (f'<line class="crosshair" x1="0" y1="18" x2="0" '
+                 f'y2="{y}" stroke="var(--axis)" stroke-width="1" '
+                 f'visibility="hidden"/>')
+
+    legend = "".join(
+        f'<span><span class="swatch" style="background:{STATE_COLORS[s]}">'
+        f'</span>{STATE_NAMES[s]}</span>' for s in (0, 1, 2))
+    legend += ('<span><span class="swatch" '
+               'style="background:var(--status-serious)"></span>'
+               'detector firing</span>')
+
+    quiet_note = ""
+    if quiet:
+        quiet_note = (f'<p class="quiet-note">quiet detectors: '
+                      f'{html.escape(", ".join(sorted(quiet)))}</p>')
+    card_w = MARGIN_L + PLOT_W + MARGIN_R
+    return f"""
+<div class="panel">
+<h2>Health</h2>
+<div class="legend">{legend}</div>
+<svg data-panel="{pid}" viewBox="0 0 {card_w} {y + 18}"
+     width="100%" role="img" aria-label="Health timeline">
+{fault_marker_svg(faults, xs, y)}
+{"".join(rows)}
+{crosshair}
+</svg>
+{quiet_note}
+</div>"""
+
+
+def render_table(times, panels):
+    """The no-hover fallback: every plotted value, plain HTML table."""
+    cols = []
+    for p in panels:
+        for s in p["series"]:
+            cols.append(s)
+    head = "".join(f"<th>{html.escape(s['name'])}</th>" for s in cols)
+    body = []
+    for i, t in enumerate(times):
+        cells = []
+        for s in cols:
+            v = s["values"][i] if i < len(s["values"]) else None
+            cells.append(f"<td>{'—' if v is None else f'{v:g}'}</td>")
+        body.append(f"<tr><td>{t:.2f}</td>{''.join(cells)}</tr>")
+    return f"""
+<details class="table-view">
+<summary>Data table ({len(times)} samples)</summary>
+<table><thead><tr><th>t (s)</th>{head}</tr></thead>
+<tbody>{"".join(body)}</tbody></table>
+</details>"""
+
+
+def sum_series(tracks):
+    """Element-wise sum; None where every input is None."""
+    if not tracks:
+        return []
+    out = []
+    for i in range(max(len(t) for t in tracks)):
+        vals = [t[i] for t in tracks if i < len(t) and t[i] is not None]
+        out.append(sum(vals) if vals else None)
+    return out
+
+
+def rate_of(deltas, period_s):
+    return [None if v is None else v / period_s for v in deltas]
+
+
+def build_panels(doc):
+    sampler = doc.get("sampler") or {}
+    times_us = sampler.get("timestamps") or []
+    times = [t / 1e6 for t in times_us]
+    period_s = (sampler.get("period_us") or 1e6) / 1e6
+    series = sampler.get("series") or {}
+    deltas = sampler.get("counter_deltas") or {}
+
+    panels = []
+
+    # Panel 1: per-replica version lag (identity => categorical by replica,
+    # fixed slot order; the token ceiling is 8 replicas).
+    lag = []
+    for r in range(8):
+        name = f"replica{r}.version_lag"
+        if name in series:
+            lag.append({"name": f"replica {r}", "color": f"var(--s{r + 1})",
+                        "values": series[name]})
+    if lag:
+        panels.append({"id": "lag", "title": "Replica version lag",
+                       "series": lag, "unit": "versions behind certifier"})
+
+    # Panel 2: throughput and error rates from counter deltas.
+    rates = []
+    def add_rate(label, names):
+        tracks = [deltas[n] for n in names if n in deltas]
+        if tracks:
+            rates.append({"name": label, "values": rate_of(
+                sum_series(tracks), period_s)})
+    add_rate("dispatched/s", ["lb.dispatched"])
+    add_rate("certified/s", ["certifier.certified"])
+    add_rate("aborts/s", ["certifier.aborts.ww", "certifier.aborts.rw",
+                          "certifier.aborts.window"])
+    add_rate("shed/s", ["lb.shed", "certifier.shed"])
+    add_rate("refresh drops/s",
+             [n for n in deltas if n.startswith("net.refresh.")
+              and n.endswith(".dropped")])
+    for i, s in enumerate(rates):
+        s["color"] = f"var(--s{i + 1})"
+    if rates:
+        panels.append({"id": "rates", "title": "Throughput and errors",
+                       "series": rates, "unit": "per second"})
+
+    # Panel 3: queue depths and backlog gauges.
+    queues = []
+    for label, name in [("admission queue", "lb.admission_queue"),
+                        ("certifier intake", "certifier.queue_depth"),
+                        ("deferred refresh", "certifier.deferred_refresh")]:
+        if name in series:
+            queues.append({"name": label, "values": series[name]})
+    for label, suffix in [("refresh queues (sum)", ".refresh_queue"),
+                          ("cpu queues (sum)", ".cpu_queue")]:
+        tracks = [series[n] for n in series
+                  if n.startswith("replica") and n.endswith(suffix)]
+        if tracks:
+            queues.append({"name": label, "values": sum_series(tracks)})
+    for i, s in enumerate(queues):
+        s["color"] = f"var(--s{i + 1})"
+    if queues:
+        panels.append({"id": "queues", "title": "Queues and backlog",
+                       "series": queues, "unit": "entries"})
+
+    return times, panels
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render a timeline JSON bundle as an HTML dashboard.")
+    parser.add_argument("input", help="timeline JSON from --timeline-json")
+    parser.add_argument("-o", "--output", required=True,
+                        help="output HTML path")
+    parser.add_argument("--title", default=None,
+                        help="dashboard title (default: input file name)")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        doc = json.load(f)
+
+    times, panels = build_panels(doc)
+    if not times:
+        print("error: no sampled timestamps in", args.input, file=sys.stderr)
+        return 1
+    t0, t1 = times[0], times[-1]
+    faults = [{"t": f["at"] / 1e6, **f} for f in (doc.get("faults") or [])]
+    health = doc.get("health")
+
+    body = []
+    for p in panels:
+        body.append(render_line_panel(p["id"], p["title"], p["series"],
+                                      times, t0, t1, faults,
+                                      unit=p.get("unit", "")))
+    if health:
+        panels.append({"id": "health", "title": "Health", "series": [],
+                       "states": health.get("states") or []})
+        body.append(render_health_panel("health", health, times, t0, t1,
+                                        faults))
+
+    # Embedded data for the crosshair tooltip.
+    data = {
+        "times": times, "t0": t0, "t1": t1,
+        "stateNames": STATE_NAMES,
+        "panels": {p["id"]: {
+            "series": [{"name": s["name"], "color": s["color"],
+                        "values": s["values"]} for s in p["series"]],
+            **({"states": p["states"]} if "states" in p else {}),
+        } for p in panels},
+    }
+
+    title = args.title or args.input
+    n_transitions = len((health or {}).get("transitions") or [])
+    subtitle = (f"{len(times)} samples over {t1 - t0:.1f}s · "
+                f"{len(faults)} fault marker(s) · "
+                f"{n_transitions} health transition(s)")
+
+    light_slots = "".join(f"  --s{i + 1}: {c};\n"
+                          for i, c in enumerate(CATEGORICAL_LIGHT))
+    dark_slots = "".join(f"    --s{i + 1}: {c};\n"
+                         for i, c in enumerate(CATEGORICAL_DARK))
+    card_w = MARGIN_L + PLOT_W + MARGIN_R + 34
+    css = (CSS.replace("%LIGHT_SLOTS%", light_slots)
+              .replace("%DARK_SLOTS%", dark_slots)
+              .replace("%CARD_W%", str(card_w)))
+    js = (TOOLTIP_JS.replace("%MARGIN_L%", str(MARGIN_L))
+                    .replace("%PLOT_W%", str(PLOT_W)))
+
+    out = f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{css}</style>
+</head>
+<body class="viz-root">
+<button class="theme-toggle" id="theme-toggle">light / dark</button>
+<h1>{html.escape(title)}</h1>
+<p class="subtitle">{html.escape(subtitle)}</p>
+{"".join(body)}
+{render_table(times, [p for p in panels if p["series"]])}
+<div class="tooltip" id="tooltip"></div>
+<script type="application/json" id="timeline-data">
+{json.dumps(data)}
+</script>
+<script>{js}</script>
+</body>
+</html>
+"""
+    with open(args.output, "w") as f:
+        f.write(out)
+    print(f"wrote {args.output} ({len(panels)} panel(s), "
+          f"{len(times)} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
