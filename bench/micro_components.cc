@@ -11,6 +11,13 @@
 // `--net-json[=path]` measures the certifier->replica refresh fan-out
 // over real channels, batched vs unbatched, and writes the message/byte
 // counts as JSON (default BENCH_network.json).
+//
+// `--hotpath-json[=path]` A/B-measures the three hot paths this repo
+// optimizes in place — cached execution plans vs per-call planning,
+// zero-copy (frozen-reference) refresh fan-out vs deep-copy batches, and
+// arena-backed group-commit WAL appends vs per-record re-encoding — and
+// writes the per-path speedups plus a byte-identity verdict as JSON
+// (default BENCH_hotpath.json).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +26,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/rng.h"
 #include "core/table_version_tracker.h"
 #include "net/channel.h"
 #include "replication/certifier.h"
@@ -26,8 +34,10 @@
 #include "sim/simulator.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "sql/plan.h"
 #include "storage/database.h"
 #include "storage/transaction.h"
+#include "storage/wal.h"
 
 namespace screp {
 namespace {
@@ -548,6 +558,247 @@ int RunNetJson(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// --hotpath-json: A/B of the three optimized hot paths.
+
+/// Statements executed per second with the plan cache on or off (off is
+/// exactly the original per-call planning path).
+double MeasurePlanCache(bool cached, int iters) {
+  sql::SetPlanCacheEnabled(cached);
+  auto db = MakeDb(10000);
+  auto select = sql::PreparedStatement::Prepare(
+      *db, "SELECT i_val FROM item WHERE i_id = ?");
+  auto update = sql::PreparedStatement::Prepare(
+      *db, "UPDATE item SET i_val = i_val + ? WHERE i_id = ?");
+  SCREP_CHECK(select.ok() && update.ok());
+  auto txn = db->Begin();
+  int64_t key = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto rs = sql::Execute(txn.get(), **select, {Value(key)});
+    SCREP_CHECK(rs.ok() && rs->rows.size() == 1);
+    auto ru = sql::Execute(txn.get(), **update, {Value(1), Value(key)});
+    SCREP_CHECK(ru.ok() && ru->rows_affected == 1);
+    key = (key + 7919) % 10000;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  sql::SetPlanCacheEnabled(true);
+  return 2.0 * iters / std::max(elapsed.count(), 1e-9);
+}
+
+/// Builds `count` committed-looking writesets (8 ops, 100-byte pads) as
+/// frozen refs.
+std::vector<WriteSetRef> MakeFrozenWritesets(int count) {
+  std::vector<WriteSetRef> frozen;
+  const std::string pad(100, 'x');
+  for (int i = 0; i < count; ++i) {
+    WriteSet ws;
+    ws.txn_id = static_cast<TxnId>(i + 1);
+    ws.origin = static_cast<ReplicaId>(i % 4);
+    ws.snapshot_version = static_cast<DbVersion>(i);
+    ws.commit_version = static_cast<DbVersion>(i + 1);
+    for (int64_t k = 0; k < 8; ++k) {
+      ws.Add(0, i * 8 + k, WriteType::kUpdate, Row{Value(k), Value(pad)});
+    }
+    frozen.push_back(std::make_shared<const WriteSet>(std::move(ws)));
+  }
+  return frozen;
+}
+
+/// The pre-zero-copy fan-out batch: deep writeset copies and a wire size
+/// recomputed by walking every row image.
+struct LegacyBatch {
+  std::vector<WriteSet> writesets;
+  size_t SerializedBytes() const {
+    size_t total = 8;
+    for (const WriteSet& ws : writesets) total += ws.SerializedBytesUncached();
+    return total;
+  }
+};
+
+/// Writesets fanned out per second: assemble one batch per target from
+/// the force batch, then model the channel's send copy and wire-size
+/// query — deep copies + re-walked sizes (legacy) vs refcount bumps +
+/// memoized sizes (optimized).
+double MeasureFanOutAssembly(bool zero_copy, int targets, int iters) {
+  const std::vector<WriteSetRef> frozen = MakeFrozenWritesets(64);
+  size_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    for (int r = 0; r < targets; ++r) {
+      if (zero_copy) {
+        RefreshBatch batch;
+        batch.writesets.reserve(frozen.size());
+        for (const WriteSetRef& ws : frozen) batch.writesets.push_back(ws);
+        RefreshBatch delivered = batch;  // Channel::Send copies the message
+        sink += delivered.SerializedBytes();
+      } else {
+        LegacyBatch batch;
+        batch.writesets.reserve(frozen.size());
+        for (const WriteSetRef& ws : frozen) batch.writesets.push_back(*ws);
+        LegacyBatch delivered = batch;
+        sink += delivered.SerializedBytes();
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  SCREP_CHECK(sink > 0);
+  return static_cast<double>(iters) * targets * frozen.size() /
+         std::max(elapsed.count(), 1e-9);
+}
+
+/// Group-commit WAL appends per second.  Legacy: encode every record into
+/// a fresh temporary, buffer it, concatenate on force.  Optimized: the
+/// real Wal fed from each writeset's encode arena.
+double MeasureWalAppend(bool arena, int iters) {
+  const std::vector<WriteSetRef> frozen = MakeFrozenWritesets(64);
+  size_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (arena) {
+      Wal wal;
+      for (size_t k = 0; k + 1 < frozen.size(); ++k) {
+        wal.Append(*frozen[k], /*force=*/false);
+      }
+      wal.Append(*frozen.back(), /*force=*/true);
+      sink += wal.DurableBytes();
+    } else {
+      std::vector<std::string> buffered;
+      std::string durable;
+      for (size_t k = 0; k + 1 < frozen.size(); ++k) {
+        std::string rec;
+        frozen[k]->EncodeTo(&rec);
+        buffered.push_back(std::move(rec));
+      }
+      std::string rec;
+      frozen.back()->EncodeTo(&rec);
+      for (const std::string& b : buffered) durable += b;
+      durable += rec;
+      sink += durable.size();
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  SCREP_CHECK(sink > 0);
+  return static_cast<double>(iters) * frozen.size() /
+         std::max(elapsed.count(), 1e-9);
+}
+
+/// Byte-identity checks over randomized writesets: the memoized size must
+/// equal the re-walked size through arbitrary mutate/query interleavings,
+/// the encode arena must hold exactly EncodeTo's bytes, and a WAL fed
+/// from arenas must be byte-identical to one built by per-record
+/// encoding.
+bool CheckByteIdentity() {
+  Rng rng(42);
+  Wal arena_wal;
+  std::string legacy_durable;
+  for (int i = 0; i < 200; ++i) {
+    WriteSet ws;
+    ws.txn_id = static_cast<TxnId>(i + 1);
+    ws.origin = static_cast<ReplicaId>(rng.NextBounded(4));
+    ws.snapshot_version = rng.NextBounded(1000);
+    const int ops = 1 + static_cast<int>(rng.NextBounded(12));
+    for (int k = 0; k < ops; ++k) {
+      Row row;
+      const int cols = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int c = 0; c < cols; ++c) {
+        switch (rng.NextBounded(3)) {
+          case 0: row.push_back(Value(static_cast<int64_t>(rng.Next()))); break;
+          case 1: row.push_back(Value(rng.NextDouble())); break;
+          default:
+            row.push_back(Value(std::string(rng.NextBounded(64), 'y')));
+        }
+      }
+      // Interleave size queries with mutations so the memo's invalidation
+      // is exercised, including coalescing rewrites of the same key.
+      ws.Add(0, static_cast<int64_t>(rng.NextBounded(8)), WriteType::kUpdate,
+             std::move(row));
+      if (rng.NextBool(0.5) &&
+          ws.SerializedBytes() != ws.SerializedBytesUncached()) {
+        return false;
+      }
+    }
+    // The certifier stamps the commit version after sizes may have been
+    // queried — the arena must notice.
+    ws.commit_version = static_cast<DbVersion>(i + 1);
+    if (ws.SerializedBytes() != ws.SerializedBytesUncached()) return false;
+    std::string fresh;
+    ws.EncodeTo(&fresh);
+    if (ws.EncodedBytes() != fresh) return false;
+    if (ws.EncodedBytes().size() != ws.SerializedBytes()) return false;
+    arena_wal.Append(ws, /*force=*/rng.NextBool(0.3));
+    legacy_durable += fresh;
+  }
+  arena_wal.Force();
+  std::vector<WriteSet> replay;
+  if (!arena_wal.ReadAll(&replay).ok() || replay.size() != 200) return false;
+  std::string arena_durable;
+  for (const WriteSet& ws : replay) ws.EncodeTo(&arena_durable);
+  return arena_durable == legacy_durable &&
+         arena_wal.DurableBytes() == legacy_durable.size();
+}
+
+int RunHotpathJson(const std::string& path) {
+  struct PathResult {
+    const char* name;
+    double base_per_sec;
+    double opt_per_sec;
+    double speedup() const { return opt_per_sec / base_per_sec; }
+  };
+  std::printf("hot-path A/B (optimized vs pre-optimization behavior)\n");
+  const PathResult results[] = {
+      {"plan_cache", MeasurePlanCache(false, 200000),
+       MeasurePlanCache(true, 200000)},
+      {"writeset_encode", MeasureFanOutAssembly(false, 4, 2000),
+       MeasureFanOutAssembly(true, 4, 2000)},
+      {"group_commit_wal", MeasureWalAppend(false, 5000),
+       MeasureWalAppend(true, 5000)},
+  };
+  const bool byte_identity = CheckByteIdentity();
+  std::printf("%18s %14s %14s %9s\n", "path", "base/s", "opt/s", "speedup");
+  std::string json = "{\"driver\":\"micro_components_hotpath\",\"paths\":{";
+  bool first = true;
+  double max_speedup = 0.0;
+  for (const PathResult& r : results) {
+    std::printf("%18s %14.0f %14.0f %8.2fx\n", r.name, r.base_per_sec,
+                r.opt_per_sec, r.speedup());
+    max_speedup = std::max(max_speedup, r.speedup());
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + std::string(r.name) +
+            "\":{\"base_per_sec\":" + std::to_string(r.base_per_sec) +
+            ",\"opt_per_sec\":" + std::to_string(r.opt_per_sec) +
+            ",\"speedup\":" + std::to_string(r.speedup()) + "}";
+  }
+  json += "},\"byte_identity\":";
+  json += byte_identity ? "true" : "false";
+  json += "}\n";
+  std::printf("byte identity (memo vs fresh encode, WAL bytes): %s\n",
+              byte_identity ? "OK" : "FAIL");
+  std::ofstream out(path);
+  out << json;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!byte_identity) {
+    std::fprintf(stderr, "FAIL: memoized serialization diverged from the "
+                         "fresh encoder\n");
+    return 1;
+  }
+  if (max_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: no hot path reached a 2x speedup (best %.2fx)\n",
+                 max_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace screp
 
@@ -564,6 +815,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--net-json") == 0) {
       return screp::RunNetJson("BENCH_network.json");
+    }
+    if (std::strncmp(argv[i], "--hotpath-json=", 15) == 0) {
+      return screp::RunHotpathJson(argv[i] + 15);
+    }
+    if (std::strcmp(argv[i], "--hotpath-json") == 0) {
+      return screp::RunHotpathJson("BENCH_hotpath.json");
     }
   }
   benchmark::Initialize(&argc, argv);

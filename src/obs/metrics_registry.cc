@@ -44,7 +44,10 @@ std::string PrometheusUnescapeLabel(const std::string& escaped) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    ++generation_;
+  }
   return slot.get();
 }
 
@@ -52,13 +55,19 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   SCREP_CHECK_MSG(callback_gauges_.count(name) == 0,
                   "gauge name already taken by a callback gauge: " << name);
   auto& slot = gauges_[name];
-  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    ++generation_;
+  }
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    ++generation_;
+  }
   return slot.get();
 }
 
@@ -69,6 +78,7 @@ void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
       gauges_.count(name) == 0 && callback_gauges_.count(name) == 0,
       "duplicate gauge registration: " << name);
   callback_gauges_.emplace(name, std::move(fn));
+  ++generation_;
 }
 
 std::vector<std::string> MetricsRegistry::GaugeNames() const {
@@ -86,6 +96,29 @@ std::vector<std::string> MetricsRegistry::GaugeNames() const {
     }
   }
   return names;
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge*,
+                             const std::function<double()>*)>& fn) const {
+  // Both maps are sorted; merge keeps the visit order sorted.
+  auto it1 = gauges_.begin();
+  auto it2 = callback_gauges_.begin();
+  while (it1 != gauges_.end() || it2 != callback_gauges_.end()) {
+    if (it2 == callback_gauges_.end() ||
+        (it1 != gauges_.end() && it1->first < it2->first)) {
+      fn(it1->first, it1->second.get(), nullptr);
+      ++it1;
+    } else {
+      fn(it2->first, nullptr, &it2->second);
+      ++it2;
+    }
+  }
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter*)>& fn) const {
+  for (const auto& [name, counter] : counters_) fn(name, counter.get());
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {

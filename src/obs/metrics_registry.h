@@ -85,6 +85,26 @@ class MetricsRegistry {
   /// set.
   std::vector<std::string> GaugeNames() const;
 
+  /// Monotone counter bumped whenever an instrument is created or a
+  /// callback gauge registered (instruments are never removed).  Pollers
+  /// cache resolved instrument handles and rebuild only when this moves,
+  /// instead of re-resolving names through the maps every tick.
+  uint64_t generation() const { return generation_; }
+
+  /// Visits every gauge in sorted name order.  Exactly one of `gauge` /
+  /// `callback` is non-null per visit; both pointers (and `name`) stay
+  /// valid for the registry's lifetime.
+  void VisitGauges(
+      const std::function<void(const std::string& name, const Gauge* gauge,
+                               const std::function<double()>* callback)>& fn)
+      const;
+
+  /// Visits every counter in sorted name order; pointers stay valid for
+  /// the registry's lifetime.
+  void VisitCounters(const std::function<void(const std::string& name,
+                                              const Counter* counter)>& fn)
+      const;
+
   /// Current value of the gauge `name` (callback gauges are evaluated);
   /// 0 for unknown names.
   double GaugeValue(const std::string& name) const;
@@ -126,6 +146,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::function<double()>> callback_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace screp::obs

@@ -40,34 +40,55 @@ void Sampler::Start(SimTime period) {
   sim_->Schedule(period_, [this]() { Tick(); });
 }
 
-void Sampler::Tick() {
-  if (!running_) return;
-  timestamps_.push_back(sim_->Now());
-  std::map<std::string, double> gauges;
-  std::map<std::string, double> deltas;
-  for (const std::string& name : registry_->GaugeNames()) {
-    std::vector<double>& values = series_[name];
+void Sampler::RebuildPollSet() {
+  polled_gauges_.clear();
+  polled_counters_.clear();
+  registry_->VisitGauges([this](const std::string& name, const Gauge* gauge,
+                                const std::function<double()>* callback) {
+    auto [it, inserted] = series_.try_emplace(name);
     // A gauge registered mid-run starts with zeros so every series has
     // one value per timestamp; series_start_ remembers where the real
     // values begin (the JSON export nulls the padding).
-    if (values.empty()) series_start_[name] = timestamps_.size() - 1;
-    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
-    const double value = registry_->GaugeValue(name);
-    values.push_back(value);
-    gauges[name] = value;
-  }
-  for (const std::string& name : registry_->CounterNames()) {
-    std::vector<double>& values = counter_deltas_[name];
-    if (values.empty()) series_start_[name] = timestamps_.size() - 1;
-    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
-    const int64_t current = registry_->CounterValue(name);
-    const auto prev = counter_prev_.find(name);
+    if (inserted) series_start_[name] = timestamps_.size() - 1;
+    polled_gauges_.push_back({&it->first, gauge, callback, &it->second});
+  });
+  registry_->VisitCounters([this](const std::string& name,
+                                  const Counter* counter) {
+    auto [it, inserted] = counter_deltas_.try_emplace(name);
+    if (inserted) series_start_[name] = timestamps_.size() - 1;
     // The first delta of a counter covers everything it counted so far.
-    const int64_t delta =
-        current - (prev != counter_prev_.end() ? prev->second : 0);
-    counter_prev_[name] = current;
+    auto [prev_it, unused] = counter_prev_.try_emplace(name, 0);
+    (void)unused;
+    polled_counters_.push_back(
+        {&it->first, counter, &it->second, &prev_it->second});
+  });
+  poll_generation_ = registry_->generation();
+}
+
+void Sampler::Tick() {
+  if (!running_) return;
+  timestamps_.push_back(sim_->Now());
+  if (poll_generation_ != registry_->generation()) RebuildPollSet();
+  // The per-name sink maps are only materialized when someone listens.
+  const bool feed_sinks = !sinks_.empty();
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> deltas;
+  for (const PolledGauge& pg : polled_gauges_) {
+    std::vector<double>& values = *pg.values;
+    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
+    const double value =
+        pg.gauge != nullptr ? pg.gauge->value() : (*pg.callback)();
+    values.push_back(value);
+    if (feed_sinks) gauges[*pg.name] = value;
+  }
+  for (const PolledCounter& pc : polled_counters_) {
+    std::vector<double>& values = *pc.values;
+    while (values.size() + 1 < timestamps_.size()) values.push_back(0);
+    const int64_t current = pc.counter->value();
+    const int64_t delta = current - *pc.prev;
+    *pc.prev = current;
     values.push_back(static_cast<double>(delta));
-    deltas[name] = static_cast<double>(delta);
+    if (feed_sinks) deltas[*pc.name] = static_cast<double>(delta);
   }
   const SimTime at = sim_->Now();
   for (const Sink& sink : sinks_) sink(at, period_, gauges, deltas);

@@ -84,6 +84,26 @@ class Sampler {
  private:
   void Tick();
 
+  /// Re-resolves the poll set: one handle per gauge/counter, pointing at
+  /// the instrument and at its series storage, so a steady-state tick
+  /// does no per-name map lookups.  Called only when the registry's
+  /// generation moved (an instrument appeared); instruments are never
+  /// removed, so every cached pointer stays valid between rebuilds.
+  void RebuildPollSet();
+
+  struct PolledGauge {
+    const std::string* name;                     // registry-owned key
+    const Gauge* gauge;                          // one of these two is set
+    const std::function<double()>* callback;
+    std::vector<double>* values;                 // node in series_
+  };
+  struct PolledCounter {
+    const std::string* name;
+    const Counter* counter;
+    std::vector<double>* values;  // node in counter_deltas_
+    int64_t* prev;                // node in counter_prev_
+  };
+
   Simulator* sim_;
   MetricsRegistry* registry_;
   SimTime period_ = 0;
@@ -96,6 +116,11 @@ class Sampler {
   /// First timestamp index at which each series existed.
   std::map<std::string, size_t> series_start_;
   std::vector<Sink> sinks_;
+  /// Resolved poll set, valid while poll_generation_ matches the
+  /// registry's generation.
+  std::vector<PolledGauge> polled_gauges_;
+  std::vector<PolledCounter> polled_counters_;
+  uint64_t poll_generation_ = ~0ULL;
 };
 
 }  // namespace screp::obs

@@ -1,6 +1,7 @@
 #include "replication/certifier.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "common/logging.h"
@@ -164,7 +165,7 @@ void Certifier::Certify(WriteSet ws) {
   if (forward_cb_) forward_cb_(ws);
   // Conservative abort when the snapshot predates the retained window.
   const DbVersion window_start =
-      recent_.empty() ? 0 : recent_.front().commit_version - 1;
+      recent_.empty() ? 0 : recent_.front()->commit_version - 1;
   if (ws.snapshot_version < window_start) {
     ++window_aborts_;
     ++aborts_;
@@ -198,12 +199,13 @@ void Certifier::Certify(WriteSet ws) {
     // recent_ is ascending by version: scan from the back and stop at
     // the snapshot; the first conflict found is the newest.
     for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
-      if (it->commit_version <= ws.snapshot_version) break;
-      ww = ws.ConflictsWith(*it);
-      rw = serializable && ws.ReadsConflictWith(*it);
+      const WriteSet& committed = **it;
+      if (committed.commit_version <= ws.snapshot_version) break;
+      ww = ws.ConflictsWith(committed);
+      rw = serializable && ws.ReadsConflictWith(committed);
       if (ww || rw) {
-        conflict_version = it->commit_version;
-        conflict_txn = it->txn_id;
+        conflict_version = committed.commit_version;
+        conflict_txn = committed.txn_id;
         break;
       }
     }
@@ -254,31 +256,35 @@ void Certifier::Certify(WriteSet ws) {
     if (!muted_) decision_cb_(ws.origin, decision);
     return;
   }
-  // Commit: assign the next version in the global total order.
+  // Commit: assign the next version in the global total order, then
+  // freeze the writeset — one immutable object shared by the conflict
+  // window, the force batch, every per-target refresh batch and the
+  // proxies' apply queues.
   ws.commit_version = ++v_commit_;
   ++certified_;
   EmitVerdict(ws, /*commit=*/true, nullptr, kNoVersion, 0);
   if (!muted_ && ctr_certified_ != nullptr) ctr_certified_->Increment();
   RecordDecision(CertDecision{ws.txn_id, /*commit=*/true, ws.commit_version});
-  recent_.push_back(ws);
-  if (!config_.linear_scan_oracle) conflict_index_.Insert(recent_.back());
+  WriteSetRef frozen = std::make_shared<const WriteSet>(std::move(ws));
+  recent_.push_back(frozen);
+  if (!config_.linear_scan_oracle) conflict_index_.Insert(*recent_.back());
   while (recent_.size() > config_.conflict_window) {
-    if (!config_.linear_scan_oracle) conflict_index_.Erase(recent_.front());
+    if (!config_.linear_scan_oracle) conflict_index_.Erase(*recent_.front());
     recent_.pop_front();
   }
   if (eager_) {
-    eager_tracker_.OnCertified(ws.txn_id);
-    eager_origins_[ws.txn_id] = ws.origin;
+    eager_tracker_.OnCertified(frozen->txn_id);
+    eager_origins_[frozen->txn_id] = frozen->origin;
   }
   if (tracer_ != nullptr && !muted_ && tracer_->active()) {
     // Remember when certification finished so the announcement after the
     // group-commit force can span the durability wait.
-    certify_done_at_[ws.txn_id] = sim_->Now();
+    certify_done_at_[frozen->txn_id] = sim_->Now();
   }
-  MakeDurableAndAnnounce(std::move(ws));
+  MakeDurableAndAnnounce(std::move(frozen));
 }
 
-void Certifier::MakeDurableAndAnnounce(WriteSet ws) {
+void Certifier::MakeDurableAndAnnounce(WriteSetRef ws) {
   // Group commit: batch decisions while a force is in flight; the next
   // force covers the whole batch with a single disk write.
   force_batch_.push_back(std::move(ws));
@@ -288,8 +294,18 @@ void Certifier::MakeDurableAndAnnounce(WriteSet ws) {
 }
 
 void Certifier::ForceNext() {
-  std::vector<WriteSet> batch;
-  batch.swap(force_batch_);
+  std::vector<WriteSetRef> batch;
+  if (config_.max_force_batch > 0 &&
+      force_batch_.size() > config_.max_force_batch) {
+    // Capped group commit: take the oldest max_force_batch writesets (in
+    // commit-version order) and leave the rest for the next force.
+    const auto split = force_batch_.begin() +
+                       static_cast<std::ptrdiff_t>(config_.max_force_batch);
+    batch.assign(force_batch_.begin(), split);
+    force_batch_.erase(force_batch_.begin(), split);
+  } else {
+    batch.swap(force_batch_);
+  }
   const SimTime force_start = sim_->Now();
   disk_.Submit(
       config_.log_force_time,
@@ -318,14 +334,14 @@ void Certifier::ForceNext() {
         if (config_.refresh_batching) {
           // Durability + decisions per writeset (in version order), then
           // one coalesced refresh message per target for the whole batch.
-          for (const WriteSet& ws : batch) {
-            wal_.Append(ws, /*force=*/true);
-            AnnounceDecision(ws);
+          for (const WriteSetRef& ws : batch) {
+            wal_.Append(*ws, /*force=*/true);
+            AnnounceDecision(*ws);
           }
           AnnounceRefreshBatches(batch);
         } else {
-          for (const WriteSet& ws : batch) {
-            wal_.Append(ws, /*force=*/true);
+          for (const WriteSetRef& ws : batch) {
+            wal_.Append(*ws, /*force=*/true);
             Announce(ws);
           }
         }
@@ -337,17 +353,17 @@ void Certifier::ForceNext() {
       });
 }
 
-void Certifier::Announce(const WriteSet& ws) {
+void Certifier::Announce(const WriteSetRef& ws) {
   if (muted_) return;  // standby: identical state, silent channels
-  AnnounceDecision(ws);
+  AnnounceDecision(*ws);
   for (ReplicaId r = 0; r < replica_count_; ++r) {
-    if (r == ws.origin) continue;
+    if (r == ws->origin) continue;
     if (replica_down_[static_cast<size_t>(r)]) continue;  // catches up later
     SendRefresh(r, ws);
   }
 }
 
-void Certifier::SendRefresh(ReplicaId replica, const WriteSet& ws) {
+void Certifier::SendRefresh(ReplicaId replica, const WriteSetRef& ws) {
   if (config_.refresh_credit_window == 0) {
     refresh_cb_(replica, RefreshBatch{{ws}});
     return;
@@ -382,15 +398,16 @@ void Certifier::AnnounceDecision(const WriteSet& ws) {
   decision_cb_(ws.origin, decision);
 }
 
-void Certifier::AnnounceRefreshBatches(const std::vector<WriteSet>& batch) {
+void Certifier::AnnounceRefreshBatches(
+    const std::vector<WriteSetRef>& batch) {
   if (muted_) return;
   const bool credited = config_.refresh_credit_window > 0;
   for (ReplicaId r = 0; r < replica_count_; ++r) {
     const auto idx = static_cast<size_t>(r);
     if (replica_down_[idx]) continue;  // catches up later
     RefreshBatch refresh;
-    for (const WriteSet& ws : batch) {
-      if (ws.origin == r) continue;  // the origin applies its own commit
+    for (const WriteSetRef& ws : batch) {
+      if (ws->origin == r) continue;  // the origin applies its own commit
       // Each writeset in the coalesced batch consumes one credit; the
       // overflow is deferred in version order behind anything already
       // deferred.
@@ -483,10 +500,10 @@ Status Certifier::FetchSince(
     const std::function<void(const WriteSet&)>& sink) const {
   if (from >= v_commit_) return Status::OK();
   const DbVersion window_start =
-      recent_.empty() ? v_commit_ + 1 : recent_.front().commit_version;
+      recent_.empty() ? v_commit_ + 1 : recent_.front()->commit_version;
   if (from + 1 >= window_start) {
-    for (const WriteSet& ws : recent_) {
-      if (ws.commit_version > from) sink(ws);
+    for (const WriteSetRef& ws : recent_) {
+      if (ws->commit_version > from) sink(*ws);
     }
     return Status::OK();
   }

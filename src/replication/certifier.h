@@ -83,6 +83,14 @@ struct CertifierConfig {
   /// replica bounds the certifier's and its own memory instead of
   /// accumulating writesets without limit.
   size_t refresh_credit_window = 0;
+  /// Cap on the writesets one disk force covers (0 = unbounded, the
+  /// original behaviour: each force takes everything that accumulated
+  /// while the previous one was in flight).  A finite cap trades more
+  /// forces for a smoother refresh stream: unbounded group commits
+  /// release their whole batch's fan-out in one burst, which at high
+  /// load queues the replicas' apply lanes and inflates local update
+  /// commit latency (bench/saturation --batch-sweep measures this).
+  size_t max_force_batch = 0;
 };
 
 /// Central certification service.
@@ -204,25 +212,28 @@ class Certifier {
   /// Records a decision for failover idempotence and retires decisions a
   /// full conflict window old.
   void RecordDecision(const CertDecision& decision);
-  /// Appends to the durable log via group commit, then announces.
-  void MakeDurableAndAnnounce(WriteSet ws);
-  /// Forces the pending batch to disk; reschedules itself while
-  /// decisions keep arriving.
+  /// Appends to the durable log via group commit, then announces.  The
+  /// writeset is frozen (immutable, shared) by this point: the force
+  /// batch, the refresh fan-out and the conflict window all reference
+  /// the same object.
+  void MakeDurableAndAnnounce(WriteSetRef ws);
+  /// Forces the pending batch (up to max_force_batch writesets) to
+  /// disk; reschedules itself while decisions keep arriving.
   void ForceNext();
   /// Sends the commit decision + per-writeset refresh fan-out for one
   /// durable writeset (the unbatched announcement path).
-  void Announce(const WriteSet& ws);
+  void Announce(const WriteSetRef& ws);
   /// Sends one writeset's commit decision to its origin.
   void AnnounceDecision(const WriteSet& ws);
   /// Refresh-batching: sends each live replica one message carrying the
   /// whole force batch (minus writesets it originated).
-  void AnnounceRefreshBatches(const std::vector<WriteSet>& batch);
+  void AnnounceRefreshBatches(const std::vector<WriteSetRef>& batch);
   /// Refuses one submission at the intake bound: an immediate
   /// `overloaded` decision, no certification, no standby forward.
   void ShedSubmission(const WriteSet& ws);
   /// Sends `ws` to `replica` now if a credit is available (or flow
   /// control is off), otherwise defers it until credits return.
-  void SendRefresh(ReplicaId replica, const WriteSet& ws);
+  void SendRefresh(ReplicaId replica, const WriteSetRef& ws);
 
   Simulator* sim_;
   CertifierConfig config_;
@@ -234,8 +245,10 @@ class Certifier {
 
   DbVersion v_commit_ = 0;
   /// Committed writesets, ascending by commit version, for conflict
-  /// checks (pruned to config_.conflict_window).
-  std::deque<WriteSet> recent_;
+  /// checks (pruned to config_.conflict_window).  Frozen references:
+  /// the same objects flow through the force batch and the refresh
+  /// fan-out without being copied again.
+  std::deque<WriteSetRef> recent_;
   /// Keyed index over `recent_`: (table, key) -> newest committed write
   /// (plus per-table ordered maps in serializable mode), making a
   /// certification O(|writeset|) lookups instead of a window rescan.
@@ -243,7 +256,7 @@ class Certifier {
   CommittedKeyIndex conflict_index_;
 
   /// Writesets certified but awaiting the in-flight disk force.
-  std::vector<WriteSet> force_batch_;
+  std::vector<WriteSetRef> force_batch_;
   bool force_in_flight_ = false;
 
   EagerCommitTracker eager_tracker_;
@@ -254,7 +267,7 @@ class Certifier {
   /// 0): per-replica credits remaining, and writesets deferred in
   /// commit-version order until the replica returns credits.
   std::vector<int64_t> refresh_credits_;
-  std::vector<std::deque<WriteSet>> deferred_refresh_;
+  std::vector<std::deque<WriteSetRef>> deferred_refresh_;
 
   Wal wal_;
   int64_t certified_ = 0;

@@ -122,13 +122,20 @@ struct RoutedRequest {
 /// group-commit force destined for that replica, in commit-version
 /// order.  Without refresh batching every message carries exactly one
 /// writeset (the original per-writeset fan-out schedule).
+///
+/// The batch holds *references* to the certifier's frozen writesets, so
+/// fanning one group commit out to N targets (and every channel-delivery
+/// copy along the way) is N refcount bumps, not N deep copies of every
+/// row image.
 struct RefreshBatch {
-  std::vector<WriteSet> writesets;
+  std::vector<WriteSetRef> writesets;
 
-  /// Total wire size (drives the refresh link's per-byte cost).
+  /// Total wire size (drives the refresh link's per-byte cost).  The
+  /// per-writeset sizes come from the frozen writesets' memo, so batch
+  /// assembly is O(writesets), not O(total row-image bytes).
   size_t SerializedBytes() const {
     size_t total = 8;  // batch header
-    for (const WriteSet& ws : writesets) total += ws.SerializedBytes();
+    for (const WriteSetRef& ws : writesets) total += ws->SerializedBytes();
     return total;
   }
 };

@@ -341,11 +341,11 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   // Queue the local commit at its slot in the global order; it interleaves
   // with refresh writesets so every replica commits in certifier order.
   PendingApply apply;
-  apply.ws = t->writeset;
+  apply.ws = std::make_shared<const WriteSet>(t->writeset);
   apply.is_local = true;
   apply.local_txn = decision.txn_id;
   apply.enqueue_time = sim_->Now();
-  pending_index_.Insert(apply.ws, /*is_local=*/true);
+  pending_index_.Insert(*apply.ws, /*is_local=*/true);
   pending_.emplace(decision.commit_version, std::move(apply));
   peak_pending_writesets_ =
       std::max(peak_pending_writesets_, pending_writesets());
@@ -354,28 +354,32 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
 }
 
 void Proxy::OnRefresh(const WriteSet& ws) {
-  IngestRefresh(ws, /*credited=*/false);
+  // Catch-up path: the sender hands us a plain writeset, so freeze a
+  // private copy here.  The live fan-out path (OnRefreshBatch) shares the
+  // certifier's frozen objects instead.
+  IngestRefresh(std::make_shared<const WriteSet>(ws), /*credited=*/false);
 }
 
-bool Proxy::IngestRefresh(const WriteSet& ws, bool credited) {
-  SCREP_CHECK(ws.commit_version != kNoVersion);
+bool Proxy::IngestRefresh(WriteSetRef ws, bool credited) {
+  SCREP_CHECK(ws->commit_version != kNoVersion);
   if (down_) {
-    NoteDroppedWhileDown("refresh writeset", ws.txn_id);
+    NoteDroppedWhileDown("refresh writeset", ws->txn_id);
     return false;  // recovery catch-up re-delivers it
   }
-  if (ws.commit_version <= v_local() || IsUnpublished(ws.commit_version)) {
+  if (ws->commit_version <= v_local() || IsUnpublished(ws->commit_version)) {
     return false;  // duplicate delivery (recovery catch-up overlap)
   }
   // Early certification, arrival direction: abort conflicting active local
   // transactions right away (§IV, hidden-deadlock avoidance).
-  if (config_.early_certification) AbortConflictingActives(ws);
+  if (config_.early_certification) AbortConflictingActives(*ws);
+  const DbVersion commit_version = ws->commit_version;
   PendingApply apply;
-  apply.ws = ws;
+  apply.ws = std::move(ws);
   apply.is_local = false;
   apply.credited = credited;
   apply.enqueue_time = sim_->Now();
-  pending_index_.Insert(apply.ws, /*is_local=*/false);
-  pending_.emplace(ws.commit_version, std::move(apply));
+  pending_index_.Insert(*apply.ws, /*is_local=*/false);
+  pending_.emplace(commit_version, std::move(apply));
   peak_pending_writesets_ =
       std::max(peak_pending_writesets_, pending_writesets());
   AdvanceContiguous();
@@ -434,7 +438,7 @@ void Proxy::DispatchApplies() {
       // nothing above the gap may dispatch yet.
       break;
     }
-    if (pending_index_.BlockedByEarlier(it->second.ws)) {
+    if (pending_index_.BlockedByEarlier(*it->second.ws)) {
       ++it;  // must wait for a conflicting earlier writeset to publish
       continue;
     }
@@ -449,7 +453,7 @@ void Proxy::StartApply(DbVersion version) {
   SCREP_CHECK(it != pending_.end());
   PendingApply apply = std::move(it->second);
   pending_.erase(it);
-  pending_index_.MarkDispatched(apply.ws);
+  pending_index_.MarkDispatched(*apply.ws);
   executing_.insert(version);
 
   SimTime cost;
@@ -473,7 +477,7 @@ void Proxy::StartApply(DbVersion version) {
   } else {
     cost = Stochastic(config_.refresh_base +
                       config_.refresh_per_op *
-                          static_cast<SimTime>(apply.ws.size()));
+                          static_cast<SimTime>(apply.ws->size()));
   }
 
   const uint64_t epoch = epoch_;
@@ -507,9 +511,9 @@ void Proxy::PublishReady() {
        it = executed_.find(v_local() + 1)) {
     PendingApply apply = std::move(it->second);
     executed_.erase(it);
-    const Status st = db_->ApplyWriteSet(apply.ws, /*force_log=*/false);
+    const Status st = db_->ApplyWriteSet(*apply.ws, /*force_log=*/false);
     SCREP_CHECK_MSG(st.ok(), "apply failed: " << st.ToString());
-    pending_index_.Erase(apply.ws);
+    pending_index_.Erase(*apply.ws);
     if (!apply.is_local) {
       ++refresh_applied_;
       if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
@@ -521,13 +525,13 @@ void Proxy::PublishReady() {
       obs::Event e;
       e.kind = obs::EventKind::kApply;
       e.at = sim_->Now();
-      e.txn = apply.ws.txn_id;
+      e.txn = apply.ws->txn_id;
       e.replica = id_;
-      e.commit_version = apply.ws.commit_version;
+      e.commit_version = apply.ws->commit_version;
       e.local = apply.is_local;
       event_log_->Append(std::move(e));
     }
-    if (eager_) replica_committed_cb_(apply.ws.txn_id);
+    if (eager_) replica_committed_cb_(apply.ws->txn_id);
     SettleLocalClaims();
     ReleaseBeginWaiters();
   }

@@ -145,11 +145,13 @@ class Proxy {
 
   /// A refresh message from the certifier: one or more writesets (one
   /// group-commit force's worth when refresh batching is on), unpacked
-  /// in order through the apply lanes.  With flow control on, each
-  /// writeset carries one credit: returned on publish, or immediately
-  /// when the writeset is not accepted (duplicate delivery).
+  /// in order through the apply lanes.  The batch carries references to
+  /// the certifier's frozen writesets — ingesting one is a refcount
+  /// bump, not a row-image copy.  With flow control on, each writeset
+  /// carries one credit: returned on publish, or immediately when the
+  /// writeset is not accepted (duplicate delivery).
   void OnRefreshBatch(const RefreshBatch& batch) {
-    for (const WriteSet& ws : batch.writesets) {
+    for (const WriteSetRef& ws : batch.writesets) {
       if (!IngestRefresh(ws, /*credited=*/credit_cb_ != nullptr) &&
           credit_cb_) {
         credit_cb_(1);
@@ -246,9 +248,11 @@ class Proxy {
     StageTimes stages;
   };
 
-  /// An entry waiting its turn in the global commit order.
+  /// An entry waiting its turn in the global commit order.  The writeset
+  /// is a frozen reference: refresh entries share the certifier's object,
+  /// local entries freeze their own copy at decision time.
   struct PendingApply {
-    WriteSet ws;
+    WriteSetRef ws;
     bool is_local = false;  // local client commit vs. refresh
     /// Arrived through the credited refresh channel; publishing it
     /// returns one credit to the certifier.
@@ -263,7 +267,7 @@ class Proxy {
 
   /// Queues one refresh writeset through the apply pipeline; returns
   /// false when it is dropped instead (down, or duplicate delivery).
-  bool IngestRefresh(const WriteSet& ws, bool credited);
+  bool IngestRefresh(WriteSetRef ws, bool credited);
 
   void StartExecution(ActiveTxn* t);
   void ExecuteNextStatement(ActiveTxn* t);

@@ -1,155 +1,37 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "sql/plan.h"
 
 namespace screp::sql {
 
 namespace {
 
-/// Evaluates an expression; `row` may be nullptr when no row context
-/// exists (INSERT values, WHERE bounds).
-Result<Value> Eval(const Expr& expr, const std::vector<Value>& params,
-                   const Row* row) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return expr.literal;
-    case Expr::Kind::kParam:
-      if (expr.param_index < 0 ||
-          static_cast<size_t>(expr.param_index) >= params.size()) {
-        return Status::InvalidArgument(
-            "parameter " + std::to_string(expr.param_index + 1) +
-            " not bound");
-      }
-      return params[static_cast<size_t>(expr.param_index)];
-    case Expr::Kind::kColumn:
-      if (row == nullptr) {
-        return Status::InvalidArgument("column '" + expr.column +
-                                       "' referenced without row context");
-      }
-      SCREP_CHECK(expr.column_index >= 0);
-      if (static_cast<size_t>(expr.column_index) >= row->size()) {
-        return Status::Internal("column index out of range");
-      }
-      return (*row)[static_cast<size_t>(expr.column_index)];
-    case Expr::Kind::kBinary: {
-      SCREP_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, params, row));
-      SCREP_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, params, row));
-      const bool l_num =
-          l.type() == ValueType::kInt64 || l.type() == ValueType::kDouble;
-      const bool r_num =
-          r.type() == ValueType::kInt64 || r.type() == ValueType::kDouble;
-      if (expr.op == '+' && l.type() == ValueType::kString &&
-          r.type() == ValueType::kString) {
-        return Value(l.AsString() + r.AsString());
-      }
-      if (!l_num || !r_num) {
-        return Status::InvalidArgument("arithmetic on non-numeric values");
-      }
-      if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64) {
-        const int64_t a = l.AsInt();
-        const int64_t b = r.AsInt();
-        switch (expr.op) {
-          case '+':
-            return Value(a + b);
-          case '-':
-            return Value(a - b);
-          case '*':
-            return Value(a * b);
-        }
-      }
-      const double a = l.AsNumeric();
-      const double b = r.AsNumeric();
-      switch (expr.op) {
-        case '+':
-          return Value(a + b);
-        case '-':
-          return Value(a - b);
-        case '*':
-          return Value(a * b);
-      }
-      return Status::Internal("bad binary operator");
-    }
-  }
-  return Status::Internal("bad expression kind");
-}
-
-bool CompareMatches(CompareOp op, const Value& lhs, const Value& rhs) {
-  const int c = lhs.Compare(rhs);
-  switch (op) {
-    case CompareOp::kEq:
-      return c == 0;
-    case CompareOp::kNe:
-      return c != 0;
-    case CompareOp::kLt:
-      return c < 0;
-    case CompareOp::kLe:
-      return c <= 0;
-    case CompareOp::kGt:
-      return c > 0;
-    case CompareOp::kGe:
-      return c >= 0;
-    case CompareOp::kBetween:
-      SCREP_CHECK(false);
-  }
-  return false;
-}
-
-/// Bound WHERE clause: each conjunct's operand expressions evaluated
-/// against params (row-independent), ready to test rows.
-struct BoundPredicate {
-  struct BoundComparison {
-    int column_index;
-    CompareOp op;
-    Value value;
-    Value value2;
-  };
-  std::vector<BoundComparison> conjuncts;
-
-  bool Matches(const Row& row) const {
-    for (const BoundComparison& c : conjuncts) {
-      const Value& cell = row[static_cast<size_t>(c.column_index)];
-      if (c.op == CompareOp::kBetween) {
-        if (cell.Compare(c.value) < 0 || cell.Compare(c.value2) > 0) {
-          return false;
-        }
-      } else if (!CompareMatches(c.op, cell, c.value)) {
-        return false;
-      }
-    }
-    return true;
-  }
-};
-
-Result<BoundPredicate> BindPredicate(const Predicate& where,
-                                     const std::vector<Value>& params) {
+/// Fresh (per-execution) predicate binder — the pre-plan-cache path, kept
+/// verbatim as the A/B baseline and the epoch-mismatch / cache-off
+/// fallback's reference behavior.
+Result<BoundPredicate> BindPredicateFresh(const Predicate& where,
+                                          const std::vector<Value>& params) {
   BoundPredicate bound;
   for (const Comparison& cmp : where.conjuncts) {
     BoundPredicate::BoundComparison bc;
     bc.column_index = cmp.column_index;
     bc.op = cmp.op;
-    SCREP_ASSIGN_OR_RETURN(bc.value, Eval(cmp.value, params, nullptr));
+    SCREP_ASSIGN_OR_RETURN(bc.value, EvalExpr(cmp.value, params, nullptr));
     if (cmp.op == CompareOp::kBetween) {
-      SCREP_ASSIGN_OR_RETURN(bc.value2, Eval(cmp.value2, params, nullptr));
+      SCREP_ASSIGN_OR_RETURN(bc.value2, EvalExpr(cmp.value2, params, nullptr));
     }
     bound.conjuncts.push_back(std::move(bc));
   }
   return bound;
 }
 
-/// Chosen access path for a bound predicate.
-struct AccessPath {
-  enum class Kind { kPoint, kRange, kIndexEq, kFullScan } kind =
-      Kind::kFullScan;
-  int64_t key = 0;         // kPoint
-  int64_t lo = 0, hi = 0;  // kRange
-  int index_column = -1;   // kIndexEq
-  Value index_value;       // kIndexEq
-};
-
-AccessPath ChoosePath(const Transaction* txn, TableId table,
-                      const BoundPredicate& pred) {
+/// Fresh access-path chooser (the pre-plan-cache path).
+AccessPath ChoosePathFresh(const Transaction* txn, TableId table,
+                           const BoundPredicate& pred) {
   AccessPath path;
   // Primary-key access beats everything.
   for (const auto& c : pred.conjuncts) {
@@ -179,6 +61,23 @@ AccessPath ChoosePath(const Transaction* txn, TableId table,
     }
   }
   return path;
+}
+
+/// Binds the predicate and picks the access path — through the cached
+/// plan when one is supplied, through the fresh path otherwise.
+Status BindAndChoose(Transaction* txn, const PreparedStatement& stmt,
+                     const std::vector<Value>& params,
+                     const ExecutionPlan* plan, BoundPredicate* pred,
+                     AccessPath* path) {
+  if (plan != nullptr) {
+    SCREP_RETURN_NOT_OK(plan->BindPredicate(params, pred));
+    *path = plan->ChoosePath(*pred);
+    return Status::OK();
+  }
+  SCREP_ASSIGN_OR_RETURN(*pred,
+                         BindPredicateFresh(stmt.ast().where, params));
+  *path = ChoosePathFresh(txn, stmt.table_id(), *pred);
+  return Status::OK();
 }
 
 /// Runs the access path, calling `visit` for each matching (key,row);
@@ -216,24 +115,34 @@ int64_t RunPath(Transaction* txn, TableId table, const AccessPath& path,
 
 Result<ResultSet> ExecuteSelect(Transaction* txn,
                                 const PreparedStatement& stmt,
-                                const std::vector<Value>& params) {
+                                const std::vector<Value>& params,
+                                const ExecutionPlan* plan) {
   const StatementAst& ast = stmt.ast();
-  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
-                         BindPredicate(ast.where, params));
-  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+  BoundPredicate pred;
+  AccessPath path;
+  SCREP_RETURN_NOT_OK(BindAndChoose(txn, stmt, params, plan, &pred, &path));
 
   ResultSet rs;
-  for (const SelectItem& item : ast.select_items) {
-    rs.columns.push_back(item.ToString());
+  bool has_agg;
+  bool mixed_agg;
+  if (plan != nullptr) {
+    rs.columns = plan->column_labels();
+    has_agg = plan->has_agg();
+    mixed_agg = plan->mixed_agg();
+  } else {
+    for (const SelectItem& item : ast.select_items) {
+      rs.columns.push_back(item.ToString());
+    }
+    has_agg =
+        !ast.select_items.empty() &&
+        std::any_of(ast.select_items.begin(), ast.select_items.end(),
+                    [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
+    mixed_agg =
+        has_agg &&
+        std::any_of(ast.select_items.begin(), ast.select_items.end(),
+                    [](const SelectItem& i) { return i.agg == AggFunc::kNone; });
   }
-
-  const bool has_agg =
-      !ast.select_items.empty() &&
-      std::any_of(ast.select_items.begin(), ast.select_items.end(),
-                  [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
-  if (has_agg &&
-      std::any_of(ast.select_items.begin(), ast.select_items.end(),
-                  [](const SelectItem& i) { return i.agg == AggFunc::kNone; })) {
+  if (mixed_agg) {
     return Status::NotSupported(
         "mixing aggregates and plain columns (no GROUP BY support)");
   }
@@ -293,7 +202,12 @@ Result<ResultSet> ExecuteSelect(Transaction* txn,
   // Plain projection, with optional ORDER BY + LIMIT.
   int64_t limit = -1;
   if (ast.limit) {
-    SCREP_ASSIGN_OR_RETURN(Value lv, Eval(*ast.limit, params, nullptr));
+    Value lv;
+    if (plan != nullptr) {
+      SCREP_RETURN_NOT_OK(plan->BindSource(plan->limit(), params, &lv));
+    } else {
+      SCREP_ASSIGN_OR_RETURN(lv, EvalExpr(*ast.limit, params, nullptr));
+    }
     if (lv.type() != ValueType::kInt64 || lv.AsInt() < 0) {
       return Status::InvalidArgument("LIMIT must be a non-negative integer");
     }
@@ -334,11 +248,26 @@ Result<ResultSet> ExecuteSelect(Transaction* txn,
 
 Result<ResultSet> ExecuteUpdate(Transaction* txn,
                                 const PreparedStatement& stmt,
-                                const std::vector<Value>& params) {
+                                const std::vector<Value>& params,
+                                const ExecutionPlan* plan) {
   const StatementAst& ast = stmt.ast();
-  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
-                         BindPredicate(ast.where, params));
-  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+  BoundPredicate pred;
+  AccessPath path;
+  SCREP_RETURN_NOT_OK(BindAndChoose(txn, stmt, params, plan, &pred, &path));
+
+  // Row-independent assignment values (literals, bare parameters) bind
+  // once up front instead of re-evaluating per matched row.
+  std::vector<std::optional<Value>> prebound;
+  if (plan != nullptr) {
+    prebound.resize(plan->assignment_sources().size());
+    for (size_t i = 0; i < plan->assignment_sources().size(); ++i) {
+      const ValueSource& src = plan->assignment_sources()[i];
+      if (!src.RowIndependent()) continue;
+      Value v;
+      SCREP_RETURN_NOT_OK(plan->BindSource(src, params, &v));
+      prebound[i] = std::move(v);
+    }
+  }
 
   // Materialize matches first: mutating while scanning would invalidate
   // the merge iterator over the write buffer.
@@ -352,8 +281,13 @@ Result<ResultSet> ExecuteUpdate(Transaction* txn,
   for (auto& [key, row] : matches) {
     Row updated = row;
     for (size_t i = 0; i < ast.assignments.size(); ++i) {
-      SCREP_ASSIGN_OR_RETURN(Value v,
-                             Eval(ast.assignments[i].second, params, &row));
+      Value v;
+      if (i < prebound.size() && prebound[i].has_value()) {
+        v = *prebound[i];
+      } else {
+        SCREP_ASSIGN_OR_RETURN(v,
+                               EvalExpr(ast.assignments[i].second, params, &row));
+      }
       updated[static_cast<size_t>(ast.assignment_indexes[i])] = std::move(v);
     }
     SCREP_RETURN_NOT_OK(txn->Update(stmt.table_id(), key, std::move(updated)));
@@ -364,13 +298,22 @@ Result<ResultSet> ExecuteUpdate(Transaction* txn,
 
 Result<ResultSet> ExecuteInsert(Transaction* txn,
                                 const PreparedStatement& stmt,
-                                const std::vector<Value>& params) {
+                                const std::vector<Value>& params,
+                                const ExecutionPlan* plan) {
   const StatementAst& ast = stmt.ast();
   Row row;
   row.reserve(ast.insert_values.size());
-  for (const Expr& e : ast.insert_values) {
-    SCREP_ASSIGN_OR_RETURN(Value v, Eval(e, params, nullptr));
-    row.push_back(std::move(v));
+  if (plan != nullptr) {
+    for (const ValueSource& src : plan->insert_sources()) {
+      Value v;
+      SCREP_RETURN_NOT_OK(plan->BindSource(src, params, &v));
+      row.push_back(std::move(v));
+    }
+  } else {
+    for (const Expr& e : ast.insert_values) {
+      SCREP_ASSIGN_OR_RETURN(Value v, EvalExpr(e, params, nullptr));
+      row.push_back(std::move(v));
+    }
   }
   SCREP_RETURN_NOT_OK(txn->Insert(stmt.table_id(), std::move(row)));
   ResultSet rs;
@@ -381,11 +324,11 @@ Result<ResultSet> ExecuteInsert(Transaction* txn,
 
 Result<ResultSet> ExecuteDelete(Transaction* txn,
                                 const PreparedStatement& stmt,
-                                const std::vector<Value>& params) {
-  const StatementAst& ast = stmt.ast();
-  SCREP_ASSIGN_OR_RETURN(BoundPredicate pred,
-                         BindPredicate(ast.where, params));
-  const AccessPath path = ChoosePath(txn, stmt.table_id(), pred);
+                                const std::vector<Value>& params,
+                                const ExecutionPlan* plan) {
+  BoundPredicate pred;
+  AccessPath path;
+  SCREP_RETURN_NOT_OK(BindAndChoose(txn, stmt, params, plan, &pred, &path));
   std::vector<int64_t> keys;
   ResultSet rs;
   rs.rows_examined = RunPath(txn, stmt.table_id(), path, pred,
@@ -398,6 +341,25 @@ Result<ResultSet> ExecuteDelete(Transaction* txn,
     ++rs.rows_affected;
   }
   return rs;
+}
+
+/// Resolves which plan (if any) drives this execution: the statement's
+/// cached plan when the cache is on and the catalog epoch still matches;
+/// a transient fresh plan on an epoch mismatch (index availability
+/// changed since Prepare); nullptr — the original per-execution path —
+/// when the cache is globally off.
+const ExecutionPlan* ResolvePlan(Transaction* txn,
+                                 const PreparedStatement& stmt,
+                                 std::optional<ExecutionPlan>* transient) {
+  if (!PlanCacheEnabled()) return nullptr;
+  const ExecutionPlan* plan = stmt.plan();
+  if (plan == nullptr) return nullptr;
+  const uint64_t epoch = txn->CatalogEpoch();
+  if (plan->catalog_epoch() == epoch) return plan;
+  transient->emplace(ExecutionPlan::Build(
+      stmt.ast(), stmt.table_id(),
+      [txn](TableId t, int c) { return txn->HasIndex(t, c); }, epoch));
+  return &**transient;
 }
 
 }  // namespace
@@ -426,17 +388,38 @@ Result<ResultSet> Execute(Transaction* txn, const PreparedStatement& stmt,
         "statement needs " + std::to_string(stmt.param_count()) +
         " parameter(s), got " + std::to_string(params.size()));
   }
+  std::optional<ExecutionPlan> transient;
+  const ExecutionPlan* plan = ResolvePlan(txn, stmt, &transient);
   switch (stmt.ast().kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(txn, stmt, params);
+      return ExecuteSelect(txn, stmt, params, plan);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(txn, stmt, params);
+      return ExecuteUpdate(txn, stmt, params, plan);
     case StatementKind::kInsert:
-      return ExecuteInsert(txn, stmt, params);
+      return ExecuteInsert(txn, stmt, params, plan);
     case StatementKind::kDelete:
-      return ExecuteDelete(txn, stmt, params);
+      return ExecuteDelete(txn, stmt, params, plan);
   }
   return Status::Internal("bad statement kind");
+}
+
+Result<std::string> ExplainAccessPath(Transaction* txn,
+                                      const PreparedStatement& stmt,
+                                      const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) != stmt.param_count()) {
+    return Status::InvalidArgument(
+        "statement needs " + std::to_string(stmt.param_count()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  if (stmt.ast().kind == StatementKind::kInsert) {
+    return std::string("insert");
+  }
+  std::optional<ExecutionPlan> transient;
+  const ExecutionPlan* plan = ResolvePlan(txn, stmt, &transient);
+  BoundPredicate pred;
+  AccessPath path;
+  SCREP_RETURN_NOT_OK(BindAndChoose(txn, stmt, params, plan, &pred, &path));
+  return path.ToString();
 }
 
 }  // namespace screp::sql

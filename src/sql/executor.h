@@ -34,10 +34,23 @@ struct ResultSet {
 
 /// Executes a prepared statement within `txn` with positional `params`.
 ///
+/// With the plan cache on (the default) execution is bind-and-run against
+/// the statement's plan built at Prepare; the per-call planning work is
+/// only re-done when the catalog epoch moved (an index was created since
+/// Prepare) or when the cache is globally disabled (sql/plan.h).
+///
 /// Errors: InvalidArgument for arity/type mismatches, NotFound /
 /// AlreadyExists surfaced from DML, NotSupported for unsupported shapes.
 Result<ResultSet> Execute(Transaction* txn, const PreparedStatement& stmt,
                           const std::vector<Value>& params);
+
+/// The access path Execute would use for these bound parameters —
+/// "point(5)", "range(3,9)", "index_eq(col 2)", "full_scan", or "insert".
+/// Honors the plan-cache switch, so cached-vs-fresh equivalence tests can
+/// compare choices directly.
+Result<std::string> ExplainAccessPath(Transaction* txn,
+                                      const PreparedStatement& stmt,
+                                      const std::vector<Value>& params);
 
 }  // namespace screp::sql
 

@@ -1,0 +1,278 @@
+#include "sql/plan.h"
+
+#include "common/logging.h"
+
+namespace screp::sql {
+
+namespace {
+
+bool g_plan_cache_enabled = true;
+
+/// Classifies one operand expression into its execution-time source.
+ValueSource Classify(const Expr& expr) {
+  ValueSource src;
+  if (expr.kind == Expr::Kind::kLiteral) {
+    src.kind = ValueSource::Kind::kLiteral;
+    src.literal = expr.literal;
+  } else if (expr.kind == Expr::Kind::kParam) {
+    src.kind = ValueSource::Kind::kParam;
+    src.param_index = expr.param_index;
+  } else {
+    src.kind = ValueSource::Kind::kExpr;
+    src.expr = &expr;
+  }
+  return src;
+}
+
+}  // namespace
+
+bool PlanCacheEnabled() { return g_plan_cache_enabled; }
+void SetPlanCacheEnabled(bool enabled) { g_plan_cache_enabled = enabled; }
+
+Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& params,
+                       const Row* row) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kParam:
+      if (expr.param_index < 0 ||
+          static_cast<size_t>(expr.param_index) >= params.size()) {
+        return Status::InvalidArgument(
+            "parameter " + std::to_string(expr.param_index + 1) +
+            " not bound");
+      }
+      return params[static_cast<size_t>(expr.param_index)];
+    case Expr::Kind::kColumn:
+      if (row == nullptr) {
+        return Status::InvalidArgument("column '" + expr.column +
+                                       "' referenced without row context");
+      }
+      SCREP_CHECK(expr.column_index >= 0);
+      if (static_cast<size_t>(expr.column_index) >= row->size()) {
+        return Status::Internal("column index out of range");
+      }
+      return (*row)[static_cast<size_t>(expr.column_index)];
+    case Expr::Kind::kBinary: {
+      SCREP_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.lhs, params, row));
+      SCREP_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.rhs, params, row));
+      const bool l_num =
+          l.type() == ValueType::kInt64 || l.type() == ValueType::kDouble;
+      const bool r_num =
+          r.type() == ValueType::kInt64 || r.type() == ValueType::kDouble;
+      if (expr.op == '+' && l.type() == ValueType::kString &&
+          r.type() == ValueType::kString) {
+        return Value(l.AsString() + r.AsString());
+      }
+      if (!l_num || !r_num) {
+        return Status::InvalidArgument("arithmetic on non-numeric values");
+      }
+      if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64) {
+        const int64_t a = l.AsInt();
+        const int64_t b = r.AsInt();
+        switch (expr.op) {
+          case '+':
+            return Value(a + b);
+          case '-':
+            return Value(a - b);
+          case '*':
+            return Value(a * b);
+        }
+      }
+      const double a = l.AsNumeric();
+      const double b = r.AsNumeric();
+      switch (expr.op) {
+        case '+':
+          return Value(a + b);
+        case '-':
+          return Value(a - b);
+        case '*':
+          return Value(a * b);
+      }
+      return Status::Internal("bad binary operator");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+bool CompareMatches(CompareOp op, const Value& lhs, const Value& rhs) {
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kBetween:
+      SCREP_CHECK(false);
+  }
+  return false;
+}
+
+bool BoundPredicate::Matches(const Row& row) const {
+  for (const BoundComparison& c : conjuncts) {
+    const Value& cell = row[static_cast<size_t>(c.column_index)];
+    if (c.op == CompareOp::kBetween) {
+      if (cell.Compare(c.value) < 0 || cell.Compare(c.value2) > 0) {
+        return false;
+      }
+    } else if (!CompareMatches(c.op, cell, c.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AccessPath::ToString() const {
+  switch (kind) {
+    case Kind::kPoint:
+      return "point(" + std::to_string(key) + ")";
+    case Kind::kRange:
+      return "range(" + std::to_string(lo) + "," + std::to_string(hi) + ")";
+    case Kind::kIndexEq:
+      return "index_eq(col " + std::to_string(index_column) + ")";
+    case Kind::kFullScan:
+      return "full_scan";
+  }
+  return "full_scan";
+}
+
+ExecutionPlan ExecutionPlan::Build(const StatementAst& ast, TableId table,
+                                   const IndexProbe& has_index,
+                                   uint64_t catalog_epoch) {
+  ExecutionPlan plan;
+  plan.catalog_epoch_ = catalog_epoch;
+
+  for (const Comparison& cmp : ast.where.conjuncts) {
+    PlanConjunct pc;
+    pc.column_index = cmp.column_index;
+    pc.op = cmp.op;
+    pc.value = Classify(cmp.value);
+    if (cmp.op == CompareOp::kBetween) pc.value2 = Classify(cmp.value2);
+    plan.conjuncts_.push_back(std::move(pc));
+  }
+
+  // Candidate order mirrors the fresh chooser exactly: every primary-key
+  // conjunct (point or range) in conjunct order first, then every indexed
+  // secondary equality.  Whether a candidate actually applies depends on
+  // the values bound at execution, so the final pick happens there.
+  for (size_t i = 0; i < plan.conjuncts_.size(); ++i) {
+    const PlanConjunct& c = plan.conjuncts_[i];
+    if (c.column_index != 0) continue;
+    if (c.op == CompareOp::kEq) {
+      plan.candidates_.push_back({PathCandidate::Kind::kPoint, i});
+    } else if (c.op == CompareOp::kBetween) {
+      plan.candidates_.push_back({PathCandidate::Kind::kRange, i});
+    }
+  }
+  for (size_t i = 0; i < plan.conjuncts_.size(); ++i) {
+    const PlanConjunct& c = plan.conjuncts_[i];
+    if (c.column_index <= 0 || c.op != CompareOp::kEq) continue;
+    if (has_index(table, c.column_index)) {
+      plan.candidates_.push_back({PathCandidate::Kind::kIndexEq, i});
+    }
+  }
+
+  if (ast.kind == StatementKind::kSelect) {
+    bool any_agg = false;
+    bool any_plain = false;
+    for (const SelectItem& item : ast.select_items) {
+      plan.column_labels_.push_back(item.ToString());
+      (item.agg != AggFunc::kNone ? any_agg : any_plain) = true;
+    }
+    plan.has_agg_ = any_agg;
+    plan.mixed_agg_ = any_agg && any_plain;
+  }
+  if (ast.limit) {
+    plan.has_limit_ = true;
+    plan.limit_ = Classify(*ast.limit);
+  }
+  for (const Expr& e : ast.insert_values) {
+    plan.insert_sources_.push_back(Classify(e));
+  }
+  for (const auto& [col, expr] : ast.assignments) {
+    (void)col;
+    plan.assignment_sources_.push_back(Classify(expr));
+  }
+  return plan;
+}
+
+Status ExecutionPlan::BindSource(const ValueSource& src,
+                                 const std::vector<Value>& params,
+                                 Value* out) const {
+  switch (src.kind) {
+    case ValueSource::Kind::kLiteral:
+      *out = src.literal;
+      return Status::OK();
+    case ValueSource::Kind::kParam:
+      if (src.param_index < 0 ||
+          static_cast<size_t>(src.param_index) >= params.size()) {
+        return Status::InvalidArgument(
+            "parameter " + std::to_string(src.param_index + 1) +
+            " not bound");
+      }
+      *out = params[static_cast<size_t>(src.param_index)];
+      return Status::OK();
+    case ValueSource::Kind::kExpr: {
+      SCREP_ASSIGN_OR_RETURN(*out, EvalExpr(*src.expr, params, nullptr));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad value source");
+}
+
+Status ExecutionPlan::BindPredicate(const std::vector<Value>& params,
+                                    BoundPredicate* out) const {
+  out->conjuncts.clear();
+  out->conjuncts.reserve(conjuncts_.size());
+  for (const PlanConjunct& pc : conjuncts_) {
+    BoundPredicate::BoundComparison bc;
+    bc.column_index = pc.column_index;
+    bc.op = pc.op;
+    SCREP_RETURN_NOT_OK(BindSource(pc.value, params, &bc.value));
+    if (pc.op == CompareOp::kBetween) {
+      SCREP_RETURN_NOT_OK(BindSource(pc.value2, params, &bc.value2));
+    }
+    out->conjuncts.push_back(std::move(bc));
+  }
+  return Status::OK();
+}
+
+AccessPath ExecutionPlan::ChoosePath(const BoundPredicate& pred) const {
+  AccessPath path;
+  for (const PathCandidate& cand : candidates_) {
+    const BoundPredicate::BoundComparison& c = pred.conjuncts[cand.conjunct];
+    switch (cand.kind) {
+      case PathCandidate::Kind::kPoint:
+        if (c.value.type() == ValueType::kInt64) {
+          path.kind = AccessPath::Kind::kPoint;
+          path.key = c.value.AsInt();
+          return path;
+        }
+        break;
+      case PathCandidate::Kind::kRange:
+        if (c.value.type() == ValueType::kInt64 &&
+            c.value2.type() == ValueType::kInt64) {
+          path.kind = AccessPath::Kind::kRange;
+          path.lo = c.value.AsInt();
+          path.hi = c.value2.AsInt();
+          return path;
+        }
+        break;
+      case PathCandidate::Kind::kIndexEq:
+        path.kind = AccessPath::Kind::kIndexEq;
+        path.index_column = c.column_index;
+        path.index_value = c.value;
+        return path;
+    }
+  }
+  return path;
+}
+
+}  // namespace screp::sql

@@ -1,0 +1,170 @@
+// Cached execution plans for prepared statements.
+//
+// Executing a prepared statement used to re-derive everything about its
+// shape on every call: evaluate the WHERE bounds through the general
+// expression walker, re-run access-path selection, rebuild the projected
+// column labels, and re-scan the select list for aggregates.  All of that
+// is a function of the statement text and the catalog, not of the bound
+// parameters — so an ExecutionPlan hoists it to Prepare time and the
+// per-execution work collapses to bind-and-run.
+//
+// The only planning input that can change between Prepare and Execute is
+// index availability, so a plan records the database's catalog epoch at
+// build time; on a mismatch the executor plans afresh for that execution
+// (a transient plan) rather than using the stale one.
+//
+// Access-path choice depends on the *values* bound at execution (a `?` on
+// the primary key only becomes a point lookup when an integer is bound),
+// so the plan stores the ordered candidate list the old per-execution
+// chooser would have considered, and the final pick validates the bound
+// values against each candidate in order.
+
+#ifndef SCREP_SQL_PLAN_H_
+#define SCREP_SQL_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace screp {
+class Transaction;
+}
+
+namespace screp::sql {
+
+/// Evaluates an expression; `row` may be nullptr when no row context
+/// exists (INSERT values, WHERE bounds).
+Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& params,
+                       const Row* row);
+
+/// Row-level comparison for a non-BETWEEN operator.
+bool CompareMatches(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// Bound WHERE clause: each conjunct's operand expressions evaluated
+/// against params (row-independent), ready to test rows.
+struct BoundPredicate {
+  struct BoundComparison {
+    int column_index;
+    CompareOp op;
+    Value value;
+    Value value2;
+  };
+  std::vector<BoundComparison> conjuncts;
+
+  bool Matches(const Row& row) const;
+};
+
+/// Chosen access path for a bound predicate.
+struct AccessPath {
+  enum class Kind { kPoint, kRange, kIndexEq, kFullScan } kind =
+      Kind::kFullScan;
+  int64_t key = 0;         // kPoint
+  int64_t lo = 0, hi = 0;  // kRange
+  int index_column = -1;   // kIndexEq
+  Value index_value;       // kIndexEq
+
+  /// "point(5)", "range(3,9)", "index_eq(col 2)" or "full_scan" — for
+  /// EXPLAIN output and plan-equivalence tests.
+  std::string ToString() const;
+};
+
+/// Where one operand's value comes from at execution time.  Literals are
+/// prebound at plan build; direct `?` references copy the bound parameter
+/// without touching the expression walker; anything else (arithmetic,
+/// column references) falls back to EvalExpr.
+struct ValueSource {
+  enum class Kind { kLiteral, kParam, kExpr } kind = Kind::kLiteral;
+  Value literal;               // kLiteral
+  int param_index = -1;        // kParam
+  const Expr* expr = nullptr;  // kExpr — points into the owning statement's AST
+
+  /// True when the value does not depend on the current row.
+  bool RowIndependent() const { return kind != Kind::kExpr; }
+};
+
+/// Everything about a statement's execution that does not depend on the
+/// bound parameter values, derived once from the AST and the catalog.
+///
+/// A plan borrows Expr pointers from the StatementAst it was built from,
+/// so it must not outlive that AST (PreparedStatement owns both).
+class ExecutionPlan {
+ public:
+  /// Answers "does `table`.`column` have a secondary index?" against
+  /// whichever catalog view the caller has (Database at Prepare time,
+  /// Transaction for a transient re-plan).
+  using IndexProbe = std::function<bool(TableId, int)>;
+
+  static ExecutionPlan Build(const StatementAst& ast, TableId table,
+                             const IndexProbe& has_index,
+                             uint64_t catalog_epoch);
+
+  /// Binds the WHERE conjuncts against `params`.  Matches the fresh
+  /// binder's results and error behavior exactly.
+  Status BindPredicate(const std::vector<Value>& params,
+                       BoundPredicate* out) const;
+
+  /// Picks the access path for bound values: the first stored candidate
+  /// the values validate against, in the fresh chooser's preference
+  /// order (primary key first, then indexed secondary equality).
+  AccessPath ChoosePath(const BoundPredicate& pred) const;
+
+  /// Binds one value source (LIMIT, INSERT value, assignment RHS).
+  Status BindSource(const ValueSource& src, const std::vector<Value>& params,
+                    Value* out) const;
+
+  uint64_t catalog_epoch() const { return catalog_epoch_; }
+  const std::vector<std::string>& column_labels() const {
+    return column_labels_;
+  }
+  bool has_agg() const { return has_agg_; }
+  bool mixed_agg() const { return mixed_agg_; }
+  bool has_limit() const { return has_limit_; }
+  const ValueSource& limit() const { return limit_; }
+  const std::vector<ValueSource>& insert_sources() const {
+    return insert_sources_;
+  }
+  const std::vector<ValueSource>& assignment_sources() const {
+    return assignment_sources_;
+  }
+
+ private:
+  /// One access-path candidate the value-dependent chooser considers.
+  struct PathCandidate {
+    enum class Kind { kPoint, kRange, kIndexEq } kind;
+    size_t conjunct;  // index into conjuncts_
+  };
+
+  struct PlanConjunct {
+    int column_index;
+    CompareOp op;
+    ValueSource value;
+    ValueSource value2;  // BETWEEN upper bound
+  };
+
+  uint64_t catalog_epoch_ = 0;
+  std::vector<PlanConjunct> conjuncts_;
+  std::vector<PathCandidate> candidates_;
+  std::vector<std::string> column_labels_;  // SELECT projection labels
+  bool has_agg_ = false;
+  bool mixed_agg_ = false;  // surfaced as NotSupported at Execute
+  bool has_limit_ = false;
+  ValueSource limit_;
+  std::vector<ValueSource> insert_sources_;
+  std::vector<ValueSource> assignment_sources_;
+};
+
+/// Global plan-cache switch (default on).  When off, Execute re-derives
+/// the plan per call through the original fresh path — the A/B baseline
+/// for the hot-path benchmark and the equivalence tests.
+bool PlanCacheEnabled();
+void SetPlanCacheEnabled(bool enabled);
+
+}  // namespace screp::sql
+
+#endif  // SCREP_SQL_PLAN_H_

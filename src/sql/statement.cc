@@ -98,6 +98,10 @@ Result<std::shared_ptr<const PreparedStatement>> PreparedStatement::Prepare(
   }
 
   stmt->ast_ = std::move(ast);
+  stmt->plan_ = std::make_unique<const ExecutionPlan>(ExecutionPlan::Build(
+      stmt->ast_, stmt->table_id_,
+      [&db](TableId t, int c) { return db.table(t)->HasIndex(c); },
+      db.CatalogEpoch()));
   return std::shared_ptr<const PreparedStatement>(std::move(stmt));
 }
 

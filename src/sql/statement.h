@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "sql/ast.h"
+#include "sql/plan.h"
 #include "storage/database.h"
 
 namespace screp::sql {
@@ -39,6 +40,11 @@ class PreparedStatement {
   /// Number of `?` parameters to bind.
   int param_count() const { return ast_.param_count; }
 
+  /// The execution plan built at Prepare time (never null after Prepare).
+  /// Stale (catalog epoch mismatch) or disabled plans are handled by the
+  /// executor, not by callers.
+  const ExecutionPlan* plan() const { return plan_.get(); }
+
  private:
   PreparedStatement() = default;
 
@@ -46,6 +52,9 @@ class PreparedStatement {
   StatementAst ast_;
   std::string table_name_;
   TableId table_id_ = -1;
+  // Borrows Expr pointers from ast_, so declared after it and built once
+  // ast_ has its final address.
+  std::unique_ptr<const ExecutionPlan> plan_;
 };
 
 using PreparedStatementPtr = std::shared_ptr<const PreparedStatement>;

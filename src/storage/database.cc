@@ -39,7 +39,9 @@ Status Database::CreateIndex(TableId table_id,
     return Status::NotFound("column '" + column_name + "' in table '" +
                             t->name() + "'");
   }
-  return t->CreateIndex(column);
+  SCREP_RETURN_NOT_OK(t->CreateIndex(column));
+  catalog_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
 }
 
 Table* Database::table(TableId id) {

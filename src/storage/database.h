@@ -43,7 +43,15 @@ class Database {
   Result<TableId> FindTable(const std::string& name) const;
 
   /// Creates a secondary index on `table`.`column_name` (backfilled).
+  /// Bumps the catalog epoch, invalidating cached execution plans.
   Status CreateIndex(TableId table, const std::string& column_name);
+
+  /// Monotone counter bumped whenever index availability changes.
+  /// Cached execution plans record the epoch they were built at and are
+  /// re-planned when it has moved (sql/plan.h).
+  uint64_t CatalogEpoch() const {
+    return catalog_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Pre-condition: `id` was returned by CreateTable.
   Table* table(TableId id);
@@ -108,6 +116,7 @@ class Database {
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, TableId> table_ids_;
   std::atomic<DbVersion> committed_version_{0};
+  std::atomic<uint64_t> catalog_epoch_{0};
   std::mutex commit_mutex_;
   // Snapshots of live transactions; TruncateVersions never GCs past the
   // smallest one.

@@ -154,6 +154,8 @@ bool Transaction::HasIndex(TableId table, int column) const {
   return db_->table(table)->HasIndex(column);
 }
 
+uint64_t Transaction::CatalogEpoch() const { return db_->CatalogEpoch(); }
+
 void Transaction::IndexScan(
     TableId table, int column, const Value& value,
     const std::function<bool(int64_t, const Row&)>& visitor) const {

@@ -72,6 +72,10 @@ class Transaction {
   /// True when `table`.`column` (ordinal) has a secondary index.
   bool HasIndex(TableId table, int column) const;
 
+  /// The database's catalog epoch (see Database::CatalogEpoch) — the
+  /// executor compares it against a cached plan's build epoch.
+  uint64_t CatalogEpoch() const;
+
   /// Visits live rows whose `column` equals `value` through the secondary
   /// index, overlaying this transaction's buffered writes, in key order.
   /// Pre-condition: HasIndex(table, column).

@@ -4,21 +4,21 @@ namespace screp {
 
 uint64_t Wal::Append(const WriteSet& ws, bool force) {
   std::lock_guard lock(mutex_);
-  std::string rec;
-  ws.EncodeTo(&rec);
   const uint64_t lsn = appended_++;
   if (force) {
     // Force implies flushing everything buffered before this record, to
-    // preserve ordering.
+    // preserve ordering.  The record bytes come straight from the
+    // writeset's memoized encode arena — encoded once when the certifier
+    // froze it, appended here without a per-record temporary.
     for (std::string& b : buffered_) {
       durable_ += b;
       ++durable_count_;
     }
     buffered_.clear();
-    durable_ += rec;
+    durable_ += ws.EncodedBytes();
     ++durable_count_;
   } else {
-    buffered_.push_back(std::move(rec));
+    buffered_.push_back(ws.EncodedBytes());
   }
   return lsn;
 }

@@ -119,6 +119,9 @@ bool DecodeValue(const std::string& in, size_t* off, Value* v) {
 
 void WriteSet::Add(TableId table, int64_t key, WriteType type,
                    std::optional<Row> row) {
+  // Coalescing can rewrite a row in place without changing ops.size(),
+  // so the memo stamps alone cannot catch this mutation.
+  InvalidateCaches();
   for (WriteOp& op : ops) {
     if (op.table == table && op.key == key) {
       // Last write wins; insert followed by update remains an insert so
@@ -185,6 +188,36 @@ size_t WriteSet::ByteSize() const {
 }
 
 size_t WriteSet::SerializedBytes() const {
+  if (!size_valid_ || !SizeStampMatches()) {
+    // Restamping would mask the container change from the encode memo's
+    // own stamp check, so invalidate it alongside.
+    enc_valid_ = false;
+    cached_bytes_ = SerializedBytesUncached();
+    RestampSizes();
+    size_valid_ = true;
+  }
+  return cached_bytes_;
+}
+
+const std::string& WriteSet::EncodedBytes() const {
+  const bool stale = !enc_valid_ || !SizeStampMatches() ||
+                     enc_txn_ != txn_id || enc_snapshot_ != snapshot_version ||
+                     enc_commit_ != commit_version || enc_origin_ != origin;
+  if (stale) {
+    size_valid_ = false;  // mirror image of the restamp hazard above
+    encoded_.clear();
+    EncodeTo(&encoded_);
+    enc_txn_ = txn_id;
+    enc_snapshot_ = snapshot_version;
+    enc_commit_ = commit_version;
+    enc_origin_ = origin;
+    RestampSizes();
+    enc_valid_ = true;
+  }
+  return encoded_;
+}
+
+size_t WriteSet::SerializedBytesUncached() const {
   // Mirrors EncodeTo() field by field; write_set_test asserts the two
   // stay in lockstep.
   size_t total = 8 + 8 + 8 + 8;  // txn_id, snapshot, commit, origin
@@ -245,6 +278,7 @@ void WriteSet::EncodeTo(std::string* out) const {
 
 bool WriteSet::DecodeFrom(const std::string& data, size_t* offset,
                           WriteSet* out) {
+  out->InvalidateCaches();
   uint64_t n_ops;
   int64_t table, key, origin64;
   if (!GetU64(data, offset, &out->txn_id)) return false;

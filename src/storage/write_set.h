@@ -10,6 +10,7 @@
 #define SCREP_STORAGE_WRITE_SET_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,7 +91,22 @@ class WriteSet {
 
   /// Exact size of the EncodeTo() serialization, computed without
   /// allocating — drives the transport layer's per-byte link costs.
+  /// Memoized: the first call after a mutation walks the ops, later
+  /// calls are O(1). A writeset crosses the refresh fan-out once per
+  /// target replica plus once per WAL force, so the walk used to repeat
+  /// O(replicas) times per commit.
   size_t SerializedBytes() const;
+
+  /// The un-memoized size computation — the oracle SerializedBytes() is
+  /// lockstep-tested (and microbenched) against.
+  size_t SerializedBytesUncached() const;
+
+  /// The full EncodeTo() serialization, memoized in a per-writeset
+  /// arena: computed once after the certifier freezes the writeset and
+  /// reused by every consumer that needs the bytes (WAL force, catch-up
+  /// encode) instead of re-encoding into a fresh string each time.
+  /// Invalidated when the header fields or the containers change.
+  const std::string& EncodedBytes() const;
 
   /// Binary serialization (used by the WAL and message layer).
   void EncodeTo(std::string* out) const;
@@ -99,7 +115,45 @@ class WriteSet {
                          WriteSet* out);
 
   std::string ToString() const;
+
+ private:
+  // Memo caches. Guarded two ways: Add()/DecodeFrom() invalidate
+  // explicitly (coalescing can change a row in place without changing
+  // any container size), and the stamps below catch direct container
+  // pushes (tests build read sets by hand). Header scalars only affect
+  // the encoding, not its size, so the size memo ignores them while the
+  // encode memo fingerprints them (the certifier stamps commit_version
+  // after the size was first queried).
+  void InvalidateCaches() const {
+    size_valid_ = false;
+    enc_valid_ = false;
+  }
+  bool SizeStampMatches() const {
+    return stamp_ops_ == ops.size() && stamp_keys_ == read_keys.size() &&
+           stamp_ranges_ == read_ranges.size();
+  }
+  void RestampSizes() const {
+    stamp_ops_ = ops.size();
+    stamp_keys_ = read_keys.size();
+    stamp_ranges_ = read_ranges.size();
+  }
+
+  mutable bool size_valid_ = false;
+  mutable bool enc_valid_ = false;
+  mutable size_t cached_bytes_ = 0;
+  mutable size_t stamp_ops_ = 0, stamp_keys_ = 0, stamp_ranges_ = 0;
+  mutable std::string encoded_;
+  mutable TxnId enc_txn_ = 0;
+  mutable DbVersion enc_snapshot_ = 0, enc_commit_ = 0;
+  mutable ReplicaId enc_origin_ = 0;
 };
+
+/// A frozen (immutable, shared) writeset — the unit the refresh fan-out
+/// passes around. The certifier freezes each committed writeset exactly
+/// once; per-target refresh batches, the recent-commit window, and the
+/// proxies' apply queues all share the one object by reference instead
+/// of deep-copying it per hop.
+using WriteSetRef = std::shared_ptr<const WriteSet>;
 
 }  // namespace screp
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 
 namespace screp {
 namespace {
@@ -22,7 +23,11 @@ WriteSet MakeWs(TxnId id, ReplicaId origin, DbVersion snapshot,
 class CertifierTest : public ::testing::Test {
  protected:
   void Build(int replicas, bool eager) {
-    certifier_ = std::make_unique<Certifier>(&sim_, CertifierConfig{},
+    Build(replicas, eager, CertifierConfig{});
+  }
+
+  void Build(int replicas, bool eager, CertifierConfig config) {
+    certifier_ = std::make_unique<Certifier>(&sim_, config,
                                              replicas, eager);
     certifier_->SetDecisionCallback(
         [this](ReplicaId origin, const CertDecision& decision) {
@@ -30,8 +35,8 @@ class CertifierTest : public ::testing::Test {
         });
     certifier_->SetRefreshCallback(
         [this](ReplicaId target, const RefreshBatch& batch) {
-          for (const WriteSet& ws : batch.writesets) {
-            refreshes_.emplace_back(target, ws);
+          for (const WriteSetRef& ws : batch.writesets) {
+            refreshes_.emplace_back(target, *ws);
           }
         });
     certifier_->SetGlobalCommitCallback([this](ReplicaId origin, TxnId txn) {
@@ -261,6 +266,78 @@ TEST_F(CertifierTest, ConflictIndexMatchesNewestConflictingVersion) {
   certifier_->SubmitCertification(MakeWs(11, 1, 2, {6}));
   sim_.RunAll();
   EXPECT_TRUE(decisions_.back().second.commit);
+}
+
+TEST_F(CertifierTest, ForceBatchCapOneForcesEveryCommitSeparately) {
+  CertifierConfig config;
+  config.max_force_batch = 1;
+  Build(2, false, config);
+  for (TxnId t = 1; t <= 20; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 0, {static_cast<int64_t>(t * 7)}));
+  }
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->certified_count(), 20);
+  // A cap of one disables group commit entirely: 20 commits, 20 forces.
+  EXPECT_EQ(certifier_->disk()->BusyTime(), 20 * Millis(0.8));
+  EXPECT_EQ(certifier_->wal().DurableSize(), 20u);
+}
+
+TEST_F(CertifierTest, ForceBatchCapKeepsCommitVersionOrder) {
+  CertifierConfig config;
+  config.max_force_batch = 2;
+  Build(2, false, config);
+  for (TxnId t = 1; t <= 11; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 0, {static_cast<int64_t>(t * 7)}));
+  }
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->certified_count(), 11);
+  // Every commit still reaches the other replica, oldest first: capped
+  // forces take the head of the pending batch, never reorder it.
+  ASSERT_EQ(refreshes_.size(), 11u);
+  for (size_t i = 0; i < refreshes_.size(); ++i) {
+    EXPECT_EQ(refreshes_[i].first, 1);
+    EXPECT_EQ(refreshes_[i].second.commit_version,
+              static_cast<DbVersion>(i + 1));
+  }
+  std::vector<WriteSet> records;
+  ASSERT_TRUE(certifier_->wal().ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 11u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].commit_version, static_cast<DbVersion>(i + 1));
+  }
+}
+
+TEST_F(CertifierTest, UnboundedForceBatchEquivalentToHugeCap) {
+  // max_force_batch = 0 (the legacy unbounded behaviour) and a cap that
+  // never binds must produce identical refresh schedules and disk time.
+  auto run = [](size_t cap) {
+    Simulator sim;
+    CertifierConfig config;
+    config.max_force_batch = cap;
+    Certifier certifier(&sim, config, 3, false);
+    std::vector<std::tuple<ReplicaId, TxnId, DbVersion, SimTime>> refreshes;
+    certifier.SetDecisionCallback(
+        [](ReplicaId, const CertDecision&) {});
+    certifier.SetRefreshCallback(
+        [&](ReplicaId target, const RefreshBatch& batch) {
+          for (const WriteSetRef& ws : batch.writesets) {
+            refreshes.emplace_back(target, ws->txn_id, ws->commit_version,
+                                   sim.Now());
+          }
+        });
+    for (TxnId t = 1; t <= 30; ++t) {
+      certifier.SubmitCertification(
+          MakeWs(t, 0, 0, {static_cast<int64_t>(t * 3)}));
+    }
+    sim.RunAll();
+    return std::make_pair(refreshes, certifier.disk()->BusyTime());
+  };
+  const auto unbounded = run(0);
+  const auto huge = run(1000);
+  EXPECT_EQ(unbounded.first, huge.first);
+  EXPECT_EQ(unbounded.second, huge.second);
 }
 
 }  // namespace

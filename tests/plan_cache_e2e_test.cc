@@ -1,0 +1,82 @@
+// End-to-end regression: the plan cache must not change what any figure
+// driver prints.
+//
+// Every driver line goes through ExperimentResult::ToLine(), and every
+// run goes through the SQL executor at every replica.  Running the same
+// experiment with the cache on (the default) and off (the verbatim
+// legacy per-Execute planning path) and comparing the full serialized
+// results proves the hot-path rewrite is behaviorally invisible — the
+// PR's byte-identity discipline as a test instead of a manual diff.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sql/plan.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
+#include "workload/tpcw.h"
+
+namespace screp {
+namespace {
+
+ExperimentConfig ShortRun(ConsistencyLevel level) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = 3;
+  config.client_count = 6;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 11;
+  return config;
+}
+
+/// Runs one experiment under both cache settings and returns the two
+/// (ToLine, ToJson) serializations.
+std::pair<std::string, std::string> RunBoth(const Workload& workload,
+                                            const ExperimentConfig& config) {
+  std::string serialized[2];
+  for (const bool cached : {false, true}) {
+    sql::SetPlanCacheEnabled(cached);
+    auto result = RunExperiment(workload, config);
+    sql::SetPlanCacheEnabled(true);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return {};
+    serialized[cached ? 1 : 0] = result->ToLine() + "\n" + result->ToJson();
+  }
+  return {serialized[0], serialized[1]};
+}
+
+TEST(PlanCacheE2eTest, MicroRunByteIdenticalWithCacheOff) {
+  MicroConfig micro;
+  micro.rows_per_table = 500;
+  micro.update_fraction = 0.3;
+  MicroWorkload workload(micro);
+  const auto [fresh, cached] =
+      RunBoth(workload, ShortRun(ConsistencyLevel::kLazyCoarse));
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh, cached);
+}
+
+TEST(PlanCacheE2eTest, EagerMicroRunByteIdenticalWithCacheOff) {
+  MicroConfig micro;
+  micro.rows_per_table = 300;
+  MicroWorkload workload(micro);
+  const auto [fresh, cached] =
+      RunBoth(workload, ShortRun(ConsistencyLevel::kEager));
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh, cached);
+}
+
+TEST(PlanCacheE2eTest, TpcwRunByteIdenticalWithCacheOff) {
+  TpcwScale scale;
+  TpcwWorkload workload(scale, TpcwMix::kShopping);
+  ExperimentConfig config = ShortRun(ConsistencyLevel::kSession);
+  config.system.proxy = TpcwProxyConfig();
+  const auto [fresh, cached] = RunBoth(workload, config);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh, cached);
+}
+
+}  // namespace
+}  // namespace screp

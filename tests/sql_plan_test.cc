@@ -1,0 +1,229 @@
+// Plan-cache equivalence and invalidation tests.
+//
+// The cached execution plan must be behaviorally invisible: every
+// statement must produce the same results, the same rows_examined, the
+// same access path, and the same errors whether it runs through the
+// plan built at Prepare or through the legacy per-Execute planning
+// path (sql::SetPlanCacheEnabled(false), kept verbatim in the
+// executor).  A catalog change after Prepare must be picked up on the
+// next Execute, not served from the stale plan.
+
+#include "sql/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/executor.h"
+#include "sql/statement.h"
+#include "storage/database.h"
+
+namespace screp::sql {
+namespace {
+
+/// Restores the default (cache on) after every test so test order never
+/// leaks the switch.
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetPlanCacheEnabled(true); }
+
+ public:
+  /// A fresh database with the bench/test "item" shape plus a secondary
+  /// int column worth indexing.
+  static std::unique_ptr<Database> MakeDb(int rows) {
+    auto db = std::make_unique<Database>();
+    auto id = db->CreateTable("item", Schema({{"i_id", ValueType::kInt64},
+                                              {"i_cat", ValueType::kInt64},
+                                              {"i_title", ValueType::kString},
+                                              {"i_cost", ValueType::kDouble}}));
+    EXPECT_TRUE(id.ok());
+    for (int64_t k = 0; k < rows; ++k) {
+      EXPECT_TRUE(db->BulkLoad(*id, {Value(k), Value(k % 7),
+                                     Value("t" + std::to_string(k)),
+                                     Value(1.5 * static_cast<double>(k))})
+                      .ok());
+    }
+    return db;
+  }
+};
+
+/// Runs `text` with `params` against its own fresh database under both
+/// cache settings and requires identical outcomes (status or full
+/// result set), identical rows_examined, and — for non-inserts — an
+/// identical explained access path.
+void ExpectEquivalent(const std::string& text,
+                      const std::vector<Value>& params, int rows = 50) {
+  struct Outcome {
+    bool ok;
+    std::string error;
+    ResultSet rs;
+    std::string path;
+  };
+  Outcome outcomes[2];
+  for (const bool cached : {false, true}) {
+    SetPlanCacheEnabled(cached);
+    auto db = PlanCacheTest::MakeDb(rows);
+    auto stmt = PreparedStatement::Prepare(*db, text);
+    ASSERT_TRUE(stmt.ok()) << text;
+    auto txn = db->Begin();
+    Outcome& out = outcomes[cached ? 1 : 0];
+    auto rs = Execute(txn.get(), **stmt, params);
+    out.ok = rs.ok();
+    if (rs.ok()) {
+      out.rs = std::move(rs).value();
+    } else {
+      out.error = rs.status().ToString();
+    }
+    auto path = ExplainAccessPath(txn.get(), **stmt, params);
+    out.path = path.ok() ? *path : "error: " + path.status().ToString();
+  }
+  SetPlanCacheEnabled(true);
+  const Outcome& fresh = outcomes[0];
+  const Outcome& cached = outcomes[1];
+  EXPECT_EQ(fresh.ok, cached.ok) << text;
+  EXPECT_EQ(fresh.error, cached.error) << text;
+  EXPECT_EQ(fresh.path, cached.path) << text;
+  if (fresh.ok && cached.ok) {
+    EXPECT_EQ(fresh.rs.columns, cached.rs.columns) << text;
+    EXPECT_EQ(fresh.rs.rows_examined, cached.rs.rows_examined) << text;
+    EXPECT_EQ(fresh.rs.rows_affected, cached.rs.rows_affected) << text;
+    ASSERT_EQ(fresh.rs.rows.size(), cached.rs.rows.size()) << text;
+    for (size_t r = 0; r < fresh.rs.rows.size(); ++r) {
+      ASSERT_EQ(fresh.rs.rows[r].size(), cached.rs.rows[r].size()) << text;
+      for (size_t c = 0; c < fresh.rs.rows[r].size(); ++c) {
+        EXPECT_TRUE(fresh.rs.rows[r][c] == cached.rs.rows[r][c])
+            << text << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(PlanCacheTest, StatementCatalogEquivalence) {
+  ExpectEquivalent("SELECT i_title FROM item WHERE i_id = ?", {Value(3)});
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_id BETWEEN ? AND ?",
+                   {Value(5), Value(11)});
+  ExpectEquivalent("SELECT * FROM item WHERE i_cat = ?", {Value(2)});
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_cost > ?", {Value(40.0)});
+  ExpectEquivalent("SELECT COUNT(*) FROM item WHERE i_cat = 3", {});
+  ExpectEquivalent("SELECT SUM(i_cost), MAX(i_id) FROM item", {});
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_cat = ? LIMIT 4",
+                   {Value(1)});
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_cat = ? LIMIT ?",
+                   {Value(1), Value(3)});
+  ExpectEquivalent("UPDATE item SET i_cost = i_cost + ? WHERE i_id = ?",
+                   {Value(2.5), Value(7)});
+  ExpectEquivalent("UPDATE item SET i_cat = ? WHERE i_cat = ?",
+                   {Value(9), Value(4)});
+  ExpectEquivalent("DELETE FROM item WHERE i_id BETWEEN ? AND ?",
+                   {Value(10), Value(20)});
+  ExpectEquivalent("INSERT INTO item VALUES (?, ?, ?, ?)",
+                   {Value(999), Value(1), Value("new"), Value(0.5)});
+}
+
+TEST_F(PlanCacheTest, ErrorParity) {
+  // Unbound parameter: same message either way.
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_cat = ?", {});
+  // A parameter of the wrong type for the primary key falls back to a
+  // scan rather than erroring — in both modes.
+  ExpectEquivalent("SELECT i_id FROM item WHERE i_id = ?",
+                   {Value("not-a-key")});
+  // Mixed aggregate/plain select lists stay an Execute-time error.
+  ExpectEquivalent("SELECT i_id, COUNT(*) FROM item", {});
+}
+
+TEST_F(PlanCacheTest, RandomizedPointAndRangeEquivalence) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBounded(60));
+    const int64_t b = a + static_cast<int64_t>(rng.NextBounded(20));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        ExpectEquivalent("SELECT i_title FROM item WHERE i_id = ?",
+                         {Value(a)});
+        break;
+      case 1:
+        ExpectEquivalent("SELECT i_id FROM item WHERE i_id BETWEEN ? AND ?",
+                         {Value(a), Value(b)});
+        break;
+      case 2:
+        ExpectEquivalent("SELECT i_id FROM item WHERE i_cat = ? AND i_id < ?",
+                         {Value(a % 7), Value(b)});
+        break;
+      default:
+        ExpectEquivalent("UPDATE item SET i_cost = ? WHERE i_id BETWEEN "
+                         "? AND ?",
+                         {Value(0.25 * static_cast<double>(a)), Value(a),
+                          Value(b)});
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(PlanCacheTest, PlanIsBuiltAtPrepare) {
+  auto db = MakeDb(10);
+  auto stmt = PreparedStatement::Prepare(
+      *db, "SELECT i_title FROM item WHERE i_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  const ExecutionPlan* plan = (*stmt)->plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->catalog_epoch(), db->CatalogEpoch());
+  EXPECT_EQ(plan->column_labels(),
+            (std::vector<std::string>{"i_title"}));
+  EXPECT_FALSE(plan->has_agg());
+}
+
+TEST_F(PlanCacheTest, CreateIndexAfterPrepareIsPickedUp) {
+  auto db = MakeDb(50);
+  auto stmt = PreparedStatement::Prepare(
+      *db, "SELECT i_id FROM item WHERE i_cat = ?");
+  ASSERT_TRUE(stmt.ok());
+  {
+    auto txn = db->Begin();
+    auto path = ExplainAccessPath(txn.get(), **stmt, {Value(3)});
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ(*path, "full_scan");
+    auto rs = Execute(txn.get(), **stmt, {Value(3)});
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs->rows_examined, 50);  // scanned everything
+  }
+  // The plan was built before the index existed; the epoch bump must
+  // force a transient replan that sees it.
+  ASSERT_TRUE(db->CreateIndex(0, "i_cat").ok());
+  EXPECT_NE((*stmt)->plan()->catalog_epoch(), db->CatalogEpoch());
+  {
+    auto txn = db->Begin();
+    auto path = ExplainAccessPath(txn.get(), **stmt, {Value(3)});
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ(*path, "index_eq(col 1)");
+    auto rs = Execute(txn.get(), **stmt, {Value(3)});
+    ASSERT_TRUE(rs.ok());
+    EXPECT_LT(rs->rows_examined, 50);  // probed the index
+  }
+  // A statement prepared after the index bakes it into the cached plan.
+  auto fresh = PreparedStatement::Prepare(
+      *db, "SELECT i_id FROM item WHERE i_cat = ?");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->plan()->catalog_epoch(), db->CatalogEpoch());
+}
+
+TEST_F(PlanCacheTest, PathChoiceFollowsBoundValueTypes) {
+  auto db = MakeDb(20);
+  auto stmt = PreparedStatement::Prepare(
+      *db, "SELECT i_title FROM item WHERE i_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db->Begin();
+  auto int_path = ExplainAccessPath(txn.get(), **stmt, {Value(4)});
+  ASSERT_TRUE(int_path.ok());
+  EXPECT_EQ(*int_path, "point(4)");
+  // The same cached plan must degrade to a scan when the bound value
+  // cannot key the primary index.
+  auto str_path = ExplainAccessPath(txn.get(), **stmt, {Value("x")});
+  ASSERT_TRUE(str_path.ok());
+  EXPECT_EQ(*str_path, "full_scan");
+}
+
+}  // namespace
+}  // namespace screp::sql

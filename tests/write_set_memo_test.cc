@@ -1,0 +1,129 @@
+// Lockstep tests for the WriteSet serialization memos.
+//
+// SerializedBytes() and EncodedBytes() cache their results so the
+// certifier's fan-out and the WAL can reuse one frozen encoding per
+// writeset.  The un-memoized walkers (SerializedBytesUncached(), a
+// fresh EncodeTo()) are the oracles: through any interleaving of
+// mutations and queries the memos must agree with them bit for bit.
+
+#include "storage/write_set.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace screp {
+namespace {
+
+Row RandomRow(Rng& rng) {
+  Row row;
+  const int cols = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int c = 0; c < cols; ++c) {
+    switch (rng.NextBounded(4)) {
+      case 0: row.push_back(Value(static_cast<int64_t>(rng.Next()))); break;
+      case 1: row.push_back(Value(rng.NextDouble())); break;
+      case 2: row.push_back(Value()); break;
+      default:
+        row.push_back(Value(std::string(rng.NextBounded(100), 'p')));
+    }
+  }
+  return row;
+}
+
+TEST(WriteSetMemoTest, SizeMemoTracksMutations) {
+  Rng rng(11);
+  WriteSet ws;
+  ws.txn_id = 1;
+  for (int i = 0; i < 500; ++i) {
+    // Small key space so Add() frequently coalesces into an existing op
+    // (rewriting a row in place without changing the op count).
+    ws.Add(static_cast<TableId>(rng.NextBounded(2)),
+           static_cast<int64_t>(rng.NextBounded(6)), WriteType::kUpdate,
+           RandomRow(rng));
+    if (rng.NextBool(0.3)) ws.read_keys.push_back({0, i});
+    if (rng.NextBool(0.1)) ws.read_ranges.push_back({0, i, i + 10});
+    ASSERT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached()) << i;
+  }
+}
+
+TEST(WriteSetMemoTest, EncodeArenaMatchesFreshEncode) {
+  Rng rng(12);
+  WriteSet ws;
+  ws.txn_id = 99;
+  ws.origin = 2;
+  ws.snapshot_version = 7;
+  for (int i = 0; i < 100; ++i) {
+    ws.Add(0, static_cast<int64_t>(rng.NextBounded(10)), WriteType::kUpdate,
+           RandomRow(rng));
+    std::string fresh;
+    ws.EncodeTo(&fresh);
+    ASSERT_EQ(ws.EncodedBytes(), fresh) << i;
+    ASSERT_EQ(ws.EncodedBytes().size(), ws.SerializedBytes()) << i;
+  }
+}
+
+TEST(WriteSetMemoTest, HeaderFieldChangeInvalidatesArena) {
+  WriteSet ws;
+  ws.txn_id = 5;
+  ws.Add(0, 1, WriteType::kUpdate, Row{Value(int64_t{1})});
+  const std::string before = ws.EncodedBytes();
+  // The certifier stamps the commit version after the size (and possibly
+  // the encoding) was already queried; the arena must re-encode.
+  ws.commit_version = 42;
+  const std::string after = ws.EncodedBytes();
+  EXPECT_NE(before, after);
+  std::string fresh;
+  ws.EncodeTo(&fresh);
+  EXPECT_EQ(after, fresh);
+  // Size is commit-version independent (fixed-width header field).
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+}
+
+TEST(WriteSetMemoTest, DecodeFromResetsBothMemos) {
+  WriteSet source;
+  source.txn_id = 8;
+  source.Add(0, 3, WriteType::kUpdate, Row{Value(int64_t{3}), Value(2.5)});
+  source.Add(1, 4, WriteType::kDelete, {});
+  std::string encoded;
+  source.EncodeTo(&encoded);
+
+  WriteSet target;
+  target.Add(0, 99, WriteType::kUpdate, Row{Value(std::string(200, 'z'))});
+  // Populate both memos with the pre-decode state.
+  ASSERT_EQ(target.SerializedBytes(), target.SerializedBytesUncached());
+  ASSERT_FALSE(target.EncodedBytes().empty());
+
+  size_t offset = 0;
+  ASSERT_TRUE(WriteSet::DecodeFrom(encoded, &offset, &target));
+  EXPECT_EQ(offset, encoded.size());
+  EXPECT_EQ(target.SerializedBytes(), target.SerializedBytesUncached());
+  EXPECT_EQ(target.EncodedBytes(), encoded);
+}
+
+TEST(WriteSetMemoTest, RoundTripThroughMemoizedEncoding) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    WriteSet ws;
+    ws.txn_id = static_cast<TxnId>(i);
+    ws.origin = static_cast<ReplicaId>(rng.NextBounded(4));
+    ws.snapshot_version = rng.NextBounded(100);
+    ws.commit_version = rng.NextBounded(100);
+    const int ops = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int k = 0; k < ops; ++k) {
+      ws.Add(0, static_cast<int64_t>(rng.NextBounded(20)),
+             rng.NextBool(0.2) ? WriteType::kDelete : WriteType::kUpdate,
+             rng.NextBool(0.2) ? Row{} : RandomRow(rng));
+    }
+    WriteSet decoded;
+    size_t offset = 0;
+    ASSERT_TRUE(WriteSet::DecodeFrom(ws.EncodedBytes(), &offset, &decoded));
+    EXPECT_EQ(offset, ws.SerializedBytes());
+    EXPECT_EQ(decoded.EncodedBytes(), ws.EncodedBytes());
+  }
+}
+
+}  // namespace
+}  // namespace screp

@@ -17,6 +17,10 @@ kind gates the metrics that matter for it:
   micro_components: per-(window, ws_size) certification-throughput and
       speedup floors; apply-lane speedup floors.
   micro_components_network: message-reduction floor.
+  micro_components_hotpath: per-hot-path A/B speedup floors (wall-clock,
+      so the band is wide), a hard >= 2x requirement on the best path,
+      and a hard byte-identity requirement (the memoized encodings must
+      match the fresh encoders bit for bit).
   fault_timeline_health: every fault scenario must still be detected by
       its matching detector within a detection-latency band; clean-run
       detector firings are a hard zero (no false-positive tolerance).
@@ -40,6 +44,8 @@ SHED_ABS_SLACK = 50          # shed counts drift with timing; allow
 SHED_REL_SLACK = 0.5         # max(abs, rel * base) in either direction
 CERT_SPEEDUP_FLOOR = 0.25    # wall-clock micro-bench: +/-2x host noise
 LANES_SPEEDUP_FLOOR = 0.90   # virtual-time makespan: deterministic
+HOTPATH_SPEEDUP_FLOOR = 0.25  # wall-clock A/B: same noise band
+HOTPATH_BEST_MIN = 2.0       # best hot path must stay >= 2x, absolutely
 NETWORK_REDUCTION_FLOOR = 0.85
 HEALTH_LATENCY_REL = 1.5     # detection may be 1.5x base samples + 2 ...
 HEALTH_LATENCY_ABS = 2       # ... but never past the scenario bound
@@ -132,6 +138,33 @@ def gate_micro_components(gate, base, fresh):
                    row["speedup_vs_serial"], LANES_SPEEDUP_FLOOR)
 
 
+def gate_hotpath(gate, base, fresh):
+    """micro_components --hotpath-json: cached-plan / zero-copy / WAL A/B.
+
+    Per-path speedups are wall-clock ratios, so each gets the same wide
+    noise band as the certifier micro-bench.  Two checks are absolute:
+    the best path must stay a >= 2x win (the PR's headline claim), and
+    byte_identity must hold — the memoized serialization diverging from
+    the fresh encoders is a correctness bug, not a perf regression.
+    """
+    fresh_paths = fresh.get("paths", {})
+    best = 0.0
+    for name, b in base.get("paths", {}).items():
+        f = fresh_paths.get(name)
+        if f is None:
+            gate.check(f"path {name}", False, "path missing from fresh output")
+            continue
+        gate.floor(f"{name} speedup", f["speedup"], b["speedup"],
+                   HOTPATH_SPEEDUP_FLOOR)
+        best = max(best, f["speedup"])
+    gate.check("best-path speedup", best >= HOTPATH_BEST_MIN,
+               f"best fresh speedup {best:.2f}x vs required "
+               f"{HOTPATH_BEST_MIN:.1f}x")
+    gate.check("byte identity", fresh.get("byte_identity", False) is True,
+               f"byte_identity={fresh.get('byte_identity')} — memoized "
+               "encodings must match the fresh encoders exactly")
+
+
 def gate_health(gate, base, fresh):
     """fault_timeline --health-sweep: detection latency + false positives.
 
@@ -196,6 +229,8 @@ def run_gate(base, fresh):
         gate_micro_components(gate, base, fresh)
     elif driver == "micro_components_network":
         gate_network(gate, base, fresh)
+    elif driver == "micro_components_hotpath":
+        gate_hotpath(gate, base, fresh)
     elif driver == "fault_timeline_health":
         gate_health(gate, base, fresh)
     elif "runs" in base:
@@ -294,6 +329,44 @@ def self_test():
     false_positive["clean"][0]["firings"] = 1
     false_positive["clean"][0]["fired"] = "slo_fast_burn"
     expect_health("clean-run false positive fails", 1, false_positive)
+
+    hotpath_base = {
+        "driver": "micro_components_hotpath",
+        "paths": {
+            "plan_cache": {"base_per_sec": 1.2e6, "opt_per_sec": 1.5e6,
+                           "speedup": 1.25},
+            "writeset_encode": {"base_per_sec": 6.2e5, "opt_per_sec": 1.0e8,
+                                "speedup": 160.0},
+            "group_commit_wal": {"base_per_sec": 2.5e6, "opt_per_sec": 6.3e6,
+                                 "speedup": 2.5},
+        },
+        "byte_identity": True,
+    }
+
+    def expect_hotpath(name, expected_rc, fresh):
+        print(f"-- self-test: {name} (expect rc={expected_rc})")
+        rc = run_gate(hotpath_base, fresh)
+        if rc != expected_rc:
+            failures.append(f"{name}: rc={rc}, expected {expected_rc}")
+
+    expect_hotpath("hotpath identity passes", 0,
+                   json.loads(json.dumps(hotpath_base)))
+
+    lost_speedup = json.loads(json.dumps(hotpath_base))
+    # The zero-copy fan-out collapsing to parity must trip both its own
+    # floor (160 * 0.25 = 40) and the absolute best-path requirement once
+    # the WAL path dips under 2x.
+    lost_speedup["paths"]["writeset_encode"]["speedup"] = 1.0
+    lost_speedup["paths"]["group_commit_wal"]["speedup"] = 1.5
+    expect_hotpath("hot-path speedup regression fails", 1, lost_speedup)
+
+    broken_bytes = json.loads(json.dumps(hotpath_base))
+    broken_bytes["byte_identity"] = False
+    expect_hotpath("byte-identity break fails", 1, broken_bytes)
+
+    missing_path = json.loads(json.dumps(hotpath_base))
+    del missing_path["paths"]["plan_cache"]
+    expect_hotpath("missing hot path fails", 1, missing_path)
 
     if failures:
         print("self-test FAILED:")

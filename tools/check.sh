@@ -29,6 +29,13 @@ echo "== refresh fan-out microbench =="
 # writesets.
 ./build/bench/micro_components --net-json=build/BENCH_network.json
 
+echo "== hot-path A/B microbench =="
+# Self-checking: exits non-zero unless the best optimized hot path
+# (cached plans / zero-copy fan-out / arena-fed WAL) holds a >= 2x
+# speedup over its pre-optimization behavior AND the memoized
+# serializations are byte-identical to the fresh encoders.
+./build/bench/micro_components --hotpath-json=build/BENCH_hotpath.json
+
 echo "== saturation sweep (flow control on) =="
 # Self-checking: exits non-zero unless the admission queue and the
 # per-replica apply backlog stay within their configured bounds, the
@@ -70,6 +77,8 @@ python3 tools/bench_gate.py --baseline BENCH_certifier.json \
   --fresh build/BENCH_certifier.json
 python3 tools/bench_gate.py --baseline BENCH_network.json \
   --fresh build/BENCH_network.json
+python3 tools/bench_gate.py --baseline BENCH_hotpath.json \
+  --fresh build/BENCH_hotpath.json
 python3 tools/bench_gate.py --baseline BENCH_saturation.json \
   --fresh build/BENCH_saturation.json
 python3 tools/bench_gate.py --baseline BENCH_profile.json \
