@@ -1,4 +1,5 @@
 // Availability timeline (extension, not a paper figure): throughput and
+#include "runtime/sim_runtime.h"
 // response time per half-second around a replica crash and recovery,
 // and around a certifier failover — making the crash-recovery design of
 // §IV visible as a time series.
@@ -58,6 +59,7 @@ int NetSweep(const BenchOptions& options) {
   MicroWorkload workload(micro);
 
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig sys_config;
   sys_config.level = ConsistencyLevel::kLazyCoarse;
   sys_config.replica_count = 4;
@@ -65,7 +67,7 @@ int NetSweep(const BenchOptions& options) {
   if (options.health) sys_config.obs.health = true;
   ApplyNetworkOptions(options, &sys_config);
   auto system_or = ReplicatedSystem::Create(
-      &sim, sys_config,
+      &rt, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -188,6 +190,7 @@ ScenarioResult RunFaultScenario(const BenchOptions& options, int clients,
   MicroWorkload workload(micro);
 
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig sys_config;
   sys_config.level = ConsistencyLevel::kLazyCoarse;
   sys_config.replica_count = 4;
@@ -197,7 +200,7 @@ ScenarioResult RunFaultScenario(const BenchOptions& options, int clients,
   ApplyNetworkOptions(options, &sys_config);
   mutate(&sys_config);
   auto system_or = ReplicatedSystem::Create(
-      &sim, sys_config,
+      &rt, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -615,6 +618,7 @@ int Main(int argc, char** argv) {
   MicroWorkload workload(micro);
 
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig sys_config;
   sys_config.level = ConsistencyLevel::kLazyCoarse;
   sys_config.replica_count = 4;
@@ -624,7 +628,7 @@ int Main(int argc, char** argv) {
   if (options.health) sys_config.obs.health = true;
   ApplyNetworkOptions(options, &sys_config);
   auto system_or = ReplicatedSystem::Create(
-      &sim, sys_config,
+      &rt, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

@@ -1,4 +1,5 @@
 // Component microbenchmarks (google-benchmark): storage engine point
+#include "runtime/sim_runtime.h"
 // operations, SQL parse/execute, writeset certification, version
 // trackers, and the discrete-event core. These are sanity/ablation
 // benches, not paper figures.
@@ -190,6 +191,7 @@ BENCHMARK(BM_TableVersionTracker);
 void BM_SimulatorEventLoop(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;
+    runtime::SimRuntime rt{&sim};
     int fired = 0;
     for (int i = 0; i < 1000; ++i) {
       sim.Schedule(i, [&fired] { ++fired; });
@@ -203,7 +205,8 @@ BENCHMARK(BM_SimulatorEventLoop);
 void BM_CertifierThroughput(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;
-    Certifier certifier(&sim, CertifierConfig{}, 4, /*eager=*/false);
+    runtime::SimRuntime rt{&sim};
+    Certifier certifier(&rt, CertifierConfig{}, 4, /*eager=*/false);
     int decisions = 0;
     certifier.SetDecisionCallback(
         [&decisions](ReplicaId, const CertDecision&) { ++decisions; });
@@ -235,7 +238,7 @@ class CertifierHarness {
     CertifierConfig config;
     config.conflict_window = window;
     config.linear_scan_oracle = linear_scan;
-    certifier_ = std::make_unique<Certifier>(&sim_, config, 4,
+    certifier_ = std::make_unique<Certifier>(&rt_, config, 4,
                                              /*eager=*/false);
     certifier_->SetDecisionCallback([](ReplicaId, const CertDecision&) {});
     certifier_->SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
@@ -270,6 +273,7 @@ class CertifierHarness {
   }
 
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   std::unique_ptr<Certifier> certifier_;
   int ws_size_;
   DbVersion window_;
@@ -323,7 +327,7 @@ class ApplyLaneHarness {
     config.cpu_cores = 16;        // lanes, not cores, are the bottleneck
     config.service_spread = 0.0;  // deterministic apply cost
     config.stall_probability = 0.0;
-    proxy_ = std::make_unique<Proxy>(&sim_, 0, &db_, &registry_, config,
+    proxy_ = std::make_unique<Proxy>(&rt_, 0, &db_, &registry_, config,
                                      /*eager=*/false);
     proxy_->SetCertRequestCallback([](const WriteSet&) {});
     proxy_->SetResponseCallback([](const TxnResponse&) {});
@@ -348,6 +352,7 @@ class ApplyLaneHarness {
 
  private:
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   Database db_;
   TableId table_ = -1;
   sql::TransactionRegistry registry_;
@@ -463,15 +468,16 @@ struct FanOutResult {
 /// byte counts the channels observed.
 FanOutResult MeasureFanOut(bool batching, int replicas, int txns) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   FanOutResult out;
   CertifierConfig config;
   config.refresh_batching = batching;
-  Certifier certifier(&sim, config, replicas, /*eager=*/false);
+  Certifier certifier(&rt, config, replicas, /*eager=*/false);
   certifier.SetDecisionCallback([](ReplicaId, const CertDecision&) {});
   std::vector<std::unique_ptr<net::Channel<RefreshBatch>>> channels;
   for (int r = 0; r < replicas; ++r) {
     auto ch = std::make_unique<net::Channel<RefreshBatch>>(
-        &sim, "fanout.r" + std::to_string(r), net::LinkConfig{Micros(120)},
+        &rt, "fanout.r" + std::to_string(r), net::LinkConfig{Micros(120)},
         static_cast<uint64_t>(r) + 1);
     ch->SetSizeFn(
         [](const RefreshBatch& b) { return b.SerializedBytes(); });

@@ -1,4 +1,5 @@
 // The hidden-channel example from the paper's introduction.
+#include "runtime/sim_runtime.h"
 //
 // Agent A executes a trade (an update transaction) on behalf of Agent B.
 // When A's commit is acknowledged, A notifies B through a channel the
@@ -63,6 +64,7 @@ Status DefineTransactions(const Database& db,
 /// times B saw the PRE-trade state.
 int CountStaleReads(ConsistencyLevel level, int rounds) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 4;
   config.level = level;
@@ -70,7 +72,7 @@ int CountStaleReads(ConsistencyLevel level, int rounds) {
   config.proxy.refresh_base = Millis(15);
 
   auto system_or =
-      ReplicatedSystem::Create(&sim, config, BuildSchema, DefineTransactions);
+      ReplicatedSystem::Create(&rt, config, BuildSchema, DefineTransactions);
   SCREP_CHECK(system_or.ok());
   auto system = std::move(system_or).value();
 

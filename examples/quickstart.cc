@@ -1,4 +1,5 @@
 // Quickstart: stand up a 3-replica strongly consistent database, define a
+#include "runtime/sim_runtime.h"
 // schema and prepared transactions, run a few transactions, and watch the
 // replicas converge.
 //
@@ -58,6 +59,7 @@ Status DefineTransactions(const Database& db,
 
 int main() {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
 
   SystemConfig config;
   config.replica_count = 3;
@@ -67,7 +69,7 @@ int main() {
   config.level = ConsistencyLevel::kLazyCoarse;
 
   auto system_or =
-      ReplicatedSystem::Create(&sim, config, BuildSchema, DefineTransactions);
+      ReplicatedSystem::Create(&rt, config, BuildSchema, DefineTransactions);
   if (!system_or.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
                  system_or.status().ToString().c_str());

@@ -1,7 +1,20 @@
-// Virtual time used throughout the simulator and middleware.
+// Time used throughout the middleware, the simulator and the wall-clock
+// runtime.
 //
 // Time is an integer count of microseconds so that event ordering is exact
-// and runs are bit-for-bit reproducible (no floating-point drift).
+// and simulated runs are bit-for-bit reproducible (no floating-point
+// drift).  The same representation serves both clocks: under the
+// deterministic simulator a TimePoint is virtual time since the start of
+// the run; under the threaded runtime it is steady-clock time since the
+// runtime started.  Code above the Runtime seam (runtime/runtime.h) should
+// use the neutral names:
+//
+//   Duration   — a span of time (latencies, service times, timeouts)
+//   TimePoint  — an instant on the runtime's clock (Runtime::Now())
+//
+// SimTime remains as the historical alias; simulator-internal code keeps
+// it, and the three names are interchangeable by construction (all are
+// int64_t microseconds).
 
 #ifndef SCREP_COMMON_SIM_TIME_H_
 #define SCREP_COMMON_SIM_TIME_H_
@@ -10,21 +23,28 @@
 
 namespace screp {
 
-/// A point in (or duration of) virtual time, in microseconds.
+/// A span of time, in microseconds.
+using Duration = int64_t;
+
+/// A point on the runtime's clock (virtual or steady), in microseconds.
+using TimePoint = int64_t;
+
+/// Historical alias (virtual time); prefer Duration/TimePoint above the
+/// Runtime seam.
 using SimTime = int64_t;
 
 /// Duration helpers.
-constexpr SimTime Micros(int64_t us) { return us; }
-constexpr SimTime Millis(double ms) {
-  return static_cast<SimTime>(ms * 1000.0);
+constexpr Duration Micros(int64_t us) { return us; }
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * 1000.0);
 }
-constexpr SimTime Seconds(double s) {
-  return static_cast<SimTime>(s * 1e6);
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * 1e6);
 }
 
 /// Conversions for reporting.
-constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
-constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMillis(Duration t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSeconds(Duration t) { return static_cast<double>(t) / 1e6; }
 
 }  // namespace screp
 

@@ -27,11 +27,11 @@ struct TxnRecord {
 
   /// Client sent the request (by this point the client may have observed
   /// other transactions' acknowledgments, including via hidden channels).
-  SimTime submit_time = 0;
+  TimePoint submit_time = 0;
   /// BEGIN executed at the replica — the snapshot was taken here.
-  SimTime start_time = 0;
+  TimePoint start_time = 0;
   /// Client received the commit (or abort) acknowledgment.
-  SimTime ack_time = 0;
+  TimePoint ack_time = 0;
 
   /// Database version the transaction read at.
   DbVersion snapshot = 0;

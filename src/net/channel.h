@@ -31,7 +31,7 @@
 #include "common/rng.h"
 #include "net/link.h"
 #include "obs/metrics_registry.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace screp::net {
 
@@ -64,11 +64,11 @@ class Channel {
   /// (message, send time, delivery time).  Retransmitted and resequenced
   /// messages report their *original* send time, so the observed interval
   /// is the full transport delay the receiver experienced.
-  using TraceFn = std::function<void(const Msg&, SimTime, SimTime)>;
+  using TraceFn = std::function<void(const Msg&, TimePoint, TimePoint)>;
 
-  Channel(Simulator* sim, std::string name, const LinkConfig& config,
+  Channel(runtime::Runtime* rt, std::string name, const LinkConfig& config,
           uint64_t seed)
-      : sim_(sim), name_(std::move(name)), config_(config), rng_(seed) {}
+      : rt_(rt), name_(std::move(name)), config_(config), rng_(seed) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -116,7 +116,7 @@ class Channel {
       return;
     }
     const uint64_t seq = next_seq_++;
-    const SimTime sent = sim_->Now();
+    const TimePoint sent = rt_->Now();
     Transmit(msg, bytes, seq, sent, /*redelivery=*/false,
              /*exempt_fifo=*/false);
     if (config_.duplicate_probability > 0 &&
@@ -168,7 +168,7 @@ class Channel {
   /// Schedules one copy of `msg` for delivery (or its loss + possible
   /// retransmission).  `sent` is the original Send() time, preserved
   /// across retransmissions for the delivery observer.
-  void Transmit(const Msg& msg, size_t bytes, uint64_t seq, SimTime sent,
+  void Transmit(const Msg& msg, size_t bytes, uint64_t seq, TimePoint sent,
                 bool redelivery, bool exempt_fifo) {
     if (redelivery) {
       if (Blocked()) {
@@ -185,7 +185,7 @@ class Channel {
       CountDrop();
       if (config_.reliability == Reliability::kReliable) {
         const uint64_t epoch = epoch_;
-        sim_->Schedule(config_.EffectiveRetransmitTimeout(),
+        rt_->Schedule(config_.EffectiveRetransmitTimeout(),
                        [this, msg, bytes, seq, sent, epoch]() {
                          if (epoch != epoch_) return;
                          Transmit(msg, bytes, seq, sent, /*redelivery=*/true,
@@ -194,13 +194,13 @@ class Channel {
       }
       return;
     }
-    SimTime delay = config_.base_latency;
+    Duration delay = config_.base_latency;
     if (config_.per_byte_us > 0 && bytes > 0) {
-      delay += static_cast<SimTime>(config_.per_byte_us *
+      delay += static_cast<Duration>(config_.per_byte_us *
                                     static_cast<double>(bytes));
     }
     if (config_.jitter_mean > 0) {
-      delay += static_cast<SimTime>(
+      delay += static_cast<Duration>(
           rng_.NextExponential(static_cast<double>(config_.jitter_mean)));
     }
     bool reordered = false;
@@ -209,11 +209,11 @@ class Channel {
       reordered = true;
       ++stats_.reordered;
       if (config_.reorder_window > 0) {
-        delay += static_cast<SimTime>(rng_.NextBounded(
+        delay += static_cast<Duration>(rng_.NextBounded(
             static_cast<uint64_t>(config_.reorder_window) + 1));
       }
     }
-    SimTime arrival = sim_->Now() + delay;
+    TimePoint arrival = rt_->Now() + delay;
     if (config_.fifo && !reordered && !exempt_fifo) {
       // FIFO clamp: never schedule a delivery before an earlier one on
       // this link (ties preserve send order — the simulator fires
@@ -223,20 +223,20 @@ class Channel {
     }
     ++stats_.in_flight;
     const uint64_t epoch = epoch_;
-    sim_->Schedule(arrival - sim_->Now(), [this, msg, seq, sent, epoch]() {
+    rt_->Schedule(arrival - rt_->Now(), [this, msg, seq, sent, epoch]() {
       if (epoch != epoch_) return;  // Reset while in flight
       --stats_.in_flight;
       Arrive(msg, seq, sent);
     });
   }
 
-  void Deliver(const Msg& msg, SimTime sent) {
+  void Deliver(const Msg& msg, TimePoint sent) {
     ++stats_.delivered;
-    if (trace_fn_) trace_fn_(msg, sent, sim_->Now());
+    if (trace_fn_) trace_fn_(msg, sent, rt_->Now());
     handler_(msg);
   }
 
-  void Arrive(const Msg& msg, uint64_t seq, SimTime sent) {
+  void Arrive(const Msg& msg, uint64_t seq, TimePoint sent) {
     if (config_.reliability != Reliability::kReliable) {
       Deliver(msg, sent);
       return;
@@ -252,14 +252,14 @@ class Channel {
     for (auto it = hold_.begin();
          it != hold_.end() && it->first == next_deliver_seq_;
          it = hold_.begin()) {
-      std::pair<Msg, SimTime> held = std::move(it->second);
+      std::pair<Msg, TimePoint> held = std::move(it->second);
       hold_.erase(it);
       ++next_deliver_seq_;
       Deliver(held.first, held.second);
     }
   }
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   std::string name_;
   LinkConfig config_;
   Rng rng_;
@@ -275,7 +275,7 @@ class Channel {
   uint64_t epoch_ = 0;
 
   /// Latest scheduled delivery time (the FIFO clamp).
-  SimTime fifo_watermark_ = 0;
+  TimePoint fifo_watermark_ = 0;
 
   /// Next sequence number to stamp (reliable links; assigned always so
   /// Reset can fast-forward).
@@ -283,7 +283,7 @@ class Channel {
   /// Next sequence number the handler is owed.
   uint64_t next_deliver_seq_ = 0;
   /// Out-of-order arrivals awaiting their turn, with their send times.
-  std::map<uint64_t, std::pair<Msg, SimTime>> hold_;
+  std::map<uint64_t, std::pair<Msg, TimePoint>> hold_;
 
   LinkStats stats_;
   obs::Counter* ctr_messages_ = nullptr;

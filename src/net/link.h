@@ -41,11 +41,11 @@ enum class Reliability {
 /// One directed link's latency / size / fault model.
 struct LinkConfig {
   /// Base one-way propagation latency.
-  SimTime base_latency = 0;
+  Duration base_latency = 0;
   /// Mean of an exponential jitter term added to every delivery
   /// (0 = deterministic latency).  FIFO order is preserved by default:
   /// a jittered message never overtakes an earlier one on the same link.
-  SimTime jitter_mean = 0;
+  Duration jitter_mean = 0;
   /// Serialization/transmission cost per payload byte (fractional
   /// microseconds; ~0.008 models a gigabit link).  Only channels with a
   /// size function (writeset-bearing ones) pay it.
@@ -61,7 +61,7 @@ struct LinkConfig {
   /// (breaks FIFO for that message).
   double reorder_probability = 0.0;
   /// Extra uniform [0, reorder_window] delay a reordered message draws.
-  SimTime reorder_window = 0;
+  Duration reorder_window = 0;
 
   /// Preserve per-link FIFO delivery despite jitter (default).  Messages
   /// hit by the reorder fault are exempt.
@@ -70,19 +70,19 @@ struct LinkConfig {
   Reliability reliability = Reliability::kBestEffort;
   /// Reliable mode: how long the sender waits before retransmitting a
   /// lost message.  0 derives a default of 4 * base_latency.
-  SimTime retransmit_timeout = 0;
+  Duration retransmit_timeout = 0;
 
   constexpr LinkConfig() = default;
   // NOLINTNEXTLINE(google-explicit-constructor): a bare latency is a link.
-  constexpr LinkConfig(SimTime latency) : base_latency(latency) {}
+  constexpr LinkConfig(Duration latency) : base_latency(latency) {}
 
   /// The link's nominal round-trip time — the named replacement for the
   /// magic `2 * one_way` delays in recovery / failover paths.
-  constexpr SimTime RoundTrip() const { return 2 * base_latency; }
+  constexpr Duration RoundTrip() const { return 2 * base_latency; }
 
-  SimTime EffectiveRetransmitTimeout() const {
+  Duration EffectiveRetransmitTimeout() const {
     if (retransmit_timeout > 0) return retransmit_timeout;
-    const SimTime rto = 4 * base_latency;
+    const Duration rto = 4 * base_latency;
     return rto > 0 ? rto : 1;
   }
 };

@@ -24,7 +24,7 @@ Auditor::Auditor(AuditorConfig config, MetricsRegistry* registry)
   }
 }
 
-void Auditor::AddViolation(const char* check, TxnId txn, SimTime at,
+void Auditor::AddViolation(const char* check, TxnId txn, TimePoint at,
                            std::string detail) {
   ++violation_count_;
   if (violations_.size() < config_.max_recorded_violations) {
@@ -149,12 +149,12 @@ void Auditor::OnApply(const Event& e) {
 }
 
 const Auditor::AckedWrite* Auditor::LatestAckedBefore(
-    const AckedWriteLog& log, SimTime deadline) {
+    const AckedWriteLog& log, TimePoint deadline) {
   // Entries whose writer was acknowledged at or before `deadline`
   // (matching the offline checker's "ack_time > submit_time" exclusion).
   auto it = std::upper_bound(
       log.begin(), log.end(), deadline,
-      [](SimTime t, const AckedWrite& w) { return t < w.ack_time; });
+      [](TimePoint t, const AckedWrite& w) { return t < w.ack_time; });
   if (it == log.begin()) return nullptr;
   return &*(it - 1);
 }

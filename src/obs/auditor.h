@@ -83,7 +83,7 @@ class Auditor {
   struct Violation {
     std::string check;  ///< "admission", "fcw", "definition1", ...
     TxnId txn = 0;      ///< the offending transaction
-    SimTime at = 0;     ///< virtual time the violation was detected
+    TimePoint at = 0;     ///< virtual time the violation was detected
     std::string detail; ///< full causal chain, human-readable
   };
 
@@ -110,7 +110,7 @@ class Auditor {
   /// stored version is the running prefix max so "latest version
   /// acknowledged before time t" is one binary search.
   struct AckedWrite {
-    SimTime ack_time = 0;
+    TimePoint ack_time = 0;
     DbVersion version = 0;  ///< prefix max of commit versions so far
     TxnId txn = 0;          ///< transaction achieving that max
   };
@@ -123,7 +123,7 @@ class Auditor {
     std::vector<std::pair<TableId, int64_t>> keys_written;
   };
 
-  void AddViolation(const char* check, TxnId txn, SimTime at,
+  void AddViolation(const char* check, TxnId txn, TimePoint at,
                     std::string detail);
   void OnCertVerdict(const Event& e);
   void OnBegin(const Event& e);
@@ -132,7 +132,7 @@ class Auditor {
   /// Latest acknowledged (before `deadline`) committed write to `table`
   /// in `log`; nullptr when none.
   static const AckedWrite* LatestAckedBefore(const AckedWriteLog& log,
-                                             SimTime deadline);
+                                             TimePoint deadline);
 
   AuditorConfig config_;
   MetricsRegistry* registry_;
@@ -146,7 +146,7 @@ class Auditor {
 
   DbVersion max_version_ = 0;
   /// commit version -> (txn, certify time); pruned to a recent window.
-  std::map<DbVersion, std::pair<TxnId, SimTime>> certified_;
+  std::map<DbVersion, std::pair<TxnId, TimePoint>> certified_;
   /// commit version -> writeset info, for first-committer-wins.
   std::map<DbVersion, CommittedUpdate> committed_updates_;
   /// Per-replica last applied version (apply-order check).

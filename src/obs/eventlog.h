@@ -83,7 +83,7 @@ const char* WaitCauseName(WaitCause cause);
 struct Event {
   EventKind kind = EventKind::kRoute;
   /// Virtual time of the decision.
-  SimTime at = 0;
+  TimePoint at = 0;
   TxnId txn = 0;
   SessionId session = 0;
   ReplicaId replica = kNoReplica;
@@ -106,7 +106,7 @@ struct Event {
   /// kBeginAdmitted: which tracker the version tag came from.
   WaitCause wait_cause = WaitCause::kNone;
   /// kBeginAdmitted: how long BEGIN was blocked (0 = admitted on arrival).
-  SimTime wait = 0;
+  Duration wait = 0;
 
   /// kCertVerdict/kTxnFinished: decision / outcome.
   bool committed = false;
@@ -115,8 +115,8 @@ struct Event {
   bool local = false;
 
   /// kTxnFinished: client-side timeline (TxnRecord fields).
-  SimTime submit_time = 0;
-  SimTime start_time = 0;
+  TimePoint submit_time = 0;
+  TimePoint start_time = 0;
 
   /// kCertVerdict abort / kCrash / kFailover: short reason tag
   /// ("ww" / "rw" / "window", "replica" / "certifier" / "lb").

@@ -89,12 +89,12 @@ HealthMonitor::HealthMonitor(const HealthConfig& config, int replica_count,
       event_log_(event_log),
       lag_streak_(static_cast<size_t>(replica_count), 0),
       credit_streak_(static_cast<size_t>(replica_count), 0),
-      recovered_at_(static_cast<size_t>(replica_count), SimTime{-1}),
+      recovered_at_(static_cast<size_t>(replica_count), TimePoint{-1}),
       catchup_samples_(static_cast<size_t>(replica_count), 0),
       catchup_baseline_(static_cast<size_t>(replica_count), 0.0) {
   SCREP_CHECK_MSG(replica_count > 0, "health monitor needs replicas");
   SCREP_CHECK_MSG(store != nullptr, "health monitor needs a series store");
-  first_fired_at_.fill(SimTime{-1});
+  first_fired_at_.fill(TimePoint{-1});
   state_gauge_ = registry->GetGauge("health.state");
   for (int d = 0; d < kHealthDetectorCount; ++d) {
     detector_gauges_[static_cast<size_t>(d)] = registry->GetGauge(
@@ -334,7 +334,7 @@ void HealthMonitor::EvaluateRefreshLoss() {
             "drops=" + Fmt(drop_rate) + "/s");
 }
 
-void HealthMonitor::SetFiring(HealthDetector detector, bool firing, SimTime at,
+void HealthMonitor::SetFiring(HealthDetector detector, bool firing, TimePoint at,
                               const std::string& detail) {
   const size_t idx = static_cast<size_t>(detector);
   if (firing && !firing_[idx]) {
@@ -346,7 +346,7 @@ void HealthMonitor::SetFiring(HealthDetector detector, bool firing, SimTime at,
   detector_gauges_[idx]->Set(firing ? 1 : 0);
 }
 
-void HealthMonitor::OnSample(SimTime at) {
+void HealthMonitor::OnSample(TimePoint at) {
   now_ = at;
   buckets_.push_back(current_);
   current_ = SloBucket{};

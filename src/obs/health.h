@@ -139,7 +139,7 @@ struct HealthConfig {
 
 /// One health-state change.
 struct HealthTransition {
-  SimTime at = 0;
+  TimePoint at = 0;
   HealthState from = HealthState::kHealthy;
   HealthState to = HealthState::kHealthy;
   /// Name of the detector that triggered the change (the most severe
@@ -164,7 +164,7 @@ class HealthMonitor {
   /// Sampler sink: evaluates every SLO and detector against the current
   /// windows, updates state, and emits transitions.  Call after the
   /// TimeSeriesStore ingested the same tick.
-  void OnSample(SimTime at);
+  void OnSample(TimePoint at);
 
   HealthState state() const { return state_; }
   HealthState worst_state() const { return worst_state_; }
@@ -180,7 +180,7 @@ class HealthMonitor {
   /// Rising edges across all detectors; 0 = the run was detector-quiet.
   int64_t total_firings() const;
   /// Virtual time `detector` first fired, or -1 if it never did.
-  SimTime first_fired_at(HealthDetector detector) const {
+  TimePoint first_fired_at(HealthDetector detector) const {
     return first_fired_at_[static_cast<size_t>(detector)];
   }
 
@@ -224,7 +224,7 @@ class HealthMonitor {
 
   /// Latches the detector's firing flag for this sample, counting rising
   /// edges and remembering the first trigger description.
-  void SetFiring(HealthDetector detector, bool firing, SimTime at,
+  void SetFiring(HealthDetector detector, bool firing, TimePoint at,
                  const std::string& detail);
 
   HealthConfig config_;
@@ -241,7 +241,7 @@ class HealthMonitor {
   // Per-detector state.
   std::array<bool, kHealthDetectorCount> firing_{};
   std::array<int64_t, kHealthDetectorCount> firings_{};
-  std::array<SimTime, kHealthDetectorCount> first_fired_at_;
+  std::array<TimePoint, kHealthDetectorCount> first_fired_at_;
   std::array<std::string, kHealthDetectorCount> last_detail_;
   /// Consecutive-sample debounce counters.
   std::vector<int> lag_streak_;     // per replica
@@ -250,12 +250,12 @@ class HealthMonitor {
   int certifier_streak_ = 0;
   int loss_streak_ = 0;
   /// Catch-up tracking, per replica: -1 = disarmed.
-  std::vector<SimTime> recovered_at_;
+  std::vector<TimePoint> recovered_at_;
   std::vector<int> catchup_samples_;
   std::vector<double> catchup_baseline_;
 
   // State machine + timeline.
-  SimTime now_ = 0;
+  TimePoint now_ = 0;
   HealthState state_ = HealthState::kHealthy;
   HealthState worst_state_ = HealthState::kHealthy;
   std::vector<HealthTransition> transitions_;

@@ -8,10 +8,10 @@
 
 namespace screp::obs {
 
-Observability::Observability(Simulator* sim, const ObsConfig& config)
+Observability::Observability(runtime::Runtime* rt, const ObsConfig& config)
     : config_(config),
       tracer_(config.trace_capacity),
-      sampler_(sim, &registry_),
+      sampler_(rt, &registry_),
       event_log_(config.event_log_capacity) {
   // The health monitor is driven by sampler ticks; give it a period if
   // the caller asked for health but left the sampler off.
@@ -68,7 +68,7 @@ void Observability::ConfigureHealth(int replica_count) {
   // order makes that sequencing explicit.
   sampler_.AddSink([store = timeseries_.get(), monitor =
                         health_monitor_.get()](
-                       SimTime at, SimTime period,
+                       TimePoint at, Duration period,
                        const std::map<std::string, double>& gauges,
                        const std::map<std::string, double>& deltas) {
     store->Ingest(at, period, gauges, deltas);

@@ -22,7 +22,7 @@
 #include "obs/sampler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace screp::obs {
 
@@ -33,7 +33,7 @@ struct ObsConfig {
   /// Span ring-buffer capacity (oldest spans evicted beyond it).
   size_t trace_capacity = 1 << 16;
   /// Gauge sampling period (0 = sampler off).
-  SimTime sample_period = 0;
+  Duration sample_period = 0;
   /// Record middleware decisions into the structured event log.
   bool event_log = false;
   /// Event ring-buffer capacity (oldest events evicted beyond it; live
@@ -58,7 +58,7 @@ struct ObsConfig {
 /// Bundles the three observability pieces for one system.
 class Observability {
  public:
-  Observability(Simulator* sim, const ObsConfig& config);
+  Observability(runtime::Runtime* rt, const ObsConfig& config);
 
   MetricsRegistry* registry() { return &registry_; }
   Tracer* tracer() { return &tracer_; }

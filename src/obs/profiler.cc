@@ -51,10 +51,10 @@ int SpanTableIndex(const char* name) {
   return -1;
 }
 
-double Ms(SimTime t) { return static_cast<double>(t) / 1e3; }
+double Ms(Duration t) { return static_cast<double>(t) / 1e3; }
 
 /// Nearest-rank percentile of a sorted sample (empty -> 0).
-SimTime Percentile(const std::vector<SimTime>& sorted, double p) {
+Duration Percentile(const std::vector<Duration>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto rank = static_cast<size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
@@ -149,7 +149,7 @@ void Profiler::OnEvent(const Event& event) {
   }
 }
 
-void Profiler::Finalize(TxnId txn, SimTime total, SimTime ack,
+void Profiler::Finalize(TxnId txn, Duration total, Duration ack,
                         bool committed, bool timed_out) {
   Attempt attempt;
   auto it = open_.find(txn);
@@ -163,9 +163,9 @@ void Profiler::Finalize(TxnId txn, SimTime total, SimTime ack,
   attempt.measured = ack >= measure_from_;
   if (timed_out) ++timeouts_;
 
-  SimTime sum = 0;
-  for (const SimTime s : attempt.seg) sum += s;
-  SimTime residual = total - sum;
+  Duration sum = 0;
+  for (const Duration s : attempt.seg) sum += s;
+  Duration residual = total - sum;
   if (committed) {
     // Committed attempts traversed fully instrumented stages: the
     // segments must tile the response interval.
@@ -267,14 +267,14 @@ std::string Profiler::ToJson() const {
   bool first = true;
   for (int s = 0; s < kProfileSegmentCount; ++s) {
     const auto segment = static_cast<ProfileSegment>(s);
-    std::vector<SimTime> nonzero;
+    std::vector<Duration> nonzero;
     for (const Attempt& a : attempts_) {
       if (!a.measured) continue;
-      const SimTime v = a.seg[static_cast<size_t>(s)];
+      const Duration v = a.seg[static_cast<size_t>(s)];
       if (v > 0) nonzero.push_back(v);
     }
     std::sort(nonzero.begin(), nonzero.end());
-    const SimTime total = measured_totals_[static_cast<size_t>(s)];
+    const Duration total = measured_totals_[static_cast<size_t>(s)];
     const double share =
         measured_response_total_ > 0
             ? static_cast<double>(total) /
@@ -295,20 +295,20 @@ std::string Profiler::ToJson() const {
 
   // Percentile-banded attribution: which segments dominate the middle of
   // the response distribution vs its tail.
-  std::vector<SimTime> totals;
+  std::vector<Duration> totals;
   totals.reserve(static_cast<size_t>(measured_));
   for (const Attempt& a : attempts_) {
     if (a.measured) totals.push_back(a.total);
   }
   std::sort(totals.begin(), totals.end());
-  const SimTime p50 = Percentile(totals, 0.5);
-  const SimTime p95 = Percentile(totals, 0.95);
-  const SimTime p99 = Percentile(totals, 0.99);
+  const Duration p50 = Percentile(totals, 0.5);
+  const Duration p95 = Percentile(totals, 0.95);
+  const Duration p99 = Percentile(totals, 0.99);
   struct Band {
     const char* name;
     int64_t count = 0;
-    SimTime total = 0;
-    std::array<SimTime, kProfileSegmentCount> seg{};
+    Duration total = 0;
+    std::array<Duration, kProfileSegmentCount> seg{};
   };
   std::array<Band, 4> bands{Band{"le_p50"}, Band{"p50_p95"},
                             Band{"p95_p99"}, Band{"gt_p99"}};

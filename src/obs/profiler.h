@@ -103,10 +103,10 @@ class Profiler {
 
   /// Attempts acknowledged before `t` (warm-up) are excluded from the
   /// aggregates; conservation is still checked on every finished attempt.
-  void set_measure_from(SimTime t) { measure_from_ = t; }
+  void set_measure_from(TimePoint t) { measure_from_ = t; }
   /// Allowed |sum(segments) - response| before a committed attempt
   /// counts as a conservation violation (default: one simulator tick).
-  void set_tolerance(SimTime t) { tolerance_ = t; }
+  void set_tolerance(Duration t) { tolerance_ = t; }
 
   /// Tracer sink: accumulates the span into its attempt's ledger.
   void OnSpan(const TraceSpan& span);
@@ -115,8 +115,8 @@ class Profiler {
 
   /// One finished attempt's ledger.
   struct Attempt {
-    std::array<SimTime, kProfileSegmentCount> seg{};
-    SimTime total = 0;
+    std::array<Duration, kProfileSegmentCount> seg{};
+    Duration total = 0;
     bool committed = false;
     bool timed_out = false;
     bool measured = false;  ///< acknowledged inside the window
@@ -139,7 +139,7 @@ class Profiler {
   int64_t conservation_checked() const { return conservation_checked_; }
   int64_t conservation_violations() const { return conservation_violations_; }
   /// Largest |residual| seen across checked attempts.
-  SimTime max_abs_residual() const { return max_abs_residual_; }
+  Duration max_abs_residual() const { return max_abs_residual_; }
   const std::string& first_violation() const { return first_violation_; }
 
   // -- Aggregates over measured attempts --
@@ -159,15 +159,15 @@ class Profiler {
 
  private:
   struct OpenAttempt {
-    std::array<SimTime, kProfileSegmentCount> seg{};
+    std::array<Duration, kProfileSegmentCount> seg{};
     uint32_t seen = 0;  ///< span-table indices already credited
   };
 
-  void Finalize(TxnId txn, SimTime total, SimTime ack, bool committed,
+  void Finalize(TxnId txn, Duration total, Duration ack, bool committed,
                 bool timed_out);
 
-  SimTime measure_from_ = 0;
-  SimTime tolerance_ = 1;
+  TimePoint measure_from_ = 0;
+  Duration tolerance_ = 1;
 
   std::unordered_map<TxnId, OpenAttempt> open_;
   /// Timed-out attempts whose late response (if any) must be ignored.
@@ -181,13 +181,13 @@ class Profiler {
   int64_t stale_finishes_ = 0;
   int64_t conservation_checked_ = 0;
   int64_t conservation_violations_ = 0;
-  SimTime max_abs_residual_ = 0;
+  Duration max_abs_residual_ = 0;
   std::string first_violation_;
 
   /// Running per-segment totals over measured attempts (duplicates the
   /// information in attempts_ for O(1) driver queries).
-  std::array<SimTime, kProfileSegmentCount> measured_totals_{};
-  SimTime measured_response_total_ = 0;
+  std::array<Duration, kProfileSegmentCount> measured_totals_{};
+  Duration measured_response_total_ = 0;
 };
 
 }  // namespace screp::obs

@@ -29,15 +29,15 @@ void AppendSeriesJson(std::ostringstream& out, const std::string& name,
 
 }  // namespace
 
-Sampler::Sampler(Simulator* sim, MetricsRegistry* registry)
-    : sim_(sim), registry_(registry) {}
+Sampler::Sampler(runtime::Runtime* rt, MetricsRegistry* registry)
+    : rt_(rt), registry_(registry) {}
 
-void Sampler::Start(SimTime period) {
+void Sampler::Start(Duration period) {
   SCREP_CHECK_MSG(period > 0, "sampler period must be positive");
   SCREP_CHECK_MSG(!running_, "sampler already running");
   period_ = period;
   running_ = true;
-  sim_->Schedule(period_, [this]() { Tick(); });
+  rt_->Schedule(period_, [this]() { Tick(); });
 }
 
 void Sampler::RebuildPollSet() {
@@ -67,7 +67,7 @@ void Sampler::RebuildPollSet() {
 
 void Sampler::Tick() {
   if (!running_) return;
-  timestamps_.push_back(sim_->Now());
+  timestamps_.push_back(rt_->Now());
   if (poll_generation_ != registry_->generation()) RebuildPollSet();
   // The per-name sink maps are only materialized when someone listens.
   const bool feed_sinks = !sinks_.empty();
@@ -90,9 +90,9 @@ void Sampler::Tick() {
     values.push_back(static_cast<double>(delta));
     if (feed_sinks) deltas[*pc.name] = static_cast<double>(delta);
   }
-  const SimTime at = sim_->Now();
+  const TimePoint at = rt_->Now();
   for (const Sink& sink : sinks_) sink(at, period_, gauges, deltas);
-  sim_->Schedule(period_, [this]() { Tick(); });
+  rt_->Schedule(period_, [this]() { Tick(); });
 }
 
 size_t Sampler::SeriesStart(const std::string& name) const {

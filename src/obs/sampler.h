@@ -1,4 +1,4 @@
-// Periodic gauge/counter sampler: a daemon event on the Simulator that
+// Periodic gauge/counter sampler: a daemon event on the Runtime that
 // polls every gauge in a MetricsRegistry into time series, and every
 // counter into per-period *delta* series (so rate signals — TPS, sheds,
 // aborts, retransmits — exist without client-side diffing).
@@ -26,7 +26,7 @@
 
 #include "common/sim_time.h"
 #include "obs/metrics_registry.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace screp::obs {
 
@@ -34,28 +34,28 @@ namespace screp::obs {
 /// period.
 class Sampler {
  public:
-  Sampler(Simulator* sim, MetricsRegistry* registry);
+  Sampler(runtime::Runtime* rt, MetricsRegistry* registry);
 
   /// Begins sampling every `period` (> 0) from now; the first sample is
   /// taken at Now() + period.
-  void Start(SimTime period);
+  void Start(Duration period);
 
   /// Stops sampling (the pending tick becomes a no-op).
   void Stop() { running_ = false; }
 
   bool running() const { return running_; }
-  SimTime period() const { return period_; }
+  Duration period() const { return period_; }
 
   /// Live consumer invoked after every tick with that tick's values:
   /// current gauge readings and per-period counter deltas (the streaming
   /// time-series layer subscribes here).
   using Sink = std::function<void(
-      SimTime at, SimTime period, const std::map<std::string, double>& gauges,
+      TimePoint at, Duration period, const std::map<std::string, double>& gauges,
       const std::map<std::string, double>& counter_deltas)>;
   void AddSink(Sink sink) { sinks_.push_back(std::move(sink)); }
 
   /// Virtual times at which samples were taken.
-  const std::vector<SimTime>& timestamps() const { return timestamps_; }
+  const std::vector<TimePoint>& timestamps() const { return timestamps_; }
 
   /// One value per timestamp for every gauge.  Gauges registered after
   /// sampling started are zero-filled before SeriesStart() so all series
@@ -104,11 +104,11 @@ class Sampler {
     int64_t* prev;                // node in counter_prev_
   };
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   MetricsRegistry* registry_;
-  SimTime period_ = 0;
+  Duration period_ = 0;
   bool running_ = false;
-  std::vector<SimTime> timestamps_;
+  std::vector<TimePoint> timestamps_;
   std::map<std::string, std::vector<double>> series_;
   std::map<std::string, std::vector<double>> counter_deltas_;
   /// Cumulative counter value at the previous tick (delta baseline).

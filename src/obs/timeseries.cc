@@ -10,7 +10,7 @@ namespace screp::obs {
 RollingWindow::RollingWindow(size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {}
 
-void RollingWindow::Add(SimTime at, double value) {
+void RollingWindow::Add(TimePoint at, double value) {
   if (samples_.size() == capacity_) {
     sum_ -= samples_.front().second;
     samples_.pop_front();
@@ -23,7 +23,7 @@ double RollingWindow::latest() const {
   return samples_.empty() ? 0 : samples_.back().second;
 }
 
-SimTime RollingWindow::latest_time() const {
+TimePoint RollingWindow::latest_time() const {
   return samples_.empty() ? 0 : samples_.back().first;
 }
 
@@ -89,7 +89,7 @@ TimeSeriesStore::TimeSeriesStore(const TimeSeriesConfig& config)
 }
 
 void TimeSeriesStore::Ingest(
-    SimTime at, SimTime period, const std::map<std::string, double>& gauges,
+    TimePoint at, Duration period, const std::map<std::string, double>& gauges,
     const std::map<std::string, double>& counter_deltas) {
   ++samples_;
   last_sample_at_ = at;

@@ -29,7 +29,7 @@ class RollingWindow {
   explicit RollingWindow(size_t capacity);
 
   /// Appends one sample, evicting the oldest past capacity.
-  void Add(SimTime at, double value);
+  void Add(TimePoint at, double value);
 
   size_t count() const { return samples_.size(); }
   size_t capacity() const { return capacity_; }
@@ -37,7 +37,7 @@ class RollingWindow {
 
   /// Most recent value / its timestamp (0 when empty).
   double latest() const;
-  SimTime latest_time() const;
+  TimePoint latest_time() const;
 
   double mean() const;
   double min() const;
@@ -57,13 +57,13 @@ class RollingWindow {
   double TailSlopePerSec(size_t last_n) const;
 
   /// Samples oldest-first (for tests and exports).
-  const std::deque<std::pair<SimTime, double>>& samples() const {
+  const std::deque<std::pair<TimePoint, double>>& samples() const {
     return samples_;
   }
 
  private:
   size_t capacity_;
-  std::deque<std::pair<SimTime, double>> samples_;
+  std::deque<std::pair<TimePoint, double>> samples_;
   double sum_ = 0;
 };
 
@@ -82,13 +82,13 @@ class TimeSeriesStore {
   /// Ingests one sampling tick: current gauge readings plus per-period
   /// counter deltas (converted to per-second rates).  Matches the
   /// Sampler::Sink signature.
-  void Ingest(SimTime at, SimTime period,
+  void Ingest(TimePoint at, Duration period,
               const std::map<std::string, double>& gauges,
               const std::map<std::string, double>& counter_deltas);
 
   /// Ticks ingested so far.
   size_t samples() const { return samples_; }
-  SimTime last_sample_at() const { return last_sample_at_; }
+  TimePoint last_sample_at() const { return last_sample_at_; }
 
   /// Rolling window of gauge `name`; nullptr when the series has never
   /// appeared (distinct from a window of zeros).
@@ -104,7 +104,7 @@ class TimeSeriesStore {
  private:
   TimeSeriesConfig config_;
   size_t samples_ = 0;
-  SimTime last_sample_at_ = 0;
+  TimePoint last_sample_at_ = 0;
   std::map<std::string, RollingWindow> gauges_;
   std::map<std::string, RollingWindow> rates_;
 };

@@ -43,8 +43,8 @@ struct TraceSpan {
   /// Chrome-trace thread id; per-transaction spans use the transaction id
   /// so each transaction renders as its own row.
   int64_t tid = 0;
-  SimTime start = 0;
-  SimTime duration = 0;
+  TimePoint start = 0;
+  Duration duration = 0;
   /// Transaction this span belongs to (0 = none, e.g. a group-commit
   /// batch force).
   TxnId txn = 0;

@@ -8,14 +8,14 @@
 
 namespace screp {
 
-Certifier::Certifier(Simulator* sim, CertifierConfig config,
+Certifier::Certifier(runtime::Runtime* rt, CertifierConfig config,
                      int replica_count, bool eager)
-    : sim_(sim),
+    : rt_(rt),
       config_(config),
       replica_count_(replica_count),
       eager_(eager),
-      cpu_(sim, "certifier-cpu", 1),
-      disk_(sim, "certifier-disk", 1),
+      cpu_(rt, "certifier-cpu", 1),
+      disk_(rt, "certifier-disk", 1),
       conflict_index_(config.mode == CertificationMode::kSerializable),
       eager_tracker_(replica_count),
       replica_down_(static_cast<size_t>(replica_count), false),
@@ -66,7 +66,7 @@ void Certifier::SubmitCertification(WriteSet ws) {
   }
   // Single CPU server => certifications are processed in arrival order,
   // which keeps version assignment deterministic.
-  const SimTime enqueued = sim_->Now();
+  const TimePoint enqueued = rt_->Now();
   cpu_.Submit(config_.certify_cpu_time,
               [this, enqueued, ws = std::move(ws)]() mutable {
                 const TxnId txn = ws.txn_id;
@@ -75,8 +75,8 @@ void Certifier::SubmitCertification(WriteSet ws) {
                   // The single-server FIFO CPU served this writeset for
                   // exactly certify_cpu_time at the end of the interval;
                   // everything before that was intake queueing.
-                  const SimTime service_start =
-                      sim_->Now() - config_.certify_cpu_time;
+                  const TimePoint service_start =
+                      rt_->Now() - config_.certify_cpu_time;
                   tracer_->Add({.name = "certifier.intake_wait",
                                 .category = "certifier",
                                 .pid = obs::kCertifierPid,
@@ -101,7 +101,7 @@ void Certifier::ShedSubmission(const WriteSet& ws) {
   if (event_log_ != nullptr && event_log_->enabled()) {
     obs::Event e;
     e.kind = obs::EventKind::kShed;
-    e.at = sim_->Now();
+    e.at = rt_->Now();
     e.txn = ws.txn_id;
     e.replica = ws.origin;
     e.detail = "certifier";
@@ -122,7 +122,7 @@ void Certifier::EmitVerdict(const WriteSet& ws, bool commit,
   if (muted_ || event_log_ == nullptr || !event_log_->enabled()) return;
   obs::Event e;
   e.kind = obs::EventKind::kCertVerdict;
-  e.at = sim_->Now();
+  e.at = rt_->Now();
   e.txn = ws.txn_id;
   e.replica = ws.origin;
   e.snapshot = ws.snapshot_version;
@@ -279,7 +279,7 @@ void Certifier::Certify(WriteSet ws) {
   if (tracer_ != nullptr && !muted_ && tracer_->active()) {
     // Remember when certification finished so the announcement after the
     // group-commit force can span the durability wait.
-    certify_done_at_[frozen->txn_id] = sim_->Now();
+    certify_done_at_[frozen->txn_id] = rt_->Now();
   }
   MakeDurableAndAnnounce(std::move(frozen));
 }
@@ -306,7 +306,7 @@ void Certifier::ForceNext() {
   } else {
     batch.swap(force_batch_);
   }
-  const SimTime force_start = sim_->Now();
+  const TimePoint force_start = rt_->Now();
   disk_.Submit(
       config_.log_force_time,
       [this, batch = std::move(batch), force_start]() {
@@ -325,7 +325,7 @@ void Certifier::ForceNext() {
                           .pid = obs::kCertifierPid,
                           .tid = 0,
                           .start = force_start,
-                          .duration = sim_->Now() - force_start,
+                          .duration = rt_->Now() - force_start,
                           .txn = 0,
                           .arg_name = "batch",
                           .arg_value = batch_size});
@@ -389,7 +389,7 @@ void Certifier::AnnounceDecision(const WriteSet& ws) {
                     .pid = obs::kCertifierPid,
                     .tid = static_cast<int64_t>(ws.txn_id),
                     .start = it->second,
-                    .duration = sim_->Now() - it->second,
+                    .duration = rt_->Now() - it->second,
                     .txn = ws.txn_id});
       certify_done_at_.erase(it);
     }

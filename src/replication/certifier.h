@@ -30,7 +30,7 @@
 #include "replication/conflict_index.h"
 #include "replication/message.h"
 #include "sim/resource.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "storage/wal.h"
 #include "storage/write_set.h"
 
@@ -52,9 +52,9 @@ enum class CertificationMode {
 /// Tuning knobs for the certifier.
 struct CertifierConfig {
   /// CPU time to certify one writeset (conflict check + bookkeeping).
-  SimTime certify_cpu_time = Micros(120);
+  Duration certify_cpu_time = Micros(120);
   /// Disk time for one forced log write (shared by a group-commit batch).
-  SimTime log_force_time = Millis(0.8);
+  Duration log_force_time = Millis(0.8);
   /// Certification guarantee.
   CertificationMode mode = CertificationMode::kGsi;
   /// How many recent committed writesets are retained for conflict
@@ -104,7 +104,7 @@ class Certifier {
       std::function<void(ReplicaId origin, TxnId txn)>;
   using ForwardCallback = std::function<void(const WriteSet&)>;
 
-  Certifier(Simulator* sim, CertifierConfig config, int replica_count,
+  Certifier(runtime::Runtime* rt, CertifierConfig config, int replica_count,
             bool eager);
 
   /// Wires the decision channel back to replica proxies.
@@ -235,7 +235,7 @@ class Certifier {
   /// control is off), otherwise defers it until credits return.
   void SendRefresh(ReplicaId replica, const WriteSetRef& ws);
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   CertifierConfig config_;
   int replica_count_;
   bool eager_;
@@ -299,7 +299,7 @@ class Certifier {
   obs::EventLog* event_log_ = nullptr;
   /// Certification-done times of commits awaiting their group-commit
   /// force, for the "certifier.force_wait" span (tracing only).
-  std::unordered_map<TxnId, SimTime> certify_done_at_;
+  std::unordered_map<TxnId, TimePoint> certify_done_at_;
   obs::Counter* ctr_certified_ = nullptr;
   obs::Counter* ctr_aborts_ww_ = nullptr;
   obs::Counter* ctr_aborts_rw_ = nullptr;

@@ -7,11 +7,11 @@
 
 namespace screp {
 
-LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
+LoadBalancer::LoadBalancer(runtime::Runtime* rt, ConsistencyLevel level,
                            size_t table_count, int replica_count,
                            RoutingPolicy routing, DbVersion staleness_bound,
                            AdmissionConfig admission)
-    : sim_(sim),
+    : rt_(rt),
       policy_(level, table_count, staleness_bound),
       replica_count_(replica_count),
       routing_(routing),
@@ -19,7 +19,7 @@ LoadBalancer::LoadBalancer(Simulator* sim, ConsistencyLevel level,
       outstanding_(static_cast<size_t>(replica_count)),
       down_(static_cast<size_t>(replica_count), false) {
   SCREP_CHECK(replica_count_ >= 1);
-  (void)sim_;
+  (void)rt_;
 }
 
 void LoadBalancer::SetObservability(obs::Observability* obs) {
@@ -82,7 +82,7 @@ void LoadBalancer::OnClientRequest(const TxnRequest& request) {
     Reject(request, TxnOutcome::kOverloaded);
     return;
   }
-  admission_queue_.push_back({request, sim_->Now()});
+  admission_queue_.push_back({request, rt_->Now()});
   peak_admission_queue_ =
       std::max(peak_admission_queue_, admission_queue_.size());
 }
@@ -94,7 +94,7 @@ void LoadBalancer::Reject(const TxnRequest& request, TxnOutcome outcome) {
     if (event_log_ != nullptr && event_log_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kShed;
-      e.at = sim_->Now();
+      e.at = rt_->Now();
       e.txn = request.txn_id;
       e.session = request.session;
       e.detail = "lb";
@@ -125,7 +125,7 @@ void LoadBalancer::DrainAdmissionQueue() {
                     .pid = obs::kLbPid,
                     .tid = static_cast<int64_t>(queued.request.txn_id),
                     .start = queued.enqueued,
-                    .duration = sim_->Now() - queued.enqueued,
+                    .duration = rt_->Now() - queued.enqueued,
                     .txn = queued.request.txn_id});
     }
     Dispatch(replica, queued.request);
@@ -158,7 +158,7 @@ void LoadBalancer::Dispatch(ReplicaId replica, const TxnRequest& request) {
                   .category = "lb",
                   .pid = obs::kLbPid,
                   .tid = static_cast<int64_t>(request.txn_id),
-                  .start = sim_->Now(),
+                  .start = rt_->Now(),
                   .duration = 0,
                   .txn = request.txn_id,
                   .arg_name = "replica",
@@ -167,7 +167,7 @@ void LoadBalancer::Dispatch(ReplicaId replica, const TxnRequest& request) {
   if (event_log_ != nullptr && event_log_->enabled()) {
     obs::Event e;
     e.kind = obs::EventKind::kRoute;
-    e.at = sim_->Now();
+    e.at = rt_->Now();
     e.txn = request.txn_id;
     e.session = request.session;
     e.replica = replica;
@@ -199,7 +199,7 @@ void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
     if (event_log_ != nullptr && event_log_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kSessionUpdate;
-      e.at = sim_->Now();
+      e.at = rt_->Now();
       e.txn = response.txn_id;
       e.session = response.session;
       e.replica = response.replica;

@@ -21,7 +21,7 @@
 #include "core/sync_policy.h"
 #include "obs/observability.h"
 #include "replication/message.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace screp {
 
@@ -55,7 +55,7 @@ class LoadBalancer {
       ReplicaId replica, const TxnRequest&, DbVersion required_version)>;
   using ClientResponseCallback = std::function<void(const TxnResponse&)>;
 
-  LoadBalancer(Simulator* sim, ConsistencyLevel level, size_t table_count,
+  LoadBalancer(runtime::Runtime* rt, ConsistencyLevel level, size_t table_count,
                int replica_count,
                RoutingPolicy routing = RoutingPolicy::kLeastActive,
                DbVersion staleness_bound = 0,
@@ -139,7 +139,7 @@ class LoadBalancer {
     TxnTypeId type = kUnknownTxnType;
     SessionId session = 0;
     int client_id = 0;
-    SimTime submit_time = 0;
+    TimePoint submit_time = 0;
   };
 
   /// Routing among live replicas per `routing_` (rotating tie-break).
@@ -164,7 +164,7 @@ class LoadBalancer {
   /// Dispatches queued requests while some live replica has window room.
   void DrainAdmissionQueue();
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   SyncPolicy policy_;
   int replica_count_;
   RoutingPolicy routing_;
@@ -177,7 +177,7 @@ class LoadBalancer {
   /// profiler's admission-wait boundary).
   struct QueuedRequest {
     TxnRequest request;
-    SimTime enqueued = 0;
+    TimePoint enqueued = 0;
   };
 
   /// Requests admitted but not yet dispatchable (every live replica at

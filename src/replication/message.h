@@ -31,7 +31,11 @@ struct TxnRequest {
   /// Positional parameters for each statement of the transaction type.
   std::vector<std::vector<Value>> params;
   /// Virtual time the client sent the request.
-  SimTime submit_time = 0;
+  TimePoint submit_time = 0;
+  /// When set, the proxy copies each statement's result rows into
+  /// TxnResponse::results (off by default: the simulated workloads only
+  /// measure timing, and empty results keep message sizes unchanged).
+  bool collect_results = false;
 };
 
 /// How a transaction ended.
@@ -58,14 +62,14 @@ const char* TxnOutcomeName(TxnOutcome outcome);
 /// Per-stage latency breakdown, matching the paper's measurement stages
 /// (§V-A): version / queries / certify / sync / commit / global.
 struct StageTimes {
-  SimTime version = 0;  ///< synchronization start delay (not in ESC)
-  SimTime queries = 0;  ///< executing the transaction's SQL statements
-  SimTime certify = 0;  ///< certifier round trip (updates only)
-  SimTime sync = 0;     ///< waiting for global commit order locally
-  SimTime commit = 0;   ///< committing to the local DBMS
-  SimTime global = 0;   ///< global commit delay (ESC updates only)
+  Duration version = 0;  ///< synchronization start delay (not in ESC)
+  Duration queries = 0;  ///< executing the transaction's SQL statements
+  Duration certify = 0;  ///< certifier round trip (updates only)
+  Duration sync = 0;     ///< waiting for global commit order locally
+  Duration commit = 0;   ///< committing to the local DBMS
+  Duration global = 0;   ///< global commit delay (ESC updates only)
 
-  SimTime Total() const {
+  Duration Total() const {
     return version + queries + certify + sync + commit + global;
   }
   std::string ToString() const;
@@ -94,8 +98,12 @@ struct TxnResponse {
   std::vector<std::pair<TableId, int64_t>> keys_written;
 
   StageTimes stages;
-  SimTime submit_time = 0;  ///< echoed from the request
-  SimTime start_time = 0;   ///< when BEGIN executed at the replica
+  TimePoint submit_time = 0;  ///< echoed from the request
+  TimePoint start_time = 0;   ///< when BEGIN executed at the replica
+
+  /// Result rows per statement, filled only for committed transactions
+  /// whose request set `collect_results` (empty otherwise).
+  std::vector<std::vector<Row>> results;
 };
 
 /// Certifier's verdict on an update transaction.

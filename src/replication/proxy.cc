@@ -7,10 +7,10 @@
 
 namespace screp {
 
-Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
+Proxy::Proxy(runtime::Runtime* rt, ReplicaId id, Database* db,
              const sql::TransactionRegistry* registry, ProxyConfig config,
              bool eager)
-    : sim_(sim),
+    : rt_(rt),
       id_(id),
       db_(db),
       registry_(registry),
@@ -18,9 +18,9 @@ Proxy::Proxy(Simulator* sim, ReplicaId id, Database* db,
       eager_(eager),
       service_rng_(config.seed * 0x9e3779b97f4a7c15ULL +
                    static_cast<uint64_t>(id) + 1),
-      cpu_(sim, "replica-" + std::to_string(id) + "-cpu",
+      cpu_(rt, "replica-" + std::to_string(id) + "-cpu",
            config.cpu_cores),
-      apply_lanes_(sim, "replica-" + std::to_string(id) + "-apply-lanes",
+      apply_lanes_(rt, "replica-" + std::to_string(id) + "-apply-lanes",
                    config.apply_lanes) {
   SCREP_CHECK(config.apply_lanes >= 1);
 }
@@ -37,7 +37,7 @@ void Proxy::SetObservability(obs::Observability* obs) {
   ctr_dropped_ = metrics_->GetCounter(prefix + "dropped_while_down");
 }
 
-void Proxy::RecordBlockedTime(SimTime blocked) {
+void Proxy::RecordBlockedTime(Duration blocked) {
   if (!audit_ || metrics_ == nullptr) return;
   if (blocked_hist_ == nullptr) {
     blocked_hist_ = metrics_->GetHistogram(
@@ -47,8 +47,8 @@ void Proxy::RecordBlockedTime(SimTime blocked) {
   blocked_hist_->Add(static_cast<double>(blocked));
 }
 
-void Proxy::EmitSpan(const char* name, TxnId txn, SimTime start,
-                     SimTime duration, const char* arg_name,
+void Proxy::EmitSpan(const char* name, TxnId txn, TimePoint start,
+                     Duration duration, const char* arg_name,
                      int64_t arg_value) {
   if (tracer_ == nullptr) return;
   tracer_->Add({.name = name,
@@ -70,7 +70,7 @@ void Proxy::NoteDroppedWhileDown(const char* what, TxnId txn) {
                     << (down_ ? " while down" : " (lost in a crash)");
 }
 
-SimTime Proxy::Stochastic(SimTime mean_cost) {
+Duration Proxy::Stochastic(Duration mean_cost) {
   const double spread = config_.service_spread;
   double cost = static_cast<double>(mean_cost) *
                 ((1.0 - spread) + spread * service_rng_.NextExponential(1.0));
@@ -79,7 +79,7 @@ SimTime Proxy::Stochastic(SimTime mean_cost) {
     cost += service_rng_.NextExponential(
         static_cast<double>(config_.stall_duration));
   }
-  return static_cast<SimTime>(cost);
+  return static_cast<Duration>(cost);
 }
 
 DbVersion Proxy::OldestActiveSnapshot() const {
@@ -148,7 +148,7 @@ void Proxy::OnTxnRequest(const TxnRequest& request,
   t->request = request;
   t->required_version = required_version;
   t->prepared = &registry_->Get(request.type);
-  t->arrive_time = sim_->Now();
+  t->arrive_time = rt_->Now();
   ActiveTxn* raw = t.get();
   SCREP_CHECK_MSG(active_.emplace(request.txn_id, std::move(t)).second,
                   "duplicate txn id " << request.txn_id);
@@ -179,7 +179,7 @@ void Proxy::ReleaseBeginWaiters() {
 }
 
 void Proxy::StartExecution(ActiveTxn* t) {
-  t->exec_start_time = sim_->Now();
+  t->exec_start_time = rt_->Now();
   t->stages.version = t->exec_start_time - t->arrive_time;
   EmitSpan("proxy.start_delay", t->request.txn_id, t->arrive_time,
            t->stages.version);
@@ -228,6 +228,7 @@ void Proxy::ExecuteNextStatement(ActiveTxn* t) {
     return;
   }
   t->rows_examined += rs->rows_examined;
+  if (t->request.collect_results) t->results.push_back(std::move(rs->rows));
 
   // Early certification (§IV): an update statement's partial writeset is
   // checked against pending refresh writesets; a conflict aborts the
@@ -246,19 +247,19 @@ void Proxy::ExecuteNextStatement(ActiveTxn* t) {
     }
   }
 
-  const SimTime cpu_cost = Stochastic(
+  const Duration cpu_cost = Stochastic(
       (stmt.IsUpdate() ? config_.update_stmt_base : config_.read_stmt_base) +
       config_.per_row_cost * rs->rows_examined);
   const TxnId txn_id = t->request.txn_id;
   const int64_t stmt_index = static_cast<int64_t>(t->next_stmt) - 1;
-  const SimTime stmt_start = sim_->Now();
+  const TimePoint stmt_start = rt_->Now();
   cpu_.Submit(cpu_cost, [this, txn_id, stmt_index, stmt_start]() {
     auto it = active_.find(txn_id);
     if (it == active_.end()) return;  // aborted meanwhile
-    EmitSpan("proxy.stmt", txn_id, stmt_start, sim_->Now() - stmt_start,
+    EmitSpan("proxy.stmt", txn_id, stmt_start, rt_->Now() - stmt_start,
              "stmt", stmt_index);
     // Per-statement application round trip before the next statement.
-    sim_->Schedule(config_.stmt_round_trip, [this, txn_id]() {
+    rt_->Schedule(config_.stmt_round_trip, [this, txn_id]() {
       auto it2 = active_.find(txn_id);
       if (it2 == active_.end()) return;
       ExecuteNextStatement(it2->second.get());
@@ -267,7 +268,7 @@ void Proxy::ExecuteNextStatement(ActiveTxn* t) {
 }
 
 void Proxy::OnStatementsDone(ActiveTxn* t) {
-  t->queries_end_time = sim_->Now();
+  t->queries_end_time = rt_->Now();
   t->stages.queries = t->queries_end_time - t->exec_start_time;
   EmitSpan("proxy.exec", t->request.txn_id, t->exec_start_time,
            t->stages.queries);
@@ -278,7 +279,7 @@ void Proxy::OnStatementsDone(ActiveTxn* t) {
       auto it = active_.find(txn_id);
       if (it == active_.end()) return;
       ActiveTxn* t2 = it->second.get();
-      t2->stages.commit = sim_->Now() - t2->queries_end_time;
+      t2->stages.commit = rt_->Now() - t2->queries_end_time;
       EmitSpan("proxy.commit", txn_id, t2->queries_end_time,
                t2->stages.commit);
       Respond(t2, TxnOutcome::kCommitted);
@@ -290,7 +291,7 @@ void Proxy::OnStatementsDone(ActiveTxn* t) {
   t->writeset = t->txn->BuildWriteSet(config_.attach_read_sets);
   t->writeset.txn_id = t->request.txn_id;
   t->writeset.origin = id_;
-  t->certify_start_time = sim_->Now();
+  t->certify_start_time = rt_->Now();
   t->awaiting_decision = true;
   cert_request_cb_(t->writeset);
 }
@@ -306,7 +307,7 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   ActiveTxn* t = it->second.get();
   if (!t->awaiting_decision) return;  // duplicate (failover re-delivery)
   t->awaiting_decision = false;
-  t->decision_time = sim_->Now();
+  t->decision_time = rt_->Now();
   t->stages.certify = t->decision_time - t->certify_start_time;
   EmitSpan("proxy.certify", decision.txn_id, t->certify_start_time,
            t->stages.certify);
@@ -344,7 +345,7 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
   apply.ws = std::make_shared<const WriteSet>(t->writeset);
   apply.is_local = true;
   apply.local_txn = decision.txn_id;
-  apply.enqueue_time = sim_->Now();
+  apply.enqueue_time = rt_->Now();
   pending_index_.Insert(*apply.ws, /*is_local=*/true);
   pending_.emplace(decision.commit_version, std::move(apply));
   peak_pending_writesets_ =
@@ -377,7 +378,7 @@ bool Proxy::IngestRefresh(WriteSetRef ws, bool credited) {
   apply.ws = std::move(ws);
   apply.is_local = false;
   apply.credited = credited;
-  apply.enqueue_time = sim_->Now();
+  apply.enqueue_time = rt_->Now();
   pending_index_.Insert(*apply.ws, /*is_local=*/false);
   pending_.emplace(commit_version, std::move(apply));
   peak_pending_writesets_ =
@@ -425,7 +426,7 @@ void Proxy::AdvanceContiguous() {
     // The version just became dispatchable gap-wise; remember when, so
     // StartApply can split its ordering wait into gap wait vs. lane wait.
     auto it = pending_.find(contiguous_);
-    if (it != pending_.end()) it->second.ready_time = sim_->Now();
+    if (it != pending_.end()) it->second.ready_time = rt_->Now();
   }
 }
 
@@ -456,18 +457,18 @@ void Proxy::StartApply(DbVersion version) {
   pending_index_.MarkDispatched(*apply.ws);
   executing_.insert(version);
 
-  SimTime cost;
+  Duration cost;
   if (apply.is_local) {
     auto ait = active_.find(apply.local_txn);
     SCREP_CHECK(ait != active_.end());
     ActiveTxn* t = ait->second.get();
-    t->apply_start_time = sim_->Now();
+    t->apply_start_time = rt_->Now();
     t->stages.sync = t->apply_start_time - t->decision_time;
     // The ordering wait splits at the moment the contiguity watermark
     // crossed this version: before it, the writeset waited for the gap
     // below to fill (gap wait); after it, for a free lane and any
     // conflicting earlier writesets (lane wait).
-    const SimTime ready =
+    const TimePoint ready =
         apply.ready_time > 0 ? apply.ready_time : t->decision_time;
     EmitSpan("proxy.gap_wait", apply.local_txn, t->decision_time,
              ready - t->decision_time);
@@ -477,7 +478,7 @@ void Proxy::StartApply(DbVersion version) {
   } else {
     cost = Stochastic(config_.refresh_base +
                       config_.refresh_per_op *
-                          static_cast<SimTime>(apply.ws->size()));
+                          static_cast<Duration>(apply.ws->size()));
   }
 
   const uint64_t epoch = epoch_;
@@ -490,7 +491,7 @@ void Proxy::StartApply(DbVersion version) {
       auto ait = active_.find(apply.local_txn);
       if (ait != active_.end()) {
         ActiveTxn* t = ait->second.get();
-        t->exec_done_time = sim_->Now();
+        t->exec_done_time = rt_->Now();
         EmitSpan("proxy.apply", apply.local_txn, t->apply_start_time,
                  t->exec_done_time - t->apply_start_time);
       }
@@ -524,7 +525,7 @@ void Proxy::PublishReady() {
     if (event_log_ != nullptr && event_log_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kApply;
-      e.at = sim_->Now();
+      e.at = rt_->Now();
       e.txn = apply.ws->txn_id;
       e.replica = id_;
       e.commit_version = apply.ws->commit_version;
@@ -554,15 +555,15 @@ void Proxy::FinishLocalCommit(ActiveTxn* t) {
     // whole wait from the decision to the version's local commit is one
     // claim wait — there was no local apply to decompose.
     EmitSpan("proxy.claim_wait", t->request.txn_id, t->decision_time,
-             sim_->Now() - t->decision_time);
-    t->apply_start_time = sim_->Now();
+             rt_->Now() - t->decision_time);
+    t->apply_start_time = rt_->Now();
   } else if (t->exec_done_time > 0) {
     // The local apply finished on its lane at exec_done_time; since then
     // the transaction waited for every earlier version to publish.
     EmitSpan("proxy.publish_wait", t->request.txn_id, t->exec_done_time,
-             sim_->Now() - t->exec_done_time);
+             rt_->Now() - t->exec_done_time);
   }
-  t->local_commit_time = sim_->Now();
+  t->local_commit_time = rt_->Now();
   t->stages.commit = t->local_commit_time - t->apply_start_time;
   if (eager_) {
     if (t->global_done_early) {
@@ -592,7 +593,7 @@ void Proxy::OnGlobalCommit(TxnId txn) {
     t->global_done_early = true;
     return;
   }
-  t->stages.global = sim_->Now() - t->local_commit_time;
+  t->stages.global = rt_->Now() - t->local_commit_time;
   EmitSpan("eager.global_wait", txn, t->local_commit_time, t->stages.global);
   Respond(t, TxnOutcome::kCommitted);
 }
@@ -615,6 +616,9 @@ void Proxy::Respond(ActiveTxn* t, TxnOutcome outcome) {
   response.stages = t->stages;
   response.submit_time = t->request.submit_time;
   response.start_time = t->exec_start_time;
+  if (t->request.collect_results && outcome == TxnOutcome::kCommitted) {
+    response.results = std::move(t->results);
+  }
   if (outcome == TxnOutcome::kCommitted && !response.read_only) {
     response.commit_version = t->writeset.commit_version;
     for (TableId table : t->writeset.TablesWritten()) {

@@ -19,7 +19,7 @@
 #include "replication/conflict_index.h"
 #include "replication/message.h"
 #include "sim/resource.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "sql/executor.h"
 #include "sql/table_set.h"
 #include "storage/database.h"
@@ -42,23 +42,23 @@ struct ProxyConfig {
   /// Duo => 2).
   int cpu_cores = 2;
   /// Mean CPU time of a read statement.
-  SimTime read_stmt_base = Millis(2.5);
+  Duration read_stmt_base = Millis(2.5);
   /// Mean CPU time of an update statement (index + row maintenance).
-  SimTime update_stmt_base = Millis(4.0);
+  Duration update_stmt_base = Millis(4.0);
   /// Additional CPU per row the access path examines.
-  SimTime per_row_cost = Micros(25);
+  Duration per_row_cost = Micros(25);
   /// CPU time to commit a local transaction.
-  SimTime commit_cost = Millis(1.2);
+  Duration commit_cost = Millis(1.2);
   /// Base CPU time to apply one refresh writeset (serialized, in commit
   /// order).
-  SimTime refresh_base = Millis(1.0);
+  Duration refresh_base = Millis(1.0);
   /// Additional CPU per record in a refresh writeset: applying a refresh
   /// re-executes its writes statement by statement, so the cost scales
   /// with the writeset size.
-  SimTime refresh_per_op = Millis(2.5);
+  Duration refresh_per_op = Millis(2.5);
   /// Client<->replica round trip paid per statement (the app server talks
   /// to the DBMS statement by statement).
-  SimTime stmt_round_trip = Micros(300);
+  Duration stmt_round_trip = Micros(300);
   /// Fraction of each service time drawn from an exponential (0 =
   /// deterministic, 1 = fully exponential). Mean is preserved.
   double service_spread = 0.7;
@@ -66,7 +66,7 @@ struct ProxyConfig {
   /// scheduler interference) ...
   double stall_probability = 0.012;
   /// ... of this mean (exponential) duration.
-  SimTime stall_duration = Millis(40);
+  Duration stall_duration = Millis(40);
   /// Seed for the per-replica service-time stream.
   uint64_t seed = 1;
   /// Early certification on (paper default); the ablation benchmark turns
@@ -98,7 +98,7 @@ class Proxy {
   using ReplicaCommittedCallback = std::function<void(TxnId)>;
   using CreditCallback = std::function<void(int credits)>;
 
-  Proxy(Simulator* sim, ReplicaId id, Database* db,
+  Proxy(runtime::Runtime* rt, ReplicaId id, Database* db,
         const sql::TransactionRegistry* registry, ProxyConfig config,
         bool eager);
 
@@ -226,6 +226,9 @@ class Proxy {
     std::unique_ptr<Transaction> txn;
     size_t next_stmt = 0;
     int64_t rows_examined = 0;
+    /// Per-statement result rows, kept only when the request asked for
+    /// them (TxnRequest::collect_results).
+    std::vector<std::vector<Row>> results;
 
     bool aborted_early = false;     // flagged by early certification
     bool awaiting_decision = false;  // writeset at the certifier
@@ -237,14 +240,14 @@ class Proxy {
     WriteSet writeset;  // built at commit request
 
     // Stage timestamps.
-    SimTime arrive_time = 0;
-    SimTime exec_start_time = 0;
-    SimTime queries_end_time = 0;
-    SimTime certify_start_time = 0;
-    SimTime decision_time = 0;
-    SimTime apply_start_time = 0;
-    SimTime exec_done_time = 0;  ///< local apply finished on its lane
-    SimTime local_commit_time = 0;
+    TimePoint arrive_time = 0;
+    TimePoint exec_start_time = 0;
+    TimePoint queries_end_time = 0;
+    TimePoint certify_start_time = 0;
+    TimePoint decision_time = 0;
+    TimePoint apply_start_time = 0;
+    TimePoint exec_done_time = 0;  ///< local apply finished on its lane
+    TimePoint local_commit_time = 0;
     StageTimes stages;
   };
 
@@ -258,11 +261,11 @@ class Proxy {
     /// returns one credit to the certifier.
     bool credited = false;
     TxnId local_txn = 0;
-    SimTime enqueue_time = 0;
+    TimePoint enqueue_time = 0;
     /// When the contiguity watermark crossed this version (it became
     /// dispatchable gap-wise); splits the ordering wait into gap wait vs.
     /// lane wait for the profiler.
-    SimTime ready_time = 0;
+    TimePoint ready_time = 0;
   };
 
   /// Queues one refresh writeset through the apply pipeline; returns
@@ -303,20 +306,20 @@ class Proxy {
   bool ConflictsWithPendingRefresh(const WriteSet& partial) const;
 
   /// Applies the stochastic service-time model to a mean cost.
-  SimTime Stochastic(SimTime mean_cost);
+  Duration Stochastic(Duration mean_cost);
 
   /// Records a span on this replica's trace row (no-op without a tracer).
-  void EmitSpan(const char* name, TxnId txn, SimTime start, SimTime duration,
+  void EmitSpan(const char* name, TxnId txn, TimePoint start, Duration duration,
                 const char* arg_name = nullptr, int64_t arg_value = 0);
   /// Adds to the blocked-time-by-cause staleness histogram (auditing
   /// only): the synchronization start delay for the lazy schemes, the
   /// global commit wait for eager.
-  void RecordBlockedTime(SimTime blocked);
+  void RecordBlockedTime(Duration blocked);
   /// Counts + logs a message discarded because the replica is down (or the
   /// transaction was lost in a crash).
   void NoteDroppedWhileDown(const char* what, TxnId txn);
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   ReplicaId id_;
   Database* db_;
   const sql::TransactionRegistry* registry_;

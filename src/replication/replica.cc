@@ -2,11 +2,11 @@
 
 namespace screp {
 
-Replica::Replica(Simulator* sim, ReplicaId id,
+Replica::Replica(runtime::Runtime* rt, ReplicaId id,
                  const sql::TransactionRegistry* registry,
                  ProxyConfig config, bool eager)
     : id_(id), db_(std::make_unique<Database>()) {
-  proxy_ = std::make_unique<Proxy>(sim, id, db_.get(), registry, config,
+  proxy_ = std::make_unique<Proxy>(rt, id, db_.get(), registry, config,
                                    eager);
 }
 

@@ -13,7 +13,7 @@ namespace screp {
 /// One node of the replicated system.
 class Replica {
  public:
-  Replica(Simulator* sim, ReplicaId id,
+  Replica(runtime::Runtime* rt, ReplicaId id,
           const sql::TransactionRegistry* registry, ProxyConfig config,
           bool eager);
 

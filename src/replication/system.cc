@@ -6,20 +6,20 @@
 
 namespace screp {
 
-ReplicatedSystem::ReplicatedSystem(Simulator* sim, SystemConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+ReplicatedSystem::ReplicatedSystem(runtime::Runtime* rt, SystemConfig config)
+    : rt_(rt), config_(std::move(config)) {}
 
 Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
-    Simulator* sim, const SystemConfig& config,
+    runtime::Runtime* rt, const SystemConfig& config,
     const SchemaBuilder& schema_builder, const TxnDefiner& txn_definer) {
   if (config.replica_count < 1) {
     return Status::InvalidArgument("need at least one replica");
   }
   auto system = std::unique_ptr<ReplicatedSystem>(
-      new ReplicatedSystem(sim, config));
+      new ReplicatedSystem(rt, config));
   const bool eager = config.level == ConsistencyLevel::kEager;
 
-  system->obs_ = std::make_unique<obs::Observability>(sim, config.obs);
+  system->obs_ = std::make_unique<obs::Observability>(rt, config.obs);
   obs::Tracer* tracer = system->obs_->tracer();
   tracer->SetProcessName(obs::kLbPid, "load-balancer");
   tracer->SetProcessName(obs::kCertifierPid, "certifier");
@@ -35,7 +35,7 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
     proxy_config.attach_read_sets =
         config.certifier.mode == CertificationMode::kSerializable;
     auto replica = std::make_unique<Replica>(
-        sim, r, &system->registry_, proxy_config, eager);
+        rt, r, &system->registry_, proxy_config, eager);
     SCREP_RETURN_NOT_OK(schema_builder(replica->db()));
     system->replicas_.push_back(std::move(replica));
   }
@@ -65,14 +65,14 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   }
 
   system->certifier_ = std::make_unique<Certifier>(
-      sim, config.certifier, config.replica_count, eager);
+      rt, config.certifier, config.replica_count, eager);
   if (config.standby_certifier) {
     if (eager) {
       return Status::NotSupported(
           "standby certifier with the eager configuration");
     }
     system->standby_certifier_ = std::make_unique<Certifier>(
-        sim, config.certifier, config.replica_count, /*eager=*/false);
+        rt, config.certifier, config.replica_count, /*eager=*/false);
     // A standby runs muted: it processes the identical certification
     // stream but its announcement paths never fire, so it needs no
     // channels until promotion.
@@ -80,7 +80,7 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   }
   system->table_sets_ = std::move(id_sets);
   system->load_balancer_ = std::make_unique<LoadBalancer>(
-      sim, config.level, db0->TableCount(), config.replica_count,
+      rt, config.level, db0->TableCount(), config.replica_count,
       config.routing, config.staleness_bound, config.admission);
   system->load_balancer_->SetTableSets(system->table_sets_);
 
@@ -182,7 +182,7 @@ void ReplicatedSystem::BuildChannels() {
   // LB or certifier keeps receiving over the same channels, and messages
   // in flight across a failover land on the successor (as before).
   ch_client_lb_ = std::make_unique<net::Channel<TxnRequest>>(
-      sim_, "client_lb", net.client_lb, seeder.Next());
+      rt_, "client_lb", net.client_lb, seeder.Next());
   ch_client_lb_->SetDestination(lb_endpoint_.get());
   ch_client_lb_->SetHandler([this](const TxnRequest& request) {
     load_balancer_->OnClientRequest(request);
@@ -190,10 +190,10 @@ void ReplicatedSystem::BuildChannels() {
   ch_client_lb_->AttachMetrics(registry);
 
   ch_lb_client_ = std::make_unique<net::Channel<TxnResponse>>(
-      sim_, "lb_client", net.client_lb, seeder.Next());
+      rt_, "lb_client", net.client_lb, seeder.Next());
   ch_lb_client_->SetDestination(client_endpoint_.get());
   ch_lb_client_->SetHandler([this](const TxnResponse& response) {
-    RecordHistory(response, sim_->Now());
+    RecordHistory(response, rt_->Now());
     if (client_cb_) client_cb_(response);
   });
   ch_lb_client_->AttachMetrics(registry);
@@ -204,7 +204,7 @@ void ReplicatedSystem::BuildChannels() {
                                     .get();
 
     auto dispatch = std::make_unique<net::Channel<RoutedRequest>>(
-        sim_, "dispatch" + tag, net.lb_replica, seeder.Next());
+        rt_, "dispatch" + tag, net.lb_replica, seeder.Next());
     dispatch->SetDestination(replica_ep);
     dispatch->SetHandler([this, r](const RoutedRequest& routed) {
       replicas_[static_cast<size_t>(r)]->proxy()->OnTxnRequest(
@@ -214,7 +214,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_dispatch_.push_back(std::move(dispatch));
 
     auto response = std::make_unique<net::Channel<TxnResponse>>(
-        sim_, "response" + tag, net.lb_replica, seeder.Next());
+        rt_, "response" + tag, net.lb_replica, seeder.Next());
     response->SetDestination(lb_endpoint_.get());
     response->SetHandler([this](const TxnResponse& resp) {
       load_balancer_->OnProxyResponse(resp);
@@ -223,7 +223,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_response_.push_back(std::move(response));
 
     auto cert_request = std::make_unique<net::Channel<WriteSet>>(
-        sim_, "certreq" + tag, net.replica_certifier, seeder.Next());
+        rt_, "certreq" + tag, net.replica_certifier, seeder.Next());
     cert_request->SetDestination(certifier_endpoint_.get());
     cert_request->SetSizeFn(
         [](const WriteSet& ws) { return ws.SerializedBytes(); });
@@ -234,7 +234,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_cert_request_.push_back(std::move(cert_request));
 
     auto commit_notice = std::make_unique<net::Channel<TxnId>>(
-        sim_, "commit_notice" + tag, net.replica_certifier, seeder.Next());
+        rt_, "commit_notice" + tag, net.replica_certifier, seeder.Next());
     commit_notice->SetDestination(certifier_endpoint_.get());
     commit_notice->SetHandler([this](const TxnId& txn) {
       certifier_->NotifyReplicaCommitted(txn);
@@ -243,7 +243,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_commit_notice_.push_back(std::move(commit_notice));
 
     auto decision = std::make_unique<net::Channel<CertDecision>>(
-        sim_, "decision" + tag, net.replica_certifier, seeder.Next());
+        rt_, "decision" + tag, net.replica_certifier, seeder.Next());
     decision->SetDestination(replica_ep);
     decision->SetHandler([this, r](const CertDecision& d) {
       replicas_[static_cast<size_t>(r)]->proxy()->OnCertDecision(d);
@@ -252,7 +252,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_decision_.push_back(std::move(decision));
 
     auto refresh = std::make_unique<net::Channel<RefreshBatch>>(
-        sim_, "refresh" + tag, net.refresh, seeder.Next());
+        rt_, "refresh" + tag, net.refresh, seeder.Next());
     refresh->SetDestination(replica_ep);
     refresh->SetSizeFn(
         [](const RefreshBatch& batch) { return batch.SerializedBytes(); });
@@ -263,7 +263,7 @@ void ReplicatedSystem::BuildChannels() {
     ch_refresh_.push_back(std::move(refresh));
 
     auto global_commit = std::make_unique<net::Channel<TxnId>>(
-        sim_, "global_commit" + tag, net.replica_certifier, seeder.Next());
+        rt_, "global_commit" + tag, net.replica_certifier, seeder.Next());
     global_commit->SetDestination(replica_ep);
     global_commit->SetHandler([this, r](const TxnId& txn) {
       replicas_[static_cast<size_t>(r)]->proxy()->OnGlobalCommit(txn);
@@ -277,7 +277,7 @@ void ReplicatedSystem::BuildChannels() {
   // promoted certifier instead, where idempotent certification absorbs
   // it.
   ch_forward_ = std::make_unique<net::Channel<WriteSet>>(
-      sim_, "standby_forward", net.replica_certifier, seeder.Next());
+      rt_, "standby_forward", net.replica_certifier, seeder.Next());
   ch_forward_->SetSizeFn(
       [](const WriteSet& ws) { return ws.SerializedBytes(); });
   ch_forward_->SetHandler([this](const WriteSet& ws) {
@@ -295,7 +295,7 @@ void ReplicatedSystem::BuildChannels() {
   // identical to before flow control existed.
   for (ReplicaId r = 0; r < config_.replica_count; ++r) {
     auto credit = std::make_unique<net::Channel<int>>(
-        sim_, "credit.r" + std::to_string(r), net.replica_certifier,
+        rt_, "credit.r" + std::to_string(r), net.replica_certifier,
         seeder.Next());
     credit->SetDestination(certifier_endpoint_.get());
     credit->SetHandler([this, r](const int& credits) {
@@ -315,7 +315,7 @@ void ReplicatedSystem::BuildChannels() {
   obs::Tracer* tr = obs_->tracer();
   if (tr->active()) {
     ch_client_lb_->SetTraceFn(
-        [tr](const TxnRequest& request, SimTime sent, SimTime at) {
+        [tr](const TxnRequest& request, TimePoint sent, TimePoint at) {
           tr->Add({.name = "net.client_lb",
                    .category = "net",
                    .pid = obs::kLbPid,
@@ -325,7 +325,7 @@ void ReplicatedSystem::BuildChannels() {
                    .txn = request.txn_id});
         });
     ch_lb_client_->SetTraceFn(
-        [tr](const TxnResponse& response, SimTime sent, SimTime at) {
+        [tr](const TxnResponse& response, TimePoint sent, TimePoint at) {
           tr->Add({.name = "net.lb_client",
                    .category = "net",
                    .pid = obs::kLbPid,
@@ -337,8 +337,8 @@ void ReplicatedSystem::BuildChannels() {
     for (ReplicaId r = 0; r < config_.replica_count; ++r) {
       const int32_t replica_pid = obs::kReplicaPidBase + r;
       ch_dispatch_[static_cast<size_t>(r)]->SetTraceFn(
-          [tr, replica_pid](const RoutedRequest& routed, SimTime sent,
-                            SimTime at) {
+          [tr, replica_pid](const RoutedRequest& routed, TimePoint sent,
+                            TimePoint at) {
             tr->Add({.name = "net.dispatch",
                      .category = "net",
                      .pid = replica_pid,
@@ -348,7 +348,7 @@ void ReplicatedSystem::BuildChannels() {
                      .txn = routed.request.txn_id});
           });
       ch_response_[static_cast<size_t>(r)]->SetTraceFn(
-          [tr](const TxnResponse& response, SimTime sent, SimTime at) {
+          [tr](const TxnResponse& response, TimePoint sent, TimePoint at) {
             tr->Add({.name = "net.response",
                      .category = "net",
                      .pid = obs::kLbPid,
@@ -358,7 +358,7 @@ void ReplicatedSystem::BuildChannels() {
                      .txn = response.txn_id});
           });
       ch_cert_request_[static_cast<size_t>(r)]->SetTraceFn(
-          [tr](const WriteSet& ws, SimTime sent, SimTime at) {
+          [tr](const WriteSet& ws, TimePoint sent, TimePoint at) {
             tr->Add({.name = "net.certreq",
                      .category = "net",
                      .pid = obs::kCertifierPid,
@@ -368,8 +368,8 @@ void ReplicatedSystem::BuildChannels() {
                      .txn = ws.txn_id});
           });
       ch_decision_[static_cast<size_t>(r)]->SetTraceFn(
-          [tr, replica_pid](const CertDecision& d, SimTime sent,
-                            SimTime at) {
+          [tr, replica_pid](const CertDecision& d, TimePoint sent,
+                            TimePoint at) {
             tr->Add({.name = "net.decision",
                      .category = "net",
                      .pid = replica_pid,
@@ -436,7 +436,7 @@ void ReplicatedSystem::EmitFaultEvent(obs::EventKind kind,
   if (!log->enabled()) return;
   obs::Event e;
   e.kind = kind;
-  e.at = sim_->Now();
+  e.at = rt_->Now();
   e.replica = replica;
   e.detail = component;
   log->Append(std::move(e));
@@ -454,7 +454,7 @@ void ReplicatedSystem::CrashLoadBalancer() {
   // version trackers conservatively from the certifier, and re-marks
   // crashed replicas (hard state it can re-probe).
   auto standby = std::make_unique<LoadBalancer>(
-      sim_, config_.level, replicas_[0]->db()->TableCount(),
+      rt_, config_.level, replicas_[0]->db()->TableCount(),
       config_.replica_count, config_.routing, config_.staleness_bound,
       config_.admission);
   standby->SetTableSets(table_sets_);
@@ -520,7 +520,7 @@ void ReplicatedSystem::CrashCertifier() {
   for (ReplicaId r = 0; r < static_cast<ReplicaId>(replicas_.size()); ++r) {
     Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
     if (proxy->down()) continue;
-    sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+    rt_->Schedule(config_.network.replica_certifier.RoundTrip(),
                    [this, proxy]() {
       if (proxy->down()) return;
       const Status st = certifier_->FetchSince(
@@ -569,7 +569,7 @@ void ReplicatedSystem::RecoverReplica(ReplicaId replica) {
   // the certifier's durable log (one catch-up round trip).
   certifier_->MarkReplicaUp(replica);
   const DbVersion from = proxy->v_local();
-  sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+  rt_->Schedule(config_.network.replica_certifier.RoundTrip(),
                  [this, replica, from]() {
     Proxy* p = replicas_[static_cast<size_t>(replica)]->proxy();
     if (p->down()) return;  // crashed again before catch-up started
@@ -615,7 +615,7 @@ void ReplicatedSystem::PartitionReplica(ReplicaId replica) {
   // The replica itself keeps running, but the rest of the cluster hears
   // silence: one heartbeat round trip later the LB fails outstanding
   // transactions over and the certifier stops fanning refreshes to it.
-  sim_->Schedule(config_.network.lb_replica.RoundTrip(), [this, replica]() {
+  rt_->Schedule(config_.network.lb_replica.RoundTrip(), [this, replica]() {
     if (!IsReplicaPartitioned(replica)) return;  // healed before detection
     certifier_->MarkReplicaDown(replica);
     load_balancer_->MarkReplicaDown(replica);
@@ -637,7 +637,7 @@ void ReplicatedSystem::HealReplicaPartition(ReplicaId replica) {
   ch_refresh_[static_cast<size_t>(replica)]->Reset();
   certifier_->MarkReplicaUp(replica);
   const DbVersion from = proxy->v_local();
-  sim_->Schedule(config_.network.replica_certifier.RoundTrip(),
+  rt_->Schedule(config_.network.replica_certifier.RoundTrip(),
                  [this, replica, from]() {
     Proxy* p = replicas_[static_cast<size_t>(replica)]->proxy();
     if (p->down() || IsReplicaPartitioned(replica)) return;  // cut again
@@ -655,7 +655,7 @@ void ReplicatedSystem::HealReplicaPartition(ReplicaId replica) {
 }
 
 void ReplicatedSystem::ScheduleGc() {
-  sim_->Schedule(config_.gc_interval, [this]() {
+  rt_->Schedule(config_.gc_interval, [this]() {
     if (gc_stopped_) return;
     for (auto& replica : replicas_) {
       if (replica->proxy()->down()) continue;
@@ -667,12 +667,12 @@ void ReplicatedSystem::ScheduleGc() {
 }
 
 void ReplicatedSystem::Submit(TxnRequest request) {
-  request.submit_time = sim_->Now();
+  request.submit_time = rt_->Now();
   ch_client_lb_->Send(request);
 }
 
 void ReplicatedSystem::RecordHistory(const TxnResponse& response,
-                                     SimTime ack_time) {
+                                     TimePoint ack_time) {
   obs::EventLog* event_log = obs_->event_log();
   if (history_ == nullptr && !event_log->enabled()) return;
   TxnRecord record;

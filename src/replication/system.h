@@ -16,7 +16,7 @@
 #include "replication/certifier.h"
 #include "replication/load_balancer.h"
 #include "replication/replica.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "sql/table_set.h"
 
 namespace screp {
@@ -67,7 +67,7 @@ struct SystemConfig {
   bool standby_certifier = false;
   /// Interval of the replicas' MVCC garbage collection (0 = off). Each
   /// sweep truncates row versions no active transaction can see.
-  SimTime gc_interval = 0;
+  Duration gc_interval = 0;
   /// Seed for the replicas' stochastic service-time streams.
   uint64_t seed = 1;
   /// Observability: tracing + sampling knobs (everything off by default).
@@ -92,7 +92,7 @@ class ReplicatedSystem {
   /// `schema_builder`), prepares the transaction registry, persists the
   /// table-set catalog, and wires every channel with network latency.
   static Result<std::unique_ptr<ReplicatedSystem>> Create(
-      Simulator* sim, const SystemConfig& config,
+      runtime::Runtime* rt, const SystemConfig& config,
       const SchemaBuilder& schema_builder, const TxnDefiner& txn_definer);
 
   /// Client entry point: the request travels client -> load balancer with
@@ -165,7 +165,7 @@ class ReplicatedSystem {
   /// How many times the load balancer has failed over.
   int load_balancer_failovers() const { return lb_failovers_; }
 
-  Simulator* sim() { return sim_; }
+  runtime::Runtime* runtime() { return rt_; }
   const SystemConfig& config() const { return config_; }
   /// The system's observability layer (always present; collection is
   /// governed by SystemConfig::obs).
@@ -191,7 +191,7 @@ class ReplicatedSystem {
   }
 
  private:
-  ReplicatedSystem(Simulator* sim, SystemConfig config);
+  ReplicatedSystem(runtime::Runtime* rt, SystemConfig config);
 
   /// Builds every named channel of the cluster fabric (handlers read
   /// component pointers through `this`, so LB/certifier failovers keep
@@ -200,7 +200,7 @@ class ReplicatedSystem {
   /// Flips the partitioned flag on every channel into/out of `replica`.
   void SetReplicaLinksPartitioned(ReplicaId replica, bool partitioned);
   void Wire();
-  void RecordHistory(const TxnResponse& response, SimTime ack_time);
+  void RecordHistory(const TxnResponse& response, TimePoint ack_time);
   /// Appends a crash/recover/failover event for `component` ("replica",
   /// "certifier", "lb") to the event log.
   void EmitFaultEvent(obs::EventKind kind, const char* component,
@@ -211,7 +211,7 @@ class ReplicatedSystem {
   /// utilizations) polled by the sampler.
   void RegisterGauges();
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   SystemConfig config_;
   std::unique_ptr<obs::Observability> obs_;
   /// (Re)wires the active certifier's outward channels.

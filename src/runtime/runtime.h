@@ -1,0 +1,128 @@
+// The Runtime seam: the one clock + scheduling interface every layer of
+// the middleware runs on.
+//
+// Components above src/sim/ never touch the simulator (or a wall clock)
+// directly; they hold a Runtime* and use
+//
+//   Now()            — current time on the runtime's clock (microseconds)
+//   Schedule()       — run a callback after a delay
+//   ScheduleAt()     — run a callback at an absolute time
+//   ScheduleCancellable() — Schedule() returning a cancellation handle
+//   Post()           — thread-safe enqueue from ANY thread; the callback
+//                      runs on the runtime's event thread (the MPSC
+//                      entry point behind the typed net/ channels)
+//   Spawn()          — hand a task to the runtime's worker pool
+//   Stop()           — drain in-flight work and shut the runtime down
+//   entropy()        — the runtime's own RNG stream (for jitter that
+//                      should not perturb the workload streams)
+//
+// Two backends implement it:
+//
+//   SimRuntime    (runtime/sim_runtime.h)    — wraps the deterministic
+//     discrete-event simulator; single-threaded, virtual time,
+//     byte-identical to pre-seam behavior.  Spawn/Post degrade to
+//     immediate events so a "threaded" program is a deterministic one.
+//   ThreadRuntime (runtime/thread_runtime.h) — wall-clock backend: a
+//     dedicated event-loop thread executes every scheduled callback in
+//     due-time order (steady clock), an MPSC queue feeds it from foreign
+//     threads, and a worker pool serves Spawn().
+//
+// Execution model contract (both backends): callbacks passed to
+// Schedule/ScheduleAt/Post run serially on the runtime's event thread, in
+// (due time, submission order).  Middleware state is therefore
+// single-threaded by construction; only Spawn() tasks run elsewhere, and
+// they communicate with the middleware exclusively via Post().
+
+#ifndef SCREP_RUNTIME_RUNTIME_H_
+#define SCREP_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace screp::runtime {
+
+/// Handle to a scheduled callback; Cancel() prevents a not-yet-fired
+/// callback from running.  Cheap to copy; an empty handle is inert.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  explicit TaskHandle(std::shared_ptr<std::atomic<bool>> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  /// Prevents the callback from running if it has not fired yet.
+  /// Idempotent; safe after the callback ran (no-op).
+  void Cancel() {
+    if (cancelled_) cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// The clock + scheduling interface (see file comment).
+class Runtime {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~Runtime() = default;
+
+  /// Current time on the runtime's clock, in microseconds.  Virtual time
+  /// under SimRuntime; steady-clock time since start under ThreadRuntime.
+  virtual TimePoint Now() const = 0;
+
+  /// Schedules `fn` to run on the event thread at Now() + delay.
+  /// Negative delays are clamped to zero.  Same-time callbacks fire in
+  /// submission order.  Must be called from the event thread (or before
+  /// the runtime starts); from other threads use Post().
+  virtual void Schedule(Duration delay, Callback fn) = 0;
+
+  /// Schedules `fn` at an absolute time (>= Now()).
+  virtual void ScheduleAt(TimePoint when, Callback fn) = 0;
+
+  /// Thread-safe: enqueues `fn` to run on the event thread as soon as
+  /// possible (after already-due callbacks).  This is the MPSC ingress
+  /// every foreign thread (Spawn tasks, server connection threads) uses
+  /// to reach middleware state.
+  virtual void Post(Callback fn) = 0;
+
+  /// Runs `fn` on the runtime's worker pool.  Under SimRuntime this is a
+  /// deterministic immediate event on the (single) event thread.
+  virtual void Spawn(Callback fn) = 0;
+
+  /// Shuts the runtime down.  ThreadRuntime: stops accepting future
+  /// timers, drains every already-due callback and in-flight channel
+  /// delivery (so no callback leaks into teardown), discards not-yet-due
+  /// timers, and joins its threads.  SimRuntime: asserts the event queue
+  /// already drained (the harness runs it dry first).  Idempotent.
+  virtual void Stop() = 0;
+
+  /// True for the deterministic simulator backend.
+  virtual bool deterministic() const = 0;
+
+  /// The runtime's own RNG stream: deterministic under SimRuntime,
+  /// seeded per-run under ThreadRuntime.  Workload/channel streams keep
+  /// their explicitly-plumbed seeds; this stream is for runtime-level
+  /// jitter only, so drawing from it never perturbs those.
+  virtual Rng* entropy() = 0;
+
+  /// Schedule() returning a handle whose Cancel() suppresses the
+  /// callback if it has not fired yet.
+  TaskHandle ScheduleCancellable(Duration delay, Callback fn) {
+    auto cancelled = std::make_shared<std::atomic<bool>>(false);
+    Schedule(delay, [cancelled, fn = std::move(fn)]() {
+      if (!cancelled->load(std::memory_order_relaxed)) fn();
+    });
+    return TaskHandle(std::move(cancelled));
+  }
+};
+
+}  // namespace screp::runtime
+
+#endif  // SCREP_RUNTIME_RUNTIME_H_

@@ -1,0 +1,137 @@
+// ThreadRuntime: the wall-clock Runtime backend.
+//
+// Three kinds of threads:
+//
+//   * ONE event-loop thread executes every Schedule/ScheduleAt/Post
+//     callback serially, in (due steady-clock time, submission order).
+//     All middleware state (LB, proxies, certifier, channels, event log,
+//     auditor) is touched only here, so the components keep the
+//     single-threaded invariants they were written with while time runs
+//     for real.
+//   * A worker pool serves Spawn() — closed-loop load-generator clients,
+//     blocking work.  Workers reach middleware state only via Post(),
+//     the runtime's MPSC ingress (a mutex+condvar timer queue that any
+//     thread may feed).
+//   * Callers' own threads (e.g. screp_server connection handlers) also
+//     use Post()/cv-handoff; the loop thread never blocks on them.
+//
+// The typed net/ channels (net/channel.h) schedule their deliveries
+// through this runtime, so under ThreadRuntime every channel hop is a
+// real cross-queue handoff on the steady clock instead of a virtual-time
+// event.
+//
+// Shutdown (Stop): the runtime stops accepting *future* timers, keeps
+// executing everything already due — including zero-delay work those
+// callbacks enqueue, i.e. in-flight channel deliveries — for up to
+// `drain_grace`, then discards what remains (counted, never executed
+// concurrently with teardown) and joins all threads.  Spawned tasks must
+// have returned before Stop() is called; Stop() joins the pool.
+
+#ifndef SCREP_RUNTIME_THREAD_RUNTIME_H_
+#define SCREP_RUNTIME_THREAD_RUNTIME_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace screp::runtime {
+
+struct ThreadRuntimeConfig {
+  /// Worker threads serving Spawn() (>= 0; 0 = Spawn refused).
+  int worker_threads = 4;
+  /// Seed of the runtime entropy stream; 0 draws one from the system
+  /// random source (each run different, as wall-clock runs are anyway).
+  uint64_t entropy_seed = 0;
+  /// How long Stop() keeps executing nearly-due callbacks before
+  /// discarding the rest (bounds shutdown latency).
+  Duration drain_grace = Millis(100);
+};
+
+class ThreadRuntime : public Runtime {
+ public:
+  explicit ThreadRuntime(ThreadRuntimeConfig config = {});
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  /// Microseconds of steady-clock time since construction.
+  TimePoint Now() const override;
+
+  void Schedule(Duration delay, Callback fn) override;
+  void ScheduleAt(TimePoint when, Callback fn) override;
+  void Post(Callback fn) override;
+  void Spawn(Callback fn) override;
+  void Stop() override;
+
+  bool deterministic() const override { return false; }
+
+  /// Loop-thread only (like all middleware state).
+  Rng* entropy() override { return &entropy_; }
+
+  /// Callbacks executed on the event loop so far.
+  uint64_t executed() const;
+  /// Not-yet-due callbacks discarded by Stop() (none ran after teardown).
+  uint64_t discarded_on_stop() const;
+  /// True from Stop() on.
+  bool stopped() const;
+  /// True when the calling thread is the event-loop thread.
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_.get_id();
+  }
+
+ private:
+  struct TimedEvent {
+    TimePoint due;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const TimedEvent& a, const TimedEvent& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void EnqueueLocked(TimePoint due, Callback fn);
+  void LoopMain();
+  void WorkerMain();
+
+  const ThreadRuntimeConfig config_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>, EventLater>
+      queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t discarded_ = 0;
+  bool draining_ = false;
+  /// Deadline (runtime clock) past which remaining events are discarded.
+  TimePoint drain_deadline_ = 0;
+  bool loop_done_ = false;
+
+  std::mutex spawn_mu_;
+  std::condition_variable spawn_cv_;
+  std::deque<Callback> spawn_queue_;
+  bool spawn_closed_ = false;
+
+  Rng entropy_;
+  bool stopped_ = false;  // guarded by stop_mu_ (Stop is idempotent)
+  std::mutex stop_mu_;
+
+  std::vector<std::thread> workers_;
+  std::thread loop_thread_;  // started last, joined first
+};
+
+}  // namespace screp::runtime
+
+#endif  // SCREP_RUNTIME_THREAD_RUNTIME_H_

@@ -4,14 +4,14 @@
 
 namespace screp {
 
-Resource::Resource(Simulator* sim, std::string name, int servers)
-    : sim_(sim), name_(std::move(name)), servers_(servers) {
+Resource::Resource(runtime::Runtime* rt, std::string name, int servers)
+    : rt_(rt), name_(std::move(name)), servers_(servers) {
   SCREP_CHECK(servers_ >= 1);
 }
 
 void Resource::Submit(SimTime service_time, Callback done) {
   if (service_time < 0) service_time = 0;
-  Work work{service_time, sim_->Now(), std::move(done)};
+  Work work{service_time, rt_->Now(), std::move(done)};
   if (busy_ < servers_) {
     StartService(std::move(work));
   } else {
@@ -22,7 +22,7 @@ void Resource::Submit(SimTime service_time, Callback done) {
 bool Resource::TryAcquire() {
   if (busy_ >= servers_) return false;
   ++busy_;
-  hold_starts_.push_back(sim_->Now());
+  hold_starts_.push_back(rt_->Now());
   return true;
 }
 
@@ -30,7 +30,7 @@ void Resource::Release() {
   SCREP_CHECK(busy_ > 0);
   SCREP_CHECK(!hold_starts_.empty());
   --busy_;
-  busy_time_ += sim_->Now() - hold_starts_.front();
+  busy_time_ += rt_->Now() - hold_starts_.front();
   hold_starts_.pop_front();
   if (!queue_.empty() && busy_ < servers_) {
     Work next = std::move(queue_.front());
@@ -42,9 +42,9 @@ void Resource::Release() {
 void Resource::StartService(Work work) {
   ++busy_;
   busy_time_ += work.service_time;
-  queue_delay_.Add(static_cast<double>(sim_->Now() - work.enqueued_at));
+  queue_delay_.Add(static_cast<double>(rt_->Now() - work.enqueued_at));
   Callback done = std::move(work.done);
-  sim_->Schedule(work.service_time, [this, done = std::move(done)]() {
+  rt_->Schedule(work.service_time, [this, done = std::move(done)]() {
     --busy_;
     if (!queue_.empty()) {
       Work next = std::move(queue_.front());
@@ -56,7 +56,7 @@ void Resource::StartService(Work work) {
 }
 
 double Resource::Utilization() const {
-  const SimTime elapsed = sim_->Now() - stats_since_;
+  const SimTime elapsed = rt_->Now() - stats_since_;
   if (elapsed <= 0) return 0.0;
   return static_cast<double>(busy_time_) /
          (static_cast<double>(elapsed) * servers_);
@@ -64,9 +64,9 @@ double Resource::Utilization() const {
 
 void Resource::ResetStats() {
   busy_time_ = 0;
-  stats_since_ = sim_->Now();
+  stats_since_ = rt_->Now();
   // In-flight claims only count their post-reset portion.
-  for (SimTime& start : hold_starts_) start = sim_->Now();
+  for (SimTime& start : hold_starts_) start = rt_->Now();
   queue_delay_.Reset();
 }
 

@@ -16,17 +16,17 @@
 
 #include "common/sim_time.h"
 #include "common/stats.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace screp {
 
-/// A c-server FIFO queueing resource living on a Simulator.
+/// A c-server FIFO queueing resource living on a Runtime.
 class Resource {
  public:
   using Callback = std::function<void()>;
 
   /// `servers` is the number of parallel service units (>= 1).
-  Resource(Simulator* sim, std::string name, int servers);
+  Resource(runtime::Runtime* rt, std::string name, int servers);
 
   /// Submits a unit of work needing `service_time` of one server; `done`
   /// fires when service completes (after any queueing delay).
@@ -58,7 +58,7 @@ class Resource {
   /// Total busy server-time accumulated (for utilization reports).
   SimTime BusyTime() const { return busy_time_; }
 
-  /// Utilization in [0,1] over [0, sim->Now()].
+  /// Utilization in [0,1] over [0, rt->Now()].
   double Utilization() const;
 
   /// Distribution of queueing delays observed (microseconds).
@@ -76,7 +76,7 @@ class Resource {
 
   void StartService(Work work);
 
-  Simulator* sim_;
+  runtime::Runtime* rt_;
   std::string name_;
   int servers_;
   int busy_ = 0;

@@ -6,12 +6,12 @@
 
 namespace screp {
 
-SimTime RetryBackoff(const ClientConfig& config, int attempt, Rng* rng) {
+Duration RetryBackoff(const ClientConfig& config, int attempt, Rng* rng) {
   if (config.backoff_base <= 0) return config.retry_delay;
   SCREP_CHECK(attempt >= 1);
   // Doubling via repeated addition: 2^(attempt-1) overflows int64 past
   // attempt 63, and a saturated closed loop can retry far more often.
-  SimTime delay = config.backoff_base;
+  Duration delay = config.backoff_base;
   for (int i = 1; i < attempt && delay < config.backoff_cap; ++i) {
     delay *= 2;
   }
@@ -19,8 +19,8 @@ SimTime RetryBackoff(const ClientConfig& config, int attempt, Rng* rng) {
   const double jitter =
       (1.0 - config.backoff_jitter) +
       2.0 * config.backoff_jitter * rng->NextDouble();
-  delay = static_cast<SimTime>(static_cast<double>(delay) * jitter);
-  return std::max<SimTime>(delay, 1);
+  delay = static_cast<Duration>(static_cast<double>(delay) * jitter);
+  return std::max<Duration>(delay, 1);
 }
 
 ClientDriver::ClientDriver(ReplicatedSystem* system,
@@ -38,12 +38,12 @@ ClientDriver::ClientDriver(ReplicatedSystem* system,
 void ClientDriver::Start() { ThinkThenSubmit(); }
 
 void ClientDriver::ThinkThenSubmit() {
-  SimTime think = 0;
+  Duration think = 0;
   if (config_.mean_think_time > 0) {
-    think = static_cast<SimTime>(rng_.NextExponential(
+    think = static_cast<Duration>(rng_.NextExponential(
         static_cast<double>(config_.mean_think_time)));
   }
-  system_->sim()->Schedule(think, [this]() {
+  system_->runtime()->Schedule(think, [this]() {
     if (stopped_) return;
     current_ = generator_->Next();
     has_current_ = true;
@@ -63,7 +63,7 @@ void ClientDriver::SubmitCurrent() {
   inflight_txn_ = request.txn_id;
   if (config_.request_timeout > 0) {
     const TxnId txn = request.txn_id;
-    system_->sim()->Schedule(config_.request_timeout,
+    system_->runtime()->Schedule(config_.request_timeout,
                              [this, txn]() { OnTimeout(txn); });
   }
   system_->Submit(std::move(request));
@@ -76,7 +76,7 @@ void ClientDriver::OnTimeout(TxnId txn) {
   if (event_log->enabled()) {
     obs::Event e;
     e.kind = obs::EventKind::kTimeout;
-    e.at = system_->sim()->Now();
+    e.at = system_->runtime()->Now();
     e.txn = txn;
     e.session = session_;
     e.wait = config_.request_timeout;
@@ -88,7 +88,7 @@ void ClientDriver::OnTimeout(TxnId txn) {
   inflight_txn_ = 0;
   ++retries_;
   ++retry_attempts_;
-  system_->sim()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
+  system_->runtime()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
                            [this]() {
                              if (stopped_) return;
                              SubmitCurrent();
@@ -107,7 +107,7 @@ void ClientDriver::OnResponse(const TxnResponse& response) {
   if (!stopped_) {
     const bool eager =
         system_->config().level == ConsistencyLevel::kEager;
-    metrics_->Record(response, system_->sim()->Now(), eager);
+    metrics_->Record(response, system_->runtime()->Now(), eager);
   }
   if (response.outcome == TxnOutcome::kCommitted) {
     generator_->OnCommitted(current_);
@@ -130,7 +130,7 @@ void ClientDriver::OnResponse(const TxnResponse& response) {
     // system).
     ++retries_;
     ++retry_attempts_;
-    system_->sim()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
+    system_->runtime()->Schedule(RetryBackoff(config_, retry_attempts_, &rng_),
                              [this]() { SubmitCurrent(); });
   }
   if (stopped_) system_->EndSession(session_);

@@ -56,25 +56,25 @@ class Workload {
 struct ClientConfig {
   /// Mean of the negative-exponential think time between transactions
   /// (0 = back-to-back, as in the micro-benchmark).
-  SimTime mean_think_time = 0;
+  Duration mean_think_time = 0;
   /// Delay before retrying an aborted transaction instance.  Only used
   /// when `backoff_base` is 0 (the legacy fixed-delay retry path).
-  SimTime retry_delay = Millis(1.0);
+  Duration retry_delay = Millis(1.0);
   /// Jittered exponential backoff: > 0 switches retries from the fixed
   /// `retry_delay` to min(backoff_cap, backoff_base * 2^(attempt-1))
   /// scaled by a uniform jitter factor in [1 - backoff_jitter,
   /// 1 + backoff_jitter].  A retrying herd with a fixed delay re-arrives
   /// in lockstep and re-saturates an overloaded system forever; jittered
   /// exponential backoff spreads and thins the retry stream instead.
-  SimTime backoff_base = 0;
-  SimTime backoff_cap = Millis(64);
+  Duration backoff_base = 0;
+  Duration backoff_cap = Millis(64);
   double backoff_jitter = 0.5;
   /// > 0: if no response arrives within this bound the client gives up on
   /// the attempt (the response, should it still arrive, is dropped as
   /// stale) and resubmits the instance under a fresh transaction id after
   /// backoff.  Crash-safe: a request stranded by a replica crash no
   /// longer wedges its closed loop until the failure notice arrives.
-  SimTime request_timeout = 0;
+  Duration request_timeout = 0;
   /// Execution errors can be deterministic (e.g. re-inserting a key whose
   /// first attempt actually committed but whose acknowledgment was lost in
   /// a replica crash); after this many consecutive execution errors the
@@ -86,7 +86,7 @@ struct ClientConfig {
 /// `backoff_base` unset this is the fixed `retry_delay` and `rng` is not
 /// drawn from (so legacy configurations consume exactly the same random
 /// stream as before backoff existed).
-SimTime RetryBackoff(const ClientConfig& config, int attempt, Rng* rng);
+Duration RetryBackoff(const ClientConfig& config, int attempt, Rng* rng);
 
 /// One emulated client: think, submit, await acknowledgment, repeat.
 /// Aborted instances are retried until they commit (the closed loop).

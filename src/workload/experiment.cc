@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "runtime/sim_runtime.h"
 
 namespace screp {
 
@@ -118,7 +119,8 @@ std::string ExperimentResult::ToJson() const {
 
 Result<ExperimentResult> RunExperiment(const Workload& workload,
                                        const ExperimentConfig& config) {
-  Simulator sim;
+  runtime::SimRuntime rt;
+  Simulator& sim = *rt.sim();
   SystemConfig system_config = config.system;
   system_config.seed = config.seed;
   if (!config.trace_json_path.empty()) system_config.obs.tracing = true;
@@ -139,7 +141,7 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   SCREP_ASSIGN_OR_RETURN(
       auto system,
       ReplicatedSystem::Create(
-          &sim, system_config,
+          &rt, system_config,
           [&workload](Database* db) { return workload.BuildSchema(db); },
           [&workload](const Database& db, sql::TransactionRegistry* reg) {
             return workload.DefineTransactions(db, reg);
@@ -170,7 +172,7 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
 
   // Reset resource statistics at the end of warm-up so utilization covers
   // only the measurement window.
-  sim.Schedule(config.warmup, [&system]() {
+  rt.Schedule(config.warmup, [&system]() {
     for (int r = 0; r < system->replica_count(); ++r) {
       system->replica(r)->proxy()->cpu()->ResetStats();
     }
@@ -179,21 +181,21 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   });
 
   for (const FaultEvent& fault : config.faults) {
-    sim.Schedule(fault.crash_at, [&system, fault]() {
+    rt.Schedule(fault.crash_at, [&system, fault]() {
       system->CrashReplica(fault.replica);
     });
     if (fault.recover_at != FaultEvent::kNoRecovery) {
-      sim.Schedule(fault.recover_at, [&system, fault]() {
+      rt.Schedule(fault.recover_at, [&system, fault]() {
         system->RecoverReplica(fault.replica);
       });
     }
   }
 
-  const SimTime end = config.warmup + config.duration;
+  const TimePoint end = config.warmup + config.duration;
   // Stop the closed loops at the end of the window, then drain in-flight
   // transactions so recorded histories are complete (commit versions with
   // no response would otherwise look like gaps in the total order).
-  sim.Schedule(end, [&clients, &system]() {
+  rt.Schedule(end, [&clients, &system]() {
     for (auto& client : clients) client->Stop();
     system->StopGc();  // otherwise the GC daemon keeps the queue alive
     system->obs()->StopSampling();  // likewise for the sampler daemon
@@ -243,17 +245,17 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   result.p99_response_ms = metrics.P99ResponseMs();
   result.sync_delay_ms = metrics.MeanSyncDelayMs();
   result.version_ms =
-      ToMillis(static_cast<SimTime>(metrics.version_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.version_stage().mean()));
   result.queries_ms =
-      ToMillis(static_cast<SimTime>(metrics.queries_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.queries_stage().mean()));
   result.certify_ms =
-      ToMillis(static_cast<SimTime>(metrics.certify_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.certify_stage().mean()));
   result.sync_ms =
-      ToMillis(static_cast<SimTime>(metrics.sync_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.sync_stage().mean()));
   result.commit_ms =
-      ToMillis(static_cast<SimTime>(metrics.commit_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.commit_stage().mean()));
   result.global_ms =
-      ToMillis(static_cast<SimTime>(metrics.global_stage().mean()));
+      ToMillis(static_cast<Duration>(metrics.global_stage().mean()));
   result.committed = metrics.committed();
   result.committed_updates = metrics.committed_updates();
   result.cert_aborts = metrics.cert_aborts();

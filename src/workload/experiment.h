@@ -19,10 +19,10 @@ namespace screp {
 /// A scheduled replica failure.
 struct FaultEvent {
   ReplicaId replica = 0;
-  SimTime crash_at = 0;
+  TimePoint crash_at = 0;
   /// kNoRecovery leaves the replica down for the rest of the run.
-  SimTime recover_at = kNoRecovery;
-  static constexpr SimTime kNoRecovery = -1;
+  TimePoint recover_at = kNoRecovery;
+  static constexpr TimePoint kNoRecovery = -1;
 };
 
 /// Parameters of one experiment run.
@@ -30,13 +30,13 @@ struct ExperimentConfig {
   SystemConfig system;
   int client_count = 8;
   /// Mean negative-exponential think time (0 = back-to-back).
-  SimTime mean_think_time = 0;
+  Duration mean_think_time = 0;
   /// Client retry/timeout behaviour (`mean_think_time` above overrides
   /// the copy inside; everything else — backoff, request timeout — is
   /// taken from here).
   ClientConfig client;
-  SimTime warmup = Seconds(3);
-  SimTime duration = Seconds(30);
+  Duration warmup = Seconds(3);
+  Duration duration = Seconds(30);
   uint64_t seed = 42;
   /// When set, the run also records a history for consistency checking.
   History* history = nullptr;
@@ -129,7 +129,7 @@ struct HealthSummary {
   /// Comma-joined names of the detectors that fired (empty when quiet).
   std::string detectors;
   /// Virtual time (us) of the first departure from healthy (-1 = never).
-  SimTime first_transition_at = -1;
+  TimePoint first_transition_at = -1;
 
   /// One-line human summary.
   std::string ToString() const;

@@ -6,12 +6,12 @@
 
 namespace screp {
 
-void MetricsCollector::EnableTimeline(SimTime bucket_width) {
+void MetricsCollector::EnableTimeline(Duration bucket_width) {
   timeline_bucket_width_ = bucket_width;
 }
 
 MetricsCollector::TimelineBucket* MetricsCollector::TimelineBucketFor(
-    SimTime now) {
+    TimePoint now) {
   if (timeline_bucket_width_ <= 0) return nullptr;
   const size_t index =
       static_cast<size_t>(now / timeline_bucket_width_);
@@ -19,7 +19,7 @@ MetricsCollector::TimelineBucket* MetricsCollector::TimelineBucketFor(
   return &timeline_[index];
 }
 
-void MetricsCollector::Record(const TxnResponse& response, SimTime now,
+void MetricsCollector::Record(const TxnResponse& response, TimePoint now,
                               bool eager) {
   TimelineBucket* bucket = TimelineBucketFor(now);
   if (bucket != nullptr) {
@@ -54,7 +54,7 @@ void MetricsCollector::Record(const TxnResponse& response, SimTime now,
   ++committed_;
   if (!response.read_only) ++committed_updates_;
 
-  const SimTime rt = now - response.submit_time;
+  const Duration rt = now - response.submit_time;
   response_.Add(static_cast<double>(rt));
   response_hist_.Add(static_cast<double>(rt));
 
@@ -81,7 +81,7 @@ void MetricsCollector::Record(const TxnResponse& response, SimTime now,
 }
 
 double MetricsCollector::Throughput() const {
-  const SimTime window = measure_until_ - measure_from_;
+  const Duration window = measure_until_ - measure_from_;
   if (window <= 0) {
     SCREP_LOG(kWarn) << "[metrics] zero-length measurement window ("
                      << measure_from_ << ".." << measure_until_
@@ -108,12 +108,12 @@ std::string MetricsCollector::Summary() const {
       static_cast<long long>(early_aborts_),
       static_cast<long long>(exec_errors_), Throughput(), MeanResponseMs(),
       P99ResponseMs(), MeanSyncDelayMs(),
-      ToMillis(static_cast<SimTime>(version_.mean())),
-      ToMillis(static_cast<SimTime>(queries_.mean())),
-      ToMillis(static_cast<SimTime>(certify_.mean())),
-      ToMillis(static_cast<SimTime>(sync_.mean())),
-      ToMillis(static_cast<SimTime>(commit_.mean())),
-      ToMillis(static_cast<SimTime>(global_.mean())));
+      ToMillis(static_cast<Duration>(version_.mean())),
+      ToMillis(static_cast<Duration>(queries_.mean())),
+      ToMillis(static_cast<Duration>(certify_.mean())),
+      ToMillis(static_cast<Duration>(sync_.mean())),
+      ToMillis(static_cast<Duration>(commit_.mean())),
+      ToMillis(static_cast<Duration>(global_.mean())));
   return buf;
 }
 

@@ -18,16 +18,16 @@ namespace screp {
 class MetricsCollector {
  public:
   /// Observations before `measure_from` (warm-up) are discarded.
-  explicit MetricsCollector(SimTime measure_from)
+  explicit MetricsCollector(TimePoint measure_from)
       : measure_from_(measure_from) {}
 
   /// Records a finished transaction; `now` is the client-side
   /// acknowledgment time, `eager` selects which stage counts as the
   /// synchronization delay (global for ESC, version otherwise).
-  void Record(const TxnResponse& response, SimTime now, bool eager);
+  void Record(const TxnResponse& response, TimePoint now, bool eager);
 
   /// Ends the window (needed before computing throughput).
-  void Finish(SimTime now) { measure_until_ = now; }
+  void Finish(TimePoint now) { measure_until_ = now; }
 
   // -- Aggregates (valid after Finish) --
 
@@ -35,12 +35,12 @@ class MetricsCollector {
   double Throughput() const;
   /// Mean client response time in ms (committed transactions).
   double MeanResponseMs() const {
-    return ToMillis(static_cast<SimTime>(response_.mean()));
+    return ToMillis(static_cast<Duration>(response_.mean()));
   }
   double P99ResponseMs() const { return response_hist_.Percentile(0.99) / 1e3; }
   /// Mean synchronization delay in ms (Fig. 6 metric).
   double MeanSyncDelayMs() const {
-    return ToMillis(static_cast<SimTime>(sync_delay_.mean()));
+    return ToMillis(static_cast<Duration>(sync_delay_.mean()));
   }
 
   int64_t committed() const { return committed_; }
@@ -68,7 +68,7 @@ class MetricsCollector {
 
   /// Enables per-interval throughput/latency buckets (timeline view —
   /// e.g. to watch throughput dip and recover around a replica crash).
-  void EnableTimeline(SimTime bucket_width);
+  void EnableTimeline(Duration bucket_width);
 
   /// One timeline bucket.
   struct TimelineBucket {
@@ -83,7 +83,7 @@ class MetricsCollector {
 
   /// Buckets from time 0 in EnableTimeline() widths (empty if disabled).
   const std::vector<TimelineBucket>& timeline() const { return timeline_; }
-  SimTime timeline_bucket_width() const { return timeline_bucket_width_; }
+  Duration timeline_bucket_width() const { return timeline_bucket_width_; }
 
   /// Multi-line human-readable summary.
   std::string Summary() const;
@@ -91,10 +91,10 @@ class MetricsCollector {
  private:
   /// Bucket containing `now`, growing the timeline as needed; nullptr
   /// when the timeline is disabled.
-  TimelineBucket* TimelineBucketFor(SimTime now);
+  TimelineBucket* TimelineBucketFor(TimePoint now);
 
-  SimTime measure_from_;
-  SimTime measure_until_ = 0;
+  TimePoint measure_from_;
+  TimePoint measure_until_ = 0;
 
   int64_t committed_ = 0;
   int64_t committed_updates_ = 0;
@@ -109,7 +109,7 @@ class MetricsCollector {
   StatAccumulator sync_delay_;
   StatAccumulator version_, queries_, certify_, sync_, commit_, global_;
 
-  SimTime timeline_bucket_width_ = 0;
+  Duration timeline_bucket_width_ = 0;
   std::vector<TimelineBucket> timeline_;
 };
 

@@ -1,0 +1,89 @@
+#include "workload/realtime.h"
+
+#include <utility>
+
+#include "sql/statement.h"
+
+namespace screp {
+
+Status KvGridWorkload::BuildSchema(Database* db) const {
+  SCREP_ASSIGN_OR_RETURN(
+      TableId id,
+      db->CreateTable(kTableName, Schema({{"id", ValueType::kInt64},
+                                          {"val", ValueType::kInt64}})));
+  for (int64_t key = 0; key < config_.rows; ++key) {
+    SCREP_RETURN_NOT_OK(db->BulkLoad(id, Row{Value(key), Value(key)}));
+  }
+  return Status::OK();
+}
+
+std::string KvGridWorkload::TypeName(int reads, int updates) {
+  return "kv_r" + std::to_string(reads) + "_u" + std::to_string(updates);
+}
+
+Status KvGridWorkload::DefineTransactions(
+    const Database& db, sql::TransactionRegistry* registry) const {
+  const std::string table(kTableName);
+  for (int r = 0; r <= config_.max_reads; ++r) {
+    for (int u = 0; u <= config_.max_updates; ++u) {
+      if (r == 0 && u == 0) continue;
+      sql::PreparedTransaction txn;
+      txn.name = TypeName(r, u);
+      for (int i = 0; i < r; ++i) {
+        SCREP_ASSIGN_OR_RETURN(
+            auto stmt, sql::PreparedStatement::Prepare(
+                           db, "SELECT id, val FROM " + table +
+                                   " WHERE id = ?"));
+        txn.statements.push_back(std::move(stmt));
+      }
+      for (int i = 0; i < u; ++i) {
+        SCREP_ASSIGN_OR_RETURN(
+            auto stmt, sql::PreparedStatement::Prepare(
+                           db, "UPDATE " + table +
+                                   " SET val = ? WHERE id = ?"));
+        txn.statements.push_back(std::move(stmt));
+      }
+      registry->Register(std::move(txn));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TxnTypeId> KvGridWorkload::TypeFor(
+    const sql::TransactionRegistry& registry, int reads, int updates) const {
+  if (reads < 0 || updates < 0 || reads > config_.max_reads ||
+      updates > config_.max_updates || (reads == 0 && updates == 0)) {
+    return Status::InvalidArgument(
+        "no kv grid type for " + std::to_string(reads) + " reads / " +
+        std::to_string(updates) + " updates (grid is " +
+        std::to_string(config_.max_reads) + "x" +
+        std::to_string(config_.max_updates) + ")");
+  }
+  return registry.Find(TypeName(reads, updates));
+}
+
+SystemConfig RealtimeSystemConfig(int replicas, ConsistencyLevel level) {
+  SystemConfig config;
+  config.replica_count = replicas;
+  config.level = level;
+
+  config.network.client_lb = net::LinkConfig(0);
+  config.network.lb_replica = net::LinkConfig(0);
+  config.network.replica_certifier = net::LinkConfig(0);
+  config.network.refresh = net::LinkConfig(0);
+  config.network.refresh.reliability = net::Reliability::kReliable;
+
+  config.proxy.read_stmt_base = 0;
+  config.proxy.update_stmt_base = 0;
+  config.proxy.per_row_cost = 0;
+  config.proxy.commit_cost = 0;
+  config.proxy.refresh_base = 0;
+  config.proxy.refresh_per_op = 0;
+  config.proxy.stmt_round_trip = 0;
+
+  config.certifier.certify_cpu_time = 0;
+  config.certifier.log_force_time = 0;
+  return config;
+}
+
+}  // namespace screp

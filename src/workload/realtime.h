@@ -1,0 +1,73 @@
+// Wall-clock harness helpers shared by the realtime bench driver
+// (bench/realtime.cc) and the TCP server front-end (tools/screp_server):
+//
+//   * RealtimeSystemConfig() — a SystemConfig whose modeled network
+//     latencies and service times are zeroed, so a system run over
+//     ThreadRuntime is bounded by real CPU and real queueing instead of a
+//     simulated hardware model played back in real time.
+//   * KvGridWorkload — a single-table key/value workload whose prepared
+//     transaction types form a (reads x updates) grid, so an interactive
+//     front-end can map an ad-hoc BEGIN/READ/UPDATE/COMMIT session onto a
+//     registered type (the middleware executes registered prepared
+//     transactions only; see DESIGN.md §5i).
+//
+// Within every grid type the SELECT statements come first, then the
+// UPDATEs — a buffered interactive transaction is replayed in that order
+// at COMMIT, regardless of how the client interleaved its ops.
+
+#ifndef SCREP_WORKLOAD_REALTIME_H_
+#define SCREP_WORKLOAD_REALTIME_H_
+
+#include <string>
+
+#include "replication/system.h"
+
+namespace screp {
+
+/// Shape of the kv grid workload.
+struct KvGridConfig {
+  /// Rows preloaded into the kv table (keys 0..rows-1, val = key).
+  int rows = 10000;
+  /// Largest number of reads a single transaction may carry.
+  int max_reads = 4;
+  /// Largest number of updates a single transaction may carry.
+  int max_updates = 4;
+};
+
+/// The kv grid workload: one table `kv(id INT, val INT)` and one prepared
+/// transaction type per (reads, updates) pair with reads + updates > 0.
+class KvGridWorkload {
+ public:
+  static constexpr const char* kTableName = "kv";
+
+  explicit KvGridWorkload(KvGridConfig config) : config_(config) {}
+
+  Status BuildSchema(Database* db) const;
+  Status DefineTransactions(const Database& db,
+                            sql::TransactionRegistry* registry) const;
+
+  /// Registered name of the type carrying `reads` SELECTs then `updates`
+  /// UPDATEs ("kv_r2_u1").
+  static std::string TypeName(int reads, int updates);
+
+  /// Grid lookup; InvalidArgument when (reads, updates) is outside the
+  /// grid or both are zero.
+  Result<TxnTypeId> TypeFor(const sql::TransactionRegistry& registry,
+                            int reads, int updates) const;
+
+  const KvGridConfig& config() const { return config_; }
+
+ private:
+  KvGridConfig config_;
+};
+
+/// SystemConfig for wall-clock runs: every modeled delay — link
+/// latencies, jitter, statement/commit/refresh service times, the
+/// certifier's CPU and log-force times — is zeroed.  What remains is the
+/// real cost of executing the middleware on the ThreadRuntime: actual
+/// queueing, actual statement execution, actual cross-thread handoffs.
+SystemConfig RealtimeSystemConfig(int replicas, ConsistencyLevel level);
+
+}  // namespace screp
+
+#endif  // SCREP_WORKLOAD_REALTIME_H_

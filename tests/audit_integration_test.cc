@@ -1,4 +1,5 @@
 // End-to-end audit tests: every consistency configuration passes the
+#include "runtime/sim_runtime.h"
 // online auditor on real runs (with and without faults), the event log
 // replays into a history the offline checkers accept, the audit report
 // JSON is well-formed, turning auditing on does not perturb the
@@ -150,13 +151,14 @@ TEST(AuditIntegrationTest, AuditReportJsonIsValid) {
 TEST(AuditIntegrationTest, ReplayedHistoryAgreesWithOfflineCheckers) {
   const MicroWorkload workload(SmallMicro(0.25));
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig system_config;
   system_config.replica_count = 3;
   system_config.level = ConsistencyLevel::kLazyCoarse;
   system_config.obs.audit = true;
   system_config.obs.event_log_capacity = size_t{1} << 20;
   auto system_or = ReplicatedSystem::Create(
-      &sim, system_config,
+      &rt, system_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

@@ -1,4 +1,5 @@
 // Property test for the keyed conflict index: the indexed certification
+#include "runtime/sim_runtime.h"
 // path must make exactly the decisions the pre-index linear-scan oracle
 // (CertifierConfig::linear_scan_oracle) makes — same verdicts, same
 // commit versions, same conflict attribution (version, transaction and
@@ -21,6 +22,7 @@ namespace {
 /// One certifier plus everything needed to compare it against a twin.
 struct Lane {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   std::unique_ptr<obs::Observability> obs;
   std::unique_ptr<Certifier> certifier;
   std::vector<CertDecision> decisions;
@@ -29,8 +31,8 @@ struct Lane {
     config.linear_scan_oracle = linear_scan;
     obs::ObsConfig obs_config;
     obs_config.event_log = true;
-    obs = std::make_unique<obs::Observability>(&sim, obs_config);
-    certifier = std::make_unique<Certifier>(&sim, config, 3, /*eager=*/false);
+    obs = std::make_unique<obs::Observability>(&rt, obs_config);
+    certifier = std::make_unique<Certifier>(&rt, config, 3, /*eager=*/false);
     certifier->SetDecisionCallback(
         [this](ReplicaId, const CertDecision& decision) {
           decisions.push_back(decision);

@@ -1,4 +1,5 @@
 #include "replication/certifier.h"
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -27,7 +28,7 @@ class CertifierTest : public ::testing::Test {
   }
 
   void Build(int replicas, bool eager, CertifierConfig config) {
-    certifier_ = std::make_unique<Certifier>(&sim_, config,
+    certifier_ = std::make_unique<Certifier>(&rt_, config,
                                              replicas, eager);
     certifier_->SetDecisionCallback(
         [this](ReplicaId origin, const CertDecision& decision) {
@@ -45,6 +46,7 @@ class CertifierTest : public ::testing::Test {
   }
 
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   std::unique_ptr<Certifier> certifier_;
   std::vector<std::pair<ReplicaId, CertDecision>> decisions_;
   std::vector<std::pair<ReplicaId, WriteSet>> refreshes_;
@@ -195,7 +197,7 @@ TEST_F(CertifierTest, NonEagerIgnoresCommitNotifications) {
 TEST_F(CertifierTest, WindowOverflowAbortsConservatively) {
   CertifierConfig config;
   config.conflict_window = 2;
-  certifier_ = std::make_unique<Certifier>(&sim_, config, 2, false);
+  certifier_ = std::make_unique<Certifier>(&rt_, config, 2, false);
   certifier_->SetDecisionCallback(
       [this](ReplicaId origin, const CertDecision& decision) {
         decisions_.emplace_back(origin, decision);
@@ -218,7 +220,7 @@ TEST_F(CertifierTest, WindowOverflowAbortsConservatively) {
 TEST_F(CertifierTest, DecisionMapBoundedByConflictWindow) {
   CertifierConfig config;
   config.conflict_window = 16;
-  certifier_ = std::make_unique<Certifier>(&sim_, config, 2, false);
+  certifier_ = std::make_unique<Certifier>(&rt_, config, 2, false);
   certifier_->SetDecisionCallback(
       [this](ReplicaId origin, const CertDecision& decision) {
         decisions_.emplace_back(origin, decision);
@@ -314,9 +316,10 @@ TEST_F(CertifierTest, UnboundedForceBatchEquivalentToHugeCap) {
   // never binds must produce identical refresh schedules and disk time.
   auto run = [](size_t cap) {
     Simulator sim;
+    runtime::SimRuntime rt{&sim};
     CertifierConfig config;
     config.max_force_batch = cap;
-    Certifier certifier(&sim, config, 3, false);
+    Certifier certifier(&rt, config, 3, false);
     std::vector<std::tuple<ReplicaId, TxnId, DbVersion, SimTime>> refreshes;
     certifier.SetDecisionCallback(
         [](ReplicaId, const CertDecision&) {});

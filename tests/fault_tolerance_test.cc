@@ -1,4 +1,5 @@
 // Failure injection: replica crash-stop and recovery (paper §IV's
+#include "runtime/sim_runtime.h"
 // crash-recovery model). Covers failover of in-flight transactions,
 // catch-up from the certifier's durable log, eager-mode membership
 // changes, and consistency of histories recorded across failures.
@@ -60,12 +61,13 @@ TEST(FaultToleranceTest, ThroughputRecoversAfterRestart) {
 TEST(FaultToleranceTest, RecoveredReplicaConvergesViaCatchUp) {
   // Drive the system directly so we can inspect replica state.
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 3;
   config.level = ConsistencyLevel::kLazyCoarse;
   MicroWorkload workload(SmallMicro(1.0));
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -116,12 +118,13 @@ TEST(FaultToleranceTest, RecoveredReplicaConvergesViaCatchUp) {
 
 TEST(FaultToleranceTest, InFlightTransactionsFailOverToClient) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 2;
   config.level = ConsistencyLevel::kLazyCoarse;
   MicroWorkload workload(SmallMicro(1.0));
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -158,12 +161,13 @@ TEST(FaultToleranceTest, InFlightTransactionsFailOverToClient) {
 
 TEST(FaultToleranceTest, EagerGlobalCommitNotBlockedByCrash) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 3;
   config.level = ConsistencyLevel::kEager;
   MicroWorkload workload(SmallMicro(1.0));
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -197,6 +201,7 @@ TEST(FaultToleranceTest, EagerGlobalCommitNotBlockedByCrash) {
 
 TEST(FaultToleranceTest, CrashDuringEagerWaitFailsOverTheOrigin) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 3;
   config.level = ConsistencyLevel::kEager;
@@ -204,7 +209,7 @@ TEST(FaultToleranceTest, CrashDuringEagerWaitFailsOverTheOrigin) {
   config.proxy.refresh_base = Millis(50);
   MicroWorkload workload(SmallMicro(1.0));
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

@@ -1,4 +1,5 @@
 // High-availability failover of the middleware components themselves:
+#include "runtime/sim_runtime.h"
 // the certifier (state-machine-replicated hot standby) and the load
 // balancer (stateless standby with conservative re-initialization) —
 // the paper's §IV fault-tolerance design, made executable.
@@ -24,13 +25,14 @@ class HaFailoverTest : public ::testing::Test {
   void Build(ConsistencyLevel level, int replicas, bool standby_certifier) {
     workload_ = std::make_unique<MicroWorkload>(SmallMicro(1.0));
     sim_ = std::make_unique<Simulator>();
+    rt_ = std::make_unique<runtime::SimRuntime>(sim_.get());
     responses_.clear();
     SystemConfig config;
     config.replica_count = replicas;
     config.level = level;
     config.standby_certifier = standby_certifier;
     auto system = ReplicatedSystem::Create(
-        sim_.get(), config,
+        rt_.get(), config,
         [this](Database* db) { return workload_->BuildSchema(db); },
         [this](const Database& db, sql::TransactionRegistry* reg) {
           return workload_->DefineTransactions(db, reg);
@@ -67,6 +69,7 @@ class HaFailoverTest : public ::testing::Test {
 
   std::unique_ptr<MicroWorkload> workload_;
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<runtime::SimRuntime> rt_;
   std::unique_ptr<ReplicatedSystem> system_;
   std::vector<TxnResponse> responses_;
 };
@@ -129,8 +132,9 @@ TEST_F(HaFailoverTest, FailoverMidLoadPreservesStrongConsistency) {
   // No FaultEvent plumbing for the certifier: drive it via a scheduled
   // callback through a custom run instead.
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   auto system_or = ReplicatedSystem::Create(
-      &sim, config.system,
+      &rt, config.system,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -171,13 +175,14 @@ TEST_F(HaFailoverTest, CertifierCrashWithoutStandbyRefused) {
 
 TEST_F(HaFailoverTest, StandbyWithEagerRejected) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 2;
   config.level = ConsistencyLevel::kEager;
   config.standby_certifier = true;
   MicroWorkload workload(SmallMicro(0.5));
   auto result = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -229,8 +234,9 @@ TEST_F(HaFailoverTest, SessionGuaranteeHoldsAcrossLbFailover) {
   sys_config.level = ConsistencyLevel::kSession;
   sys_config.replica_count = 4;
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   auto system_or = ReplicatedSystem::Create(
-      &sim, sys_config,
+      &rt, sys_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

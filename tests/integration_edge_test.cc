@@ -1,4 +1,5 @@
 // Integration edge cases across modules: cold-start replica rebuild from
+#include "runtime/sim_runtime.h"
 // the certifier's durable log, duplicate message delivery, and
 // interactions between begin-waiters and version waiters.
 
@@ -23,12 +24,13 @@ class IntegrationEdgeTest : public ::testing::Test {
   void Build(int replicas) {
     workload_ = std::make_unique<MicroWorkload>(SmallMicro());
     sim_ = std::make_unique<Simulator>();
+    rt_ = std::make_unique<runtime::SimRuntime>(sim_.get());
     responses_.clear();
     SystemConfig config;
     config.replica_count = replicas;
     config.level = ConsistencyLevel::kLazyCoarse;
     auto system = ReplicatedSystem::Create(
-        sim_.get(), config,
+        rt_.get(), config,
         [this](Database* db) { return workload_->BuildSchema(db); },
         [this](const Database& db, sql::TransactionRegistry* reg) {
           return workload_->DefineTransactions(db, reg);
@@ -50,6 +52,7 @@ class IntegrationEdgeTest : public ::testing::Test {
 
   std::unique_ptr<MicroWorkload> workload_;
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<runtime::SimRuntime> rt_;
   std::unique_ptr<ReplicatedSystem> system_;
   std::vector<TxnResponse> responses_;
 };

@@ -1,4 +1,5 @@
 #include "replication/load_balancer.h"
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,7 @@ class LoadBalancerTest : public ::testing::Test {
  protected:
   void Build(ConsistencyLevel level, int replicas = 3,
              AdmissionConfig admission = AdmissionConfig{}) {
-    lb_ = std::make_unique<LoadBalancer>(&sim_, level, 2, replicas,
+    lb_ = std::make_unique<LoadBalancer>(&rt_, level, 2, replicas,
                                          RoutingPolicy::kLeastActive, 0,
                                          admission);
     lb_->SetDispatchCallback([this](ReplicaId replica,
@@ -53,6 +54,7 @@ class LoadBalancerTest : public ::testing::Test {
   };
 
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   std::unique_ptr<LoadBalancer> lb_;
   std::vector<Dispatch> dispatches_;
   std::vector<TxnResponse> client_responses_;

@@ -1,4 +1,5 @@
 // Unit tests for the metrics collector and the closed-loop client driver.
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -126,7 +127,7 @@ class ClientDriverTest : public ::testing::Test {
     SystemConfig config;
     config.replica_count = 2;
     auto system = ReplicatedSystem::Create(
-        &sim_, config,
+        &rt_, config,
         [this](Database* db) { return workload_->BuildSchema(db); },
         [this](const Database& db, sql::TransactionRegistry* reg) {
           return workload_->DefineTransactions(db, reg);
@@ -144,6 +145,7 @@ class ClientDriverTest : public ::testing::Test {
   }
 
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   std::unique_ptr<MicroWorkload> workload_;
   std::unique_ptr<ReplicatedSystem> system_;
   MetricsCollector metrics_{0};

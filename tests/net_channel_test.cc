@@ -1,4 +1,5 @@
 // Channel semantics: latency/jitter/size modeling, FIFO preservation,
+#include "runtime/sim_runtime.h"
 // seeded-deterministic fault injection (drop/duplicate/reorder), the
 // reliable sequence-number + redelivery mode, and crash/partition drop
 // accounting (net/channel.h).
@@ -21,11 +22,12 @@ struct Delivery {
 
 struct Harness {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   std::vector<Delivery> delivered;
 
   std::unique_ptr<Channel<int>> Make(const LinkConfig& config,
                                      uint64_t seed = 7) {
-    auto ch = std::make_unique<Channel<int>>(&sim, "test", config, seed);
+    auto ch = std::make_unique<Channel<int>>(&rt, "test", config, seed);
     ch->SetHandler([this](const int& m) {
       delivered.push_back({m, sim.Now()});
     });

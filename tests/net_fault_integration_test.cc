@@ -1,4 +1,5 @@
 // Network fault injection end to end: loss / jitter / reordering on the
+#include "runtime/sim_runtime.h"
 // certifier -> replica refresh stream (reliable channel absorbs them),
 // replica partition + heal, and refresh batching equivalence.
 
@@ -32,11 +33,11 @@ ExperimentConfig NetRun(ConsistencyLevel level) {
   return config;
 }
 
-std::unique_ptr<ReplicatedSystem> BuildDirect(Simulator* sim,
+std::unique_ptr<ReplicatedSystem> BuildDirect(runtime::Runtime* rt,
                                               MicroWorkload* workload,
                                               SystemConfig config) {
   auto system_or = ReplicatedSystem::Create(
-      sim, config,
+      rt, config,
       [workload](Database* db) { return workload->BuildSchema(db); },
       [workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload->DefineTransactions(db, reg);
@@ -95,11 +96,12 @@ TEST(NetFaultIntegrationTest, AuditCleanUnderLossWithRefreshBatching) {
 
 TEST(NetFaultIntegrationTest, PartitionedReplicaHealsAndCatchesUp) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 3;
   config.level = ConsistencyLevel::kLazyCoarse;
   MicroWorkload workload(SmallMicro(1.0));
-  auto system = BuildDirect(&sim, &workload, config);
+  auto system = BuildDirect(&rt, &workload, config);
   std::vector<TxnResponse> responses;
   system->SetClientCallback(
       [&](const TxnResponse& r) { responses.push_back(r); });
@@ -169,12 +171,13 @@ TEST(NetFaultIntegrationTest, RefreshBatchingEquivalentAndFewerMessages) {
       int64_t refresh_writesets = 0;
     } out;
     Simulator sim;
+    runtime::SimRuntime rt{&sim};
     SystemConfig config;
     config.replica_count = 3;
     config.level = ConsistencyLevel::kLazyCoarse;
     config.certifier.refresh_batching = batching;
     MicroWorkload workload(SmallMicro(1.0));
-    auto system = BuildDirect(&sim, &workload, config);
+    auto system = BuildDirect(&rt, &workload, config);
     system->SetClientCallback([&](const TxnResponse& r) {
       out.outcomes[r.txn_id] = r.outcome;
     });

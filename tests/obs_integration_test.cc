@@ -1,4 +1,5 @@
 // End-to-end observability tests: the spans recorded by the middleware
+#include "runtime/sim_runtime.h"
 // must agree with the client-side MetricsCollector stage accumulators,
 // the sampler must capture real version lag under LSC, the JSON
 // artifacts written by the experiment harness must be well-formed, and
@@ -45,6 +46,7 @@ std::string ReadFileOrDie(const std::string& path) {
 TEST(ObsIntegrationTest, SpanDurationsMatchStageAccumulators) {
   const MicroWorkload workload(SmallMicro(0.25));
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig system_config;
   system_config.replica_count = 2;
   system_config.level = ConsistencyLevel::kLazyCoarse;
@@ -52,7 +54,7 @@ TEST(ObsIntegrationTest, SpanDurationsMatchStageAccumulators) {
   system_config.obs.trace_capacity = size_t{1} << 20;  // retain everything
   system_config.obs.sample_period = Millis(100);
   auto system_or = ReplicatedSystem::Create(
-      &sim, system_config,
+      &rt, system_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -76,8 +78,8 @@ TEST(ObsIntegrationTest, SpanDurationsMatchStageAccumulators) {
   // clients' stopped_ flag and the `Now() < end` filter agree.
   std::map<TxnId, bool> committed_read_only;
   system->SetClientCallback(
-      [&clients, &committed_read_only, &sim, end](const TxnResponse& r) {
-        if (sim.Now() < end && r.outcome == TxnOutcome::kCommitted) {
+      [&clients, &committed_read_only, &rt, end](const TxnResponse& r) {
+        if (rt.Now() < end && r.outcome == TxnOutcome::kCommitted) {
           committed_read_only[r.txn_id] = r.read_only;
         }
         clients[static_cast<size_t>(r.client_id)]->OnResponse(r);
@@ -157,13 +159,14 @@ TEST(ObsIntegrationTest, SpanDurationsMatchStageAccumulators) {
 TEST(ObsIntegrationTest, SamplerSeriesStayAlignedAcrossCertifierFailover) {
   const MicroWorkload workload(SmallMicro(0.5));
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig system_config;
   system_config.replica_count = 3;
   system_config.level = ConsistencyLevel::kLazyCoarse;
   system_config.standby_certifier = true;
   system_config.obs.sample_period = Millis(100);
   auto system_or = ReplicatedSystem::Create(
-      &sim, system_config,
+      &rt, system_config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

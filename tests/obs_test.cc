@@ -1,4 +1,5 @@
 // Unit tests for the observability layer: metrics registry (instruments,
+#include "runtime/sim_runtime.h"
 // snapshot, JSON round-trip), the span tracer (ring eviction, Chrome
 // trace-event export), the periodic gauge sampler, and the JSON helpers.
 
@@ -186,11 +187,12 @@ TEST(TracerTest, ChromeJsonIsValidAndCarriesSpanFields) {
 
 TEST(SamplerTest, SamplesEveryGaugeOnThePeriodGrid) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   MetricsRegistry registry;
   double depth = 0;
   registry.RegisterCallbackGauge("certifier.queue_depth",
                                  [&depth]() { return depth; });
-  Sampler sampler(&sim, &registry);
+  Sampler sampler(&rt, &registry);
   sampler.Start(Millis(10));
   // The gauge value changes between ticks; each tick must see the value
   // current at its own virtual time.
@@ -211,9 +213,10 @@ TEST(SamplerTest, SamplesEveryGaugeOnThePeriodGrid) {
 
 TEST(SamplerTest, LateRegisteredGaugesAreZeroPaddedIntoAlignment) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   MetricsRegistry registry;
   registry.RegisterCallbackGauge("early", []() { return 1.0; });
-  Sampler sampler(&sim, &registry);
+  Sampler sampler(&rt, &registry);
   sampler.Start(Millis(10));
   sim.Schedule(Millis(15), [&registry]() {
     registry.RegisterCallbackGauge("late", []() { return 9.0; });
@@ -233,10 +236,11 @@ TEST(SamplerTest, LateRegisteredGaugesAreZeroPaddedIntoAlignment) {
 
 TEST(SamplerTest, JsonExportNullsPaddingAndCarriesCounterDeltas) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   MetricsRegistry registry;
   Counter* certified = registry.GetCounter("certified");
   certified->Increment(3);
-  Sampler sampler(&sim, &registry);
+  Sampler sampler(&rt, &registry);
   sampler.Start(Millis(10));
   sim.Schedule(Millis(12), [certified]() { certified->Increment(4); });
   sim.Schedule(Millis(15), [&registry]() {
@@ -265,9 +269,10 @@ TEST(SamplerTest, JsonExportNullsPaddingAndCarriesCounterDeltas) {
 
 TEST(ObservabilityTest, MetricsJsonBundlesRegistryAndSampler) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   ObsConfig config;
   config.sample_period = Millis(10);
-  Observability obs(&sim, config);
+  Observability obs(&rt, config);
   obs.registry()->GetCounter("certifier.certified")->Increment(5);
   obs.registry()->RegisterCallbackGauge("replica0.version_lag",
                                         []() { return 4.0; });
@@ -292,7 +297,8 @@ TEST(ObservabilityTest, MetricsJsonBundlesRegistryAndSampler) {
 
 TEST(ObservabilityTest, TracingDisabledByDefaultConfig) {
   Simulator sim;
-  Observability obs(&sim, ObsConfig{});
+  runtime::SimRuntime rt{&sim};
+  Observability obs(&rt, ObsConfig{});
   EXPECT_FALSE(obs.tracer()->enabled());
   obs.tracer()->Add({.name = "ignored"});
   EXPECT_EQ(obs.tracer()->size(), 0u);

@@ -1,4 +1,5 @@
 // Overload-protection integration tests: LB admission control (window +
+#include "runtime/sim_runtime.h"
 // bounded queue), certifier intake backpressure, credit-based refresh
 // flow control, client request timeouts with jittered exponential
 // backoff, and the all-replicas-down path — each checked end to end and
@@ -90,12 +91,13 @@ TEST(RetryBackoffTest, DeterministicGivenSeed) {
 
 TEST(OverloadIntegrationTest, AllReplicasDownFailsRequestsWithoutAbort) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 3;
   config.level = ConsistencyLevel::kLazyCoarse;
   MicroWorkload workload(SmallMicro(1.0));
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);
@@ -243,6 +245,7 @@ TEST(OverloadIntegrationTest, TimeoutBackoffAcrossCrashAuditClean) {
 
 TEST(OverloadIntegrationTest, SessionCountReturnsToZeroAfterStop) {
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   SystemConfig config;
   config.replica_count = 2;
   config.level = ConsistencyLevel::kSession;
@@ -250,7 +253,7 @@ TEST(OverloadIntegrationTest, SessionCountReturnsToZeroAfterStop) {
   micro.rows_per_table = 50;
   MicroWorkload workload(micro);
   auto system_or = ReplicatedSystem::Create(
-      &sim, config,
+      &rt, config,
       [&workload](Database* db) { return workload.BuildSchema(db); },
       [&workload](const Database& db, sql::TransactionRegistry* reg) {
         return workload.DefineTransactions(db, reg);

@@ -1,4 +1,5 @@
 #include "replication/proxy.h"
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -46,7 +47,7 @@ class ProxyTest : public ::testing::Test {
       registry_.Register(std::move(txn));
     }
 
-    proxy_ = std::make_unique<Proxy>(&sim_, 0, &db_, &registry_, config,
+    proxy_ = std::make_unique<Proxy>(&rt_, 0, &db_, &registry_, config,
                                      eager);
     proxy_->SetCertRequestCallback(
         [this](const WriteSet& ws) { cert_requests_.push_back(ws); });
@@ -78,6 +79,7 @@ class ProxyTest : public ::testing::Test {
   }
 
   Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
   Database db_;
   TableId table_ = -1, table2_ = -1;
   sql::TransactionRegistry registry_;

@@ -1,4 +1,5 @@
 #include "sim/resource.h"
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -9,7 +10,8 @@ namespace {
 
 TEST(ResourceTest, SingleServerSerializes) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   std::vector<SimTime> completions;
   for (int i = 0; i < 3; ++i) {
     res.Submit(Millis(10), [&] { completions.push_back(sim.Now()); });
@@ -23,7 +25,8 @@ TEST(ResourceTest, SingleServerSerializes) {
 
 TEST(ResourceTest, TwoServersOverlap) {
   Simulator sim;
-  Resource res(&sim, "cpu", 2);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 2);
   std::vector<SimTime> completions;
   for (int i = 0; i < 4; ++i) {
     res.Submit(Millis(10), [&] { completions.push_back(sim.Now()); });
@@ -38,7 +41,8 @@ TEST(ResourceTest, TwoServersOverlap) {
 
 TEST(ResourceTest, FifoOrder) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
     res.Submit(Millis(1), [&order, i] { order.push_back(i); });
@@ -49,7 +53,8 @@ TEST(ResourceTest, FifoOrder) {
 
 TEST(ResourceTest, QueueLengthAndBusy) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   res.Submit(Millis(10), [] {});
   res.Submit(Millis(10), [] {});
   res.Submit(Millis(10), [] {});
@@ -65,7 +70,8 @@ TEST(ResourceTest, QueueLengthAndBusy) {
 
 TEST(ResourceTest, UtilizationFullWhenAlwaysBusy) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   res.Submit(Millis(10), [] {});
   sim.RunAll();
   EXPECT_NEAR(res.Utilization(), 1.0, 1e-9);
@@ -73,7 +79,8 @@ TEST(ResourceTest, UtilizationFullWhenAlwaysBusy) {
 
 TEST(ResourceTest, UtilizationHalf) {
   Simulator sim;
-  Resource res(&sim, "cpu", 2);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 2);
   res.Submit(Millis(10), [] {});  // one of two servers busy
   sim.RunAll();
   EXPECT_NEAR(res.Utilization(), 0.5, 1e-9);
@@ -81,7 +88,8 @@ TEST(ResourceTest, UtilizationHalf) {
 
 TEST(ResourceTest, QueueDelayRecorded) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   res.Submit(Millis(10), [] {});
   res.Submit(Millis(10), [] {});
   sim.RunAll();
@@ -92,7 +100,8 @@ TEST(ResourceTest, QueueDelayRecorded) {
 
 TEST(ResourceTest, ResetStatsClearsBusyTime) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   res.Submit(Millis(10), [] {});
   sim.RunAll();
   res.ResetStats();
@@ -103,7 +112,8 @@ TEST(ResourceTest, ResetStatsClearsBusyTime) {
 
 TEST(ResourceTest, ZeroServiceTimeCompletes) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   bool done = false;
   res.Submit(0, [&] { done = true; });
   sim.RunAll();
@@ -112,7 +122,8 @@ TEST(ResourceTest, ZeroServiceTimeCompletes) {
 
 TEST(ResourceTest, TryAcquireClaimsAndReleaseReturnsServers) {
   Simulator sim;
-  Resource res(&sim, "lanes", 2);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "lanes", 2);
   EXPECT_EQ(res.FreeServers(), 2);
   EXPECT_TRUE(res.TryAcquire());
   EXPECT_TRUE(res.TryAcquire());
@@ -129,7 +140,8 @@ TEST(ResourceTest, TryAcquireClaimsAndReleaseReturnsServers) {
 
 TEST(ResourceTest, TryAcquireHoldTimeCountsAsBusyTime) {
   Simulator sim;
-  Resource res(&sim, "lanes", 2);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "lanes", 2);
   // Two overlapping claims: [0, 10ms] and [5ms, 15ms] — 20ms of busy
   // server-time over 15ms of wall time on 2 servers.
   ASSERT_TRUE(res.TryAcquire());
@@ -143,7 +155,8 @@ TEST(ResourceTest, TryAcquireHoldTimeCountsAsBusyTime) {
 
 TEST(ResourceTest, ReleaseStartsQueuedSubmitWork) {
   Simulator sim;
-  Resource res(&sim, "mixed", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "mixed", 1);
   ASSERT_TRUE(res.TryAcquire());
   bool done = false;
   res.Submit(Millis(1), [&] { done = true; });
@@ -156,7 +169,8 @@ TEST(ResourceTest, ReleaseStartsQueuedSubmitWork) {
 
 TEST(ResourceTest, ResetStatsClampsInFlightClaims) {
   Simulator sim;
-  Resource res(&sim, "lanes", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "lanes", 1);
   ASSERT_TRUE(res.TryAcquire());
   sim.Schedule(Millis(10), [&] { res.ResetStats(); });
   sim.Schedule(Millis(15), [&] { res.Release(); });
@@ -167,7 +181,8 @@ TEST(ResourceTest, ResetStatsClampsInFlightClaims) {
 
 TEST(ResourceTest, SubmitFromCompletionCallback) {
   Simulator sim;
-  Resource res(&sim, "cpu", 1);
+  runtime::SimRuntime rt{&sim};
+  Resource res(&rt, "cpu", 1);
   int completed = 0;
   res.Submit(Millis(1), [&] {
     ++completed;

@@ -1,4 +1,5 @@
 // Routing-policy and MVCC-garbage-collection behaviour at system level.
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,8 @@ namespace {
 
 TEST(RoutingPolicyTest, RoundRobinCycles) {
   Simulator sim;
-  LoadBalancer lb(&sim, ConsistencyLevel::kLazyCoarse, 1, 3,
+  runtime::SimRuntime rt{&sim};
+  LoadBalancer lb(&rt, ConsistencyLevel::kLazyCoarse, 1, 3,
                   RoutingPolicy::kRoundRobin);
   std::vector<ReplicaId> picks;
   lb.SetDispatchCallback(
@@ -29,7 +31,8 @@ TEST(RoutingPolicyTest, RoundRobinCycles) {
 
 TEST(RoutingPolicyTest, RoundRobinSkipsDownReplicas) {
   Simulator sim;
-  LoadBalancer lb(&sim, ConsistencyLevel::kLazyCoarse, 1, 3,
+  runtime::SimRuntime rt{&sim};
+  LoadBalancer lb(&rt, ConsistencyLevel::kLazyCoarse, 1, 3,
                   RoutingPolicy::kRoundRobin);
   std::vector<ReplicaId> picks;
   lb.SetDispatchCallback(
@@ -84,12 +87,13 @@ TEST(GcTest, VersionCountBoundedWithGc) {
   int i = 0;
   for (SimTime gc_interval : {SimTime{0}, Millis(200)}) {
     Simulator sim;
+    runtime::SimRuntime rt{&sim};
     SystemConfig config;
     config.replica_count = 2;
     config.level = ConsistencyLevel::kLazyCoarse;
     config.gc_interval = gc_interval;
     auto system_or = ReplicatedSystem::Create(
-        &sim, config,
+        &rt, config,
         [&workload](Database* db) { return workload.BuildSchema(db); },
         [&workload](const Database& db, sql::TransactionRegistry* reg) {
           return workload.DefineTransactions(db, reg);

@@ -1,4 +1,5 @@
 // Serializable certification mode: GSI upgraded with read-write conflict
+#include "runtime/sim_runtime.h"
 // detection. The paper's history H3 (§II) is snapshot isolated and
 // strongly consistent but NOT serializable — write skew; this mode aborts
 // one of the two transactions.
@@ -149,12 +150,13 @@ class WriteSkewTest : public ::testing::Test {
  protected:
   void Build(CertificationMode mode) {
     sim_ = std::make_unique<Simulator>();
+    rt_ = std::make_unique<runtime::SimRuntime>(sim_.get());
     responses_.clear();
     SystemConfig config;
     config.replica_count = 2;
     config.level = ConsistencyLevel::kLazyCoarse;
     config.certifier.mode = mode;
-    auto system = ReplicatedSystem::Create(sim_.get(), config,
+    auto system = ReplicatedSystem::Create(rt_.get(), config,
                                            BuildSkewSchema, DefineSkewTxns);
     ASSERT_TRUE(system.ok()) << system.status().ToString();
     system_ = std::move(system).value();
@@ -189,6 +191,7 @@ class WriteSkewTest : public ::testing::Test {
   }
 
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<runtime::SimRuntime> rt_;
   std::unique_ptr<ReplicatedSystem> system_;
   std::vector<TxnResponse> responses_;
 };

@@ -1,4 +1,5 @@
 #include "replication/system.h"
+#include "runtime/sim_runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -50,10 +51,11 @@ class SystemTest : public ::testing::Test {
     responses_.clear();
     history_.Clear();
     sim_ = std::make_unique<Simulator>();
+    rt_ = std::make_unique<runtime::SimRuntime>(sim_.get());
     SystemConfig config;
     config.replica_count = replicas;
     config.level = level;
-    auto system = ReplicatedSystem::Create(sim_.get(), config,
+    auto system = ReplicatedSystem::Create(rt_.get(), config,
                                            BuildTinySchema, DefineTinyTxns);
     ASSERT_TRUE(system.ok()) << system.status().ToString();
     system_ = std::move(system).value();
@@ -101,6 +103,7 @@ class SystemTest : public ::testing::Test {
   }
 
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<runtime::SimRuntime> rt_;
   std::unique_ptr<ReplicatedSystem> system_;
   History history_;
   std::vector<TxnResponse> responses_;
@@ -250,8 +253,9 @@ TEST_F(SystemTest, CreateRejectsZeroReplicas) {
   SystemConfig config;
   config.replica_count = 0;
   Simulator sim;
+  runtime::SimRuntime rt{&sim};
   auto result =
-      ReplicatedSystem::Create(&sim, config, BuildTinySchema, DefineTinyTxns);
+      ReplicatedSystem::Create(&rt, config, BuildTinySchema, DefineTinyTxns);
   EXPECT_FALSE(result.ok());
 }
 

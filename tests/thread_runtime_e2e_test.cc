@@ -1,0 +1,276 @@
+// End-to-end: the full replicated middleware on the wall-clock
+// ThreadRuntime backend, driven by real client threads through the
+// Post() MPSC ingress, with the online consistency auditor attached and
+// a post-hoc replay of the event log.  This is the threading analogue of
+// system_test — it exercises every cross-thread seam (Spawn workers,
+// Post handoff, completion-slot rendezvous, Stop() drain) and is the
+// test the TSan build stage leans on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/auditor.h"
+#include "runtime/thread_runtime.h"
+#include "workload/micro.h"
+#include "workload/realtime.h"
+
+namespace screp {
+namespace {
+
+struct CompletionSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool has_response = false;
+  TxnResponse response;
+};
+
+struct E2eResult {
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  bool online_ok = false;
+  bool replay_ok = false;
+  int64_t events = 0;
+  int64_t events_dropped = 0;
+};
+
+/// Runs `clients` closed-loop client threads for `txns_per_client`
+/// committed transactions each over a fresh ThreadRuntime system.
+E2eResult RunThreaded(ConsistencyLevel level, int clients,
+                      int txns_per_client) {
+  runtime::ThreadRuntimeConfig rt_config;
+  rt_config.worker_threads = clients;
+  rt_config.entropy_seed = 99;
+  runtime::ThreadRuntime rt(rt_config);
+
+  SystemConfig sys = RealtimeSystemConfig(/*replicas=*/2, level);
+  sys.seed = 1234;
+  sys.obs.audit = true;
+  sys.obs.event_log = true;
+  sys.obs.event_log_capacity = 1u << 18;
+
+  MicroConfig micro_config;
+  micro_config.update_fraction = 0.5;
+  MicroWorkload workload(micro_config);
+
+  auto system_or = ReplicatedSystem::Create(
+      &rt, sys, [&](Database* db) { return workload.BuildSchema(db); },
+      [&](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  SCREP_CHECK_MSG(system_or.ok(), system_or.status().ToString());
+  std::unique_ptr<ReplicatedSystem> system = std::move(system_or).value();
+
+  std::vector<std::unique_ptr<CompletionSlot>> slots;
+  for (int c = 0; c < clients; ++c) {
+    slots.push_back(std::make_unique<CompletionSlot>());
+  }
+  system->SetClientCallback([&slots](const TxnResponse& r) {
+    CompletionSlot* slot = slots[static_cast<size_t>(r.client_id)].get();
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->response = r;
+      slot->has_response = true;
+    }
+    slot->cv.notify_one();
+  });
+
+  std::vector<int64_t> committed(static_cast<size_t>(clients), 0);
+  std::vector<int64_t> aborted(static_cast<size_t>(clients), 0);
+  std::atomic<int> clients_done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  Rng seed_rng(7);
+  for (int c = 0; c < clients; ++c) {
+    auto generator =
+        workload.CreateGenerator(system->registry(), c, seed_rng.Fork());
+    rt.Spawn([&, c,
+              gen = std::shared_ptr<TxnGenerator>(std::move(generator))]() {
+      CompletionSlot* slot = slots[static_cast<size_t>(c)].get();
+      while (committed[static_cast<size_t>(c)] < txns_per_client) {
+        const TxnSpec spec = gen->Next();
+        rt.Post([&rt, &system, &spec, c]() {
+          TxnRequest req;
+          req.txn_id = system->NextTxnId();
+          req.type = spec.type;
+          req.session = static_cast<SessionId>(c);
+          req.client_id = c;
+          req.params = spec.params;
+          req.submit_time = rt.Now();
+          system->Submit(std::move(req));
+        });
+        TxnResponse response;
+        {
+          std::unique_lock<std::mutex> lock(slot->mu);
+          slot->cv.wait(lock, [slot]() { return slot->has_response; });
+          response = slot->response;
+          slot->has_response = false;
+        }
+        if (response.outcome == TxnOutcome::kCommitted) {
+          gen->OnCommitted(spec);
+          ++committed[static_cast<size_t>(c)];
+        } else {
+          ++aborted[static_cast<size_t>(c)];
+        }
+      }
+      if (clients_done.fetch_add(1) + 1 == clients) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&]() { return clients_done.load() == clients; });
+  }
+
+  E2eResult result;
+  std::mutex verdict_mu;
+  std::condition_variable verdict_cv;
+  bool verdict_done = false;
+  rt.Post([&]() {
+    for (int c = 0; c < clients; ++c) {
+      system->EndSession(static_cast<SessionId>(c));
+    }
+    std::lock_guard<std::mutex> lock(verdict_mu);
+    const obs::Auditor* online = system->obs()->auditor();
+    result.online_ok = online != nullptr && online->ok();
+    const obs::EventLog* log = system->obs()->event_log();
+    result.events = static_cast<int64_t>(log->Events().size());
+    result.events_dropped = log->dropped();
+    obs::AuditorConfig post_config;
+    post_config.check_strong = ProvidesStrongConsistency(level);
+    post_config.check_session =
+        level != ConsistencyLevel::kBoundedStaleness;
+    obs::MetricsRegistry scratch;
+    obs::Auditor posthoc(post_config, &scratch);
+    for (const obs::Event& e : log->Events()) posthoc.OnEvent(e);
+    result.replay_ok = posthoc.ok();
+    verdict_done = true;
+    verdict_cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(verdict_mu);
+    verdict_cv.wait(lock, [&]() { return verdict_done; });
+  }
+  rt.Stop();
+
+  for (int c = 0; c < clients; ++c) {
+    result.committed += committed[static_cast<size_t>(c)];
+    result.aborted += aborted[static_cast<size_t>(c)];
+  }
+  return result;
+}
+
+TEST(ThreadRuntimeE2eTest, LazyCoarseWorkloadCommitsAuditClean) {
+  const E2eResult r =
+      RunThreaded(ConsistencyLevel::kLazyCoarse, /*clients=*/4,
+                  /*txns_per_client=*/50);
+  EXPECT_EQ(r.committed, 4 * 50);
+  EXPECT_TRUE(r.online_ok);
+  EXPECT_TRUE(r.replay_ok);
+  EXPECT_GT(r.events, 0);
+  EXPECT_EQ(r.events_dropped, 0);
+}
+
+TEST(ThreadRuntimeE2eTest, EagerStrongWorkloadCommitsAuditClean) {
+  const E2eResult r =
+      RunThreaded(ConsistencyLevel::kEager, /*clients=*/3,
+                  /*txns_per_client=*/30);
+  EXPECT_EQ(r.committed, 3 * 30);
+  EXPECT_TRUE(r.online_ok);
+  EXPECT_TRUE(r.replay_ok);
+  EXPECT_EQ(r.events_dropped, 0);
+}
+
+TEST(ThreadRuntimeE2eTest, KvGridWorkloadReturnsReadResults) {
+  // Drives the KvGrid workload (the TCP front-end's transaction family)
+  // with collect_results set, checking read-your-writes through the
+  // response's result rows.
+  runtime::ThreadRuntimeConfig rt_config;
+  rt_config.worker_threads = 1;
+  rt_config.entropy_seed = 5;
+  runtime::ThreadRuntime rt(rt_config);
+
+  SystemConfig sys =
+      RealtimeSystemConfig(/*replicas=*/2, ConsistencyLevel::kLazyCoarse);
+  sys.seed = 77;
+
+  KvGridConfig grid;
+  grid.rows = 100;
+  KvGridWorkload workload(grid);
+  auto system_or = ReplicatedSystem::Create(
+      &rt, sys, [&](Database* db) { return workload.BuildSchema(db); },
+      [&](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  SCREP_CHECK_MSG(system_or.ok(), system_or.status().ToString());
+  std::unique_ptr<ReplicatedSystem> system = std::move(system_or).value();
+
+  CompletionSlot slot;
+  system->SetClientCallback([&slot](const TxnResponse& r) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.response = r;
+    slot.has_response = true;
+    slot.cv.notify_one();
+  });
+
+  auto run_txn = [&](int reads, int updates,
+                     std::vector<std::vector<Value>> params) -> TxnResponse {
+    auto type = workload.TypeFor(system->registry(), reads, updates);
+    SCREP_CHECK_MSG(type.ok(), type.status().ToString());
+    rt.Post([&rt, &system, &type, params = std::move(params)]() {
+      TxnRequest req;
+      req.txn_id = system->NextTxnId();
+      req.type = *type;
+      req.session = 0;
+      req.client_id = 0;
+      req.params = params;
+      req.collect_results = true;
+      req.submit_time = rt.Now();
+      system->Submit(std::move(req));
+    });
+    std::unique_lock<std::mutex> lock(slot.mu);
+    slot.cv.wait(lock, [&slot]() { return slot.has_response; });
+    slot.has_response = false;
+    return slot.response;
+  };
+
+  // UPDATE kv SET val = 4242 WHERE id = 17.
+  TxnResponse w = run_txn(0, 1, {{Value(4242), Value(17)}});
+  ASSERT_EQ(w.outcome, TxnOutcome::kCommitted);
+
+  // SELECT id, val FROM kv WHERE id = 17 — same session, so session
+  // guarantees make the write visible at every level.
+  TxnResponse r = run_txn(1, 0, {{Value(17)}});
+  ASSERT_EQ(r.outcome, TxnOutcome::kCommitted);
+  ASSERT_EQ(r.results.size(), 1u);
+  ASSERT_EQ(r.results[0].size(), 1u);
+  ASSERT_EQ(r.results[0][0].size(), 2u);
+  EXPECT_EQ(r.results[0][0][0].AsInt(), 17);
+  EXPECT_EQ(r.results[0][0][1].AsInt(), 4242);
+
+  std::mutex end_mu;
+  std::condition_variable end_cv;
+  bool ended = false;
+  rt.Post([&]() {
+    system->EndSession(0);
+    std::lock_guard<std::mutex> lock(end_mu);
+    ended = true;
+    end_cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(end_mu);
+    end_cv.wait(lock, [&]() { return ended; });
+  }
+  rt.Stop();
+}
+
+}  // namespace
+}  // namespace screp

@@ -24,6 +24,9 @@ kind gates the metrics that matter for it:
   fault_timeline_health: every fault scenario must still be detected by
       its matching detector within a detection-latency band; clean-run
       detector firings are a hard zero (no false-positive tolerance).
+  realtime (--realtime, no baseline): the wall-clock closed-loop bench —
+      progress and audit floors only, never latency ceilings, because
+      wall-clock numbers do not transfer across hosts.
 
 Tolerances are deliberately loose one-sided bands: the simulator is
 deterministic, so same-config same-seed runs reproduce exactly, but the
@@ -49,6 +52,8 @@ HOTPATH_BEST_MIN = 2.0       # best hot path must stay >= 2x, absolutely
 NETWORK_REDUCTION_FLOOR = 0.85
 HEALTH_LATENCY_REL = 1.5     # detection may be 1.5x base samples + 2 ...
 HEALTH_LATENCY_ABS = 2       # ... but never past the scenario bound
+REALTIME_OPS_FLOOR = 50.0    # wall-clock throughput: a bare progress
+                             # floor, deliberately far below any host
 
 
 class Gate:
@@ -217,6 +222,43 @@ def gate_network(gate, base, fresh):
                f"base {base['batched']['writesets']}")
 
 
+def gate_realtime(fresh):
+    """bench/realtime: wall-clock closed loop over ThreadRuntime.
+
+    Wall-clock numbers do not transfer across hosts, so there is no
+    committed baseline and no latency ceiling — only floors that any
+    functioning build clears by a wide margin (the run made progress,
+    the audit machinery was on and clean, the event log kept every
+    event) and hard zeros on consistency verdicts.
+    """
+    gate = Gate()
+    print("gating driver 'realtime' (floors only, no baseline)")
+    committed = fresh.get("committed", 0)
+    gate.check("committed > 0", committed > 0,
+               f"{committed} transactions committed")
+    ops = fresh.get("ops_per_sec", 0.0)
+    gate.check("throughput floor", ops >= REALTIME_OPS_FLOOR,
+               f"{ops:.0f} ops/sec vs floor {REALTIME_OPS_FLOOR:.0f}")
+    audit = fresh.get("audit", {})
+    gate.check("audit enabled", audit.get("enabled", False) is True,
+               f"enabled={audit.get('enabled')}")
+    gate.check("online audit clean", audit.get("online_ok", False) is True,
+               f"online_ok={audit.get('online_ok')} "
+               f"({audit.get('violations', '?')} violation(s))")
+    gate.check("replay audit clean", audit.get("replay_ok", False) is True,
+               f"replay_ok={audit.get('replay_ok')} over "
+               f"{audit.get('events', '?')} events")
+    dropped = audit.get("events_dropped", -1)
+    gate.check("event log complete", dropped == 0,
+               f"{dropped} event(s) dropped — replay must see everything")
+    if gate.failures:
+        print(f"REGRESSION: {len(gate.failures)} of {gate.checked} "
+              "checks failed")
+        return 1
+    print(f"PASS: {gate.checked} checks")
+    return 0
+
+
 def run_gate(base, fresh):
     driver = base.get("driver", "")
     if fresh.get("driver", "") != driver:
@@ -368,6 +410,47 @@ def self_test():
     del missing_path["paths"]["plan_cache"]
     expect_hotpath("missing hot path fails", 1, missing_path)
 
+    realtime_base = {
+        "bench": "realtime", "clients": 8, "replicas": 2, "level": "LSC",
+        "duration_s": 2.0, "committed": 6500, "aborted": 2, "retries": 2,
+        "ops_per_sec": 3250.0,
+        "latency_ms": {"p50": 2.2, "p95": 4.1, "p99": 6.0, "max": 12.0},
+        "audit": {"enabled": True, "online_ok": True, "replay_ok": True,
+                  "violations": 0, "events": 32000, "events_dropped": 0},
+    }
+
+    def expect_realtime(name, expected_rc, fresh):
+        print(f"-- self-test: {name} (expect rc={expected_rc})")
+        rc = gate_realtime(fresh)
+        if rc != expected_rc:
+            failures.append(f"{name}: rc={rc}, expected {expected_rc}")
+
+    expect_realtime("realtime identity passes", 0,
+                    json.loads(json.dumps(realtime_base)))
+
+    no_progress = json.loads(json.dumps(realtime_base))
+    no_progress["committed"] = 0
+    no_progress["ops_per_sec"] = 0.0
+    expect_realtime("zero-commit run fails", 1, no_progress)
+
+    violating = json.loads(json.dumps(realtime_base))
+    violating["audit"]["online_ok"] = False
+    violating["audit"]["violations"] = 3
+    expect_realtime("audit violation fails", 1, violating)
+
+    lossy_log = json.loads(json.dumps(realtime_base))
+    lossy_log["audit"]["events_dropped"] = 17
+    expect_realtime("dropped-events run fails", 1, lossy_log)
+
+    # A slow host must NOT fail the gate: 10x latency + 10x fewer ops
+    # still clears every floor (there are deliberately no ceilings).
+    slow_host = json.loads(json.dumps(realtime_base))
+    slow_host["ops_per_sec"] = 325.0
+    slow_host["committed"] = 650
+    slow_host["latency_ms"] = {"p50": 22.0, "p95": 41.0, "p99": 60.0,
+                               "max": 120.0}
+    expect_realtime("slow-host run still passes", 0, slow_host)
+
     if failures:
         print("self-test FAILED:")
         for f in failures:
@@ -383,9 +466,15 @@ def main():
     parser.add_argument("--fresh", help="freshly produced BENCH_*.json")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate catches planted regressions")
+    parser.add_argument("--realtime", metavar="FRESH",
+                        help="gate a bench/realtime JSON (floors only; "
+                             "wall-clock numbers carry no baseline)")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
+    if args.realtime:
+        with open(args.realtime, encoding="utf-8") as f:
+            return gate_realtime(json.load(f))
     if not args.baseline or not args.fresh:
         parser.error("--baseline and --fresh are required (or --self-test)")
     with open(args.baseline, encoding="utf-8") as f:

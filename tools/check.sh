@@ -18,6 +18,19 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== runtime-seam lint =="
+# No layer above src/sim/ may reach for the simulator's clock or event
+# queue directly; everything goes through the Runtime interface
+# (src/runtime/runtime.h), so the same code runs on the wall-clock
+# backend.  The grep must come up empty.
+if grep -rnE 'sim_->(Now|Schedule)|sim\(\)->(Now|Schedule)' src \
+    --include='*.h' --include='*.cc' \
+  | grep -v '^src/sim/' | grep -v '^src/runtime/'; then
+  echo "runtime-seam lint: raw simulator scheduling outside src/sim/" >&2
+  exit 1
+fi
+echo "runtime-seam lint: clean"
+
 echo "== certification / apply-lane microbench =="
 # Self-checking: exits non-zero if the indexed certifier is not at least
 # 5x faster than the linear-scan oracle at a 4096-entry conflict window.
@@ -68,6 +81,33 @@ echo "== timeline dashboard render =="
 python3 tools/render_timeline.py build/timeline_crash.json \
   -o build/timeline_crash.html --title "fault_timeline: crash + recover"
 
+echo "== wall-clock closed-loop bench (ThreadRuntime) =="
+# The middleware on the wall-clock backend under a real closed-loop
+# multi-threaded load, audited online and by post-hoc event-log replay.
+# Exits non-zero on zero commits or any consistency violation.
+./build/bench/realtime --clients 8 --duration 2 \
+  --bench-json build/BENCH_realtime.json
+
+echo "== TCP server smoke (screp_server + screp_cli) =="
+# Boot the audited TCP front-end, drive it with the bundled client's
+# closed loop, then SHUTDOWN; the server exits non-zero if its auditor
+# saw any violation.
+SMOKE_PORT=17411
+./build/tools/screp_server --port "$SMOKE_PORT" --audit &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  if ./build/tools/screp_cli --port "$SMOKE_PORT" --ping 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+./build/tools/screp_cli --port "$SMOKE_PORT" --clients 4 --ops 50
+./build/tools/screp_cli --port "$SMOKE_PORT" --shutdown
+wait "$SERVER_PID"
+trap - EXIT
+echo "server smoke: ok"
+
 echo "== bench regression gate =="
 # Compares the fresh BENCH_*.json against the committed baselines with
 # per-metric tolerance bands; --self-test proves the gate still catches
@@ -85,6 +125,9 @@ python3 tools/bench_gate.py --baseline BENCH_profile.json \
   --fresh build/BENCH_profile.json
 python3 tools/bench_gate.py --baseline BENCH_health.json \
   --fresh build/BENCH_health.json
+# Wall-clock numbers vary with the host, so the realtime gate checks
+# floors only (progress + audit verdicts), never latency ceilings.
+python3 tools/bench_gate.py --realtime build/BENCH_realtime.json
 
 if [[ "$SANITIZE" == "1" ]]; then
   echo "== sanitized build (address,undefined) =="
@@ -113,6 +156,14 @@ if [[ "$SANITIZE" == "1" ]]; then
   echo "== network-fault stage (thread) =="
   ./build-tsan/tests/net_channel_test
   ./build-tsan/tests/net_fault_integration_test
+
+  echo "== runtime stage (thread) =="
+  # The genuinely multi-threaded paths: the Runtime conformance suite on
+  # both backends and the full middleware over ThreadRuntime (Spawn
+  # workers, Post ingress, completion-slot handoff, Stop drain) must be
+  # race-free under TSan.
+  ./build-tsan/tests/runtime_conformance_test
+  ./build-tsan/tests/thread_runtime_e2e_test
 fi
 
 echo "== all checks passed =="

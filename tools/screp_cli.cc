@@ -1,0 +1,179 @@
+// screp_cli: tiny load driver / control client for screp_server.
+//
+//   screp_cli --ops 500 --clients 4        # closed-loop load, then stats
+//   screp_cli --shutdown                   # stop the server
+//   screp_cli --ping                       # liveness probe
+//
+// Each client thread opens its own connection (= session) and runs
+// single-shot transactions back-to-back: a read of a random key, or with
+// probability --update-fraction an update of a random key.  Aborted
+// transactions are retried (the closed loop), so `committed` should
+// reach clients * ops on a healthy server.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "screp_client.h"
+
+namespace screp::cli {
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 7411;
+  int clients = 1;
+  int ops = 100;
+  double update_fraction = 0.25;
+  int keys = 10000;
+  uint64_t seed = 42;
+  std::string level;  ///< when set, assert the server's level first
+  bool ping = false;
+  bool shutdown = false;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      SCREP_CHECK_MSG(i + 1 < argc, arg << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      opt.port = std::stoi(next());
+    } else if (arg == "--clients") {
+      opt.clients = std::stoi(next());
+    } else if (arg == "--ops") {
+      opt.ops = std::stoi(next());
+    } else if (arg == "--update-fraction") {
+      opt.update_fraction = std::stod(next());
+    } else if (arg == "--keys") {
+      opt.keys = std::stoi(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--level") {
+      opt.level = next();
+    } else if (arg == "--ping") {
+      opt.ping = true;
+    } else if (arg == "--shutdown") {
+      opt.shutdown = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+
+  if (opt.ping || opt.shutdown) {
+    client::Connection conn;
+    Status status = conn.Connect(opt.host, opt.port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    status = opt.ping ? conn.Ping() : conn.Shutdown();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", opt.ping ? "PONG" : "server shutting down");
+    return 0;
+  }
+
+  std::atomic<int64_t> committed{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int> failures{0};
+  Rng seed_rng(opt.seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < opt.clients; ++c) rngs.push_back(seed_rng.Fork());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c]() {
+      client::Connection conn;
+      Status status = conn.Connect(opt.host, opt.port);
+      if (!status.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", c,
+                     status.ToString().c_str());
+        failures.fetch_add(1);
+        return;
+      }
+      if (!opt.level.empty()) {
+        status = conn.Level(opt.level);
+        if (!status.ok()) {
+          std::fprintf(stderr, "client %d: %s\n", c,
+                       status.ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      Rng& rng = rngs[static_cast<size_t>(c)];
+      for (int op = 0; op < opt.ops; ++op) {
+        const bool update = rng.NextBool(opt.update_fraction);
+        const int64_t key = rng.NextInRange(0, opt.keys - 1);
+        for (;;) {
+          if (!conn.Begin().ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          const Status op_status =
+              update ? conn.Update(key, rng.NextInRange(0, 1 << 20))
+                     : conn.Read(key);
+          if (!op_status.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          auto commit = conn.Commit();
+          if (commit.ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+          if (commit.status().code() != StatusCode::kAborted) {
+            std::fprintf(stderr, "client %d: %s\n", c,
+                         commit.status().ToString().c_str());
+            failures.fetch_add(1);
+            return;
+          }
+          retries.fetch_add(1);
+        }
+      }
+      conn.Quit();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("screp_cli: %lld committed, %lld retries, %.0f ops/sec "
+              "over %d connection(s)\n",
+              static_cast<long long>(committed.load()),
+              static_cast<long long>(retries.load()),
+              static_cast<double>(committed.load()) / elapsed_s,
+              opt.clients);
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "screp_cli: %d client(s) failed\n",
+                 failures.load());
+    return 1;
+  }
+  return committed.load() > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace screp::cli
+
+int main(int argc, char** argv) { return screp::cli::Main(argc, argv); }

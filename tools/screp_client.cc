@@ -1,0 +1,164 @@
+#include "screp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace screp::client {
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Connection::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Close();
+    return Status::IOError("cannot connect to " + host + ":" +
+                           std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status Connection::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  std::string out = line + "\n";
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError("send failed");
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Connection::RecvLine() {
+  char chunk[4096];
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return Status::IOError("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> Connection::RoundTrip(const std::string& line) {
+  SCREP_RETURN_NOT_OK(SendLine(line));
+  return RecvLine();
+}
+
+Status Connection::ExpectOk(const std::string& line) {
+  SCREP_ASSIGN_OR_RETURN(std::string reply, RoundTrip(line));
+  if (reply != "OK") return Status::Internal("server said: " + reply);
+  return Status::OK();
+}
+
+Status Connection::Level(const std::string& level) {
+  return ExpectOk("LEVEL " + level);
+}
+
+Status Connection::Begin() { return ExpectOk("BEGIN"); }
+
+Status Connection::Read(int64_t key) {
+  return ExpectOk("READ " + std::to_string(key));
+}
+
+Status Connection::Update(int64_t key, int64_t value) {
+  return ExpectOk("UPDATE " + std::to_string(key) + " " +
+                  std::to_string(value));
+}
+
+Result<CommitResult> Connection::Commit() {
+  SCREP_RETURN_NOT_OK(SendLine("COMMIT"));
+  CommitResult result;
+  for (;;) {
+    SCREP_ASSIGN_OR_RETURN(std::string reply, RecvLine());
+    if (reply.rfind("VAL ", 0) == 0) {
+      std::istringstream in(reply.substr(4));
+      int64_t key = 0;
+      int64_t value = 0;
+      in >> key >> value;
+      result.reads.emplace_back(key, value);
+      continue;
+    }
+    if (reply.rfind("OK COMMITTED", 0) == 0) {
+      const size_t eq = reply.find("version=");
+      if (eq != std::string::npos) {
+        result.commit_version = std::stoll(reply.substr(eq + 8));
+      }
+      return result;
+    }
+    if (reply.rfind("ERR ABORTED", 0) == 0) {
+      return Status::Aborted(reply.substr(4));
+    }
+    return Status::Internal("server said: " + reply);
+  }
+}
+
+Status Connection::Abort() { return ExpectOk("ABORT"); }
+
+Status Connection::Ping() {
+  SCREP_ASSIGN_OR_RETURN(std::string reply, RoundTrip("PING"));
+  if (reply != "PONG") return Status::Internal("server said: " + reply);
+  return Status::OK();
+}
+
+Result<std::string> Connection::Stats() { return RoundTrip("STATS"); }
+
+void Connection::Quit() {
+  if (fd_ < 0) return;
+  (void)RoundTrip("QUIT");  // best effort; reply is "BYE"
+  Close();
+}
+
+Status Connection::Shutdown() {
+  SCREP_ASSIGN_OR_RETURN(std::string reply, RoundTrip("SHUTDOWN"));
+  Close();
+  if (reply != "BYE") return Status::Internal("server said: " + reply);
+  return Status::OK();
+}
+
+}  // namespace screp::client

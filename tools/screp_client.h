@@ -1,0 +1,86 @@
+// C++ client for screp_server's line protocol (see tools/screp_server.cc
+// for the command set).  One Connection is one session at the server —
+// it is not thread-safe; open one Connection per client thread.
+//
+//   client::Connection conn;
+//   SCREP_CHECK(conn.Connect("127.0.0.1", 7411).ok());
+//   conn.Begin();
+//   conn.Read(7);
+//   conn.Update(12, 99);
+//   auto result = conn.Commit();   // result->reads[0] = {7, <value>}
+//   conn.Quit();
+
+#ifndef SCREP_TOOLS_SCREP_CLIENT_H_
+#define SCREP_TOOLS_SCREP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace screp::client {
+
+/// One committed transaction's outcome.
+struct CommitResult {
+  /// Certified commit version (0 for read-only transactions).
+  int64_t commit_version = 0;
+  /// (key, value) for each READ, in submission order.
+  std::vector<std::pair<int64_t, int64_t>> reads;
+};
+
+class Connection {
+ public:
+  Connection() = default;
+  ~Connection() { Close(); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+
+  /// Opens the TCP connection. `host` is an IPv4 address literal.
+  Status Connect(const std::string& host, int port);
+
+  /// Asserts the server runs the expected consistency level.
+  Status Level(const std::string& level);
+
+  /// Starts buffering a transaction at the server.
+  Status Begin();
+  /// Buffers one read; the value arrives on Commit().
+  Status Read(int64_t key);
+  /// Buffers one write.
+  Status Update(int64_t key, int64_t value);
+  /// Runs the buffered transaction; Aborted status carries the outcome
+  /// name when the middleware aborted it (retry by resubmitting).
+  Result<CommitResult> Commit();
+  /// Drops the buffered transaction.
+  Status Abort();
+
+  Status Ping();
+  /// The server's STATS line, verbatim.
+  Result<std::string> Stats();
+  /// Polite close (sends QUIT).
+  void Quit();
+  /// Asks the server process to stop, then closes.
+  Status Shutdown();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Sends one command line; returns the reply line.
+  Result<std::string> RoundTrip(const std::string& line);
+  Status SendLine(const std::string& line);
+  Result<std::string> RecvLine();
+  /// Sends a command whose reply must be exactly "OK".
+  Status ExpectOk(const std::string& line);
+  void Close();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace screp::client
+
+#endif  // SCREP_TOOLS_SCREP_CLIENT_H_
