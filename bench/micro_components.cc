@@ -19,6 +19,13 @@
 // arena-backed group-commit WAL appends vs per-record re-encoding — and
 // writes the per-path speedups plus a byte-identity verdict as JSON
 // (default BENCH_hotpath.json).
+//
+// `--shard-sweep[=path]` measures partitioned certification: certified
+// throughput (in simulated time, so the numbers are deterministic) of a
+// shard-disjoint update stream at K = 1, 2, 4, 8 lanes — K = 1 is the
+// plain single-stream Certifier — plus an audited end-to-end run at
+// K = 4 with partial replication.  Writes BENCH_shards.json and fails
+// unless K = 4 reaches the scaling floor and the audit is clean.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +39,9 @@
 #include "net/channel.h"
 #include "replication/certifier.h"
 #include "replication/proxy.h"
+#include "replication/sharded_certifier.h"
+#include "workload/experiment.h"
+#include "workload/micro.h"
 #include "sim/simulator.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -805,6 +815,138 @@ int RunHotpathJson(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// --shard-sweep: partitioned certification scaling in K.
+
+/// Certified throughput, in simulated time, of `txns` shard-disjoint
+/// single-table updates (round-robin over eight tables, all keys
+/// distinct) through a K-lane certification stream.  K = 1 runs the
+/// plain single-stream Certifier — the exact object a default
+/// configuration constructs — so the scaling is measured against the
+/// real baseline, not a one-lane ShardedCertifier.  Simulated time makes
+/// the sweep deterministic: the bottleneck is the per-lane certify CPU
+/// and WAL force stream, which is precisely what partitioning splits.
+double MeasureCertifiedTps(int lanes, int txns) {
+  constexpr size_t kSweepTables = 8;
+  Simulator sim;
+  runtime::SimRuntime rt{&sim};
+  const CertifierConfig config;
+  int64_t decisions = 0;
+  int64_t aborted = 0;
+  auto on_decision = [&](ReplicaId, const CertDecision& d) {
+    ++decisions;
+    if (!d.commit) ++aborted;
+  };
+  auto feed = [&](auto&& submit) {
+    for (TxnId t = 1; t <= static_cast<TxnId>(txns); ++t) {
+      WriteSet ws;
+      ws.txn_id = t;
+      ws.origin = static_cast<ReplicaId>(t % 4);
+      ws.snapshot_version = 0;
+      ws.Add(static_cast<TableId>(t % kSweepTables),
+             static_cast<int64_t>(t), WriteType::kUpdate,
+             Row{Value(static_cast<int64_t>(t))});
+      submit(std::move(ws));
+    }
+  };
+  if (lanes == 1) {
+    Certifier certifier(&rt, config, /*replica_count=*/4, /*eager=*/false);
+    certifier.SetDecisionCallback(on_decision);
+    certifier.SetRefreshCallback([](ReplicaId, const RefreshBatch&) {});
+    feed([&](WriteSet ws) { certifier.SubmitCertification(std::move(ws)); });
+    sim.RunAll();
+  } else {
+    ShardedCertifier certifier(&rt, config, ShardMap(kSweepTables, lanes),
+                               /*replica_count=*/4);
+    certifier.SetDecisionCallback(on_decision);
+    certifier.SetRefreshCallback(
+        [](ShardId, ReplicaId, const RefreshBatch&) {});
+    feed([&](WriteSet ws) { certifier.SubmitCertification(std::move(ws)); });
+    sim.RunAll();
+  }
+  SCREP_CHECK(decisions == txns);
+  SCREP_CHECK(aborted == 0);
+  const double seconds = static_cast<double>(sim.Now()) / 1e6;
+  return txns / std::max(seconds, 1e-9);
+}
+
+int RunShardSweep(const std::string& path) {
+  constexpr int kTxns = 4096;
+  std::printf("partitioned certification sweep (shard-disjoint stream, "
+              "%d txns, simulated time)\n",
+              kTxns);
+  std::printf("%8s %18s %9s\n", "lanes", "certified_tps", "speedup");
+  std::string json = "{\"driver\":\"micro_components_shards\",\"sweep\":[";
+  double single = 0.0;
+  double speedup_at_4 = 0.0;
+  bool first = true;
+  for (const int lanes : {1, 2, 4, 8}) {
+    const double tps = MeasureCertifiedTps(lanes, kTxns);
+    if (lanes == 1) single = tps;
+    const double speedup = tps / single;
+    if (lanes == 4) speedup_at_4 = speedup;
+    std::printf("%8d %18.0f %8.2fx\n", lanes, tps, speedup);
+    if (!first) json += ",";
+    first = false;
+    json += "{\"lanes\":" + std::to_string(lanes) +
+            ",\"certified_per_sec\":" + std::to_string(tps) +
+            ",\"speedup_vs_single\":" + std::to_string(speedup) + "}";
+  }
+
+  // End-to-end: K = 4 with partial replication (each replica hosts two
+  // of the four shards), audited.  The sweep is only honest if the
+  // partitioned path still produces 1SR-equivalent histories.
+  MicroConfig micro;
+  micro.rows_per_table = 200;
+  micro.update_fraction = 0.5;
+  const MicroWorkload workload(micro);
+  ExperimentConfig config;
+  config.system.level = ConsistencyLevel::kLazyFine;
+  config.system.replica_count = 4;
+  config.system.certifier.shard_lanes = 4;
+  config.system.hosted_shards = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  config.client_count = 8;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(2);
+  config.seed = 7;
+  config.audit = true;
+  auto result = RunExperiment(workload, config);
+  SCREP_CHECK_MSG(result.ok(), result.status().ToString());
+  const bool audit_ok = result->audit.enabled && result->audit.ok;
+  std::printf("e2e lanes=4 partial replication: committed=%lld audit=%s "
+              "(%lld checks)\n",
+              static_cast<long long>(result->committed),
+              audit_ok ? "ok" : "VIOLATION",
+              static_cast<long long>(result->audit.checks));
+
+  json += "],\"e2e\":{\"lanes\":4,\"committed\":" +
+          std::to_string(result->committed) +
+          ",\"audit_checks\":" + std::to_string(result->audit.checks) +
+          ",\"audit_ok\":";
+  json += audit_ok ? "true" : "false";
+  json += "}}\n";
+  std::ofstream out(path);
+  out << json;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!audit_ok) {
+    std::fprintf(stderr, "FAIL: K=4 partial-replication run is not "
+                         "audit-clean\n");
+    return 1;
+  }
+  if (speedup_at_4 < 2.5) {
+    std::fprintf(stderr,
+                 "FAIL: 4-lane certification only %.2fx the single-stream "
+                 "throughput (floor 2.5x)\n",
+                 speedup_at_4);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace screp
 
@@ -827,6 +969,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--hotpath-json") == 0) {
       return screp::RunHotpathJson("BENCH_hotpath.json");
+    }
+    if (std::strncmp(argv[i], "--shard-sweep=", 14) == 0) {
+      return screp::RunShardSweep(argv[i] + 14);
+    }
+    if (std::strcmp(argv[i], "--shard-sweep") == 0) {
+      return screp::RunShardSweep("BENCH_shards.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -15,9 +15,11 @@
 #ifndef SCREP_CORE_SYNC_POLICY_H_
 #define SCREP_CORE_SYNC_POLICY_H_
 
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/consistency_level.h"
 #include "core/session_tracker.h"
 #include "core/table_version_tracker.h"
@@ -111,11 +113,103 @@ class SyncPolicy {
     sessions_.OnCommitAcknowledged(session, v_local);
   }
 
+  /// Switches the policy into sharded (partitioned-certification) mode:
+  /// versions are per shard, so every tracker the level consults becomes
+  /// per-shard.  `table_to_shard[t]` assigns each table its shard.
+  /// Supported levels at K > 1: LSC (per-shard V_system trackers), LFC
+  /// (the per-table V_t values are shard-local and only ever compared
+  /// within a table's own shard) and SC (per-session per-shard map);
+  /// eager and bounded staleness are refused by the system before this
+  /// is called.
+  void EnableSharding(std::vector<int32_t> table_to_shard, int shard_count) {
+    SCREP_CHECK_MSG(level_ != ConsistencyLevel::kEager &&
+                        level_ != ConsistencyLevel::kBoundedStaleness,
+                    "consistency level unsupported with sharding");
+    table_to_shard_ = std::move(table_to_shard);
+    shard_count_ = shard_count;
+    shard_system_.assign(static_cast<size_t>(shard_count), VersionTracker());
+  }
+  bool sharded() const { return shard_count_ > 0; }
+  int shard_count() const { return shard_count_; }
+
+  /// Sharded analog of RequiredStartVersion: the version each touched
+  /// shard's stream must have published at the destination replica
+  /// before BEGIN.  `shards` is the transaction's (sorted) shard-set,
+  /// derived from its declared table-set.
+  std::vector<std::pair<int32_t, DbVersion>> ShardRequirements(
+      SessionId session, const std::vector<int32_t>& shards,
+      const std::vector<TableId>& table_set) const {
+    std::vector<std::pair<int32_t, DbVersion>> required;
+    required.reserve(shards.size());
+    switch (level_) {
+      case ConsistencyLevel::kLazyCoarse:
+        for (int32_t s : shards) {
+          required.emplace_back(
+              s, shard_system_[static_cast<size_t>(s)].RequiredVersion());
+        }
+        break;
+      case ConsistencyLevel::kLazyFine:
+        // Per-table V_t values are shard-local, so the fine-grained max
+        // is taken per shard over the table-set's tables in that shard.
+        for (int32_t s : shards) {
+          DbVersion v = 0;
+          for (TableId t : table_set) {
+            if (table_to_shard_[static_cast<size_t>(t)] != s) continue;
+            v = std::max(v, table_versions_.TableVersion(t));
+          }
+          required.emplace_back(s, v);
+        }
+        break;
+      case ConsistencyLevel::kSession: {
+        auto it = sharded_sessions_.find(session);
+        for (int32_t s : shards) {
+          required.emplace_back(
+              s, it == sharded_sessions_.end()
+                     ? 0
+                     : it->second[static_cast<size_t>(s)]);
+        }
+        break;
+      }
+      case ConsistencyLevel::kEager:
+      case ConsistencyLevel::kBoundedStaleness:
+        SCREP_CHECK_MSG(false, "consistency level unsupported with sharding");
+    }
+    return required;
+  }
+
+  /// Sharded response path: `shard_locals` carries the replica's
+  /// published version per hosted shard at acknowledgment time, the
+  /// sharded analog of the V_local tag.
+  void OnCommitAcknowledgedSharded(
+      SessionId session,
+      const std::vector<std::pair<int32_t, DbVersion>>& shard_locals,
+      const std::vector<std::pair<TableId, DbVersion>>&
+          written_table_versions) {
+    for (const auto& [s, v] : shard_locals) {
+      shard_system_[static_cast<size_t>(s)].OnCommitAcknowledged(v);
+    }
+    table_versions_.Merge(written_table_versions);
+    auto [it, inserted] = sharded_sessions_.try_emplace(session);
+    if (inserted) it->second.assign(static_cast<size_t>(shard_count_), 0);
+    for (const auto& [s, v] : shard_locals) {
+      DbVersion& entry = it->second[static_cast<size_t>(s)];
+      entry = std::max(entry, v);
+    }
+  }
+
+  /// Latest acknowledged version of one shard (the per-shard V_system).
+  DbVersion ShardSystemVersion(int32_t shard) const {
+    return shard_system_[static_cast<size_t>(shard)].SystemVersion();
+  }
+
   /// Drops a finished session's tracker entry.  Session state is soft:
   /// a later request from the same SID simply re-creates it (with the
   /// conservative floor still applied), so ending early is always safe —
   /// but never ending it grows the map by one entry per session forever.
-  void EndSession(SessionId session) { sessions_.EndSession(session); }
+  void EndSession(SessionId session) {
+    sessions_.EndSession(session);
+    sharded_sessions_.erase(session);
+  }
 
   const VersionTracker& system_version() const { return system_version_; }
   const TableVersionTracker& table_versions() const {
@@ -130,6 +224,12 @@ class SyncPolicy {
   VersionTracker system_version_;
   TableVersionTracker table_versions_;
   SessionTracker sessions_;
+
+  /// Sharded mode (shard_count_ == 0 = single-stream, all unused).
+  int shard_count_ = 0;
+  std::vector<int32_t> table_to_shard_;
+  std::vector<VersionTracker> shard_system_;
+  std::unordered_map<SessionId, std::vector<DbVersion>> sharded_sessions_;
 };
 
 }  // namespace screp

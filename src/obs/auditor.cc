@@ -14,6 +14,18 @@ namespace {
 /// is a few thousand versions; the window is generous so duplicate
 /// verdicts re-announced after a certifier failover are still resolvable.
 constexpr size_t kVersionWindow = 1 << 18;
+
+/// Looks one shard's version up in a sparse (shard, version) event
+/// vector; 0 when absent.  (Local clone of ShardVersionOf so the obs
+/// layer stays independent of the replication library.)
+DbVersion ShardEntry(
+    const std::vector<std::pair<int32_t, DbVersion>>& versions,
+    int32_t shard) {
+  for (const auto& [s, v] : versions) {
+    if (s == shard) return v;
+  }
+  return 0;
+}
 }  // namespace
 
 Auditor::Auditor(AuditorConfig config, MetricsRegistry* registry)
@@ -22,6 +34,15 @@ Auditor::Auditor(AuditorConfig config, MetricsRegistry* registry)
     version_lag_hist_ = registry_->GetHistogram(kVersionLagHistogram);
     snapshot_age_hist_ = registry_->GetHistogram(kSnapshotAgeHistogram);
   }
+}
+
+void Auditor::EnableSharding(std::vector<int32_t> table_to_shard,
+                             int shard_count) {
+  shard_count_ = shard_count;
+  table_to_shard_ = std::move(table_to_shard);
+  shard_max_version_.assign(static_cast<size_t>(shard_count), 0);
+  shard_certified_.assign(static_cast<size_t>(shard_count), {});
+  shard_committed_.assign(static_cast<size_t>(shard_count), {});
 }
 
 void Auditor::AddViolation(const char* check, TxnId txn, TimePoint at,
@@ -38,6 +59,19 @@ void Auditor::OnEvent(const Event& event) {
     case EventKind::kRoute:
       // The tag the LB hands out is derived from acknowledged commits, so
       // it can never name a version the certifier has not issued.
+      if (sharded()) {
+        for (const auto& [s, req] : event.shard_required) {
+          ++checks_;
+          if (req <= shard_max_version_[static_cast<size_t>(s)]) continue;
+          std::ostringstream detail;
+          detail << "LB tagged txn " << event.txn << " with shard " << s
+                 << " required version " << req
+                 << " but that lane has only issued up to "
+                 << shard_max_version_[static_cast<size_t>(s)];
+          AddViolation("route", event.txn, event.at, detail.str());
+        }
+        break;
+      }
       ++checks_;
       if (event.required_version > max_version_) {
         std::ostringstream detail;
@@ -75,6 +109,42 @@ void Auditor::OnEvent(const Event& event) {
 
 void Auditor::OnCertVerdict(const Event& e) {
   if (!e.committed) return;
+  if (sharded()) {
+    // Totality is shard-local: each lane issues its own dense version
+    // sequence, and a cross-shard commit takes the next version in every
+    // touched lane.
+    for (const auto& [s, v] : e.shard_versions) {
+      ++checks_;
+      DbVersion& max = shard_max_version_[static_cast<size_t>(s)];
+      auto& certified = shard_certified_[static_cast<size_t>(s)];
+      if (v == max + 1) {
+        max = v;
+        certified[v] = {e.txn, e.at};
+        while (certified.size() > kVersionWindow) {
+          certified.erase(certified.begin());
+        }
+        continue;
+      }
+      if (v <= max) {
+        auto it = certified.find(v);
+        if (it == certified.end() || it->second.first == e.txn) continue;
+        std::ostringstream detail;
+        detail << "shard " << s << " commit version " << v
+               << " issued twice: txn " << it->second.first << " at t="
+               << it->second.second << " and txn " << e.txn;
+        AddViolation("total-order", e.txn, e.at, detail.str());
+        continue;
+      }
+      std::ostringstream detail;
+      detail << "shard " << s << " commit version " << v << " for txn "
+             << e.txn << " skips ahead of " << max
+             << " (lane versions not dense)";
+      AddViolation("total-order", e.txn, e.at, detail.str());
+      max = v;  // resync so one gap does not cascade
+      certified[v] = {e.txn, e.at};
+    }
+    return;
+  }
   ++checks_;
   const DbVersion v = e.commit_version;
   if (v == max_version_ + 1) {
@@ -108,6 +178,39 @@ void Auditor::OnCertVerdict(const Event& e) {
 }
 
 void Auditor::OnBegin(const Event& e) {
+  if (sharded()) {
+    // Admission is per shard: every required (shard, version) pair must
+    // be covered by the replica's published version of that stream.
+    for (const auto& [s, req] : e.shard_required) {
+      ++checks_;
+      const DbVersion snap = ShardEntry(e.shard_snapshots, s);
+      if (snap >= req) continue;
+      std::ostringstream detail;
+      detail << "txn " << e.txn << " admitted at replica " << e.replica
+             << " with shard " << s << " published only to " << snap
+             << ", below its version tag " << req << " ("
+             << WaitCauseName(e.wait_cause) << " sync)";
+      AddViolation("admission", e.txn, e.at, detail.str());
+    }
+    if (version_lag_hist_ != nullptr) {
+      // Staleness attribution: the most-behind touched stream, with the
+      // snapshot age read off that shard's certify log.
+      DbVersion lag = 0;
+      double age = 0;
+      for (const auto& [s, snap] : e.shard_snapshots) {
+        const DbVersion max = shard_max_version_[static_cast<size_t>(s)];
+        if (max <= snap || max - snap < lag) continue;
+        lag = max - snap;
+        auto it = shard_certified_[static_cast<size_t>(s)].find(snap + 1);
+        age = it == shard_certified_[static_cast<size_t>(s)].end()
+                  ? 0
+                  : static_cast<double>(e.at - it->second.second);
+      }
+      version_lag_hist_->Add(static_cast<double>(lag));
+      snapshot_age_hist_->Add(age);
+    }
+    return;
+  }
   ++checks_;
   if (e.satisfied_version < e.required_version) {
     std::ostringstream detail;
@@ -136,6 +239,23 @@ void Auditor::OnBegin(const Event& e) {
 }
 
 void Auditor::OnApply(const Event& e) {
+  if (sharded()) {
+    // Each (replica, hosted shard) pair is its own dense apply stream.
+    for (const auto& [s, v] : e.shard_versions) {
+      ++checks_;
+      const int64_t key = static_cast<int64_t>(e.replica) * shard_count_ + s;
+      DbVersion& last = shard_applied_[key];
+      if (v != last + 1) {
+        std::ostringstream detail;
+        detail << "replica " << e.replica << " applied shard " << s
+               << " version " << v << " after " << last << " (expected "
+               << (last + 1) << "): stream out of certification order";
+        AddViolation("apply-order", e.txn, e.at, detail.str());
+      }
+      last = std::max(last, v);
+    }
+    return;
+  }
   ++checks_;
   DbVersion& last = applied_[e.replica];
   if (e.commit_version != last + 1) {
@@ -161,6 +281,10 @@ const Auditor::AckedWrite* Auditor::LatestAckedBefore(
 
 void Auditor::OnFinished(const Event& e) {
   if (!e.committed) return;
+  if (sharded()) {
+    OnFinishedSharded(e);
+    return;
+  }
 
   if (e.snapshot > max_version_) {
     std::ostringstream detail;
@@ -258,12 +382,140 @@ void Auditor::OnFinished(const Event& e) {
   }
 }
 
+void Auditor::OnFinishedSharded(const Event& e) {
+  // Per-shard snapshot sanity: no stream can be read past what its lane
+  // has certified.
+  for (const auto& [s, snap] : e.shard_snapshots) {
+    ++checks_;
+    if (snap <= shard_max_version_[static_cast<size_t>(s)]) continue;
+    std::ostringstream detail;
+    detail << "txn " << e.txn << " read shard " << s << " snapshot " << snap
+           << " beyond that lane's last certified version "
+           << shard_max_version_[static_cast<size_t>(s)];
+    AddViolation("total-order", e.txn, e.at, detail.str());
+  }
+
+  const bool is_update = !e.read_only && !e.shard_versions.empty();
+  if (is_update) {
+    for (const auto& [s, cv] : e.shard_versions) {
+      ++checks_;
+      const DbVersion snap = ShardEntry(e.shard_snapshots, s);
+      if (snap >= cv) {
+        std::ostringstream detail;
+        detail << "txn " << e.txn << " shard " << s << " snapshot " << snap
+               << " not before its shard commit version " << cv;
+        AddViolation("total-order", e.txn, e.at, detail.str());
+      }
+      // First-committer-wins within the shard: committed updates in this
+      // lane's (snapshot, commit) interval are concurrent with this one;
+      // the keys they wrote in this shard must not overlap ours.
+      auto& committed = shard_committed_[static_cast<size_t>(s)];
+      for (auto it = committed.upper_bound(snap);
+           it != committed.end() && it->first < cv; ++it) {
+        ++checks_;
+        const CommittedUpdate& prior = it->second;
+        for (const auto& key : e.keys_written) {
+          if (table_to_shard_[static_cast<size_t>(key.first)] != s) continue;
+          if (std::find(prior.keys_written.begin(), prior.keys_written.end(),
+                        key) == prior.keys_written.end()) {
+            continue;
+          }
+          std::ostringstream detail;
+          detail << "concurrent txns " << prior.txn << " @shard" << s << ":"
+                 << it->first << " and " << e.txn << " @shard" << s << ":"
+                 << cv << " (shard snapshot " << snap << ") both wrote table "
+                 << key.first << " key " << key.second
+                 << ": first-committer-wins violated";
+          AddViolation("fcw", e.txn, e.at, detail.str());
+          break;
+        }
+      }
+    }
+  }
+
+  // Definitions 1 and 2 in shard-local version spaces: per accessed
+  // table, the latest acknowledged committed update must be within the
+  // snapshot this transaction read of *that table's* shard.
+  auto check_tables = [&](const std::unordered_map<TableId, AckedWriteLog>&
+                              logs,
+                          const char* check, const char* scope) {
+    for (TableId table : e.table_set) {
+      auto log_it = logs.find(table);
+      if (log_it == logs.end()) continue;
+      ++checks_;
+      const AckedWrite* w = LatestAckedBefore(log_it->second, e.submit_time);
+      if (w == nullptr) continue;
+      const int32_t s = table_to_shard_[static_cast<size_t>(table)];
+      const DbVersion snap = ShardEntry(e.shard_snapshots, s);
+      if (snap >= w->version) continue;
+      std::ostringstream detail;
+      detail << "txn " << e.txn << " (shard " << s << " snapshot " << snap
+             << ", submitted at t=" << e.submit_time << ") misses " << scope
+             << "txn " << w->txn << " @shard" << s << ":" << w->version
+             << " acked at t=" << w->ack_time << " writing table " << table;
+      AddViolation(check, e.txn, e.at, detail.str());
+    }
+  };
+  if (config_.check_strong) {
+    check_tables(acked_writes_, "definition1", "");
+  }
+  if (config_.check_session) {
+    auto session_it = session_writes_.find(e.session);
+    if (session_it != session_writes_.end()) {
+      check_tables(session_it->second, "definition2", "own session's ");
+    }
+  }
+
+  if (is_update) {
+    for (const auto& [s, cv] : e.shard_versions) {
+      std::vector<std::pair<TableId, int64_t>> shard_keys;
+      for (const auto& key : e.keys_written) {
+        if (table_to_shard_[static_cast<size_t>(key.first)] == s) {
+          shard_keys.push_back(key);
+        }
+      }
+      auto& committed = shard_committed_[static_cast<size_t>(s)];
+      committed[cv] = CommittedUpdate{e.txn, ShardEntry(e.shard_snapshots, s),
+                                      std::move(shard_keys)};
+      while (committed.size() > kVersionWindow) {
+        committed.erase(committed.begin());
+      }
+    }
+    // Extend the per-table logs with the written table's shard-local
+    // version; each table's log stays internally comparable because a
+    // table never changes shard.
+    auto extend = [&](std::unordered_map<TableId, AckedWriteLog>& logs) {
+      for (TableId table : e.tables_written) {
+        AckedWriteLog& log = logs[table];
+        DbVersion version = ShardEntry(
+            e.shard_versions, table_to_shard_[static_cast<size_t>(table)]);
+        TxnId txn = e.txn;
+        if (!log.empty() && log.back().version > version) {
+          version = log.back().version;
+          txn = log.back().txn;
+        }
+        log.push_back(AckedWrite{e.at, version, txn});
+      }
+    };
+    extend(acked_writes_);
+    extend(session_writes_[e.session]);
+  }
+}
+
 std::string Auditor::ToJson() const {
   std::ostringstream out;
   out << "{\"ok\":" << (ok() ? "true" : "false")
       << ",\"events\":" << events_ << ",\"checks\":" << checks_
-      << ",\"max_commit_version\":" << max_version_
-      << ",\"violations_total\":" << violation_count_ << ",\"violations\":[";
+      << ",\"max_commit_version\":" << max_version_;
+  if (sharded()) {
+    out << ",\"shard_max_commit_versions\":[";
+    for (int s = 0; s < shard_count_; ++s) {
+      if (s > 0) out << ",";
+      out << shard_max_version_[static_cast<size_t>(s)];
+    }
+    out << "]";
+  }
+  out << ",\"violations_total\":" << violation_count_ << ",\"violations\":[";
   for (size_t i = 0; i < violations_.size(); ++i) {
     const Violation& v = violations_[i];
     if (i > 0) out << ",";

@@ -77,6 +77,16 @@ class Auditor {
   /// `registry` (may be null) receives the staleness histograms.
   Auditor(AuditorConfig config, MetricsRegistry* registry);
 
+  /// Switches the audit into partitioned-certification mode: commit
+  /// versions are dense *per shard* rather than globally, admission /
+  /// route / apply-order checks consult the events' per-shard vectors,
+  /// and first-committer-wins plus Definitions 1 and 2 are evaluated in
+  /// each shard's own version space (`table_to_shard[t]` assigns tables
+  /// to shards; a table's versions are only ever compared within its own
+  /// shard, where they remain totally ordered).
+  void EnableSharding(std::vector<int32_t> table_to_shard, int shard_count);
+  bool sharded() const { return shard_count_ > 0; }
+
   /// The EventLog sink.
   void OnEvent(const Event& event);
 
@@ -97,6 +107,10 @@ class Auditor {
 
   /// Latest commit version the auditor has seen certified.
   DbVersion max_commit_version() const { return max_version_; }
+  /// Latest certified version of one shard (sharded mode only).
+  DbVersion shard_max_commit_version(int32_t shard) const {
+    return shard_max_version_[static_cast<size_t>(shard)];
+  }
 
   /// {"ok":...,"events":N,"checks":N,"violations_total":N,
   ///  "violations":[{"check","txn","at","detail"},...]}.
@@ -129,6 +143,7 @@ class Auditor {
   void OnBegin(const Event& e);
   void OnApply(const Event& e);
   void OnFinished(const Event& e);
+  void OnFinishedSharded(const Event& e);
   /// Latest acknowledged (before `deadline`) committed write to `table`
   /// in `log`; nullptr when none.
   static const AckedWrite* LatestAckedBefore(const AckedWriteLog& log,
@@ -157,6 +172,19 @@ class Auditor {
   std::unordered_map<SessionId,
                      std::unordered_map<TableId, AckedWriteLog>>
       session_writes_;
+
+  /// Sharded mode (shard_count_ == 0 = single-stream; all unused).  In
+  /// sharded mode acked_writes_ / session_writes_ hold *shard-local*
+  /// versions, which is sound because each log is per table and a table
+  /// never changes shard.
+  int shard_count_ = 0;
+  std::vector<int32_t> table_to_shard_;
+  std::vector<DbVersion> shard_max_version_;
+  std::vector<std::map<DbVersion, std::pair<TxnId, TimePoint>>>
+      shard_certified_;
+  std::vector<std::map<DbVersion, CommittedUpdate>> shard_committed_;
+  /// (replica * shard_count + shard) -> last applied shard-local version.
+  std::unordered_map<int64_t, DbVersion> shard_applied_;
 };
 
 }  // namespace screp::obs

@@ -131,6 +131,22 @@ std::string Event::ToJson() const {
       out << ",\"change\":\"" << JsonEscape(detail) << "\"";
       break;
   }
+  // Sharded-configuration fields: all empty at K = 1, so omission keeps
+  // single-stream JSONL output byte-identical.
+  auto shard_pairs =
+      [&out](const char* key,
+             const std::vector<std::pair<int32_t, DbVersion>>& pairs) {
+        if (pairs.empty()) return;
+        out << ",\"" << key << "\":[";
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          if (i > 0) out << ",";
+          out << "[" << pairs[i].first << "," << pairs[i].second << "]";
+        }
+        out << "]";
+      };
+  shard_pairs("shard_versions", shard_versions);
+  shard_pairs("shard_snapshots", shard_snapshots);
+  shard_pairs("shard_required", shard_required);
   out << "}";
   return out.str();
 }

@@ -128,6 +128,19 @@ struct Event {
   std::vector<TableId> tables_written;
   std::vector<std::pair<TableId, int64_t>> keys_written;
 
+  /// Partitioned certification (K > 1 lanes only; all empty at K = 1, so
+  /// single-stream JSONL output is byte-identical).  Versions are
+  /// (shard, value) pairs in each shard's own version space.
+  /// kCertVerdict commit / kApply / kTxnFinished: per touched shard, the
+  /// shard-local commit version.
+  std::vector<std::pair<int32_t, DbVersion>> shard_versions;
+  /// kCertVerdict / kBeginAdmitted / kTxnFinished: per shard, the
+  /// snapshot version the transaction read in that shard.
+  std::vector<std::pair<int32_t, DbVersion>> shard_snapshots;
+  /// kRoute / kBeginAdmitted: per touched shard, the version the replica
+  /// must publish before BEGIN.
+  std::vector<std::pair<int32_t, DbVersion>> shard_required;
+
   /// The event as one JSONL line (no trailing newline).
   std::string ToJson() const;
 };

@@ -91,6 +91,14 @@ struct CertifierConfig {
   /// load queues the replicas' apply lanes and inflates local update
   /// commit latency (bench/saturation --batch-sweep measures this).
   size_t max_force_batch = 0;
+  /// Partitioned certification: number of certifier lanes (K).  1 (the
+  /// default) runs this class — the paper's single certification stream,
+  /// byte-identical to every pre-sharding configuration.  K > 1 makes
+  /// the system construct a ShardedCertifier (sharded_certifier.h)
+  /// instead: K lanes sharded by table, each with its own conflict
+  /// window, WAL force stream and refresh fan-out, plus a sequencer for
+  /// cross-shard transactions.
+  int shard_lanes = 1;
 };
 
 /// Central certification service.

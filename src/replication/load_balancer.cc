@@ -37,7 +37,46 @@ void LoadBalancer::SetTableSets(
   table_sets_ = std::move(table_sets);
 }
 
-ReplicaId LoadBalancer::PickReplica(bool respect_window) {
+void LoadBalancer::EnableSharding(const ShardMap* map,
+                                  std::vector<std::vector<ShardId>> hosted) {
+  SCREP_CHECK(map != nullptr);
+  shard_map_ = map;
+  const size_t shards = static_cast<size_t>(map->shard_count());
+  hosts_.assign(static_cast<size_t>(replica_count_),
+                std::vector<bool>(shards, true));
+  for (size_t r = 0; r < hosted.size() && r < hosts_.size(); ++r) {
+    if (hosted[r].empty()) continue;  // empty set = hosts everything
+    hosts_[r].assign(shards, false);
+    for (ShardId s : hosted[r]) hosts_[r][static_cast<size_t>(s)] = true;
+  }
+  policy_.EnableSharding(map->table_to_shard(), map->shard_count());
+}
+
+bool LoadBalancer::HostsAll(size_t replica,
+                            const std::vector<ShardId>& shards) const {
+  for (ShardId s : shards) {
+    if (!hosts_[replica][static_cast<size_t>(s)]) return false;
+  }
+  return true;
+}
+
+const std::vector<TableId>* LoadBalancer::TableSetFor(TxnTypeId type) const {
+  auto it = table_sets_.find(type);
+  return it == table_sets_.end() ? nullptr : &it->second;
+}
+
+std::vector<ShardId> LoadBalancer::ShardsFor(
+    const TxnRequest& request) const {
+  const std::vector<TableId>* table_set = TableSetFor(request.type);
+  if (table_set != nullptr) return shard_map_->ShardsOfTables(*table_set);
+  // No declared table-set: assume the transaction may touch anything.
+  std::vector<ShardId> all(static_cast<size_t>(shard_map_->shard_count()));
+  for (size_t s = 0; s < all.size(); ++s) all[s] = static_cast<ShardId>(s);
+  return all;
+}
+
+ReplicaId LoadBalancer::PickReplica(bool respect_window,
+                                    const std::vector<ShardId>* shards) {
   ReplicaId best = kNoReplica;
   size_t best_count = 0;
   for (int i = 0; i < replica_count_; ++i) {
@@ -45,6 +84,7 @@ ReplicaId LoadBalancer::PickReplica(bool respect_window) {
         (tie_break_cursor_ + static_cast<size_t>(i)) %
         static_cast<size_t>(replica_count_);
     if (down_[idx]) continue;
+    if (shards != nullptr && !HostsAll(idx, *shards)) continue;
     if (respect_window && !HasWindowRoom(idx)) continue;
     if (routing_ == RoutingPolicy::kRoundRobin) {
       best = static_cast<ReplicaId>(idx);  // first live in rotation
@@ -62,15 +102,23 @@ ReplicaId LoadBalancer::PickReplica(bool respect_window) {
 }
 
 void LoadBalancer::OnClientRequest(const TxnRequest& request) {
-  const ReplicaId replica = PickReplica(/*respect_window=*/true);
+  // Sharded mode constrains routing to replicas hosting every shard the
+  // transaction's declared table-set touches.
+  std::vector<ShardId> shards;
+  const std::vector<ShardId>* constraint = nullptr;
+  if (sharded()) {
+    shards = ShardsFor(request);
+    constraint = &shards;
+  }
+  const ReplicaId replica = PickReplica(/*respect_window=*/true, constraint);
   if (replica != kNoReplica) {
     Dispatch(replica, request);
     return;
   }
-  // No dispatchable replica.  Distinguish "every replica is down" (the
-  // request cannot succeed, fail it back) from "live replicas are all at
-  // their window" (queue it, bounded).
-  if (PickReplica(/*respect_window=*/false) == kNoReplica) {
+  // No dispatchable replica.  Distinguish "every candidate is down" (the
+  // request cannot succeed, fail it back) from "live candidates are all
+  // at their window" (queue it, bounded).
+  if (PickReplica(/*respect_window=*/false, constraint) == kNoReplica) {
     ++unroutable_;
     SCREP_LOG(kInfo) << "[lb] no live replica for txn " << request.txn_id
                      << "; failing the request back to the client";
@@ -115,8 +163,27 @@ void LoadBalancer::Reject(const TxnRequest& request, TxnOutcome outcome) {
 
 void LoadBalancer::DrainAdmissionQueue() {
   while (!admission_queue_.empty()) {
-    const ReplicaId replica = PickReplica(/*respect_window=*/true);
-    if (replica == kNoReplica) return;
+    std::vector<ShardId> shards;
+    const std::vector<ShardId>* constraint = nullptr;
+    if (sharded()) {
+      shards = ShardsFor(admission_queue_.front().request);
+      constraint = &shards;
+    }
+    const ReplicaId replica = PickReplica(/*respect_window=*/true, constraint);
+    if (replica == kNoReplica) {
+      // Sharded only: the head may have become permanently unroutable (its
+      // hosting replicas all died) while other queued requests could still
+      // dispatch.  Fail it back and keep draining; otherwise stay FIFO.
+      if (constraint != nullptr &&
+          PickReplica(/*respect_window=*/false, constraint) == kNoReplica) {
+        QueuedRequest dead = std::move(admission_queue_.front());
+        admission_queue_.pop_front();
+        ++unroutable_;
+        Reject(dead.request, TxnOutcome::kReplicaFailure);
+        continue;
+      }
+      return;
+    }
     QueuedRequest queued = std::move(admission_queue_.front());
     admission_queue_.pop_front();
     if (tracer_ != nullptr) {
@@ -141,12 +208,21 @@ void LoadBalancer::Dispatch(ReplicaId replica, const TxnRequest& request) {
                     "fine-grained mode needs a table-set for txn type "
                         << request.type);
     table_set = &it->second;
+  } else if (sharded()) {
+    const std::vector<TableId>* declared = TableSetFor(request.type);
+    if (declared != nullptr) table_set = declared;
   }
   // Tagged at dispatch (not arrival) time: a request that waited in the
   // admission queue picks up any versions acknowledged meanwhile, so it
   // can only over-wait relative to tagging on arrival — never weaker.
-  const DbVersion required =
-      policy_.RequiredStartVersion(request.session, *table_set);
+  std::vector<std::pair<ShardId, DbVersion>> shard_required;
+  DbVersion required = 0;
+  if (sharded()) {
+    shard_required = policy_.ShardRequirements(
+        request.session, ShardsFor(request), *table_set);
+  } else {
+    required = policy_.RequiredStartVersion(request.session, *table_set);
+  }
   outstanding_[static_cast<size_t>(replica)][request.txn_id] =
       OutstandingTxn{request.type, request.session, request.client_id,
                      request.submit_time};
@@ -173,9 +249,14 @@ void LoadBalancer::Dispatch(ReplicaId replica, const TxnRequest& request) {
     e.replica = replica;
     e.required_version = required;
     e.satisfied_version = policy_.system_version().SystemVersion();
+    e.shard_required = shard_required;
     event_log_->Append(std::move(e));
   }
-  dispatch_cb_(replica, request, required);
+  if (sharded()) {
+    sharded_dispatch_cb_(replica, request, std::move(shard_required));
+  } else {
+    dispatch_cb_(replica, request, required);
+  }
 }
 
 void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
@@ -194,8 +275,14 @@ void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
     table.erase(it);
   }
   if (response.outcome == TxnOutcome::kCommitted) {
-    policy_.OnCommitAcknowledged(response.session, response.v_local_after,
-                                 response.written_table_versions);
+    if (sharded()) {
+      policy_.OnCommitAcknowledgedSharded(response.session,
+                                          response.shard_locals,
+                                          response.written_table_versions);
+    } else {
+      policy_.OnCommitAcknowledged(response.session, response.v_local_after,
+                                   response.written_table_versions);
+    }
     if (event_log_ != nullptr && event_log_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kSessionUpdate;
@@ -204,6 +291,7 @@ void LoadBalancer::OnProxyResponse(const TxnResponse& response) {
       e.session = response.session;
       e.replica = response.replica;
       e.satisfied_version = policy_.sessions().RequiredVersion(response.session);
+      e.shard_versions = response.shard_locals;
       event_log_->Append(std::move(e));
     }
   }

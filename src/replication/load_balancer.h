@@ -21,6 +21,7 @@
 #include "core/sync_policy.h"
 #include "obs/observability.h"
 #include "replication/message.h"
+#include "replication/shard_map.h"
 #include "runtime/runtime.h"
 
 namespace screp {
@@ -53,6 +54,11 @@ class LoadBalancer {
  public:
   using DispatchCallback = std::function<void(
       ReplicaId replica, const TxnRequest&, DbVersion required_version)>;
+  /// Sharded dispatch: the scalar tag becomes one (shard, version)
+  /// requirement per shard the transaction touches.
+  using ShardedDispatchCallback = std::function<void(
+      ReplicaId replica, const TxnRequest&,
+      std::vector<std::pair<ShardId, DbVersion>> shard_required)>;
   using ClientResponseCallback = std::function<void(const TxnResponse&)>;
 
   LoadBalancer(runtime::Runtime* rt, ConsistencyLevel level, size_t table_count,
@@ -69,6 +75,22 @@ class LoadBalancer {
   void SetClientResponseCallback(ClientResponseCallback cb) {
     client_response_cb_ = std::move(cb);
   }
+  /// Wires sharded request dispatch; used instead of the scalar callback
+  /// once EnableSharding has been called.
+  void SetShardedDispatchCallback(ShardedDispatchCallback cb) {
+    sharded_dispatch_cb_ = std::move(cb);
+  }
+
+  /// Switches the balancer into partitioned-certification mode: requests
+  /// route by the transaction's declared table-set to replicas hosting
+  /// every touched shard, and version tags become per-shard.  `hosted`
+  /// gives each replica's shard-set (empty outer vector, or an empty
+  /// inner vector, means "hosts everything" — the full-replication
+  /// config, where routing degenerates to the unsharded choice among all
+  /// live replicas).  `map` must outlive the balancer.
+  void EnableSharding(const ShardMap* map,
+                      std::vector<std::vector<ShardId>> hosted);
+  bool sharded() const { return shard_map_ != nullptr; }
 
   /// Attaches the system's observability layer: routing spans plus
   /// dispatch / fail-over counters.
@@ -144,8 +166,23 @@ class LoadBalancer {
 
   /// Routing among live replicas per `routing_` (rotating tie-break).
   /// With `respect_window`, replicas at the outstanding window are
-  /// skipped as if down.  Returns kNoReplica when no candidate is left.
-  ReplicaId PickReplica(bool respect_window);
+  /// skipped as if down.  `shards` (sharded mode only) restricts the
+  /// candidates to replicas hosting every listed shard; null means no
+  /// hosting constraint.  Returns kNoReplica when no candidate is left.
+  ReplicaId PickReplica(bool respect_window,
+                        const std::vector<ShardId>* shards = nullptr);
+
+  /// True when `replica` hosts every shard in `shards`.
+  bool HostsAll(size_t replica, const std::vector<ShardId>& shards) const;
+
+  /// The declared table-set for `type`, or null when the catalog has no
+  /// entry (a full-replication workload that never declared one).
+  const std::vector<TableId>* TableSetFor(TxnTypeId type) const;
+
+  /// The transaction's shard-set: its table-set's shards, or every shard
+  /// when no table-set was declared (the conservative fallback — such a
+  /// transaction can only route to a replica hosting everything).
+  std::vector<ShardId> ShardsFor(const TxnRequest& request) const;
 
   /// True when `replica` may take one more transaction under the window.
   bool HasWindowRoom(size_t replica) const {
@@ -191,6 +228,11 @@ class LoadBalancer {
   int64_t unroutable_ = 0;
   bool promoted_ = false;
 
+  /// Sharded mode (null = single-stream; nothing below is consulted).
+  const ShardMap* shard_map_ = nullptr;
+  /// hosts_[replica][shard]: does the replica apply that shard's stream?
+  std::vector<std::vector<bool>> hosts_;
+
   // Observability (all optional; null until SetObservability).
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* ctr_dispatched_ = nullptr;
@@ -199,6 +241,7 @@ class LoadBalancer {
   obs::EventLog* event_log_ = nullptr;
 
   DispatchCallback dispatch_cb_;
+  ShardedDispatchCallback sharded_dispatch_cb_;
   ClientResponseCallback client_response_cb_;
 };
 

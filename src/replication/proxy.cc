@@ -138,6 +138,87 @@ void Proxy::Restart() {
   down_ = false;
 }
 
+void Proxy::EnableSharding(const ShardMap* map,
+                           std::vector<ShardId> hosted) {
+  SCREP_CHECK_MSG(!eager_, "eager mode is unsupported with sharding");
+  SCREP_CHECK(map != nullptr);
+  shard_map_ = map;
+  if (hosted.empty()) {
+    for (ShardId s = 0; s < map->shard_count(); ++s) hosted.push_back(s);
+  }
+  std::sort(hosted.begin(), hosted.end());
+  hosted.erase(std::unique(hosted.begin(), hosted.end()), hosted.end());
+  hosted_shards_ = std::move(hosted);
+  stream_index_.assign(static_cast<size_t>(map->shard_count()), -1);
+  streams_.assign(hosted_shards_.size(), ShardStream{});
+  for (size_t i = 0; i < hosted_shards_.size(); ++i) {
+    const ShardId s = hosted_shards_[i];
+    SCREP_CHECK_MSG(s >= 0 && s < map->shard_count(),
+                    "hosted shard " << s << " out of range");
+    stream_index_[static_cast<size_t>(s)] = static_cast<int>(i);
+  }
+}
+
+DbVersion Proxy::ShardPublished(ShardId shard) const {
+  const int idx = stream_index_[static_cast<size_t>(shard)];
+  SCREP_CHECK_MSG(idx >= 0, "shard " << shard << " not hosted by replica "
+                                     << id_);
+  return streams_[static_cast<size_t>(idx)].published;
+}
+
+bool Proxy::ShardedRequirementMet(
+    const std::vector<std::pair<int32_t, DbVersion>>& required) const {
+  for (const auto& [shard, version] : required) {
+    SCREP_CHECK_MSG(HostsShard(shard),
+                    "routed to replica " << id_ << " which does not host shard "
+                                         << shard);
+    if (ShardPublished(shard) < version) return false;
+  }
+  return true;
+}
+
+void Proxy::OnTxnRequestSharded(
+    const TxnRequest& request,
+    const std::vector<std::pair<int32_t, DbVersion>>& shard_required) {
+  if (down_) {
+    NoteDroppedWhileDown("request", request.txn_id);
+    return;
+  }
+  auto t = std::make_unique<ActiveTxn>();
+  t->request = request;
+  t->shard_required = shard_required;
+  t->prepared = &registry_->Get(request.type);
+  t->arrive_time = rt_->Now();
+  ActiveTxn* raw = t.get();
+  SCREP_CHECK_MSG(active_.emplace(request.txn_id, std::move(t)).second,
+                  "duplicate txn id " << request.txn_id);
+  if (ShardedRequirementMet(shard_required) ||
+      config_.test_skip_version_check) {
+    StartExecution(raw);
+  } else {
+    // Per-shard synchronization start delay: BEGIN waits until every
+    // touched hosted shard's refresh stream reaches its required version.
+    sharded_begin_waiters_.push_back(request.txn_id);
+  }
+}
+
+void Proxy::ReleaseShardedBeginWaiters() {
+  for (size_t i = 0; i < sharded_begin_waiters_.size();) {
+    const TxnId txn = sharded_begin_waiters_[i];
+    auto it = active_.find(txn);
+    const bool release =
+        it == active_.end() ||
+        ShardedRequirementMet(it->second->shard_required);
+    if (!release) {
+      ++i;
+      continue;
+    }
+    sharded_begin_waiters_[i] = sharded_begin_waiters_.back();
+    sharded_begin_waiters_.pop_back();
+    if (it != active_.end()) StartExecution(it->second.get());
+  }
+}
+
 void Proxy::OnTxnRequest(const TxnRequest& request,
                          DbVersion required_version) {
   if (down_) {
@@ -184,6 +265,17 @@ void Proxy::StartExecution(ActiveTxn* t) {
   EmitSpan("proxy.start_delay", t->request.txn_id, t->arrive_time,
            t->stages.version);
   t->txn = db_->Begin();  // snapshot at current V_local
+  if (sharded()) {
+    // The transaction's per-shard snapshot coordinates: what each hosted
+    // shard's refresh stream had published when BEGIN executed.  Applies
+    // advance the local database version and the shard streams in one
+    // atomic step, so these coordinates exactly describe the local MVCC
+    // snapshot just taken.
+    t->shard_snapshots.reserve(hosted_shards_.size());
+    for (ShardId s : hosted_shards_) {
+      t->shard_snapshots.emplace_back(s, ShardPublished(s));
+    }
+  }
   if (event_log_ != nullptr && event_log_->enabled()) {
     obs::Event e;
     e.kind = obs::EventKind::kBeginAdmitted;
@@ -195,6 +287,8 @@ void Proxy::StartExecution(ActiveTxn* t) {
     e.satisfied_version = t->txn->snapshot();
     e.wait_cause = wait_cause_;
     e.wait = t->stages.version;
+    e.shard_required = t->shard_required;
+    e.shard_snapshots = t->shard_snapshots;
     event_log_->Append(std::move(e));
   }
   // Eager pays at the ack instead (see Respond); the lazy schemes' only
@@ -291,6 +385,11 @@ void Proxy::OnStatementsDone(ActiveTxn* t) {
   t->writeset = t->txn->BuildWriteSet(config_.attach_read_sets);
   t->writeset.txn_id = t->request.txn_id;
   t->writeset.origin = id_;
+  // Sharded mode: ship the per-shard snapshot coordinates so each lane
+  // certifies against the snapshot this transaction actually read in
+  // that shard (hosted covers touched: the LB only routes here when this
+  // replica hosts every touched shard).
+  if (sharded()) t->writeset.shard_snapshots = t->shard_snapshots;
   t->certify_start_time = rt_->Now();
   t->awaiting_decision = true;
   cert_request_cb_(t->writeset);
@@ -324,6 +423,21 @@ void Proxy::OnCertDecision(const CertDecision& decision) {
     SCREP_LOG(kDebug) << "[replica " << id_
                       << "] certification abort of txn " << decision.txn_id;
     Respond(t, TxnOutcome::kCertificationAbort);
+    return;
+  }
+  if (sharded()) {
+    // Queue the local commit into its hosted apply streams at the joint
+    // per-shard versions the certifier assigned; publishing it finishes
+    // the transaction (no failover/refresh duplicate channels exist in
+    // sharded configurations).
+    t->writeset.commit_version = decision.commit_version;
+    t->writeset.shard_versions = decision.shard_versions;
+    ShardedApply apply;
+    apply.ws = std::make_shared<const WriteSet>(t->writeset);
+    apply.is_local = true;
+    apply.enqueue_time = rt_->Now();
+    EnqueueShardedApply(std::move(apply));
+    DispatchShardedApplies();
     return;
   }
   t->writeset.commit_version = decision.commit_version;
@@ -386,6 +500,191 @@ bool Proxy::IngestRefresh(WriteSetRef ws, bool credited) {
   AdvanceContiguous();
   DispatchApplies();
   return true;
+}
+
+bool Proxy::IngestShardedRefresh(WriteSetRef ws, ShardId credit_shard,
+                                 bool credited) {
+  SCREP_CHECK(!ws->shard_versions.empty());
+  if (down_) {
+    NoteDroppedWhileDown("refresh writeset", ws->txn_id);
+    return false;
+  }
+  if (sharded_pending_.find(ws->txn_id) != sharded_pending_.end()) {
+    return false;  // duplicate delivery
+  }
+  // Publication is atomic across a writeset's touched streams, so one
+  // hosted shard already covering its version means all of them do.
+  bool fresh = false;
+  for (const auto& [shard, version] : ws->shard_versions) {
+    if (HostsShard(shard) && version > ShardPublished(shard)) {
+      fresh = true;
+      break;
+    }
+  }
+  if (!fresh) return false;  // duplicate delivery
+  // Early certification, arrival direction (§IV, hidden-deadlock
+  // avoidance) — unchanged by sharding.
+  if (config_.early_certification) AbortConflictingActives(*ws);
+  ShardedApply apply;
+  apply.ws = std::move(ws);
+  apply.credited = credited;
+  apply.credit_shard = credit_shard;
+  apply.enqueue_time = rt_->Now();
+  EnqueueShardedApply(std::move(apply));
+  DispatchShardedApplies();
+  return true;
+}
+
+void Proxy::EnqueueShardedApply(ShardedApply apply) {
+  const TxnId txn = apply.ws->txn_id;
+  bool all_hosted = true;
+  for (const auto& [shard, version] : apply.ws->shard_versions) {
+    if (HostsShard(shard)) {
+      apply.hosted_versions.emplace_back(shard, version);
+    } else {
+      all_hosted = false;
+    }
+  }
+  SCREP_CHECK_MSG(!apply.hosted_versions.empty(),
+                  "writeset for txn " << txn << " touches no hosted shard");
+  if (all_hosted) {
+    apply.hosted_sub = apply.ws;
+  } else {
+    // Partial replication: only the hosted shards' writes apply here.
+    WriteSet sub;
+    sub.txn_id = apply.ws->txn_id;
+    sub.origin = apply.ws->origin;
+    for (const WriteOp& op : apply.ws->ops) {
+      if (HostsShard(shard_map_->ShardOf(op.table))) sub.ops.push_back(op);
+    }
+    apply.hosted_sub = std::make_shared<const WriteSet>(std::move(sub));
+  }
+  pending_index_.Insert(*apply.hosted_sub, apply.is_local);
+  for (const auto& [shard, version] : apply.hosted_versions) {
+    ShardStream& stream =
+        streams_[static_cast<size_t>(stream_index_[static_cast<size_t>(shard)])];
+    SCREP_CHECK_MSG(stream.queue.emplace(version, txn).second,
+                    "duplicate version " << version << " in shard " << shard
+                                         << " stream");
+  }
+  sharded_pending_.emplace(txn, std::move(apply));
+  peak_pending_writesets_ =
+      std::max(peak_pending_writesets_, pending_writesets());
+}
+
+void Proxy::DispatchShardedApplies() {
+  // Start every stream head that is next in line in ALL of its touched
+  // hosted streams: serial within a stream, parallel across streams.
+  // Joint versions are assigned atomically in certifier decide order, so
+  // two cross-shard writesets can never wait on each other's heads.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ShardStream& stream : streams_) {
+      if (stream.applying || stream.queue.empty()) continue;
+      const auto& [version, txn] = *stream.queue.begin();
+      if (version != stream.published + 1) continue;  // gap below
+      auto it = sharded_pending_.find(txn);
+      SCREP_CHECK(it != sharded_pending_.end());
+      bool ready = true;
+      for (const auto& [shard, v] : it->second.hosted_versions) {
+        const ShardStream& other =
+            streams_[static_cast<size_t>(
+                stream_index_[static_cast<size_t>(shard)])];
+        if (other.applying || other.published + 1 != v) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      StartShardedApply(txn);
+      progress = true;
+    }
+  }
+}
+
+void Proxy::StartShardedApply(TxnId txn) {
+  auto it = sharded_pending_.find(txn);
+  SCREP_CHECK(it != sharded_pending_.end());
+  ShardedApply& apply = it->second;
+  for (const auto& [shard, version] : apply.hosted_versions) {
+    (void)version;
+    streams_[static_cast<size_t>(stream_index_[static_cast<size_t>(shard)])]
+        .applying = true;
+  }
+  Duration cost;
+  if (apply.is_local) {
+    auto ait = active_.find(txn);
+    SCREP_CHECK(ait != active_.end());
+    ActiveTxn* t = ait->second.get();
+    t->apply_start_time = rt_->Now();
+    t->stages.sync = t->apply_start_time - t->decision_time;
+    EmitSpan("proxy.lane_wait", txn, t->decision_time, t->stages.sync);
+    cost = Stochastic(config_.commit_cost);
+  } else {
+    cost = Stochastic(config_.refresh_base +
+                      config_.refresh_per_op *
+                          static_cast<Duration>(apply.hosted_sub->size()));
+  }
+  const uint64_t epoch = epoch_;
+  cpu_.Submit(cost, [this, epoch, txn]() {
+    if (epoch != epoch_ || down_) return;
+    FinishShardedApply(txn);
+  });
+}
+
+void Proxy::FinishShardedApply(TxnId txn) {
+  auto it = sharded_pending_.find(txn);
+  SCREP_CHECK(it != sharded_pending_.end());
+  ShardedApply apply = std::move(it->second);
+  sharded_pending_.erase(it);
+  // Apply the hosted writes at the next *local* dense version, then
+  // advance every touched stream — one atomic step, so BEGIN snapshots
+  // can never observe a partially published writeset.
+  const Status st = db_->ApplyWriteSetLocal(*apply.hosted_sub);
+  SCREP_CHECK_MSG(st.ok(), "apply failed: " << st.ToString());
+  pending_index_.Erase(*apply.hosted_sub);
+  for (const auto& [shard, version] : apply.hosted_versions) {
+    ShardStream& stream =
+        streams_[static_cast<size_t>(stream_index_[static_cast<size_t>(shard)])];
+    SCREP_CHECK(!stream.queue.empty() &&
+                stream.queue.begin()->first == version);
+    stream.queue.erase(stream.queue.begin());
+    stream.published = version;
+    stream.applying = false;
+  }
+  if (!apply.is_local) {
+    ++refresh_applied_;
+    if (ctr_refresh_applied_ != nullptr) ctr_refresh_applied_->Increment();
+  }
+  if (apply.credited && sharded_credit_cb_) {
+    sharded_credit_cb_(apply.credit_shard, 1);
+  }
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kApply;
+    e.at = rt_->Now();
+    e.txn = apply.ws->txn_id;
+    e.replica = id_;
+    e.commit_version = apply.ws->commit_version;
+    e.local = apply.is_local;
+    e.shard_versions = apply.hosted_versions;
+    event_log_->Append(std::move(e));
+  }
+  if (apply.is_local) {
+    auto ait = active_.find(txn);
+    if (ait != active_.end()) {
+      ActiveTxn* t = ait->second.get();
+      t->exec_done_time = rt_->Now();
+      EmitSpan("proxy.apply", txn, t->apply_start_time,
+               t->exec_done_time - t->apply_start_time);
+      t->local_commit_time = rt_->Now();
+      t->stages.commit = t->local_commit_time - t->apply_start_time;
+      Respond(t, TxnOutcome::kCommitted);
+    }
+  }
+  ReleaseShardedBeginWaiters();
+  DispatchShardedApplies();
 }
 
 void Proxy::AbortConflictingActives(const WriteSet& ws) {
@@ -619,11 +918,24 @@ void Proxy::Respond(ActiveTxn* t, TxnOutcome outcome) {
   if (t->request.collect_results && outcome == TxnOutcome::kCommitted) {
     response.results = std::move(t->results);
   }
+  if (sharded()) {
+    response.shard_snapshots = t->shard_snapshots;
+    response.shard_locals.reserve(hosted_shards_.size());
+    for (ShardId s : hosted_shards_) {
+      response.shard_locals.emplace_back(s, ShardPublished(s));
+    }
+  }
   if (outcome == TxnOutcome::kCommitted && !response.read_only) {
     response.commit_version = t->writeset.commit_version;
+    if (sharded()) response.shard_versions = t->writeset.shard_versions;
     for (TableId table : t->writeset.TablesWritten()) {
-      response.written_table_versions.emplace_back(
-          table, t->writeset.commit_version);
+      // Sharded mode: a table's fine-grained tag advances in its own
+      // shard's version space.
+      const DbVersion v =
+          sharded() ? ShardVersionOf(t->writeset.shard_versions,
+                                     shard_map_->ShardOf(table))
+                    : t->writeset.commit_version;
+      response.written_table_versions.emplace_back(table, v);
     }
     for (const WriteOp& op : t->writeset.ops) {
       response.keys_written.emplace_back(op.table, op.key);

@@ -18,6 +18,7 @@
 #include "obs/observability.h"
 #include "replication/conflict_index.h"
 #include "replication/message.h"
+#include "replication/shard_map.h"
 #include "sim/resource.h"
 #include "runtime/runtime.h"
 #include "sql/executor.h"
@@ -119,6 +120,49 @@ class Proxy {
   /// (the default) the proxy accounts no credits at all.
   void SetCreditCallback(CreditCallback cb) { credit_cb_ = std::move(cb); }
 
+  /// Sharded credit returns: one credit per published refresh writeset,
+  /// on the (shard, replica) channel the certifier sent it on.
+  using ShardedCreditCallback = std::function<void(ShardId shard, int credits)>;
+  void SetShardedCreditCallback(ShardedCreditCallback cb) {
+    sharded_credit_cb_ = std::move(cb);
+  }
+
+  /// Switches this proxy into sharded (partitioned-certification) mode:
+  /// `map` outlives the proxy, `hosted` is the set of shards this
+  /// replica hosts (empty = all of them).  In sharded mode the proxy
+  /// keeps one in-order apply stream per hosted shard in that shard's
+  /// own version space, BEGIN waits on per-shard required versions, and
+  /// writesets apply when they are next in line in EVERY touched hosted
+  /// stream (serial within a stream, parallel across streams).  The
+  /// local database versions stay dense via ApplyWriteSetLocal.
+  void EnableSharding(const ShardMap* map, std::vector<ShardId> hosted);
+  bool sharded() const { return shard_map_ != nullptr; }
+  bool HostsShard(ShardId shard) const {
+    return stream_index_[static_cast<size_t>(shard)] >= 0;
+  }
+  const std::vector<ShardId>& hosted_shards() const { return hosted_shards_; }
+  /// Latest shard version published locally for a hosted shard.
+  DbVersion ShardPublished(ShardId shard) const;
+
+  /// Sharded-mode dispatch: BEGIN is delayed until every hosted shard
+  /// named in `shard_required` has published its required version.
+  void OnTxnRequestSharded(
+      const TxnRequest& request,
+      const std::vector<std::pair<int32_t, DbVersion>>& shard_required);
+
+  /// Sharded-mode refresh delivery on one hosted shard's channel.  With
+  /// flow control on, each writeset carries one credit on that channel,
+  /// returned on publish (or immediately on duplicate delivery).
+  void OnShardedRefreshBatch(ShardId shard, const RefreshBatch& batch) {
+    for (const WriteSetRef& ws : batch.writesets) {
+      if (!IngestShardedRefresh(ws, shard,
+                                /*credited=*/sharded_credit_cb_ != nullptr) &&
+          sharded_credit_cb_) {
+        sharded_credit_cb_(shard, 1);
+      }
+    }
+  }
+
   /// Attaches the system's observability layer: per-transaction stage
   /// spans (start delay, statements, certification, ordering wait, commit,
   /// eager global wait) plus early-abort / refresh / drop counters, the
@@ -197,7 +241,8 @@ class Proxy {
   /// executing in an apply lane, or executed awaiting the in-order
   /// version publish.
   size_t pending_writesets() const {
-    return pending_.size() + executing_.size() + executed_.size();
+    return pending_.size() + executing_.size() + executed_.size() +
+           sharded_pending_.size();
   }
   /// High-water mark of pending_writesets() over the proxy's lifetime —
   /// what the refresh credit window is supposed to bound.
@@ -233,6 +278,12 @@ class Proxy {
     bool aborted_early = false;     // flagged by early certification
     bool awaiting_decision = false;  // writeset at the certifier
     bool awaiting_global = false;    // eager: waiting for global commit
+
+    /// Sharded mode: the per-shard version tags the request carried, and
+    /// the hosted shards' published versions captured at BEGIN (the
+    /// transaction's per-shard snapshot coordinates).
+    std::vector<std::pair<int32_t, DbVersion>> shard_required;
+    std::vector<std::pair<int32_t, DbVersion>> shard_snapshots;
     // Eager: the global commit arrived before the local commit finished
     // (possible when a crash lowers the membership bar).
     bool global_done_early = false;
@@ -271,6 +322,47 @@ class Proxy {
   /// Queues one refresh writeset through the apply pipeline; returns
   /// false when it is dropped instead (down, or duplicate delivery).
   bool IngestRefresh(WriteSetRef ws, bool credited);
+
+  /// One in-order apply stream per hosted shard (sharded mode).
+  struct ShardStream {
+    DbVersion published = 0;  ///< latest shard version applied locally
+    bool applying = false;    ///< the head writeset is executing
+    /// Received writesets by shard version; the head applies only when
+    /// its version is published + 1 (the streams are dense: a hosting
+    /// replica receives every writeset touching its shard).
+    std::map<DbVersion, TxnId> queue;
+  };
+
+  /// One writeset moving through the sharded apply streams.
+  struct ShardedApply {
+    WriteSetRef ws;
+    /// (shard, version) for the touched shards this replica hosts.
+    std::vector<std::pair<ShardId, DbVersion>> hosted_versions;
+    /// The writeset restricted to hosted shards — what actually applies
+    /// locally (aliases `ws` when every touched shard is hosted).
+    WriteSetRef hosted_sub;
+    bool is_local = false;
+    bool credited = false;
+    ShardId credit_shard = -1;
+    TimePoint enqueue_time = 0;
+  };
+
+  /// Queues one sharded refresh writeset; false when dropped (duplicate).
+  bool IngestShardedRefresh(WriteSetRef ws, ShardId credit_shard,
+                            bool credited);
+  /// Enqueues one writeset (local or refresh) into its hosted streams.
+  void EnqueueShardedApply(ShardedApply apply);
+  /// Starts every stream-head writeset whose touched hosted streams all
+  /// have it next in line, until no further progress.
+  void DispatchShardedApplies();
+  void StartShardedApply(TxnId txn);
+  /// Completion of one sharded apply: installs the hosted writes,
+  /// advances every touched stream atomically, publishes side effects.
+  void FinishShardedApply(TxnId txn);
+  /// True when every hosted (shard, version) requirement is published.
+  bool ShardedRequirementMet(
+      const std::vector<std::pair<int32_t, DbVersion>>& required) const;
+  void ReleaseShardedBeginWaiters();
 
   void StartExecution(ActiveTxn* t);
   void ExecuteNextStatement(ActiveTxn* t);
@@ -350,6 +442,17 @@ class Proxy {
   /// received — a writeset above this gap must wait (an unseen earlier
   /// writeset could conflict with it).
   DbVersion contiguous_ = 0;
+  /// Sharded mode (null shard_map_ = single-stream mode, all of the
+  /// below unused).
+  const ShardMap* shard_map_ = nullptr;
+  std::vector<ShardId> hosted_shards_;
+  /// shard -> index into streams_ (-1 = not hosted).
+  std::vector<int> stream_index_;
+  std::vector<ShardStream> streams_;
+  std::unordered_map<TxnId, ShardedApply> sharded_pending_;
+  /// BEGINs waiting on per-shard required versions, rescanned on publish.
+  std::vector<TxnId> sharded_begin_waiters_;
+
   /// Decided local transactions awaiting their version's local commit —
   /// normally satisfied by the queued local apply, but after a certifier
   /// failover the same writeset may arrive through the refresh/catch-up
@@ -382,6 +485,7 @@ class Proxy {
   ResponseCallback response_cb_;
   ReplicaCommittedCallback replica_committed_cb_;
   CreditCallback credit_cb_;
+  ShardedCreditCallback sharded_credit_cb_;
 };
 
 }  // namespace screp

@@ -1,0 +1,234 @@
+// Partitioned certification: K certifier lanes sharded by table, plus a
+// thin sequencer for cross-shard transactions (ROADMAP "partitioned
+// certification + partial replication"; grounding: Sutra & Shapiro,
+// fault-tolerant partial replication).
+//
+// Each lane owns one shard of the key space end to end: its own CPU and
+// disk, its own CommittedKeyIndex over a per-shard conflict window, its
+// own WAL force stream, and its own refresh fan-out channels.  Commit
+// versions are per shard — lane s issues the dense sequence V_s = 1, 2,
+// ... over the writesets touching shard s — so the certified throughput
+// of disjoint shards scales with K instead of serializing behind one
+// global version counter.
+//
+// A transaction's shard-set is computed from its writeset (including
+// read keys/ranges in serializable mode: the lane owning a read's table
+// must vote too).  Single-shard transactions — the common case in the
+// KvGrid and TPC-W mixes — are decided entirely within their lane.
+// Cross-shard transactions go through the sequencer protocol:
+//
+//   1. The submission enters every touched lane's FIFO (its *vote*): one
+//      certify-CPU service per lane, modeling the parallel per-shard
+//      conflict work.
+//   2. A transaction is *decided* only when (a) every touched lane's
+//      vote has completed and (b) it is at the head of every touched
+//      lane's decide queue.  Head-of-all-queues makes the decision order
+//      deterministic and conflict-safe: no later submission can be
+//      certified in any touched shard before this one's outcome is
+//      installed there.  (The earliest-submitted undecided transaction
+//      is always at all of its heads, so the protocol cannot deadlock.)
+//   3. On commit it receives a *joint commit version*: the next version
+//      in each touched lane, assigned atomically at decide time.
+//
+// With K = 1 the system keeps using the plain Certifier — this class is
+// only constructed for K > 1, so every single-stream configuration stays
+// byte-identical.  Unsupported at K > 1 (the system refuses the
+// combination): eager global commits, standby failover, WAL-based
+// catch-up, refresh batching, and replica crash/recovery.
+
+#ifndef SCREP_REPLICATION_SHARDED_CERTIFIER_H_
+#define SCREP_REPLICATION_SHARDED_CERTIFIER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/observability.h"
+#include "replication/certifier.h"
+#include "replication/conflict_index.h"
+#include "replication/message.h"
+#include "replication/shard_map.h"
+#include "sim/resource.h"
+#include "runtime/runtime.h"
+#include "storage/wal.h"
+#include "storage/write_set.h"
+
+namespace screp {
+
+/// K-lane partitioned certification service.  Reuses CertifierConfig:
+/// certify_cpu_time / log_force_time / mode / conflict_window /
+/// linear_scan_oracle / max_intake / refresh_credit_window apply per
+/// lane; shard_lanes picks K.
+class ShardedCertifier {
+ public:
+  using DecisionCallback =
+      std::function<void(ReplicaId origin, const CertDecision&)>;
+  /// Refresh fan-out, per (shard, target): a cross-shard writeset is
+  /// sent once per target, on the lowest-numbered touched shard the
+  /// target hosts; the proxy ingests it into every touched hosted
+  /// stream.
+  using RefreshCallback = std::function<void(
+      ShardId shard, ReplicaId target, const RefreshBatch&)>;
+
+  ShardedCertifier(runtime::Runtime* rt, CertifierConfig config,
+                   ShardMap map, int replica_count);
+
+  /// Declares each replica's hosted-shard set (empty outer vector or
+  /// empty per-replica set = hosts everything).  Refresh fan-out for a
+  /// writeset skips replicas hosting none of its shards.
+  void SetHostedShards(const std::vector<std::vector<ShardId>>& hosted);
+
+  void SetDecisionCallback(DecisionCallback cb) {
+    decision_cb_ = std::move(cb);
+  }
+  void SetRefreshCallback(RefreshCallback cb) { refresh_cb_ = std::move(cb); }
+
+  /// Event log + counters (per-lane gauges are registered by the system).
+  void SetObservability(obs::Observability* obs);
+
+  /// Submits an update transaction's writeset.  `ws.origin` must be
+  /// set; `ws.shard_snapshots` carries the per-shard snapshot
+  /// coordinates (a missing shard entry reads as 0 — "saw nothing").
+  void SubmitCertification(WriteSet ws);
+
+  /// Refresh flow control for one (shard, replica) stream; mirrors
+  /// Certifier::OnCreditReturned per lane.
+  void OnCreditReturned(ShardId shard, ReplicaId replica, int credits);
+
+  int shard_count() const { return map_.shard_count(); }
+  int replica_count() const { return replica_count_; }
+  const ShardMap& shard_map() const { return map_; }
+
+  /// Latest commit version issued in `shard`'s version space.
+  DbVersion LaneCommitVersion(ShardId shard) const {
+    return lanes_[static_cast<size_t>(shard)]->v_commit;
+  }
+
+  int64_t certified_count() const { return certified_; }
+  int64_t abort_count() const { return aborts_; }
+  int64_t rw_abort_count() const { return rw_aborts_; }
+  int64_t window_abort_count() const { return window_aborts_; }
+  int64_t shed_count() const { return shed_; }
+  /// Cross-shard transactions decided through the sequencer.
+  int64_t sequenced_count() const { return sequenced_; }
+  size_t decided_size() const { return decided_.size(); }
+  size_t conflict_index_size() const;
+
+  Resource* lane_cpu(ShardId shard) {
+    return &lanes_[static_cast<size_t>(shard)]->cpu;
+  }
+  Resource* lane_disk(ShardId shard) {
+    return &lanes_[static_cast<size_t>(shard)]->disk;
+  }
+  const Wal& lane_wal(ShardId shard) const {
+    return lanes_[static_cast<size_t>(shard)]->wal;
+  }
+  size_t lane_force_pending(ShardId shard) const {
+    return lanes_[static_cast<size_t>(shard)]->force_batch.size();
+  }
+  int64_t refresh_credits(ShardId shard, ReplicaId replica) const;
+  size_t deferred_refresh_total() const;
+
+ private:
+  struct Lane {
+    Lane(runtime::Runtime* rt, const std::string& name, bool serializable)
+        : cpu(rt, name + "-cpu", 1),
+          disk(rt, name + "-disk", 1),
+          index(serializable) {}
+
+    Resource cpu;
+    Resource disk;
+    CommittedKeyIndex index;
+    /// Committed sub-writesets of this shard, ascending by shard
+    /// version, pruned to conflict_window; `recent_seq` is the parallel
+    /// global decide-sequence numbers used to order conflict hits from
+    /// different lanes.
+    std::deque<WriteSetRef> recent;
+    std::deque<int64_t> recent_seq;
+    DbVersion v_commit = 0;
+    Wal wal;
+    std::vector<WriteSetRef> force_batch;
+    bool force_in_flight = false;
+    /// Decide queue: submissions touching this shard, in arrival order.
+    std::deque<TxnId> order;
+  };
+
+  struct PendingTxn {
+    WriteSet ws;
+    std::vector<ShardId> shards;
+    int votes_outstanding = 0;
+    bool ready = false;  ///< all votes done, awaiting queue heads
+  };
+
+  void ShedSubmission(const WriteSet& ws);
+  /// One lane's certify-CPU service completed for `txn`.
+  void OnVote(TxnId txn);
+  /// Decides every transaction that is ready and at the head of all its
+  /// touched lanes' queues, until no further progress.
+  void DecideEligible();
+  void Decide(PendingTxn pending);
+  void RecordDecision(const CertDecision& decision);
+  void StartForce(ShardId shard);
+  /// All touched lanes' forces done: decision + refresh fan-out.
+  void Announce(const WriteSetRef& ws);
+  void SendRefresh(ShardId shard, ReplicaId replica, const WriteSetRef& ws);
+  bool Hosts(ReplicaId replica, ShardId shard) const {
+    return hosts_[static_cast<size_t>(replica)][static_cast<size_t>(shard)];
+  }
+  void EmitVerdict(const WriteSet& ws, bool commit, const char* reason,
+                   DbVersion conflict_version, TxnId conflict_txn);
+
+  runtime::Runtime* rt_;
+  CertifierConfig config_;
+  ShardMap map_;
+  int replica_count_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// hosts_[replica][shard].
+  std::vector<std::vector<bool>> hosts_;
+
+  std::unordered_map<TxnId, PendingTxn> pending_;
+  /// Monotone decide-sequence counter (commit bookkeeping only; never a
+  /// version anyone observes).
+  int64_t seq_ = 0;
+
+  /// Writesets whose joint durability is still outstanding:
+  /// txn -> touched-lane forces not yet completed, and the full frozen
+  /// writeset to announce once the last force lands (the lanes' force
+  /// batches carry the per-shard sub-writesets for the WAL).
+  std::unordered_map<TxnId, int> force_remaining_;
+  std::unordered_map<TxnId, WriteSetRef> announcing_;
+
+  /// Shared idempotence map (same retirement policy as Certifier,
+  /// horizon measured in decide sequence numbers).
+  std::unordered_map<TxnId, CertDecision> decided_;
+  std::deque<std::pair<int64_t, TxnId>> decided_log_;
+
+  /// Per (shard, replica) refresh flow control.
+  std::vector<std::vector<int64_t>> credits_;
+  std::vector<std::vector<std::deque<WriteSetRef>>> deferred_;
+
+  int64_t certified_ = 0;
+  int64_t aborts_ = 0;
+  int64_t rw_aborts_ = 0;
+  int64_t window_aborts_ = 0;
+  int64_t shed_ = 0;
+  int64_t sequenced_ = 0;
+
+  obs::EventLog* event_log_ = nullptr;
+  obs::Counter* ctr_certified_ = nullptr;
+  obs::Counter* ctr_aborts_ww_ = nullptr;
+  obs::Counter* ctr_aborts_rw_ = nullptr;
+  obs::Counter* ctr_aborts_window_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
+  obs::Counter* ctr_sequenced_ = nullptr;
+
+  DecisionCallback decision_cb_;
+  RefreshCallback refresh_cb_;
+};
+
+}  // namespace screp
+
+#endif  // SCREP_REPLICATION_SHARDED_CERTIFIER_H_

@@ -1,5 +1,6 @@
 #include "replication/system.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,6 +19,38 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
   auto system = std::unique_ptr<ReplicatedSystem>(
       new ReplicatedSystem(rt, config));
   const bool eager = config.level == ConsistencyLevel::kEager;
+  const int shard_lanes = config.certifier.shard_lanes;
+  if (shard_lanes < 1) {
+    return Status::InvalidArgument("certifier.shard_lanes must be >= 1");
+  }
+  if (shard_lanes > 1) {
+    // K > 1 swaps in the ShardedCertifier; combinations whose semantics
+    // assume a single dense version stream are refused outright rather
+    // than silently misbehaving.
+    if (eager) {
+      return Status::NotSupported(
+          "partitioned certification with the eager configuration");
+    }
+    if (config.level == ConsistencyLevel::kBoundedStaleness) {
+      return Status::NotSupported(
+          "partitioned certification with bounded staleness");
+    }
+    if (config.standby_certifier) {
+      return Status::NotSupported(
+          "partitioned certification with a standby certifier");
+    }
+    if (config.certifier.refresh_batching) {
+      return Status::NotSupported(
+          "partitioned certification with refresh batching");
+    }
+    for (size_t r = 0; r < config.hosted_shards.size(); ++r) {
+      for (ShardId s : config.hosted_shards[r]) {
+        if (s < 0 || s >= shard_lanes) {
+          return Status::InvalidArgument("hosted shard out of range");
+        }
+      }
+    }
+  }
 
   system->obs_ = std::make_unique<obs::Observability>(rt, config.obs);
   obs::Tracer* tracer = system->obs_->tracer();
@@ -64,8 +97,55 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
     id_sets[type] = std::move(ids);
   }
 
-  system->certifier_ = std::make_unique<Certifier>(
-      rt, config.certifier, config.replica_count, eager);
+  if (shard_lanes > 1) {
+    if (!config.table_to_shard.empty() &&
+        config.table_to_shard.size() != db0->TableCount()) {
+      return Status::InvalidArgument(
+          "table_to_shard must assign every table");
+    }
+    system->shard_map_ =
+        config.table_to_shard.empty()
+            ? std::make_unique<ShardMap>(db0->TableCount(), shard_lanes)
+            : std::make_unique<ShardMap>(config.table_to_shard, shard_lanes);
+    // Every shard needs at least one hosting replica or its stream has
+    // no apply site at all.
+    if (!config.hosted_shards.empty()) {
+      std::vector<bool> covered(static_cast<size_t>(shard_lanes), false);
+      for (size_t r = 0;
+           r < config.hosted_shards.size() &&
+           r < static_cast<size_t>(config.replica_count);
+           ++r) {
+        if (config.hosted_shards[r].empty()) {
+          covered.assign(static_cast<size_t>(shard_lanes), true);
+          break;
+        }
+        for (ShardId s : config.hosted_shards[r]) {
+          covered[static_cast<size_t>(s)] = true;
+        }
+      }
+      if (config.hosted_shards.size() <
+          static_cast<size_t>(config.replica_count)) {
+        covered.assign(static_cast<size_t>(shard_lanes), true);
+      }
+      for (bool c : covered) {
+        if (!c) return Status::InvalidArgument("unhosted shard");
+      }
+    }
+    system->sharded_certifier_ = std::make_unique<ShardedCertifier>(
+        rt, config.certifier, *system->shard_map_, config.replica_count);
+    system->sharded_certifier_->SetHostedShards(config.hosted_shards);
+    for (ReplicaId r = 0; r < config.replica_count; ++r) {
+      std::vector<ShardId> hosted =
+          static_cast<size_t>(r) < config.hosted_shards.size()
+              ? config.hosted_shards[static_cast<size_t>(r)]
+              : std::vector<ShardId>{};
+      system->replicas_[static_cast<size_t>(r)]->proxy()->EnableSharding(
+          system->shard_map_.get(), std::move(hosted));
+    }
+  } else {
+    system->certifier_ = std::make_unique<Certifier>(
+        rt, config.certifier, config.replica_count, eager);
+  }
   if (config.standby_certifier) {
     if (eager) {
       return Status::NotSupported(
@@ -83,12 +163,23 @@ Result<std::unique_ptr<ReplicatedSystem>> ReplicatedSystem::Create(
       rt, config.level, db0->TableCount(), config.replica_count,
       config.routing, config.staleness_bound, config.admission);
   system->load_balancer_->SetTableSets(system->table_sets_);
+  if (system->sharded_certifier_ != nullptr) {
+    system->load_balancer_->EnableSharding(system->shard_map_.get(),
+                                           config.hosted_shards);
+  }
 
   system->BuildChannels();
   system->Wire();
   system->obs_->ConfigureAuditor(
       ProvidesStrongConsistency(config.level),
       config.level != ConsistencyLevel::kBoundedStaleness);
+  if (system->sharded_certifier_ != nullptr) {
+    std::vector<int32_t> table_to_shard(
+        system->shard_map_->table_to_shard().begin(),
+        system->shard_map_->table_to_shard().end());
+    system->obs_->auditor()->EnableSharding(std::move(table_to_shard),
+                                            shard_lanes);
+  }
   system->obs_->ConfigureHealth(config.replica_count);
   system->RegisterGauges();
   system->obs_->StartSampling();
@@ -100,15 +191,40 @@ void ReplicatedSystem::RegisterGauges() {
   obs::MetricsRegistry* registry = obs_->registry();
   // All callbacks read through `this` so certifier/load-balancer failovers
   // transparently switch the gauges to the promoted instance.
-  registry->RegisterCallbackGauge("certifier.queue_depth", [this]() {
-    return static_cast<double>(certifier_->cpu()->QueueLength());
-  });
-  registry->RegisterCallbackGauge("certifier.force_pending", [this]() {
-    return static_cast<double>(certifier_->force_batch_pending());
-  });
-  registry->RegisterCallbackGauge("certifier.disk_util", [this]() {
-    return certifier_->disk()->Utilization();
-  });
+  if (sharded_certifier_ != nullptr) {
+    // One gauge set per lane: the whole point of sharding is that lane
+    // load is independent, so a single aggregate would hide exactly the
+    // imbalance these exist to expose.
+    for (ShardId s = 0; s < sharded_certifier_->shard_count(); ++s) {
+      const std::string prefix =
+          "certifier.lane" + std::to_string(s) + ".";
+      registry->RegisterCallbackGauge(prefix + "queue_depth", [this, s]() {
+        return static_cast<double>(
+            sharded_certifier_->lane_cpu(s)->QueueLength());
+      });
+      registry->RegisterCallbackGauge(prefix + "force_pending", [this, s]() {
+        return static_cast<double>(
+            sharded_certifier_->lane_force_pending(s));
+      });
+      registry->RegisterCallbackGauge(prefix + "disk_util", [this, s]() {
+        return sharded_certifier_->lane_disk(s)->Utilization();
+      });
+      registry->RegisterCallbackGauge(prefix + "commit_version", [this, s]() {
+        return static_cast<double>(
+            sharded_certifier_->LaneCommitVersion(s));
+      });
+    }
+  } else {
+    registry->RegisterCallbackGauge("certifier.queue_depth", [this]() {
+      return static_cast<double>(certifier_->cpu()->QueueLength());
+    });
+    registry->RegisterCallbackGauge("certifier.force_pending", [this]() {
+      return static_cast<double>(certifier_->force_batch_pending());
+    });
+    registry->RegisterCallbackGauge("certifier.disk_util", [this]() {
+      return certifier_->disk()->Utilization();
+    });
+  }
   registry->RegisterCallbackGauge("lb.outstanding", [this]() {
     int total = 0;
     for (ReplicaId r = 0; r < config_.replica_count; ++r) {
@@ -125,16 +241,37 @@ void ReplicatedSystem::RegisterGauges() {
   }
   if (config_.certifier.refresh_credit_window > 0) {
     registry->RegisterCallbackGauge("certifier.deferred_refresh", [this]() {
-      return static_cast<double>(certifier_->deferred_refresh_total());
+      return static_cast<double>(
+          sharded_certifier_ != nullptr
+              ? sharded_certifier_->deferred_refresh_total()
+              : certifier_->deferred_refresh_total());
     });
   }
   for (ReplicaId r = 0; r < config_.replica_count; ++r) {
     const std::string prefix = "replica" + std::to_string(r) + ".";
     Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
-    registry->RegisterCallbackGauge(prefix + "version_lag", [this, proxy]() {
-      return static_cast<double>(certifier_->CommitVersion() -
-                                 proxy->v_local());
-    });
+    if (sharded_certifier_ != nullptr) {
+      // Lag of the replica's most-behind hosted stream.
+      registry->RegisterCallbackGauge(prefix + "version_lag",
+                                      [this, proxy]() {
+        DbVersion lag = 0;
+        for (ShardId s : proxy->hosted_shards()) {
+          const DbVersion certified =
+              sharded_certifier_->LaneCommitVersion(s);
+          const DbVersion published = proxy->ShardPublished(s);
+          if (certified > published) {
+            lag = std::max(lag, certified - published);
+          }
+        }
+        return static_cast<double>(lag);
+      });
+    } else {
+      registry->RegisterCallbackGauge(prefix + "version_lag",
+                                      [this, proxy]() {
+        return static_cast<double>(certifier_->CommitVersion() -
+                                   proxy->v_local());
+      });
+    }
     registry->RegisterCallbackGauge(prefix + "refresh_queue", [proxy]() {
       return static_cast<double>(proxy->pending_writesets());
     });
@@ -155,7 +292,14 @@ void ReplicatedSystem::RegisterGauges() {
     });
     if (config_.certifier.refresh_credit_window > 0) {
       registry->RegisterCallbackGauge(prefix + "refresh_credits",
-                                      [this, r]() {
+                                      [this, proxy, r]() {
+        if (sharded_certifier_ != nullptr) {
+          int64_t total = 0;
+          for (ShardId s : proxy->hosted_shards()) {
+            total += sharded_certifier_->refresh_credits(s, r);
+          }
+          return static_cast<double>(total);
+        }
         return static_cast<double>(certifier_->refresh_credits(r));
       });
     }
@@ -207,8 +351,12 @@ void ReplicatedSystem::BuildChannels() {
         rt_, "dispatch" + tag, net.lb_replica, seeder.Next());
     dispatch->SetDestination(replica_ep);
     dispatch->SetHandler([this, r](const RoutedRequest& routed) {
-      replicas_[static_cast<size_t>(r)]->proxy()->OnTxnRequest(
-          routed.request, routed.required_version);
+      Proxy* proxy = replicas_[static_cast<size_t>(r)]->proxy();
+      if (proxy->sharded()) {
+        proxy->OnTxnRequestSharded(routed.request, routed.shard_required);
+      } else {
+        proxy->OnTxnRequest(routed.request, routed.required_version);
+      }
     });
     dispatch->AttachMetrics(registry);
     ch_dispatch_.push_back(std::move(dispatch));
@@ -228,7 +376,11 @@ void ReplicatedSystem::BuildChannels() {
     cert_request->SetSizeFn(
         [](const WriteSet& ws) { return ws.SerializedBytes(); });
     cert_request->SetHandler([this](const WriteSet& ws) {
-      certifier_->SubmitCertification(ws);
+      if (sharded_certifier_ != nullptr) {
+        sharded_certifier_->SubmitCertification(ws);
+      } else {
+        certifier_->SubmitCertification(ws);
+      }
     });
     cert_request->AttachMetrics(registry);
     ch_cert_request_.push_back(std::move(cert_request));
@@ -303,6 +455,53 @@ void ReplicatedSystem::BuildChannels() {
     });
     credit->AttachMetrics(registry);
     ch_credit_.push_back(std::move(credit));
+  }
+
+  // Per-(shard, replica) refresh streams and credit returns — only in
+  // sharded mode, so K = 1 builds exactly the channel set (and consumes
+  // exactly the seeder forks) it always did.  One channel per stream a
+  // replica actually hosts: partial replication means a non-hosting
+  // replica never sees the shard's traffic at all.
+  if (sharded_certifier_ != nullptr) {
+    const int shard_count = sharded_certifier_->shard_count();
+    ch_shard_refresh_.resize(static_cast<size_t>(config_.replica_count));
+    ch_shard_credit_.resize(static_cast<size_t>(config_.replica_count));
+    for (ReplicaId r = 0; r < config_.replica_count; ++r) {
+      ch_shard_refresh_[static_cast<size_t>(r)].resize(
+          static_cast<size_t>(shard_count));
+      ch_shard_credit_[static_cast<size_t>(r)].resize(
+          static_cast<size_t>(shard_count));
+      net::Endpoint* replica_ep =
+          replica_endpoints_[static_cast<size_t>(r)].get();
+      for (ShardId s = 0; s < shard_count; ++s) {
+        if (!ReplicaHostsShard(r, s)) continue;
+        const std::string tag =
+            ".s" + std::to_string(s) + ".r" + std::to_string(r);
+        auto refresh = std::make_unique<net::Channel<RefreshBatch>>(
+            rt_, "refresh" + tag, net.refresh, seeder.Next());
+        refresh->SetDestination(replica_ep);
+        refresh->SetSizeFn([](const RefreshBatch& batch) {
+          return batch.SerializedBytes();
+        });
+        refresh->SetHandler([this, r, s](const RefreshBatch& batch) {
+          replicas_[static_cast<size_t>(r)]->proxy()->OnShardedRefreshBatch(
+              s, batch);
+        });
+        refresh->AttachMetrics(registry);
+        ch_shard_refresh_[static_cast<size_t>(r)][static_cast<size_t>(s)] =
+            std::move(refresh);
+
+        auto credit = std::make_unique<net::Channel<int>>(
+            rt_, "credit" + tag, net.replica_certifier, seeder.Next());
+        credit->SetDestination(certifier_endpoint_.get());
+        credit->SetHandler([this, r, s](const int& credits) {
+          sharded_certifier_->OnCreditReturned(s, r, credits);
+        });
+        credit->AttachMetrics(registry);
+        ch_shard_credit_[static_cast<size_t>(r)][static_cast<size_t>(s)] =
+            std::move(credit);
+      }
+    }
   }
 
   // Transport spans for the request path (tracing and the critical-path
@@ -404,9 +603,17 @@ void ReplicatedSystem::Wire() {
     // credit window — an unset callback keeps the proxy's refresh path
     // exactly as before.
     if (config_.certifier.refresh_credit_window > 0) {
-      proxy->SetCreditCallback([this, r](int credits) {
-        ch_credit_[static_cast<size_t>(r)]->Send(credits);
-      });
+      if (sharded_certifier_ != nullptr) {
+        proxy->SetShardedCreditCallback([this, r](ShardId shard,
+                                                  int credits) {
+          ch_shard_credit_[static_cast<size_t>(r)]
+                          [static_cast<size_t>(shard)]->Send(credits);
+        });
+      } else {
+        proxy->SetCreditCallback([this, r](int credits) {
+          ch_credit_[static_cast<size_t>(r)]->Send(credits);
+        });
+      }
     }
   }
 
@@ -420,7 +627,13 @@ void ReplicatedSystem::WireLoadBalancer() {
       [this](ReplicaId replica, const TxnRequest& request,
              DbVersion required) {
         ch_dispatch_[static_cast<size_t>(replica)]->Send(
-            RoutedRequest{request, required});
+            RoutedRequest{request, required, {}});
+      });
+  load_balancer_->SetShardedDispatchCallback(
+      [this](ReplicaId replica, const TxnRequest& request,
+             std::vector<std::pair<ShardId, DbVersion>> shard_required) {
+        ch_dispatch_[static_cast<size_t>(replica)]->Send(
+            RoutedRequest{request, 0, std::move(shard_required)});
       });
   // Load balancer -> client (acknowledgments).
   load_balancer_->SetClientResponseCallback(
@@ -443,6 +656,8 @@ void ReplicatedSystem::EmitFaultEvent(obs::EventKind kind,
 }
 
 void ReplicatedSystem::CrashLoadBalancer() {
+  SCREP_CHECK_MSG(sharded_certifier_ == nullptr,
+                  "LB failover unsupported with partitioned certification");
   ++lb_failovers_;
   EmitFaultEvent(obs::EventKind::kFailover, "lb", kNoReplica);
   SCREP_LOG(kWarn) << "[system] load balancer crash (failover #"
@@ -469,6 +684,19 @@ void ReplicatedSystem::CrashLoadBalancer() {
 }
 
 void ReplicatedSystem::WireCertifier() {
+  if (sharded_certifier_ != nullptr) {
+    sharded_certifier_->SetObservability(obs_.get());
+    sharded_certifier_->SetDecisionCallback(
+        [this](ReplicaId origin, const CertDecision& decision) {
+          ch_decision_[static_cast<size_t>(origin)]->Send(decision);
+        });
+    sharded_certifier_->SetRefreshCallback(
+        [this](ShardId shard, ReplicaId target, const RefreshBatch& batch) {
+          ch_shard_refresh_[static_cast<size_t>(target)]
+                           [static_cast<size_t>(shard)]->Send(batch);
+        });
+    return;
+  }
   // Only the active certifier reports: a standby processes the identical
   // stream and would double-count. On promotion the same counter names
   // continue their predecessor's totals.
@@ -534,6 +762,8 @@ void ReplicatedSystem::CrashCertifier() {
 }
 
 void ReplicatedSystem::CrashReplica(ReplicaId replica) {
+  SCREP_CHECK_MSG(sharded_certifier_ == nullptr,
+                  "replica crash unsupported with partitioned certification");
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(!proxy->down(), "replica already down");
   SCREP_CHECK_MSG(!IsReplicaPartitioned(replica),
@@ -590,6 +820,15 @@ bool ReplicatedSystem::IsReplicaDown(ReplicaId replica) const {
   return replicas_[static_cast<size_t>(replica)]->proxy()->down();
 }
 
+bool ReplicatedSystem::ReplicaHostsShard(ReplicaId replica,
+                                         ShardId shard) const {
+  const auto& hosted = config_.hosted_shards;
+  if (static_cast<size_t>(replica) >= hosted.size()) return true;
+  const auto& set = hosted[static_cast<size_t>(replica)];
+  if (set.empty()) return true;  // empty set = hosts everything
+  return std::find(set.begin(), set.end(), shard) != set.end();
+}
+
 void ReplicatedSystem::SetReplicaLinksPartitioned(ReplicaId replica,
                                                   bool partitioned) {
   const auto r = static_cast<size_t>(replica);
@@ -604,6 +843,9 @@ void ReplicatedSystem::SetReplicaLinksPartitioned(ReplicaId replica,
 }
 
 void ReplicatedSystem::PartitionReplica(ReplicaId replica) {
+  SCREP_CHECK_MSG(sharded_certifier_ == nullptr,
+                  "partition faults unsupported with partitioned "
+                  "certification");
   Proxy* proxy = replicas_[static_cast<size_t>(replica)]->proxy();
   SCREP_CHECK_MSG(!proxy->down(), "cannot partition a crashed replica");
   SCREP_CHECK_MSG(!IsReplicaPartitioned(replica),
@@ -716,6 +958,9 @@ void ReplicatedSystem::RecordHistory(const TxnResponse& response,
     e.table_set = record.table_set;
     e.tables_written = record.tables_written;
     e.keys_written = record.keys_written;
+    // Sharded coordinates (empty at K = 1 — the JSONL stays identical).
+    e.shard_versions = response.shard_versions;
+    e.shard_snapshots = response.shard_snapshots;
     event_log->Append(std::move(e));
   }
   if (history_ != nullptr) history_->Add(std::move(record));

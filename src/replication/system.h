@@ -16,6 +16,8 @@
 #include "replication/certifier.h"
 #include "replication/load_balancer.h"
 #include "replication/replica.h"
+#include "replication/shard_map.h"
+#include "replication/sharded_certifier.h"
 #include "runtime/runtime.h"
 #include "sql/table_set.h"
 
@@ -70,6 +72,14 @@ struct SystemConfig {
   Duration gc_interval = 0;
   /// Seed for the replicas' stochastic service-time streams.
   uint64_t seed = 1;
+  /// Partitioned certification (certifier.shard_lanes > 1 only): each
+  /// replica's hosted-shard set — partial replication.  Empty outer
+  /// vector, or an empty per-replica set, means "hosts every shard"
+  /// (full replication).  Every shard must be hosted by at least one
+  /// replica.
+  std::vector<std::vector<ShardId>> hosted_shards;
+  /// Explicit table -> shard assignment (empty = round-robin t mod K).
+  std::vector<ShardId> table_to_shard;
   /// Observability: tracing + sampling knobs (everything off by default).
   obs::ObsConfig obs;
 };
@@ -171,7 +181,12 @@ class ReplicatedSystem {
   /// governed by SystemConfig::obs).
   obs::Observability* obs() { return obs_.get(); }
   LoadBalancer* load_balancer() { return load_balancer_.get(); }
+  /// The single-stream certifier (null when shard_lanes > 1).
   Certifier* certifier() { return certifier_.get(); }
+  /// The K-lane certifier (null unless shard_lanes > 1).
+  ShardedCertifier* sharded_certifier() { return sharded_certifier_.get(); }
+  bool sharded() const { return sharded_certifier_ != nullptr; }
+  const ShardMap* shard_map() const { return shard_map_.get(); }
   Replica* replica(ReplicaId id) {
     return replicas_[static_cast<size_t>(id)].get();
   }
@@ -188,6 +203,13 @@ class ReplicatedSystem {
   /// The LB -> replica dispatch channel.
   net::Channel<RoutedRequest>* dispatch_channel(ReplicaId replica) {
     return ch_dispatch_[static_cast<size_t>(replica)].get();
+  }
+  /// One (shard, replica) refresh stream's channel (sharded mode; null
+  /// when the replica does not host the shard).
+  net::Channel<RefreshBatch>* shard_refresh_channel(ShardId shard,
+                                                    ReplicaId replica) {
+    return ch_shard_refresh_[static_cast<size_t>(replica)]
+                            [static_cast<size_t>(shard)].get();
   }
 
  private:
@@ -219,9 +241,16 @@ class ReplicatedSystem {
   /// (Re)wires the active load balancer's channels.
   void WireLoadBalancer();
 
+  /// True when `replica` hosts `shard` (sharded mode).
+  bool ReplicaHostsShard(ReplicaId replica, ShardId shard) const;
+
   sql::TransactionRegistry registry_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<Certifier> certifier_;
+  /// Partitioned certification (shard_lanes > 1): the shard map and the
+  /// K-lane certifier replacing `certifier_`.
+  std::unique_ptr<ShardMap> shard_map_;
+  std::unique_ptr<ShardedCertifier> sharded_certifier_;
   std::unique_ptr<Certifier> standby_certifier_;
   /// The crashed primary is kept allocated (muted) until the run ends:
   /// simulated work it had in flight may still complete, and a crashed
@@ -257,6 +286,12 @@ class ReplicatedSystem {
   std::unique_ptr<net::Channel<WriteSet>> ch_forward_;
   /// Replica -> certifier refresh-credit returns (flow control).
   std::vector<std::unique_ptr<net::Channel<int>>> ch_credit_;
+  /// Sharded mode: per-(replica, shard) refresh streams and credit
+  /// returns; null entries where the replica does not host the shard.
+  std::vector<std::vector<std::unique_ptr<net::Channel<RefreshBatch>>>>
+      ch_shard_refresh_;
+  std::vector<std::vector<std::unique_ptr<net::Channel<int>>>>
+      ch_shard_credit_;
   std::vector<bool> partitioned_;
 };
 

@@ -125,6 +125,22 @@ Status Database::ApplyWriteSet(const WriteSet& ws, bool force_log) {
   return Status::OK();
 }
 
+Status Database::ApplyWriteSetLocal(const WriteSet& ws) {
+  std::lock_guard lock(commit_mutex_);
+  const DbVersion version = CommittedVersion() + 1;
+  for (const WriteOp& op : ws.ops) {
+    Table* t = table(op.table);
+    if (op.type == WriteType::kDelete) {
+      t->Install(op.key, version, /*deleted=*/true, Row{});
+    } else {
+      SCREP_CHECK_MSG(op.row.has_value(), "insert/update without row");
+      t->Install(op.key, version, /*deleted=*/false, *op.row);
+    }
+  }
+  committed_version_.store(version, std::memory_order_release);
+  return Status::OK();
+}
+
 Status Database::BulkLoad(TableId table_id, Row row) {
   Table* t = table(table_id);
   SCREP_RETURN_NOT_OK(t->schema().ValidateRow(row));

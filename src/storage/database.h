@@ -89,6 +89,16 @@ class Database {
   /// enforces durability (paper §V-A / Tashkent).
   Status ApplyWriteSet(const WriteSet& ws, bool force_log = false);
 
+  /// Applies a certified writeset stamping the *local* next version:
+  /// the rows are installed at CommittedVersion() + 1 regardless of the
+  /// writeset's own commit_version.  Used by sharded (partial-
+  /// replication) proxies, where commit versions are per shard and no
+  /// single global counter matches the database's dense local sequence;
+  /// the proxy enforces per-shard application order, this method only
+  /// keeps local MVCC versioning dense.  Never logs (WAL recovery is
+  /// unsupported for sharded configurations).
+  Status ApplyWriteSetLocal(const WriteSet& ws);
+
   /// Loads a row directly at a version — used only for bulk-population
   /// before the system starts (bypasses versioning checks).
   Status BulkLoad(TableId table, Row row);

@@ -279,6 +279,10 @@ void WriteSet::EncodeTo(std::string* out) const {
 bool WriteSet::DecodeFrom(const std::string& data, size_t* offset,
                           WriteSet* out) {
   out->InvalidateCaches();
+  // Not part of the wire format: decoding into a reused writeset must
+  // not leave another transaction's shard coordinates attached.
+  out->shard_versions.clear();
+  out->shard_snapshots.clear();
   uint64_t n_ops;
   int64_t table, key, origin64;
   if (!GetU64(data, offset, &out->txn_id)) return false;

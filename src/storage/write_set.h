@@ -64,6 +64,18 @@ class WriteSet {
   std::vector<std::pair<TableId, int64_t>> read_keys;
   std::vector<ReadRange> read_ranges;
 
+  /// Partitioned certification (K > 1 lanes only; empty otherwise).
+  /// Per touched shard: the commit version assigned in that shard's own
+  /// version space, and the snapshot the transaction read in it.
+  /// Deliberately NOT part of EncodeTo()/SerializedBytes(): channels move
+  /// writesets as C++ values so the vectors survive transport, while the
+  /// wire format, the WAL, and the size/encode memos stay exactly as in
+  /// the single-stream configuration (K = 1 byte-identity; WAL-based
+  /// recovery is not supported with a sharded certifier).  A mutator of
+  /// these fields therefore must NOT call InvalidateCaches().
+  std::vector<std::pair<int32_t, DbVersion>> shard_versions;
+  std::vector<std::pair<int32_t, DbVersion>> shard_snapshots;
+
   bool empty() const { return ops.empty(); }
   size_t size() const { return ops.size(); }
 

@@ -176,8 +176,15 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
     for (int r = 0; r < system->replica_count(); ++r) {
       system->replica(r)->proxy()->cpu()->ResetStats();
     }
-    system->certifier()->cpu()->ResetStats();
-    system->certifier()->disk()->ResetStats();
+    if (ShardedCertifier* sharded = system->sharded_certifier()) {
+      for (int s = 0; s < sharded->shard_count(); ++s) {
+        sharded->lane_cpu(s)->ResetStats();
+        sharded->lane_disk(s)->ResetStats();
+      }
+    } else {
+      system->certifier()->cpu()->ResetStats();
+      system->certifier()->disk()->ResetStats();
+    }
   });
 
   for (const FaultEvent& fault : config.faults) {
@@ -269,7 +276,9 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   result.lb_shed = system->load_balancer()->shed_count();
   result.peak_admission_queue =
       static_cast<int64_t>(system->load_balancer()->peak_admission_queue());
-  result.certifier_shed = system->certifier()->shed_count();
+  result.certifier_shed = system->sharded()
+                              ? system->sharded_certifier()->shed_count()
+                              : system->certifier()->shed_count();
   for (int r = 0; r < system->replica_count(); ++r) {
     result.peak_pending_writesets = std::max(
         result.peak_pending_writesets,
@@ -283,8 +292,17 @@ Result<ExperimentResult> RunExperiment(const Workload& workload,
   }
   result.replica_cpu_utilization =
       cpu_total / static_cast<double>(system->replica_count());
-  result.certifier_disk_utilization =
-      system->certifier()->disk()->Utilization();
+  if (ShardedCertifier* sharded = system->sharded_certifier()) {
+    // The busiest lane: the WAL bottleneck of a partitioned certifier.
+    for (int s = 0; s < sharded->shard_count(); ++s) {
+      result.certifier_disk_utilization =
+          std::max(result.certifier_disk_utilization,
+                   sharded->lane_disk(s)->Utilization());
+    }
+  } else {
+    result.certifier_disk_utilization =
+        system->certifier()->disk()->Utilization();
+  }
 
   if (const obs::Auditor* auditor = system->obs()->auditor()) {
     result.audit.enabled = true;

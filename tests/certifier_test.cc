@@ -343,5 +343,80 @@ TEST_F(CertifierTest, UnboundedForceBatchEquivalentToHugeCap) {
   EXPECT_EQ(unbounded.second, huge.second);
 }
 
+TEST_F(CertifierTest, ShedSubmissionsNeverLeakAnIntakeSlot) {
+  CertifierConfig config;
+  config.max_intake = 2;
+  Build(2, false, config);
+  // Flood: one enters service, two queue, the rest are refused on
+  // arrival.  A shed submission must not occupy CPU or an intake slot.
+  for (TxnId t = 1; t <= 10; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 0, {static_cast<int64_t>(t)}));
+  }
+  EXPECT_EQ(certifier_->shed_count(), 7);
+  EXPECT_EQ(certifier_->cpu()->QueueLength(), 2u);
+  ASSERT_EQ(decisions_.size(), 7u);
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    EXPECT_FALSE(decision.commit);
+    EXPECT_TRUE(decision.overloaded);
+    EXPECT_EQ(decision.commit_version, kNoVersion);
+  }
+  sim_.RunAll();
+  // The admitted three were certified normally; the queue is empty again.
+  EXPECT_EQ(certifier_->certified_count(), 3);
+  EXPECT_EQ(certifier_->CommitVersion(), 3);
+  EXPECT_EQ(certifier_->cpu()->QueueLength(), 0u);
+  // Full capacity is back: another burst at the bound is admitted whole.
+  decisions_.clear();
+  for (TxnId t = 11; t <= 13; ++t) {
+    certifier_->SubmitCertification(
+        MakeWs(t, 0, 3, {static_cast<int64_t>(t)}));
+  }
+  EXPECT_EQ(certifier_->shed_count(), 7);
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->certified_count(), 6);
+  ASSERT_EQ(decisions_.size(), 3u);
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    EXPECT_TRUE(decision.commit);
+  }
+}
+
+TEST_F(CertifierTest, DecidedResubmissionExemptFromIntakeBound) {
+  CertifierConfig config;
+  config.max_intake = 1;
+  Build(2, false, config);
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 1u);
+  const DbVersion version = decisions_[0].second.commit_version;
+  // Saturate the intake, then resubmit the decided transaction: the
+  // replay bypasses the bound (the decision already exists — refusing
+  // the retry would strand the origin), while a fresh submission at the
+  // bound is still shed.
+  certifier_->SubmitCertification(MakeWs(2, 1, 1, {6}));  // enters service
+  certifier_->SubmitCertification(MakeWs(3, 1, 1, {7}));  // takes the slot
+  certifier_->SubmitCertification(MakeWs(5, 1, 1, {9}));  // shed: at bound
+  certifier_->SubmitCertification(MakeWs(1, 0, 0, {5}));  // decided: exempt
+  certifier_->SubmitCertification(MakeWs(4, 1, 1, {8}));  // still shed
+  EXPECT_EQ(certifier_->shed_count(), 2);  // txn 5 and txn 4
+  sim_.RunAll();
+  // The replayed decision is verbatim and nothing was certified twice.
+  std::map<TxnId, int> seen;
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    ++seen[decision.txn_id];
+    if (decision.txn_id == 1) {
+      EXPECT_TRUE(decision.commit);
+      EXPECT_EQ(decision.commit_version, version);
+    }
+  }
+  EXPECT_EQ(seen[1], 2);
+  EXPECT_EQ(certifier_->certified_count(), 3);  // txn 1, 2 and 3
+  // The resubmission held no slot: the queue drained to empty.
+  EXPECT_EQ(certifier_->cpu()->QueueLength(), 0u);
+}
+
 }  // namespace
 }  // namespace screp

@@ -1,0 +1,586 @@
+// Partitioned certification: unit tests of the K-lane ShardedCertifier
+// (dense per-shard versions, the cross-shard sequencer, per-shard
+// first-committer-wins, intake shedding, idempotent replay, hosted-shard
+// refresh filtering and per-stream credits), plus end-to-end sharded
+// system runs under the online auditor — full replication, partial
+// replication, and a cross-shard workload that drives the sequencer.
+
+#include "replication/sharded_certifier.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replication/system.h"
+#include "runtime/sim_runtime.h"
+#include "sim/simulator.h"
+#include "workload/client.h"
+#include "workload/experiment.h"
+#include "workload/metrics.h"
+#include "workload/micro.h"
+
+namespace screp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Unit tests: the certifier alone under a simulator.
+// ---------------------------------------------------------------------
+
+WriteSet MakeWs(TxnId id, ReplicaId origin,
+                std::initializer_list<std::pair<TableId, int64_t>> writes,
+                std::vector<std::pair<int32_t, DbVersion>> shard_snapshots =
+                    {}) {
+  WriteSet ws;
+  ws.txn_id = id;
+  ws.origin = origin;
+  ws.shard_snapshots = std::move(shard_snapshots);
+  for (const auto& [table, key] : writes) {
+    ws.Add(table, key, WriteType::kUpdate, Row{Value(key), Value(0)});
+  }
+  return ws;
+}
+
+class ShardedCertifierTest : public ::testing::Test {
+ protected:
+  void Build(int tables, int shards, int replicas,
+             CertifierConfig config = CertifierConfig{}) {
+    config.shard_lanes = shards;
+    certifier_ = std::make_unique<ShardedCertifier>(
+        &rt_, config, ShardMap(tables, shards), replicas);
+    certifier_->SetDecisionCallback(
+        [this](ReplicaId origin, const CertDecision& decision) {
+          decisions_.emplace_back(origin, decision);
+        });
+    certifier_->SetRefreshCallback(
+        [this](ShardId shard, ReplicaId target, const RefreshBatch& batch) {
+          for (const WriteSetRef& ws : batch.writesets) {
+            refreshes_.push_back({shard, target, *ws});
+          }
+        });
+  }
+
+  /// The decision for `txn` (must exist exactly once... last one wins,
+  /// which the idempotence test relies on being identical anyway).
+  const CertDecision& DecisionOf(TxnId txn) const {
+    const CertDecision* found = nullptr;
+    for (const auto& [origin, decision] : decisions_) {
+      (void)origin;
+      if (decision.txn_id == txn) found = &decision;
+    }
+    SCREP_CHECK_MSG(found != nullptr, "no decision for txn " << txn);
+    return *found;
+  }
+
+  static DbVersion ShardVersionIn(const CertDecision& decision,
+                                  ShardId shard) {
+    return ShardVersionOf(decision.shard_versions, shard, kNoVersion);
+  }
+
+  struct Refresh {
+    ShardId shard;
+    ReplicaId target;
+    WriteSet ws;
+  };
+
+  Simulator sim_;
+  runtime::SimRuntime rt_{&sim_};
+  std::unique_ptr<ShardedCertifier> certifier_;
+  std::vector<std::pair<ReplicaId, CertDecision>> decisions_;
+  std::vector<Refresh> refreshes_;
+};
+
+TEST_F(ShardedCertifierTest, LaneVersionsAreDensePerShard) {
+  // Four tables over two shards (round-robin: t0,t2 -> shard 0;
+  // t1,t3 -> shard 1).  Disjoint-shard streams each get their own dense
+  // version sequence starting at 1.
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}}));
+  certifier_->SubmitCertification(MakeWs(2, 1, {{1, 5}}));
+  certifier_->SubmitCertification(MakeWs(3, 0, {{2, 9}}));
+  certifier_->SubmitCertification(MakeWs(4, 1, {{3, 9}}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 4u);
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    EXPECT_TRUE(decision.commit) << "txn " << decision.txn_id;
+  }
+  EXPECT_EQ(ShardVersionIn(DecisionOf(1), 0), 1);
+  EXPECT_EQ(ShardVersionIn(DecisionOf(3), 0), 2);
+  EXPECT_EQ(ShardVersionIn(DecisionOf(2), 1), 1);
+  EXPECT_EQ(ShardVersionIn(DecisionOf(4), 1), 2);
+  EXPECT_EQ(certifier_->LaneCommitVersion(0), 2);
+  EXPECT_EQ(certifier_->LaneCommitVersion(1), 2);
+  EXPECT_EQ(certifier_->certified_count(), 4);
+  EXPECT_EQ(certifier_->sequenced_count(), 0);
+}
+
+TEST_F(ShardedCertifierTest, CrossShardCommitGetsJointVersion) {
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}, {1, 7}}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 1u);
+  const CertDecision& decision = decisions_[0].second;
+  EXPECT_TRUE(decision.commit);
+  // One version in each touched lane, assigned atomically at decide time.
+  EXPECT_EQ(ShardVersionIn(decision, 0), 1);
+  EXPECT_EQ(ShardVersionIn(decision, 1), 1);
+  EXPECT_EQ(certifier_->LaneCommitVersion(0), 1);
+  EXPECT_EQ(certifier_->LaneCommitVersion(1), 1);
+  EXPECT_EQ(certifier_->sequenced_count(), 1);
+}
+
+TEST_F(ShardedCertifierTest, MixedStreamStaysDenseInEveryLane) {
+  // Interleave single-shard and cross-shard submissions; every lane's
+  // version sequence must come out dense regardless of decide order.
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 1}}));
+  certifier_->SubmitCertification(MakeWs(2, 1, {{0, 2}, {1, 2}}));
+  certifier_->SubmitCertification(MakeWs(3, 0, {{1, 3}}));
+  certifier_->SubmitCertification(MakeWs(4, 1, {{0, 4}}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 4u);
+  std::vector<DbVersion> lane0, lane1;
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    ASSERT_TRUE(decision.commit);
+    if (DbVersion v = ShardVersionIn(decision, 0); v != kNoVersion)
+      lane0.push_back(v);
+    if (DbVersion v = ShardVersionIn(decision, 1); v != kNoVersion)
+      lane1.push_back(v);
+  }
+  std::sort(lane0.begin(), lane0.end());
+  std::sort(lane1.begin(), lane1.end());
+  EXPECT_EQ(lane0, (std::vector<DbVersion>{1, 2, 3}));
+  EXPECT_EQ(lane1, (std::vector<DbVersion>{1, 2}));
+  EXPECT_EQ(certifier_->sequenced_count(), 1);
+}
+
+TEST_F(ShardedCertifierTest, StaleWriterAbortsAgainstCrossShardCommit) {
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}, {1, 7}}));
+  sim_.RunAll();
+  // Txn 2 writes shard 1's key 7 from a snapshot that predates txn 1's
+  // commit in shard 1 (missing entry reads as 0): first-committer-wins.
+  certifier_->SubmitCertification(MakeWs(2, 1, {{1, 7}}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 2u);
+  EXPECT_FALSE(DecisionOf(2).commit);
+  EXPECT_EQ(certifier_->abort_count(), 1);
+  // The aborted transaction consumed no version in any lane.
+  EXPECT_EQ(certifier_->LaneCommitVersion(1), 1);
+}
+
+TEST_F(ShardedCertifierTest, FreshPerShardSnapshotEscapesConflict) {
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{1, 7}}));
+  sim_.RunAll();
+  // Snapshot {shard 1: 1} already includes txn 1's commit: no conflict.
+  certifier_->SubmitCertification(MakeWs(2, 1, {{1, 7}}, {{1, 1}}));
+  sim_.RunAll();
+  EXPECT_TRUE(DecisionOf(2).commit);
+  EXPECT_EQ(ShardVersionIn(DecisionOf(2), 1), 2);
+  EXPECT_EQ(certifier_->abort_count(), 0);
+}
+
+TEST_F(ShardedCertifierTest, ConflictsAreShardLocal) {
+  // Heavy write traffic in shard 0 never aborts a shard-1 transaction,
+  // however stale its (irrelevant) view of shard 0 is.
+  Build(4, 2, 2);
+  for (TxnId id = 1; id <= 5; ++id) {
+    certifier_->SubmitCertification(MakeWs(id, 0, {{0, 5}}, {{0, id - 1}}));
+  }
+  sim_.RunAll();
+  certifier_->SubmitCertification(MakeWs(9, 1, {{1, 5}}));
+  sim_.RunAll();
+  EXPECT_TRUE(DecisionOf(9).commit);
+  EXPECT_EQ(certifier_->LaneCommitVersion(0), 5);
+  EXPECT_EQ(certifier_->LaneCommitVersion(1), 1);
+}
+
+TEST_F(ShardedCertifierTest, SnapshotOlderThanLaneWindowAborts) {
+  CertifierConfig config;
+  config.conflict_window = 1;
+  Build(4, 2, 2, config);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 1}}));
+  sim_.RunAll();
+  certifier_->SubmitCertification(MakeWs(2, 0, {{0, 2}}, {{0, 1}}));
+  sim_.RunAll();
+  // Lane 0 retains only version 2 now; snapshot 0 predates the window
+  // and must be conservatively aborted even with disjoint keys.
+  certifier_->SubmitCertification(MakeWs(3, 1, {{0, 3}}));
+  sim_.RunAll();
+  EXPECT_FALSE(DecisionOf(3).commit);
+  EXPECT_EQ(certifier_->window_abort_count(), 1);
+  // Shard 1's window is untouched: snapshot 0 is still fine there.
+  certifier_->SubmitCertification(MakeWs(4, 1, {{1, 3}}));
+  sim_.RunAll();
+  EXPECT_TRUE(DecisionOf(4).commit);
+}
+
+TEST_F(ShardedCertifierTest, IntakeShedsAtBoundAndRecovers) {
+  CertifierConfig config;
+  config.max_intake = 1;
+  Build(4, 2, 2, config);
+  // All four hit lane 0 back-to-back: one enters service, one queues,
+  // the rest find the queue at the bound and are refused on arrival.
+  for (TxnId id = 1; id <= 4; ++id) {
+    certifier_->SubmitCertification(MakeWs(id, 0, {{0, id}}, {{0, 0}}));
+  }
+  EXPECT_EQ(certifier_->shed_count(), 2);
+  // Shed decisions surface as overloaded, not as certification aborts.
+  ASSERT_EQ(decisions_.size(), 2u);
+  for (const auto& [origin, decision] : decisions_) {
+    (void)origin;
+    EXPECT_FALSE(decision.commit);
+    EXPECT_TRUE(decision.overloaded);
+  }
+  EXPECT_EQ(certifier_->abort_count(), 0);
+  sim_.RunAll();
+  // A shed submission never held an intake slot: once the admitted work
+  // drains, full capacity is back.
+  certifier_->SubmitCertification(MakeWs(9, 1, {{0, 9}}, {{0, 2}}));
+  certifier_->SubmitCertification(MakeWs(10, 1, {{0, 10}}, {{0, 2}}));
+  sim_.RunAll();
+  EXPECT_EQ(certifier_->shed_count(), 2);
+  EXPECT_TRUE(DecisionOf(9).commit);
+  EXPECT_TRUE(DecisionOf(10).commit);
+  EXPECT_EQ(certifier_->certified_count(), 4);
+}
+
+TEST_F(ShardedCertifierTest, ResubmittedDecisionReplaysVerbatim) {
+  Build(4, 2, 2);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}, {1, 7}}));
+  sim_.RunAll();
+  const CertDecision first = DecisionOf(1);
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}, {1, 7}}));
+  sim_.RunAll();
+  ASSERT_EQ(decisions_.size(), 2u);
+  const CertDecision& replay = decisions_[1].second;
+  EXPECT_EQ(replay.txn_id, first.txn_id);
+  EXPECT_EQ(replay.commit, first.commit);
+  EXPECT_EQ(replay.commit_version, first.commit_version);
+  EXPECT_EQ(replay.shard_versions, first.shard_versions);
+  // Nothing was re-certified: counters and lane versions are unchanged.
+  EXPECT_EQ(certifier_->certified_count(), 1);
+  EXPECT_EQ(certifier_->sequenced_count(), 1);
+  EXPECT_EQ(certifier_->LaneCommitVersion(0), 1);
+  EXPECT_EQ(certifier_->LaneCommitVersion(1), 1);
+}
+
+TEST_F(ShardedCertifierTest, RefreshSkipsReplicasNotHostingTheShard) {
+  Build(4, 2, 3);
+  certifier_->SetHostedShards({{0}, {1}, {0, 1}});
+  // Shard-1 writeset from replica 2: replica 0 hosts only shard 0 and
+  // must not receive it; replica 1 does; the origin never does.
+  certifier_->SubmitCertification(MakeWs(1, 2, {{1, 7}}));
+  sim_.RunAll();
+  ASSERT_EQ(refreshes_.size(), 1u);
+  EXPECT_EQ(refreshes_[0].shard, 1);
+  EXPECT_EQ(refreshes_[0].target, 1);
+  EXPECT_EQ(refreshes_[0].ws.txn_id, 1u);
+}
+
+TEST_F(ShardedCertifierTest, CrossShardRefreshSentOncePerTarget) {
+  Build(4, 2, 3);
+  certifier_->SetHostedShards({{0, 1}, {0, 1}, {1}});
+  certifier_->SubmitCertification(MakeWs(1, 0, {{0, 5}, {1, 7}}));
+  sim_.RunAll();
+  // Replica 1 hosts both touched shards: exactly one copy, on the
+  // lowest-numbered touched shard it hosts (0).  Replica 2 hosts only
+  // shard 1, so its copy rides stream 1.
+  ASSERT_EQ(refreshes_.size(), 2u);
+  std::map<ReplicaId, ShardId> by_target;
+  for (const Refresh& r : refreshes_) {
+    EXPECT_EQ(by_target.count(r.target), 0u) << "duplicate to " << r.target;
+    by_target[r.target] = r.shard;
+    EXPECT_EQ(r.ws.txn_id, 1u);
+  }
+  EXPECT_EQ(by_target.at(1), 0);
+  EXPECT_EQ(by_target.at(2), 1);
+}
+
+TEST_F(ShardedCertifierTest, PerStreamCreditsDeferAndDrain) {
+  CertifierConfig config;
+  config.refresh_credit_window = 1;
+  Build(4, 2, 2, config);
+  for (TxnId id = 1; id <= 3; ++id) {
+    certifier_->SubmitCertification(MakeWs(id, 0, {{0, id}}, {{0, id - 1}}));
+  }
+  sim_.RunAll();
+  // Only one writeset may be in flight to replica 1 on stream (0, 1);
+  // the rest wait for credits.
+  EXPECT_EQ(refreshes_.size(), 1u);
+  EXPECT_EQ(certifier_->refresh_credits(0, 1), 0);
+  EXPECT_EQ(certifier_->deferred_refresh_total(), 2u);
+  certifier_->OnCreditReturned(0, 1, 1);
+  sim_.RunAll();
+  EXPECT_EQ(refreshes_.size(), 2u);
+  certifier_->OnCreditReturned(0, 1, 1);
+  sim_.RunAll();
+  EXPECT_EQ(refreshes_.size(), 3u);
+  EXPECT_EQ(certifier_->deferred_refresh_total(), 0u);
+  // Versions arrive in shard order on the stream.
+  for (size_t i = 0; i < refreshes_.size(); ++i) {
+    EXPECT_EQ(refreshes_[i].ws.commit_version,
+              static_cast<DbVersion>(i + 1));
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: sharded systems under the online auditor.
+// ---------------------------------------------------------------------
+
+MicroConfig SmallMicro(double update_fraction) {
+  MicroConfig config;
+  config.rows_per_table = 200;
+  config.update_fraction = update_fraction;
+  return config;
+}
+
+ExperimentConfig ShardedRun(ConsistencyLevel level, int replicas,
+                            int clients, int lanes) {
+  ExperimentConfig config;
+  config.system.level = level;
+  config.system.replica_count = replicas;
+  config.system.certifier.shard_lanes = lanes;
+  config.client_count = clients;
+  config.warmup = Seconds(0.5);
+  config.duration = Seconds(3);
+  config.seed = 7;
+  config.audit = true;
+  return config;
+}
+
+TEST(ShardedSystemTest, MicroWithFourLanesAuditsCleanly) {
+  const MicroWorkload workload(SmallMicro(0.5));
+  for (ConsistencyLevel level :
+       {ConsistencyLevel::kLazyCoarse, ConsistencyLevel::kLazyFine,
+        ConsistencyLevel::kSession}) {
+    SCOPED_TRACE(ConsistencyLevelName(level));
+    ExperimentConfig config = ShardedRun(level, 4, 8, /*lanes=*/4);
+    auto result = RunExperiment(workload, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->committed, 0);
+    ASSERT_TRUE(result->audit.enabled);
+    EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+    EXPECT_GT(result->audit.checks, 0);
+  }
+}
+
+TEST(ShardedSystemTest, PartialReplicationAuditsCleanly) {
+  // Each replica hosts two of the four shards (every shard covered
+  // twice); the LB must route by table-set and the per-shard refresh
+  // fan-out must skip non-hosting replicas.
+  const MicroWorkload workload(SmallMicro(0.5));
+  ExperimentConfig config =
+      ShardedRun(ConsistencyLevel::kLazyFine, 4, 8, /*lanes=*/4);
+  config.system.hosted_shards = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  auto result = RunExperiment(workload, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 0);
+  ASSERT_TRUE(result->audit.enabled);
+  EXPECT_TRUE(result->audit.ok) << result->audit.ToString();
+}
+
+TEST(ShardedSystemTest, UnsupportedCombinationsAreRefused) {
+  SystemConfig config;
+  config.replica_count = 2;
+  config.certifier.shard_lanes = 2;
+  config.level = ConsistencyLevel::kEager;
+  Simulator sim;
+  runtime::SimRuntime rt{&sim};
+  auto eager = ReplicatedSystem::Create(
+      &rt, config, [](Database*) { return Status::OK(); },
+      [](const Database&, sql::TransactionRegistry*) {
+        return Status::OK();
+      });
+  EXPECT_FALSE(eager.ok());
+}
+
+// A workload whose update mix includes a two-table transaction, so the
+// sharded system exercises the sequencer end to end.
+class TwoTableWorkload : public Workload {
+ public:
+  std::string name() const override { return "two-table"; }
+
+  Status BuildSchema(Database* db) const override {
+    for (const char* table : {"alpha", "beta"}) {
+      SCREP_ASSIGN_OR_RETURN(
+          TableId id,
+          db->CreateTable(table, Schema({{"id", ValueType::kInt64},
+                                         {"val", ValueType::kInt64}})));
+      for (int64_t key = 0; key < 100; ++key) {
+        SCREP_RETURN_NOT_OK(db->BulkLoad(id, Row{Value(key), Value(key)}));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DefineTransactions(const Database& db,
+                            sql::TransactionRegistry* registry) const
+      override {
+    for (const char* table : {"alpha", "beta"}) {
+      sql::PreparedTransaction txn;
+      txn.name = std::string("update_") + table;
+      SCREP_ASSIGN_OR_RETURN(
+          auto stmt, sql::PreparedStatement::Prepare(
+                         db, std::string("UPDATE ") + table +
+                                 " SET val = val + ? WHERE id = ?"));
+      txn.statements.push_back(std::move(stmt));
+      registry->Register(std::move(txn));
+    }
+    {
+      sql::PreparedTransaction txn;
+      txn.name = "update_both";
+      SCREP_ASSIGN_OR_RETURN(auto a,
+                             sql::PreparedStatement::Prepare(
+                                 db,
+                                 "UPDATE alpha SET val = val + ? "
+                                 "WHERE id = ?"));
+      SCREP_ASSIGN_OR_RETURN(auto b,
+                             sql::PreparedStatement::Prepare(
+                                 db,
+                                 "UPDATE beta SET val = val + ? "
+                                 "WHERE id = ?"));
+      txn.statements.push_back(std::move(a));
+      txn.statements.push_back(std::move(b));
+      registry->Register(std::move(txn));
+    }
+    {
+      sql::PreparedTransaction txn;
+      txn.name = "read_alpha";
+      SCREP_ASSIGN_OR_RETURN(auto stmt,
+                             sql::PreparedStatement::Prepare(
+                                 db, "SELECT id, val FROM alpha "
+                                     "WHERE id = ?"));
+      txn.statements.push_back(std::move(stmt));
+      registry->Register(std::move(txn));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<TxnGenerator> CreateGenerator(
+      const sql::TransactionRegistry& registry, int client_id,
+      Rng rng) const override {
+    (void)client_id;
+    class Generator : public TxnGenerator {
+     public:
+      Generator(TxnTypeId read, TxnTypeId upd_a, TxnTypeId upd_b,
+                TxnTypeId upd_both, Rng rng)
+          : read_(read),
+            upd_a_(upd_a),
+            upd_b_(upd_b),
+            upd_both_(upd_both),
+            rng_(rng) {}
+
+      TxnSpec Next() override {
+        TxnSpec spec;
+        const int64_t key = rng_.NextInRange(0, 99);
+        const Value delta(rng_.NextInRange(1, 100));
+        switch (rng_.NextBounded(4)) {
+          case 0:
+            spec.type = read_;
+            spec.params = {{Value(key)}};
+            break;
+          case 1:
+            spec.type = upd_a_;
+            spec.params = {{delta, Value(key)}};
+            break;
+          case 2:
+            spec.type = upd_b_;
+            spec.params = {{delta, Value(key)}};
+            break;
+          default:
+            spec.type = upd_both_;
+            spec.params = {{delta, Value(key)},
+                           {delta, Value(rng_.NextInRange(0, 99))}};
+            break;
+        }
+        return spec;
+      }
+
+     private:
+      TxnTypeId read_, upd_a_, upd_b_, upd_both_;
+      Rng rng_;
+    };
+    auto find = [&registry](const char* name) {
+      Result<TxnTypeId> id = registry.Find(name);
+      SCREP_CHECK(id.ok());
+      return *id;
+    };
+    return std::make_unique<Generator>(find("read_alpha"),
+                                       find("update_alpha"),
+                                       find("update_beta"),
+                                       find("update_both"), rng);
+  }
+};
+
+TEST(ShardedSystemTest, CrossShardWorkloadDrivesTheSequencerAuditClean) {
+  const TwoTableWorkload workload;
+  Simulator sim;
+  runtime::SimRuntime rt{&sim};
+  SystemConfig system_config;
+  system_config.replica_count = 3;
+  system_config.level = ConsistencyLevel::kLazyCoarse;
+  system_config.certifier.shard_lanes = 2;
+  system_config.obs.audit = true;
+  system_config.obs.event_log_capacity = size_t{1} << 20;
+  auto system_or = ReplicatedSystem::Create(
+      &rt, system_config,
+      [&workload](Database* db) { return workload.BuildSchema(db); },
+      [&workload](const Database& db, sql::TransactionRegistry* reg) {
+        return workload.DefineTransactions(db, reg);
+      });
+  ASSERT_TRUE(system_or.ok()) << system_or.status().ToString();
+  auto system = std::move(*system_or);
+  ASSERT_TRUE(system->sharded());
+  // "alpha" and "beta" land on different shards of the two-lane map.
+  ASSERT_NE(system->shard_map()->ShardOf(0), system->shard_map()->ShardOf(1));
+
+  MetricsCollector metrics(/*warmup=*/0);
+  Rng seed_rng(7);
+  std::vector<std::unique_ptr<ClientDriver>> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.push_back(std::make_unique<ClientDriver>(
+        system.get(), &metrics,
+        workload.CreateGenerator(system->registry(), c, seed_rng.Fork()), c,
+        ClientConfig{}, seed_rng.Fork()));
+  }
+  system->SetClientCallback([&clients](const TxnResponse& r) {
+    clients[static_cast<size_t>(r.client_id)]->OnResponse(r);
+  });
+  for (auto& client : clients) client->Start();
+  const SimTime end = Seconds(2);
+  sim.Schedule(end, [&clients, &system]() {
+    for (auto& client : clients) client->Stop();
+    system->StopGc();
+    system->obs()->StopSampling();
+  });
+  sim.RunUntil(end);
+  sim.RunAll();
+
+  const ShardedCertifier* certifier = system->sharded_certifier();
+  ASSERT_NE(certifier, nullptr);
+  EXPECT_GT(certifier->certified_count(), 0);
+  EXPECT_GT(certifier->sequenced_count(), 0)
+      << "the two-table transaction mix should have crossed shards";
+  const obs::Auditor* auditor = system->obs()->auditor();
+  ASSERT_NE(auditor, nullptr);
+  EXPECT_GT(auditor->checks_performed(), 0);
+  EXPECT_TRUE(auditor->ok()) << auditor->Summary();
+  // Both lanes advanced and the auditor tracked each one.
+  for (ShardId s : {0, 1}) {
+    EXPECT_GT(certifier->LaneCommitVersion(s), 0) << "shard " << s;
+    EXPECT_EQ(auditor->shard_max_commit_version(s),
+              certifier->LaneCommitVersion(s))
+        << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace screp

@@ -125,5 +125,114 @@ TEST(WriteSetMemoTest, RoundTripThroughMemoizedEncoding) {
   }
 }
 
+// Per-mutator lockstep coverage: each branch of Add()'s coalescing can
+// rewrite state in place without changing any container size, so each
+// must invalidate the memos itself (mutate, then immediately query both
+// memos against their oracles).
+
+TEST(WriteSetMemoTest, AddCoalescedUpdateRewriteInvalidates) {
+  WriteSet ws;
+  ws.txn_id = 1;
+  ws.Add(0, 7, WriteType::kUpdate, Row{Value(std::string("short"))});
+  ASSERT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  const std::string before = ws.EncodedBytes();
+  // Update-over-update: same op count, different row bytes.
+  ws.Add(0, 7, WriteType::kUpdate, Row{Value(std::string(300, 'y'))});
+  EXPECT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  std::string fresh;
+  ws.EncodeTo(&fresh);
+  EXPECT_EQ(ws.EncodedBytes(), fresh);
+  EXPECT_NE(ws.EncodedBytes(), before);
+}
+
+TEST(WriteSetMemoTest, AddUpdateOverInsertKeepsInsertAndInvalidates) {
+  WriteSet ws;
+  ws.txn_id = 2;
+  ws.Add(0, 7, WriteType::kInsert, Row{Value(int64_t{1})});
+  ASSERT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  ASSERT_FALSE(ws.EncodedBytes().empty());
+  ws.Add(0, 7, WriteType::kUpdate, Row{Value(std::string(64, 'q'))});
+  ASSERT_EQ(ws.ops.size(), 1u);
+  EXPECT_EQ(ws.ops[0].type, WriteType::kInsert);
+  EXPECT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  std::string fresh;
+  ws.EncodeTo(&fresh);
+  EXPECT_EQ(ws.EncodedBytes(), fresh);
+}
+
+TEST(WriteSetMemoTest, AddInsertThenDeleteDropsRowAndInvalidates) {
+  WriteSet ws;
+  ws.txn_id = 3;
+  ws.Add(0, 7, WriteType::kInsert, Row{Value(std::string(128, 'r'))});
+  ASSERT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  const size_t with_row = ws.SerializedBytes();
+  ws.Add(0, 7, WriteType::kDelete, {});
+  ASSERT_EQ(ws.ops.size(), 1u);
+  EXPECT_EQ(ws.ops[0].type, WriteType::kDelete);
+  EXPECT_FALSE(ws.ops[0].row.has_value());
+  EXPECT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  EXPECT_LT(ws.SerializedBytes(), with_row);
+  std::string fresh;
+  ws.EncodeTo(&fresh);
+  EXPECT_EQ(ws.EncodedBytes(), fresh);
+}
+
+TEST(WriteSetMemoTest, AddDeleteOverUpdateInvalidates) {
+  WriteSet ws;
+  ws.txn_id = 4;
+  ws.Add(0, 7, WriteType::kUpdate, Row{Value(std::string(90, 's'))});
+  ASSERT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  ASSERT_FALSE(ws.EncodedBytes().empty());
+  ws.Add(0, 7, WriteType::kDelete, {});
+  ASSERT_EQ(ws.ops.size(), 1u);
+  EXPECT_EQ(ws.ops[0].type, WriteType::kDelete);
+  EXPECT_EQ(ws.SerializedBytes(), ws.SerializedBytesUncached());
+  std::string fresh;
+  ws.EncodeTo(&fresh);
+  EXPECT_EQ(ws.EncodedBytes(), fresh);
+}
+
+// The partitioned-certification contract: shard coordinates ride the
+// writeset as plain C++ state, never entering the wire format or the
+// memos — a K = 1 run's bytes cannot depend on them.
+
+TEST(WriteSetMemoTest, ShardFieldsNeverTouchTheEncoding) {
+  WriteSet plain;
+  plain.txn_id = 5;
+  plain.Add(0, 1, WriteType::kUpdate, Row{Value(int64_t{1})});
+  WriteSet sharded = plain;
+  ASSERT_EQ(plain.EncodedBytes(), sharded.EncodedBytes());
+  const std::string before = sharded.EncodedBytes();
+  sharded.shard_versions = {{0, 3}, {1, 9}};
+  sharded.shard_snapshots = {{0, 2}, {1, 8}};
+  // Stamping shard coordinates is not a mutation of the encoding: the
+  // memos stay valid and byte-identical to the shard-free twin.
+  EXPECT_EQ(sharded.EncodedBytes(), before);
+  EXPECT_EQ(sharded.EncodedBytes(), plain.EncodedBytes());
+  EXPECT_EQ(sharded.SerializedBytes(), plain.SerializedBytes());
+  EXPECT_EQ(sharded.SerializedBytes(), sharded.SerializedBytesUncached());
+}
+
+TEST(WriteSetMemoTest, DecodeFromClearsStaleShardCoordinates) {
+  WriteSet source;
+  source.txn_id = 6;
+  source.Add(0, 3, WriteType::kUpdate, Row{Value(int64_t{3})});
+  std::string encoded;
+  source.EncodeTo(&encoded);
+
+  WriteSet target;
+  target.txn_id = 99;
+  target.shard_versions = {{2, 17}};
+  target.shard_snapshots = {{2, 16}};
+  size_t offset = 0;
+  ASSERT_TRUE(WriteSet::DecodeFrom(encoded, &offset, &target));
+  // The wire format carries no shard data; none may survive the decode.
+  EXPECT_TRUE(target.shard_versions.empty());
+  EXPECT_TRUE(target.shard_snapshots.empty());
+  EXPECT_EQ(target.txn_id, 6u);
+  EXPECT_EQ(target.SerializedBytes(), target.SerializedBytesUncached());
+  EXPECT_EQ(target.EncodedBytes(), encoded);
+}
+
 }  // namespace
 }  // namespace screp

@@ -21,6 +21,10 @@ kind gates the metrics that matter for it:
       so the band is wide), a hard >= 2x requirement on the best path,
       and a hard byte-identity requirement (the memoized encodings must
       match the fresh encoders bit for bit).
+  micro_components_shards: per-lane-count certified-throughput scaling
+      floors (virtual time, so the band is tight), a hard >= 2.5x
+      requirement at 4 lanes, and a hard audit-clean requirement on the
+      partial-replication end-to-end run.
   fault_timeline_health: every fault scenario must still be detected by
       its matching detector within a detection-latency band; clean-run
       detector firings are a hard zero (no false-positive tolerance).
@@ -49,6 +53,8 @@ CERT_SPEEDUP_FLOOR = 0.25    # wall-clock micro-bench: +/-2x host noise
 LANES_SPEEDUP_FLOOR = 0.90   # virtual-time makespan: deterministic
 HOTPATH_SPEEDUP_FLOOR = 0.25  # wall-clock A/B: same noise band
 HOTPATH_BEST_MIN = 2.0       # best hot path must stay >= 2x, absolutely
+SHARD_SPEEDUP_FLOOR = 0.90   # virtual-time certified TPS: deterministic
+SHARD_MIN_AT_4 = 2.5         # 4 lanes must stay >= 2.5x single-stream
 NETWORK_REDUCTION_FLOOR = 0.85
 HEALTH_LATENCY_REL = 1.5     # detection may be 1.5x base samples + 2 ...
 HEALTH_LATENCY_ABS = 2       # ... but never past the scenario bound
@@ -170,6 +176,40 @@ def gate_hotpath(gate, base, fresh):
                "encodings must match the fresh encoders exactly")
 
 
+def gate_shards(gate, base, fresh):
+    """micro_components --shard-sweep: partitioned certification scaling.
+
+    The sweep runs in simulated time, so the per-K speedups reproduce
+    exactly and get a tight floor.  Two checks are absolute: 4 lanes must
+    keep a >= 2.5x certified-throughput win over the single-stream
+    Certifier (the tentpole claim), and the K = 4 partial-replication
+    end-to-end run must be audit-clean — a sharded history that is not
+    1SR-equivalent is a correctness bug, not a perf regression.
+    """
+    fresh_sweep = {row["lanes"]: row for row in fresh.get("sweep", [])}
+    speedup_at_4 = 0.0
+    for row in base.get("sweep", []):
+        f = fresh_sweep.get(row["lanes"])
+        label = f"shards lanes={row['lanes']}"
+        if f is None:
+            gate.check(label, False, "lane count missing from fresh output")
+            continue
+        gate.floor(f"{label} speedup", f["speedup_vs_single"],
+                   row["speedup_vs_single"], SHARD_SPEEDUP_FLOOR)
+        if row["lanes"] == 4:
+            speedup_at_4 = f["speedup_vs_single"]
+    gate.check("4-lane scaling floor", speedup_at_4 >= SHARD_MIN_AT_4,
+               f"fresh 4-lane speedup {speedup_at_4:.2f}x vs required "
+               f"{SHARD_MIN_AT_4:.1f}x")
+    e2e = fresh.get("e2e", {})
+    gate.check("partial-replication audit", e2e.get("audit_ok", False) is True,
+               f"audit_ok={e2e.get('audit_ok')} over "
+               f"{e2e.get('audit_checks', '?')} checks")
+    base_e2e = base.get("e2e", {})
+    gate.floor("e2e committed", e2e.get("committed", 0),
+               base_e2e.get("committed", 0), COMMITTED_FLOOR)
+
+
 def gate_health(gate, base, fresh):
     """fault_timeline --health-sweep: detection latency + false positives.
 
@@ -273,6 +313,8 @@ def run_gate(base, fresh):
         gate_network(gate, base, fresh)
     elif driver == "micro_components_hotpath":
         gate_hotpath(gate, base, fresh)
+    elif driver == "micro_components_shards":
+        gate_shards(gate, base, fresh)
     elif driver == "fault_timeline_health":
         gate_health(gate, base, fresh)
     elif "runs" in base:
@@ -409,6 +451,49 @@ def self_test():
     missing_path = json.loads(json.dumps(hotpath_base))
     del missing_path["paths"]["plan_cache"]
     expect_hotpath("missing hot path fails", 1, missing_path)
+
+    shards_base = {
+        "driver": "micro_components_shards",
+        "sweep": [
+            {"lanes": 1, "certified_per_sec": 8300.0,
+             "speedup_vs_single": 1.0},
+            {"lanes": 2, "certified_per_sec": 16500.0,
+             "speedup_vs_single": 1.99},
+            {"lanes": 4, "certified_per_sec": 33000.0,
+             "speedup_vs_single": 3.97},
+            {"lanes": 8, "certified_per_sec": 65500.0,
+             "speedup_vs_single": 7.88},
+        ],
+        "e2e": {"lanes": 4, "committed": 1578, "audit_checks": 16646,
+                "audit_ok": True},
+    }
+
+    def expect_shards(name, expected_rc, fresh):
+        print(f"-- self-test: {name} (expect rc={expected_rc})")
+        rc = run_gate(shards_base, fresh)
+        if rc != expected_rc:
+            failures.append(f"{name}: rc={rc}, expected {expected_rc}")
+
+    expect_shards("shards identity passes", 0,
+                  json.loads(json.dumps(shards_base)))
+
+    flat_scaling = json.loads(json.dumps(shards_base))
+    # Partitioned certification collapsing back onto one stream: every
+    # lane count reports ~1x.  Must trip both the per-K floors and the
+    # absolute 2.5x requirement at 4 lanes.
+    for row in flat_scaling["sweep"]:
+        row["speedup_vs_single"] = 1.1
+        row["certified_per_sec"] = 9000.0
+    expect_shards("shard-scaling regression fails", 1, flat_scaling)
+
+    dirty_audit = json.loads(json.dumps(shards_base))
+    dirty_audit["e2e"]["audit_ok"] = False
+    expect_shards("sharded audit violation fails", 1, dirty_audit)
+
+    missing_lane = json.loads(json.dumps(shards_base))
+    missing_lane["sweep"] = [row for row in missing_lane["sweep"]
+                             if row["lanes"] != 8]
+    expect_shards("missing lane count fails", 1, missing_lane)
 
     realtime_base = {
         "bench": "realtime", "clients": 8, "replicas": 2, "level": "LSC",

@@ -49,6 +49,12 @@ echo "== hot-path A/B microbench =="
 # serializations are byte-identical to the fresh encoders.
 ./build/bench/micro_components --hotpath-json=build/BENCH_hotpath.json
 
+echo "== partitioned certification sweep =="
+# Self-checking: exits non-zero unless 4-lane certified throughput is at
+# least 2.5x the single-stream Certifier on a shard-disjoint workload
+# AND the K=4 partial-replication end-to-end run is audit-clean.
+./build/bench/micro_components --shard-sweep=build/BENCH_shards.json
+
 echo "== saturation sweep (flow control on) =="
 # Self-checking: exits non-zero unless the admission queue and the
 # per-replica apply backlog stay within their configured bounds, the
@@ -103,6 +109,10 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 ./build/tools/screp_cli --port "$SMOKE_PORT" --clients 4 --ops 50
+# Protocol-abuse regression: oversized request line, mid-line
+# disconnect with an open transaction; server must reject, clean up,
+# and keep serving.
+./build/tools/screp_cli --port "$SMOKE_PORT" --abuse
 ./build/tools/screp_cli --port "$SMOKE_PORT" --shutdown
 wait "$SERVER_PID"
 trap - EXIT
@@ -119,6 +129,8 @@ python3 tools/bench_gate.py --baseline BENCH_network.json \
   --fresh build/BENCH_network.json
 python3 tools/bench_gate.py --baseline BENCH_hotpath.json \
   --fresh build/BENCH_hotpath.json
+python3 tools/bench_gate.py --baseline BENCH_shards.json \
+  --fresh build/BENCH_shards.json
 python3 tools/bench_gate.py --baseline BENCH_saturation.json \
   --fresh build/BENCH_saturation.json
 python3 tools/bench_gate.py --baseline BENCH_profile.json \

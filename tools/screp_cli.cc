@@ -3,6 +3,7 @@
 //   screp_cli --ops 500 --clients 4        # closed-loop load, then stats
 //   screp_cli --shutdown                   # stop the server
 //   screp_cli --ping                       # liveness probe
+//   screp_cli --abuse                      # protocol-abuse regression
 //
 // Each client thread opens its own connection (= session) and runs
 // single-shot transactions back-to-back: a read of a random key, or with
@@ -13,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -35,6 +37,7 @@ struct Options {
   std::string level;  ///< when set, assert the server's level first
   bool ping = false;
   bool shutdown = false;
+  bool abuse = false;
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -65,6 +68,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.ping = true;
     } else if (arg == "--shutdown") {
       opt.shutdown = true;
+    } else if (arg == "--abuse") {
+      opt.abuse = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -73,8 +78,117 @@ Options ParseOptions(int argc, char** argv) {
   return opt;
 }
 
+/// Parses `name=<n>` out of a STATS line; -1 when absent.
+int64_t StatsField(const std::string& stats, const std::string& name) {
+  const std::string needle = " " + name + "=";
+  const size_t pos = stats.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(stats.c_str() + pos + needle.size());
+}
+
+/// Regression for the server's line-protocol hardening: an over-long
+/// request line must draw a reject (not unbounded buffering) and a dead
+/// connection; a client dying mid-line with a transaction open must be
+/// cleaned up; both must show in STATS while fresh connections still
+/// commit.
+int RunAbuse(const Options& opt) {
+  auto fail = [](const char* what, const Status& status) {
+    std::fprintf(stderr, "abuse: %s: %s\n", what,
+                 status.ToString().c_str());
+    return 1;
+  };
+
+  // 1. Oversized request line: 64 KiB with no '\n' anywhere.
+  {
+    client::Connection conn;
+    Status status = conn.Connect(opt.host, opt.port);
+    if (!status.ok()) return fail("connect (oversized)", status);
+    (void)conn.SetRecvTimeout(5000);
+    // The server may close before the whole blob is written (that IS
+    // the fix), so a send error here is acceptable.
+    (void)conn.SendRaw(std::string(64 * 1024, 'A'));
+    auto reply = conn.ReadReply();
+    if (reply.ok() && reply->rfind("ERR", 0) != 0) {
+      std::fprintf(stderr, "abuse: oversized line answered \"%s\"\n",
+                   reply->c_str());
+      return 1;
+    }
+    // The connection must now be dead: no reply line may ever arrive.
+    auto after = conn.ReadReply();
+    if (after.ok()) {
+      std::fprintf(stderr,
+                   "abuse: connection alive after oversized line "
+                   "(got \"%s\")\n",
+                   after->c_str());
+      return 1;
+    }
+  }
+
+  // 2. Mid-line disconnect with a transaction open and a partial
+  //    command buffered.
+  {
+    client::Connection conn;
+    Status status = conn.Connect(opt.host, opt.port);
+    if (!status.ok()) return fail("connect (mid-line)", status);
+    if (!conn.Begin().ok() || !conn.Update(1, 7).ok()) {
+      return fail("stage txn", Status::Internal("BEGIN/UPDATE refused"));
+    }
+    (void)conn.SendRaw("UPD");  // partial line, then vanish
+    conn.Disconnect();
+  }
+
+  // 3. The server is still healthy and counted both events.
+  client::Connection conn;
+  Status status = conn.Connect(opt.host, opt.port);
+  if (!status.ok()) return fail("connect (health)", status);
+  (void)conn.SetRecvTimeout(5000);
+  status = conn.Ping();
+  if (!status.ok()) return fail("ping after abuse", status);
+
+  int64_t oversized = -1;
+  int64_t dropped = -1;
+  // The handler threads publish their counters asynchronously.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto stats = conn.Stats();
+    if (!stats.ok()) return fail("stats after abuse", stats.status());
+    oversized = StatsField(*stats, "oversized");
+    dropped = StatsField(*stats, "dropped_midline");
+    if (oversized >= 1 && dropped >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (oversized < 1 || dropped < 1) {
+    std::fprintf(stderr,
+                 "abuse: counters never showed up (oversized=%lld "
+                 "dropped_midline=%lld)\n",
+                 static_cast<long long>(oversized),
+                 static_cast<long long>(dropped));
+    return 1;
+  }
+
+  // A real transaction still commits (closed loop over aborts).
+  for (int attempt = 0;; ++attempt) {
+    if (!conn.Begin().ok() || !conn.Update(3, 11).ok()) {
+      return fail("txn after abuse",
+                  Status::Internal("BEGIN/UPDATE refused"));
+    }
+    auto commit = conn.Commit();
+    if (commit.ok()) break;
+    if (commit.status().code() != StatusCode::kAborted || attempt >= 50) {
+      return fail("commit after abuse", commit.status());
+    }
+  }
+  conn.Quit();
+
+  std::printf("abuse: PASS (oversized=%lld dropped_midline=%lld)\n",
+              static_cast<long long>(oversized),
+              static_cast<long long>(dropped));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Options opt = ParseOptions(argc, argv);
+
+  if (opt.abuse) return RunAbuse(opt);
 
   if (opt.ping || opt.shutdown) {
     client::Connection conn;

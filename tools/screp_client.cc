@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -63,6 +64,29 @@ Status Connection::SendLine(const std::string& line) {
   while (off < out.size()) {
     const ssize_t n =
         ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError("send failed");
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Connection::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError("setsockopt(SO_RCVTIMEO) failed");
+  }
+  return Status::OK();
+}
+
+Status Connection::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n <= 0) return Status::IOError("send failed");
     off += static_cast<size_t>(n);
   }

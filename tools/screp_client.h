@@ -66,6 +66,14 @@ class Connection {
   /// Asks the server process to stop, then closes.
   Status Shutdown();
 
+  // Raw-protocol hooks for abuse/regression testing: send bytes with no
+  // newline framing, read whatever reply line arrives, hang up abruptly.
+  Status SendRaw(const std::string& bytes);
+  Result<std::string> ReadReply() { return RecvLine(); }
+  void Disconnect() { Close(); }
+  /// Bounds every subsequent recv; 0 restores blocking reads.
+  Status SetRecvTimeout(int timeout_ms);
+
   bool connected() const { return fd_ >= 0; }
 
  private:

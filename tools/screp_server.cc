@@ -123,6 +123,10 @@ struct Server {
   std::atomic<int64_t> committed{0};
   std::atomic<int64_t> aborted{0};
   std::atomic<int64_t> connections{0};
+  /// Connections dropped for exceeding the request-line bound.
+  std::atomic<int64_t> oversized{0};
+  /// Connections that vanished mid-line or with a transaction open.
+  std::atomic<int64_t> dropped_midline{0};
   std::atomic<bool> shutdown{false};
   int listen_fd = -1;
 
@@ -223,18 +227,45 @@ void HandleConnection(Server* server, int fd, SessionId session) {
   std::vector<int64_t> reads;
   std::vector<std::pair<int64_t, int64_t>> updates;
 
+  // A well-formed request line is tens of bytes; without a bound, a
+  // client that never sends '\n' grows `buffer` until the process dies.
+  constexpr size_t kMaxLineBytes = 4096;
+
   char chunk[4096];
   bool open = true;
   while (open) {
     const size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      if (buffer.size() >= kMaxLineBytes) {
+        server->oversized.fetch_add(1);
+        SendLine(fd, "ERR request line too long");
+        break;
+      }
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) break;
+      if (n <= 0) {
+        // Disconnect or recv error.  Anything buffered — a partial
+        // request line or an un-committed transaction's staged ops —
+        // dies with the connection; the middleware session itself is
+        // torn down by the EndSession post below.
+        if (in_txn || !buffer.empty()) {
+          server->dropped_midline.fetch_add(1);
+          buffer.clear();
+          reads.clear();
+          updates.clear();
+          in_txn = false;
+        }
+        break;
+      }
       buffer.append(chunk, static_cast<size_t>(n));
       continue;
     }
     std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
+    if (line.size() > kMaxLineBytes) {
+      server->oversized.fetch_add(1);
+      SendLine(fd, "ERR request line too long");
+      break;
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
 
     std::istringstream in(line);
@@ -318,7 +349,11 @@ void HandleConnection(Server* server, int fd, SessionId session) {
                        std::to_string(server->committed.load()) +
                        " aborted=" + std::to_string(server->aborted.load()) +
                        " connections=" +
-                       std::to_string(server->connections.load()));
+                       std::to_string(server->connections.load()) +
+                       " oversized=" +
+                       std::to_string(server->oversized.load()) +
+                       " dropped_midline=" +
+                       std::to_string(server->dropped_midline.load()));
     } else if (cmd == "QUIT") {
       SendLine(fd, "BYE");
       open = false;
